@@ -1,0 +1,55 @@
+//! Criterion benchmarks for the from-scratch cryptographic substrate —
+//! the native-speed counterparts of the Table 2 steps.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::SeedableRng;
+use sdmmon_crypto::aes::Aes;
+use sdmmon_crypto::rsa::RsaKeyPair;
+use sdmmon_crypto::sha256::sha256;
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xABu8; 64 * 1024];
+    let mut group = c.benchmark_group("sha256");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("64KiB", |b| b.iter(|| sha256(black_box(&data))));
+    group.finish();
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let aes = Aes::new(&[7u8; 16]).expect("valid key");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let data = vec![0x5Au8; 64 * 1024];
+    let ct = aes.encrypt_cbc(&data, &mut rng);
+    let mut group = c.benchmark_group("aes128");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("cbc_encrypt_64KiB", |b| {
+        b.iter(|| aes.encrypt_cbc(black_box(&data), &mut rng))
+    });
+    group.bench_function("cbc_decrypt_64KiB", |b| {
+        b.iter(|| aes.decrypt_cbc(black_box(&ct)).expect("valid ciphertext"))
+    });
+    group.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    // 1024-bit keys keep the benchmark minutes-scale while preserving the
+    // private/public asymmetry the timing model rests on.
+    let keys = RsaKeyPair::generate(1024, &mut rng).expect("keygen");
+    let message = b"binary || monitoring graph || hash parameter";
+    let signature = keys.private.sign(message);
+    let ciphertext = keys.public.encrypt(b"sixteen-byte-key", &mut rng).expect("encrypt");
+
+    let mut group = c.benchmark_group("rsa1024");
+    group.bench_function("sign (private op)", |b| b.iter(|| keys.private.sign(black_box(message))));
+    group.bench_function("verify (public op)", |b| {
+        b.iter(|| keys.public.verify(black_box(message), &signature))
+    });
+    group.bench_function("decrypt (private op)", |b| {
+        b.iter(|| keys.private.decrypt(black_box(&ciphertext)).expect("valid"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_aes, bench_rsa);
+criterion_main!(benches);

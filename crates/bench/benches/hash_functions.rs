@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the instruction-hash functions: the
+//! per-instruction evaluation must fit in one processor clock in hardware;
+//! in software it bounds the simulator's monitoring overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sdmmon_monitor::hash::{BitcountHash, Compression, InstructionHash, MerkleTreeHash, WidthHash};
+
+fn bench_hashes(c: &mut Criterion) {
+    let words: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    let mut group = c.benchmark_group("instruction_hash");
+    group.throughput(Throughput::Elements(words.len() as u64));
+
+    let merkle = MerkleTreeHash::new(0xDEAD_BEEF);
+    group.bench_function("merkle_sum", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &w in &words {
+                acc = acc.wrapping_add(merkle.hash(black_box(w)) as u32);
+            }
+            acc
+        })
+    });
+
+    let sbox = MerkleTreeHash::with_compression(0xDEAD_BEEF, Compression::SBox);
+    group.bench_function("merkle_sbox", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &w in &words {
+                acc = acc.wrapping_add(sbox.hash(black_box(w)) as u32);
+            }
+            acc
+        })
+    });
+
+    let bitcount = BitcountHash::new();
+    group.bench_function("bitcount", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &w in &words {
+                acc = acc.wrapping_add(bitcount.hash(black_box(w)) as u32);
+            }
+            acc
+        })
+    });
+
+    let wide = WidthHash::new(7, 8);
+    group.bench_function("merkle_8bit", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &w in &words {
+                acc = acc.wrapping_add(wide.hash(black_box(w)) as u32);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashes);
+criterion_main!(benches);

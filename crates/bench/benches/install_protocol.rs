@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the end-to-end SDMMon protocol: package
+//! preparation at the operator and the full verification + installation
+//! sequence at the router.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use sdmmon_core::entities::{Manufacturer, NetworkOperator};
+use sdmmon_npu::programs;
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let manufacturer = Manufacturer::new("acme", 512, &mut rng).expect("keygen");
+    let mut operator = NetworkOperator::new("op", 512, &mut rng).expect("keygen");
+    operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));
+    let mut router = manufacturer.provision_router("r", 2, 512, &mut rng).expect("provision");
+    let program = programs::ipv4_cm().expect("workload assembles");
+
+    c.bench_function("operator_prepare_package", |b| {
+        b.iter(|| {
+            operator
+                .prepare_package(black_box(&program), router.public_key(), &mut rng)
+                .expect("packaging succeeds")
+        })
+    });
+
+    // Each install must carry a fresh package: the router's anti-replay
+    // high-water mark rejects re-installing the same bundle.
+    let router_key = router.public_key().clone();
+    let rng_cell = std::cell::RefCell::new(rand::rngs::StdRng::seed_from_u64(4));
+    c.bench_function("router_install_bundle", |b| {
+        b.iter_batched(
+            || {
+                operator
+                    .prepare_package(&program, &router_key, &mut *rng_cell.borrow_mut())
+                    .expect("packaging succeeds")
+            },
+            |bundle| router.install_bundle(black_box(&bundle), &[0, 1]).expect("installs"),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // The monitored data plane right after installation.
+    let bundle = operator
+        .prepare_package(&program, router.public_key(), &mut rng)
+        .expect("packaging succeeds");
+    router.install_bundle(&bundle, &[0, 1]).expect("installs");
+    let packet = programs::testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"data");
+    c.bench_function("monitored_packet_through_router", |b| {
+        b.iter(|| router.process(black_box(&packet)))
+    });
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the monitored packet-processing path: graph
+//! extraction (the operator's offline analysis) and per-packet simulation
+//! with and without an attached hardware monitor.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sdmmon_monitor::{HardwareMonitor, MerkleTreeHash, MonitoringGraph};
+use sdmmon_npu::cpu::NullObserver;
+use sdmmon_npu::{core::Core, programs};
+
+fn bench_extraction(c: &mut Criterion) {
+    let program = programs::ipv4_cm().expect("workload assembles");
+    let hash = MerkleTreeHash::new(0x1234);
+    c.bench_function("graph_extraction_ipv4_cm", |b| {
+        b.iter(|| MonitoringGraph::extract(black_box(&program), &hash).expect("extracts"))
+    });
+}
+
+fn bench_packet_processing(c: &mut Criterion) {
+    let program = programs::ipv4_forward().expect("workload assembles");
+    let packet = programs::testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"benchdata");
+    let mut group = c.benchmark_group("packet_processing");
+    group.throughput(Throughput::Elements(1));
+
+    let mut bare = Core::new();
+    bare.install(&program.to_bytes(), program.base);
+    group.bench_function("unmonitored", |b| {
+        b.iter(|| bare.process_packet(black_box(&packet), &mut NullObserver))
+    });
+
+    let hash = MerkleTreeHash::new(0xCAFE);
+    let graph = MonitoringGraph::extract(&program, &hash).expect("extracts");
+    let mut monitored = Core::new();
+    monitored.install(&program.to_bytes(), program.base);
+    let mut monitor = HardwareMonitor::new(graph, hash);
+    group.bench_function("monitored", |b| {
+        b.iter(|| monitored.process_packet(black_box(&packet), &mut monitor))
+    });
+    group.finish();
+}
+
+fn bench_graph_serialization(c: &mut Criterion) {
+    let program = programs::ipv4_cm().expect("workload assembles");
+    let hash = MerkleTreeHash::new(9);
+    let graph = MonitoringGraph::extract(&program, &hash).expect("extracts");
+    let bytes = graph.to_bytes();
+    c.bench_function("graph_serialize", |b| b.iter(|| black_box(&graph).to_bytes()));
+    c.bench_function("graph_deserialize", |b| {
+        b.iter(|| MonitoringGraph::from_bytes(black_box(&bytes)).expect("round trips"))
+    });
+}
+
+criterion_group!(benches, bench_extraction, bench_packet_processing, bench_graph_serialization);
+criterion_main!(benches);

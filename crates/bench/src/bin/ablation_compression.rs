@@ -1,0 +1,88 @@
+//! Ablation: the Merkle-tree **compression function** (the paper's 4-bit
+//! arithmetic sum vs XOR vs a 4-bit S-box). Two measurements per variant:
+//!
+//! 1. **Diffusion** — the Figure 6 methodology (mean output Hamming
+//!    distance for single-bit input changes vs the 2.0 random reference);
+//! 2. **Cross-router attack transfer** — the reproduction's SR2 finding:
+//!    an evasive packet crafted against one router's parameter is replayed
+//!    against routers with other parameters. Linear compressions (sum,
+//!    XOR) make hash *collisions* parameter-independent, so the attack
+//!    transfers to the whole fleet; the S-box confines it to the victim.
+//!
+//! Run with: `cargo run --release -p sdmmon-bench --bin ablation_compression`
+
+use rand::{Rng, SeedableRng};
+use sdmmon_bench::render_table;
+use sdmmon_core::system::craft_evasive_hijack;
+use sdmmon_monitor::hash::{hamming, Compression, InstructionHash, MerkleTreeHash};
+use sdmmon_monitor::{HardwareMonitor, MonitoringGraph};
+use sdmmon_npu::core::Core;
+use sdmmon_npu::programs;
+use sdmmon_npu::runtime::HaltReason;
+
+const DIFFUSION_PAIRS: usize = 50_000;
+const REPLAY_ROUTERS: usize = 32;
+
+fn main() {
+    let program = programs::vulnerable_forward().expect("workload assembles");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0_3B);
+
+    println!("Compression-function ablation (Merkle tree, 4-bit output)\n");
+    let mut rows = Vec::new();
+    for compression in [Compression::SumMod16, Compression::Xor, Compression::SBox] {
+        // --- diffusion at input HD 1 (the Figure 6 anomaly case) ---------
+        let mut sum_hd = 0u64;
+        let mut zero_hd = 0u64;
+        for _ in 0..DIFFUSION_PAIRS {
+            let a: u32 = rng.gen();
+            let b = a ^ (1 << rng.gen_range(0..32));
+            let hash = MerkleTreeHash::with_compression(rng.gen(), compression);
+            let d = hamming(hash.hash(a), hash.hash(b));
+            sum_hd += d as u64;
+            zero_hd += u64::from(d == 0);
+        }
+        let mean = sum_hd as f64 / DIFFUSION_PAIRS as f64;
+        let collision_rate = zero_hd as f64 / DIFFUSION_PAIRS as f64;
+
+        // --- cross-router transfer of a crafted evasive attack -----------
+        let victim_param: u32 = rng.gen();
+        let attack = craft_evasive_hijack(&program, victim_param, compression)
+            .expect("mimicry search succeeds with the leaked parameter");
+        let mut transferred = 0usize;
+        for _ in 0..REPLAY_ROUTERS {
+            let hash = MerkleTreeHash::with_compression(rng.gen(), compression);
+            let graph = MonitoringGraph::extract(&program, &hash).expect("graph extracts");
+            let mut core = Core::new();
+            core.install(&program.to_bytes(), program.base);
+            let mut monitor = HardwareMonitor::new(graph, hash);
+            let out = core.process_packet(&attack.packet, &mut monitor);
+            if out.halt == HaltReason::Completed {
+                transferred += 1;
+            }
+        }
+        rows.push(vec![
+            format!("{compression:?}"),
+            format!("{mean:.2}"),
+            format!("{:.1}%", 100.0 * collision_rate),
+            format!("{transferred}/{REPLAY_ROUTERS}"),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "compression",
+                "mean out-HD @ in-HD 1",
+                "collisions @ in-HD 1",
+                "attack transfers to other routers",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "\nfinding: the paper's SumMod16 (and XOR) are linear — whether two words\n\
+         collide does not depend on the secret parameter, so one cracked router\n\
+         cracks the fleet. The S-box compression keeps the Figure 6 diffusion\n\
+         while confining the attack to the victim (SR2 as intended)."
+    );
+}

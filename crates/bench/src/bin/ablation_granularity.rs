@@ -1,0 +1,131 @@
+//! Ablation: monitoring **granularity** — per-instruction checking (Mao &
+//! Wolf / SDMMon) vs per-basic-block checking (Arora et al., IMPRES), the
+//! design axis the paper's related-work section contrasts.
+//!
+//! Measures, on the vulnerable-forwarder attack scenario across many
+//! router parameters:
+//!
+//! * graph size (compact hardware bits),
+//! * graph memory accesses per packet (the block monitor's win),
+//! * hijack detection rate (the instruction monitor's win),
+//! * detection latency in retired instructions when both detect.
+//!
+//! Run with: `cargo run --release -p sdmmon-bench --bin ablation_granularity`
+
+use rand::{Rng, SeedableRng};
+use sdmmon_bench::render_table;
+use sdmmon_monitor::block::{BlockGraph, BlockMonitor};
+use sdmmon_monitor::graph::MonitoringGraph;
+use sdmmon_monitor::hash::MerkleTreeHash;
+use sdmmon_monitor::monitor::HardwareMonitor;
+use sdmmon_npu::core::Core;
+use sdmmon_npu::programs::{self, testing};
+use sdmmon_npu::runtime::HaltReason;
+
+const PARAMS: usize = 200;
+
+fn main() {
+    let program = programs::vulnerable_forward().expect("workload assembles");
+    let image = program.to_bytes();
+    let attack = testing::hijack_packet(
+        "li $t4, 0x0007fff0\nli $t5, 15\nsw $t5, 0($t4)\nbreak 0",
+    )
+    .expect("attack assembles");
+    let good = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"data");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x6AA);
+
+    // Representative graph sizes (structure is parameter-independent).
+    let probe_hash = MerkleTreeHash::new(1);
+    let inst_graph = MonitoringGraph::extract(&program, &probe_hash).expect("graph");
+    let block_graph = BlockGraph::extract(&program, &probe_hash).expect("graph");
+
+    let mut inst_detect = 0u64;
+    let mut block_detect = 0u64;
+    let mut inst_latency = Vec::new();
+    let mut block_latency = Vec::new();
+    let mut inst_checks = 0u64;
+    let mut block_checks = 0u64;
+    let mut packets = 0u64;
+
+    for _ in 0..PARAMS {
+        let param: u32 = rng.gen();
+        let hash = MerkleTreeHash::new(param);
+
+        // Instruction granularity.
+        let mut core = Core::new();
+        core.install(&image, program.base);
+        let graph = MonitoringGraph::extract(&program, &hash).expect("graph");
+        let mut monitor = HardwareMonitor::new(graph, hash);
+        let clean = core.process_packet(&good, &mut monitor);
+        assert_eq!(clean.halt, HaltReason::Completed);
+        core.reset();
+        let out = core.process_packet(&attack, &mut monitor);
+        if out.halt == HaltReason::MonitorViolation {
+            inst_detect += 1;
+            inst_latency.push(out.steps);
+        }
+        inst_checks += monitor.stats().instructions_checked;
+
+        // Block granularity.
+        let mut core = Core::new();
+        core.install(&image, program.base);
+        let graph = BlockGraph::extract(&program, &hash).expect("graph");
+        let mut monitor = BlockMonitor::new(graph, hash);
+        let clean = core.process_packet(&good, &mut monitor);
+        assert_eq!(clean.halt, HaltReason::Completed);
+        core.reset();
+        let out = core.process_packet(&attack, &mut monitor);
+        if out.halt == HaltReason::MonitorViolation {
+            block_detect += 1;
+            block_latency.push(out.steps);
+        }
+        block_checks += monitor.stats().blocks_checked;
+        packets += 2;
+    }
+
+    let mean = |v: &[u64]| {
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().sum::<u64>() as f64 / v.len() as f64
+        }
+    };
+    println!("Granularity ablation: stack-smash hijack, {PARAMS} random parameters\n");
+    let rows = vec![
+        vec![
+            "per-instruction (SDMMon)".into(),
+            inst_graph.compact_size_bits().to_string(),
+            format!("{:.0}", inst_checks as f64 / packets as f64),
+            format!("{:.1}%", 100.0 * inst_detect as f64 / PARAMS as f64),
+            format!("{:.0}", mean(&inst_latency)),
+        ],
+        vec![
+            "per-block (IMPRES-style)".into(),
+            block_graph.compact_size_bits().to_string(),
+            format!("{:.0}", block_checks as f64 / packets as f64),
+            format!("{:.1}%", 100.0 * block_detect as f64 / PARAMS as f64),
+            format!("{:.0}", mean(&block_latency)),
+        ],
+    ];
+    print!(
+        "{}",
+        render_table(
+            &[
+                "granularity",
+                "graph bits",
+                "graph accesses / packet",
+                "hijack detection rate",
+                "steps at violation (mean)",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "\nshape check: block checking cuts graph memory accesses ~3-4x and shrinks\n\
+         the graph, but detection waits for the block boundary (higher latency) and\n\
+         an injected block escapes whenever its (length, digest) pair collides with\n\
+         a candidate region — one 4-bit lottery per *block* instead of one per\n\
+         *instruction*. The instruction-level choice of the paper maximizes\n\
+         detection probability and minimizes latency at higher memory traffic."
+    );
+}

@@ -1,0 +1,69 @@
+//! Ablation: why the paper picks a **4-bit** hash. Sweeps the hash output
+//! width (2 / 4 / 8 bits) and reports the two quantities it trades off:
+//!
+//! * monitoring-graph size (must stay a small fraction of the binary,
+//!   fetched in a single memory access per instruction), and
+//! * per-instruction escape probability for injected code (2^-width).
+//!
+//! Run with: `cargo run --release -p sdmmon-bench --bin ablation_hash_width`
+
+use rand::{Rng, SeedableRng};
+use sdmmon_bench::render_table;
+use sdmmon_monitor::graph::MonitoringGraph;
+use sdmmon_monitor::hash::{InstructionHash, WidthHash};
+use sdmmon_npu::programs;
+
+const TRIALS: u64 = 400_000;
+
+fn main() {
+    let program = programs::ipv4_cm().expect("workload assembles");
+    let binary_bits = program.words.len() * 32;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xAB1A);
+
+    println!("Hash-width ablation on the IPv4+CM workload ({binary_bits} binary bits)\n");
+    let mut rows = Vec::new();
+    for bits in [2u8, 4, 8] {
+        let hash = WidthHash::new(rng.gen(), bits);
+        let graph = MonitoringGraph::extract(&program, &hash).expect("graph extracts");
+        let graph_bits = graph.compact_size_bits();
+
+        // Empirical single-instruction escape rate: a random injected word
+        // against a random graph position.
+        let addrs: Vec<u32> = graph.iter().map(|(a, _)| a).collect();
+        let mut hits = 0u64;
+        for _ in 0..TRIALS {
+            let node = graph.node(addrs[rng.gen_range(0..addrs.len())]).expect("addr valid");
+            if node.hash == hash.hash(rng.gen()) {
+                hits += 1;
+            }
+        }
+        let escape = hits as f64 / TRIALS as f64;
+        rows.push(vec![
+            format!("{bits}"),
+            format!("{graph_bits}"),
+            format!("{:.1}%", 100.0 * graph_bits as f64 / binary_bits as f64),
+            format!("{escape:.4}"),
+            format!("{:.4}", (2f64).powi(-(bits as i32))),
+            format!("{:.1e}", escape.powi(8)),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "hash bits",
+                "graph bits",
+                "graph/binary",
+                "escape/instr (measured)",
+                "2^-w (analytic)",
+                "escape for 8-instr attack",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "\nshape check: 2 bits keeps the graph smallest but lets 1-in-4 injected\n\
+         instructions through; 8 bits doubles the per-node cost for detection\n\
+         already overwhelming at 4 bits — the paper's 4-bit choice is the knee."
+    );
+}

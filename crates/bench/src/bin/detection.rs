@@ -1,0 +1,96 @@
+//! Regenerates the paper's §2.1 detection analysis: "when using a 4-bit
+//! hash, there is a 1 in 16 chance that one instruction matches the
+//! monitor, a 1 in 256 chance for a match for two instructions, etc." —
+//! the escape probability decreases geometrically with attack length.
+//!
+//! Methodology: random k-instruction attack sequences are checked against
+//! the monitoring graph of the IPv4 workload under random parameters,
+//! starting from a random graph position (the attacker has hijacked
+//! control and must now survive k hash comparisons). Empirical escape
+//! rates are compared with 16^-k.
+//!
+//! Run with: `cargo run --release -p sdmmon-bench --bin detection`
+
+use rand::{Rng, SeedableRng};
+use sdmmon_bench::render_table;
+use sdmmon_monitor::graph::MonitoringGraph;
+use sdmmon_monitor::hash::{InstructionHash, MerkleTreeHash};
+use sdmmon_npu::programs;
+
+/// Attack attempts per length (longer lengths need more samples than the
+/// escape rate's reciprocal to be observable; we report zeros honestly).
+const TRIALS: u64 = 2_000_000;
+
+fn main() {
+    let program = programs::ipv4_forward().expect("workload assembles");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xDE7EC7);
+
+    println!("Detection probability vs attack length (4-bit Merkle-tree hash)");
+    println!("({TRIALS} random attack sequences per length)\n");
+
+    let mut rows = Vec::new();
+    for k in 1..=6u32 {
+        let mut escapes = 0u64;
+        // One graph/parameter per batch keeps extraction off the hot path;
+        // parameters rotate across batches.
+        let batches = 16;
+        for _ in 0..batches {
+            let hash = MerkleTreeHash::new(rng.gen());
+            let graph = MonitoringGraph::extract(&program, &hash).expect("graph extracts");
+            let addrs: Vec<u32> = graph.iter().map(|(a, _)| a).collect();
+            for _ in 0..TRIALS / batches {
+                // NFA survival: start from one random position (where the
+                // hijack landed in the monitor's candidate set).
+                let mut candidates = vec![addrs[rng.gen_range(0..addrs.len())]];
+                let mut survived = true;
+                for _ in 0..k {
+                    let observed = hash.hash(rng.gen());
+                    let mut matched = false;
+                    let mut next = Vec::new();
+                    for &c in &candidates {
+                        if let Some(node) = graph.node(c) {
+                            if node.hash == observed {
+                                matched = true;
+                                next.extend_from_slice(&node.successors);
+                            }
+                        }
+                    }
+                    if !matched {
+                        // Hash mismatch at every candidate: violation.
+                        survived = false;
+                        break;
+                    }
+                    next.sort_unstable();
+                    next.dedup();
+                    // `next` may be empty (only terminal nodes matched);
+                    // any further instruction then necessarily violates.
+                    candidates = next;
+                }
+                if survived {
+                    escapes += 1;
+                }
+            }
+        }
+        let empirical = escapes as f64 / TRIALS as f64;
+        let analytic = 16f64.powi(-(k as i32));
+        rows.push(vec![
+            k.to_string(),
+            format!("{escapes}"),
+            format!("{empirical:.2e}"),
+            format!("{analytic:.2e}"),
+            format!("{:.2}", empirical / analytic),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &["attack length k", "escapes", "empirical P(escape)", "16^-k", "ratio"],
+            &rows,
+        )
+    );
+    println!(
+        "\nshape check: escape probability falls ~16x per added instruction. The ratio \n\
+         drifts above 1 because the monitor tracks a candidate *set* (branch ambiguity \n\
+         gives the attacker more than one chance per step), exactly as in hardware."
+    );
+}

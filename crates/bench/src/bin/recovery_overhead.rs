@@ -1,0 +1,88 @@
+//! Recovery-overhead experiment: throughput of a monitored multicore NP
+//! under a data-plane traffic mix with a varying fraction of attack
+//! packets. The paper's recovery ("dropping the attack packet, resetting
+//! the processing stack, and continuing") costs a core reset per attack;
+//! this sweep quantifies the effect on simulated instruction throughput
+//! and on good-packet delivery.
+//!
+//! Run with: `cargo run --release -p sdmmon-bench --bin recovery_overhead`
+
+use rand::{Rng, SeedableRng};
+use sdmmon_bench::render_table;
+use sdmmon_monitor::graph::MonitoringGraph;
+use sdmmon_monitor::hash::MerkleTreeHash;
+use sdmmon_monitor::monitor::HardwareMonitor;
+use sdmmon_npu::np::NetworkProcessor;
+use sdmmon_npu::programs::{self, testing};
+use sdmmon_npu::runtime::Verdict;
+
+const PACKETS: usize = 5_000;
+const CORES: usize = 4;
+
+fn main() {
+    let program = programs::vulnerable_forward().expect("workload assembles");
+    let image = program.to_bytes();
+    let attack = testing::hijack_packet(
+        "li $t4, 0x0007fff0\nli $t5, 15\nsw $t5, 0($t4)\nbreak 0",
+    )
+    .expect("attack assembles");
+
+    println!(
+        "Recovery overhead: {CORES}-core monitored NP, {PACKETS} packets per attack rate\n"
+    );
+    let mut rows = Vec::new();
+    for attack_percent in [0u32, 1, 5, 10, 25, 50] {
+        let mut np = NetworkProcessor::new(CORES);
+        np.install_all(&image, program.base, |i| {
+            let hash = MerkleTreeHash::new(0xFA57_0000 + i as u32);
+            let graph = MonitoringGraph::extract(&program, &hash).expect("graph extracts");
+            Box::new(HardwareMonitor::new(graph, hash))
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(attack_percent as u64);
+        let mut total_steps = 0u64;
+        let mut good_sent = 0u64;
+        let mut good_delivered = 0u64;
+        for _ in 0..PACKETS {
+            if rng.gen_range(0..100) < attack_percent {
+                let (_, out) = np.process(&attack);
+                total_steps += out.steps;
+            } else {
+                let dst = rng.gen_range(1u8..10);
+                let packet =
+                    testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, dst], 64, b"payload");
+                good_sent += 1;
+                let (_, out) = np.process(&packet);
+                total_steps += out.steps;
+                if out.verdict == Verdict::Forward(dst as u32) {
+                    good_delivered += 1;
+                }
+            }
+        }
+        let stats = np.stats();
+        rows.push(vec![
+            format!("{attack_percent}%"),
+            format!("{:.1}", total_steps as f64 / PACKETS as f64),
+            format!("{}", stats.violations),
+            format!("{}", stats.recoveries),
+            format!("{:.2}%", 100.0 * good_delivered as f64 / good_sent.max(1) as f64),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "attack rate",
+                "instructions / packet",
+                "violations",
+                "recoveries",
+                "good-packet delivery",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "\nshape check: recovery is per-attack-packet and does not degrade good-packet\n\
+         delivery — the paper's claim that IP networks recover by dropping the attack\n\
+         packet and continuing with the next one."
+    );
+}

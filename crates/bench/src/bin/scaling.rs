@@ -1,0 +1,111 @@
+//! System-scaling experiment: how many monitored NP cores fit on the
+//! paper's DE4 (Stratix IV) device alongside one control processor — the
+//! MPSoC context of the paper's introduction ("multiprocessor
+//! system-on-a-chip devices").
+//!
+//! Also reports the marginal cost of monitoring: the same sweep with
+//! unmonitored cores.
+//!
+//! Run with: `cargo run --release -p sdmmon-bench --bin scaling`
+
+use sdmmon_bench::render_table;
+use sdmmon_fpga::components;
+use sdmmon_fpga::{Component, Resources};
+
+/// An unmonitored NP core: the monitored component minus its monitor.
+fn np_core_without_monitor() -> Resources {
+    let monitored = components::np_core_with_monitor();
+    let monitor: Resources = monitored
+        .children()
+        .iter()
+        .filter(|c| c.name() == "hardware_monitor")
+        .map(Component::resources)
+        .sum();
+    let total = monitored.resources();
+    Resources {
+        luts: total.luts - monitor.luts,
+        ffs: total.ffs - monitor.ffs,
+        memory_bits: total.memory_bits - monitor.memory_bits,
+    }
+}
+
+fn fits(cap: Resources, r: Resources) -> bool {
+    r.luts <= cap.luts && r.ffs <= cap.ffs && r.memory_bits <= cap.memory_bits
+}
+
+fn main() {
+    let cap = components::de4_capacity();
+    let ctrl = components::nios_control_processor().resources();
+    let monitored = components::np_core_with_monitor().resources();
+    let bare = np_core_without_monitor();
+
+    println!("System scaling on the DE4 (capacity: {cap})\n");
+    let mut rows = Vec::new();
+    for cores in 1..=8u64 {
+        let with = Resources {
+            luts: ctrl.luts + cores * monitored.luts,
+            ffs: ctrl.ffs + cores * monitored.ffs,
+            memory_bits: ctrl.memory_bits + cores * monitored.memory_bits,
+        };
+        let without = Resources {
+            luts: ctrl.luts + cores * bare.luts,
+            ffs: ctrl.ffs + cores * bare.ffs,
+            memory_bits: ctrl.memory_bits + cores * bare.memory_bits,
+        };
+        rows.push(vec![
+            cores.to_string(),
+            format!("{:.0}%", 100.0 * with.luts as f64 / cap.luts as f64),
+            format!("{:.0}%", 100.0 * with.memory_bits as f64 / cap.memory_bits as f64),
+            if fits(cap, with) { "yes".into() } else { "NO".into() },
+            format!("{:.0}%", 100.0 * without.luts as f64 / cap.luts as f64),
+            if fits(cap, without) { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "NP cores",
+                "LUT util (monitored)",
+                "membit util (monitored)",
+                "fits?",
+                "LUT util (bare)",
+                "fits (bare)?",
+            ],
+            &rows,
+        )
+    );
+
+    let max_monitored = (1..=64)
+        .take_while(|&n| {
+            fits(
+                cap,
+                Resources {
+                    luts: ctrl.luts + n * monitored.luts,
+                    ffs: ctrl.ffs + n * monitored.ffs,
+                    memory_bits: ctrl.memory_bits + n * monitored.memory_bits,
+                },
+            )
+        })
+        .last()
+        .unwrap_or(0);
+    let max_bare = (1..=64)
+        .take_while(|&n| {
+            fits(
+                cap,
+                Resources {
+                    luts: ctrl.luts + n * bare.luts,
+                    ffs: ctrl.ffs + n * bare.ffs,
+                    memory_bits: ctrl.memory_bits + n * bare.memory_bits,
+                },
+            )
+        })
+        .last()
+        .unwrap_or(0);
+    println!(
+        "\nmax cores on the DE4: {max_monitored} monitored vs {max_bare} unmonitored — \
+         monitoring costs {:.0}% extra LUTs and {:.0}% extra memory bits per core.",
+        100.0 * (monitored.luts - bare.luts) as f64 / bare.luts as f64,
+        100.0 * (monitored.memory_bits - bare.memory_bits) as f64 / bare.memory_bits as f64,
+    );
+}

@@ -1,0 +1,53 @@
+//! Regenerates **Table 1** of the paper: resource use on the DE4 FPGA —
+//! the Nios II control processor vs. a network-processor core with
+//! hardware monitor, against device capacity.
+//!
+//! Run with: `cargo run -p sdmmon-bench --bin table1`
+
+use sdmmon_bench::render_table;
+use sdmmon_fpga::components;
+
+fn main() {
+    let capacity = components::de4_capacity();
+    let ctrl = components::nios_control_processor();
+    let np = components::np_core_with_monitor();
+    let (c, n) = (ctrl.resources(), np.resources());
+
+    println!("Table 1: Resource use on DE4 FPGA (structural estimate; paper values in parentheses)\n");
+    let rows = vec![
+        vec![
+            "LUTs".into(),
+            format!("{}", capacity.luts),
+            format!("{} (13,477)", c.luts),
+            format!("{} (41,735)", n.luts),
+        ],
+        vec![
+            "FFs".into(),
+            format!("{}", capacity.ffs),
+            format!("{} (16,899)", c.ffs),
+            format!("{} (40,590)", n.ffs),
+        ],
+        vec![
+            "Memory bits".into(),
+            format!("{}", capacity.memory_bits),
+            format!("{} (571,976)", c.memory_bits),
+            format!("{} (2,883,088)", n.memory_bits),
+        ],
+    ];
+    print!(
+        "{}",
+        render_table(
+            &["", "Available on FPGA", "Nios II contr. proc.", "NP core with hw monitor"],
+            &rows,
+        )
+    );
+
+    println!(
+        "\ncontrol processor : monitored NP core LUT ratio = {:.2} (paper: \"about one third\")",
+        c.luts as f64 / n.luts as f64
+    );
+    println!("\ncomponent breakdown:\n");
+    print!("{}", ctrl.report());
+    println!();
+    print!("{}", np.report());
+}

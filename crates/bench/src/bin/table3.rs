@@ -1,0 +1,35 @@
+//! Regenerates **Table 3** of the paper: implementation cost of the two
+//! hash functions (conventional bitcount vs. the parameterizable
+//! Merkle-tree hash).
+//!
+//! Run with: `cargo run -p sdmmon-bench --bin table3`
+
+use sdmmon_bench::render_table;
+use sdmmon_fpga::components;
+
+fn main() {
+    let bitcount = components::bitcount_hash_circuit().resources();
+    let merkle = components::merkle_hash_circuit().resources();
+
+    println!("Table 3: Implementation cost of hash functions (structural estimate)\n");
+    let rows = vec![
+        vec!["LUTs".into(), bitcount.luts.to_string(), merkle.luts.to_string()],
+        vec!["FFs".into(), bitcount.ffs.to_string(), merkle.ffs.to_string()],
+        vec![
+            "Memory bits".into(),
+            bitcount.memory_bits.to_string(),
+            merkle.memory_bits.to_string(),
+        ],
+    ];
+    print!("{}", render_table(&["", "Bitcount hash", "Merkle tree hash"], &rows));
+    println!(
+        "\npaper shape: \"Our Merkle tree hash requires less logic, but requires memory to\n\
+         store the parameter, whereas the bitcount hash does not require memory.\"\n\
+         reproduced: merkle {} < bitcount {} LUTs; memory bits {} vs {}.",
+        merkle.luts, bitcount.luts, merkle.memory_bits, bitcount.memory_bits
+    );
+    println!("\ncircuit structure:\n");
+    print!("{}", components::bitcount_hash_circuit().report());
+    println!();
+    print!("{}", components::merkle_hash_circuit().report());
+}

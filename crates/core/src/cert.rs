@@ -1,0 +1,187 @@
+//! Operator certificates: the manufacturer-anchored chain of trust.
+//!
+//! "At installation time ... the manufacturer provides a certificate that
+//! contains (at least) the network operator's public key signed with the
+//! manufacturer's private key. Using this certificate, the network
+//! processor can establish a chain of trust to the network operator."
+//! (paper §3.1)
+
+use crate::wire::{Reader, Writer, WireError};
+use sdmmon_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+
+/// Domain-separation tag mixed into every certificate signature so a
+/// certificate can never be confused with a package signature.
+const CERT_CONTEXT: &[u8] = b"SDMMON-CERT-V1";
+
+/// A certificate binding an operator name to an RSA public key, signed by
+/// the router manufacturer.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sdmmon_core::cert::Certificate;
+/// use sdmmon_crypto::rsa::RsaKeyPair;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let manufacturer = RsaKeyPair::generate(512, &mut rng)?;
+/// let operator = RsaKeyPair::generate(512, &mut rng)?;
+///
+/// let cert = Certificate::issue("backbone-op", &operator.public, &manufacturer.private);
+/// assert!(cert.verify(&manufacturer.public));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    subject: String,
+    subject_modulus: Vec<u8>,
+    subject_exponent: Vec<u8>,
+    signature: Vec<u8>,
+}
+
+impl Certificate {
+    /// Issues a certificate over `(subject, subject_key)` signed with the
+    /// manufacturer's private key.
+    pub fn issue(
+        subject: &str,
+        subject_key: &RsaPublicKey,
+        manufacturer_key: &RsaPrivateKey,
+    ) -> Certificate {
+        let subject_modulus = subject_key.modulus_bytes();
+        let subject_exponent = subject_key.exponent_bytes();
+        let tbs = Certificate::to_be_signed(subject, &subject_modulus, &subject_exponent);
+        let signature = manufacturer_key.sign(&tbs);
+        Certificate {
+            subject: subject.to_owned(),
+            subject_modulus,
+            subject_exponent,
+            signature,
+        }
+    }
+
+    fn to_be_signed(subject: &str, modulus: &[u8], exponent: &[u8]) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(CERT_CONTEXT);
+        w.string(subject);
+        w.bytes(modulus);
+        w.bytes(exponent);
+        w.finish()
+    }
+
+    /// Checks the manufacturer signature.
+    pub fn verify(&self, manufacturer_key: &RsaPublicKey) -> bool {
+        let tbs =
+            Certificate::to_be_signed(&self.subject, &self.subject_modulus, &self.subject_exponent);
+        manufacturer_key.verify(&tbs, &self.signature)
+    }
+
+    /// The certified operator name.
+    pub fn subject(&self) -> &str {
+        &self.subject
+    }
+
+    /// Reconstructs the certified public key.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the embedded key material is
+    /// structurally invalid.
+    pub fn subject_key(&self) -> Result<RsaPublicKey, sdmmon_crypto::CryptoError> {
+        RsaPublicKey::from_parts(&self.subject_modulus, &self.subject_exponent)
+    }
+
+    /// Serializes for transport inside installation bundles.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.string(&self.subject);
+        w.bytes(&self.subject_modulus);
+        w.bytes(&self.subject_exponent);
+        w.bytes(&self.signature);
+        w.finish()
+    }
+
+    /// Deserializes a certificate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation or trailing data.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Certificate, WireError> {
+        let mut r = Reader::new(bytes);
+        let cert = Certificate {
+            subject: r.string()?,
+            subject_modulus: r.bytes()?.to_vec(),
+            subject_exponent: r.bytes()?.to_vec(),
+            signature: r.bytes()?.to_vec(),
+        };
+        r.done()?;
+        Ok(cert)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sdmmon_crypto::rsa::RsaKeyPair;
+
+    fn keys(seed: u64) -> RsaKeyPair {
+        RsaKeyPair::generate(512, &mut rand::rngs::StdRng::seed_from_u64(seed)).unwrap()
+    }
+
+    #[test]
+    fn issue_verify_round_trip() {
+        let m = keys(1);
+        let op = keys(2);
+        let cert = Certificate::issue("op-1", &op.public, &m.private);
+        assert!(cert.verify(&m.public));
+        assert_eq!(cert.subject(), "op-1");
+        assert_eq!(cert.subject_key().unwrap(), op.public);
+    }
+
+    #[test]
+    fn wrong_manufacturer_rejected() {
+        let m = keys(1);
+        let rogue = keys(3);
+        let op = keys(2);
+        let cert = Certificate::issue("op-1", &op.public, &rogue.private);
+        assert!(!cert.verify(&m.public), "self-issued certificate must not verify");
+    }
+
+    #[test]
+    fn tampered_fields_rejected() {
+        let m = keys(1);
+        let op = keys(2);
+        let eve = keys(4);
+        let cert = Certificate::issue("op-1", &op.public, &m.private);
+
+        let mut renamed = cert.clone();
+        renamed.subject = "evil-op".into();
+        assert!(!renamed.verify(&m.public));
+
+        let mut swapped = cert.clone();
+        swapped.subject_modulus = eve.public.modulus_bytes();
+        assert!(!swapped.verify(&m.public), "key substitution must break the signature");
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let m = keys(1);
+        let op = keys(2);
+        let cert = Certificate::issue("op-1", &op.public, &m.private);
+        let restored = Certificate::from_bytes(&cert.to_bytes()).unwrap();
+        assert_eq!(restored, cert);
+        assert!(restored.verify(&m.public));
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert!(Certificate::from_bytes(&[1, 2, 3]).is_err());
+        let m = keys(1);
+        let cert = Certificate::issue("x", &m.public, &m.private);
+        let mut bytes = cert.to_bytes();
+        bytes.push(0);
+        assert!(Certificate::from_bytes(&bytes).is_err(), "trailing byte");
+    }
+}

@@ -1,0 +1,139 @@
+//! # sdmmon-core — Secure Dynamic Multicore hardware Monitoring (SDMMon)
+//!
+//! The primary contribution of the DAC 2014 paper: a system-level security
+//! architecture that lets network operators **dynamically and securely
+//! install** processing binaries *and their monitoring graphs* on network
+//! processors, while keeping a homogeneous router fleet diverse through
+//! per-router hash parameters.
+//!
+//! Three entities cooperate (paper §2.2, Figure 3):
+//!
+//! * the [`entities::Manufacturer`] provisions each router with a key pair
+//!   and its own public key (the root of trust), and certifies network
+//!   operators;
+//! * the [`entities::NetworkOperator`] prepares installation packages:
+//!   binary ‖ monitoring graph ‖ random 32-bit hash parameter, signed with
+//!   the operator's key, AES-encrypted under a fresh symmetric key that is
+//!   itself RSA-encrypted to one specific router (SR4);
+//! * the [`entities::RouterDevice`] downloads, decrypts, verifies, and
+//!   programs its cores and monitors — rejecting anything tampered,
+//!   replayed from another device, or signed by an uncertified party
+//!   (SR1–SR4).
+//!
+//! Supporting modules: [`wire`] (the length-prefixed package encoding),
+//! [`cert`] (certificates), [`package`] (payload format and bundles),
+//! [`timing`] (the Nios II cycle model that regenerates Table 2), and
+//! [`system`] (full secure-install flow plus fleet experiments for SR2).
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sdmmon_core::entities::{Manufacturer, NetworkOperator};
+//! use sdmmon_npu::{programs, runtime::Verdict};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! // Small keys keep doctests fast; the paper (and our defaults) use 2048.
+//! let manufacturer = Manufacturer::new("acme-networks", 512, &mut rng)?;
+//! let mut operator = NetworkOperator::new("backbone-op", 512, &mut rng)?;
+//! operator.accept_certificate(
+//!     manufacturer.certify_operator(operator.public_key(), "backbone-op"),
+//! );
+//! let mut router = manufacturer.provision_router("edge-router-1", 4, 512, &mut rng)?;
+//!
+//! let program = programs::ipv4_forward()?;
+//! let bundle = operator.prepare_package(&program, router.public_key(), &mut rng)?;
+//! let report = router.install_bundle(&bundle, &[0, 1, 2, 3])?;
+//! assert!(report.package_bytes > 0);
+//!
+//! let packet = programs::testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"x");
+//! let (_, outcome) = router.process(&packet);
+//! assert_eq!(outcome.verdict, Verdict::Forward(2));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cert;
+pub mod entities;
+pub mod package;
+pub mod system;
+pub mod timing;
+pub mod wire;
+pub mod workload;
+
+use std::fmt;
+
+/// Errors raised while preparing or installing SDMMon packages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SdmmonError {
+    /// A cryptographic operation failed (key generation, encryption).
+    Crypto(sdmmon_crypto::CryptoError),
+    /// The certificate chain to the manufacturer did not verify (SR1).
+    CertificateInvalid,
+    /// The operator has no manufacturer certificate yet.
+    MissingCertificate,
+    /// The symmetric key could not be unwrapped — the package was built
+    /// for a different router (SR4) or corrupted in transit.
+    WrongDevice,
+    /// The package ciphertext failed to decrypt (SR3 envelope damaged).
+    DecryptionFailed,
+    /// The package signature did not verify against the certified operator
+    /// key (SR1).
+    SignatureInvalid,
+    /// The decrypted payload is not a well-formed package.
+    MalformedPackage(String),
+    /// Monitoring-graph extraction failed.
+    Graph(String),
+    /// The bundle could not be downloaded from the operator's server.
+    Download(String),
+    /// The package's anti-replay sequence did not advance (reproduction
+    /// extension — see `package::Package::sequence`).
+    ReplayedPackage {
+        /// Sequence carried by the rejected package.
+        got: u64,
+        /// Device's current high-water mark.
+        latest: u64,
+    },
+}
+
+impl fmt::Display for SdmmonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdmmonError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
+            SdmmonError::CertificateInvalid => write!(f, "operator certificate is invalid"),
+            SdmmonError::MissingCertificate => {
+                write!(f, "operator holds no manufacturer certificate")
+            }
+            SdmmonError::WrongDevice => {
+                write!(f, "package symmetric key cannot be unwrapped by this device")
+            }
+            SdmmonError::DecryptionFailed => write!(f, "package decryption failed"),
+            SdmmonError::SignatureInvalid => write!(f, "package signature is invalid"),
+            SdmmonError::MalformedPackage(why) => write!(f, "malformed package: {why}"),
+            SdmmonError::Graph(why) => write!(f, "monitoring graph error: {why}"),
+            SdmmonError::Download(why) => write!(f, "bundle download failed: {why}"),
+            SdmmonError::ReplayedPackage { got, latest } => write!(
+                f,
+                "replayed package: sequence {got} does not advance past {latest}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SdmmonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SdmmonError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<sdmmon_crypto::CryptoError> for SdmmonError {
+    fn from(e: sdmmon_crypto::CryptoError) -> SdmmonError {
+        SdmmonError::Crypto(e)
+    }
+}

@@ -1,0 +1,191 @@
+//! The SDMMon installation package and its encrypted transport bundle.
+//!
+//! Plaintext payload (paper §3.1, "at programming time"):
+//! `binary ‖ monitoring graph ‖ 32-bit hash parameter`, plus the load
+//! address our runtime needs. The payload is signed with the operator's
+//! private key and encrypted under a fresh AES key; the AES key is RSA-
+//! encrypted to one specific router.
+
+use crate::cert::Certificate;
+use crate::wire::{Reader, Writer, WireError};
+
+/// Magic bytes of the plaintext package payload.
+const PKG_MAGIC: &[u8; 4] = b"SDMP";
+
+/// The plaintext installation payload.
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_core::package::Package;
+/// use sdmmon_monitor::hash::Compression;
+///
+/// let pkg = Package {
+///     binary: vec![0x24, 0x08, 0x00, 0x05],
+///     base: 0,
+///     graph: vec![1, 2, 3],
+///     hash_param: 0xdead_beef,
+///     compression: Compression::SBox,
+///     sequence: 1,
+/// };
+/// let restored = Package::from_bytes(&pkg.to_bytes()).unwrap();
+/// assert_eq!(restored, pkg);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Package {
+    /// The processing binary image.
+    pub binary: Vec<u8>,
+    /// Load address / entry point.
+    pub base: u32,
+    /// Serialized monitoring graph (see `sdmmon_monitor::graph`).
+    pub graph: Vec<u8>,
+    /// The router-specific secret hash parameter (SR2).
+    pub hash_param: u32,
+    /// Merkle-tree compression function the graph was extracted with.
+    pub compression: sdmmon_monitor::hash::Compression,
+    /// Monotonic anti-replay counter (reproduction extension: the paper's
+    /// protocol accepts replays of old signed packages — e.g. a binary
+    /// later found vulnerable — because nothing orders packages in time).
+    pub sequence: u64,
+}
+
+impl Package {
+    /// Serializes the payload (the bytes that get signed and encrypted).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(PKG_MAGIC);
+        w.u32(self.base);
+        w.bytes(&self.binary);
+        w.bytes(&self.graph);
+        w.u32(self.hash_param);
+        w.u8(self.compression.to_id());
+        w.u32((self.sequence >> 32) as u32);
+        w.u32(self.sequence as u32);
+        w.finish()
+    }
+
+    /// Parses a decrypted payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] for bad magic, truncation, an unknown
+    /// compression id, or trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Package, WireError> {
+        let mut r = Reader::new(bytes);
+        if r.bytes()? != PKG_MAGIC {
+            return Err(WireError::new("bad package magic"));
+        }
+        let base = r.u32()?;
+        let binary = r.bytes()?.to_vec();
+        let graph = r.bytes()?.to_vec();
+        let hash_param = r.u32()?;
+        let compression = sdmmon_monitor::hash::Compression::from_id(r.u8()?)
+            .ok_or_else(|| WireError::new("unknown compression id"))?;
+        let sequence = ((r.u32()? as u64) << 32) | r.u32()? as u64;
+        r.done()?;
+        Ok(Package { binary, base, graph, hash_param, compression, sequence })
+    }
+}
+
+/// The encrypted, signed bundle that travels over the network:
+/// `{ E_Ksym(package), E_K_R⁺(Ksym), Sig_K_O⁻(package), cert }` —
+/// exactly the four elements Figure 2/3 of the paper transmit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstallationBundle {
+    /// AES-CBC ciphertext of the package payload (IV-prefixed).
+    pub ciphertext: Vec<u8>,
+    /// The AES key, RSA-encrypted to the target router (SR4).
+    pub wrapped_key: Vec<u8>,
+    /// Operator signature over the *plaintext* payload (SR1).
+    pub signature: Vec<u8>,
+    /// The operator's manufacturer-issued certificate.
+    pub certificate: Certificate,
+}
+
+impl InstallationBundle {
+    /// Serializes for publication on the operator's file server.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&self.ciphertext);
+        w.bytes(&self.wrapped_key);
+        w.bytes(&self.signature);
+        w.bytes(&self.certificate.to_bytes());
+        w.finish()
+    }
+
+    /// Parses a downloaded bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any structural damage.
+    pub fn from_bytes(bytes: &[u8]) -> Result<InstallationBundle, WireError> {
+        let mut r = Reader::new(bytes);
+        let ciphertext = r.bytes()?.to_vec();
+        let wrapped_key = r.bytes()?.to_vec();
+        let signature = r.bytes()?.to_vec();
+        let certificate = Certificate::from_bytes(r.bytes()?)?;
+        r.done()?;
+        Ok(InstallationBundle { ciphertext, wrapped_key, signature, certificate })
+    }
+
+    /// Total transport size in bytes (drives the download-time model).
+    pub fn transport_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sdmmon_crypto::rsa::RsaKeyPair;
+
+    #[test]
+    fn package_round_trip() {
+        let pkg = Package {
+            binary: (0..=255).collect(),
+            base: 0x400,
+            graph: vec![7; 100],
+            hash_param: 42,
+            compression: sdmmon_monitor::hash::Compression::SBox,
+            sequence: u64::MAX - 1,
+        };
+        assert_eq!(Package::from_bytes(&pkg.to_bytes()).unwrap(), pkg);
+    }
+
+    #[test]
+    fn package_rejects_garbage() {
+        assert!(Package::from_bytes(b"").is_err());
+        assert!(Package::from_bytes(b"\x00\x00\x00\x04XXXX").is_err(), "bad magic");
+        let pkg = Package {
+            binary: vec![1],
+            base: 0,
+            graph: vec![],
+            hash_param: 0,
+            compression: sdmmon_monitor::hash::Compression::SumMod16,
+            sequence: 0,
+        };
+        let mut bytes = pkg.to_bytes();
+        bytes.pop();
+        assert!(Package::from_bytes(&bytes).is_err());
+        let mut bytes = pkg.to_bytes();
+        bytes.push(9);
+        assert!(Package::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn bundle_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let keys = RsaKeyPair::generate(512, &mut rng).unwrap();
+        let cert = crate::cert::Certificate::issue("op", &keys.public, &keys.private);
+        let bundle = InstallationBundle {
+            ciphertext: vec![1; 48],
+            wrapped_key: vec![2; 64],
+            signature: vec![3; 64],
+            certificate: cert,
+        };
+        let restored = InstallationBundle::from_bytes(&bundle.to_bytes()).unwrap();
+        assert_eq!(restored, bundle);
+        assert_eq!(bundle.transport_size(), bundle.to_bytes().len());
+    }
+}

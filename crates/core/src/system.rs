@@ -1,0 +1,536 @@
+//! Full-system flows: secure deployment over the network, router fleets,
+//! and the homogeneity (SR2) experiment.
+//!
+//! The fleet experiment reproduces the paper's core argument against
+//! monitoring-system homogeneity: an attacker who — by brute force or
+//! device compromise — finds an instruction sequence whose hashes evade
+//! *one* router's monitor gains nothing against any other router, because
+//! every router runs a different secret hash parameter.
+//! [`craft_evasive_hijack`] plays the attacker: given one router's
+//! parameter, it searches for a hash-colliding attack packet; the bench
+//! harness then shows that packet failing across the rest of the fleet.
+
+use crate::entities::{InstallReport, Manufacturer, NetworkOperator, RouterDevice};
+use crate::package::InstallationBundle;
+use crate::SdmmonError;
+use rand::RngCore;
+use sdmmon_isa::asm::Program;
+use sdmmon_monitor::hash::Compression;
+use sdmmon_monitor::{HardwareMonitor, MerkleTreeHash, MonitoringGraph};
+use sdmmon_net::channel::{Channel, FileServer};
+use sdmmon_npu::core::Core;
+use sdmmon_npu::programs::testing::hijack_packet;
+use sdmmon_npu::runtime::{HaltReason, PacketOutcome, Verdict};
+use std::time::Duration;
+
+/// Outcome of a complete deployment (download + install).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentReport {
+    /// Modelled download duration over the channel.
+    pub download_time: Duration,
+    /// The control-processor installation report.
+    pub install: InstallReport,
+}
+
+impl DeploymentReport {
+    /// Total modelled wall-clock of the deployment (Table 2's "Total").
+    pub fn total_time(&self) -> Duration {
+        self.download_time + self.install.timing.total()
+    }
+}
+
+/// Runs the paper's end-to-end flow for one router: the operator prepares
+/// and publishes a bundle on its file server, the router downloads it over
+/// `channel` and performs the secure installation on `cores`.
+///
+/// # Errors
+///
+/// Propagates packaging, download, and verification failures; nothing is
+/// installed if any step fails.
+pub fn deploy<R: RngCore + ?Sized>(
+    operator: &NetworkOperator,
+    program: &Program,
+    router: &mut RouterDevice,
+    cores: &[usize],
+    server: &mut FileServer,
+    channel: &Channel,
+    rng: &mut R,
+) -> Result<DeploymentReport, SdmmonError> {
+    let bundle = operator.prepare_package(program, router.public_key(), rng)?;
+    let path = format!("pkg/{}.sdmmon", router.name());
+    server.publish(path.clone(), bundle.to_bytes());
+    let (bytes, download_time) = server
+        .fetch(&path, channel)
+        .map_err(|e| SdmmonError::Download(e.to_string()))?;
+    let bundle = InstallationBundle::from_bytes(&bytes)
+        .map_err(|e| SdmmonError::MalformedPackage(e.to_string()))?;
+    let install = router.install_bundle(&bundle, cores)?;
+    Ok(DeploymentReport { download_time, install })
+}
+
+/// A fleet of identical routers running the same binary — the homogeneity
+/// scenario of the paper's introduction — each with its own secret hash
+/// parameter thanks to per-router packages.
+#[derive(Debug)]
+pub struct Fleet {
+    routers: Vec<RouterDevice>,
+}
+
+impl Fleet {
+    /// Provisions `count` routers from `manufacturer`, then securely
+    /// installs `program` on all cores of each via `operator`. Every
+    /// router receives a freshly parameterized package.
+    ///
+    /// # Errors
+    ///
+    /// Propagates provisioning and installation failures.
+    pub fn deploy<R: RngCore + ?Sized>(
+        manufacturer: &Manufacturer,
+        operator: &NetworkOperator,
+        program: &Program,
+        count: usize,
+        cores_each: usize,
+        key_bits: usize,
+        rng: &mut R,
+    ) -> Result<Fleet, SdmmonError> {
+        let mut routers = Vec::with_capacity(count);
+        for i in 0..count {
+            let mut router =
+                manufacturer.provision_router(&format!("router-{i}"), cores_each, key_bits, rng)?;
+            let bundle = operator.prepare_package(program, router.public_key(), rng)?;
+            let cores: Vec<usize> = (0..cores_each).collect();
+            router.install_bundle(&bundle, &cores)?;
+            routers.push(router);
+        }
+        Ok(Fleet { routers })
+    }
+
+    /// The deployed routers.
+    pub fn routers(&self) -> &[RouterDevice] {
+        &self.routers
+    }
+
+    /// Mutable access (for processing traffic).
+    pub fn routers_mut(&mut self) -> &mut [RouterDevice] {
+        &mut self.routers
+    }
+
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// True when the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.routers.is_empty()
+    }
+
+    /// Sends the same packet to core 0 of every router (the paper's
+    /// Internet-scale attack scenario), returning the per-router outcomes.
+    pub fn broadcast(&mut self, packet: &[u8]) -> Vec<PacketOutcome> {
+        self.routers
+            .iter_mut()
+            .map(|r| r.process_on(0, packet))
+            .collect()
+    }
+}
+
+/// An attack packet crafted to evade one specific router's monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvasiveAttack {
+    /// The crafted packet bytes.
+    pub packet: Vec<u8>,
+    /// The attacker-chosen output port the hijacked core forwards to.
+    pub port: u32,
+    /// Tunable padding instructions the search inserted.
+    pub nop_layers: usize,
+    /// Monitor simulations the search spent.
+    pub search_runs: u64,
+}
+
+/// Maximum mimicry-path length (padding instructions) the attacker tries.
+const MAX_LAYERS: usize = 48;
+
+/// Plays the paper's AC2 attacker against a *known* hash parameter:
+/// constructs a stack-smashing packet (against the vulnerable forwarder)
+/// whose injected instructions all hash-collide with a valid
+/// monitoring-graph path, so the hijack completes without a violation.
+///
+/// The attack is the mimicry the paper's security analysis describes: the
+/// injected code must "match a predetermined sequence of hash values".
+/// With the parameter in hand, the attacker picks a walk through the
+/// monitoring graph — starting at the indirect-jump successor set active
+/// when the hijacked `jr $ra` retires, ending at a node whose hash equals
+/// the hash of the one *fixed* payload instruction (the verdict-writing
+/// `sw $t5, -16($s0)`; `$s0` still holds the packet ABI base at hijack
+/// time) — and then tunes a free 16-bit immediate in every padding
+/// instruction (`ori $zero, $zero, immᵢ`, an architectural no-op) plus the
+/// attacker port in `addiu $t5, $zero, port` so each injected instruction
+/// hashes exactly to its path node. Without the parameter (every other
+/// router in the fleet), each of those collisions is a 2⁻⁴ lottery —
+/// which is the SR2 experiment.
+///
+/// Returns `None` when no suitable graph walk of bounded length
+/// exists or an immediate cannot be tuned (possible for degenerate
+/// compression functions).
+///
+/// # Panics
+///
+/// Panics if `program` does not contain the vulnerable forwarder's
+/// indirect return (no `jr`-style instruction to hijack).
+pub fn craft_evasive_hijack(
+    program: &Program,
+    hash_param: u32,
+    compression: Compression,
+) -> Option<EvasiveAttack> {
+    use sdmmon_isa::{ControlFlow, Inst};
+    use sdmmon_monitor::hash::InstructionHash;
+
+    let hash = MerkleTreeHash::with_compression(hash_param, compression);
+    let graph = MonitoringGraph::extract(program, &hash).expect("program has a graph");
+    let mut runs = 0u64;
+
+    // The candidate set right after the hijacked `jr $ra` is the graph's
+    // indirect-target set: the return site after every linking call.
+    let mut start: Vec<u32> = Vec::new();
+    for (i, &word) in program.words.iter().enumerate() {
+        let pc = program.base + 4 * i as u32;
+        if let Ok(inst) = Inst::decode(word) {
+            let linking = match inst.control_flow() {
+                ControlFlow::Jump { linking, .. }
+                | ControlFlow::Indirect { linking }
+                | ControlFlow::Branch { linking, .. } => linking,
+                ControlFlow::Sequential => false,
+            };
+            if linking {
+                start.push(pc + 4);
+            }
+        }
+    }
+    assert!(!start.is_empty(), "no indirect return to hijack in this program");
+
+    // The final observed injected instruction is the verdict write
+    // (`break 0` traps before it is ever observed by the monitor). Its
+    // word is fixed once chosen, but the attacker has many semantically
+    // equivalent encodings to pick from: store width (the runtime zeroes
+    // the verdict word, so a half or byte store of the port suffices),
+    // temp register, and base register ($s0 holds the packet ABI base,
+    // $s1 the packet data base, at hijack time). Each encoding has its own
+    // hash, so at least one is almost always reachable in the graph.
+    let finals = final_store_candidates();
+
+    // BFS over the monitoring graph, keeping per-level parent maps for
+    // path reconstruction. parents[d] maps a node first reached at depth
+    // d+1 to its predecessor at depth d.
+    let mut frontiers: Vec<Vec<u32>> = vec![start.clone()];
+    let mut parents: Vec<std::collections::BTreeMap<u32, u32>> = Vec::new();
+    for _ in 0..MAX_LAYERS {
+        let frontier = frontiers.last().expect("seeded with the start set");
+        let mut next: Vec<u32> = Vec::new();
+        let mut level = std::collections::BTreeMap::new();
+        for &node in frontier {
+            let Some(n) = graph.node(node) else { continue };
+            for &s in &n.successors {
+                if let std::collections::btree_map::Entry::Vacant(e) = level.entry(s) {
+                    e.insert(node);
+                    next.push(s);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        parents.push(level);
+        frontiers.push(next);
+    }
+
+    // The run ends with `break 0`, which also retires and is observed, so
+    // the walk needs one more hop: a successor of the store's node whose
+    // hash equals the break word's hash.
+    let break_hash = hash.hash(Inst::Break { code: 0 }.encode());
+
+    // Pick the shallowest goal over all final-store encodings: a node at
+    // depth >= 1 (leaving room for the addiu hop) whose hash equals the
+    // candidate store's hash and that can be followed by a break-hash node.
+    let mut goal: Option<(usize, u32, &FinalStore)> = None;
+    #[allow(clippy::needless_range_loop)] // `depth` is the BFS depth, not a mere index
+    'outer: for depth in 1..frontiers.len() {
+        for fin in &finals {
+            let target_hash = hash.hash(fin.word);
+            runs += 1;
+            if let Some(&node) = frontiers[depth].iter().find(|&&n| {
+                graph.node(n).is_some_and(|x| {
+                    x.hash == target_hash
+                        && x.successors
+                            .iter()
+                            .any(|&s| graph.node(s).map(|y| y.hash) == Some(break_hash))
+                })
+            }) {
+                goal = Some((depth, node, fin));
+                break 'outer;
+            }
+        }
+    }
+    let (depth, goal_node, fin) = goal?;
+
+    // Reconstruct the walk: path[0] ∈ start, …, path[depth] = goal_node.
+    let mut path = vec![goal_node];
+    let mut cur = goal_node;
+    for level in (0..depth).rev() {
+        cur = parents[level][&cur];
+        path.push(cur);
+    }
+    path.reverse();
+
+    // Tune each injected instruction to its path node's hash. The walk has
+    // depth+1 nodes: nodes 0..=depth-2 are matched by tunable `ori` nops,
+    // node depth-1 by the tunable `addiu`, node depth by the final store.
+    let node_hash = |addr: u32| graph.node(addr).expect("path stays in graph").hash;
+    let mut imms: Vec<u16> = Vec::with_capacity(depth.saturating_sub(1));
+    for &node in &path[..depth - 1] {
+        let want = node_hash(node);
+        let imm = (0..=u16::MAX).find(|&imm| {
+            runs += 1;
+            hash.hash(
+                Inst::Ori { rt: sdmmon_isa::Reg::ZERO, rs: sdmmon_isa::Reg::ZERO, imm }.encode(),
+            ) == want
+        })?;
+        imms.push(imm);
+    }
+    let want_addiu = node_hash(path[depth - 1]);
+    let port = (1..=fin.max_port).find(|&port| {
+        runs += 1;
+        hash.hash(
+            Inst::Addiu { rt: fin.rt, rs: sdmmon_isa::Reg::ZERO, imm: port as i16 }.encode(),
+        ) == want_addiu
+    })?;
+
+    // Build and verify the packet against a replica of the victim.
+    let payload = evasive_payload(&imms, port, fin);
+    let packet = hijack_packet(&payload).expect("payload assembles");
+    let mut core = Core::new();
+    core.install(&program.to_bytes(), program.base);
+    let mut monitor = HardwareMonitor::new(graph.clone(), hash);
+    let out = core.process_packet(&packet, &mut monitor);
+    runs += out.steps;
+    if out.halt != HaltReason::Completed || out.verdict != Verdict::Forward(port as u32) {
+        return None;
+    }
+    Some(EvasiveAttack {
+        packet,
+        port: port as u32,
+        nop_layers: imms.len(),
+        search_runs: runs,
+    })
+}
+
+/// One way of writing the attacker's port into the verdict word.
+#[derive(Debug, Clone)]
+struct FinalStore {
+    /// The exact instruction word the monitor will observe.
+    word: u32,
+    /// Assembly rendering with a `{}` placeholder-free form.
+    asm: String,
+    /// Register the port is staged in.
+    rt: sdmmon_isa::Reg,
+    /// Largest port value the store width can carry.
+    max_port: u16,
+}
+
+/// Enumerates the semantically equivalent verdict writes available at
+/// hijack time (see [`craft_evasive_hijack`]).
+fn final_store_candidates() -> Vec<FinalStore> {
+    use sdmmon_isa::{Inst, Reg};
+    let temps = [
+        Reg::T5, Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::T4, Reg::T6, Reg::T7, Reg::T8,
+        Reg::T9, Reg::V0, Reg::V1, Reg::AT,
+    ];
+    // (base register, offset of the verdict word relative to it)
+    let bases = [(Reg::S0, -16i16), (Reg::S1, -20i16)];
+    let mut out = Vec::new();
+    for &(base, off) in &bases {
+        for &rt in &temps {
+            // Full-word store of the port.
+            out.push(FinalStore {
+                word: Inst::Sw { rt, base, offset: off }.encode(),
+                asm: format!("sw {rt}, {off}({base})"),
+                rt,
+                max_port: i16::MAX as u16,
+            });
+            // The runtime zeroes the verdict slot before each run, so a
+            // half-word store of the low half (big-endian: offset + 2) or a
+            // byte store of the low byte (offset + 3) also sets it.
+            out.push(FinalStore {
+                word: Inst::Sh { rt, base, offset: off + 2 }.encode(),
+                asm: format!("sh {rt}, {}({base})", off + 2),
+                rt,
+                max_port: i16::MAX as u16,
+            });
+            out.push(FinalStore {
+                word: Inst::Sb { rt, base, offset: off + 3 }.encode(),
+                asm: format!("sb {rt}, {}({base})", off + 3),
+                rt,
+                max_port: 255,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the tunable attack payload (see [`craft_evasive_hijack`]).
+fn evasive_payload(imms: &[u16], port: u16, fin: &FinalStore) -> String {
+    use std::fmt::Write;
+    let mut asm = String::new();
+    for imm in imms {
+        // Writes to $zero are architectural no-ops with 16 free bits.
+        let _ = writeln!(asm, "ori $zero, $zero, 0x{imm:x}");
+    }
+    // Stage the port, write the verdict, halt. At hijack time $s0 still
+    // holds PKT_LEN_ADDR and $s1 the packet data base.
+    let _ = writeln!(asm, "addiu {}, $zero, {port}", fin.rt);
+    let _ = writeln!(asm, "{}", fin.asm);
+    let _ = writeln!(asm, "break 0");
+    asm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sdmmon_npu::programs::{self, testing};
+
+    const KEY_BITS: usize = 512;
+
+    fn setup(seed: u64) -> (Manufacturer, NetworkOperator, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let manufacturer = Manufacturer::new("acme", KEY_BITS, &mut rng).unwrap();
+        let mut operator = NetworkOperator::new("op", KEY_BITS, &mut rng).unwrap();
+        operator
+            .accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));
+        (manufacturer, operator, rng)
+    }
+
+    #[test]
+    fn deploy_over_file_server() {
+        let (manufacturer, operator, mut rng) = setup(11);
+        let mut router = manufacturer.provision_router("r", 2, KEY_BITS, &mut rng).unwrap();
+        let program = programs::ipv4_forward().unwrap();
+        let mut server = FileServer::new();
+        let channel = Channel::paper_testbed();
+        let report = deploy(
+            &operator,
+            &program,
+            &mut router,
+            &[0, 1],
+            &mut server,
+            &channel,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(report.download_time > Duration::ZERO);
+        assert!(report.total_time() > report.download_time);
+        assert_eq!(server.fetches(), 1);
+        let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 4], 64, b"");
+        let (_, out) = router.process(&packet);
+        assert_eq!(out.verdict, Verdict::Forward(4));
+    }
+
+    #[test]
+    fn fleet_routers_have_distinct_parameters() {
+        let (manufacturer, operator, mut rng) = setup(12);
+        let program = programs::ipv4_forward().unwrap();
+        let fleet =
+            Fleet::deploy(&manufacturer, &operator, &program, 5, 1, KEY_BITS, &mut rng).unwrap();
+        assert_eq!(fleet.len(), 5);
+        let params: Vec<u32> = fleet
+            .routers()
+            .iter()
+            .map(|r| r.installed(0).unwrap().hash_param)
+            .collect();
+        let mut unique = params.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), params.len(), "SR2: parameters must differ: {params:?}");
+    }
+
+    #[test]
+    fn fleet_forwards_normal_traffic() {
+        let (manufacturer, operator, mut rng) = setup(13);
+        let program = programs::ipv4_forward().unwrap();
+        let mut fleet =
+            Fleet::deploy(&manufacturer, &operator, &program, 3, 1, KEY_BITS, &mut rng).unwrap();
+        let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 7], 64, b"");
+        for out in fleet.broadcast(&packet) {
+            assert_eq!(out.verdict, Verdict::Forward(7));
+        }
+    }
+
+    #[test]
+    fn evasive_attack_compromises_only_the_targeted_router() {
+        // The SR2 experiment end to end: the attacker knows router 0's
+        // parameter (AC2 / brute-force success) and crafts an evading
+        // packet; the rest of the fleet still detects it.
+        let (manufacturer, operator, mut rng) = setup(14);
+        let program = programs::vulnerable_forward().unwrap();
+        let mut fleet =
+            Fleet::deploy(&manufacturer, &operator, &program, 4, 1, KEY_BITS, &mut rng).unwrap();
+        let leaked_param = fleet.routers()[0].installed(0).unwrap().hash_param;
+
+        let attack = craft_evasive_hijack(&program, leaked_param, Compression::SBox)
+            .expect("search should find an evading packet for the leaked parameter");
+        let outcomes = fleet.broadcast(&attack.packet);
+
+        // Router 0 is silently compromised: the hijack completes and
+        // forwards to the attacker's port.
+        assert_eq!(outcomes[0].halt, HaltReason::Completed, "victim evaded");
+        assert_eq!(outcomes[0].verdict, Verdict::Forward(attack.port));
+
+        // The same packet against differently parameterized monitors must
+        // be caught (each escape needs a fresh chain of 4-bit collisions).
+        let detected = outcomes[1..]
+            .iter()
+            .filter(|o| o.halt == HaltReason::MonitorViolation)
+            .count();
+        assert!(
+            detected >= 2,
+            "at least 2 of 3 other routers detect; outcomes: {outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn evasive_search_reports_effort() {
+        let program = programs::vulnerable_forward().unwrap();
+        let attack =
+            craft_evasive_hijack(&program, 0x1234_5678, Compression::SBox).unwrap();
+        assert!(attack.search_runs > 0);
+        assert!(attack.port > 0);
+    }
+
+    #[test]
+    fn paper_sum_compression_lets_attacks_transfer() {
+        // The reproduction finding: with the paper's sum-mod-16 compression,
+        // hash collisions are parameter-independent, so the evasive packet
+        // crafted against one router compromises EVERY router. This is why
+        // the protocol layer defaults to the S-box compression.
+        let (manufacturer, mut operator, mut rng) = {
+            let (m, mut o, r) = setup(15);
+            o.set_compression(Compression::SumMod16);
+            (m, o, r)
+        };
+        let _ = &mut operator;
+        let program = programs::vulnerable_forward().unwrap();
+        let mut fleet =
+            Fleet::deploy(&manufacturer, &operator, &program, 4, 1, KEY_BITS, &mut rng).unwrap();
+        let leaked = fleet.routers()[0].installed(0).unwrap().hash_param;
+        let attack = craft_evasive_hijack(&program, leaked, Compression::SumMod16).unwrap();
+        let outcomes = fleet.broadcast(&attack.packet);
+        for (i, out) in outcomes.iter().enumerate() {
+            assert_eq!(
+                out.halt,
+                HaltReason::Completed,
+                "router {i} should be compromised under the linear compression"
+            );
+            assert_eq!(out.verdict, Verdict::Forward(attack.port));
+        }
+    }
+}

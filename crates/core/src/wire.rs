@@ -1,0 +1,222 @@
+//! Length-prefixed binary encoding shared by certificates, packages, and
+//! bundles.
+//!
+//! This *is* part of the reproduced system: the control processor parses
+//! exactly these bytes after decryption. The format is deliberately simple:
+//! big-endian fixed-width integers and `u32`-length-prefixed byte strings.
+
+use std::fmt;
+
+/// Error raised when decoding malformed wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl WireError {
+    pub(crate) fn new(reason: impl Into<String>) -> WireError {
+        WireError { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only encoder.
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_core::wire::{Reader, Writer};
+///
+/// let mut w = Writer::new();
+/// w.u32(7);
+/// w.bytes(b"abc");
+/// let buf = w.finish();
+///
+/// let mut r = Reader::new(&buf);
+/// assert_eq!(r.u32().unwrap(), 7);
+/// assert_eq!(r.bytes().unwrap(), b"abc");
+/// assert!(r.done().is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty encoder.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Appends a byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a `u32` length prefix followed by the bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Returns the encoded buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a decoder at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::new(format!(
+                "need {n} bytes at offset {}, only {} available",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when the buffer is exhausted.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation or invalid UTF-8.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::new("invalid UTF-8 string"))
+    }
+
+    /// Asserts that all input has been consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if trailing bytes remain (a tampering signal).
+    pub fn done(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::new(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = Writer::new();
+        w.u8(0xAB);
+        w.u32(0xDEAD_BEEF);
+        w.bytes(&[1, 2, 3]);
+        w.string("SDMMon");
+        w.bytes(b"");
+        let buf = w.finish();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.string().unwrap(), "SDMMon");
+        assert_eq!(r.bytes().unwrap(), b"");
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new();
+        w.bytes(&[9; 10]);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf[..8]);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn length_prefix_beyond_buffer_detected() {
+        let mut r = Reader::new(&[0xff, 0xff, 0xff, 0xff, 1, 2]);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.u8(1);
+        let mut buf = w.finish();
+        buf.push(0);
+        let mut r = Reader::new(&buf);
+        r.u8().unwrap();
+        assert!(r.done().is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = Writer::new();
+        w.bytes(&[0xff, 0xfe]);
+        let buf = w.finish();
+        assert!(Reader::new(&buf).string().is_err());
+    }
+}

@@ -1,0 +1,746 @@
+//! Arbitrary-precision unsigned integer arithmetic.
+//!
+//! The RSA operations of the SDMMon installation protocol run on 2048-bit
+//! moduli; this module provides the underlying multi-precision arithmetic:
+//! schoolbook multiplication, Knuth Algorithm D division, binary
+//! square-and-multiply modular exponentiation, and the extended Euclidean
+//! modular inverse used during key generation.
+//!
+//! Limbs are 64-bit little-endian with 128-bit intermediates.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Rem, Sub};
+
+use rand::RngCore;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// The representation is always *normalized*: no most-significant zero
+/// limbs, and zero is the empty limb vector.
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_crypto::bignum::BigUint;
+///
+/// let a = BigUint::from(0xffff_ffff_ffff_ffffu64);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), "340282366920938463426481119284349108225");
+/// assert_eq!(b.bit_len(), 128);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian 64-bit limbs; normalized (no trailing zero limbs).
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> BigUint {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> BigUint {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from little-endian limbs (normalizing trailing zeros).
+    pub fn from_limbs(mut limbs: Vec<u64>) -> BigUint {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Builds a value from big-endian bytes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_crypto::bignum::BigUint;
+    /// assert_eq!(BigUint::from_be_bytes(&[1, 0]), BigUint::from(256u64));
+    /// assert_eq!(BigUint::from_be_bytes(&[]), BigUint::zero());
+    /// ```
+    pub fn from_be_bytes(bytes: &[u8]) -> BigUint {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Serializes to minimal big-endian bytes (empty for zero).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out: Vec<u8> = self
+            .limbs
+            .iter()
+            .rev()
+            .flat_map(|l| l.to_be_bytes())
+            .collect();
+        let first_nonzero = out.iter().position(|&b| b != 0).unwrap_or(out.len());
+        out.drain(..first_nonzero);
+        out
+    }
+
+    /// Serializes to exactly `len` big-endian bytes, left-padded with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_be_bytes_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_be_bytes();
+        assert!(raw.len() <= len, "value needs {} bytes, got {len}", raw.len());
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Returns true for the value zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns true for even values (zero is even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for zero).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_crypto::bignum::BigUint;
+    /// assert_eq!(BigUint::from(0u64).bit_len(), 0);
+    /// assert_eq!(BigUint::from(255u64).bit_len(), 8);
+    /// assert_eq!(BigUint::from(256u64).bit_len(), 9);
+    /// ```
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Tests bit `i` (little-endian numbering).
+    pub fn bit(&self, i: usize) -> bool {
+        self.limbs
+            .get(i / 64)
+            .is_some_and(|l| (l >> (i % 64)) & 1 == 1)
+    }
+
+    /// Interprets the low 64 bits as a `u64` (truncating larger values).
+    pub fn low_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let (limb_shift, bit_shift) = (n / 64, n % 64);
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr(&self, n: usize) -> BigUint {
+        let (limb_shift, bit_shift) = (n / 64, n % 64);
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut limbs: Vec<u64> = self.limbs[limb_shift..].to_vec();
+        if bit_shift > 0 {
+            for i in 0..limbs.len() {
+                let hi = limbs.get(i + 1).copied().unwrap_or(0);
+                limbs[i] = (limbs[i] >> bit_shift) | (hi << (64 - bit_shift));
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    fn add_assign(&mut self, rhs: &BigUint) {
+        let mut carry = 0u64;
+        for i in 0..rhs.limbs.len().max(self.limbs.len()) {
+            if i == self.limbs.len() {
+                self.limbs.push(0);
+            }
+            let r = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = self.limbs[i].overflowing_add(r);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Subtracts `rhs`, returning `None` when the result would be negative.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_crypto::bignum::BigUint;
+    /// let five = BigUint::from(5u64);
+    /// let three = BigUint::from(3u64);
+    /// assert_eq!(five.checked_sub(&three), Some(BigUint::from(2u64)));
+    /// assert_eq!(three.checked_sub(&five), None);
+    /// ```
+    pub fn checked_sub(&self, rhs: &BigUint) -> Option<BigUint> {
+        if self < rhs {
+            return None;
+        }
+        let mut limbs = self.limbs.clone();
+        let mut borrow = 0u64;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let r = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = limb.overflowing_sub(r);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *limb = d2;
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(BigUint::from_limbs(limbs))
+    }
+
+    fn mul_impl(&self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Computes quotient and remainder simultaneously (Knuth Algorithm D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_crypto::bignum::BigUint;
+    /// let (q, r) = BigUint::from(1000u64).div_rem(&BigUint::from(33u64));
+    /// assert_eq!(q, BigUint::from(30u64));
+    /// assert_eq!(r, BigUint::from(10u64));
+    /// ```
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            return self.div_rem_limb(divisor.limbs[0]);
+        }
+
+        // Normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let mut un = self.shl(shift).limbs;
+        let vn = divisor.shl(shift).limbs;
+        let n = vn.len();
+        let m = un.len() - n;
+        un.push(0); // extra high limb for the algorithm
+
+        let mut q = vec![0u64; m + 1];
+        let v_top = vn[n - 1] as u128;
+        let v_next = vn[n - 2] as u128;
+
+        for j in (0..=m).rev() {
+            // Estimate q̂ from the top two limbs of the current remainder.
+            let numerator = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut qhat = numerator / v_top;
+            let mut rhat = numerator % v_top;
+            while qhat >> 64 != 0
+                || qhat * v_next > ((rhat << 64) | un[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v_top;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+
+            // Multiply-and-subtract: un[j..j+n+1] -= qhat * vn.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let t = un[j + i] as i128 - (p as u64) as i128 - borrow;
+                un[j + i] = t as u64;
+                borrow = i128::from(t < 0);
+            }
+            let t = un[j + n] as i128 - carry as i128 - borrow;
+            un[j + n] = t as u64;
+
+            if t < 0 {
+                // q̂ was one too large: add the divisor back.
+                qhat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let s = un[j + i] as u128 + vn[i] as u128 + carry;
+                    un[j + i] = s as u64;
+                    carry = s >> 64;
+                }
+                un[j + n] = (un[j + n] as u128).wrapping_add(carry) as u64;
+            }
+            q[j] = qhat as u64;
+        }
+
+        let quotient = BigUint::from_limbs(q);
+        let remainder = BigUint::from_limbs(un[..n].to_vec()).shr(shift);
+        (quotient, remainder)
+    }
+
+    fn div_rem_limb(&self, d: u64) -> (BigUint, BigUint) {
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (BigUint::from_limbs(q), BigUint::from(rem as u64))
+    }
+
+    /// Computes `self^exponent mod modulus` by square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_crypto::bignum::BigUint;
+    /// let r = BigUint::from(4u64).mod_pow(&BigUint::from(13u64), &BigUint::from(497u64));
+    /// assert_eq!(r, BigUint::from(445u64));
+    /// ```
+    pub fn mod_pow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "zero modulus");
+        if modulus == &BigUint::one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let mut base = self.div_rem(modulus).1;
+        for i in 0..exponent.bit_len() {
+            if exponent.bit(i) {
+                result = result.mul_impl(&base).div_rem(modulus).1;
+            }
+            if i + 1 < exponent.bit_len() {
+                base = base.mul_impl(&base).div_rem(modulus).1;
+            }
+        }
+        result
+    }
+
+    /// Computes the greatest common divisor.
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let (mut a, mut b) = (self.clone(), other.clone());
+        while !b.is_zero() {
+            let r = a.div_rem(&b).1;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Computes the modular inverse `self⁻¹ mod modulus`, or `None` when
+    /// `gcd(self, modulus) != 1`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_crypto::bignum::BigUint;
+    /// let inv = BigUint::from(3u64).mod_inv(&BigUint::from(11u64)).unwrap();
+    /// assert_eq!(inv, BigUint::from(4u64)); // 3 * 4 = 12 ≡ 1 (mod 11)
+    /// assert!(BigUint::from(4u64).mod_inv(&BigUint::from(8u64)).is_none());
+    /// ```
+    pub fn mod_inv(&self, modulus: &BigUint) -> Option<BigUint> {
+        // Extended Euclid with sign-tracked coefficients.
+        let (mut old_r, mut r) = (self.div_rem(modulus).1, modulus.clone());
+        // (value, is_negative) pairs for the Bézout coefficient of `self`.
+        let (mut old_s, mut old_s_neg) = (BigUint::one(), false);
+        let (mut s, mut s_neg) = (BigUint::zero(), false);
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+            // new_s = old_s - q * s (with explicit sign arithmetic)
+            let qs = q.mul_impl(&s);
+            let (new_s, new_neg) = signed_sub(&old_s, old_s_neg, &qs, s_neg);
+            old_s = std::mem::replace(&mut s, new_s);
+            old_s_neg = std::mem::replace(&mut s_neg, new_neg);
+        }
+        if old_r != BigUint::one() {
+            return None;
+        }
+        let inv = old_s.div_rem(modulus).1;
+        Some(if old_s_neg && !inv.is_zero() {
+            modulus.checked_sub(&inv).expect("reduced value below modulus")
+        } else {
+            inv
+        })
+    }
+
+    /// Generates a uniformly random value below `bound` (rejection
+    /// sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn random_below<R: RngCore + ?Sized>(bound: &BigUint, rng: &mut R) -> BigUint {
+        assert!(!bound.is_zero(), "empty range");
+        let bits = bound.bit_len();
+        loop {
+            let candidate = BigUint::random_bits(bits, rng);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// Generates a random value of at most `bits` bits.
+    pub fn random_bits<R: RngCore + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+        let mut limbs = vec![0u64; bits.div_ceil(64)];
+        for limb in &mut limbs {
+            *limb = rng.next_u64();
+        }
+        let extra = limbs.len() * 64 - bits;
+        if extra > 0 {
+            if let Some(top) = limbs.last_mut() {
+                *top &= u64::MAX >> extra;
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Generates a random value of *exactly* `bits` bits (top bit set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn random_exact_bits<R: RngCore + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+        assert!(bits > 0, "cannot generate zero-bit value");
+        let mut v = BigUint::random_bits(bits, rng);
+        let top = BigUint::one().shl(bits - 1);
+        if !v.bit(bits - 1) {
+            v.add_assign(&top);
+        }
+        v
+    }
+}
+
+/// Computes `(a, a_neg) - (b, b_neg)` in sign-magnitude representation.
+fn signed_sub(a: &BigUint, a_neg: bool, b: &BigUint, b_neg: bool) -> (BigUint, bool) {
+    match (a_neg, b_neg) {
+        (false, true) => (a + b, false),
+        (true, false) => (a + b, true),
+        (an, _) => match a.checked_sub(b) {
+            Some(d) => (d, an),
+            None => (b.checked_sub(a).expect("b > a here"), !an),
+        },
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> BigUint {
+        BigUint::from_limbs(vec![v])
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> BigUint {
+        BigUint::from(v as u64)
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &BigUint) -> Ordering {
+        self.limbs
+            .len()
+            .cmp(&other.limbs.len())
+            .then_with(|| self.limbs.iter().rev().cmp(other.limbs.iter().rev()))
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &BigUint) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        out
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`BigUint::checked_sub`] to handle it.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        self.mul_impl(rhs)
+    }
+}
+
+impl Rem for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+impl fmt::Display for BigUint {
+    /// Decimal representation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut v = self.clone();
+        let ten = BigUint::from(10u64);
+        while !v.is_zero() {
+            let (q, r) = v.div_rem(&ten);
+            digits.push(b'0' + r.low_u64() as u8);
+            v = q;
+        }
+        digits.reverse();
+        f.write_str(std::str::from_utf8(&digits).expect("digits are ASCII"))
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        write!(f, "{:x}", self.limbs.last().unwrap())?;
+        for l in self.limbs.iter().rev().skip(1) {
+            write!(f, "{l:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn big(s: &str) -> BigUint {
+        // Parse decimal for test readability.
+        let mut v = BigUint::zero();
+        let ten = BigUint::from(10u64);
+        for c in s.bytes() {
+            v = &(&v * &ten) + &BigUint::from((c - b'0') as u64);
+        }
+        v
+    }
+
+    #[test]
+    fn display_round_trips_decimal() {
+        let s = "123456789012345678901234567890123456789";
+        assert_eq!(big(s).to_string(), s);
+    }
+
+    #[test]
+    fn byte_round_trips() {
+        let v = big("987654321098765432109876543210");
+        assert_eq!(BigUint::from_be_bytes(&v.to_be_bytes()), v);
+        assert_eq!(BigUint::zero().to_be_bytes(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let v = BigUint::from(0x0102u64);
+        assert_eq!(v.to_be_bytes_padded(4), vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bytes")]
+    fn padded_bytes_too_small_panics() {
+        BigUint::from(0x010203u64).to_be_bytes_padded(2);
+    }
+
+    #[test]
+    fn addition_carries_across_limbs() {
+        let a = BigUint::from(u64::MAX);
+        let b = &a + &BigUint::one();
+        assert_eq!(b, BigUint::from_limbs(vec![0, 1]));
+        assert_eq!(b.bit_len(), 65);
+    }
+
+    #[test]
+    fn subtraction_borrows_across_limbs() {
+        let a = BigUint::from_limbs(vec![0, 1]);
+        assert_eq!(&a - &BigUint::one(), BigUint::from(u64::MAX));
+    }
+
+    #[test]
+    fn multiplication_known_value() {
+        let a = big("12345678901234567890");
+        let b = big("98765432109876543210");
+        assert_eq!((&a * &b).to_string(), "1219326311370217952237463801111263526900");
+    }
+
+    #[test]
+    fn division_known_values() {
+        let a = big("1219326311370217952237463801111263526900");
+        let b = big("98765432109876543210");
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.to_string(), "12345678901234567890");
+        assert!(r.is_zero());
+
+        let (q, r) = big("1000000000000000000000001").div_rem(&big("7"));
+        assert_eq!(q.to_string(), "142857142857142857142857");
+        assert_eq!(r.to_string(), "2");
+    }
+
+    #[test]
+    fn division_add_back_case() {
+        // Exercises the rare "add back" branch of Algorithm D: a dividend
+        // crafted so q̂ over-estimates.
+        let u = BigUint::from_limbs(vec![0, 0, 0x8000_0000_0000_0000]);
+        let v = BigUint::from_limbs(vec![1, 0x8000_0000_0000_0000]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = BigUint::one().div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn shifts() {
+        let v = big("123456789123456789");
+        assert_eq!(v.shl(67).shr(67), v);
+        assert_eq!(v.shl(3), &v * &BigUint::from(8u64));
+        assert_eq!(BigUint::from(1u64).shl(200).bit_len(), 201);
+        assert_eq!(v.shr(200), BigUint::zero());
+    }
+
+    #[test]
+    fn mod_pow_fermat() {
+        // Fermat's little theorem: a^(p-1) ≡ 1 (mod p) for prime p.
+        let p = big("1000000007");
+        let a = big("123456789");
+        let exp = &p - &BigUint::one();
+        assert_eq!(a.mod_pow(&exp, &p), BigUint::one());
+    }
+
+    #[test]
+    fn mod_pow_edge_cases() {
+        let m = BigUint::from(7u64);
+        assert_eq!(BigUint::from(3u64).mod_pow(&BigUint::zero(), &m), BigUint::one());
+        assert_eq!(BigUint::from(3u64).mod_pow(&BigUint::one(), &m), BigUint::from(3u64));
+        assert_eq!(BigUint::from(10u64).mod_pow(&BigUint::from(5u64), &BigUint::one()), BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_and_inverse() {
+        assert_eq!(big("48").gcd(&big("18")), big("6"));
+        let m = big("1000000007");
+        let a = big("987654321");
+        let inv = a.mod_inv(&m).unwrap();
+        assert_eq!(&(&a * &inv) % &m, BigUint::one());
+    }
+
+    #[test]
+    fn inverse_of_large_values() {
+        let m = big("170141183460469231731687303715884105727"); // 2^127 - 1, prime
+        let a = big("123456789123456789123456789");
+        let inv = a.mod_inv(&m).unwrap();
+        assert_eq!(&(&a * &inv) % &m, BigUint::one());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big("100") < big("101"));
+        assert!(BigUint::from_limbs(vec![0, 1]) > BigUint::from(u64::MAX));
+        assert_eq!(big("5").cmp(&big("5")), Ordering::Equal);
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let bound = big("1000000000000000000000");
+        for _ in 0..50 {
+            assert!(BigUint::random_below(&bound, &mut rng) < bound);
+        }
+    }
+
+    #[test]
+    fn random_exact_bits_sets_top_bit() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for bits in [1, 7, 64, 65, 257] {
+            let v = BigUint::random_exact_bits(bits, &mut rng);
+            assert_eq!(v.bit_len(), bits);
+        }
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(format!("{:x}", BigUint::zero()), "0");
+        assert_eq!(format!("{:x}", BigUint::from(0xdeadu64)), "dead");
+        assert_eq!(
+            format!("{:x}", BigUint::from_limbs(vec![0x1, 0xab])),
+            "ab0000000000000001"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! HMAC-SHA-256 (RFC 2104), used as an integrity extension for package
+//! transport experiments.
+
+use crate::sha256::{sha256, Sha256};
+
+const BLOCK: usize = 64;
+
+/// Computes HMAC-SHA-256 of `message` under `key`.
+///
+/// # Examples
+///
+/// ```
+/// let tag = sdmmon_crypto::hmac::hmac_sha256(b"key", b"message");
+/// assert_eq!(tag.len(), 32);
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        k[..32].copy_from_slice(&sha256(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-shape tag comparison (full scan regardless of mismatch point).
+pub fn verify_hmac_sha256(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+    let expect = hmac_sha256(key, message);
+    if tag.len() != expect.len() {
+        return false;
+    }
+    tag.iter().zip(expect.iter()).fold(0u8, |acc, (a, b)| acc | (a ^ b)) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_test_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        // Test case 6: 131-byte key (hashed down before padding).
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"m");
+        assert!(verify_hmac_sha256(b"k", b"m", &tag));
+        assert!(!verify_hmac_sha256(b"k", b"other", &tag));
+        assert!(!verify_hmac_sha256(b"k2", b"m", &tag));
+        assert!(!verify_hmac_sha256(b"k", b"m", &tag[..31]));
+    }
+}

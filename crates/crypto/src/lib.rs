@@ -1,0 +1,76 @@
+//! # sdmmon-crypto — cryptographic substrate for the SDMMon reproduction
+//!
+//! The DAC 2014 SDMMon prototype runs commercial-grade OpenSSL on a Nios II
+//! control processor: RSA-2048 key pairs for the three entities, a
+//! manufacturer-signed certificate, AES encryption of the installation
+//! package, and SHA-based signatures. No such library is available to this
+//! reproduction, so this crate implements the required primitives from
+//! scratch:
+//!
+//! * [`bignum::BigUint`] — arbitrary-precision unsigned arithmetic
+//!   (Knuth Algorithm D division, modular exponentiation, modular inverse)
+//! * [`prime`] — Miller–Rabin probabilistic primality and prime generation
+//! * [`rsa`] — RSA key generation, PKCS#1 v1.5 encryption and signatures
+//! * [`aes`] — AES-128/192/256 block cipher with CBC and CTR modes
+//! * [`sha256`] — SHA-256, plus [`hmac`] for HMAC-SHA-256
+//!
+//! **This is a simulation substrate, not production cryptography**: the
+//! implementations are functionally correct (validated against published
+//! test vectors) but make no constant-time claims. The paper's attacker
+//! model (AC3/AC4) explicitly excludes side channels, so this matches the
+//! fidelity the reproduction needs.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdmmon_crypto::{rsa::RsaKeyPair, sha256::sha256};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), sdmmon_crypto::CryptoError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let keys = RsaKeyPair::generate(512, &mut rng)?;
+//! let sig = keys.private.sign(b"monitoring graph");
+//! assert!(keys.public.verify(b"monitoring graph", &sig));
+//! assert_eq!(sha256(b"").len(), 32);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod aes;
+pub mod bignum;
+pub mod hmac;
+pub mod prime;
+pub mod rsa;
+pub mod sha256;
+
+use std::fmt;
+
+/// Errors produced by the cryptographic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A ciphertext or padded block had invalid structure.
+    InvalidPadding,
+    /// An input was too large for the key/modulus in use.
+    MessageTooLong,
+    /// A key parameter was structurally invalid (e.g. modulus too small).
+    InvalidKey(String),
+    /// Decryption produced data that failed an integrity check.
+    IntegrityFailure,
+    /// Prime generation exhausted its attempt budget.
+    PrimeGenerationFailed,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidPadding => write!(f, "invalid padding"),
+            CryptoError::MessageTooLong => write!(f, "message too long for key"),
+            CryptoError::InvalidKey(why) => write!(f, "invalid key: {why}"),
+            CryptoError::IntegrityFailure => write!(f, "integrity check failed"),
+            CryptoError::PrimeGenerationFailed => write!(f, "prime generation failed"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

@@ -1,0 +1,197 @@
+//! Probabilistic primality testing and prime generation for RSA key
+//! generation.
+
+use crate::bignum::BigUint;
+use crate::CryptoError;
+use rand::RngCore;
+
+/// Small primes used for fast trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Number of Miller–Rabin rounds; 2⁻⁸⁰ error bound for random candidates.
+const MILLER_RABIN_ROUNDS: usize = 40;
+
+/// Tests `n` for primality with trial division plus Miller–Rabin.
+///
+/// The result is probabilistic for composites that pass all rounds
+/// (probability ≤ 4^−rounds), exact for everything the trial division
+/// resolves.
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_crypto::{bignum::BigUint, prime::is_probable_prime};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// assert!(is_probable_prime(&BigUint::from(1000000007u64), &mut rng));
+/// assert!(!is_probable_prime(&BigUint::from(1000000008u64), &mut rng));
+/// ```
+pub fn is_probable_prime<R: RngCore + ?Sized>(n: &BigUint, rng: &mut R) -> bool {
+    if n < &BigUint::from(2u64) {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p = BigUint::from(p);
+        if n == &p {
+            return true;
+        }
+        if (n % &p).is_zero() {
+            return false;
+        }
+    }
+    miller_rabin(n, MILLER_RABIN_ROUNDS, rng)
+}
+
+/// Runs `rounds` of the Miller–Rabin witness test on odd `n > 2`.
+fn miller_rabin<R: RngCore + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    let one = BigUint::one();
+    let two = BigUint::from(2u64);
+    let n_minus_1 = n - &one;
+    // n - 1 = d * 2^s with d odd
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+    'witness: for _ in 0..rounds {
+        // a in [2, n-2]
+        let upper = match n_minus_1.checked_sub(&two) {
+            Some(u) if !u.is_zero() => u,
+            _ => return true, // n == 3
+        };
+        let a = &BigUint::random_below(&upper, rng) + &two;
+        let mut x = a.mod_pow(&d, n);
+        if x == one || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = x.mod_pow(&two, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime of exactly `bits` bits.
+///
+/// Candidates are drawn with the top bit forced (so products of two such
+/// primes have exactly `2 * bits` bits) and the low bit forced (odd).
+///
+/// # Errors
+///
+/// Returns [`CryptoError::PrimeGenerationFailed`] if no prime is found
+/// within a generous attempt budget (practically impossible for valid
+/// `bits`).
+///
+/// # Panics
+///
+/// Panics if `bits < 3`.
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_crypto::prime::generate_prime;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), sdmmon_crypto::CryptoError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let p = generate_prime(64, &mut rng)?;
+/// assert_eq!(p.bit_len(), 64);
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate_prime<R: RngCore + ?Sized>(
+    bits: usize,
+    rng: &mut R,
+) -> Result<BigUint, CryptoError> {
+    assert!(bits >= 3, "prime must have at least 3 bits");
+    // Expected gap between primes near 2^bits is ~bits * ln 2; give a very
+    // generous budget before declaring failure.
+    let budget = bits.max(8) * 64;
+    for _ in 0..budget {
+        let mut candidate = BigUint::random_exact_bits(bits, rng);
+        if candidate.is_even() {
+            candidate = &candidate + &BigUint::one();
+            if candidate.bit_len() != bits {
+                continue; // overflowed to bits+1 (candidate was all ones)
+            }
+        }
+        if is_probable_prime(&candidate, rng) {
+            return Ok(candidate);
+        }
+    }
+    Err(CryptoError::PrimeGenerationFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn small_primes_detected() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 11, 13, 251, 257, 65537] {
+            assert!(is_probable_prime(&BigUint::from(p), &mut r), "{p}");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut r = rng();
+        for c in [0u64, 1, 4, 6, 9, 15, 255, 65535, 1000000008] {
+            assert!(!is_probable_prime(&BigUint::from(c), &mut r), "{c}");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat but not Miller–Rabin.
+        let mut r = rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!is_probable_prime(&BigUint::from(c), &mut r), "{c}");
+        }
+    }
+
+    #[test]
+    fn known_large_prime() {
+        let mut r = rng();
+        // 2^127 - 1 is a Mersenne prime.
+        let p = BigUint::one().shl(127).checked_sub(&BigUint::one()).unwrap();
+        assert!(is_probable_prime(&p, &mut r));
+        // 2^128 - 1 = 3 * 5 * 17 * ... is composite.
+        let c = BigUint::one().shl(128).checked_sub(&BigUint::one()).unwrap();
+        assert!(!is_probable_prime(&c, &mut r));
+    }
+
+    #[test]
+    fn generated_primes_have_exact_bit_length() {
+        let mut r = rng();
+        for bits in [16usize, 32, 64, 128] {
+            let p = generate_prime(bits, &mut r).unwrap();
+            assert_eq!(p.bit_len(), bits);
+            assert!(!p.is_even());
+        }
+    }
+
+    #[test]
+    fn generated_primes_differ() {
+        let mut r = rng();
+        let a = generate_prime(64, &mut r).unwrap();
+        let b = generate_prime(64, &mut r).unwrap();
+        assert_ne!(a, b);
+    }
+}

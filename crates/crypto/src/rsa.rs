@@ -1,0 +1,453 @@
+//! RSA key generation, PKCS#1 v1.5 encryption, and SHA-256 signatures.
+//!
+//! The SDMMon protocol uses RSA three ways, all reproduced here:
+//!
+//! 1. the **manufacturer** signs the network operator's public key to form
+//!    the certificate installed at boot,
+//! 2. the **network operator** signs each package of binary ‖ monitoring
+//!    graph ‖ hash parameter,
+//! 3. the package's random AES key is **encrypted to the specific router's
+//!    public key** so no other device can decrypt it (security requirement
+//!    SR4).
+
+use crate::bignum::BigUint;
+use crate::prime::generate_prime;
+use crate::sha256::sha256;
+use crate::CryptoError;
+use rand::RngCore;
+
+/// The customary public exponent 65537.
+const PUBLIC_EXPONENT: u64 = 65537;
+
+/// DER prefix of the PKCS#1 v1.5 `DigestInfo` structure for SHA-256.
+const SHA256_DIGEST_INFO: [u8; 19] = [
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
+    0x05, 0x00, 0x04, 0x20,
+];
+
+/// An RSA public key `(n, e)`.
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_crypto::rsa::RsaKeyPair;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), sdmmon_crypto::CryptoError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let keys = RsaKeyPair::generate(512, &mut rng)?;
+/// let ct = keys.public.encrypt(b"aes key bytes", &mut rng)?;
+/// assert_eq!(keys.private.decrypt(&ct)?, b"aes key bytes");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RsaPublicKey {
+    n: BigUint,
+    e: BigUint,
+}
+
+/// An RSA private key with CRT parameters (`p`, `q`, `d mod p-1`,
+/// `d mod q-1`, `q⁻¹ mod p`), matching what OpenSSL — the paper's crypto
+/// stack — stores and uses: the Chinese-remainder evaluation runs two
+/// half-size exponentiations instead of one full-size one (≈4× fewer limb
+/// multiplications).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPrivateKey {
+    n: BigUint,
+    d: BigUint,
+    p: BigUint,
+    q: BigUint,
+    dp: BigUint,
+    dq: BigUint,
+    qinv: BigUint,
+    /// The matching public key, retained for convenience.
+    public: RsaPublicKey,
+}
+
+/// A freshly generated public/private key pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaKeyPair {
+    /// The shareable public half.
+    pub public: RsaPublicKey,
+    /// The secret half.
+    pub private: RsaPrivateKey,
+}
+
+impl RsaKeyPair {
+    /// Generates a key pair with a modulus of exactly `bits` bits
+    /// (`e = 65537`).
+    ///
+    /// The paper uses 2048-bit keys; tests in this repository typically use
+    /// 512-bit keys to keep wall-clock time low — the protocol code is
+    /// size-agnostic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKey`] when `bits < 128` (too small to
+    /// carry even a padded AES key) and propagates prime-generation failure.
+    pub fn generate<R: RngCore + ?Sized>(
+        bits: usize,
+        rng: &mut R,
+    ) -> Result<RsaKeyPair, CryptoError> {
+        if bits < 128 {
+            return Err(CryptoError::InvalidKey(format!(
+                "modulus of {bits} bits is too small"
+            )));
+        }
+        let e = BigUint::from(PUBLIC_EXPONENT);
+        let one = BigUint::one();
+        loop {
+            let p = generate_prime(bits / 2, rng)?;
+            let q = generate_prime(bits - bits / 2, rng)?;
+            if p == q {
+                continue;
+            }
+            let n = &p * &q;
+            if n.bit_len() != bits {
+                continue;
+            }
+            let p_1 = &p - &one;
+            let q_1 = &q - &one;
+            let phi = &p_1 * &q_1;
+            let Some(d) = e.mod_inv(&phi) else {
+                continue;
+            };
+            let Some(qinv) = q.mod_inv(&p) else {
+                continue; // cannot happen for distinct primes, but be safe
+            };
+            let dp = &d % &p_1;
+            let dq = &d % &q_1;
+            let public = RsaPublicKey { n: n.clone(), e: e.clone() };
+            let private = RsaPrivateKey { n, d, p, q, dp, dq, qinv, public: public.clone() };
+            return Ok(RsaKeyPair { public, private });
+        }
+    }
+}
+
+impl RsaPublicKey {
+    /// Reconstructs a public key from its modulus and exponent bytes
+    /// (big-endian), as carried inside certificates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKey`] for a modulus under 128 bits or a
+    /// zero/one exponent.
+    pub fn from_parts(n: &[u8], e: &[u8]) -> Result<RsaPublicKey, CryptoError> {
+        let n = BigUint::from_be_bytes(n);
+        let e = BigUint::from_be_bytes(e);
+        if n.bit_len() < 128 {
+            return Err(CryptoError::InvalidKey("modulus too small".into()));
+        }
+        if e <= BigUint::one() {
+            return Err(CryptoError::InvalidKey("exponent must exceed 1".into()));
+        }
+        Ok(RsaPublicKey { n, e })
+    }
+
+    /// The modulus as big-endian bytes.
+    pub fn modulus_bytes(&self) -> Vec<u8> {
+        self.n.to_be_bytes()
+    }
+
+    /// The public exponent as big-endian bytes.
+    pub fn exponent_bytes(&self) -> Vec<u8> {
+        self.e.to_be_bytes()
+    }
+
+    /// Modulus size in whole bytes (the RSA block size).
+    pub fn modulus_len(&self) -> usize {
+        self.n.bit_len().div_ceil(8)
+    }
+
+    /// Modulus size in bits.
+    pub fn modulus_bits(&self) -> usize {
+        self.n.bit_len()
+    }
+
+    /// Encrypts `message` with PKCS#1 v1.5 type-2 padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MessageTooLong`] when `message` exceeds
+    /// `modulus_len() - 11` bytes.
+    pub fn encrypt<R: RngCore + ?Sized>(
+        &self,
+        message: &[u8],
+        rng: &mut R,
+    ) -> Result<Vec<u8>, CryptoError> {
+        let k = self.modulus_len();
+        if message.len() + 11 > k {
+            return Err(CryptoError::MessageTooLong);
+        }
+        // EM = 0x00 || 0x02 || PS (non-zero random) || 0x00 || M
+        let mut em = Vec::with_capacity(k);
+        em.push(0x00);
+        em.push(0x02);
+        for _ in 0..k - message.len() - 3 {
+            em.push(loop {
+                let b = (rng.next_u32() & 0xff) as u8;
+                if b != 0 {
+                    break b;
+                }
+            });
+        }
+        em.push(0x00);
+        em.extend_from_slice(message);
+        let m = BigUint::from_be_bytes(&em);
+        let c = m.mod_pow(&self.e, &self.n);
+        Ok(c.to_be_bytes_padded(k))
+    }
+
+    /// Verifies a PKCS#1 v1.5 SHA-256 signature over `message`.
+    ///
+    /// Returns `false` (never an error) for any malformed or mismatched
+    /// signature, so callers cannot distinguish failure modes.
+    pub fn verify(&self, message: &[u8], signature: &[u8]) -> bool {
+        if signature.len() != self.modulus_len() {
+            return false;
+        }
+        let s = BigUint::from_be_bytes(signature);
+        if s >= self.n {
+            return false;
+        }
+        let em = s.mod_pow(&self.e, &self.n).to_be_bytes_padded(self.modulus_len());
+        em == expected_signature_em(message, self.modulus_len())
+    }
+}
+
+impl RsaPrivateKey {
+    /// The matching public key.
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// The private-key operation `c^d mod n`, evaluated via the Chinese
+    /// Remainder Theorem (two half-size exponentiations recombined with
+    /// Garner's formula), exactly as OpenSSL does it.
+    fn private_op(&self, c: &BigUint) -> BigUint {
+        let m1 = c.mod_pow(&self.dp, &self.p);
+        let m2 = c.mod_pow(&self.dq, &self.q);
+        // h = qinv * (m1 - m2) mod p, with the subtraction lifted into p's
+        // residue ring.
+        let m2_mod_p = &m2 % &self.p;
+        let diff = match m1.checked_sub(&m2_mod_p) {
+            Some(d) => d,
+            None => &(&m1 + &self.p) - &m2_mod_p,
+        };
+        let h = &(&self.qinv * &diff) % &self.p;
+        &m2 + &(&h * &self.q)
+    }
+
+    /// Slow reference evaluation of the private operation (no CRT), used
+    /// by tests to cross-check [`RsaPrivateKey::private_op`].
+    #[doc(hidden)]
+    pub fn private_op_plain(&self, c: &BigUint) -> BigUint {
+        c.mod_pow(&self.d, &self.n)
+    }
+
+    #[doc(hidden)]
+    pub fn private_op_crt(&self, c: &BigUint) -> BigUint {
+        self.private_op(c)
+    }
+
+    /// Decrypts a PKCS#1 v1.5 type-2 ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidPadding`] for wrong-length ciphertexts
+    /// or malformed padding (including ciphertexts produced for a different
+    /// key — this is exactly how SR4 manifests at the crypto layer).
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let k = self.public.modulus_len();
+        if ciphertext.len() != k {
+            return Err(CryptoError::InvalidPadding);
+        }
+        let c = BigUint::from_be_bytes(ciphertext);
+        if c >= self.n {
+            return Err(CryptoError::InvalidPadding);
+        }
+        let em = self.private_op(&c).to_be_bytes_padded(k);
+        if em[0] != 0x00 || em[1] != 0x02 {
+            return Err(CryptoError::InvalidPadding);
+        }
+        let sep = em[2..]
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or(CryptoError::InvalidPadding)?;
+        if sep < 8 {
+            // PS must be at least 8 bytes.
+            return Err(CryptoError::InvalidPadding);
+        }
+        Ok(em[sep + 3..].to_vec())
+    }
+
+    /// Produces a PKCS#1 v1.5 SHA-256 signature over `message`
+    /// (deterministic).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_crypto::rsa::RsaKeyPair;
+    /// use rand::SeedableRng;
+    ///
+    /// # fn main() -> Result<(), sdmmon_crypto::CryptoError> {
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    /// let keys = RsaKeyPair::generate(512, &mut rng)?;
+    /// let sig = keys.private.sign(b"package");
+    /// assert!(keys.public.verify(b"package", &sig));
+    /// assert!(!keys.public.verify(b"tampered", &sig));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn sign(&self, message: &[u8]) -> Vec<u8> {
+        let k = self.public.modulus_len();
+        let em = expected_signature_em(message, k);
+        let m = BigUint::from_be_bytes(&em);
+        self.private_op(&m).to_be_bytes_padded(k)
+    }
+}
+
+/// Builds the type-1 encoded message `0x00 01 FF… 00 DigestInfo digest`.
+fn expected_signature_em(message: &[u8], k: usize) -> Vec<u8> {
+    let digest = sha256(message);
+    let t_len = SHA256_DIGEST_INFO.len() + digest.len();
+    assert!(k >= t_len + 11, "modulus too small for SHA-256 signature");
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x01);
+    em.extend(std::iter::repeat_n(0xff, k - t_len - 3));
+    em.push(0x00);
+    em.extend_from_slice(&SHA256_DIGEST_INFO);
+    em.extend_from_slice(&digest);
+    em
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xBEEF)
+    }
+
+    fn keys(bits: usize) -> RsaKeyPair {
+        RsaKeyPair::generate(bits, &mut rng()).unwrap()
+    }
+
+    #[test]
+    fn modulus_has_requested_bits() {
+        for bits in [128usize, 256, 512] {
+            let k = keys(bits);
+            assert_eq!(k.public.modulus_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let k = keys(512);
+        let mut r = rng();
+        for msg in [&b""[..], b"x", b"a 32-byte AES-256 session key!!!"] {
+            let ct = k.public.encrypt(msg, &mut r).unwrap();
+            assert_eq!(ct.len(), 64);
+            assert_eq!(k.private.decrypt(&ct).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let k = keys(512);
+        let mut r = rng();
+        let a = k.public.encrypt(b"same message", &mut r).unwrap();
+        let b = k.public.encrypt(b"same message", &mut r).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let k = keys(256);
+        let msg = vec![1u8; 32 - 11 + 1];
+        assert_eq!(k.public.encrypt(&msg, &mut rng()), Err(CryptoError::MessageTooLong));
+    }
+
+    #[test]
+    fn decrypt_for_wrong_key_fails() {
+        let alice = keys(512);
+        let eve = RsaKeyPair::generate(512, &mut rand::rngs::StdRng::seed_from_u64(99)).unwrap();
+        let ct = alice.public.encrypt(b"secret", &mut rng()).unwrap();
+        // SR4 at the crypto layer: another device's key cannot decrypt.
+        assert!(eve.private.decrypt(&ct).is_err());
+    }
+
+    #[test]
+    fn signature_round_trip_and_tamper() {
+        let k = keys(512);
+        let sig = k.private.sign(b"binary || graph || param");
+        assert!(k.public.verify(b"binary || graph || param", &sig));
+        assert!(!k.public.verify(b"binary || graph || pwned", &sig));
+        let mut bad = sig.clone();
+        bad[10] ^= 0x40;
+        assert!(!k.public.verify(b"binary || graph || param", &bad));
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let k = keys(512);
+        assert_eq!(k.private.sign(b"m"), k.private.sign(b"m"));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_length_and_overflow() {
+        let k = keys(512);
+        let sig = k.private.sign(b"m");
+        assert!(!k.public.verify(b"m", &sig[1..]));
+        let too_big = k.public.modulus_bytes(); // n itself, >= n
+        assert!(!k.public.verify(b"m", &too_big));
+    }
+
+    #[test]
+    fn public_key_from_parts_round_trip() {
+        let k = keys(256);
+        let rebuilt =
+            RsaPublicKey::from_parts(&k.public.modulus_bytes(), &k.public.exponent_bytes())
+                .unwrap();
+        assert_eq!(rebuilt, k.public);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(RsaPublicKey::from_parts(&[1, 2, 3], &[1, 0, 1]).is_err());
+        let k = keys(256);
+        assert!(RsaPublicKey::from_parts(&k.public.modulus_bytes(), &[1]).is_err());
+    }
+
+    #[test]
+    fn tiny_modulus_rejected() {
+        assert!(matches!(
+            RsaKeyPair::generate(64, &mut rng()),
+            Err(CryptoError::InvalidKey(_))
+        ));
+    }
+
+    #[test]
+    fn crt_matches_plain_exponentiation() {
+        let k = keys(512);
+        let mut r = rng();
+        for _ in 0..10 {
+            let c = BigUint::random_below(
+                &BigUint::from_be_bytes(&k.public.modulus_bytes()),
+                &mut r,
+            );
+            assert_eq!(k.private.private_op_crt(&c), k.private.private_op_plain(&c));
+        }
+    }
+
+    #[test]
+    fn cross_key_signature_rejected() {
+        let a = keys(512);
+        let b = RsaKeyPair::generate(512, &mut rand::rngs::StdRng::seed_from_u64(1234)).unwrap();
+        let sig = a.private.sign(b"msg");
+        assert!(!b.public.verify(b"msg", &sig));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the cryptographic substrate: algebraic laws of
+//! the big-integer arithmetic and round-trip laws of the ciphers.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use sdmmon_crypto::aes::Aes;
+use sdmmon_crypto::bignum::BigUint;
+use sdmmon_crypto::hmac::{hmac_sha256, verify_hmac_sha256};
+use sdmmon_crypto::sha256::{sha256, Sha256};
+
+fn arb_biguint(max_bytes: usize) -> impl Strategy<Value = BigUint> {
+    prop::collection::vec(any::<u8>(), 0..=max_bytes).prop_map(|b| BigUint::from_be_bytes(&b))
+}
+
+proptest! {
+    #[test]
+    fn bytes_round_trip(a in arb_biguint(40)) {
+        prop_assert_eq!(BigUint::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn addition_commutes(a in arb_biguint(32), b in arb_biguint(32)) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_then_sub_is_identity(a in arb_biguint(32), b in arb_biguint(32)) {
+        prop_assert_eq!((&a + &b).checked_sub(&b), Some(a));
+    }
+
+    #[test]
+    fn multiplication_commutes_and_distributes(
+        a in arb_biguint(24),
+        b in arb_biguint(24),
+        c in arb_biguint(24),
+    ) {
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    /// Division invariant: a = q*b + r with r < b.
+    #[test]
+    fn div_rem_invariant(a in arb_biguint(48), b in arb_biguint(24)) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shifts_are_inverse(a in arb_biguint(32), n in 0usize..200) {
+        prop_assert_eq!(a.shl(n).shr(n), a);
+    }
+
+    #[test]
+    fn shl_is_multiplication_by_power_of_two(a in arb_biguint(16), n in 0usize..64) {
+        prop_assert_eq!(a.shl(n), &a * &BigUint::from(1u64 << n.min(63)).shl(n.saturating_sub(63)));
+    }
+
+    /// mod_pow agrees with naive repeated multiplication for small exponents.
+    #[test]
+    fn mod_pow_matches_naive(a in arb_biguint(8), e in 0u32..24, m in arb_biguint(8)) {
+        prop_assume!(!m.is_zero());
+        let fast = a.mod_pow(&BigUint::from(e), &m);
+        let mut naive = &BigUint::one() % &m;
+        for _ in 0..e {
+            naive = &(&naive * &a) % &m;
+        }
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// (a^x)^y == a^(x*y) mod m — the identity RSA correctness rests on.
+    #[test]
+    fn mod_pow_exponent_product(a in arb_biguint(8), x in 1u32..12, y in 1u32..12, m in arb_biguint(8)) {
+        prop_assume!(!m.is_zero());
+        let lhs = a.mod_pow(&BigUint::from(x), &m).mod_pow(&BigUint::from(y), &m);
+        let rhs = a.mod_pow(&BigUint::from(x as u64 * y as u64), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Modular inverse really inverts when it exists.
+    #[test]
+    fn mod_inv_inverts(a in arb_biguint(16), m in arb_biguint(16)) {
+        prop_assume!(m > BigUint::one());
+        if let Some(inv) = a.mod_inv(&m) {
+            prop_assert_eq!(&(&a * &inv) % &m, BigUint::one());
+            prop_assert!(inv < m);
+        } else {
+            prop_assert_ne!(a.gcd(&m), BigUint::one());
+        }
+    }
+
+    /// AES block encrypt/decrypt are inverse for all key sizes.
+    #[test]
+    fn aes_block_round_trip(
+        key_sel in 0usize..3,
+        key_bytes in any::<[u8; 32]>(),
+        block in any::<[u8; 16]>(),
+    ) {
+        let key = &key_bytes[..[16, 24, 32][key_sel]];
+        let aes = Aes::new(key).unwrap();
+        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(block)), block);
+    }
+
+    /// CBC round trip for arbitrary plaintext lengths.
+    #[test]
+    fn aes_cbc_round_trip(key_sel in 0usize..3, pt in prop::collection::vec(any::<u8>(), 0..300), seed in any::<u64>()) {
+        let key = vec![0x42u8; [16, 24, 32][key_sel]];
+        let aes = Aes::new(&key).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ct = aes.encrypt_cbc(&pt, &mut rng);
+        prop_assert_eq!(aes.decrypt_cbc(&ct).unwrap(), pt);
+    }
+
+    /// CTR is a self-inverse keystream.
+    #[test]
+    fn aes_ctr_involution(counter in any::<[u8; 16]>(), data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let aes = Aes::new(&[1u8; 16]).unwrap();
+        let once = aes.apply_ctr(counter, &data);
+        prop_assert_eq!(aes.apply_ctr(counter, &once), data);
+    }
+
+    /// Incremental hashing equals one-shot for any split.
+    #[test]
+    fn sha256_incremental(data in prop::collection::vec(any::<u8>(), 0..500), split in any::<prop::sample::Index>()) {
+        let at = split.index(data.len() + 1);
+        let mut h = Sha256::new();
+        h.update(&data[..at]);
+        h.update(&data[at..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// HMAC verify accepts its own tags and rejects single-byte corruption.
+    #[test]
+    fn hmac_verify_laws(key in prop::collection::vec(any::<u8>(), 0..100), msg in prop::collection::vec(any::<u8>(), 0..100), corrupt in any::<prop::sample::Index>()) {
+        let tag = hmac_sha256(&key, &msg);
+        prop_assert!(verify_hmac_sha256(&key, &msg, &tag));
+        let mut bad = tag;
+        bad[corrupt.index(32)] ^= 0x01;
+        prop_assert!(!verify_hmac_sha256(&key, &msg, &bad));
+    }
+}

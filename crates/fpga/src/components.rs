@@ -1,0 +1,224 @@
+//! Structural descriptions of the paper's hardware subsystems.
+//!
+//! Two levels of fidelity coexist, as documented in DESIGN.md:
+//!
+//! * the **hash circuits** (Table 3) are built primitive-by-primitive from
+//!   their published structure — a tree of fifteen 4-bit compression adders
+//!   for the Merkle hash, an adder tree for the bitcount baseline;
+//! * the **processor cores** (Table 1) use calibrated
+//!   [`Primitive::LogicBlock`] constants per architectural block, because
+//!   the paper gives only Quartus totals. The split across blocks follows
+//!   the usual proportions of soft-core synthesis reports; the totals land
+//!   within a fraction of a percent of Table 1, and — more importantly —
+//!   the *ratio* between the subsystems is preserved.
+
+use crate::model::{Component, Primitive};
+
+/// The paper's parameterizable Merkle-tree hash circuit (Figure 4, Table 3).
+///
+/// Fifteen 8→4-bit compression nodes (eight leaves, four mid, two upper,
+/// one root), each a 4-bit adder; a 4-bit output register; and a 32-bit
+/// parameter store in memory (the reason Table 3 shows 32 memory bits for
+/// this design and none for the bitcount hash).
+///
+/// # Examples
+///
+/// ```
+/// let r = sdmmon_fpga::components::merkle_hash_circuit().resources();
+/// assert_eq!(r.memory_bits, 32);
+/// ```
+pub fn merkle_hash_circuit() -> Component {
+    Component::new("merkle_tree_hash")
+        .with_child(
+            Component::new("compression_tree")
+                // 8 leaf + 4 + 2 + 1 nodes, each an 8-to-4-bit compressor
+                // implemented as a 4-bit adder.
+                .with_primitives(Primitive::Adder(4), 15),
+        )
+        .with_child(
+            Component::new("parameter_store")
+                // The per-router secret parameter, loaded at install time.
+                .with_primitive(Primitive::Ram(32)),
+        )
+        .with_child(
+            Component::new("output_stage")
+                .with_primitive(Primitive::Register(4))
+                // Hash-vs-graph equality check.
+                .with_primitive(Primitive::Comparator(4)),
+        )
+}
+
+/// The conventional bitcount hash circuit of Table 3: a 32-bit population
+/// count (adder tree), fold logic, output register, comparator. No
+/// parameter, hence zero memory bits.
+pub fn bitcount_hash_circuit() -> Component {
+    Component::new("bitcount_hash")
+        .with_child(Component::new("popcount_tree").with_primitive(Primitive::Popcount(32)))
+        .with_child(
+            Component::new("fold_stage")
+                // 6-bit count folded to 4 bits (xor of high part into low).
+                .with_primitive(Primitive::Adder(4)),
+        )
+        .with_child(
+            Component::new("output_stage")
+                .with_primitive(Primitive::Register(4))
+                .with_primitive(Primitive::Comparator(4)),
+        )
+}
+
+/// A PLASMA-class network-processor core with its hardware monitor
+/// (Table 1, right column).
+///
+/// Structure: the MIPS core (register file, pipeline, ALU/shifter,
+/// multiply/divide, control), 256 KiB of processor memory, the packet I/O
+/// interface, and the monitor subsystem (hash circuit, comparison logic,
+/// candidate tracking, and 96 KiB of monitoring-graph memory).
+pub fn np_core_with_monitor() -> Component {
+    let plasma = Component::new("plasma_mips_core")
+        .with_child(
+            Component::new("register_file")
+                // 32 × 32-bit architectural registers in FFs.
+                .with_primitive(Primitive::Register(1024))
+                .with_primitive(Primitive::Mux { width: 32, inputs: 32 }),
+        )
+        .with_child(
+            Component::new("alu_shifter")
+                .with_primitive(Primitive::Adder(32))
+                // Barrel shifter: 5 mux stages of 32 bits.
+                .with_primitives(Primitive::Mux { width: 32, inputs: 2 }, 5)
+                .with_primitive(Primitive::LogicBlock { luts: 900, ffs: 0 }),
+        )
+        .with_child(
+            Component::new("muldiv_unit")
+                .with_primitive(Primitive::LogicBlock { luts: 2_600, ffs: 160 }),
+        )
+        .with_child(
+            Component::new("pipeline_and_control")
+                // Calibrated against the paper's Quartus totals.
+                .with_primitive(Primitive::LogicBlock { luts: 21_100, ffs: 21_900 }),
+        );
+    let monitor = Component::new("hardware_monitor")
+        .with_child(merkle_hash_circuit())
+        .with_child(
+            Component::new("graph_walker")
+                // Candidate tracking, successor fetch, violation FSM.
+                .with_primitive(Primitive::LogicBlock { luts: 9_800, ffs: 9_200 }),
+        )
+        .with_child(
+            Component::new("monitor_memory")
+                // Monitoring-graph store: 96 KiB.
+                .with_primitive(Primitive::Ram(96 * 1024 * 8)),
+        );
+    Component::new("np_core_with_monitor")
+        .with_child(plasma)
+        .with_child(
+            Component::new("packet_interface")
+                .with_primitive(Primitive::LogicBlock { luts: 6_100, ffs: 8_300 }),
+        )
+        .with_child(
+            Component::new("processor_memory")
+                // 256 KiB instruction + packet memory.
+                .with_primitive(Primitive::Ram(256 * 1024 * 8)),
+        )
+        .with_child(monitor)
+}
+
+/// The Nios II control processor subsystem (Table 1, middle column): CPU,
+/// caches, and the peripherals needed for secure download (Ethernet MAC,
+/// timers, UART).
+pub fn nios_control_processor() -> Component {
+    Component::new("nios_ii_control_processor")
+        .with_child(
+            Component::new("nios_ii_cpu")
+                .with_primitive(Primitive::LogicBlock { luts: 9_100, ffs: 10_900 }),
+        )
+        .with_child(
+            Component::new("caches_and_tcm")
+                // 32 KiB I-cache + 32 KiB D-cache + tag/buffer bits,
+                // matching the paper's 571,976 memory bits.
+                .with_primitive(Primitive::Ram(32 * 1024 * 8))
+                .with_primitive(Primitive::Ram(32 * 1024 * 8))
+                .with_primitive(Primitive::Ram(47_688)),
+        )
+        .with_child(
+            Component::new("peripherals")
+                // Ethernet MAC, timers, UART, JTAG.
+                .with_primitive(Primitive::LogicBlock { luts: 4_350, ffs: 5_950 }),
+        )
+}
+
+/// The full DE4 prototype system of Figure 5: a monitored NP core plus the
+/// control processor.
+pub fn prototype_system() -> Component {
+    Component::new("de4_prototype")
+        .with_child(np_core_with_monitor())
+        .with_child(nios_control_processor())
+}
+
+/// DE4 / Stratix IV EP4SGX230 device capacity, for utilization reporting
+/// (the "Available on FPGA" column of Table 1).
+pub fn de4_capacity() -> crate::Resources {
+    crate::Resources { luts: 182_400, ffs: 182_400, memory_bits: 14_625_792 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_circuits_match_table3_shape() {
+        let merkle = merkle_hash_circuit().resources();
+        let bitcount = bitcount_hash_circuit().resources();
+        // The text: "Our Merkle tree hash requires less logic, but requires
+        // memory to store the parameter, whereas the bitcount hash does not
+        // require memory."
+        assert!(merkle.luts < bitcount.luts, "{} vs {}", merkle.luts, bitcount.luts);
+        assert_eq!(merkle.memory_bits, 32);
+        assert_eq!(bitcount.memory_bits, 0);
+        // Both are tiny (double-digit LUTs in the paper).
+        assert!(merkle.luts < 100 && bitcount.luts < 100);
+    }
+
+    #[test]
+    fn table1_totals_close_to_paper() {
+        let np = np_core_with_monitor().resources();
+        let ctrl = nios_control_processor().resources();
+        let close = |ours: u64, paper: u64| {
+            let rel = (ours as f64 - paper as f64).abs() / paper as f64;
+            rel < 0.05
+        };
+        assert!(close(np.luts, 41_735), "np luts {}", np.luts);
+        assert!(close(np.ffs, 40_590), "np ffs {}", np.ffs);
+        assert!(close(np.memory_bits, 2_883_088), "np membits {}", np.memory_bits);
+        assert!(close(ctrl.luts, 13_477), "ctrl luts {}", ctrl.luts);
+        assert!(close(ctrl.ffs, 16_899), "ctrl ffs {}", ctrl.ffs);
+        assert!(close(ctrl.memory_bits, 571_976), "ctrl membits {}", ctrl.memory_bits);
+    }
+
+    #[test]
+    fn control_processor_is_about_a_third() {
+        // "The control processor ... is only about one third the size of a
+        // network processor core with hardware monitor."
+        let np = np_core_with_monitor().resources();
+        let ctrl = nios_control_processor().resources();
+        let ratio = ctrl.luts as f64 / np.luts as f64;
+        assert!((0.25..0.45).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn system_fits_the_de4() {
+        let sys = prototype_system().resources();
+        let cap = de4_capacity();
+        assert!(sys.luts < cap.luts);
+        assert!(sys.ffs < cap.ffs);
+        assert!(sys.memory_bits < cap.memory_bits);
+    }
+
+    #[test]
+    fn report_renders_hierarchy() {
+        let report = prototype_system().report();
+        assert!(report.contains("hardware_monitor"));
+        assert!(report.contains("merkle_tree_hash"));
+        assert!(report.contains("nios_ii_cpu"));
+    }
+}

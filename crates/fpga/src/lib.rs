@@ -1,0 +1,37 @@
+//! # sdmmon-fpga — FPGA resource model
+//!
+//! The paper reports synthesis results on an Altera Stratix IV (DE4 board):
+//! Table 1 compares the Nios II control processor against a network-
+//! processor core with hardware monitor, and Table 3 compares the two hash
+//! circuit implementations. Without the FPGA toolchain, this crate supplies
+//! the substitution documented in DESIGN.md: a structural resource
+//! estimator.
+//!
+//! * [`model`] — `Resources { luts, ffs, memory_bits }`, primitive cost
+//!   rules, and hierarchical [`model::Component`] trees
+//! * [`components`] — structural descriptions of the paper's subsystems,
+//!   with primitive counts derived from the architecture (hash trees,
+//!   register files, memories) and block-level constants calibrated once
+//!   against the paper's Quartus numbers
+//!
+//! The estimator preserves the *shape* of the paper's tables: the control
+//! processor is about a third of a monitored NP core, and the Merkle-tree
+//! hash trades a few LUTs for a 32-bit parameter memory relative to the
+//! bitcount baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdmmon_fpga::components;
+//!
+//! let monitor_core = components::np_core_with_monitor().resources();
+//! let control = components::nios_control_processor().resources();
+//! // Table 1's headline: control processor ≈ 1/3 of the monitored core.
+//! let ratio = control.luts as f64 / monitor_core.luts as f64;
+//! assert!((0.25..0.45).contains(&ratio));
+//! ```
+
+pub mod components;
+pub mod model;
+
+pub use model::{Component, Primitive, Resources};

@@ -1,0 +1,238 @@
+//! Resource accounting: primitives, cost rules, and component trees.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// FPGA resource usage in the three quantities the paper's tables report.
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_fpga::Resources;
+/// let a = Resources { luts: 10, ffs: 4, memory_bits: 32 };
+/// let b = Resources { luts: 5, ffs: 0, memory_bits: 0 };
+/// assert_eq!((a + b).luts, 15);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Resources {
+    /// Combinational look-up tables (4-input LUT equivalents).
+    pub luts: u64,
+    /// Flip-flops / registers.
+    pub ffs: u64,
+    /// Dedicated memory bits (block RAM / MLAB).
+    pub memory_bits: u64,
+}
+
+impl Resources {
+    /// The zero usage.
+    pub const ZERO: Resources = Resources { luts: 0, ffs: 0, memory_bits: 0 };
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            memory_bits: self.memory_bits + rhs.memory_bits,
+        }
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} LUTs, {} FFs, {} memory bits", self.luts, self.ffs, self.memory_bits)
+    }
+}
+
+/// A hardware primitive with an analytic cost rule.
+///
+/// Cost rules are 4-input-LUT-style estimates:
+///
+/// | primitive | LUTs | FFs | memory bits |
+/// |---|---|---|---|
+/// | `Adder(n)` | n | 0 | 0 |
+/// | `Register(n)` | 0 | n | 0 |
+/// | `Comparator(n)` | ⌈n/2⌉ | 0 | 0 |
+/// | `Mux { width, inputs }` | width·(inputs−1) | 0 | 0 |
+/// | `Popcount(n)` | 2n | 0 | 0 |
+/// | `Ram(bits)` | 0 | 0 | bits |
+/// | `LogicBlock { luts, ffs }` | luts | ffs | 0 |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Primitive {
+    /// Ripple/carry adder of `n` bits.
+    Adder(u64),
+    /// `n`-bit register.
+    Register(u64),
+    /// Equality comparator over `n` bits.
+    Comparator(u64),
+    /// `inputs`-to-1 multiplexer of `width` bits.
+    Mux {
+        /// Data width in bits.
+        width: u64,
+        /// Number of selectable inputs.
+        inputs: u64,
+    },
+    /// Population count over `n` input bits (adder tree).
+    Popcount(u64),
+    /// Block memory of `bits` bits.
+    Ram(u64),
+    /// A pre-characterized logic block (calibrated constant — used for
+    /// processor cores whose per-gate structure is out of scope).
+    LogicBlock {
+        /// Combinational cost.
+        luts: u64,
+        /// Register cost.
+        ffs: u64,
+    },
+}
+
+impl Primitive {
+    /// Evaluates the cost rule.
+    pub fn resources(self) -> Resources {
+        match self {
+            Primitive::Adder(n) => Resources { luts: n, ..Resources::ZERO },
+            Primitive::Register(n) => Resources { ffs: n, ..Resources::ZERO },
+            Primitive::Comparator(n) => Resources { luts: n.div_ceil(2), ..Resources::ZERO },
+            Primitive::Mux { width, inputs } => Resources {
+                luts: width * inputs.saturating_sub(1),
+                ..Resources::ZERO
+            },
+            Primitive::Popcount(n) => Resources { luts: 2 * n, ..Resources::ZERO },
+            Primitive::Ram(bits) => Resources { memory_bits: bits, ..Resources::ZERO },
+            Primitive::LogicBlock { luts, ffs } => Resources { luts, ffs, memory_bits: 0 },
+        }
+    }
+}
+
+/// A named subtree of the design hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_fpga::{Component, Primitive};
+///
+/// let alu = Component::new("alu")
+///     .with_primitive(Primitive::Adder(32))
+///     .with_primitive(Primitive::Register(32));
+/// let top = Component::new("top").with_child(alu);
+/// assert_eq!(top.resources().luts, 32);
+/// assert_eq!(top.resources().ffs, 32);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    name: String,
+    primitives: Vec<Primitive>,
+    children: Vec<Component>,
+}
+
+impl Component {
+    /// Creates an empty component.
+    pub fn new(name: impl Into<String>) -> Component {
+        Component { name: name.into(), primitives: Vec::new(), children: Vec::new() }
+    }
+
+    /// Adds a primitive (builder style).
+    pub fn with_primitive(mut self, p: Primitive) -> Component {
+        self.primitives.push(p);
+        self
+    }
+
+    /// Adds `count` copies of a primitive.
+    pub fn with_primitives(mut self, p: Primitive, count: usize) -> Component {
+        self.primitives.extend(std::iter::repeat_n(p, count));
+        self
+    }
+
+    /// Adds a child component.
+    pub fn with_child(mut self, child: Component) -> Component {
+        self.children.push(child);
+        self
+    }
+
+    /// The component's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Child components.
+    pub fn children(&self) -> &[Component] {
+        &self.children
+    }
+
+    /// Total resources of this subtree.
+    pub fn resources(&self) -> Resources {
+        self.primitives.iter().map(|p| p.resources()).sum::<Resources>()
+            + self.children.iter().map(Component::resources).sum::<Resources>()
+    }
+
+    /// Renders an indented utilization report, one line per component.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        self.report_into(&mut out, 0);
+        out
+    }
+
+    fn report_into(&self, out: &mut String, depth: usize) {
+        use fmt::Write;
+        let r = self.resources();
+        let _ = writeln!(out, "{:indent$}{:<28} {}", "", self.name, r, indent = depth * 2);
+        for c in &self.children {
+            c.report_into(out, depth + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_cost_rules() {
+        assert_eq!(Primitive::Adder(4).resources().luts, 4);
+        assert_eq!(Primitive::Register(16).resources().ffs, 16);
+        assert_eq!(Primitive::Comparator(4).resources().luts, 2);
+        assert_eq!(Primitive::Comparator(5).resources().luts, 3);
+        assert_eq!(Primitive::Mux { width: 8, inputs: 4 }.resources().luts, 24);
+        assert_eq!(Primitive::Mux { width: 8, inputs: 1 }.resources().luts, 0);
+        assert_eq!(Primitive::Popcount(32).resources().luts, 64);
+        assert_eq!(Primitive::Ram(1024).resources().memory_bits, 1024);
+        let block = Primitive::LogicBlock { luts: 100, ffs: 50 }.resources();
+        assert_eq!((block.luts, block.ffs), (100, 50));
+    }
+
+    #[test]
+    fn resources_sum() {
+        let total: Resources = [
+            Resources { luts: 1, ffs: 2, memory_bits: 3 },
+            Resources { luts: 10, ffs: 20, memory_bits: 30 },
+        ]
+        .into_iter()
+        .sum();
+        assert_eq!(total, Resources { luts: 11, ffs: 22, memory_bits: 33 });
+    }
+
+    #[test]
+    fn hierarchy_aggregates() {
+        let leaf = Component::new("leaf").with_primitives(Primitive::Adder(4), 3);
+        let mid = Component::new("mid").with_child(leaf).with_primitive(Primitive::Ram(64));
+        let top = Component::new("top").with_child(mid).with_primitive(Primitive::Register(8));
+        let r = top.resources();
+        assert_eq!(r, Resources { luts: 12, ffs: 8, memory_bits: 64 });
+    }
+
+    #[test]
+    fn report_lists_all_components() {
+        let top = Component::new("top").with_child(Component::new("inner"));
+        let report = top.report();
+        assert!(report.contains("top"));
+        assert!(report.contains("  inner"));
+    }
+}

@@ -1,0 +1,953 @@
+//! A two-pass assembler for the MIPS-I subset.
+//!
+//! The packet-processing workloads of the SDMMon reproduction (IPv4
+//! forwarding, IPv4 + congestion management, the deliberately vulnerable
+//! forwarder used by the attack experiments) are written in this assembly
+//! dialect and translated to binaries that the network-processor simulator
+//! executes and the offline analysis turns into monitoring graphs.
+//!
+//! # Syntax
+//!
+//! * one statement per line; `#` or `;` starts a comment
+//! * `label:` definitions, usable before or after their definition
+//! * directives: `.org`, `.word`, `.half`, `.byte`, `.space`, `.align`,
+//!   `.ascii`, `.asciiz`
+//! * pseudo-instructions: `nop`, `move`, `li`, `la`, `b`, `beqz`, `bnez`,
+//!   `not`, `neg` (`li`/`la` always expand to `lui` + `ori`)
+//! * numeric literals in decimal or `0x…` hexadecimal, optionally negative;
+//!   symbol operands may carry a `+n`/`-n` byte offset (`table+8`)
+//!
+//! # Examples
+//!
+//! ```
+//! use sdmmon_isa::asm::Assembler;
+//!
+//! # fn main() -> Result<(), sdmmon_isa::asm::AsmError> {
+//! let program = Assembler::new().with_base(0x400).assemble(
+//!     "       li   $t0, 0xdeadbeef
+//!      loop:  addiu $t1, $t1, 1
+//!             bne  $t1, $t0, loop
+//!             jr   $ra
+//!      data:  .word 1, 2, 3",
+//! )?;
+//! assert_eq!(program.base, 0x400);
+//! assert_eq!(program.symbol("data"), Some(0x400 + 5 * 4)); // li expands to 2 words
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{Inst, Reg, WORD_BYTES};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An assembled program: contiguous instruction/data words plus symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Load address of the first word.
+    pub base: u32,
+    /// The program image, one 32-bit word per entry.
+    pub words: Vec<u32>,
+    /// Label name → absolute address.
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Looks up a label's absolute address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Returns the image as big-endian bytes (classic MIPS byte order, as
+    /// used by the PLASMA core the paper prototypes with).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_isa::asm::Assembler;
+    /// # fn main() -> Result<(), sdmmon_isa::asm::AsmError> {
+    /// let p = Assembler::new().assemble(".word 0x01020304")?;
+    /// assert_eq!(p.to_bytes(), vec![1, 2, 3, 4]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.words.iter().flat_map(|w| w.to_be_bytes()).collect()
+    }
+
+    /// Reconstructs a program image from big-endian bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len()` is not a multiple of 4.
+    pub fn from_bytes(base: u32, bytes: &[u8]) -> Program {
+        assert!(bytes.len().is_multiple_of(4), "program image must be word aligned");
+        let words = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Program { base, words, symbols: BTreeMap::new() }
+    }
+
+    /// Address one past the last word of the image.
+    pub fn end(&self) -> u32 {
+        self.base + (self.words.len() as u32) * WORD_BYTES
+    }
+}
+
+/// Error produced by [`Assembler::assemble`], carrying the 1-based source
+/// line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line in the source text.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, message: message.into() })
+}
+
+/// Two-pass assembler. Construct with [`Assembler::new`], optionally set the
+/// load address with [`Assembler::with_base`], then call
+/// [`Assembler::assemble`].
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    base: u32,
+}
+
+/// One parsed source statement (intermediate representation between passes).
+#[derive(Debug, Clone)]
+enum Stmt {
+    Inst { mnemonic: String, operands: Vec<String> },
+    Word(Vec<String>),
+    Half(Vec<String>),
+    Byte(Vec<String>),
+    Space(u32),
+    Ascii { text: Vec<u8>, zero_terminated: bool },
+    Align(u32),
+    Org(u32),
+}
+
+impl Assembler {
+    /// Creates an assembler with load address 0.
+    pub fn new() -> Assembler {
+        Assembler { base: 0 }
+    }
+
+    /// Sets the load address of the program (must be word aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not a multiple of 4.
+    pub fn with_base(mut self, base: u32) -> Assembler {
+        assert!(base.is_multiple_of(4), "base address must be word aligned");
+        self.base = base;
+        self
+    }
+
+    /// Assembles `source` into a [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] with the offending line for syntax errors,
+    /// unknown mnemonics/registers, out-of-range immediates, duplicate or
+    /// undefined labels, and misuse of directives.
+    pub fn assemble(&self, source: &str) -> Result<Program, AsmError> {
+        let mut stmts: Vec<(usize, Stmt)> = Vec::new();
+        let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
+
+        // ---- pass 1: parse, lay out addresses, collect labels ----
+        let mut pc = self.base;
+        for (idx, raw_line) in source.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw_line);
+            let mut rest = line.trim();
+            // Consume any number of leading `label:` definitions.
+            while let Some(colon) = find_label_colon(rest) {
+                let (label, tail) = rest.split_at(colon);
+                let label = label.trim();
+                if !is_valid_label(label) {
+                    return err(lineno, format!("invalid label name `{label}`"));
+                }
+                if symbols.insert(label.to_owned(), pc).is_some() {
+                    return err(lineno, format!("duplicate label `{label}`"));
+                }
+                rest = tail[1..].trim();
+            }
+            if rest.is_empty() {
+                continue;
+            }
+            let stmt = parse_stmt(lineno, rest)?;
+            pc = match &stmt {
+                Stmt::Inst { mnemonic, .. } => pc + stmt_inst_size(mnemonic),
+                Stmt::Word(vs) => pc + 4 * vs.len() as u32,
+                Stmt::Half(vs) => pc + 2 * vs.len() as u32,
+                Stmt::Byte(vs) => pc + vs.len() as u32,
+                Stmt::Space(n) => pc + n,
+                Stmt::Ascii { text, zero_terminated } => {
+                    pc + text.len() as u32 + u32::from(*zero_terminated)
+                }
+                Stmt::Align(p) => align_up(pc, 1 << p),
+                Stmt::Org(addr) => {
+                    if *addr < pc {
+                        return err(lineno, format!(".org 0x{addr:x} moves backwards"));
+                    }
+                    *addr
+                }
+            };
+            stmts.push((lineno, stmt));
+        }
+
+        // ---- pass 2: emit bytes with all symbols known ----
+        let mut image: Vec<u8> = Vec::new();
+        let mut pc = self.base;
+        let emit = |image: &mut Vec<u8>, bytes: &[u8]| {
+            image.extend_from_slice(bytes);
+        };
+        for (lineno, stmt) in &stmts {
+            let lineno = *lineno;
+            match stmt {
+                Stmt::Inst { mnemonic, operands } => {
+                    let insts = encode_line(lineno, mnemonic, operands, pc, &symbols)?;
+                    for inst in insts {
+                        emit(&mut image, &inst.encode().to_be_bytes());
+                        pc += 4;
+                    }
+                }
+                Stmt::Word(vs) => {
+                    for v in vs {
+                        let val = eval(lineno, v, &symbols)?;
+                        check_range(lineno, val, -(1 << 31), (1u64 << 32) as i64 - 1)?;
+                        emit(&mut image, &(val as u32).to_be_bytes());
+                        pc += 4;
+                    }
+                }
+                Stmt::Half(vs) => {
+                    for v in vs {
+                        let val = eval(lineno, v, &symbols)?;
+                        check_range(lineno, val, -(1 << 15), 0xffff)?;
+                        emit(&mut image, &(val as u16).to_be_bytes());
+                        pc += 2;
+                    }
+                }
+                Stmt::Byte(vs) => {
+                    for v in vs {
+                        let val = eval(lineno, v, &symbols)?;
+                        check_range(lineno, val, -128, 255)?;
+                        emit(&mut image, &[(val as u8)]);
+                        pc += 1;
+                    }
+                }
+                Stmt::Space(n) => {
+                    emit(&mut image, &vec![0u8; *n as usize]);
+                    pc += n;
+                }
+                Stmt::Ascii { text, zero_terminated } => {
+                    emit(&mut image, text);
+                    if *zero_terminated {
+                        emit(&mut image, &[0]);
+                    }
+                    pc += text.len() as u32 + u32::from(*zero_terminated);
+                }
+                Stmt::Align(p) => {
+                    let target = align_up(pc, 1 << *p);
+                    emit(&mut image, &vec![0u8; (target - pc) as usize]);
+                    pc = target;
+                }
+                Stmt::Org(addr) => {
+                    emit(&mut image, &vec![0u8; (*addr - pc) as usize]);
+                    pc = *addr;
+                }
+            }
+        }
+        // Pad to a whole number of words so the image is executable as-is.
+        while !image.len().is_multiple_of(4) {
+            image.push(0);
+        }
+        let words = image
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Ok(Program { base: self.base, words, symbols })
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find(['#', ';']).unwrap_or(line.len());
+    &line[..cut]
+}
+
+/// Finds the colon ending a leading label, ignoring colons inside strings.
+fn find_label_colon(s: &str) -> Option<usize> {
+    let head = s.split_whitespace().next()?;
+    if head.starts_with('.') || head.starts_with('"') {
+        return None;
+    }
+    let pos = s.find(':')?;
+    // The colon must belong to the first token.
+    if s[..pos].split_whitespace().count() <= 1 && !s[..pos].contains('"') {
+        Some(pos)
+    } else {
+        None
+    }
+}
+
+fn is_valid_label(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn align_up(x: u32, a: u32) -> u32 {
+    x.div_ceil(a) * a
+}
+
+/// Number of bytes a (possibly pseudo) instruction occupies.
+fn stmt_inst_size(mnemonic: &str) -> u32 {
+    match mnemonic {
+        // li/la always expand to lui+ori so pass-1 layout is deterministic.
+        "li" | "la" => 8,
+        _ => 4,
+    }
+}
+
+fn parse_stmt(lineno: usize, rest: &str) -> Result<Stmt, AsmError> {
+    let (head, tail) = match rest.find(char::is_whitespace) {
+        Some(i) => (&rest[..i], rest[i..].trim()),
+        None => (rest, ""),
+    };
+    if let Some(directive) = head.strip_prefix('.') {
+        return parse_directive(lineno, directive, tail);
+    }
+    let operands = split_operands(tail);
+    Ok(Stmt::Inst { mnemonic: head.to_ascii_lowercase(), operands })
+}
+
+fn parse_directive(lineno: usize, directive: &str, tail: &str) -> Result<Stmt, AsmError> {
+    match directive {
+        "word" => Ok(Stmt::Word(split_operands(tail))),
+        "half" => Ok(Stmt::Half(split_operands(tail))),
+        "byte" => Ok(Stmt::Byte(split_operands(tail))),
+        "space" => {
+            let n = parse_number(tail)
+                .ok_or_else(|| AsmError { line: lineno, message: format!("bad .space operand `{tail}`") })?;
+            if n < 0 {
+                return err(lineno, ".space size must be non-negative");
+            }
+            Ok(Stmt::Space(n as u32))
+        }
+        "align" => {
+            let p = parse_number(tail)
+                .ok_or_else(|| AsmError { line: lineno, message: format!("bad .align operand `{tail}`") })?;
+            if !(0..=16).contains(&p) {
+                return err(lineno, ".align power must be in 0..=16");
+            }
+            Ok(Stmt::Align(p as u32))
+        }
+        "org" => {
+            let a = parse_number(tail)
+                .ok_or_else(|| AsmError { line: lineno, message: format!("bad .org operand `{tail}`") })?;
+            if a < 0 || a > u32::MAX as i64 {
+                return err(lineno, ".org address out of range");
+            }
+            Ok(Stmt::Org(a as u32))
+        }
+        "ascii" | "asciiz" => {
+            let text = parse_string(tail)
+                .ok_or_else(|| AsmError { line: lineno, message: format!("bad string literal `{tail}`") })?;
+            Ok(Stmt::Ascii { text, zero_terminated: directive == "asciiz" })
+        }
+        _ => err(lineno, format!("unknown directive `.{directive}`")),
+    }
+}
+
+fn split_operands(s: &str) -> Vec<String> {
+    if s.trim().is_empty() {
+        return Vec::new();
+    }
+    s.split(',').map(|p| p.trim().to_owned()).collect()
+}
+
+fn parse_number(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let magnitude = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -magnitude } else { magnitude })
+}
+
+fn parse_string(s: &str) -> Option<Vec<u8>> {
+    let s = s.trim();
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                'n' => out.push(b'\n'),
+                't' => out.push(b'\t'),
+                '0' => out.push(0),
+                '\\' => out.push(b'\\'),
+                '"' => out.push(b'"'),
+                _ => return None,
+            }
+        } else {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    Some(out)
+}
+
+fn check_range(lineno: usize, v: i64, lo: i64, hi: i64) -> Result<(), AsmError> {
+    if v < lo || v > hi {
+        return err(lineno, format!("value {v} out of range {lo}..={hi}"));
+    }
+    Ok(())
+}
+
+/// Evaluates an operand expression: number, symbol, or `symbol±number`.
+fn eval(lineno: usize, expr: &str, symbols: &BTreeMap<String, u32>) -> Result<i64, AsmError> {
+    let expr = expr.trim();
+    if let Some(v) = parse_number(expr) {
+        return Ok(v);
+    }
+    // symbol with optional +n / -n suffix
+    let (sym, offset) = match expr[1..].find(['+', '-']) {
+        Some(i) => {
+            let split = i + 1;
+            let off = parse_number(&expr[split..])
+                .ok_or_else(|| AsmError { line: lineno, message: format!("bad offset in `{expr}`") })?;
+            (&expr[..split], off)
+        }
+        None => (expr, 0),
+    };
+    match symbols.get(sym.trim()) {
+        Some(&addr) => Ok(addr as i64 + offset),
+        None => err(lineno, format!("undefined symbol `{sym}`")),
+    }
+}
+
+struct Ops<'a> {
+    lineno: usize,
+    mnemonic: &'a str,
+    operands: &'a [String],
+    symbols: &'a BTreeMap<String, u32>,
+    pc: u32,
+}
+
+impl<'a> Ops<'a> {
+    fn expect(&self, n: usize) -> Result<(), AsmError> {
+        if self.operands.len() != n {
+            return err(
+                self.lineno,
+                format!("`{}` expects {} operand(s), got {}", self.mnemonic, n, self.operands.len()),
+            );
+        }
+        Ok(())
+    }
+
+    fn reg(&self, i: usize) -> Result<Reg, AsmError> {
+        self.operands[i]
+            .parse::<Reg>()
+            .map_err(|e| AsmError { line: self.lineno, message: e.to_string() })
+    }
+
+    fn imm16(&self, i: usize) -> Result<i16, AsmError> {
+        let v = eval(self.lineno, &self.operands[i], self.symbols)?;
+        check_range(self.lineno, v, -32768, 32767)?;
+        Ok(v as i16)
+    }
+
+    fn uimm16(&self, i: usize) -> Result<u16, AsmError> {
+        let v = eval(self.lineno, &self.operands[i], self.symbols)?;
+        check_range(self.lineno, v, 0, 0xffff)?;
+        Ok(v as u16)
+    }
+
+    fn shamt(&self, i: usize) -> Result<u8, AsmError> {
+        let v = eval(self.lineno, &self.operands[i], self.symbols)?;
+        check_range(self.lineno, v, 0, 31)?;
+        Ok(v as u8)
+    }
+
+    fn imm32(&self, i: usize) -> Result<u32, AsmError> {
+        let v = eval(self.lineno, &self.operands[i], self.symbols)?;
+        check_range(self.lineno, v, i32::MIN as i64, u32::MAX as i64)?;
+        Ok(v as u32)
+    }
+
+    /// Parses `offset(base)` memory operands; a bare `(base)` means offset 0.
+    fn mem(&self, i: usize) -> Result<(Reg, i16), AsmError> {
+        let text = &self.operands[i];
+        let open = text.find('(').ok_or_else(|| AsmError {
+            line: self.lineno,
+            message: format!("expected `offset(base)` operand, got `{text}`"),
+        })?;
+        let close = text.rfind(')').ok_or_else(|| AsmError {
+            line: self.lineno,
+            message: format!("unclosed parenthesis in `{text}`"),
+        })?;
+        let off_text = text[..open].trim();
+        let offset = if off_text.is_empty() {
+            0
+        } else {
+            let v = eval(self.lineno, off_text, self.symbols)?;
+            check_range(self.lineno, v, -32768, 32767)?;
+            v as i16
+        };
+        let base = text[open + 1..close]
+            .trim()
+            .parse::<Reg>()
+            .map_err(|e| AsmError { line: self.lineno, message: e.to_string() })?;
+        Ok((base, offset))
+    }
+
+    /// Resolves a branch operand: a label becomes a word offset from
+    /// `pc + 4`; a bare number is taken as a *byte* offset from `pc + 4`.
+    fn branch(&self, i: usize) -> Result<i16, AsmError> {
+        let text = &self.operands[i];
+        let byte_off = match parse_number(text) {
+            Some(n) => n,
+            None => {
+                let target = eval(self.lineno, text, self.symbols)?;
+                target - (self.pc as i64 + 4)
+            }
+        };
+        if byte_off % 4 != 0 {
+            return err(self.lineno, format!("branch offset {byte_off} not word aligned"));
+        }
+        let words = byte_off / 4;
+        check_range(self.lineno, words, -32768, 32767)?;
+        Ok(words as i16)
+    }
+
+    /// Resolves a jump operand (label or absolute address) to a 26-bit index.
+    fn jump(&self, i: usize) -> Result<u32, AsmError> {
+        let target = eval(self.lineno, &self.operands[i], self.symbols)?;
+        if target < 0 || target > u32::MAX as i64 {
+            return err(self.lineno, "jump target out of range");
+        }
+        let target = target as u32;
+        if !target.is_multiple_of(4) {
+            return err(self.lineno, "jump target not word aligned");
+        }
+        if (target & 0xF000_0000) != ((self.pc + 4) & 0xF000_0000) {
+            return err(self.lineno, "jump target outside current 256 MiB region");
+        }
+        Ok((target & 0x0FFF_FFFF) >> 2)
+    }
+}
+
+/// Encodes one source line (possibly a pseudo-instruction expanding to two
+/// words) into machine instructions.
+fn encode_line(
+    lineno: usize,
+    mnemonic: &str,
+    operands: &[String],
+    pc: u32,
+    symbols: &BTreeMap<String, u32>,
+) -> Result<Vec<Inst>, AsmError> {
+    let o = Ops { lineno, mnemonic, operands, symbols, pc };
+    use Inst::*;
+    let one = |i: Inst| Ok(vec![i]);
+    match mnemonic {
+        // --- pseudo-instructions ---
+        "nop" => {
+            o.expect(0)?;
+            one(Sll { rd: Reg::ZERO, rt: Reg::ZERO, shamt: 0 })
+        }
+        "move" => {
+            o.expect(2)?;
+            one(Addu { rd: o.reg(0)?, rs: o.reg(1)?, rt: Reg::ZERO })
+        }
+        "not" => {
+            o.expect(2)?;
+            one(Nor { rd: o.reg(0)?, rs: o.reg(1)?, rt: Reg::ZERO })
+        }
+        "neg" => {
+            o.expect(2)?;
+            one(Subu { rd: o.reg(0)?, rs: Reg::ZERO, rt: o.reg(1)? })
+        }
+        "b" => {
+            o.expect(1)?;
+            one(Beq { rs: Reg::ZERO, rt: Reg::ZERO, offset: o.branch(0)? })
+        }
+        "beqz" => {
+            o.expect(2)?;
+            one(Beq { rs: o.reg(0)?, rt: Reg::ZERO, offset: o.branch(1)? })
+        }
+        "bnez" => {
+            o.expect(2)?;
+            one(Bne { rs: o.reg(0)?, rt: Reg::ZERO, offset: o.branch(1)? })
+        }
+        "li" | "la" => {
+            o.expect(2)?;
+            let rt = o.reg(0)?;
+            let value = o.imm32(1)?;
+            Ok(vec![
+                Lui { rt, imm: (value >> 16) as u16 },
+                Ori { rt, rs: rt, imm: (value & 0xffff) as u16 },
+            ])
+        }
+        // --- shifts ---
+        "sll" | "srl" | "sra" => {
+            o.expect(3)?;
+            let (rd, rt, shamt) = (o.reg(0)?, o.reg(1)?, o.shamt(2)?);
+            one(match mnemonic {
+                "sll" => Sll { rd, rt, shamt },
+                "srl" => Srl { rd, rt, shamt },
+                _ => Sra { rd, rt, shamt },
+            })
+        }
+        "sllv" | "srlv" | "srav" => {
+            o.expect(3)?;
+            let (rd, rt, rs) = (o.reg(0)?, o.reg(1)?, o.reg(2)?);
+            one(match mnemonic {
+                "sllv" => Sllv { rd, rt, rs },
+                "srlv" => Srlv { rd, rt, rs },
+                _ => Srav { rd, rt, rs },
+            })
+        }
+        // --- three-register ALU ---
+        "add" | "addu" | "sub" | "subu" | "and" | "or" | "xor" | "nor" | "slt" | "sltu" => {
+            o.expect(3)?;
+            let (rd, rs, rt) = (o.reg(0)?, o.reg(1)?, o.reg(2)?);
+            one(match mnemonic {
+                "add" => Add { rd, rs, rt },
+                "addu" => Addu { rd, rs, rt },
+                "sub" => Sub { rd, rs, rt },
+                "subu" => Subu { rd, rs, rt },
+                "and" => And { rd, rs, rt },
+                "or" => Or { rd, rs, rt },
+                "xor" => Xor { rd, rs, rt },
+                "nor" => Nor { rd, rs, rt },
+                "slt" => Slt { rd, rs, rt },
+                _ => Sltu { rd, rs, rt },
+            })
+        }
+        // --- multiply / divide ---
+        "mult" | "multu" | "div" | "divu" => {
+            o.expect(2)?;
+            let (rs, rt) = (o.reg(0)?, o.reg(1)?);
+            one(match mnemonic {
+                "mult" => Mult { rs, rt },
+                "multu" => Multu { rs, rt },
+                "div" => Div { rs, rt },
+                _ => Divu { rs, rt },
+            })
+        }
+        "mfhi" => {
+            o.expect(1)?;
+            one(Mfhi { rd: o.reg(0)? })
+        }
+        "mflo" => {
+            o.expect(1)?;
+            one(Mflo { rd: o.reg(0)? })
+        }
+        "mthi" => {
+            o.expect(1)?;
+            one(Mthi { rs: o.reg(0)? })
+        }
+        "mtlo" => {
+            o.expect(1)?;
+            one(Mtlo { rs: o.reg(0)? })
+        }
+        // --- jumps ---
+        "j" | "jal" => {
+            o.expect(1)?;
+            let index = o.jump(0)?;
+            one(if mnemonic == "j" { J { index } } else { Jal { index } })
+        }
+        "jr" => {
+            o.expect(1)?;
+            one(Jr { rs: o.reg(0)? })
+        }
+        "jalr" => match operands.len() {
+            1 => one(Jalr { rd: Reg::RA, rs: o.reg(0)? }),
+            2 => one(Jalr { rd: o.reg(0)?, rs: o.reg(1)? }),
+            n => err(lineno, format!("`jalr` expects 1 or 2 operands, got {n}")),
+        },
+        "syscall" => {
+            let code = if operands.is_empty() { 0 } else { o.imm32(0)? & 0xf_ffff };
+            one(Syscall { code })
+        }
+        "break" => {
+            let code = if operands.is_empty() { 0 } else { o.imm32(0)? & 0xf_ffff };
+            one(Break { code })
+        }
+        // --- branches ---
+        "beq" | "bne" => {
+            o.expect(3)?;
+            let (rs, rt, offset) = (o.reg(0)?, o.reg(1)?, o.branch(2)?);
+            one(if mnemonic == "beq" {
+                Beq { rs, rt, offset }
+            } else {
+                Bne { rs, rt, offset }
+            })
+        }
+        "blez" | "bgtz" | "bltz" | "bgez" | "bltzal" | "bgezal" => {
+            o.expect(2)?;
+            let (rs, offset) = (o.reg(0)?, o.branch(1)?);
+            one(match mnemonic {
+                "blez" => Blez { rs, offset },
+                "bgtz" => Bgtz { rs, offset },
+                "bltz" => Bltz { rs, offset },
+                "bgez" => Bgez { rs, offset },
+                "bltzal" => Bltzal { rs, offset },
+                _ => Bgezal { rs, offset },
+            })
+        }
+        // --- immediate ALU ---
+        "addi" | "addiu" | "slti" | "sltiu" => {
+            o.expect(3)?;
+            let (rt, rs, imm) = (o.reg(0)?, o.reg(1)?, o.imm16(2)?);
+            one(match mnemonic {
+                "addi" => Addi { rt, rs, imm },
+                "addiu" => Addiu { rt, rs, imm },
+                "slti" => Slti { rt, rs, imm },
+                _ => Sltiu { rt, rs, imm },
+            })
+        }
+        "andi" | "ori" | "xori" => {
+            o.expect(3)?;
+            let (rt, rs, imm) = (o.reg(0)?, o.reg(1)?, o.uimm16(2)?);
+            one(match mnemonic {
+                "andi" => Andi { rt, rs, imm },
+                "ori" => Ori { rt, rs, imm },
+                _ => Xori { rt, rs, imm },
+            })
+        }
+        "lui" => {
+            o.expect(2)?;
+            one(Lui { rt: o.reg(0)?, imm: o.uimm16(1)? })
+        }
+        // --- memory ---
+        "lb" | "lh" | "lw" | "lbu" | "lhu" | "sb" | "sh" | "sw" => {
+            o.expect(2)?;
+            let rt = o.reg(0)?;
+            let (base, offset) = o.mem(1)?;
+            one(match mnemonic {
+                "lb" => Lb { rt, base, offset },
+                "lh" => Lh { rt, base, offset },
+                "lw" => Lw { rt, base, offset },
+                "lbu" => Lbu { rt, base, offset },
+                "lhu" => Lhu { rt, base, offset },
+                "sb" => Sb { rt, base, offset },
+                "sh" => Sh { rt, base, offset },
+                _ => Sw { rt, base, offset },
+            })
+        }
+        other => err(lineno, format!("unknown mnemonic `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asm(src: &str) -> Program {
+        Assembler::new().assemble(src).expect("assembly should succeed")
+    }
+
+    #[test]
+    fn empty_source_is_empty_program() {
+        let p = asm("");
+        assert!(p.words.is_empty());
+        assert!(p.symbols.is_empty());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = asm("# header\n\n   ; another\n  nop  # trailing\n");
+        assert_eq!(p.words, vec![0]);
+    }
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let p = asm("top:  beq $zero, $zero, bottom\n      nop\nbottom: b top\n");
+        // beq at 0 targets 8: offset words = (8 - 4)/4 = 1
+        assert_eq!(
+            Inst::decode(p.words[0]).unwrap(),
+            Inst::Beq { rs: Reg::ZERO, rt: Reg::ZERO, offset: 1 }
+        );
+        // b at 8 targets 0: (0 - 12)/4 = -3
+        assert_eq!(
+            Inst::decode(p.words[2]).unwrap(),
+            Inst::Beq { rs: Reg::ZERO, rt: Reg::ZERO, offset: -3 }
+        );
+    }
+
+    #[test]
+    fn li_expands_to_lui_ori() {
+        let p = asm("li $t0, 0xdeadbeef");
+        assert_eq!(p.words.len(), 2);
+        assert_eq!(
+            Inst::decode(p.words[0]).unwrap(),
+            Inst::Lui { rt: Reg::T0, imm: 0xdead }
+        );
+        assert_eq!(
+            Inst::decode(p.words[1]).unwrap(),
+            Inst::Ori { rt: Reg::T0, rs: Reg::T0, imm: 0xbeef }
+        );
+    }
+
+    #[test]
+    fn la_resolves_label_address() {
+        let p = Assembler::new().with_base(0x1000).assemble(
+            "       la $t0, buf\n        jr $ra\nbuf:   .space 8",
+        ).unwrap();
+        assert_eq!(p.symbol("buf"), Some(0x100c));
+        assert_eq!(
+            Inst::decode(p.words[1]).unwrap(),
+            Inst::Ori { rt: Reg::T0, rs: Reg::T0, imm: 0x100c }
+        );
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = asm("lw $t0, -8($sp)\nsw $t1, ($a0)");
+        assert_eq!(
+            Inst::decode(p.words[0]).unwrap(),
+            Inst::Lw { rt: Reg::T0, base: Reg::SP, offset: -8 }
+        );
+        assert_eq!(
+            Inst::decode(p.words[1]).unwrap(),
+            Inst::Sw { rt: Reg::T1, base: Reg::A0, offset: 0 }
+        );
+    }
+
+    #[test]
+    fn data_directives() {
+        let p = asm(".word 0x11223344, -1\n.half 0x5566\n.byte 1, 2\n.align 2\n.word 9");
+        assert_eq!(p.words[0], 0x1122_3344);
+        assert_eq!(p.words[1], 0xffff_ffff);
+        assert_eq!(p.words[2], 0x5566_0102);
+        assert_eq!(p.words[3], 9);
+    }
+
+    #[test]
+    fn ascii_directives() {
+        let p = asm(".asciiz \"hi\"\n.align 2\n.word 1");
+        assert_eq!(p.words[0], u32::from_be_bytes([b'h', b'i', 0, 0]));
+        assert_eq!(p.words[1], 1);
+    }
+
+    #[test]
+    fn org_pads_with_zeros() {
+        let p = asm("nop\n.org 0x10\nnop");
+        assert_eq!(p.words.len(), 5);
+        assert_eq!(&p.words[1..4], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn org_backwards_rejected() {
+        let e = Assembler::new().assemble("nop\nnop\n.org 0x4").unwrap_err();
+        assert!(e.message.contains("backwards"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = Assembler::new().assemble("a: nop\na: nop").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let e = Assembler::new().assemble("j nowhere").unwrap_err();
+        assert!(e.message.contains("undefined"), "{e}");
+    }
+
+    #[test]
+    fn immediate_range_checked() {
+        assert!(Assembler::new().assemble("addiu $t0, $t1, 40000").is_err());
+        assert!(Assembler::new().assemble("andi $t0, $t1, -1").is_err());
+        assert!(Assembler::new().assemble("sll $t0, $t1, 32").is_err());
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = Assembler::new().assemble("nop\nfrobnicate $t0").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn jump_resolution_and_region_check() {
+        let p = Assembler::new().with_base(0x100).assemble("target: nop\n j target").unwrap();
+        assert_eq!(
+            Inst::decode(p.words[1]).unwrap(),
+            Inst::J { index: 0x100 >> 2 }
+        );
+    }
+
+    #[test]
+    fn symbol_plus_offset() {
+        let p = asm("la $t0, tbl+8\njr $ra\ntbl: .space 16");
+        assert_eq!(
+            Inst::decode(p.words[1]).unwrap(),
+            Inst::Ori { rt: Reg::T0, rs: Reg::T0, imm: 12 + 8 }
+        );
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let p = asm("li $t0, 0x01020304\njr $ra");
+        let restored = Program::from_bytes(p.base, &p.to_bytes());
+        assert_eq!(restored.words, p.words);
+    }
+
+    #[test]
+    fn multiple_labels_one_address() {
+        let p = asm("a: b: nop");
+        assert_eq!(p.symbol("a"), Some(0));
+        assert_eq!(p.symbol("b"), Some(0));
+    }
+
+    #[test]
+    fn pseudo_ops() {
+        let p = asm("move $t0, $t1\nnot $t2, $t3\nneg $t4, $t5\nbeqz $t0, 4\nbnez $t0, -4");
+        assert_eq!(
+            Inst::decode(p.words[0]).unwrap(),
+            Inst::Addu { rd: Reg::T0, rs: Reg::T1, rt: Reg::ZERO }
+        );
+        assert_eq!(
+            Inst::decode(p.words[1]).unwrap(),
+            Inst::Nor { rd: Reg::T2, rs: Reg::T3, rt: Reg::ZERO }
+        );
+        assert_eq!(
+            Inst::decode(p.words[2]).unwrap(),
+            Inst::Subu { rd: Reg::T4, rs: Reg::ZERO, rt: Reg::T5 }
+        );
+        assert_eq!(
+            Inst::decode(p.words[3]).unwrap(),
+            Inst::Beq { rs: Reg::T0, rt: Reg::ZERO, offset: 1 }
+        );
+        assert_eq!(
+            Inst::decode(p.words[4]).unwrap(),
+            Inst::Bne { rs: Reg::T0, rt: Reg::ZERO, offset: -1 }
+        );
+    }
+
+    #[test]
+    fn program_end_address() {
+        let p = Assembler::new().with_base(0x100).assemble("nop\nnop").unwrap();
+        assert_eq!(p.end(), 0x108);
+    }
+}

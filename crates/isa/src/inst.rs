@@ -1,0 +1,683 @@
+//! Typed MIPS-I instructions: decoding, encoding, classification, display.
+
+use crate::Reg;
+use std::fmt;
+
+/// Control-flow behaviour of an instruction, as seen by the hardware monitor.
+///
+/// The monitoring graph of the paper records, for every instruction, the set
+/// of valid successor addresses. This classification is what the offline
+/// analysis uses to compute those sets:
+///
+/// * [`ControlFlow::Sequential`] — one successor, `pc + 4`.
+/// * [`ControlFlow::Branch`] — two successors, `pc + 4` and the branch
+///   target (the monitor "considers both next operations as valid").
+/// * [`ControlFlow::Jump`] — one successor, computed from the 26-bit index.
+/// * [`ControlFlow::Indirect`] — statically unknown successors (`jr`/`jalr`);
+///   the offline analysis substitutes the set of plausible targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlFlow {
+    /// Falls through to `pc + 4`.
+    Sequential,
+    /// Conditional branch with a signed 16-bit word offset relative to
+    /// `pc + 4`. `linking` is true for `bltzal`/`bgezal`.
+    Branch {
+        /// Signed word offset encoded in the instruction.
+        offset: i16,
+        /// Whether the instruction writes a return address to `$ra`.
+        linking: bool,
+    },
+    /// Unconditional jump (`j`/`jal`) with a 26-bit word index within the
+    /// current 256 MiB region.
+    Jump {
+        /// The 26-bit target index.
+        index: u32,
+        /// Whether the instruction writes a return address to `$ra`.
+        linking: bool,
+    },
+    /// Register-indirect jump (`jr`/`jalr`).
+    Indirect {
+        /// Whether the instruction writes a return address.
+        linking: bool,
+    },
+}
+
+impl ControlFlow {
+    /// Resolves the taken-path target address for an instruction at `pc`.
+    ///
+    /// Returns `None` for [`ControlFlow::Sequential`] (the only successor is
+    /// `pc + 4`) and for [`ControlFlow::Indirect`] (statically unknown).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_isa::{ControlFlow, Inst, Reg};
+    ///
+    /// let beq = Inst::Beq { rs: Reg::T0, rt: Reg::ZERO, offset: 3 };
+    /// assert_eq!(beq.control_flow().taken_target(0x100), Some(0x110));
+    /// ```
+    pub fn taken_target(self, pc: u32) -> Option<u32> {
+        match self {
+            ControlFlow::Sequential | ControlFlow::Indirect { .. } => None,
+            ControlFlow::Branch { offset, .. } => {
+                Some(pc.wrapping_add(4).wrapping_add((offset as i32 as u32) << 2))
+            }
+            ControlFlow::Jump { index, .. } => {
+                Some((pc.wrapping_add(4) & 0xF000_0000) | (index << 2))
+            }
+        }
+    }
+
+    /// Returns true when the instruction may fall through to `pc + 4`.
+    ///
+    /// Unconditional jumps and indirect jumps never fall through; branches
+    /// and sequential instructions do.
+    pub fn falls_through(self) -> bool {
+        matches!(self, ControlFlow::Sequential | ControlFlow::Branch { .. })
+    }
+}
+
+/// Error returned by [`Inst::decode`] for words that are not valid
+/// instructions of the modelled subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction word 0x{:08x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A decoded MIPS-I instruction of the PLASMA-class subset.
+///
+/// Every variant encodes back to exactly one 32-bit word via
+/// [`Inst::encode`], and [`Inst::decode`] is its inverse. The subset covers
+/// the integer MIPS-I ISA: ALU register and immediate forms, shifts,
+/// multiply/divide with HI/LO, loads/stores (byte, half, word), branches,
+/// jumps, and `syscall`/`break`.
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_isa::{Inst, Reg};
+///
+/// let inst = Inst::Addu { rd: Reg::V0, rs: Reg::A0, rt: Reg::A1 };
+/// let word = inst.encode();
+/// assert_eq!(Inst::decode(word).unwrap(), inst);
+/// assert_eq!(inst.to_string(), "addu $v0, $a0, $a1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // field meanings follow the MIPS manual; documented per-group below
+pub enum Inst {
+    // --- shifts ---
+    Sll { rd: Reg, rt: Reg, shamt: u8 },
+    Srl { rd: Reg, rt: Reg, shamt: u8 },
+    Sra { rd: Reg, rt: Reg, shamt: u8 },
+    Sllv { rd: Reg, rt: Reg, rs: Reg },
+    Srlv { rd: Reg, rt: Reg, rs: Reg },
+    Srav { rd: Reg, rt: Reg, rs: Reg },
+    // --- register ALU ---
+    Add { rd: Reg, rs: Reg, rt: Reg },
+    Addu { rd: Reg, rs: Reg, rt: Reg },
+    Sub { rd: Reg, rs: Reg, rt: Reg },
+    Subu { rd: Reg, rs: Reg, rt: Reg },
+    And { rd: Reg, rs: Reg, rt: Reg },
+    Or { rd: Reg, rs: Reg, rt: Reg },
+    Xor { rd: Reg, rs: Reg, rt: Reg },
+    Nor { rd: Reg, rs: Reg, rt: Reg },
+    Slt { rd: Reg, rs: Reg, rt: Reg },
+    Sltu { rd: Reg, rs: Reg, rt: Reg },
+    // --- multiply / divide ---
+    Mult { rs: Reg, rt: Reg },
+    Multu { rs: Reg, rt: Reg },
+    Div { rs: Reg, rt: Reg },
+    Divu { rs: Reg, rt: Reg },
+    Mfhi { rd: Reg },
+    Mthi { rs: Reg },
+    Mflo { rd: Reg },
+    Mtlo { rs: Reg },
+    // --- jumps ---
+    Jr { rs: Reg },
+    Jalr { rd: Reg, rs: Reg },
+    J { index: u32 },
+    Jal { index: u32 },
+    // --- traps ---
+    Syscall { code: u32 },
+    Break { code: u32 },
+    // --- branches ---
+    Beq { rs: Reg, rt: Reg, offset: i16 },
+    Bne { rs: Reg, rt: Reg, offset: i16 },
+    Blez { rs: Reg, offset: i16 },
+    Bgtz { rs: Reg, offset: i16 },
+    Bltz { rs: Reg, offset: i16 },
+    Bgez { rs: Reg, offset: i16 },
+    Bltzal { rs: Reg, offset: i16 },
+    Bgezal { rs: Reg, offset: i16 },
+    // --- immediate ALU ---
+    Addi { rt: Reg, rs: Reg, imm: i16 },
+    Addiu { rt: Reg, rs: Reg, imm: i16 },
+    Slti { rt: Reg, rs: Reg, imm: i16 },
+    Sltiu { rt: Reg, rs: Reg, imm: i16 },
+    Andi { rt: Reg, rs: Reg, imm: u16 },
+    Ori { rt: Reg, rs: Reg, imm: u16 },
+    Xori { rt: Reg, rs: Reg, imm: u16 },
+    Lui { rt: Reg, imm: u16 },
+    // --- memory ---
+    Lb { rt: Reg, base: Reg, offset: i16 },
+    Lh { rt: Reg, base: Reg, offset: i16 },
+    Lw { rt: Reg, base: Reg, offset: i16 },
+    Lbu { rt: Reg, base: Reg, offset: i16 },
+    Lhu { rt: Reg, base: Reg, offset: i16 },
+    Sb { rt: Reg, base: Reg, offset: i16 },
+    Sh { rt: Reg, base: Reg, offset: i16 },
+    Sw { rt: Reg, base: Reg, offset: i16 },
+}
+
+// Field extraction helpers for 32-bit MIPS words.
+fn rs_of(w: u32) -> Reg {
+    Reg::new(((w >> 21) & 0x1f) as u8)
+}
+fn rt_of(w: u32) -> Reg {
+    Reg::new(((w >> 16) & 0x1f) as u8)
+}
+fn rd_of(w: u32) -> Reg {
+    Reg::new(((w >> 11) & 0x1f) as u8)
+}
+fn shamt_of(w: u32) -> u8 {
+    ((w >> 6) & 0x1f) as u8
+}
+fn imm_of(w: u32) -> i16 {
+    (w & 0xffff) as u16 as i16
+}
+fn uimm_of(w: u32) -> u16 {
+    (w & 0xffff) as u16
+}
+
+fn r_type(funct: u32, rs: Reg, rt: Reg, rd: Reg, shamt: u8) -> u32 {
+    ((rs.number() as u32) << 21)
+        | ((rt.number() as u32) << 16)
+        | ((rd.number() as u32) << 11)
+        | ((shamt as u32) << 6)
+        | funct
+}
+
+fn i_type(op: u32, rs: Reg, rt: Reg, imm: u16) -> u32 {
+    (op << 26) | ((rs.number() as u32) << 21) | ((rt.number() as u32) << 16) | imm as u32
+}
+
+impl Inst {
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the word's opcode/function fields do not
+    /// correspond to an instruction of the modelled MIPS-I subset (this is
+    /// what the simulated core raises as a reserved-instruction fault).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_isa::{Inst, Reg};
+    /// let inst = Inst::decode(0x0085_1021).unwrap();
+    /// assert_eq!(inst, Inst::Addu { rd: Reg::V0, rs: Reg::A0, rt: Reg::A1 });
+    /// assert!(Inst::decode(0xffff_ffff).is_err());
+    /// ```
+    pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+        let op = word >> 26;
+        let (rs, rt, rd, shamt) = (rs_of(word), rt_of(word), rd_of(word), shamt_of(word));
+        let err = Err(DecodeError { word });
+        // Strict field checks: must-be-zero fields of the encoding really
+        // are zero, so decode is an exact partial inverse of encode (any
+        // other pattern is a reserved-instruction fault on the core).
+        let (z_rs, z_rt, z_rd, z_sh) =
+            (rs.number() == 0, rt.number() == 0, rd.number() == 0, shamt == 0);
+        Ok(match op {
+            0x00 => match word & 0x3f {
+                0x00 if z_rs => Inst::Sll { rd, rt, shamt },
+                0x02 if z_rs => Inst::Srl { rd, rt, shamt },
+                0x03 if z_rs => Inst::Sra { rd, rt, shamt },
+                0x04 if z_sh => Inst::Sllv { rd, rt, rs },
+                0x06 if z_sh => Inst::Srlv { rd, rt, rs },
+                0x07 if z_sh => Inst::Srav { rd, rt, rs },
+                0x08 if z_rt && z_rd && z_sh => Inst::Jr { rs },
+                0x09 if z_rt && z_sh => Inst::Jalr { rd, rs },
+                0x0c => Inst::Syscall { code: (word >> 6) & 0xf_ffff },
+                0x0d => Inst::Break { code: (word >> 6) & 0xf_ffff },
+                0x10 if z_rs && z_rt && z_sh => Inst::Mfhi { rd },
+                0x11 if z_rt && z_rd && z_sh => Inst::Mthi { rs },
+                0x12 if z_rs && z_rt && z_sh => Inst::Mflo { rd },
+                0x13 if z_rt && z_rd && z_sh => Inst::Mtlo { rs },
+                0x18 if z_rd && z_sh => Inst::Mult { rs, rt },
+                0x19 if z_rd && z_sh => Inst::Multu { rs, rt },
+                0x1a if z_rd && z_sh => Inst::Div { rs, rt },
+                0x1b if z_rd && z_sh => Inst::Divu { rs, rt },
+                0x20 if z_sh => Inst::Add { rd, rs, rt },
+                0x21 if z_sh => Inst::Addu { rd, rs, rt },
+                0x22 if z_sh => Inst::Sub { rd, rs, rt },
+                0x23 if z_sh => Inst::Subu { rd, rs, rt },
+                0x24 if z_sh => Inst::And { rd, rs, rt },
+                0x25 if z_sh => Inst::Or { rd, rs, rt },
+                0x26 if z_sh => Inst::Xor { rd, rs, rt },
+                0x27 if z_sh => Inst::Nor { rd, rs, rt },
+                0x2a if z_sh => Inst::Slt { rd, rs, rt },
+                0x2b if z_sh => Inst::Sltu { rd, rs, rt },
+                _ => return err,
+            },
+            0x01 => match rt.number() {
+                0x00 => Inst::Bltz { rs, offset: imm_of(word) },
+                0x01 => Inst::Bgez { rs, offset: imm_of(word) },
+                0x10 => Inst::Bltzal { rs, offset: imm_of(word) },
+                0x11 => Inst::Bgezal { rs, offset: imm_of(word) },
+                _ => return err,
+            },
+            0x02 => Inst::J { index: word & 0x03ff_ffff },
+            0x03 => Inst::Jal { index: word & 0x03ff_ffff },
+            0x04 => Inst::Beq { rs, rt, offset: imm_of(word) },
+            0x05 => Inst::Bne { rs, rt, offset: imm_of(word) },
+            0x06 if rt.number() == 0 => Inst::Blez { rs, offset: imm_of(word) },
+            0x07 if rt.number() == 0 => Inst::Bgtz { rs, offset: imm_of(word) },
+            0x08 => Inst::Addi { rt, rs, imm: imm_of(word) },
+            0x09 => Inst::Addiu { rt, rs, imm: imm_of(word) },
+            0x0a => Inst::Slti { rt, rs, imm: imm_of(word) },
+            0x0b => Inst::Sltiu { rt, rs, imm: imm_of(word) },
+            0x0c => Inst::Andi { rt, rs, imm: uimm_of(word) },
+            0x0d => Inst::Ori { rt, rs, imm: uimm_of(word) },
+            0x0e => Inst::Xori { rt, rs, imm: uimm_of(word) },
+            0x0f if rs.number() == 0 => Inst::Lui { rt, imm: uimm_of(word) },
+            0x20 => Inst::Lb { rt, base: rs, offset: imm_of(word) },
+            0x21 => Inst::Lh { rt, base: rs, offset: imm_of(word) },
+            0x23 => Inst::Lw { rt, base: rs, offset: imm_of(word) },
+            0x24 => Inst::Lbu { rt, base: rs, offset: imm_of(word) },
+            0x25 => Inst::Lhu { rt, base: rs, offset: imm_of(word) },
+            0x28 => Inst::Sb { rt, base: rs, offset: imm_of(word) },
+            0x29 => Inst::Sh { rt, base: rs, offset: imm_of(word) },
+            0x2b => Inst::Sw { rt, base: rs, offset: imm_of(word) },
+            _ => return err,
+        })
+    }
+
+    /// Encodes the instruction back to its 32-bit word.
+    ///
+    /// `Inst::decode(inst.encode()) == Ok(inst)` holds for every instruction
+    /// (verified by a property test).
+    pub fn encode(self) -> u32 {
+        use Inst::*;
+        let z = Reg::ZERO;
+        match self {
+            Sll { rd, rt, shamt } => r_type(0x00, z, rt, rd, shamt),
+            Srl { rd, rt, shamt } => r_type(0x02, z, rt, rd, shamt),
+            Sra { rd, rt, shamt } => r_type(0x03, z, rt, rd, shamt),
+            Sllv { rd, rt, rs } => r_type(0x04, rs, rt, rd, 0),
+            Srlv { rd, rt, rs } => r_type(0x06, rs, rt, rd, 0),
+            Srav { rd, rt, rs } => r_type(0x07, rs, rt, rd, 0),
+            Jr { rs } => r_type(0x08, rs, z, z, 0),
+            Jalr { rd, rs } => r_type(0x09, rs, z, rd, 0),
+            Syscall { code } => (code << 6) | 0x0c,
+            Break { code } => (code << 6) | 0x0d,
+            Mfhi { rd } => r_type(0x10, z, z, rd, 0),
+            Mthi { rs } => r_type(0x11, rs, z, z, 0),
+            Mflo { rd } => r_type(0x12, z, z, rd, 0),
+            Mtlo { rs } => r_type(0x13, rs, z, z, 0),
+            Mult { rs, rt } => r_type(0x18, rs, rt, z, 0),
+            Multu { rs, rt } => r_type(0x19, rs, rt, z, 0),
+            Div { rs, rt } => r_type(0x1a, rs, rt, z, 0),
+            Divu { rs, rt } => r_type(0x1b, rs, rt, z, 0),
+            Add { rd, rs, rt } => r_type(0x20, rs, rt, rd, 0),
+            Addu { rd, rs, rt } => r_type(0x21, rs, rt, rd, 0),
+            Sub { rd, rs, rt } => r_type(0x22, rs, rt, rd, 0),
+            Subu { rd, rs, rt } => r_type(0x23, rs, rt, rd, 0),
+            And { rd, rs, rt } => r_type(0x24, rs, rt, rd, 0),
+            Or { rd, rs, rt } => r_type(0x25, rs, rt, rd, 0),
+            Xor { rd, rs, rt } => r_type(0x26, rs, rt, rd, 0),
+            Nor { rd, rs, rt } => r_type(0x27, rs, rt, rd, 0),
+            Slt { rd, rs, rt } => r_type(0x2a, rs, rt, rd, 0),
+            Sltu { rd, rs, rt } => r_type(0x2b, rs, rt, rd, 0),
+            Bltz { rs, offset } => i_type(0x01, rs, Reg::new(0x00), offset as u16),
+            Bgez { rs, offset } => i_type(0x01, rs, Reg::new(0x01), offset as u16),
+            Bltzal { rs, offset } => i_type(0x01, rs, Reg::new(0x10), offset as u16),
+            Bgezal { rs, offset } => i_type(0x01, rs, Reg::new(0x11), offset as u16),
+            J { index } => (0x02 << 26) | (index & 0x03ff_ffff),
+            Jal { index } => (0x03 << 26) | (index & 0x03ff_ffff),
+            Beq { rs, rt, offset } => i_type(0x04, rs, rt, offset as u16),
+            Bne { rs, rt, offset } => i_type(0x05, rs, rt, offset as u16),
+            Blez { rs, offset } => i_type(0x06, rs, z, offset as u16),
+            Bgtz { rs, offset } => i_type(0x07, rs, z, offset as u16),
+            Addi { rt, rs, imm } => i_type(0x08, rs, rt, imm as u16),
+            Addiu { rt, rs, imm } => i_type(0x09, rs, rt, imm as u16),
+            Slti { rt, rs, imm } => i_type(0x0a, rs, rt, imm as u16),
+            Sltiu { rt, rs, imm } => i_type(0x0b, rs, rt, imm as u16),
+            Andi { rt, rs, imm } => i_type(0x0c, rs, rt, imm),
+            Ori { rt, rs, imm } => i_type(0x0d, rs, rt, imm),
+            Xori { rt, rs, imm } => i_type(0x0e, rs, rt, imm),
+            Lui { rt, imm } => i_type(0x0f, z, rt, imm),
+            Lb { rt, base, offset } => i_type(0x20, base, rt, offset as u16),
+            Lh { rt, base, offset } => i_type(0x21, base, rt, offset as u16),
+            Lw { rt, base, offset } => i_type(0x23, base, rt, offset as u16),
+            Lbu { rt, base, offset } => i_type(0x24, base, rt, offset as u16),
+            Lhu { rt, base, offset } => i_type(0x25, base, rt, offset as u16),
+            Sb { rt, base, offset } => i_type(0x28, base, rt, offset as u16),
+            Sh { rt, base, offset } => i_type(0x29, base, rt, offset as u16),
+            Sw { rt, base, offset } => i_type(0x2b, base, rt, offset as u16),
+        }
+    }
+
+    /// Classifies the instruction's control-flow behaviour for the offline
+    /// monitoring-graph analysis.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_isa::{ControlFlow, Inst, Reg};
+    ///
+    /// assert_eq!(
+    ///     Inst::Jr { rs: Reg::RA }.control_flow(),
+    ///     ControlFlow::Indirect { linking: false },
+    /// );
+    /// ```
+    pub fn control_flow(self) -> ControlFlow {
+        use Inst::*;
+        match self {
+            Beq { offset, .. } | Bne { offset, .. } | Blez { offset, .. }
+            | Bgtz { offset, .. } | Bltz { offset, .. } | Bgez { offset, .. } => {
+                ControlFlow::Branch { offset, linking: false }
+            }
+            Bltzal { offset, .. } | Bgezal { offset, .. } => {
+                ControlFlow::Branch { offset, linking: true }
+            }
+            J { index } => ControlFlow::Jump { index, linking: false },
+            Jal { index } => ControlFlow::Jump { index, linking: true },
+            Jr { .. } => ControlFlow::Indirect { linking: false },
+            Jalr { .. } => ControlFlow::Indirect { linking: true },
+            _ => ControlFlow::Sequential,
+        }
+    }
+
+    /// Returns true for instructions that terminate a basic block.
+    pub fn ends_basic_block(self) -> bool {
+        !matches!(self.control_flow(), ControlFlow::Sequential)
+    }
+
+    /// Returns the lowercase mnemonic of the instruction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_isa::{Inst, Reg};
+    /// assert_eq!(Inst::Lui { rt: Reg::T0, imm: 1 }.mnemonic(), "lui");
+    /// ```
+    pub fn mnemonic(self) -> &'static str {
+        use Inst::*;
+        match self {
+            Sll { .. } => "sll",
+            Srl { .. } => "srl",
+            Sra { .. } => "sra",
+            Sllv { .. } => "sllv",
+            Srlv { .. } => "srlv",
+            Srav { .. } => "srav",
+            Add { .. } => "add",
+            Addu { .. } => "addu",
+            Sub { .. } => "sub",
+            Subu { .. } => "subu",
+            And { .. } => "and",
+            Or { .. } => "or",
+            Xor { .. } => "xor",
+            Nor { .. } => "nor",
+            Slt { .. } => "slt",
+            Sltu { .. } => "sltu",
+            Mult { .. } => "mult",
+            Multu { .. } => "multu",
+            Div { .. } => "div",
+            Divu { .. } => "divu",
+            Mfhi { .. } => "mfhi",
+            Mthi { .. } => "mthi",
+            Mflo { .. } => "mflo",
+            Mtlo { .. } => "mtlo",
+            Jr { .. } => "jr",
+            Jalr { .. } => "jalr",
+            J { .. } => "j",
+            Jal { .. } => "jal",
+            Syscall { .. } => "syscall",
+            Break { .. } => "break",
+            Beq { .. } => "beq",
+            Bne { .. } => "bne",
+            Blez { .. } => "blez",
+            Bgtz { .. } => "bgtz",
+            Bltz { .. } => "bltz",
+            Bgez { .. } => "bgez",
+            Bltzal { .. } => "bltzal",
+            Bgezal { .. } => "bgezal",
+            Addi { .. } => "addi",
+            Addiu { .. } => "addiu",
+            Slti { .. } => "slti",
+            Sltiu { .. } => "sltiu",
+            Andi { .. } => "andi",
+            Ori { .. } => "ori",
+            Xori { .. } => "xori",
+            Lui { .. } => "lui",
+            Lb { .. } => "lb",
+            Lh { .. } => "lh",
+            Lw { .. } => "lw",
+            Lbu { .. } => "lbu",
+            Lhu { .. } => "lhu",
+            Sb { .. } => "sb",
+            Sh { .. } => "sh",
+            Sw { .. } => "sw",
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    /// Renders assembler syntax accepted back by [`crate::asm::Assembler`]
+    /// (branch targets appear as signed *byte* offsets relative to `pc + 4`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Inst::*;
+        let m = self.mnemonic();
+        match *self {
+            Sll { rd, rt, shamt } | Srl { rd, rt, shamt } | Sra { rd, rt, shamt } => {
+                write!(f, "{m} {rd}, {rt}, {shamt}")
+            }
+            Sllv { rd, rt, rs } | Srlv { rd, rt, rs } | Srav { rd, rt, rs } => {
+                write!(f, "{m} {rd}, {rt}, {rs}")
+            }
+            Add { rd, rs, rt } | Addu { rd, rs, rt } | Sub { rd, rs, rt }
+            | Subu { rd, rs, rt } | And { rd, rs, rt } | Or { rd, rs, rt }
+            | Xor { rd, rs, rt } | Nor { rd, rs, rt } | Slt { rd, rs, rt }
+            | Sltu { rd, rs, rt } => write!(f, "{m} {rd}, {rs}, {rt}"),
+            Mult { rs, rt } | Multu { rs, rt } | Div { rs, rt } | Divu { rs, rt } => {
+                write!(f, "{m} {rs}, {rt}")
+            }
+            Mfhi { rd } | Mflo { rd } => write!(f, "{m} {rd}"),
+            Mthi { rs } | Mtlo { rs } => write!(f, "{m} {rs}"),
+            Jr { rs } => write!(f, "{m} {rs}"),
+            Jalr { rd, rs } => write!(f, "{m} {rd}, {rs}"),
+            J { index } | Jal { index } => write!(f, "{m} 0x{:x}", index << 2),
+            Syscall { code } | Break { code } => {
+                if code == 0 {
+                    write!(f, "{m}")
+                } else {
+                    write!(f, "{m} {code}")
+                }
+            }
+            Beq { rs, rt, offset } | Bne { rs, rt, offset } => {
+                write!(f, "{m} {rs}, {rt}, {}", (offset as i32) << 2)
+            }
+            Blez { rs, offset } | Bgtz { rs, offset } | Bltz { rs, offset }
+            | Bgez { rs, offset } | Bltzal { rs, offset } | Bgezal { rs, offset } => {
+                write!(f, "{m} {rs}, {}", (offset as i32) << 2)
+            }
+            Addi { rt, rs, imm } | Addiu { rt, rs, imm } | Slti { rt, rs, imm }
+            | Sltiu { rt, rs, imm } => write!(f, "{m} {rt}, {rs}, {imm}"),
+            Andi { rt, rs, imm } | Ori { rt, rs, imm } | Xori { rt, rs, imm } => {
+                write!(f, "{m} {rt}, {rs}, 0x{imm:x}")
+            }
+            Lui { rt, imm } => write!(f, "{m} {rt}, 0x{imm:x}"),
+            Lb { rt, base, offset } | Lh { rt, base, offset } | Lw { rt, base, offset }
+            | Lbu { rt, base, offset } | Lhu { rt, base, offset } | Sb { rt, base, offset }
+            | Sh { rt, base, offset } | Sw { rt, base, offset } => {
+                write!(f, "{m} {rt}, {offset}({base})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instructions() -> Vec<Inst> {
+        use Inst::*;
+        let (a, b, c) = (Reg::T0, Reg::A1, Reg::V0);
+        vec![
+            Sll { rd: a, rt: b, shamt: 3 },
+            Srl { rd: a, rt: b, shamt: 31 },
+            Sra { rd: a, rt: b, shamt: 1 },
+            Sllv { rd: a, rt: b, rs: c },
+            Srlv { rd: a, rt: b, rs: c },
+            Srav { rd: a, rt: b, rs: c },
+            Add { rd: a, rs: b, rt: c },
+            Addu { rd: a, rs: b, rt: c },
+            Sub { rd: a, rs: b, rt: c },
+            Subu { rd: a, rs: b, rt: c },
+            And { rd: a, rs: b, rt: c },
+            Or { rd: a, rs: b, rt: c },
+            Xor { rd: a, rs: b, rt: c },
+            Nor { rd: a, rs: b, rt: c },
+            Slt { rd: a, rs: b, rt: c },
+            Sltu { rd: a, rs: b, rt: c },
+            Mult { rs: a, rt: b },
+            Multu { rs: a, rt: b },
+            Div { rs: a, rt: b },
+            Divu { rs: a, rt: b },
+            Mfhi { rd: a },
+            Mthi { rs: a },
+            Mflo { rd: a },
+            Mtlo { rs: a },
+            Jr { rs: Reg::RA },
+            Jalr { rd: Reg::RA, rs: a },
+            J { index: 0x123456 },
+            Jal { index: 0x3ff_ffff },
+            Syscall { code: 0 },
+            Break { code: 7 },
+            Beq { rs: a, rt: b, offset: -4 },
+            Bne { rs: a, rt: b, offset: 100 },
+            Blez { rs: a, offset: 2 },
+            Bgtz { rs: a, offset: -2 },
+            Bltz { rs: a, offset: 1 },
+            Bgez { rs: a, offset: -1 },
+            Bltzal { rs: a, offset: 5 },
+            Bgezal { rs: a, offset: -5 },
+            Addi { rt: a, rs: b, imm: -32768 },
+            Addiu { rt: a, rs: b, imm: 32767 },
+            Slti { rt: a, rs: b, imm: 12 },
+            Sltiu { rt: a, rs: b, imm: -1 },
+            Andi { rt: a, rs: b, imm: 0xffff },
+            Ori { rt: a, rs: b, imm: 0xabcd },
+            Xori { rt: a, rs: b, imm: 1 },
+            Lui { rt: a, imm: 0x8000 },
+            Lb { rt: a, base: b, offset: -4 },
+            Lh { rt: a, base: b, offset: 2 },
+            Lw { rt: a, base: b, offset: 4 },
+            Lbu { rt: a, base: b, offset: 0 },
+            Lhu { rt: a, base: b, offset: 6 },
+            Sb { rt: a, base: b, offset: -1 },
+            Sh { rt: a, base: b, offset: 8 },
+            Sw { rt: a, base: b, offset: 12 },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for inst in sample_instructions() {
+            let word = inst.encode();
+            assert_eq!(Inst::decode(word), Ok(inst), "round trip of {inst}");
+        }
+    }
+
+    #[test]
+    fn sample_count_covers_all_variants() {
+        // 54 variants in the enum; keep this in sync so round-trip coverage
+        // does not silently shrink.
+        assert_eq!(sample_instructions().len(), 54);
+    }
+
+    #[test]
+    fn known_encodings_match_mips_manual() {
+        // Cross-checked against the MIPS32 reference encodings.
+        assert_eq!(
+            Inst::Addu { rd: Reg::V0, rs: Reg::A0, rt: Reg::A1 }.encode(),
+            0x0085_1021
+        );
+        assert_eq!(
+            Inst::Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: 5 }.encode(),
+            0x2408_0005
+        );
+        assert_eq!(Inst::Jr { rs: Reg::RA }.encode(), 0x03e0_0008);
+        assert_eq!(
+            Inst::Lw { rt: Reg::T0, base: Reg::SP, offset: 4 }.encode(),
+            0x8fa8_0004
+        );
+        assert_eq!(Inst::J { index: 0x10 }.encode(), 0x0800_0010);
+        assert_eq!(Inst::Sll { rd: Reg::ZERO, rt: Reg::ZERO, shamt: 0 }.encode(), 0);
+    }
+
+    #[test]
+    fn nop_is_sll_zero() {
+        assert_eq!(
+            Inst::decode(0).unwrap(),
+            Inst::Sll { rd: Reg::ZERO, rt: Reg::ZERO, shamt: 0 }
+        );
+    }
+
+    #[test]
+    fn reserved_words_fail_to_decode() {
+        for w in [0xffff_ffffu32, 0x0000_003f, 0x7000_0000, 0x0400_0000 | (2 << 16)] {
+            assert!(Inst::decode(w).is_err(), "word {w:#010x} should be reserved");
+        }
+    }
+
+    #[test]
+    fn branch_targets_resolve() {
+        let beq = Inst::Beq { rs: Reg::T0, rt: Reg::T1, offset: -2 };
+        assert_eq!(beq.control_flow().taken_target(0x100), Some(0x100 + 4 - 8));
+        let j = Inst::J { index: 0x40 };
+        assert_eq!(j.control_flow().taken_target(0x9000_0000), Some(0x9000_0100));
+    }
+
+    #[test]
+    fn fall_through_classification() {
+        assert!(Inst::Addu { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }
+            .control_flow()
+            .falls_through());
+        assert!(Inst::Beq { rs: Reg::T0, rt: Reg::T1, offset: 1 }
+            .control_flow()
+            .falls_through());
+        assert!(!Inst::J { index: 1 }.control_flow().falls_through());
+        assert!(!Inst::Jr { rs: Reg::RA }.control_flow().falls_through());
+    }
+
+    #[test]
+    fn block_enders() {
+        assert!(Inst::Jr { rs: Reg::RA }.ends_basic_block());
+        assert!(Inst::Bne { rs: Reg::T0, rt: Reg::T1, offset: 1 }.ends_basic_block());
+        assert!(!Inst::Lw { rt: Reg::T0, base: Reg::SP, offset: 0 }.ends_basic_block());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Inst::Lw { rt: Reg::T0, base: Reg::SP, offset: -8 }.to_string(),
+            "lw $t0, -8($sp)"
+        );
+        assert_eq!(
+            Inst::Beq { rs: Reg::T0, rt: Reg::ZERO, offset: 3 }.to_string(),
+            "beq $t0, $zero, 12"
+        );
+        assert_eq!(Inst::Syscall { code: 0 }.to_string(), "syscall");
+        assert_eq!(Inst::J { index: 0x40 }.to_string(), "j 0x100");
+    }
+}

@@ -1,0 +1,73 @@
+//! # sdmmon-isa — MIPS-I instruction-set substrate
+//!
+//! The DAC 2014 SDMMon paper prototypes its network processor with a PLASMA
+//! soft core, a MIPS-I implementation. This crate models that instruction set
+//! in software: 32-bit instruction words, their decoding into a typed
+//! [`Inst`] enum, re-encoding back to words, a two-pass [`asm::Assembler`]
+//! for writing packet-processing workloads in assembly, and a disassembler
+//! (the [`core::fmt::Display`] impl of [`Inst`]).
+//!
+//! The hardware monitor of the paper observes `(pc, instruction word)` pairs
+//! and classifies instructions by their control-flow behaviour; that
+//! classification lives here too ([`Inst::control_flow`]).
+//!
+//! One deliberate deviation from real MIPS is documented in DESIGN.md: the
+//! simulated core has **no branch-delay slots**, so branch targets take
+//! effect on the next retired instruction.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdmmon_isa::{asm::Assembler, Inst, Reg};
+//!
+//! # fn main() -> Result<(), sdmmon_isa::asm::AsmError> {
+//! let program = Assembler::new().assemble(
+//!     "start:  addiu $t0, $zero, 5
+//!             addiu $t0, $t0, -1
+//!             bne   $t0, $zero, 8
+//!             jr    $ra",
+//! )?;
+//! assert_eq!(program.words.len(), 4);
+//! let first = Inst::decode(program.words[0]).unwrap();
+//! assert_eq!(first, Inst::Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: 5 });
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+mod inst;
+mod reg;
+
+pub use inst::{ControlFlow, DecodeError, Inst};
+pub use reg::{ParseRegError, Reg};
+
+/// Size of one instruction word in bytes (MIPS is a fixed-width 32-bit ISA).
+pub const WORD_BYTES: u32 = 4;
+
+/// Disassembles a slice of instruction words starting at `base` into
+/// human-readable lines, one per word.
+///
+/// Words that do not decode to a known instruction are rendered as
+/// `.word 0x…` so that round-tripping binaries with embedded data never
+/// fails.
+///
+/// # Examples
+///
+/// ```
+/// let words = [0x2408_0005]; // addiu $t0, $zero, 5
+/// let lines = sdmmon_isa::disassemble(&words, 0x1000);
+/// assert_eq!(lines[0], "00001000:  24080005  addiu $t0, $zero, 5");
+/// ```
+pub fn disassemble(words: &[u32], base: u32) -> Vec<String> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let pc = base.wrapping_add(i as u32 * WORD_BYTES);
+            match Inst::decode(w) {
+                Ok(inst) => format!("{pc:08x}:  {w:08x}  {inst}"),
+                Err(_) => format!("{pc:08x}:  {w:08x}  .word 0x{w:08x}"),
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,241 @@
+//! General-purpose register file names for the MIPS-I core model.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the 32 MIPS general-purpose registers.
+///
+/// The numeric value (`0..=31`) matches the hardware encoding used in
+/// instruction words; the conventional ABI aliases (`$t0`, `$sp`, …) are used
+/// for display and assembly parsing.
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_isa::Reg;
+///
+/// assert_eq!(Reg::SP.number(), 29);
+/// assert_eq!("$t0".parse::<Reg>().unwrap(), Reg::T0);
+/// assert_eq!("$8".parse::<Reg>().unwrap(), Reg::T0);
+/// assert_eq!(Reg::T0.to_string(), "$t0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+/// ABI alias names indexed by register number.
+const NAMES: [&str; 32] = [
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
+    "fp", "ra",
+];
+
+impl Reg {
+    /// Hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary.
+    pub const AT: Reg = Reg(1);
+    /// First return-value register.
+    pub const V0: Reg = Reg(2);
+    /// Second return-value register.
+    pub const V1: Reg = Reg(3);
+    /// First argument register.
+    pub const A0: Reg = Reg(4);
+    /// Second argument register.
+    pub const A1: Reg = Reg(5);
+    /// Third argument register.
+    pub const A2: Reg = Reg(6);
+    /// Fourth argument register.
+    pub const A3: Reg = Reg(7);
+    /// Caller-saved temporary 0.
+    pub const T0: Reg = Reg(8);
+    /// Caller-saved temporary 1.
+    pub const T1: Reg = Reg(9);
+    /// Caller-saved temporary 2.
+    pub const T2: Reg = Reg(10);
+    /// Caller-saved temporary 3.
+    pub const T3: Reg = Reg(11);
+    /// Caller-saved temporary 4.
+    pub const T4: Reg = Reg(12);
+    /// Caller-saved temporary 5.
+    pub const T5: Reg = Reg(13);
+    /// Caller-saved temporary 6.
+    pub const T6: Reg = Reg(14);
+    /// Caller-saved temporary 7.
+    pub const T7: Reg = Reg(15);
+    /// Callee-saved register 0.
+    pub const S0: Reg = Reg(16);
+    /// Callee-saved register 1.
+    pub const S1: Reg = Reg(17);
+    /// Callee-saved register 2.
+    pub const S2: Reg = Reg(18);
+    /// Callee-saved register 3.
+    pub const S3: Reg = Reg(19);
+    /// Callee-saved register 4.
+    pub const S4: Reg = Reg(20);
+    /// Callee-saved register 5.
+    pub const S5: Reg = Reg(21);
+    /// Callee-saved register 6.
+    pub const S6: Reg = Reg(22);
+    /// Callee-saved register 7.
+    pub const S7: Reg = Reg(23);
+    /// Caller-saved temporary 8.
+    pub const T8: Reg = Reg(24);
+    /// Caller-saved temporary 9.
+    pub const T9: Reg = Reg(25);
+    /// Kernel-reserved register 0.
+    pub const K0: Reg = Reg(26);
+    /// Kernel-reserved register 1.
+    pub const K1: Reg = Reg(27);
+    /// Global pointer.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer (a.k.a. `$s8`).
+    pub const FP: Reg = Reg(30);
+    /// Return address.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its hardware number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_isa::Reg;
+    /// assert_eq!(Reg::new(29), Reg::SP);
+    /// ```
+    pub fn new(n: u8) -> Reg {
+        assert!(n < 32, "register number {n} out of range 0..32");
+        Reg(n)
+    }
+
+    /// Returns the hardware register number in `0..=31`.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the conventional ABI alias (without the `$` sigil).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_isa::Reg;
+    /// assert_eq!(Reg::RA.name(), "ra");
+    /// ```
+    pub fn name(self) -> &'static str {
+        NAMES[self.0 as usize]
+    }
+
+    /// Iterates over all 32 registers in numeric order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_isa::Reg;
+    /// assert_eq!(Reg::all().count(), 32);
+    /// ```
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.name())
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+/// Error returned when parsing a register name fails.
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_isa::Reg;
+/// let err = "$bogus".parse::<Reg>().unwrap_err();
+/// assert!(err.to_string().contains("bogus"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    text: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Parses `$name`, `name`, `$N`, or `N` forms (`$t0`, `t0`, `$8`, `8`).
+    fn from_str(s: &str) -> Result<Reg, ParseRegError> {
+        let body = s.strip_prefix('$').unwrap_or(s);
+        if let Ok(n) = body.parse::<u8>() {
+            if n < 32 {
+                return Ok(Reg(n));
+            }
+        }
+        // `$s8` is an accepted alias for `$fp`.
+        if body == "s8" {
+            return Ok(Reg::FP);
+        }
+        NAMES
+            .iter()
+            .position(|&n| n == body)
+            .map(|i| Reg(i as u8))
+            .ok_or_else(|| ParseRegError { text: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::new(r.number()), r);
+        }
+    }
+
+    #[test]
+    fn display_parses_back() {
+        for r in Reg::all() {
+            let shown = r.to_string();
+            assert_eq!(shown.parse::<Reg>().unwrap(), r, "round trip of {shown}");
+        }
+    }
+
+    #[test]
+    fn numeric_and_bare_forms_parse() {
+        assert_eq!("$31".parse::<Reg>().unwrap(), Reg::RA);
+        assert_eq!("31".parse::<Reg>().unwrap(), Reg::RA);
+        assert_eq!("ra".parse::<Reg>().unwrap(), Reg::RA);
+        assert_eq!("$s8".parse::<Reg>().unwrap(), Reg::FP);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!("$32".parse::<Reg>().is_err());
+        assert!("$-1".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_past_31() {
+        let _ = Reg::new(32);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the ISA crate: encode/decode inverses,
+//! disassemble/assemble round trips, and classification invariants.
+
+use proptest::prelude::*;
+use sdmmon_isa::{asm::Assembler, ControlFlow, Inst, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+/// Generates an arbitrary instruction covering every variant.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let r = arb_reg;
+    prop_oneof![
+        (r(), r(), 0u8..32).prop_map(|(rd, rt, shamt)| Inst::Sll { rd, rt, shamt }),
+        (r(), r(), 0u8..32).prop_map(|(rd, rt, shamt)| Inst::Srl { rd, rt, shamt }),
+        (r(), r(), 0u8..32).prop_map(|(rd, rt, shamt)| Inst::Sra { rd, rt, shamt }),
+        (r(), r(), r()).prop_map(|(rd, rt, rs)| Inst::Sllv { rd, rt, rs }),
+        (r(), r(), r()).prop_map(|(rd, rt, rs)| Inst::Srlv { rd, rt, rs }),
+        (r(), r(), r()).prop_map(|(rd, rt, rs)| Inst::Srav { rd, rt, rs }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Add { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Addu { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Sub { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Subu { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::And { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Or { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Xor { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Nor { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Slt { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Sltu { rd, rs, rt }),
+        (r(), r()).prop_map(|(rs, rt)| Inst::Mult { rs, rt }),
+        (r(), r()).prop_map(|(rs, rt)| Inst::Multu { rs, rt }),
+        (r(), r()).prop_map(|(rs, rt)| Inst::Div { rs, rt }),
+        (r(), r()).prop_map(|(rs, rt)| Inst::Divu { rs, rt }),
+        r().prop_map(|rd| Inst::Mfhi { rd }),
+        r().prop_map(|rs| Inst::Mthi { rs }),
+        r().prop_map(|rd| Inst::Mflo { rd }),
+        r().prop_map(|rs| Inst::Mtlo { rs }),
+        r().prop_map(|rs| Inst::Jr { rs }),
+        (r(), r()).prop_map(|(rd, rs)| Inst::Jalr { rd, rs }),
+        (0u32..(1 << 26)).prop_map(|index| Inst::J { index }),
+        (0u32..(1 << 26)).prop_map(|index| Inst::Jal { index }),
+        (0u32..(1 << 20)).prop_map(|code| Inst::Syscall { code }),
+        (0u32..(1 << 20)).prop_map(|code| Inst::Break { code }),
+        (r(), r(), any::<i16>()).prop_map(|(rs, rt, offset)| Inst::Beq { rs, rt, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rs, rt, offset)| Inst::Bne { rs, rt, offset }),
+        (r(), any::<i16>()).prop_map(|(rs, offset)| Inst::Blez { rs, offset }),
+        (r(), any::<i16>()).prop_map(|(rs, offset)| Inst::Bgtz { rs, offset }),
+        (r(), any::<i16>()).prop_map(|(rs, offset)| Inst::Bltz { rs, offset }),
+        (r(), any::<i16>()).prop_map(|(rs, offset)| Inst::Bgez { rs, offset }),
+        (r(), any::<i16>()).prop_map(|(rs, offset)| Inst::Bltzal { rs, offset }),
+        (r(), any::<i16>()).prop_map(|(rs, offset)| Inst::Bgezal { rs, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Addi { rt, rs, imm }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Addiu { rt, rs, imm }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Slti { rt, rs, imm }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Sltiu { rt, rs, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Andi { rt, rs, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Ori { rt, rs, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Xori { rt, rs, imm }),
+        (r(), any::<u16>()).prop_map(|(rt, imm)| Inst::Lui { rt, imm }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Inst::Lb { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Inst::Lh { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Inst::Lw { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Inst::Lbu { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Inst::Lhu { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Inst::Sb { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Inst::Sh { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Inst::Sw { rt, base, offset }),
+    ]
+}
+
+proptest! {
+    /// decode(encode(i)) == i for every constructible instruction.
+    #[test]
+    fn encode_decode_round_trip(inst in arb_inst()) {
+        prop_assert_eq!(Inst::decode(inst.encode()), Ok(inst));
+    }
+
+    /// Decoding an arbitrary word either fails or re-encodes to the same
+    /// word (no information is lost or invented by decode).
+    #[test]
+    fn decode_is_partial_inverse_of_encode(word in any::<u32>()) {
+        if let Ok(inst) = Inst::decode(word) {
+            prop_assert_eq!(inst.encode(), word, "{}", inst);
+        }
+    }
+
+    /// Branch targets are always pc + 4 + 4 * offset, within wrapping
+    /// arithmetic.
+    #[test]
+    fn branch_target_arithmetic(offset in any::<i16>(), pc in any::<u32>()) {
+        let pc = pc & !3;
+        let inst = Inst::Beq { rs: Reg::T0, rt: Reg::T1, offset };
+        let target = inst.control_flow().taken_target(pc).unwrap();
+        let expect = pc.wrapping_add(4).wrapping_add(((offset as i32) << 2) as u32);
+        prop_assert_eq!(target, expect);
+    }
+
+    /// Only branches and sequential instructions fall through.
+    #[test]
+    fn fall_through_consistent(inst in arb_inst()) {
+        let cf = inst.control_flow();
+        match cf {
+            ControlFlow::Sequential | ControlFlow::Branch { .. } => {
+                prop_assert!(cf.falls_through())
+            }
+            ControlFlow::Jump { .. } | ControlFlow::Indirect { .. } => {
+                prop_assert!(!cf.falls_through())
+            }
+        }
+    }
+
+    /// The disassembly of any instruction assembles back to the same word.
+    #[test]
+    fn disassembly_reassembles(inst in arb_inst()) {
+        // `j`/`jal` display absolute region-relative targets that only make
+        // sense at a matching pc; assemble them at pc 0 in region 0.
+        let text = inst.to_string();
+        let program = Assembler::new().assemble(&text)
+            .map_err(|e| TestCaseError::fail(format!("`{text}`: {e}")))?;
+        prop_assert_eq!(program.words.len(), 1, "`{}`", &text);
+        prop_assert_eq!(program.words[0], inst.encode(), "`{}`", &text);
+    }
+}

@@ -1,0 +1,412 @@
+//! Offline analysis: extracting a monitoring graph from a processing
+//! binary.
+//!
+//! The graph contains, per instruction, a short hash of the instruction
+//! word and the set of valid successor addresses derived from the static
+//! control-flow structure (Figure 1 of the paper):
+//!
+//! * sequential instructions — one successor, the next address;
+//! * conditional branches — two successors ("the monitor considers both
+//!   next operations as valid" because it has no data path);
+//! * direct jumps — the jump target;
+//! * indirect jumps (`jr`/`jalr`) — the conservative set of *plausible*
+//!   targets: every recorded call-return site plus every registered entry
+//!   point, since the monitor cannot evaluate register contents.
+//!
+//! The serialized form of the graph is what SDMMon ships inside the
+//! encrypted, signed installation package.
+
+use crate::hash::InstructionHash;
+use sdmmon_isa::asm::Program;
+use sdmmon_isa::{ControlFlow, Inst};
+use std::fmt;
+
+/// Magic bytes identifying a serialized monitoring graph.
+const MAGIC: [u8; 4] = *b"SDMG";
+
+/// Error produced by graph extraction or deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The binary is empty.
+    EmptyProgram,
+    /// A serialized graph was malformed.
+    Malformed(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EmptyProgram => write!(f, "cannot extract a graph from an empty program"),
+            GraphError::Malformed(why) => write!(f, "malformed monitoring graph: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// One graph node: the hash of the instruction at this address and its
+/// valid successors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Short hash of the instruction word (fits the hash's output width).
+    pub hash: u8,
+    /// Valid successor addresses. Empty for data words and terminal
+    /// instructions (`break`).
+    pub successors: Vec<u32>,
+}
+
+/// The monitoring graph for one processing binary.
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_isa::asm::Assembler;
+/// use sdmmon_monitor::{graph::MonitoringGraph, hash::MerkleTreeHash};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = Assembler::new().assemble("nop\nbeq $t0, $zero, 4\nnop\nbreak 0")?;
+/// let graph = MonitoringGraph::extract(&program, &MerkleTreeHash::new(7))?;
+/// // The branch at address 4 has two successors: fall-through 8 and target 12.
+/// assert_eq!(graph.node(4).unwrap().successors, vec![8, 12]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitoringGraph {
+    base: u32,
+    hash_bits: u8,
+    nodes: Vec<Node>,
+}
+
+impl MonitoringGraph {
+    /// Runs the offline analysis over `program` using `hash`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyProgram`] for an empty image.
+    pub fn extract<H: InstructionHash + ?Sized>(
+        program: &Program,
+        hash: &H,
+    ) -> Result<MonitoringGraph, GraphError> {
+        if program.words.is_empty() {
+            return Err(GraphError::EmptyProgram);
+        }
+        let base = program.base;
+        let end = base + 4 * program.words.len() as u32;
+        let in_range = |addr: u32| addr >= base && addr < end;
+
+        // Pass 1: collect the conservative indirect-target set — the return
+        // site of every call (`jal`/`jalr`/linking branch).
+        let mut indirect_targets: Vec<u32> = Vec::new();
+        for (i, &word) in program.words.iter().enumerate() {
+            let pc = base + 4 * i as u32;
+            if let Ok(inst) = Inst::decode(word) {
+                let linking = match inst.control_flow() {
+                    ControlFlow::Jump { linking, .. } => linking,
+                    ControlFlow::Indirect { linking } => linking,
+                    ControlFlow::Branch { linking, .. } => linking,
+                    ControlFlow::Sequential => false,
+                };
+                if linking && in_range(pc + 4) {
+                    indirect_targets.push(pc + 4);
+                }
+            }
+        }
+        indirect_targets.sort_unstable();
+        indirect_targets.dedup();
+
+        // Pass 2: build nodes.
+        let nodes = program
+            .words
+            .iter()
+            .enumerate()
+            .map(|(i, &word)| {
+                let pc = base + 4 * i as u32;
+                let successors = match Inst::decode(word) {
+                    Err(_) => Vec::new(), // data word: never validly executed
+                    Ok(Inst::Break { .. }) | Ok(Inst::Syscall { .. }) => Vec::new(),
+                    Ok(inst) => match inst.control_flow() {
+                        ControlFlow::Sequential => {
+                            vec![pc + 4].into_iter().filter(|&a| in_range(a)).collect()
+                        }
+                        ControlFlow::Branch { .. } | ControlFlow::Jump { .. } => {
+                            let cf = inst.control_flow();
+                            let mut s = Vec::new();
+                            if cf.falls_through() && in_range(pc + 4) {
+                                s.push(pc + 4);
+                            }
+                            if let Some(t) = cf.taken_target(pc) {
+                                if in_range(t) && !s.contains(&t) {
+                                    s.push(t);
+                                }
+                            }
+                            s
+                        }
+                        ControlFlow::Indirect { .. } => indirect_targets.clone(),
+                    },
+                };
+                Node { hash: hash.hash(word), successors }
+            })
+            .collect();
+
+        Ok(MonitoringGraph { base, hash_bits: hash.output_bits(), nodes })
+    }
+
+    /// Load address of the covered binary.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Hash output width the graph was built with.
+    pub fn hash_bits(&self) -> u8 {
+        self.hash_bits
+    }
+
+    /// Number of instruction slots covered.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph covers no instructions (never produced by
+    /// [`MonitoringGraph::extract`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node at address `addr`, if covered.
+    pub fn node(&self, addr: u32) -> Option<&Node> {
+        if addr < self.base || !(addr - self.base).is_multiple_of(4) {
+            return None;
+        }
+        self.nodes.get(((addr - self.base) / 4) as usize)
+    }
+
+    /// Iterates over `(address, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(move |(i, n)| (self.base + 4 * i as u32, n))
+    }
+
+    /// Size of the graph in the compact hardware representation, in bits.
+    ///
+    /// The model matches the paper's claim that the graph is "a fraction of
+    /// the processing binary" and is processed with a single memory access
+    /// per instruction: per node, the hash plus a 2-bit control-flow tag,
+    /// plus a 16-bit target word for taken-branch/jump targets, plus one
+    /// 16-bit entry per indirect target in the shared indirect table.
+    pub fn compact_size_bits(&self) -> usize {
+        let mut bits = 0usize;
+        let mut indirect_table = 0usize;
+        for node in &self.nodes {
+            bits += self.hash_bits as usize + 2;
+            match node.successors.len() {
+                0 | 1 => {}
+                2 => bits += 16,
+                n => indirect_table = indirect_table.max(n),
+            }
+        }
+        bits + indirect_table * 16
+    }
+
+    /// Serializes the graph (part of the SDMMon package payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.base.to_be_bytes());
+        out.push(self.hash_bits);
+        out.extend_from_slice(&(self.nodes.len() as u32).to_be_bytes());
+        for node in &self.nodes {
+            out.push(node.hash);
+            out.extend_from_slice(&(node.successors.len() as u16).to_be_bytes());
+            for s in &node.successors {
+                out.extend_from_slice(&s.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a graph produced by [`MonitoringGraph::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Malformed`] on bad magic, truncation, or
+    /// trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<MonitoringGraph, GraphError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(GraphError::Malformed("bad magic".into()));
+        }
+        let base = u32::from_be_bytes(r.take(4)?.try_into().expect("4 bytes"));
+        let hash_bits = r.take(1)?[0];
+        if hash_bits == 0 || hash_bits > 8 {
+            return Err(GraphError::Malformed(format!("hash width {hash_bits}")));
+        }
+        let count = u32::from_be_bytes(r.take(4)?.try_into().expect("4 bytes")) as usize;
+        let mut nodes = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let hash = r.take(1)?[0];
+            let n = u16::from_be_bytes(r.take(2)?.try_into().expect("2 bytes")) as usize;
+            let mut successors = Vec::with_capacity(n.min(1 << 12));
+            for _ in 0..n {
+                successors.push(u32::from_be_bytes(r.take(4)?.try_into().expect("4 bytes")));
+            }
+            nodes.push(Node { hash, successors });
+        }
+        if r.pos != bytes.len() {
+            return Err(GraphError::Malformed("trailing bytes".into()));
+        }
+        Ok(MonitoringGraph { base, hash_bits, nodes })
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], GraphError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(GraphError::Malformed("truncated".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::{BitcountHash, MerkleTreeHash};
+    use sdmmon_isa::asm::Assembler;
+    use sdmmon_npu::programs;
+
+    fn graph_of(src: &str) -> MonitoringGraph {
+        let p = Assembler::new().assemble(src).unwrap();
+        MonitoringGraph::extract(&p, &MerkleTreeHash::new(1234)).unwrap()
+    }
+
+    #[test]
+    fn sequential_chain() {
+        let g = graph_of("nop\nnop\nbreak 0");
+        assert_eq!(g.node(0).unwrap().successors, vec![4]);
+        assert_eq!(g.node(4).unwrap().successors, vec![8]);
+        assert!(g.node(8).unwrap().successors.is_empty(), "break is terminal");
+    }
+
+    #[test]
+    fn branch_has_both_successors() {
+        let g = graph_of("beq $t0, $t1, skip\nnop\nskip: break 0");
+        assert_eq!(g.node(0).unwrap().successors, vec![4, 8]);
+    }
+
+    #[test]
+    fn jump_has_single_target() {
+        let g = graph_of("j end\nnop\nend: break 0");
+        assert_eq!(g.node(0).unwrap().successors, vec![8]);
+    }
+
+    #[test]
+    fn jr_gets_return_sites() {
+        let g = graph_of(
+            "   jal f
+                nop          # return site: 4
+                jal f
+                break 0      # return site: 12
+             f: jr $ra",
+        );
+        assert_eq!(g.node(16).unwrap().successors, vec![4, 12]);
+    }
+
+    #[test]
+    fn data_words_have_no_successors() {
+        let g = graph_of("break 0\n.word 0xffffffff");
+        assert!(g.node(4).unwrap().successors.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_targets_excluded() {
+        // Branch backwards past the start of the image.
+        let g = graph_of("beq $zero, $zero, -8\nbreak 0");
+        assert_eq!(g.node(0).unwrap().successors, vec![4]);
+    }
+
+    #[test]
+    fn node_lookup_edges() {
+        let g = graph_of("nop\nbreak 0");
+        assert!(g.node(2).is_none(), "unaligned");
+        assert!(g.node(8).is_none(), "past end");
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn hashes_follow_hash_function() {
+        let p = Assembler::new().assemble("addiu $t0, $zero, 5\nbreak 0").unwrap();
+        let h = MerkleTreeHash::new(77);
+        let g = MonitoringGraph::extract(&p, &h).unwrap();
+        assert_eq!(g.node(0).unwrap().hash, h.hash(p.words[0]));
+        assert_eq!(g.hash_bits(), 4);
+    }
+
+    #[test]
+    fn different_parameters_give_different_graphs() {
+        let p = programs::ipv4_forward().unwrap();
+        let a = MonitoringGraph::extract(&p, &MerkleTreeHash::new(1)).unwrap();
+        let b = MonitoringGraph::extract(&p, &MerkleTreeHash::new(2)).unwrap();
+        assert_ne!(a, b);
+        // Successor structure is identical; only hashes differ.
+        for (addr, node) in a.iter() {
+            assert_eq!(node.successors, b.node(addr).unwrap().successors);
+        }
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let p = programs::ipv4_cm().unwrap();
+        let g = MonitoringGraph::extract(&p, &MerkleTreeHash::new(0xfeed)).unwrap();
+        let restored = MonitoringGraph::from_bytes(&g.to_bytes()).unwrap();
+        assert_eq!(restored, g);
+    }
+
+    #[test]
+    fn deserialization_rejects_garbage() {
+        assert!(MonitoringGraph::from_bytes(b"").is_err());
+        assert!(MonitoringGraph::from_bytes(b"WRONG___").is_err());
+        let p = programs::ipv4_forward().unwrap();
+        let g = MonitoringGraph::extract(&p, &BitcountHash::new()).unwrap();
+        let mut bytes = g.to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert!(MonitoringGraph::from_bytes(&bytes).is_err());
+        let mut bytes = g.to_bytes();
+        bytes.push(0);
+        assert!(MonitoringGraph::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let p = Assembler::new().assemble("").unwrap();
+        assert_eq!(
+            MonitoringGraph::extract(&p, &MerkleTreeHash::new(0)),
+            Err(GraphError::EmptyProgram)
+        );
+    }
+
+    #[test]
+    fn graph_is_fraction_of_binary_size() {
+        // The paper's motivation for hashing: the graph must be much
+        // smaller than the binary it monitors.
+        let p = programs::ipv4_forward().unwrap();
+        let g = MonitoringGraph::extract(&p, &MerkleTreeHash::new(9)).unwrap();
+        let binary_bits = p.words.len() * 32;
+        assert!(
+            g.compact_size_bits() * 2 < binary_bits,
+            "graph {} bits vs binary {} bits",
+            g.compact_size_bits(),
+            binary_bits
+        );
+    }
+}

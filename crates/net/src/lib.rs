@@ -1,0 +1,33 @@
+//! # sdmmon-net — simulated network substrate
+//!
+//! The SDMMon prototype sits on a DE4 board with four 1 Gbps Ethernet
+//! ports: the data plane receives IPv4 packets to forward, and the control
+//! processor downloads installation packages from the network operator's
+//! FTP server. This crate models both sides:
+//!
+//! * [`packet`] — IPv4/UDP header construction and parsing with checksums
+//! * [`traffic`] — seeded workload generation: flows of valid packets with
+//!   configurable malformed-packet rates, as used by the benchmark harness
+//! * [`channel`] — a bandwidth/latency channel model and an in-memory
+//!   [`channel::FileServer`], reproducing the "download data from FTP
+//!   server" row of the paper's Table 2
+//!
+//! # Examples
+//!
+//! ```
+//! use sdmmon_net::packet::Ipv4Packet;
+//!
+//! let p = Ipv4Packet::builder()
+//!     .src([10, 0, 0, 1])
+//!     .dst([10, 0, 0, 2])
+//!     .ttl(64)
+//!     .payload(b"hello")
+//!     .build();
+//! let parsed = Ipv4Packet::parse(&p).unwrap();
+//! assert_eq!(parsed.dst, [10, 0, 0, 2]);
+//! assert_eq!(parsed.payload, b"hello");
+//! ```
+
+pub mod channel;
+pub mod packet;
+pub mod traffic;

@@ -1,0 +1,327 @@
+//! A network-processor core: CPU + memory + installed program image, with
+//! the reset/recovery behaviour the paper relies on ("dropping the attack
+//! packet, resetting the processing stack, and continuing with processing
+//! the next packet").
+
+use crate::cpu::{Cpu, ExecutionObserver, Observation, Trap};
+use crate::mem::Memory;
+use crate::runtime::{
+    HaltReason, PacketOutcome, Verdict, MEM_SIZE, PKT_DATA_ADDR, PKT_LEN_ADDR, PKT_MAX_BYTES,
+    STACK_TOP, VERDICT_ADDR,
+};
+use sdmmon_isa::Reg;
+
+/// Default per-packet instruction budget; real packet workloads finish in a
+/// few hundred instructions, so this bounds runaway/hijacked code.
+pub const DEFAULT_STEP_LIMIT: u64 = 1_000_000;
+
+/// One simulated PLASMA-class packet-processing core.
+///
+/// # Examples
+///
+/// See the crate-level example: install a workload with [`Core::install`],
+/// then feed packets through [`Core::process_packet`].
+#[derive(Debug, Clone)]
+pub struct Core {
+    cpu: Cpu,
+    mem: Memory,
+    /// Pristine program image for reset/recovery.
+    image: Vec<u8>,
+    /// Load address / entry point of the installed image.
+    entry: u32,
+    step_limit: u64,
+    /// Number of resets performed (for the recovery statistics).
+    resets: u64,
+}
+
+impl Default for Core {
+    fn default() -> Core {
+        Core::new()
+    }
+}
+
+impl Core {
+    /// Creates a core with empty memory and no installed program.
+    pub fn new() -> Core {
+        Core {
+            cpu: Cpu::new(),
+            mem: Memory::new(MEM_SIZE),
+            image: Vec::new(),
+            entry: 0,
+            step_limit: DEFAULT_STEP_LIMIT,
+            resets: 0,
+        }
+    }
+
+    /// Sets the per-packet instruction budget.
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// Installs a program image at `base` (also the entry point) and resets
+    /// the core. This is the operation the SDMMon control processor performs
+    /// after decrypting and verifying a package.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit below the verdict/packet region.
+    pub fn install(&mut self, image: &[u8], base: u32) {
+        assert!(
+            (base as u64 + image.len() as u64) <= VERDICT_ADDR as u64,
+            "program image overlaps the packet/verdict region"
+        );
+        self.image = image.to_vec();
+        self.entry = base;
+        self.reset();
+    }
+
+    /// Returns true once a program is installed.
+    pub fn is_programmed(&self) -> bool {
+        !self.image.is_empty()
+    }
+
+    /// Entry point of the installed program.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// How many resets (recoveries) this core has performed.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Hard-resets the core: clears memory and registers and re-loads the
+    /// pristine program image (the paper's recovery action after an attack).
+    pub fn reset(&mut self) {
+        self.cpu.reset();
+        self.mem.clear();
+        if !self.image.is_empty() {
+            self.mem
+                .write_bytes(self.entry, &self.image)
+                .expect("image fits: checked at install");
+        }
+        self.resets += 1;
+    }
+
+    /// Direct read access to core memory (for tests and attack setup).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Direct write access to core memory.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Processes one packet: loads it into the packet buffer, runs the
+    /// installed program from its entry point with `observer` watching
+    /// every retired instruction, and reads back the verdict.
+    ///
+    /// Any unclean halt — trap, monitor violation, step-limit exhaustion —
+    /// forces [`Verdict::Drop`] and leaves the core state *dirty*; callers
+    /// implementing the paper's recovery policy should call [`Core::reset`]
+    /// before the next packet (see [`crate::np::NetworkProcessor`]).
+    ///
+    /// Oversized packets are dropped without executing anything.
+    pub fn process_packet<O: ExecutionObserver + ?Sized>(
+        &mut self,
+        packet: &[u8],
+        observer: &mut O,
+    ) -> PacketOutcome {
+        assert!(self.is_programmed(), "no program installed");
+        if packet.len() as u64 > PKT_MAX_BYTES as u64 {
+            return PacketOutcome { verdict: Verdict::Drop, steps: 0, halt: HaltReason::Completed };
+        }
+        // Stage the packet and clear the verdict.
+        self.mem
+            .store_u32(PKT_LEN_ADDR, packet.len() as u32)
+            .expect("packet length slot in range");
+        self.mem
+            .write_bytes(PKT_DATA_ADDR, packet)
+            .expect("bounded by PKT_MAX_BYTES");
+        self.mem
+            .store_u32(VERDICT_ADDR, Verdict::Drop.to_word())
+            .expect("verdict slot in range");
+
+        // Start the run: fresh register file, ABI stack pointer.
+        self.cpu.reset();
+        self.cpu.set_pc(self.entry);
+        self.cpu.set_reg(Reg::SP, STACK_TOP);
+        observer.begin(self.entry);
+
+        let mut steps = 0u64;
+        let halt = loop {
+            if steps >= self.step_limit {
+                break HaltReason::StepLimit;
+            }
+            match self.cpu.step(&mut self.mem) {
+                Ok(retired) => {
+                    steps += 1;
+                    if observer.observe(retired.pc, retired.word) == Observation::Violation {
+                        break HaltReason::MonitorViolation;
+                    }
+                }
+                Err(Trap::Break(0)) => {
+                    // The halting `break` itself retires and is visible to
+                    // the hardware monitor (the trap is delivered after the
+                    // instruction completes), so it must be observed too —
+                    // otherwise an attacker's final block would escape its
+                    // digest check.
+                    steps += 1;
+                    let pc = self.cpu.pc();
+                    let word = self.mem.load_u32(pc).expect("break was just fetched from here");
+                    if observer.observe(pc, word) == Observation::Violation {
+                        break HaltReason::MonitorViolation;
+                    }
+                    break HaltReason::Completed;
+                }
+                Err(trap) => break HaltReason::Fault(trap),
+            }
+        };
+
+        let verdict = if halt.is_clean() {
+            Verdict::from_word(self.mem.load_u32(VERDICT_ADDR).expect("verdict slot in range"))
+        } else {
+            Verdict::Drop
+        };
+        PacketOutcome { verdict, steps, halt }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::NullObserver;
+    use sdmmon_isa::asm::Assembler;
+
+    fn forward_everything_program() -> Vec<u8> {
+        Assembler::new()
+            .assemble(
+                "   li $t0, 0x0007fff0   # VERDICT_ADDR
+                    li $t1, 7
+                    sw $t1, 0($t0)
+                    break 0",
+            )
+            .unwrap()
+            .to_bytes()
+    }
+
+    #[test]
+    fn runs_program_and_reads_verdict() {
+        let mut core = Core::new();
+        core.install(&forward_everything_program(), 0);
+        let out = core.process_packet(&[1, 2, 3], &mut NullObserver);
+        assert_eq!(out.verdict, Verdict::Forward(7));
+        assert_eq!(out.halt, HaltReason::Completed);
+        assert!(out.steps > 0);
+    }
+
+    #[test]
+    fn packet_visible_to_program() {
+        let program = Assembler::new()
+            .assemble(
+                "   li $t0, 0x00080000   # PKT_LEN_ADDR
+                    lw $t1, 0($t0)       # len
+                    lbu $t2, 4($t0)      # first payload byte
+                    addu $t3, $t1, $t2
+                    li $t4, 0x0007fff0
+                    sw $t3, 0($t4)       # verdict = len + first byte
+                    break 0",
+            )
+            .unwrap()
+            .to_bytes();
+        let mut core = Core::new();
+        core.install(&program, 0);
+        let out = core.process_packet(&[10, 0, 0], &mut NullObserver);
+        assert_eq!(out.verdict, Verdict::Forward(13));
+    }
+
+    #[test]
+    fn unclean_halt_forces_drop() {
+        // Program sets verdict then jumps into the weeds.
+        let program = Assembler::new()
+            .assemble(
+                "   li $t0, 0x0007fff0
+                    li $t1, 9
+                    sw $t1, 0($t0)
+                    li $t2, 0x00f00000
+                    jr $t2",
+            )
+            .unwrap()
+            .to_bytes();
+        let mut core = Core::new();
+        core.install(&program, 0);
+        let out = core.process_packet(&[], &mut NullObserver);
+        assert_eq!(out.verdict, Verdict::Drop);
+        assert!(matches!(out.halt, HaltReason::Fault(_)));
+    }
+
+    #[test]
+    fn step_limit_stops_runaway() {
+        let program = Assembler::new().assemble("spin: b spin").unwrap().to_bytes();
+        let mut core = Core::new();
+        core.install(&program, 0);
+        core.set_step_limit(100);
+        let out = core.process_packet(&[], &mut NullObserver);
+        assert_eq!(out.halt, HaltReason::StepLimit);
+        assert_eq!(out.steps, 100);
+        assert_eq!(out.verdict, Verdict::Drop);
+    }
+
+    #[test]
+    fn observer_violation_stops_core() {
+        struct AfterN(u32);
+        impl ExecutionObserver for AfterN {
+            fn begin(&mut self, _e: u32) {}
+            fn observe(&mut self, _pc: u32, _w: u32) -> Observation {
+                if self.0 == 0 {
+                    return Observation::Violation;
+                }
+                self.0 -= 1;
+                Observation::Continue
+            }
+        }
+        let mut core = Core::new();
+        core.install(&forward_everything_program(), 0);
+        let out = core.process_packet(&[], &mut AfterN(2));
+        assert_eq!(out.halt, HaltReason::MonitorViolation);
+        assert_eq!(out.steps, 3);
+        assert_eq!(out.verdict, Verdict::Drop);
+    }
+
+    #[test]
+    fn reset_restores_pristine_image() {
+        let mut core = Core::new();
+        core.install(&forward_everything_program(), 0);
+        // Corrupt the program in memory.
+        core.memory_mut().store_u32(0, 0xffff_ffff).unwrap();
+        let bad = core.process_packet(&[], &mut NullObserver);
+        assert!(matches!(bad.halt, HaltReason::Fault(Trap::ReservedInstruction { .. })));
+        core.reset();
+        let good = core.process_packet(&[], &mut NullObserver);
+        assert_eq!(good.halt, HaltReason::Completed);
+    }
+
+    #[test]
+    fn oversized_packet_dropped_without_running() {
+        let mut core = Core::new();
+        core.install(&forward_everything_program(), 0);
+        let big = vec![0u8; (PKT_MAX_BYTES + 1) as usize];
+        let out = core.process_packet(&big, &mut NullObserver);
+        assert_eq!(out.steps, 0);
+        assert_eq!(out.verdict, Verdict::Drop);
+    }
+
+    #[test]
+    #[should_panic(expected = "no program installed")]
+    fn processing_without_program_panics() {
+        Core::new().process_packet(&[], &mut NullObserver);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn image_overlapping_packet_region_rejected() {
+        let mut core = Core::new();
+        core.install(&vec![0u8; (VERDICT_ADDR + 8) as usize], 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Flat big-endian memory for the simulated network-processor core.
+
+use std::fmt;
+
+/// Error raised by a memory access the core cannot perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemError {
+    /// The access touched bytes outside the memory array.
+    OutOfBounds {
+        /// Faulting address.
+        addr: u32,
+        /// Access width in bytes.
+        width: u32,
+    },
+    /// A half-word or word access was not naturally aligned.
+    Unaligned {
+        /// Faulting address.
+        addr: u32,
+        /// Access width in bytes.
+        width: u32,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr, width } => {
+                write!(f, "{width}-byte access at 0x{addr:08x} out of bounds")
+            }
+            MemError::Unaligned { addr, width } => {
+                write!(f, "{width}-byte access at 0x{addr:08x} not aligned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Byte-addressed big-endian memory (classic MIPS byte order, matching the
+/// PLASMA core the paper uses).
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_npu::mem::Memory;
+///
+/// let mut mem = Memory::new(64);
+/// mem.store_u32(0, 0x01020304).unwrap();
+/// assert_eq!(mem.load_u8(1).unwrap(), 2);
+/// assert_eq!(mem.load_u16(2).unwrap(), 0x0304);
+/// assert!(mem.load_u32(62).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Allocates `size` bytes of zeroed memory.
+    pub fn new(size: u32) -> Memory {
+        Memory { bytes: vec![0; size as usize] }
+    }
+
+    /// Memory size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Zeroes all of memory.
+    pub fn clear(&mut self) {
+        self.bytes.fill(0);
+    }
+
+    fn check(&self, addr: u32, width: u32) -> Result<usize, MemError> {
+        if width > 1 && !addr.is_multiple_of(width) {
+            return Err(MemError::Unaligned { addr, width });
+        }
+        let end = addr as u64 + width as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(MemError::OutOfBounds { addr, width });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Loads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] past the end of memory.
+    pub fn load_u8(&self, addr: u32) -> Result<u8, MemError> {
+        let i = self.check(addr, 1)?;
+        Ok(self.bytes[i])
+    }
+
+    /// Loads a big-endian half-word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Unaligned`] for odd addresses and
+    /// [`MemError::OutOfBounds`] past the end of memory.
+    pub fn load_u16(&self, addr: u32) -> Result<u16, MemError> {
+        let i = self.check(addr, 2)?;
+        Ok(u16::from_be_bytes([self.bytes[i], self.bytes[i + 1]]))
+    }
+
+    /// Loads a big-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Unaligned`] for non-multiple-of-4 addresses and
+    /// [`MemError::OutOfBounds`] past the end of memory.
+    pub fn load_u32(&self, addr: u32) -> Result<u32, MemError> {
+        let i = self.check(addr, 4)?;
+        Ok(u32::from_be_bytes([
+            self.bytes[i],
+            self.bytes[i + 1],
+            self.bytes[i + 2],
+            self.bytes[i + 3],
+        ]))
+    }
+
+    /// Stores one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] past the end of memory.
+    pub fn store_u8(&mut self, addr: u32, value: u8) -> Result<(), MemError> {
+        let i = self.check(addr, 1)?;
+        self.bytes[i] = value;
+        Ok(())
+    }
+
+    /// Stores a big-endian half-word.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::load_u16`].
+    pub fn store_u16(&mut self, addr: u32, value: u16) -> Result<(), MemError> {
+        let i = self.check(addr, 2)?;
+        self.bytes[i..i + 2].copy_from_slice(&value.to_be_bytes());
+        Ok(())
+    }
+
+    /// Stores a big-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::load_u32`].
+    pub fn store_u32(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
+        let i = self.check(addr, 4)?;
+        self.bytes[i..i + 4].copy_from_slice(&value.to_be_bytes());
+        Ok(())
+    }
+
+    /// Copies `data` into memory starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the block does not fit.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), MemError> {
+        let end = addr as u64 + data.len() as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(MemError::OutOfBounds { addr, width: data.len() as u32 });
+        }
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the block does not fit.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<&[u8], MemError> {
+        let end = addr as u64 + len as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(MemError::OutOfBounds { addr, width: len });
+        }
+        Ok(&self.bytes[addr as usize..(addr + len) as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_are_big_endian() {
+        let mut m = Memory::new(16);
+        m.store_u32(4, 0xAABBCCDD).unwrap();
+        assert_eq!(m.load_u8(4).unwrap(), 0xAA);
+        assert_eq!(m.load_u8(7).unwrap(), 0xDD);
+        assert_eq!(m.load_u16(4).unwrap(), 0xAABB);
+        assert_eq!(m.load_u32(4).unwrap(), 0xAABBCCDD);
+        m.store_u16(0, 0x1234).unwrap();
+        assert_eq!(m.load_u8(0).unwrap(), 0x12);
+        m.store_u8(2, 0x56).unwrap();
+        assert_eq!(m.load_u16(2).unwrap(), 0x5600);
+    }
+
+    #[test]
+    fn alignment_enforced() {
+        let mut m = Memory::new(16);
+        assert_eq!(m.load_u32(2), Err(MemError::Unaligned { addr: 2, width: 4 }));
+        assert_eq!(m.load_u16(1), Err(MemError::Unaligned { addr: 1, width: 2 }));
+        assert_eq!(m.store_u32(5, 0), Err(MemError::Unaligned { addr: 5, width: 4 }));
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        let mut m = Memory::new(8);
+        assert!(m.load_u8(7).is_ok());
+        assert_eq!(m.load_u8(8), Err(MemError::OutOfBounds { addr: 8, width: 1 }));
+        assert!(m.store_u32(4, 1).is_ok());
+        assert!(m.store_u32(8, 1).is_err());
+        // Wrap-around addresses must not panic.
+        assert!(m.load_u32(u32::MAX - 3).is_err());
+    }
+
+    #[test]
+    fn block_operations() {
+        let mut m = Memory::new(16);
+        m.write_bytes(3, &[1, 2, 3]).unwrap();
+        assert_eq!(m.read_bytes(3, 3).unwrap(), &[1, 2, 3]);
+        assert!(m.write_bytes(15, &[1, 2]).is_err());
+        assert!(m.read_bytes(15, 2).is_err());
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut m = Memory::new(8);
+        m.store_u32(0, u32::MAX).unwrap();
+        m.clear();
+        assert_eq!(m.load_u32(0).unwrap(), 0);
+    }
+}

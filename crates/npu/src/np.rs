@@ -1,0 +1,355 @@
+//! The multicore network processor: several cores with per-core execution
+//! observers, round-robin packet dispatch, and the paper's recovery policy
+//! (detect → drop packet → reset core → continue with the next packet).
+
+use crate::core::Core;
+use crate::cpu::{ExecutionObserver, NullObserver};
+use crate::runtime::{HaltReason, PacketOutcome};
+use std::fmt;
+
+/// Aggregate counters over all packets the NP has processed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NpStats {
+    /// Packets handed to a core.
+    pub processed: u64,
+    /// Packets forwarded to an output port.
+    pub forwarded: u64,
+    /// Packets dropped (policy drops and recovery drops alike).
+    pub dropped: u64,
+    /// Runs stopped by the execution observer (hardware monitor).
+    pub violations: u64,
+    /// Runs stopped by a processor trap.
+    pub faults: u64,
+    /// Core resets performed as recovery.
+    pub recoveries: u64,
+}
+
+impl fmt::Display for NpStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "processed {} / forwarded {} / dropped {} / violations {} / faults {} / recoveries {}",
+            self.processed, self.forwarded, self.dropped, self.violations, self.faults,
+            self.recoveries
+        )
+    }
+}
+
+/// One core and its attached observer.
+struct Slot {
+    core: Core,
+    observer: Box<dyn ExecutionObserver + Send>,
+}
+
+impl fmt::Debug for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Slot")
+            .field("core", &self.core)
+            .field("observer", &"<dyn ExecutionObserver>")
+            .finish()
+    }
+}
+
+/// A multiprocessor network processor, as in the paper's MPSoC model.
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_npu::{np::NetworkProcessor, programs, runtime::Verdict};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = programs::ipv4_forward()?;
+/// let mut np = NetworkProcessor::new(4);
+/// np.install_all(&program.to_bytes(), program.base, |_core| {
+///     Box::new(sdmmon_npu::cpu::NullObserver)
+/// });
+/// let packet = programs::testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 5], 64, b"x");
+/// let (core_id, outcome) = np.process(&packet);
+/// assert_eq!(core_id, 0);
+/// assert_eq!(outcome.verdict, Verdict::Forward(5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct NetworkProcessor {
+    slots: Vec<Slot>,
+    next: usize,
+    stats: NpStats,
+}
+
+impl NetworkProcessor {
+    /// Creates an NP with `cores` unprogrammed cores and null observers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize) -> NetworkProcessor {
+        assert!(cores > 0, "a network processor needs at least one core");
+        let slots = (0..cores)
+            .map(|_| Slot {
+                core: Core::new(),
+                observer: Box::new(NullObserver) as Box<dyn ExecutionObserver + Send>,
+            })
+            .collect();
+        NetworkProcessor { slots, next: 0, stats: NpStats::default() }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Installs a program and observer on one core (what the SDMMon control
+    /// processor does after verifying a package for that core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn install(
+        &mut self,
+        core: usize,
+        image: &[u8],
+        base: u32,
+        observer: Box<dyn ExecutionObserver + Send>,
+    ) {
+        let slot = &mut self.slots[core];
+        slot.core.install(image, base);
+        slot.observer = observer;
+    }
+
+    /// Installs the same program on every core, with a per-core observer
+    /// built by `make_observer` (each core gets its *own* monitor instance,
+    /// and — in the SDMMon design — its own hash parameter).
+    pub fn install_all(
+        &mut self,
+        image: &[u8],
+        base: u32,
+        mut make_observer: impl FnMut(usize) -> Box<dyn ExecutionObserver + Send>,
+    ) {
+        for i in 0..self.slots.len() {
+            self.install(i, image, base, make_observer(i));
+        }
+    }
+
+    /// Immutable access to a core (for inspection in tests/benches).
+    pub fn core(&self, index: usize) -> &Core {
+        &self.slots[index].core
+    }
+
+    /// Processes one packet on the next round-robin core, applying the
+    /// recovery policy on unclean halts. Returns the core index used and
+    /// the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selected core has no program installed.
+    pub fn process(&mut self, packet: &[u8]) -> (usize, PacketOutcome) {
+        let index = self.next;
+        self.next = (self.next + 1) % self.slots.len();
+        let outcome = self.process_on(index, packet);
+        (index, outcome)
+    }
+
+    /// Processes a packet on the core its *flow* hashes to, so packets of
+    /// one conversation share a core (and its per-core state, e.g. the
+    /// CM counters) — the dispatch real NPs use to keep flow affinity.
+    ///
+    /// The flow key is (src, dst, protocol) plus the first payload word
+    /// (the L4 ports for UDP/TCP) when present; non-IPv4 runts hash over
+    /// their raw bytes.
+    pub fn process_flow(&mut self, packet: &[u8]) -> (usize, PacketOutcome) {
+        let index = (flow_hash(packet) % self.slots.len() as u64) as usize;
+        (index, self.process_on(index, packet))
+    }
+
+    /// Processes one packet on a specific core (flow-pinned dispatch).
+    pub fn process_on(&mut self, index: usize, packet: &[u8]) -> PacketOutcome {
+        let slot = &mut self.slots[index];
+        let outcome = slot.core.process_packet(packet, slot.observer.as_mut());
+        self.stats.processed += 1;
+        match outcome.halt {
+            HaltReason::Completed => {}
+            HaltReason::MonitorViolation => self.stats.violations += 1,
+            HaltReason::Fault(_) | HaltReason::StepLimit => self.stats.faults += 1,
+        }
+        if outcome.halt.is_clean() {
+            match outcome.verdict {
+                crate::runtime::Verdict::Drop => self.stats.dropped += 1,
+                crate::runtime::Verdict::Forward(_) => self.stats.forwarded += 1,
+            }
+        } else {
+            // Recovery: drop the packet and reset the core so the next
+            // packet starts from a pristine image.
+            self.stats.dropped += 1;
+            self.stats.recoveries += 1;
+            slot.core.reset();
+        }
+        outcome
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> NpStats {
+        self.stats
+    }
+}
+
+/// FNV-1a over the flow key of `packet` (see
+/// [`NetworkProcessor::process_flow`]).
+fn flow_hash(packet: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1_0000_0193;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    if packet.len() >= 20 && packet[0] >> 4 == 4 {
+        let header_len = ((packet[0] & 0xf) as usize) * 4;
+        eat(&packet[12..20]); // src + dst
+        eat(&packet[9..10]); // protocol
+        if packet.len() >= header_len + 4 {
+            eat(&packet[header_len..header_len + 4]); // L4 ports
+        }
+    } else {
+        eat(packet);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{Observation, NullObserver};
+    use crate::programs::{self, testing};
+    use crate::runtime::Verdict;
+
+    fn loaded_np(cores: usize) -> NetworkProcessor {
+        let program = programs::ipv4_forward().unwrap();
+        let mut np = NetworkProcessor::new(cores);
+        np.install_all(&program.to_bytes(), program.base, |_| Box::new(NullObserver));
+        np
+    }
+
+    #[test]
+    fn round_robin_dispatch() {
+        let mut np = loaded_np(3);
+        let packet = testing::ipv4_packet([1, 1, 1, 1], [2, 2, 2, 2], 64, b"");
+        let ids: Vec<usize> = (0..6).map(|_| np.process(&packet).0).collect();
+        assert_eq!(ids, [0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut np = loaded_np(2);
+        let fwd = testing::ipv4_packet([1, 1, 1, 1], [2, 2, 2, 2], 64, b"");
+        let drop = testing::ipv4_packet([1, 1, 1, 1], [2, 2, 2, 16], 64, b""); // route 0
+        np.process(&fwd);
+        np.process(&fwd);
+        np.process(&drop);
+        let s = np.stats();
+        assert_eq!(s.processed, 3);
+        assert_eq!(s.forwarded, 2);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.recoveries, 0);
+    }
+
+    #[test]
+    fn violation_triggers_recovery() {
+        struct TripAfter(u64);
+        impl ExecutionObserver for TripAfter {
+            fn begin(&mut self, _e: u32) {}
+            fn observe(&mut self, _pc: u32, _w: u32) -> Observation {
+                if self.0 == 0 {
+                    Observation::Violation
+                } else {
+                    self.0 -= 1;
+                    Observation::Continue
+                }
+            }
+        }
+        let program = programs::ipv4_forward().unwrap();
+        let mut np = NetworkProcessor::new(1);
+        np.install(0, &program.to_bytes(), program.base, Box::new(TripAfter(10)));
+        let packet = testing::ipv4_packet([1, 1, 1, 1], [2, 2, 2, 2], 64, b"");
+        let (_, out) = np.process(&packet);
+        assert_eq!(out.halt, HaltReason::MonitorViolation);
+        assert_eq!(out.verdict, Verdict::Drop);
+        let s = np.stats();
+        assert_eq!(s.violations, 1);
+        assert_eq!(s.recoveries, 1);
+        assert_eq!(s.dropped, 1);
+    }
+
+    #[test]
+    fn recovery_restores_service() {
+        // A hijacked vulnerable core keeps serving good packets correctly
+        // after reset.
+        let program = programs::vulnerable_forward().unwrap();
+        let mut np = NetworkProcessor::new(1);
+        np.install_all(&program.to_bytes(), program.base, |_| Box::new(NullObserver));
+        // Attack that corrupts the in-memory route table, then halts.
+        let table = program.symbol("route_table").unwrap();
+        let attack = testing::hijack_packet(&format!(
+            "li $t4, 0x{:x}
+             li $t5, 15
+             sw $t5, 8($t4)      # route_table[2] = 15
+             break 0",
+            table
+        ))
+        .unwrap();
+        let good = testing::ipv4_packet([1, 1, 1, 1], [10, 0, 0, 2], 64, b"");
+
+        // Without detection the corruption persists (no monitor => no
+        // recovery): subsequent packets misroute.
+        np.process(&attack);
+        let (_, out) = np.process(&good);
+        assert_eq!(out.verdict, Verdict::Forward(15), "attack silently redirected traffic");
+
+        // A manual reset (what the monitor path automates) restores routing.
+        np.slots[0].core.reset();
+        let (_, out) = np.process(&good);
+        assert_eq!(out.verdict, Verdict::Forward(2));
+    }
+
+    #[test]
+    fn flow_dispatch_is_sticky_and_spreads() {
+        let mut np = loaded_np(4);
+        // Same flow always lands on the same core.
+        let flow = testing::ipv4_packet([10, 1, 2, 3], [10, 0, 0, 5], 64, b"\x12\x34\x00\x50");
+        let first = np.process_flow(&flow).0;
+        for _ in 0..5 {
+            assert_eq!(np.process_flow(&flow).0, first);
+        }
+        // Many distinct flows reach more than one core.
+        let mut cores_hit = std::collections::BTreeSet::new();
+        for i in 0..32u8 {
+            let p = testing::ipv4_packet([10, 1, i, 3], [10, 0, 0, 5], 64, b"data");
+            cores_hit.insert(np.process_flow(&p).0);
+        }
+        assert!(cores_hit.len() >= 3, "flows all piled on {cores_hit:?}");
+        // Non-IPv4 runts are still dispatched somewhere valid.
+        let (core, _) = np.process_flow(&[1, 2, 3]);
+        assert!(core < 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        NetworkProcessor::new(0);
+    }
+
+    #[test]
+    fn per_core_observers_are_distinct() {
+        // Each call to make_observer corresponds to one core index.
+        let program = programs::ipv4_forward().unwrap();
+        let mut np = NetworkProcessor::new(3);
+        let mut seen = Vec::new();
+        np.install_all(&program.to_bytes(), program.base, |i| {
+            seen.push(i);
+            Box::new(NullObserver)
+        });
+        assert_eq!(seen, [0, 1, 2]);
+    }
+}

@@ -1,0 +1,644 @@
+//! Packet-processing workloads of the paper's evaluation, written in the
+//! MIPS-I assembly dialect of [`sdmmon_isa::asm`].
+//!
+//! Three binaries are provided:
+//!
+//! * [`ipv4_forward`] — baseline IPv4 forwarding: header validation,
+//!   checksum verification, TTL decrement with checksum update, and a
+//!   16-entry route lookup on the destination address.
+//! * [`ipv4_cm`] — the paper's "IPv4+CM" workload: IPv4 forwarding plus a
+//!   congestion-management stage that ECN-marks every fourth packet.
+//! * [`vulnerable_forward`] — IPv4 forwarding with a deliberately unchecked
+//!   option-copy into a fixed stack buffer. A crafted packet overflows the
+//!   buffer, overwrites the return address, and redirects execution into
+//!   packet-resident code: the canonical data-plane attack of Chasaki &
+//!   Wolf that the hardware monitor exists to catch. It runs **only inside
+//!   this simulator**.
+//!
+//! The [`testing`] module builds well-formed and malicious packets for the
+//! examples, tests, and benchmark harness.
+
+use sdmmon_isa::asm::{AsmError, Assembler, Program};
+
+/// Shared epilogue: checksum helper + drop handler + route table, appended
+/// to every workload.
+///
+/// Calling convention for `cksum`: `$a0` = byte address (halfword aligned),
+/// `$a1` = even byte count; returns the folded 16-bit ones'-complement sum
+/// in `$v0`. Clobbers `$t8`.
+const COMMON_TAIL: &str = "
+drop:
+    li   $t4, 0x0007fff0        # VERDICT_ADDR
+    sw   $zero, 0($t4)
+    break 0
+
+cksum:
+    move $v0, $zero
+cksum_loop:
+    blez $a1, cksum_fold
+    lhu  $t8, 0($a0)
+    addu $v0, $v0, $t8
+    addiu $a0, $a0, 2
+    addiu $a1, $a1, -2
+    b    cksum_loop
+cksum_fold:
+    srl  $t8, $v0, 16
+    andi $v0, $v0, 0xffff
+    addu $v0, $v0, $t8
+    srl  $t8, $v0, 16
+    andi $v0, $v0, 0xffff
+    addu $v0, $v0, $t8
+    jr   $ra
+
+route_table:
+    .word 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15
+";
+
+/// Header validation + checksum verification, shared by all variants.
+/// Leaves `$s0` = PKT_LEN_ADDR, `$s1` = packet base, `$s2` = header bytes,
+/// `$s7` = packet length.
+const VALIDATE: &str = "
+    li   $sp, 0x000ffff0        # STACK_TOP
+    li   $s0, 0x00080000        # PKT_LEN_ADDR
+    lw   $s7, 0($s0)
+    addiu $s1, $s0, 4           # packet bytes
+    slti $t1, $s7, 20
+    bnez $t1, drop              # runt packet
+    lbu  $t1, 0($s1)            # version | IHL
+    srl  $t2, $t1, 4
+    addiu $t3, $zero, 4
+    bne  $t2, $t3, drop         # not IPv4
+    andi $s2, $t1, 0xf
+    slti $t2, $s2, 5
+    bnez $t2, drop              # IHL < 5
+    sll  $s2, $s2, 2            # header bytes
+    sltu $t2, $s7, $s2
+    bnez $t2, drop              # truncated header
+    move $a0, $s1
+    move $a1, $s2
+    jal  cksum
+    ori  $t1, $zero, 0xffff
+    bne  $v0, $t1, drop         # bad checksum
+";
+
+/// TTL decrement + checksum rewrite, shared by all variants.
+const TTL_AND_REWRITE: &str = "
+    lbu  $t1, 8($s1)            # TTL
+    slti $t2, $t1, 2
+    bnez $t2, drop              # TTL expired
+    addiu $t1, $t1, -1
+    sb   $t1, 8($s1)
+    sh   $zero, 10($s1)         # clear checksum field
+    move $a0, $s1
+    move $a1, $s2
+    jal  cksum
+    nor  $v0, $v0, $zero
+    andi $v0, $v0, 0xffff
+    sh   $v0, 10($s1)           # store new checksum
+";
+
+/// Route lookup on the destination's last octet and verdict write.
+const ROUTE_AND_FINISH: &str = "
+    lbu  $t1, 19($s1)           # last octet of destination
+    andi $t1, $t1, 0xf
+    sll  $t1, $t1, 2
+    la   $t2, route_table
+    addu $t2, $t2, $t1
+    lw   $t3, 0($t2)
+    beqz $t3, drop              # route entry 0 = unreachable
+    li   $t4, 0x0007fff0
+    sw   $t3, 0($t4)
+    break 0
+";
+
+/// Assembles the baseline IPv4 forwarding workload.
+///
+/// # Errors
+///
+/// Propagates assembler errors (which would indicate a bug in the embedded
+/// source, not user input).
+///
+/// # Examples
+///
+/// ```
+/// let program = sdmmon_npu::programs::ipv4_forward().unwrap();
+/// assert!(program.symbol("route_table").is_some());
+/// ```
+pub fn ipv4_forward() -> Result<Program, AsmError> {
+    let source = format!("{VALIDATE}{TTL_AND_REWRITE}{ROUTE_AND_FINISH}{COMMON_TAIL}");
+    Assembler::new().assemble(&source)
+}
+
+/// Assembles the paper's IPv4 + congestion-management workload.
+///
+/// On top of [`ipv4_forward`], every fourth packet through the core gets
+/// its ECN field set to CE (TOS |= 3) before the checksum is rewritten —
+/// a deterministic stand-in for the RED-style marking stage the paper's
+/// "IPv4+CM" binary performs.
+pub fn ipv4_cm() -> Result<Program, AsmError> {
+    let cm_stage = "
+    la   $t1, cm_counter
+    lw   $t2, 0($t1)
+    addiu $t2, $t2, 1
+    sw   $t2, 0($t1)
+    andi $t3, $t2, 3
+    bnez $t3, cm_done           # mark every 4th packet
+    lbu  $t3, 1($s1)            # TOS byte
+    ori  $t3, $t3, 3            # ECN = CE
+    sb   $t3, 1($s1)
+cm_done:
+";
+    let data = "
+cm_counter:
+    .word 0
+";
+    // The marking happens before TTL_AND_REWRITE so a single checksum
+    // rewrite covers both mutations.
+    let source =
+        format!("{VALIDATE}{cm_stage}{TTL_AND_REWRITE}{ROUTE_AND_FINISH}{COMMON_TAIL}{data}");
+    Assembler::new().assemble(&source)
+}
+
+/// Assembles a stateful firewall workload: IPv4 forwarding plus a UDP
+/// destination-port filter walked rule-by-rule (a loop over a rules table,
+/// giving the monitoring graph a richer control-flow shape than the plain
+/// forwarder).
+///
+/// Rules (dst-port, action) — action 0 drops, 1 allows:
+/// port 53 → drop, port 8080 → drop, port 4444 → drop, anything else → allow.
+/// Non-UDP packets bypass the filter entirely.
+///
+/// # Errors
+///
+/// Propagates assembler errors (a bug in the embedded source).
+///
+/// # Examples
+///
+/// ```
+/// let program = sdmmon_npu::programs::firewall().unwrap();
+/// assert!(program.symbol("fw_rules").is_some());
+/// ```
+pub fn firewall() -> Result<Program, AsmError> {
+    let filter_stage = "
+    lbu  $t1, 9($s1)            # protocol field (packet offset 9)
+    addiu $t2, $zero, 17
+    bne  $t1, $t2, fw_done      # non-UDP traffic bypasses the filter
+    addu $t3, $s1, $s2          # UDP header = packet base + header bytes
+    lhu  $t5, 2($t3)            # UDP destination port
+    la   $t6, fw_rules
+    addiu $t7, $zero, 3         # number of rules
+fw_loop:
+    blez $t7, fw_done
+    lhu  $t8, 0($t6)            # rule port
+    bne  $t8, $t5, fw_next
+    lhu  $t8, 2($t6)            # rule action
+    beqz $t8, drop              # 0 = drop
+    b    fw_done                # explicit allow
+fw_next:
+    addiu $t6, $t6, 4
+    addiu $t7, $t7, -1
+    b    fw_loop
+fw_done:
+";
+    let data = "
+fw_rules:
+    .half 53, 0                 # DNS: drop
+    .half 8080, 0               # alt-http: drop
+    .half 4444, 0               # metasploit default: drop
+";
+    let source = format!(
+        "{VALIDATE}{filter_stage}{TTL_AND_REWRITE}{ROUTE_AND_FINISH}{COMMON_TAIL}{data}"
+    );
+    Assembler::new().assemble(&source)
+}
+
+/// Assembles the deliberately vulnerable forwarder.
+///
+/// When the header carries options (IHL > 5), `parse_options` copies a
+/// number of bytes *taken from the option's own length field* into a
+/// 28-byte stack scratch buffer without any bound check. A declared length
+/// of 32 reaches the saved return address. See [`testing::hijack_packet`]
+/// for the matching exploit builder.
+pub fn vulnerable_forward() -> Result<Program, AsmError> {
+    let options_stage = "
+    addiu $t1, $zero, 20
+    beq  $s2, $t1, no_options
+    addiu $a0, $s1, 20          # options start
+    jal  parse_options
+no_options:
+";
+    let parse_options = "
+parse_options:
+    addiu $sp, $sp, -40
+    sw   $ra, 36($sp)
+    lbu  $t1, 1($a0)            # attacker-controlled copy length
+    addiu $t2, $sp, 8           # 28-byte scratch buffer at 8($sp)
+    move $t3, $zero
+copy_loop:
+    sltu $t4, $t3, $t1
+    beqz $t4, copy_done
+    addu $t5, $a0, $t3
+    lbu  $t6, 0($t5)
+    addu $t7, $t2, $t3
+    sb   $t6, 0($t7)            # no bound check: bytes 28.. clobber $ra
+    addiu $t3, $t3, 1
+    b    copy_loop
+copy_done:
+    lw   $ra, 36($sp)
+    addiu $sp, $sp, 40
+    jr   $ra
+";
+    let source = format!(
+        "{VALIDATE}{options_stage}{TTL_AND_REWRITE}{ROUTE_AND_FINISH}{parse_options}{COMMON_TAIL}"
+    );
+    Assembler::new().assemble(&source)
+}
+
+/// Packet builders for tests, examples, and the benchmark harness.
+pub mod testing {
+    use super::*;
+    use crate::runtime::PKT_DATA_ADDR;
+
+    /// Computes the IPv4 header checksum field value for `header` (with its
+    /// checksum bytes zeroed).
+    pub fn ipv4_checksum(header: &[u8]) -> u16 {
+        let mut sum = 0u32;
+        for chunk in header.chunks(2) {
+            let word = u16::from_be_bytes([chunk[0], *chunk.get(1).unwrap_or(&0)]);
+            sum += word as u32;
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+
+    /// Builds a valid IPv4 packet (20-byte header, no options).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_npu::programs::testing::{ipv4_checksum, ipv4_packet};
+    /// let p = ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"hi");
+    /// assert_eq!(p.len(), 22);
+    /// // A valid header checksums to zero.
+    /// assert_eq!(ipv4_checksum(&p[..20]), 0);
+    /// ```
+    pub fn ipv4_packet(src: [u8; 4], dst: [u8; 4], ttl: u8, payload: &[u8]) -> Vec<u8> {
+        build_packet(src, dst, ttl, &[], payload)
+    }
+
+    /// Builds a valid IPv4 packet carrying `options` (padded to a multiple
+    /// of 4 bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded options exceed the 40-byte IPv4 maximum.
+    pub fn ipv4_packet_with_options(
+        src: [u8; 4],
+        dst: [u8; 4],
+        ttl: u8,
+        options: &[u8],
+        payload: &[u8],
+    ) -> Vec<u8> {
+        build_packet(src, dst, ttl, options, payload)
+    }
+
+    fn build_packet(src: [u8; 4], dst: [u8; 4], ttl: u8, options: &[u8], payload: &[u8]) -> Vec<u8> {
+        let mut opts = options.to_vec();
+        while !opts.len().is_multiple_of(4) {
+            opts.push(0); // EOL padding
+        }
+        assert!(opts.len() <= 40, "IPv4 options limited to 40 bytes");
+        let ihl = 5 + opts.len() / 4;
+        let total_len = 20 + opts.len() + payload.len();
+        let mut header = vec![0u8; 20];
+        header[0] = 0x40 | ihl as u8;
+        header[1] = 0; // TOS
+        header[2..4].copy_from_slice(&(total_len as u16).to_be_bytes());
+        header[8] = ttl;
+        header[9] = 17; // UDP, arbitrary
+        header[12..16].copy_from_slice(&src);
+        header[16..20].copy_from_slice(&dst);
+        header.extend_from_slice(&opts);
+        let ck = ipv4_checksum(&header);
+        header[10..12].copy_from_slice(&ck.to_be_bytes());
+        header.extend_from_slice(payload);
+        header
+    }
+
+    /// Declared copy length that exactly reaches the saved return address
+    /// in `parse_options` (28-byte buffer + 4-byte `$ra` slot).
+    pub const HIJACK_COPY_LEN: u8 = 32;
+
+    /// Builds the stack-smashing packet for [`vulnerable_forward`]:
+    /// 32 bytes of header options whose last word overwrites the saved
+    /// return address with the address of `injected`, which is carried as
+    /// MIPS code in the packet payload.
+    ///
+    /// `injected` is assembled at its in-memory address so labels and
+    /// relative branches resolve correctly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler errors from the injected source.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdmmon_npu::{core::Core, cpu::NullObserver, programs, runtime::Verdict};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let program = programs::vulnerable_forward()?;
+    /// let mut core = Core::new();
+    /// core.install(&program.to_bytes(), program.base);
+    /// // Injected code forwards to attacker port 15 and halts "cleanly".
+    /// let attack = programs::testing::hijack_packet(
+    ///     "li $t4, 0x0007fff0\n li $t5, 15\n sw $t5, 0($t4)\n break 0",
+    /// )?;
+    /// let out = core.process_packet(&attack, &mut NullObserver);
+    /// assert_eq!(out.verdict, Verdict::Forward(15)); // hijack succeeded
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn hijack_packet(injected: &str) -> Result<Vec<u8>, AsmError> {
+        // Header: 20 fixed + 32 option bytes → IHL = 13, payload starts at
+        // offset 52, which is word-aligned in core memory.
+        let code_addr = PKT_DATA_ADDR + 52;
+        debug_assert_eq!(code_addr % 4, 0);
+        let code = Assembler::new().with_base(code_addr).assemble(injected)?;
+
+        let mut options = vec![0u8; 32];
+        options[0] = 0x44; // option type (timestamp, arbitrary)
+        options[1] = HIJACK_COPY_LEN; // the lie: copy 32 bytes
+        options[28..32].copy_from_slice(&code_addr.to_be_bytes());
+
+        Ok(ipv4_packet_with_options(
+            [192, 168, 1, 66],
+            [10, 0, 0, 2],
+            64,
+            &options,
+            &code.to_bytes(),
+        ))
+    }
+
+    /// Builds a valid IPv4/UDP packet (UDP checksum 0, which is legal for
+    /// IPv4) — the traffic the [`super::firewall`] workload filters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let p = sdmmon_npu::programs::testing::ipv4_udp_packet(
+    ///     [10, 0, 0, 1], [10, 0, 0, 2], 5000, 53, b"query",
+    /// );
+    /// assert_eq!(p[9], 17, "protocol is UDP");
+    /// ```
+    pub fn ipv4_udp_packet(
+        src: [u8; 4],
+        dst: [u8; 4],
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let mut udp = Vec::with_capacity(8 + payload.len());
+        udp.extend_from_slice(&src_port.to_be_bytes());
+        udp.extend_from_slice(&dst_port.to_be_bytes());
+        udp.extend_from_slice(&((8 + payload.len()) as u16).to_be_bytes());
+        udp.extend_from_slice(&[0, 0]);
+        udp.extend_from_slice(payload);
+        ipv4_packet(src, dst, 64, &udp)
+    }
+
+    /// A benign options packet: a 4-byte option whose length field is
+    /// honest, exercising `parse_options` without overflowing.
+    pub fn benign_options_packet(dst_last_octet: u8) -> Vec<u8> {
+        let options = [0x44u8, 4, 0, 0];
+        ipv4_packet_with_options(
+            [192, 168, 1, 5],
+            [10, 0, 0, dst_last_octet],
+            64,
+            &options,
+            b"payload",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::*;
+    use super::*;
+    use crate::core::Core;
+    use crate::cpu::NullObserver;
+    use crate::runtime::{HaltReason, Verdict};
+
+    fn core_with(program: &Program) -> Core {
+        let mut core = Core::new();
+        core.install(&program.to_bytes(), program.base);
+        core
+    }
+
+    #[test]
+    fn all_workloads_assemble() {
+        for (name, p) in [
+            ("ipv4", ipv4_forward()),
+            ("ipv4_cm", ipv4_cm()),
+            ("vulnerable", vulnerable_forward()),
+            ("firewall", firewall()),
+        ] {
+            let p = p.unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(p.words.len() > 20, "{name} suspiciously small");
+        }
+    }
+
+    #[test]
+    fn firewall_blocks_listed_udp_ports() {
+        let program = firewall().unwrap();
+        let mut core = core_with(&program);
+        for blocked in [53u16, 8080, 4444] {
+            let packet = ipv4_udp_packet([10, 0, 0, 1], [10, 0, 0, 2], 1234, blocked, b"x");
+            let out = core.process_packet(&packet, &mut NullObserver);
+            assert_eq!(out.verdict, Verdict::Drop, "port {blocked} must be blocked");
+            assert_eq!(out.halt, HaltReason::Completed);
+        }
+    }
+
+    #[test]
+    fn firewall_allows_other_udp_ports() {
+        let program = firewall().unwrap();
+        let mut core = core_with(&program);
+        for allowed in [80u16, 443, 5000, 52, 54] {
+            let packet = ipv4_udp_packet([10, 0, 0, 1], [10, 0, 0, 3], 1234, allowed, b"x");
+            let out = core.process_packet(&packet, &mut NullObserver);
+            assert_eq!(out.verdict, Verdict::Forward(3), "port {allowed} must pass");
+        }
+    }
+
+    #[test]
+    fn firewall_bypasses_non_udp() {
+        let program = firewall().unwrap();
+        let mut core = core_with(&program);
+        // Craft a TCP packet whose first payload half-word collides with a
+        // blocked port: the filter must not even look at it.
+        let mut packet = ipv4_udp_packet([10, 0, 0, 1], [10, 0, 0, 4], 1234, 53, b"x");
+        packet[9] = 6; // TCP
+        packet[10] = 0;
+        packet[11] = 0;
+        let ck = ipv4_checksum(&packet[..20]);
+        packet[10..12].copy_from_slice(&ck.to_be_bytes());
+        let out = core.process_packet(&packet, &mut NullObserver);
+        assert_eq!(out.verdict, Verdict::Forward(4));
+    }
+
+    #[test]
+    fn firewall_still_validates_and_decrements_ttl() {
+        let program = firewall().unwrap();
+        let mut core = core_with(&program);
+        // A UDP datagram to an allowed port, but carried with TTL 1.
+        let udp = [0x04u8, 0xd2, 0x00, 0x50, 0x00, 0x08, 0x00, 0x00];
+        let mut corrupted = ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 1, &udp);
+        // TTL 1 expires.
+        assert_eq!(core.process_packet(&corrupted, &mut NullObserver).verdict, Verdict::Drop);
+        corrupted[10] ^= 0xff; // and a bad checksum also drops
+        assert_eq!(core.process_packet(&corrupted, &mut NullObserver).verdict, Verdict::Drop);
+    }
+
+    #[test]
+    fn forwards_by_destination_octet() {
+        let program = ipv4_forward().unwrap();
+        let mut core = core_with(&program);
+        for dst in 1u8..=9 {
+            let packet = ipv4_packet([10, 0, 0, 1], [10, 0, 0, dst], 64, b"data");
+            let out = core.process_packet(&packet, &mut NullObserver);
+            assert_eq!(out.verdict, Verdict::Forward(dst as u32), "dst {dst}");
+            assert_eq!(out.halt, HaltReason::Completed);
+        }
+    }
+
+    #[test]
+    fn route_entry_zero_drops() {
+        let program = ipv4_forward().unwrap();
+        let mut core = core_with(&program);
+        let packet = ipv4_packet([10, 0, 0, 1], [10, 0, 0, 16], 64, b""); // 16 & 0xf == 0
+        assert_eq!(core.process_packet(&packet, &mut NullObserver).verdict, Verdict::Drop);
+    }
+
+    #[test]
+    fn malformed_packets_dropped() {
+        let program = ipv4_forward().unwrap();
+        let mut core = core_with(&program);
+        // Runt.
+        assert_eq!(core.process_packet(&[1, 2, 3], &mut NullObserver).verdict, Verdict::Drop);
+        // Wrong version.
+        let mut p = ipv4_packet([1, 1, 1, 1], [2, 2, 2, 2], 64, b"");
+        p[0] = 0x65;
+        assert_eq!(core.process_packet(&p, &mut NullObserver).verdict, Verdict::Drop);
+        // Corrupted checksum.
+        let mut p = ipv4_packet([1, 1, 1, 1], [2, 2, 2, 2], 64, b"");
+        p[10] ^= 0xff;
+        assert_eq!(core.process_packet(&p, &mut NullObserver).verdict, Verdict::Drop);
+        // Expired TTL.
+        let p = ipv4_packet([1, 1, 1, 1], [2, 2, 2, 2], 1, b"");
+        assert_eq!(core.process_packet(&p, &mut NullObserver).verdict, Verdict::Drop);
+    }
+
+    #[test]
+    fn ttl_decremented_and_checksum_rewritten() {
+        let program = ipv4_forward().unwrap();
+        let mut core = core_with(&program);
+        let packet = ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"");
+        core.process_packet(&packet, &mut NullObserver);
+        let rewritten = core
+            .memory()
+            .read_bytes(crate::runtime::PKT_DATA_ADDR, 20)
+            .unwrap()
+            .to_vec();
+        assert_eq!(rewritten[8], 63, "TTL decremented");
+        assert_eq!(ipv4_checksum(&rewritten), 0, "rewritten checksum valid");
+    }
+
+    #[test]
+    fn cm_marks_every_fourth_packet() {
+        let program = ipv4_cm().unwrap();
+        let mut core = core_with(&program);
+        let mut marked = Vec::new();
+        for i in 0..8 {
+            let packet = ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"");
+            let out = core.process_packet(&packet, &mut NullObserver);
+            assert_eq!(out.halt, HaltReason::Completed, "packet {i}");
+            let tos = core
+                .memory()
+                .load_u8(crate::runtime::PKT_DATA_ADDR + 1)
+                .unwrap();
+            marked.push(tos & 3 == 3);
+        }
+        // Counter hits 4 on the 4th packet and 8 on the 8th.
+        assert_eq!(marked, [false, false, false, true, false, false, false, true]);
+    }
+
+    #[test]
+    fn cm_rewritten_checksum_still_valid_when_marked() {
+        let program = ipv4_cm().unwrap();
+        let mut core = core_with(&program);
+        for _ in 0..4 {
+            let packet = ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"");
+            core.process_packet(&packet, &mut NullObserver);
+        }
+        let rewritten = core
+            .memory()
+            .read_bytes(crate::runtime::PKT_DATA_ADDR, 20)
+            .unwrap()
+            .to_vec();
+        assert_eq!(rewritten[1] & 3, 3, "marked");
+        assert_eq!(ipv4_checksum(&rewritten), 0);
+    }
+
+    #[test]
+    fn vulnerable_forwarder_handles_benign_options() {
+        let program = vulnerable_forward().unwrap();
+        let mut core = core_with(&program);
+        let out = core.process_packet(&benign_options_packet(4), &mut NullObserver);
+        assert_eq!(out.verdict, Verdict::Forward(4));
+        assert_eq!(out.halt, HaltReason::Completed);
+    }
+
+    #[test]
+    fn hijack_redirects_control_flow_without_monitor() {
+        let program = vulnerable_forward().unwrap();
+        let mut core = core_with(&program);
+        let attack = hijack_packet(
+            "li $t4, 0x0007fff0
+             li $t5, 15
+             sw $t5, 0($t4)
+             break 0",
+        )
+        .unwrap();
+        let out = core.process_packet(&attack, &mut NullObserver);
+        // The attack completes "cleanly" and forwards to the attacker port:
+        // invisible without a monitor.
+        assert_eq!(out.halt, HaltReason::Completed);
+        assert_eq!(out.verdict, Verdict::Forward(15));
+    }
+
+    #[test]
+    fn hijack_does_not_affect_plain_ipv4_program() {
+        // The same attack against the non-vulnerable binary is just a
+        // packet with odd options: processed (options ignored) or dropped,
+        // but never hijacked to port 15.
+        let program = ipv4_forward().unwrap();
+        let mut core = core_with(&program);
+        let attack = hijack_packet("li $t5, 15\nbreak 0").unwrap();
+        let out = core.process_packet(&attack, &mut NullObserver);
+        assert_ne!(out.verdict, Verdict::Forward(15));
+    }
+
+    #[test]
+    fn workload_step_counts_are_packet_bounded() {
+        // Sanity for the cycle model: a normal packet takes a few hundred
+        // instructions, not thousands.
+        let program = ipv4_forward().unwrap();
+        let mut core = core_with(&program);
+        let packet = ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"0123456789");
+        let out = core.process_packet(&packet, &mut NullObserver);
+        assert!(out.steps > 50 && out.steps < 1000, "steps = {}", out.steps);
+    }
+}

@@ -1,0 +1,154 @@
+//! The packet-processing ABI between the network-processor runtime and the
+//! workload binaries.
+//!
+//! The paper's PLASMA core receives packets through an on-chip buffer and
+//! reports a forwarding decision; this module pins down the memory map the
+//! simulated core and the assembly workloads agree on:
+//!
+//! | Region | Address | Meaning |
+//! |---|---|---|
+//! | text/data | `0x0000_0000` | workload binary, entry at its base |
+//! | verdict | [`VERDICT_ADDR`] | result word written by the workload |
+//! | packet length | [`PKT_LEN_ADDR`] | length in bytes of the current packet |
+//! | packet bytes | [`PKT_DATA_ADDR`] | the packet itself |
+//! | stack | grows down from [`STACK_TOP`] | |
+//!
+//! A workload signals completion with `break 0`; the runtime then reads the
+//! verdict word: `0` drops the packet, `n > 0` forwards to output port `n`.
+
+use std::fmt;
+
+/// Total per-core memory (1 MiB, matching the prototype's on-chip memory
+/// scale).
+pub const MEM_SIZE: u32 = 0x0010_0000;
+
+/// Address of the word holding the current packet's byte length.
+pub const PKT_LEN_ADDR: u32 = 0x0008_0000;
+
+/// Address of the first packet byte.
+pub const PKT_DATA_ADDR: u32 = 0x0008_0004;
+
+/// Maximum packet size accepted by the runtime.
+pub const PKT_MAX_BYTES: u32 = 0x0001_0000;
+
+/// Address of the verdict word written by the workload.
+pub const VERDICT_ADDR: u32 = 0x0007_FFF0;
+
+/// Initial stack pointer.
+pub const STACK_TOP: u32 = 0x000F_FFF0;
+
+/// Forwarding decision produced by one packet-processing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Discard the packet.
+    Drop,
+    /// Forward to the given output port (1-based).
+    Forward(u32),
+}
+
+impl Verdict {
+    /// Encodes the verdict as the ABI word.
+    pub fn to_word(self) -> u32 {
+        match self {
+            Verdict::Drop => 0,
+            Verdict::Forward(port) => port,
+        }
+    }
+
+    /// Decodes the ABI word.
+    pub fn from_word(word: u32) -> Verdict {
+        match word {
+            0 => Verdict::Drop,
+            port => Verdict::Forward(port),
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Drop => write!(f, "drop"),
+            Verdict::Forward(port) => write!(f, "forward(port {port})"),
+        }
+    }
+}
+
+/// Why a packet-processing run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// The workload executed `break 0` (normal completion).
+    Completed,
+    /// The core trapped (fault, reserved instruction, wild jump, …).
+    Fault(crate::cpu::Trap),
+    /// The execution observer (hardware monitor) flagged a violation.
+    MonitorViolation,
+    /// The step budget ran out (runaway/looping workload).
+    StepLimit,
+}
+
+impl HaltReason {
+    /// True only for a clean `break 0` completion.
+    pub fn is_clean(self) -> bool {
+        matches!(self, HaltReason::Completed)
+    }
+}
+
+impl fmt::Display for HaltReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HaltReason::Completed => write!(f, "completed"),
+            HaltReason::Fault(trap) => write!(f, "fault: {trap}"),
+            HaltReason::MonitorViolation => write!(f, "monitor violation"),
+            HaltReason::StepLimit => write!(f, "step limit exceeded"),
+        }
+    }
+}
+
+/// Result of processing a single packet on a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketOutcome {
+    /// The forwarding decision (forced to [`Verdict::Drop`] on any unclean
+    /// halt, per the paper's recovery policy).
+    pub verdict: Verdict,
+    /// Instructions retired during the run.
+    pub steps: u64,
+    /// Why the run ended.
+    pub halt: HaltReason,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_word_round_trip() {
+        for v in [Verdict::Drop, Verdict::Forward(1), Verdict::Forward(255)] {
+            assert_eq!(Verdict::from_word(v.to_word()), v);
+        }
+    }
+
+    #[test]
+    fn memory_map_is_consistent() {
+        const {
+            assert!(PKT_DATA_ADDR > VERDICT_ADDR);
+            assert!(PKT_LEN_ADDR + 4 == PKT_DATA_ADDR);
+            assert!(STACK_TOP < MEM_SIZE);
+            assert!(PKT_DATA_ADDR + PKT_MAX_BYTES <= STACK_TOP);
+            assert!(STACK_TOP.is_multiple_of(8));
+        }
+    }
+
+    #[test]
+    fn halt_reason_cleanliness() {
+        assert!(HaltReason::Completed.is_clean());
+        assert!(!HaltReason::StepLimit.is_clean());
+        assert!(!HaltReason::MonitorViolation.is_clean());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Verdict::Drop.to_string(), "drop");
+        assert_eq!(Verdict::Forward(3).to_string(), "forward(port 3)");
+        assert_eq!(HaltReason::Completed.to_string(), "completed");
+    }
+}

@@ -1,0 +1,205 @@
+//! Data-plane cycle accounting for the PLASMA-class core.
+//!
+//! The instruction interpreter retires one instruction per [`crate::cpu::Cpu::step`];
+//! this module maps retired instructions to *core clock cycles* so
+//! experiments can report packet latency and line-rate throughput at the
+//! prototype's 100 MHz. The per-class costs follow the PLASMA pipeline:
+//! single-cycle ALU, an extra cycle for loads (memory access) and taken
+//! branches (refetch), and a multi-cycle iterative multiply/divide unit.
+//!
+//! A [`CycleCounter`] is an [`ExecutionObserver`], so it can ride along
+//! with a hardware monitor (via [`crate::trace::Tee`]) or run alone. Its
+//! `monitor_stall` knob models a hash circuit that cannot produce its
+//! result within the core's cycle time — the situation the paper's §3.2
+//! rules out for the Merkle tree ("fast enough to compute the hash within
+//! the available cycle time") but which a cryptographic hash would cause.
+
+use crate::cpu::{ExecutionObserver, Observation};
+use sdmmon_isa::{ControlFlow, Inst};
+
+/// Per-class cycle costs of the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreCycleModel {
+    /// Single-cycle ALU / shift / move instructions.
+    pub alu: u64,
+    /// Loads (extra memory-access cycle).
+    pub load: u64,
+    /// Stores.
+    pub store: u64,
+    /// Branches and jumps (refetch penalty, charged uniformly since the
+    /// simulated core has no delay slots).
+    pub control: u64,
+    /// Iterative multiply/divide.
+    pub muldiv: u64,
+    /// Extra stall cycles *per instruction* imposed by a monitor whose
+    /// hash cannot keep up with the pipeline (0 for the paper's designs).
+    pub monitor_stall: u64,
+}
+
+impl CoreCycleModel {
+    /// The PLASMA-class model of the prototype.
+    pub fn plasma() -> CoreCycleModel {
+        CoreCycleModel { alu: 1, load: 2, store: 1, control: 2, muldiv: 32, monitor_stall: 0 }
+    }
+
+    /// The same core with a monitor that stalls every instruction by
+    /// `stall` cycles.
+    pub fn plasma_with_stall(stall: u64) -> CoreCycleModel {
+        CoreCycleModel { monitor_stall: stall, ..CoreCycleModel::plasma() }
+    }
+
+    /// Cycles charged for one retired instruction word.
+    pub fn cycles_for(&self, word: u32) -> u64 {
+        let base = match Inst::decode(word) {
+            Err(_) => self.alu, // the fault path charges a refetch anyway
+            Ok(inst) => match inst {
+                Inst::Lb { .. }
+                | Inst::Lbu { .. }
+                | Inst::Lh { .. }
+                | Inst::Lhu { .. }
+                | Inst::Lw { .. } => self.load,
+                Inst::Sb { .. } | Inst::Sh { .. } | Inst::Sw { .. } => self.store,
+                Inst::Mult { .. } | Inst::Multu { .. } | Inst::Div { .. } | Inst::Divu { .. } => {
+                    self.muldiv
+                }
+                _ => match inst.control_flow() {
+                    ControlFlow::Sequential => self.alu,
+                    _ => self.control,
+                },
+            },
+        };
+        base + self.monitor_stall
+    }
+}
+
+impl Default for CoreCycleModel {
+    fn default() -> CoreCycleModel {
+        CoreCycleModel::plasma()
+    }
+}
+
+/// An observer that accumulates modelled core cycles for every retired
+/// instruction.
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_npu::{core::Core, programs, timing::{CoreCycleModel, CycleCounter}};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = programs::ipv4_forward()?;
+/// let mut core = Core::new();
+/// core.install(&program.to_bytes(), program.base);
+/// let mut counter = CycleCounter::new(CoreCycleModel::plasma());
+/// let packet = programs::testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"x");
+/// let out = core.process_packet(&packet, &mut counter);
+/// assert!(counter.cycles() > out.steps, "loads/branches cost extra cycles");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CycleCounter {
+    model: CoreCycleModel,
+    cycles: u64,
+    instructions: u64,
+}
+
+impl CycleCounter {
+    /// Creates a counter with the given model.
+    pub fn new(model: CoreCycleModel) -> CycleCounter {
+        CycleCounter { model, cycles: 0, instructions: 0 }
+    }
+
+    /// Accumulated cycles since the last `begin`.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions observed since the last `begin`.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Converts accumulated cycles to seconds at `clock_hz`.
+    pub fn seconds_at(&self, clock_hz: f64) -> f64 {
+        self.cycles as f64 / clock_hz
+    }
+}
+
+impl ExecutionObserver for CycleCounter {
+    fn begin(&mut self, _entry: u32) {
+        self.cycles = 0;
+        self.instructions = 0;
+    }
+
+    fn observe(&mut self, _pc: u32, word: u32) -> Observation {
+        self.cycles += self.model.cycles_for(word);
+        self.instructions += 1;
+        Observation::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::Core;
+    use crate::programs::{self, testing};
+    use sdmmon_isa::Reg;
+
+    #[test]
+    fn per_class_costs() {
+        let m = CoreCycleModel::plasma();
+        assert_eq!(m.cycles_for(Inst::Addu { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }.encode()), 1);
+        assert_eq!(m.cycles_for(Inst::Lw { rt: Reg::T0, base: Reg::SP, offset: 0 }.encode()), 2);
+        assert_eq!(m.cycles_for(Inst::Sw { rt: Reg::T0, base: Reg::SP, offset: 0 }.encode()), 1);
+        assert_eq!(m.cycles_for(Inst::Beq { rs: Reg::T0, rt: Reg::T1, offset: 1 }.encode()), 2);
+        assert_eq!(m.cycles_for(Inst::J { index: 4 }.encode()), 2);
+        assert_eq!(m.cycles_for(Inst::Mult { rs: Reg::T0, rt: Reg::T1 }.encode()), 32);
+    }
+
+    #[test]
+    fn stall_adds_per_instruction() {
+        let m = CoreCycleModel::plasma_with_stall(3);
+        assert_eq!(m.cycles_for(Inst::Addu { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }.encode()), 4);
+    }
+
+    #[test]
+    fn counter_accumulates_and_resets_per_packet() {
+        let program = programs::ipv4_forward().unwrap();
+        let mut core = Core::new();
+        core.install(&program.to_bytes(), program.base);
+        let mut counter = CycleCounter::new(CoreCycleModel::plasma());
+        let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"data");
+        let out1 = core.process_packet(&packet, &mut counter);
+        let first = counter.cycles();
+        assert_eq!(counter.instructions(), out1.steps);
+        assert!(first > out1.steps);
+        // Next packet: counter restarts (per-packet latency semantics).
+        core.process_packet(&packet, &mut counter);
+        assert_eq!(counter.cycles(), first, "same packet, same cycles");
+    }
+
+    #[test]
+    fn stall_scales_total_cycles() {
+        let program = programs::ipv4_forward().unwrap();
+        let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"data");
+        let run = |stall: u64| {
+            let mut core = Core::new();
+            core.install(&program.to_bytes(), program.base);
+            let mut counter = CycleCounter::new(CoreCycleModel::plasma_with_stall(stall));
+            core.process_packet(&packet, &mut counter);
+            (counter.cycles(), counter.instructions())
+        };
+        let (c0, n) = run(0);
+        let (c4, n4) = run(4);
+        assert_eq!(n, n4);
+        assert_eq!(c4, c0 + 4 * n, "stall is exactly per-instruction");
+    }
+
+    #[test]
+    fn seconds_at_clock() {
+        let mut counter = CycleCounter::new(CoreCycleModel::plasma());
+        counter.cycles = 100_000_000;
+        assert!((counter.seconds_at(100e6) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,197 @@
+//! Execution tracing: an [`ExecutionObserver`] that records the retired
+//! instruction stream for debugging, workload development, and the
+//! repository's own tests. This is the software equivalent of the debug
+//! tap the hardware monitor sits on.
+
+use crate::cpu::{ExecutionObserver, Observation};
+use sdmmon_isa::Inst;
+use std::fmt;
+
+/// One retired instruction in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Fetch address.
+    pub pc: u32,
+    /// Raw instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match Inst::decode(self.word) {
+            Ok(inst) => write!(f, "{:08x}:  {:08x}  {}", self.pc, self.word, inst),
+            Err(_) => write!(f, "{:08x}:  {:08x}  .word 0x{:08x}", self.pc, self.word, self.word),
+        }
+    }
+}
+
+/// Records retired instructions up to a configurable limit (keeping the
+/// *last* `limit` entries, which is what post-mortem debugging wants).
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_npu::{core::Core, programs, trace::Tracer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = programs::ipv4_forward()?;
+/// let mut core = Core::new();
+/// core.install(&program.to_bytes(), program.base);
+/// let mut tracer = Tracer::keep_last(32);
+/// let packet = programs::testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"x");
+/// core.process_packet(&packet, &mut tracer);
+/// assert!(tracer.entries().count() > 0);
+/// println!("{}", tracer.render()); // disassembled tail of the run
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    entries: std::collections::VecDeque<TraceEntry>,
+    limit: usize,
+    total: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer that retains the last `limit` retired instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn keep_last(limit: usize) -> Tracer {
+        assert!(limit > 0, "a zero-length trace records nothing");
+        Tracer { entries: std::collections::VecDeque::with_capacity(limit), limit, total: 0 }
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Total instructions observed (including evicted ones).
+    pub fn total_observed(&self) -> u64 {
+        self.total
+    }
+
+    /// Renders the retained trace as disassembly, one line per entry.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl ExecutionObserver for Tracer {
+    fn begin(&mut self, _entry: u32) {
+        self.entries.clear();
+        self.total = 0;
+    }
+
+    fn observe(&mut self, pc: u32, word: u32) -> Observation {
+        if self.entries.len() == self.limit {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry { pc, word });
+        self.total += 1;
+        Observation::Continue
+    }
+}
+
+/// Chains two observers: `first` sees every instruction, and `second`
+/// (typically the monitor) decides. Lets a tracer ride along with a
+/// hardware monitor to capture the instructions leading up to a violation.
+#[derive(Debug)]
+pub struct Tee<'a, A, B> {
+    /// Passive observer (its verdict is ignored).
+    pub first: &'a mut A,
+    /// Deciding observer.
+    pub second: &'a mut B,
+}
+
+impl<A: ExecutionObserver, B: ExecutionObserver> ExecutionObserver for Tee<'_, A, B> {
+    fn begin(&mut self, entry: u32) {
+        self.first.begin(entry);
+        self.second.begin(entry);
+    }
+
+    fn observe(&mut self, pc: u32, word: u32) -> Observation {
+        let _ = self.first.observe(pc, word);
+        self.second.observe(pc, word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::Core;
+    use crate::programs::{self, testing};
+    use sdmmon_isa::asm::Assembler;
+
+    #[test]
+    fn traces_simple_program_in_order() {
+        let program = Assembler::new().assemble("nop\nnop\nbreak 0").unwrap();
+        let mut core = Core::new();
+        core.install(&program.to_bytes(), program.base);
+        let mut tracer = Tracer::keep_last(16);
+        core.process_packet(&[], &mut tracer);
+        let pcs: Vec<u32> = tracer.entries().map(|e| e.pc).collect();
+        assert_eq!(pcs, vec![0, 4, 8], "nop, nop, break all retire");
+        assert!(tracer.render().contains("break"));
+    }
+
+    #[test]
+    fn ring_buffer_keeps_tail() {
+        let program = Assembler::new()
+            .assemble("li $t0, 5\nloop: addiu $t0, $t0, -1\nbgtz $t0, loop\nbreak 0")
+            .unwrap();
+        let mut core = Core::new();
+        core.install(&program.to_bytes(), program.base);
+        let mut tracer = Tracer::keep_last(3);
+        core.process_packet(&[], &mut tracer);
+        assert_eq!(tracer.entries().count(), 3);
+        assert!(tracer.total_observed() > 3);
+        // The very last retained entry is the break.
+        let last = tracer.entries().last().unwrap();
+        assert_eq!(last.word & 0x3f, 0x0d, "break funct");
+    }
+
+    #[test]
+    fn tee_lets_tracer_ride_with_a_monitor() {
+        use sdmmon_monitor_stub::*;
+        // A minimal deciding observer that violates on the Nth instruction.
+        mod sdmmon_monitor_stub {
+            use crate::cpu::{ExecutionObserver, Observation};
+            pub struct TripAt(pub u64);
+            impl ExecutionObserver for TripAt {
+                fn begin(&mut self, _e: u32) {}
+                fn observe(&mut self, _pc: u32, _w: u32) -> Observation {
+                    self.0 -= 1;
+                    if self.0 == 0 {
+                        Observation::Violation
+                    } else {
+                        Observation::Continue
+                    }
+                }
+            }
+        }
+        let program = programs::ipv4_forward().unwrap();
+        let mut core = Core::new();
+        core.install(&program.to_bytes(), program.base);
+        let mut tracer = Tracer::keep_last(8);
+        let mut trip = TripAt(20);
+        let packet = testing::ipv4_packet([1, 1, 1, 1], [2, 2, 2, 2], 64, b"");
+        let out = core.process_packet(&packet, &mut Tee { first: &mut tracer, second: &mut trip });
+        assert_eq!(out.halt, crate::runtime::HaltReason::MonitorViolation);
+        assert_eq!(tracer.total_observed(), 20, "tracer saw everything up to the violation");
+        assert_eq!(tracer.entries().count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_limit_rejected() {
+        Tracer::keep_last(0);
+    }
+}

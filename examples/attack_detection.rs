@@ -1,0 +1,62 @@
+//! The data-plane attack experiment: a stack-smashing packet hijacks a
+//! vulnerable packet-processing binary (Chasaki & Wolf's attack class).
+//! Without a monitor the hijack silently rewrites the route table; with
+//! monitors, it is detected, the packet dropped, and the core recovered.
+//!
+//! Run with: `cargo run --example attack_detection`
+
+use sdmmon::monitor::{HardwareMonitor, MerkleTreeHash, MonitoringGraph};
+use sdmmon::npu::cpu::NullObserver;
+use sdmmon::npu::np::NetworkProcessor;
+use sdmmon::npu::{programs, runtime::Verdict};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = programs::vulnerable_forward()?;
+    let image = program.to_bytes();
+
+    // The attack: overflow the option-parsing stack buffer, overwrite the
+    // return address, and run packet-resident code that rewrites the route
+    // table so future packets to .2 go to the attacker's port 15.
+    let route_table = program.symbol("route_table").expect("workload exports its table");
+    let attack = programs::testing::hijack_packet(&format!(
+        "li $t4, 0x{route_table:x}
+         li $t5, 15
+         sw $t5, 8($t4)      # route_table[2] = 15
+         break 0"
+    ))?;
+    let good = programs::testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"legit");
+
+    // --- Unmonitored NP: the attack silently succeeds ---------------------
+    let mut unprotected = NetworkProcessor::new(1);
+    unprotected.install_all(&image, program.base, |_| Box::new(NullObserver));
+    let (_, before) = unprotected.process(&good);
+    unprotected.process(&attack);
+    let (_, after) = unprotected.process(&good);
+    println!("unmonitored NP:");
+    println!("  before attack: packet to .2 -> {}", before.verdict);
+    println!("  after attack:  packet to .2 -> {}   <- hijacked!", after.verdict);
+    assert_eq!(before.verdict, Verdict::Forward(2));
+    assert_eq!(after.verdict, Verdict::Forward(15));
+
+    // --- Monitored NP: detection, drop, recovery --------------------------
+    let mut protected = NetworkProcessor::new(2);
+    protected.install_all(&image, program.base, |core| {
+        let hash = MerkleTreeHash::new(0xD1BE_0000 + core as u32);
+        let graph = MonitoringGraph::extract(&program, &hash).expect("graph extracts");
+        Box::new(HardwareMonitor::new(graph, hash))
+    });
+    protected.process(&good);
+    let (core, outcome) = protected.process(&attack);
+    println!("\nmonitored NP:");
+    println!("  attack on core {core}: {} ({})", outcome.verdict, outcome.halt);
+    let (_, after) = protected.process(&good);
+    let (_, after2) = protected.process(&good);
+    println!("  next packets to .2 -> {} / {}   <- service intact", after.verdict, after2.verdict);
+    println!("  stats: {}", protected.stats());
+    assert_eq!(outcome.verdict, Verdict::Drop);
+    assert_eq!(after.verdict, Verdict::Forward(2));
+    assert_eq!(after2.verdict, Verdict::Forward(2));
+    assert_eq!(protected.stats().violations, 1);
+    assert_eq!(protected.stats().recoveries, 1);
+    Ok(())
+}

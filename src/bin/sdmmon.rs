@@ -1,0 +1,277 @@
+//! `sdmmon` — command-line front end to the reproduction.
+//!
+//! ```text
+//! sdmmon asm <file.s> [-o <out.bin>] [--base <addr>]
+//!     Assemble a MIPS workload to a big-endian binary image.
+//!
+//! sdmmon disasm <file.bin> [--base <addr>]
+//!     Disassemble a binary image.
+//!
+//! sdmmon graph <file.s> [--param <hex>] [--compression sum|xor|sbox]
+//!     Extract and summarize the monitoring graph of a workload.
+//!
+//! sdmmon run <file.s> --packet <hex> [--param <hex>] [--trace <n>]
+//!     Run one packet through a monitored core and print the outcome.
+//! ```
+//!
+//! Exit codes: 0 success, 1 usage error, 2 processing error.
+
+use sdmmon::isa::asm::Assembler;
+use sdmmon::monitor::hash::{Compression, MerkleTreeHash};
+use sdmmon::monitor::{HardwareMonitor, MonitoringGraph};
+use sdmmon::npu::core::Core;
+use sdmmon::npu::trace::{Tee, Tracer};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("asm") => cmd_asm(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("graph") => cmd_graph(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::from(u8::from(args.is_empty()));
+        }
+        Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Processing(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+sdmmon — network-processor hardware-monitor toolkit (DAC'14 reproduction)
+
+USAGE:
+    sdmmon asm    <file.s>   [-o <out.bin>] [--base <addr>]
+    sdmmon disasm <file.bin> [--base <addr>]
+    sdmmon graph  <file.s>   [--param <hex>] [--compression sum|xor|sbox]
+    sdmmon run    <file.s>   --packet <hex> [--param <hex>] [--trace <n>]
+";
+
+enum CliError {
+    Usage(String),
+    Processing(String),
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn processing(msg: impl std::fmt::Display) -> CliError {
+    CliError::Processing(msg.to_string())
+}
+
+/// Tiny flag parser: positional arguments plus `--flag value` options.
+struct Args<'a> {
+    positional: Vec<&'a str>,
+    options: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Args<'a> {
+    fn parse(args: &'a [String], known_flags: &[&str]) -> Result<Args<'a>, CliError> {
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a.starts_with('-') {
+                if !known_flags.contains(&a.as_str()) {
+                    return Err(usage(format!("unknown option `{a}`")));
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| usage(format!("option `{a}` needs a value")))?;
+                options.push((a.as_str(), value.as_str()));
+            } else {
+                positional.push(a.as_str());
+            }
+        }
+        Ok(Args { positional, options })
+    }
+
+    fn option(&self, flag: &str) -> Option<&str> {
+        self.options.iter().rev().find(|(f, _)| *f == flag).map(|(_, v)| *v)
+    }
+}
+
+fn parse_u32(text: &str, what: &str) -> Result<u32, CliError> {
+    let body = text.strip_prefix("0x").unwrap_or(text);
+    u32::from_str_radix(body, 16)
+        .or_else(|_| text.parse::<u32>())
+        .map_err(|_| usage(format!("cannot parse {what} `{text}`")))
+}
+
+fn parse_compression(text: &str) -> Result<Compression, CliError> {
+    match text {
+        "sum" => Ok(Compression::SumMod16),
+        "xor" => Ok(Compression::Xor),
+        "sbox" => Ok(Compression::SBox),
+        other => Err(usage(format!("unknown compression `{other}` (sum|xor|sbox)"))),
+    }
+}
+
+fn parse_hex_bytes(text: &str) -> Result<Vec<u8>, CliError> {
+    let clean: String = text.chars().filter(|c| !c.is_whitespace() && *c != ':').collect();
+    if !clean.len().is_multiple_of(2) {
+        return Err(usage("hex string has odd length"));
+    }
+    (0..clean.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&clean[i..i + 2], 16)
+                .map_err(|_| usage(format!("bad hex byte `{}`", &clean[i..i + 2])))
+    })
+        .collect()
+}
+
+fn assemble_file(path: &str, base: u32) -> Result<sdmmon::isa::asm::Program, CliError> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| processing(format!("cannot read {path}: {e}")))?;
+    Assembler::new()
+        .with_base(base)
+        .assemble(&source)
+        .map_err(|e| processing(format!("{path}: {e}")))
+}
+
+fn cmd_asm(args: &[String]) -> Result<(), CliError> {
+    let a = Args::parse(args, &["-o", "--base"])?;
+    let [input] = a.positional[..] else {
+        return Err(usage("asm expects exactly one input file"));
+    };
+    let base = a.option("--base").map(|b| parse_u32(b, "base")).transpose()?.unwrap_or(0);
+    let program = assemble_file(input, base)?;
+    let bytes = program.to_bytes();
+    match a.option("-o") {
+        Some(out) => {
+            std::fs::write(out, &bytes)
+                .map_err(|e| processing(format!("cannot write {out}: {e}")))?;
+            println!("{}: {} instructions, {} bytes -> {out}", input, program.words.len(), bytes.len());
+        }
+        None => {
+            for line in sdmmon::isa::disassemble(&program.words, program.base) {
+                println!("{line}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> Result<(), CliError> {
+    let a = Args::parse(args, &["--base"])?;
+    let [input] = a.positional[..] else {
+        return Err(usage("disasm expects exactly one input file"));
+    };
+    let base = a.option("--base").map(|b| parse_u32(b, "base")).transpose()?.unwrap_or(0);
+    let bytes = std::fs::read(input).map_err(|e| processing(format!("cannot read {input}: {e}")))?;
+    if !bytes.len().is_multiple_of(4) {
+        return Err(processing("binary image must be a multiple of 4 bytes"));
+    }
+    let words: Vec<u32> = bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    for line in sdmmon::isa::disassemble(&words, base) {
+        println!("{line}");
+    }
+    Ok(())
+}
+
+fn cmd_graph(args: &[String]) -> Result<(), CliError> {
+    let a = Args::parse(args, &["--param", "--compression", "--base"])?;
+    let [input] = a.positional[..] else {
+        return Err(usage("graph expects exactly one input file"));
+    };
+    let base = a.option("--base").map(|b| parse_u32(b, "base")).transpose()?.unwrap_or(0);
+    let param = a.option("--param").map(|p| parse_u32(p, "param")).transpose()?.unwrap_or(0);
+    let compression = a
+        .option("--compression")
+        .map(parse_compression)
+        .transpose()?
+        .unwrap_or(Compression::SBox);
+    let program = assemble_file(input, base)?;
+    let hash = MerkleTreeHash::with_compression(param, compression);
+    let graph = MonitoringGraph::extract(&program, &hash).map_err(processing)?;
+
+    let mut branch_nodes = 0usize;
+    let mut indirect_nodes = 0usize;
+    let mut terminal_nodes = 0usize;
+    for (_, node) in graph.iter() {
+        match node.successors.len() {
+            0 => terminal_nodes += 1,
+            1 => {}
+            2 => branch_nodes += 1,
+            _ => indirect_nodes += 1,
+        }
+    }
+    println!("workload:      {input}");
+    println!("instructions:  {}", graph.len());
+    println!("hash:          merkle-tree/{compression:?}, param 0x{param:08x}, {} bits", graph.hash_bits());
+    println!("graph size:    {} bits compact, {} bytes on the wire", graph.compact_size_bits(), graph.to_bytes().len());
+    println!(
+        "binary ratio:  {:.1}%",
+        100.0 * graph.compact_size_bits() as f64 / (program.words.len() * 32) as f64
+    );
+    println!("node kinds:    {branch_nodes} two-way, {indirect_nodes} indirect, {terminal_nodes} terminal");
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let a = Args::parse(args, &["--packet", "--param", "--trace", "--base", "--compression"])?;
+    let [input] = a.positional[..] else {
+        return Err(usage("run expects exactly one input file"));
+    };
+    let packet = parse_hex_bytes(
+        a.option("--packet").ok_or_else(|| usage("run needs --packet <hex>"))?,
+    )?;
+    let base = a.option("--base").map(|b| parse_u32(b, "base")).transpose()?.unwrap_or(0);
+    let param = a.option("--param").map(|p| parse_u32(p, "param")).transpose()?.unwrap_or(0x5eed);
+    let compression = a
+        .option("--compression")
+        .map(parse_compression)
+        .transpose()?
+        .unwrap_or(Compression::SBox);
+    let trace_len = a
+        .option("--trace")
+        .map(|t| t.parse::<usize>().map_err(|_| usage("bad --trace count")))
+        .transpose()?
+        .unwrap_or(0);
+
+    let program = assemble_file(input, base)?;
+    let hash = MerkleTreeHash::with_compression(param, compression);
+    let graph = MonitoringGraph::extract(&program, &hash).map_err(processing)?;
+    let mut monitor = HardwareMonitor::new(graph, hash);
+    let mut core = Core::new();
+    core.install(&program.to_bytes(), program.base);
+
+    let outcome = if trace_len > 0 {
+        let mut tracer = Tracer::keep_last(trace_len);
+        let out =
+            core.process_packet(&packet, &mut Tee { first: &mut tracer, second: &mut monitor });
+        println!("--- last {} instructions ---", tracer.entries().count());
+        print!("{}", tracer.render());
+        println!("----------------------------");
+        out
+    } else {
+        core.process_packet(&packet, &mut monitor)
+    };
+    println!("verdict:  {}", outcome.verdict);
+    println!("halt:     {}", outcome.halt);
+    println!("steps:    {}", outcome.steps);
+    println!(
+        "monitor:  {} instructions checked, {} violations",
+        monitor.stats().instructions_checked,
+        monitor.stats().violations
+    );
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! Integration tests for the `sdmmon` command-line tool.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn sdmmon() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sdmmon"))
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sdmmon-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+const TINY: &str = "li $t0, 7\nli $t4, 0x0007fff0\nsw $t0, 0($t4)\nbreak 0\n";
+
+#[test]
+fn help_prints_usage() {
+    let out = sdmmon().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("USAGE"), "{text}");
+}
+
+#[test]
+fn no_args_is_a_usage_error() {
+    let out = sdmmon().output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn asm_disassembles_to_stdout() {
+    let src = write_temp("tiny.s", TINY);
+    let out = sdmmon().arg("asm").arg(&src).output().expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("lui"), "{text}");
+    assert!(text.contains("break"), "{text}");
+}
+
+#[test]
+fn asm_then_disasm_round_trip() {
+    let src = write_temp("rt.s", TINY);
+    let bin = write_temp("rt.bin", "");
+    let out = sdmmon().arg("asm").arg(&src).arg("-o").arg(&bin).output().expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = sdmmon().arg("disasm").arg(&bin).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sw $t0"), "{text}");
+}
+
+#[test]
+fn graph_reports_statistics() {
+    let src = write_temp("graph.s", TINY);
+    let out = sdmmon()
+        .arg("graph")
+        .arg(&src)
+        .arg("--param")
+        .arg("0xdeadbeef")
+        .arg("--compression")
+        .arg("sbox")
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("instructions:  6"), "{text}"); // 2x li = 4 words + sw + break
+    assert!(text.contains("param 0xdeadbeef"), "{text}");
+}
+
+#[test]
+fn run_executes_a_packet_with_monitor_and_trace() {
+    let src = write_temp("run.s", TINY);
+    let out = sdmmon()
+        .arg("run")
+        .arg(&src)
+        .arg("--packet")
+        .arg("00")
+        .arg("--trace")
+        .arg("4")
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verdict:  forward(port 7)"), "{text}");
+    assert!(text.contains("0 violations"), "{text}");
+    assert!(text.contains("last 4 instructions"), "{text}");
+}
+
+#[test]
+fn bad_inputs_yield_clean_errors() {
+    // Unknown command.
+    let out = sdmmon().arg("frobnicate").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    // Missing file.
+    let out = sdmmon().arg("asm").arg("/nonexistent/x.s").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    // Assembly error reports the line.
+    let src = write_temp("bad.s", "frobnicate $t0\n");
+    let out = sdmmon().arg("asm").arg(&src).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
+    // Odd hex.
+    let src = write_temp("odd.s", TINY);
+    let out = sdmmon().arg("run").arg(&src).arg("--packet").arg("abc").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+}

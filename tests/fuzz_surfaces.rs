@@ -1,0 +1,58 @@
+//! Robustness of every byte-level parsing surface an attacker can reach:
+//! random and truncated inputs must produce clean errors, never panics.
+//! (The control processor parses these bytes *before* any signature check,
+//! so the parsers themselves are attack surface.)
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use sdmmon::core::cert::Certificate;
+use sdmmon::core::package::{InstallationBundle, Package};
+use sdmmon::monitor::MonitoringGraph;
+use sdmmon::net::packet::Ipv4Packet;
+
+proptest! {
+    /// Random bytes into every deserializer: error or valid value, no panic.
+    #[test]
+    fn deserializers_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Package::from_bytes(&bytes);
+        let _ = InstallationBundle::from_bytes(&bytes);
+        let _ = Certificate::from_bytes(&bytes);
+        let _ = MonitoringGraph::from_bytes(&bytes);
+        let _ = Ipv4Packet::parse(&bytes);
+    }
+
+    /// Any truncation of a *valid* bundle is rejected (never mis-parsed).
+    #[test]
+    fn truncated_bundles_rejected(cut in 0usize..100) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let keys = sdmmon::crypto::rsa::RsaKeyPair::generate(512, &mut rng).expect("keygen");
+        let cert = Certificate::issue("op", &keys.public, &keys.private);
+        let bundle = InstallationBundle {
+            ciphertext: vec![1; 64],
+            wrapped_key: vec![2; 32],
+            signature: vec![3; 32],
+            certificate: cert,
+        };
+        let bytes = bundle.to_bytes();
+        prop_assume!(cut < bytes.len());
+        let truncated = &bytes[..bytes.len() - 1 - cut];
+        prop_assert!(InstallationBundle::from_bytes(truncated).is_err());
+    }
+
+    /// Bit-flipping a valid serialized monitoring graph either still parses
+    /// (to a different graph) or errors — and reserialization of whatever
+    /// parses is stable.
+    #[test]
+    fn graph_bitflips_are_contained(flip in any::<prop::sample::Index>()) {
+        let program = sdmmon::npu::programs::ipv4_forward().expect("workload");
+        let hash = sdmmon::monitor::MerkleTreeHash::new(1);
+        let graph = MonitoringGraph::extract(&program, &hash).expect("graph");
+        let mut bytes = graph.to_bytes();
+        let at = flip.index(bytes.len());
+        bytes[at] ^= 0x01;
+        if let Ok(parsed) = MonitoringGraph::from_bytes(&bytes) {
+            let re = parsed.to_bytes();
+            prop_assert_eq!(MonitoringGraph::from_bytes(&re).expect("stable"), parsed);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Quantitative checks of the paper's headline claims, at test scale
+//! (the bench binaries run the full-scale versions).
+
+use rand::{Rng, SeedableRng};
+use sdmmon::fpga::components;
+use sdmmon::monitor::hash::{hamming, InstructionHash, MerkleTreeHash};
+use sdmmon::monitor::MonitoringGraph;
+use sdmmon::net::channel::Channel;
+use sdmmon::npu::programs;
+
+/// §2.1: escape probability falls geometrically (≈16× per instruction).
+#[test]
+fn detection_probability_is_geometric() {
+    let program = programs::ipv4_forward().expect("workload");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x6E0);
+    let trials = 200_000u64;
+    let mut escapes = [0u64; 3]; // k = 1, 2, 3
+    let hash = MerkleTreeHash::new(rng.gen());
+    let graph = MonitoringGraph::extract(&program, &hash).expect("graph");
+    let addrs: Vec<u32> = graph.iter().map(|(a, _)| a).collect();
+    for _ in 0..trials {
+        let mut candidates = vec![addrs[rng.gen_range(0..addrs.len())]];
+        for (k, slot) in escapes.iter_mut().enumerate() {
+            let observed = hash.hash(rng.gen());
+            let mut next = Vec::new();
+            let mut matched = false;
+            for &c in &candidates {
+                if let Some(n) = graph.node(c) {
+                    if n.hash == observed {
+                        matched = true;
+                        next.extend_from_slice(&n.successors);
+                    }
+                }
+            }
+            if !matched {
+                break;
+            }
+            *slot += 1;
+            next.sort_unstable();
+            next.dedup();
+            candidates = next;
+            let _ = k;
+        }
+    }
+    let p1 = escapes[0] as f64 / trials as f64;
+    let p2 = escapes[1] as f64 / trials as f64;
+    assert!((0.04..0.09).contains(&p1), "P(escape 1) = {p1}");
+    let ratio = p1 / p2;
+    assert!((8.0..30.0).contains(&ratio), "geometric decrease, ratio {ratio}");
+}
+
+/// §2.1: the monitoring graph is a fraction of the processing binary.
+#[test]
+fn graph_is_a_fraction_of_the_binary() {
+    for program in [
+        programs::ipv4_forward().expect("workload"),
+        programs::ipv4_cm().expect("workload"),
+        programs::vulnerable_forward().expect("workload"),
+    ] {
+        let graph = MonitoringGraph::extract(&program, &MerkleTreeHash::new(1)).expect("graph");
+        let fraction = graph.compact_size_bits() as f64 / (program.words.len() * 32) as f64;
+        assert!(fraction < 0.5, "graph fraction {fraction}");
+    }
+}
+
+/// Figure 6: hash output changes look random (mean output HD ≈ 2.0) for
+/// input HD ≥ 2, with input HD 1 slightly skewed.
+#[test]
+fn figure6_shape_holds() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF16);
+    let mean_for = |input_hd: u32, rng: &mut rand::rngs::StdRng| -> f64 {
+        let pairs = 4_000;
+        let mut sum = 0u64;
+        for _ in 0..pairs {
+            let a: u32 = rng.gen();
+            let mut b = a;
+            let mut flipped = 0;
+            while flipped < input_hd {
+                let bit = 1u32 << rng.gen_range(0..32);
+                if b & bit == a & bit {
+                    b ^= bit;
+                    flipped += 1;
+                }
+            }
+            let h = MerkleTreeHash::new(rng.gen());
+            sum += hamming(h.hash(a), h.hash(b)) as u64;
+        }
+        sum as f64 / pairs as f64
+    };
+    for d in [4u32, 8, 16, 24] {
+        let mean = mean_for(d, &mut rng);
+        assert!((1.85..2.15).contains(&mean), "input HD {d}: mean {mean}");
+    }
+    let hd1 = mean_for(1, &mut rng);
+    assert!(hd1 < 1.85, "input HD 1 must deviate from the plateau, got {hd1}");
+}
+
+/// Table 1: the control processor is about a third of a monitored NP core.
+#[test]
+fn table1_ratio_holds() {
+    let np = components::np_core_with_monitor().resources();
+    let ctrl = components::nios_control_processor().resources();
+    let ratio = ctrl.luts as f64 / np.luts as f64;
+    assert!((0.28..0.38).contains(&ratio), "LUT ratio {ratio}");
+}
+
+/// Table 3: Merkle hash trades a few LUTs for 32 memory bits.
+#[test]
+fn table3_shape_holds() {
+    let merkle = components::merkle_hash_circuit().resources();
+    let bitcount = components::bitcount_hash_circuit().resources();
+    assert!(merkle.luts < bitcount.luts);
+    assert_eq!(merkle.memory_bits, 32);
+    assert_eq!(bitcount.memory_bits, 0);
+}
+
+/// Table 2: ordering of the security steps under the calibrated model at
+/// the paper's package scale.
+#[test]
+fn table2_ordering_holds() {
+    use sdmmon::core::timing::{table2_rows, NiosCycleModel};
+    let model = NiosCycleModel::paper();
+    let channel = Channel::paper_testbed();
+    let pkg = 800 * 1024;
+    let rows = table2_rows(&model, 2048, pkg, 1024, channel.transfer_time(pkg));
+    let t: Vec<f64> = rows.iter().map(|r| r.time.as_secs_f64()).collect();
+    // download < cert check <= verify < AES decrypt < RSA private.
+    assert!(t[0] < t[1], "{t:?}");
+    assert!(t[1] <= t[4], "{t:?}");
+    assert!(t[4] < t[3], "{t:?}");
+    assert!(t[3] < t[2], "{t:?}");
+}

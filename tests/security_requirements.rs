@@ -1,0 +1,239 @@
+//! Integration tests for the paper's four security requirements (§2.2.1),
+//! exercised end-to-end across all crates through the facade.
+
+use rand::SeedableRng;
+use sdmmon::core::cert::Certificate;
+use sdmmon::core::entities::{Manufacturer, NetworkOperator, RouterDevice};
+use sdmmon::core::package::{InstallationBundle, Package};
+use sdmmon::core::SdmmonError;
+use sdmmon::crypto::rsa::RsaKeyPair;
+use sdmmon::monitor::hash::Compression;
+use sdmmon::monitor::{MerkleTreeHash, MonitoringGraph};
+use sdmmon::npu::programs;
+
+const KEY_BITS: usize = 512;
+
+struct World {
+    manufacturer: Manufacturer,
+    operator: NetworkOperator,
+    router: RouterDevice,
+    rng: rand::rngs::StdRng,
+}
+
+fn world(seed: u64) -> World {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let manufacturer = Manufacturer::new("acme", KEY_BITS, &mut rng).expect("keygen");
+    let mut operator = NetworkOperator::new("op", KEY_BITS, &mut rng).expect("keygen");
+    operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));
+    let router = manufacturer.provision_router("r", 2, KEY_BITS, &mut rng).expect("provision");
+    World { manufacturer, operator, router, rng }
+}
+
+/// SR1: only valid binaries and matching monitor graphs are installed —
+/// the attacker of AC2 who *can* generate a monitoring graph matching a
+/// vulnerable binary still fails, because the self-built package carries
+/// no valid operator signature.
+#[test]
+fn sr1_attacker_generated_graph_rejected() {
+    let mut w = world(0xA1);
+    let program = programs::vulnerable_forward().expect("workload");
+
+    // The attacker builds a perfectly well-formed package for the binary
+    // of their choosing (AC2), with their own key material.
+    let attacker_keys = RsaKeyPair::generate(KEY_BITS, &mut w.rng).expect("keygen");
+    let hash = MerkleTreeHash::new(0x005C_A4ED);
+    let graph = MonitoringGraph::extract(&program, &hash).expect("graph");
+    let package = Package {
+        binary: program.to_bytes(),
+        base: program.base,
+        graph: graph.to_bytes(),
+        hash_param: hash.param(),
+        compression: Compression::SumMod16,
+        sequence: 1,
+    };
+    let payload = package.to_bytes();
+    let signature = attacker_keys.private.sign(&payload);
+    let sym_key = [9u8; 16];
+    let aes = sdmmon::crypto::aes::Aes::new(&sym_key).expect("key");
+    let bundle = InstallationBundle {
+        ciphertext: aes.encrypt_cbc(&payload, &mut w.rng),
+        wrapped_key: w.router.public_key().encrypt(&sym_key, &mut w.rng).expect("wrap"),
+        signature,
+        // Forged certificate: attacker key signed by the attacker.
+        certificate: Certificate::issue("op", &attacker_keys.public, &attacker_keys.private),
+    };
+    assert_eq!(
+        w.router.install_bundle(&bundle, &[0]).unwrap_err(),
+        SdmmonError::CertificateInvalid
+    );
+    assert!(w.router.installed(0).is_none());
+}
+
+/// SR1 variant: a certified operator's bundle whose *signature* is swapped
+/// for another message's signature is rejected after decryption.
+#[test]
+fn sr1_signature_substitution_rejected() {
+    let mut w = world(0xA2);
+    let ipv4 = programs::ipv4_forward().expect("workload");
+    let vulnerable = programs::vulnerable_forward().expect("workload");
+    let good = w
+        .operator
+        .prepare_package(&ipv4, w.router.public_key(), &mut w.rng)
+        .expect("package");
+    let other = w
+        .operator
+        .prepare_package(&vulnerable, w.router.public_key(), &mut w.rng)
+        .expect("package");
+    // Frankenstein bundle: vulnerable payload, signature from the ipv4
+    // package.
+    let franken = InstallationBundle { signature: good.signature.clone(), ..other };
+    assert_eq!(
+        w.router.install_bundle(&franken, &[0]).unwrap_err(),
+        SdmmonError::SignatureInvalid
+    );
+}
+
+/// SR2: two packages for the same binary produce different parameters and
+/// different monitoring graphs (fleet diversity at the package level).
+#[test]
+fn sr2_packages_are_diverse() {
+    let mut w = world(0xA3);
+    let program = programs::ipv4_forward().expect("workload");
+    let mut params = std::collections::BTreeSet::new();
+    for _ in 0..8 {
+        let bundle = w
+            .operator
+            .prepare_package(&program, w.router.public_key(), &mut w.rng)
+            .expect("package");
+        w.router.install_bundle(&bundle, &[0]).expect("install");
+        params.insert(w.router.installed(0).unwrap().hash_param);
+    }
+    assert_eq!(params.len(), 8, "8 installs must draw 8 distinct parameters");
+}
+
+/// SR3: the transported bundle reveals neither the binary, the graph, nor
+/// the hash parameter, and two bundles of the same program share no
+/// ciphertext structure.
+#[test]
+fn sr3_confidentiality_of_transport() {
+    let mut w = world(0xA4);
+    let program = programs::ipv4_cm().expect("workload");
+    let b1 = w
+        .operator
+        .prepare_package(&program, w.router.public_key(), &mut w.rng)
+        .expect("package");
+    let b2 = w
+        .operator
+        .prepare_package(&program, w.router.public_key(), &mut w.rng)
+        .expect("package");
+    let binary = program.to_bytes();
+    let contains = |hay: &[u8], needle: &[u8]| hay.windows(needle.len()).any(|wd| wd == needle);
+    assert!(!contains(&b1.ciphertext, &binary[..16]), "plaintext binary leaked");
+    // Fresh AES key + IV per package: identical payloads encrypt
+    // differently.
+    assert_ne!(b1.ciphertext[..32], b2.ciphertext[..32]);
+    assert_ne!(b1.wrapped_key, b2.wrapped_key);
+}
+
+/// SR4: a bundle prepared for router A cannot be installed on router B,
+/// and (anti-replay across devices) B's error does not reveal the payload.
+#[test]
+fn sr4_cross_device_replay_rejected() {
+    let mut w = world(0xA5);
+    let mut router_b = w
+        .manufacturer
+        .provision_router("r-b", 1, KEY_BITS, &mut w.rng)
+        .expect("provision");
+    let program = programs::ipv4_forward().expect("workload");
+    let bundle_for_a = w
+        .operator
+        .prepare_package(&program, w.router.public_key(), &mut w.rng)
+        .expect("package");
+    assert_eq!(
+        router_b.install_bundle(&bundle_for_a, &[0]).unwrap_err(),
+        SdmmonError::WrongDevice
+    );
+    assert!(router_b.installed(0).is_none());
+    // The intended router still accepts the very same bundle.
+    w.router.install_bundle(&bundle_for_a, &[0]).expect("intended device installs");
+}
+
+/// Reproduction extension: replaying an *old, validly signed* package to
+/// the same device is rejected by the sequence high-water mark. (The
+/// paper's protocol has no temporal ordering, so a recorded package for a
+/// binary later found vulnerable would re-install cleanly.)
+#[test]
+fn replay_of_old_package_rejected() {
+    let mut w = world(0xA7);
+    let program = programs::ipv4_forward().expect("workload");
+    let old_bundle = w
+        .operator
+        .prepare_package(&program, w.router.public_key(), &mut w.rng)
+        .expect("package");
+    let new_bundle = w
+        .operator
+        .prepare_package(&program, w.router.public_key(), &mut w.rng)
+        .expect("package");
+
+    w.router.install_bundle(&old_bundle, &[0]).expect("first install");
+    w.router.install_bundle(&new_bundle, &[0]).expect("upgrade installs");
+    // The attacker replays the recorded older bundle.
+    assert!(matches!(
+        w.router.install_bundle(&old_bundle, &[0]).unwrap_err(),
+        SdmmonError::ReplayedPackage { .. }
+    ));
+    // Exact re-replay of the current bundle is rejected too.
+    assert!(matches!(
+        w.router.install_bundle(&new_bundle, &[0]).unwrap_err(),
+        SdmmonError::ReplayedPackage { .. }
+    ));
+    // And newer packages keep flowing.
+    let next = w
+        .operator
+        .prepare_package(&program, w.router.public_key(), &mut w.rng)
+        .expect("package");
+    w.router.install_bundle(&next, &[0]).expect("later package installs");
+}
+
+/// Tampering with any single transported field is caught by some layer.
+#[test]
+fn every_bundle_field_is_tamper_evident() {
+    let mut w = world(0xA6);
+    let program = programs::ipv4_forward().expect("workload");
+    let bundle = w
+        .operator
+        .prepare_package(&program, w.router.public_key(), &mut w.rng)
+        .expect("package");
+
+    // Baseline sanity: the untampered bundle installs.
+    w.router.install_bundle(&bundle, &[0]).expect("clean bundle installs");
+
+    // Ciphertext bit flip.
+    let mut t = bundle.clone();
+    t.ciphertext[40] ^= 0x80;
+    assert!(w.router.install_bundle(&t, &[0]).is_err());
+
+    // Wrapped-key bit flip.
+    let mut t = bundle.clone();
+    t.wrapped_key[10] ^= 0x01;
+    assert_eq!(w.router.install_bundle(&t, &[0]).unwrap_err(), SdmmonError::WrongDevice);
+
+    // Signature bit flip.
+    let mut t = bundle.clone();
+    t.signature[0] ^= 0x04;
+    assert_eq!(
+        w.router.install_bundle(&t, &[0]).unwrap_err(),
+        SdmmonError::SignatureInvalid
+    );
+
+    // Certificate subject rename.
+    let mut t = bundle.clone();
+    let mut cert_bytes = t.certificate.to_bytes();
+    // Subject is the first length-prefixed string: flip a subject byte.
+    cert_bytes[5] ^= 0x20;
+    t.certificate = Certificate::from_bytes(&cert_bytes).expect("still parses");
+    assert_eq!(
+        w.router.install_bundle(&t, &[0]).unwrap_err(),
+        SdmmonError::CertificateInvalid
+    );
+}
