@@ -1,0 +1,12 @@
+#!/bin/sh
+# Repo gate: formatting, lints, full test suite, and a quick perf smoke
+# run (quick mode writes target/BENCH_PR1.quick.json; the committed
+# BENCH_PR1.json comes from a full release run of the same binary).
+set -eux
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets --release -- -D warnings
+cargo build --release
+cargo test -q
+cargo test -q --workspace --release
+cargo run --release -p sdmmon-bench --bin perf_report -- --quick

@@ -11,7 +11,6 @@
 //!
 //! Run with: `cargo run --release -p sdmmon-bench --bin ablation_compression`
 
-use rand::{Rng, SeedableRng};
 use sdmmon_bench::render_table;
 use sdmmon_core::system::craft_evasive_hijack;
 use sdmmon_monitor::hash::{hamming, Compression, InstructionHash, MerkleTreeHash};
@@ -19,13 +18,14 @@ use sdmmon_monitor::{HardwareMonitor, MonitoringGraph};
 use sdmmon_npu::core::Core;
 use sdmmon_npu::programs;
 use sdmmon_npu::runtime::HaltReason;
+use sdmmon_rng::{Rng, SeedableRng};
 
 const DIFFUSION_PAIRS: usize = 50_000;
 const REPLAY_ROUTERS: usize = 32;
 
 fn main() {
     let program = programs::vulnerable_forward().expect("workload assembles");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0_3B);
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(0xC0_3B);
 
     println!("Compression-function ablation (Merkle tree, 4-bit output)\n");
     let mut rows = Vec::new();
@@ -35,7 +35,7 @@ fn main() {
         let mut zero_hd = 0u64;
         for _ in 0..DIFFUSION_PAIRS {
             let a: u32 = rng.gen();
-            let b = a ^ (1 << rng.gen_range(0..32));
+            let b = a ^ (1u32 << rng.gen_range(0..32u32));
             let hash = MerkleTreeHash::with_compression(rng.gen(), compression);
             let d = hamming(hash.hash(a), hash.hash(b));
             sum_hd += d as u64;

@@ -12,7 +12,6 @@
 //!
 //! Run with: `cargo run --release -p sdmmon-bench --bin ablation_granularity`
 
-use rand::{Rng, SeedableRng};
 use sdmmon_bench::render_table;
 use sdmmon_monitor::block::{BlockGraph, BlockMonitor};
 use sdmmon_monitor::graph::MonitoringGraph;
@@ -21,18 +20,17 @@ use sdmmon_monitor::monitor::HardwareMonitor;
 use sdmmon_npu::core::Core;
 use sdmmon_npu::programs::{self, testing};
 use sdmmon_npu::runtime::HaltReason;
+use sdmmon_rng::{Rng, SeedableRng};
 
 const PARAMS: usize = 200;
 
 fn main() {
     let program = programs::vulnerable_forward().expect("workload assembles");
     let image = program.to_bytes();
-    let attack = testing::hijack_packet(
-        "li $t4, 0x0007fff0\nli $t5, 15\nsw $t5, 0($t4)\nbreak 0",
-    )
-    .expect("attack assembles");
+    let attack = testing::hijack_packet("li $t4, 0x0007fff0\nli $t5, 15\nsw $t5, 0($t4)\nbreak 0")
+        .expect("attack assembles");
     let good = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"data");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x6AA);
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(0x6AA);
 
     // Representative graph sizes (structure is parameter-independent).
     let probe_hash = MerkleTreeHash::new(1);

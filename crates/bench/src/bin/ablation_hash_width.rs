@@ -7,18 +7,18 @@
 //!
 //! Run with: `cargo run --release -p sdmmon-bench --bin ablation_hash_width`
 
-use rand::{Rng, SeedableRng};
 use sdmmon_bench::render_table;
 use sdmmon_monitor::graph::MonitoringGraph;
 use sdmmon_monitor::hash::{InstructionHash, WidthHash};
 use sdmmon_npu::programs;
+use sdmmon_rng::{Rng, SeedableRng};
 
 const TRIALS: u64 = 400_000;
 
 fn main() {
     let program = programs::ipv4_cm().expect("workload assembles");
     let binary_bits = program.words.len() * 32;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xAB1A);
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(0xAB1A);
 
     println!("Hash-width ablation on the IPv4+CM workload ({binary_bits} binary bits)\n");
     let mut rows = Vec::new();
@@ -32,7 +32,9 @@ fn main() {
         let addrs: Vec<u32> = graph.iter().map(|(a, _)| a).collect();
         let mut hits = 0u64;
         for _ in 0..TRIALS {
-            let node = graph.node(addrs[rng.gen_range(0..addrs.len())]).expect("addr valid");
+            let node = graph
+                .node(addrs[rng.gen_range(0..addrs.len())])
+                .expect("addr valid");
             if node.hash == hash.hash(rng.gen()) {
                 hits += 1;
             }

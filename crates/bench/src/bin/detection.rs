@@ -11,11 +11,11 @@
 //!
 //! Run with: `cargo run --release -p sdmmon-bench --bin detection`
 
-use rand::{Rng, SeedableRng};
 use sdmmon_bench::render_table;
 use sdmmon_monitor::graph::MonitoringGraph;
 use sdmmon_monitor::hash::{InstructionHash, MerkleTreeHash};
 use sdmmon_npu::programs;
+use sdmmon_rng::{Rng, SeedableRng};
 
 /// Attack attempts per length (longer lengths need more samples than the
 /// escape rate's reciprocal to be observable; we report zeros honestly).
@@ -23,7 +23,7 @@ const TRIALS: u64 = 2_000_000;
 
 fn main() {
     let program = programs::ipv4_forward().expect("workload assembles");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xDE7EC7);
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(0xDE7EC7);
 
     println!("Detection probability vs attack length (4-bit Merkle-tree hash)");
     println!("({TRIALS} random attack sequences per length)\n");
@@ -84,7 +84,13 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["attack length k", "escapes", "empirical P(escape)", "16^-k", "ratio"],
+            &[
+                "attack length k",
+                "escapes",
+                "empirical P(escape)",
+                "16^-k",
+                "ratio"
+            ],
             &rows,
         )
     );

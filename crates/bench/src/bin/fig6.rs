@@ -11,18 +11,16 @@
 //!
 //! Run with: `cargo run --release -p sdmmon-bench --bin fig6`
 
-use rand::{Rng, SeedableRng};
 use sdmmon_bench::{bar, render_table};
 use sdmmon_monitor::hash::{hamming, InstructionHash, MerkleTreeHash};
+use sdmmon_rng::{Rng, SeedableRng};
 
 /// Pairs sampled per input Hamming distance (the paper uses 10,000-scale).
 const PAIRS: usize = 10_000;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF166);
-    println!(
-        "Figure 6: Hamming distance of hashed pairs vs Hamming distance of input pairs"
-    );
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(0xF166);
+    println!("Figure 6: Hamming distance of hashed pairs vs Hamming distance of input pairs");
     println!("({PAIRS} random 32-bit pairs per input distance, fresh random parameter per pair)\n");
 
     let mut rows: Vec<Vec<String>> = Vec::new();

@@ -7,7 +7,6 @@
 //!
 //! Run with: `cargo run --release -p sdmmon-bench --bin recovery_overhead`
 
-use rand::{Rng, SeedableRng};
 use sdmmon_bench::render_table;
 use sdmmon_monitor::graph::MonitoringGraph;
 use sdmmon_monitor::hash::MerkleTreeHash;
@@ -15,6 +14,7 @@ use sdmmon_monitor::monitor::HardwareMonitor;
 use sdmmon_npu::np::NetworkProcessor;
 use sdmmon_npu::programs::{self, testing};
 use sdmmon_npu::runtime::Verdict;
+use sdmmon_rng::{Rng, SeedableRng};
 
 const PACKETS: usize = 5_000;
 const CORES: usize = 4;
@@ -22,14 +22,10 @@ const CORES: usize = 4;
 fn main() {
     let program = programs::vulnerable_forward().expect("workload assembles");
     let image = program.to_bytes();
-    let attack = testing::hijack_packet(
-        "li $t4, 0x0007fff0\nli $t5, 15\nsw $t5, 0($t4)\nbreak 0",
-    )
-    .expect("attack assembles");
+    let attack = testing::hijack_packet("li $t4, 0x0007fff0\nli $t5, 15\nsw $t5, 0($t4)\nbreak 0")
+        .expect("attack assembles");
 
-    println!(
-        "Recovery overhead: {CORES}-core monitored NP, {PACKETS} packets per attack rate\n"
-    );
+    println!("Recovery overhead: {CORES}-core monitored NP, {PACKETS} packets per attack rate\n");
     let mut rows = Vec::new();
     for attack_percent in [0u32, 1, 5, 10, 25, 50] {
         let mut np = NetworkProcessor::new(CORES);
@@ -38,18 +34,17 @@ fn main() {
             let graph = MonitoringGraph::extract(&program, &hash).expect("graph extracts");
             Box::new(HardwareMonitor::new(graph, hash))
         });
-        let mut rng = rand::rngs::StdRng::seed_from_u64(attack_percent as u64);
+        let mut rng = sdmmon_rng::StdRng::seed_from_u64(attack_percent as u64);
         let mut total_steps = 0u64;
         let mut good_sent = 0u64;
         let mut good_delivered = 0u64;
         for _ in 0..PACKETS {
-            if rng.gen_range(0..100) < attack_percent {
+            if rng.gen_range(0..100u32) < attack_percent {
                 let (_, out) = np.process(&attack);
                 total_steps += out.steps;
             } else {
                 let dst = rng.gen_range(1u8..10);
-                let packet =
-                    testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, dst], 64, b"payload");
+                let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, dst], 64, b"payload");
                 good_sent += 1;
                 let (_, out) = np.process(&packet);
                 total_steps += out.steps;
@@ -64,7 +59,10 @@ fn main() {
             format!("{:.1}", total_steps as f64 / PACKETS as f64),
             format!("{}", stats.violations),
             format!("{}", stats.recoveries),
-            format!("{:.2}%", 100.0 * good_delivered as f64 / good_sent.max(1) as f64),
+            format!(
+                "{:.2}%",
+                100.0 * good_delivered as f64 / good_sent.max(1) as f64
+            ),
         ]);
     }
     print!(

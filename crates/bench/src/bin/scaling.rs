@@ -55,10 +55,21 @@ fn main() {
         rows.push(vec![
             cores.to_string(),
             format!("{:.0}%", 100.0 * with.luts as f64 / cap.luts as f64),
-            format!("{:.0}%", 100.0 * with.memory_bits as f64 / cap.memory_bits as f64),
-            if fits(cap, with) { "yes".into() } else { "NO".into() },
+            format!(
+                "{:.0}%",
+                100.0 * with.memory_bits as f64 / cap.memory_bits as f64
+            ),
+            if fits(cap, with) {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
             format!("{:.0}%", 100.0 * without.luts as f64 / cap.luts as f64),
-            if fits(cap, without) { "yes".into() } else { "NO".into() },
+            if fits(cap, without) {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     print!(

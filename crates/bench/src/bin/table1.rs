@@ -13,7 +13,9 @@ fn main() {
     let np = components::np_core_with_monitor();
     let (c, n) = (ctrl.resources(), np.resources());
 
-    println!("Table 1: Resource use on DE4 FPGA (structural estimate; paper values in parentheses)\n");
+    println!(
+        "Table 1: Resource use on DE4 FPGA (structural estimate; paper values in parentheses)\n"
+    );
     let rows = vec![
         vec![
             "LUTs".into(),
@@ -37,7 +39,12 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["", "Available on FPGA", "Nios II contr. proc.", "NP core with hw monitor"],
+            &[
+                "",
+                "Available on FPGA",
+                "Nios II contr. proc.",
+                "NP core with hw monitor"
+            ],
             &rows,
         )
     );

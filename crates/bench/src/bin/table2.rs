@@ -12,12 +12,12 @@
 //!
 //! Run with: `cargo run --release -p sdmmon-bench --bin table2`
 
-use rand::SeedableRng;
 use sdmmon_bench::{render_table, secs};
 use sdmmon_core::entities::{Manufacturer, NetworkOperator};
 use sdmmon_core::timing::{table2_rows, table2_total, table2_total_no_net_no_cert, NiosCycleModel};
 use sdmmon_net::channel::{Channel, FileServer};
 use sdmmon_npu::programs;
+use sdmmon_rng::SeedableRng;
 use std::time::Duration;
 
 /// The paper's package scale (production binary + graph + envelope).
@@ -31,11 +31,20 @@ fn main() {
 
     // --- Configuration 1: paper-scale package -----------------------------
     let download = channel.transfer_time(PAPER_PACKAGE_BYTES);
-    let rows = table2_rows(&model, KEY_BITS_MODEL, PAPER_PACKAGE_BYTES, PAPER_CERT_BYTES, download);
+    let rows = table2_rows(
+        &model,
+        KEY_BITS_MODEL,
+        PAPER_PACKAGE_BYTES,
+        PAPER_CERT_BYTES,
+        download,
+    );
     let paper = [1.90f64, 3.33, 8.74, 7.73, 3.92];
 
     println!("Table 2: Processing of security functions on Nios II");
-    println!("(calibrated cycle model, RSA-2048, {} KiB package)\n", PAPER_PACKAGE_BYTES / 1024);
+    println!(
+        "(calibrated cycle model, RSA-2048, {} KiB package)\n",
+        PAPER_PACKAGE_BYTES / 1024
+    );
     let mut out_rows: Vec<Vec<String>> = rows
         .iter()
         .zip(paper.iter())
@@ -51,10 +60,13 @@ fn main() {
         secs(table2_total_no_net_no_cert(&rows)),
         "~20".into(),
     ]);
-    print!("{}", render_table(&["Step", "Model (s)", "Paper (s)"], &out_rows));
+    print!(
+        "{}",
+        render_table(&["Step", "Model (s)", "Paper (s)"], &out_rows)
+    );
 
     // --- Configuration 2: the actual package this repo builds -------------
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(2);
     let manufacturer = Manufacturer::new("acme", 512, &mut rng).expect("keygen");
     let mut operator = NetworkOperator::new("op", 512, &mut rng).expect("keygen");
     operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));

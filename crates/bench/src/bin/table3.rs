@@ -13,15 +13,26 @@ fn main() {
 
     println!("Table 3: Implementation cost of hash functions (structural estimate)\n");
     let rows = vec![
-        vec!["LUTs".into(), bitcount.luts.to_string(), merkle.luts.to_string()],
-        vec!["FFs".into(), bitcount.ffs.to_string(), merkle.ffs.to_string()],
+        vec![
+            "LUTs".into(),
+            bitcount.luts.to_string(),
+            merkle.luts.to_string(),
+        ],
+        vec![
+            "FFs".into(),
+            bitcount.ffs.to_string(),
+            merkle.ffs.to_string(),
+        ],
         vec![
             "Memory bits".into(),
             bitcount.memory_bits.to_string(),
             merkle.memory_bits.to_string(),
         ],
     ];
-    print!("{}", render_table(&["", "Bitcount hash", "Merkle tree hash"], &rows));
+    print!(
+        "{}",
+        render_table(&["", "Bitcount hash", "Merkle tree hash"], &rows)
+    );
     println!(
         "\npaper shape: \"Our Merkle tree hash requires less logic, but requires memory to\n\
          store the parameter, whereas the bitcount hash does not require memory.\"\n\

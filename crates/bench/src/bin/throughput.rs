@@ -25,7 +25,10 @@ fn main() {
         ("ipv4_forward", programs::ipv4_forward().expect("assembles")),
         ("ipv4_cm", programs::ipv4_cm().expect("assembles")),
         ("firewall", programs::firewall().expect("assembles")),
-        ("vulnerable_forward", programs::vulnerable_forward().expect("assembles")),
+        (
+            "vulnerable_forward",
+            programs::vulnerable_forward().expect("assembles"),
+        ),
     ];
 
     println!(
@@ -62,7 +65,10 @@ fn main() {
                 cols.push(format!("{cycles_per_packet:.0}"));
                 cols.push(format!("{kpps:.0}"));
             } else {
-                cols.push(format!("{kpps:.0} ({:+.0}%)", 100.0 * (kpps - base_kpps) / base_kpps));
+                cols.push(format!(
+                    "{kpps:.0} ({:+.0}%)",
+                    100.0 * (kpps - base_kpps) / base_kpps
+                ));
             }
         }
         rows.push(cols);

@@ -13,8 +13,9 @@
 //! | `ablation_compression` | sum vs xor vs S-box compression (incl. the SR2 transfer finding) |
 //! | `graph_size` | monitoring-graph compactness across workloads |
 //!
-//! Criterion micro-benchmarks for the underlying primitives live in
-//! `benches/`.
+//! `perf_report` measures the hot paths (Montgomery/CRT RSA, the decode
+//! cache, batch/fleet parallelism) against their in-tree reference oracles
+//! and writes the machine-readable `BENCH_PR1.json` at the repo root.
 
 use std::fmt::Write as _;
 

@@ -6,7 +6,7 @@
 //! processor can establish a chain of trust to the network operator."
 //! (paper §3.1)
 
-use crate::wire::{Reader, Writer, WireError};
+use crate::wire::{Reader, WireError, Writer};
 use sdmmon_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 
 /// Domain-separation tag mixed into every certificate signature so a
@@ -19,12 +19,12 @@ const CERT_CONTEXT: &[u8] = b"SDMMON-CERT-V1";
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use sdmmon_rng::SeedableRng;
 /// use sdmmon_core::cert::Certificate;
 /// use sdmmon_crypto::rsa::RsaKeyPair;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let mut rng = sdmmon_rng::StdRng::seed_from_u64(5);
 /// let manufacturer = RsaKeyPair::generate(512, &mut rng)?;
 /// let operator = RsaKeyPair::generate(512, &mut rng)?;
 ///
@@ -123,11 +123,11 @@ impl Certificate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use sdmmon_crypto::rsa::RsaKeyPair;
+    use sdmmon_rng::SeedableRng;
 
     fn keys(seed: u64) -> RsaKeyPair {
-        RsaKeyPair::generate(512, &mut rand::rngs::StdRng::seed_from_u64(seed)).unwrap()
+        RsaKeyPair::generate(512, &mut sdmmon_rng::StdRng::seed_from_u64(seed)).unwrap()
     }
 
     #[test]
@@ -146,7 +146,10 @@ mod tests {
         let rogue = keys(3);
         let op = keys(2);
         let cert = Certificate::issue("op-1", &op.public, &rogue.private);
-        assert!(!cert.verify(&m.public), "self-issued certificate must not verify");
+        assert!(
+            !cert.verify(&m.public),
+            "self-issued certificate must not verify"
+        );
     }
 
     #[test]
@@ -162,7 +165,10 @@ mod tests {
 
         let mut swapped = cert.clone();
         swapped.subject_modulus = eve.public.modulus_bytes();
-        assert!(!swapped.verify(&m.public), "key substitution must break the signature");
+        assert!(
+            !swapped.verify(&m.public),
+            "key substitution must break the signature"
+        );
     }
 
     #[test]

@@ -5,7 +5,6 @@ use crate::cert::Certificate;
 use crate::package::{InstallationBundle, Package};
 use crate::timing::NiosCycleModel;
 use crate::SdmmonError;
-use rand::RngCore;
 use sdmmon_crypto::aes::Aes;
 use sdmmon_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use sdmmon_isa::asm::Program;
@@ -13,6 +12,7 @@ use sdmmon_monitor::hash::Compression;
 use sdmmon_monitor::{HardwareMonitor, MerkleTreeHash, MonitoringGraph};
 use sdmmon_npu::np::{NetworkProcessor, NpStats};
 use sdmmon_npu::runtime::PacketOutcome;
+use sdmmon_rng::RngCore;
 use std::time::Duration;
 
 /// AES key length for package encryption (AES-128, the OpenSSL default of
@@ -41,7 +41,10 @@ impl Manufacturer {
         key_bits: usize,
         rng: &mut R,
     ) -> Result<Manufacturer, SdmmonError> {
-        Ok(Manufacturer { name: name.to_owned(), keys: RsaKeyPair::generate(key_bits, rng)? })
+        Ok(Manufacturer {
+            name: name.to_owned(),
+            keys: RsaKeyPair::generate(key_bits, rng)?,
+        })
     }
 
     /// The manufacturer's name.
@@ -56,7 +59,11 @@ impl Manufacturer {
 
     /// Issues the certificate that lets routers trust `operator_key`
     /// ("at installation time").
-    pub fn certify_operator(&self, operator_key: &RsaPublicKey, operator_name: &str) -> Certificate {
+    pub fn certify_operator(
+        &self,
+        operator_key: &RsaPublicKey,
+        operator_name: &str,
+    ) -> Certificate {
         Certificate::issue(operator_name, operator_key, &self.keys.private)
     }
 
@@ -94,9 +101,9 @@ pub struct NetworkOperator {
     certificate: Option<Certificate>,
     compression: Compression,
     /// Monotonic package counter (anti-replay extension; see
-    /// `Package::sequence`). Interior-mutable so package preparation can
-    /// stay `&self`.
-    next_sequence: std::cell::Cell<u64>,
+    /// `Package::sequence`). Atomic so package preparation stays `&self`
+    /// and parallel deployments can reserve sequence blocks concurrently.
+    next_sequence: std::sync::atomic::AtomicU64,
 }
 
 impl NetworkOperator {
@@ -119,7 +126,7 @@ impl NetworkOperator {
             // independent, which would void the fleet-diversity goal; the
             // protocol layer therefore defaults to the S-box compression.
             compression: Compression::SBox,
-            next_sequence: std::cell::Cell::new(1),
+            next_sequence: std::sync::atomic::AtomicU64::new(1),
         })
     }
 
@@ -168,14 +175,42 @@ impl NetworkOperator {
         router_key: &RsaPublicKey,
         rng: &mut R,
     ) -> Result<InstallationBundle, SdmmonError> {
-        let certificate =
-            self.certificate.clone().ok_or(SdmmonError::MissingCertificate)?;
+        let sequence = self.reserve_sequences(1);
+        self.prepare_package_with_sequence(program, router_key, sequence, rng)
+    }
+
+    /// Reserves a contiguous block of `count` package sequence numbers,
+    /// returning the first.
+    ///
+    /// Parallel fleet deployments reserve one block up front and assign
+    /// `first + i` to router `i`, so the sequence a router receives does
+    /// not depend on thread scheduling.
+    pub fn reserve_sequences(&self, count: u64) -> u64 {
+        self.next_sequence
+            .fetch_add(count, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// [`NetworkOperator::prepare_package`] with a caller-assigned sequence
+    /// number (obtained from [`NetworkOperator::reserve_sequences`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`NetworkOperator::prepare_package`].
+    pub fn prepare_package_with_sequence<R: RngCore + ?Sized>(
+        &self,
+        program: &Program,
+        router_key: &RsaPublicKey,
+        sequence: u64,
+        rng: &mut R,
+    ) -> Result<InstallationBundle, SdmmonError> {
+        let certificate = self
+            .certificate
+            .clone()
+            .ok_or(SdmmonError::MissingCertificate)?;
         let hash_param = rng.next_u32();
         let hash = MerkleTreeHash::with_compression(hash_param, self.compression);
         let graph = MonitoringGraph::extract(program, &hash)
             .map_err(|e| SdmmonError::Graph(e.to_string()))?;
-        let sequence = self.next_sequence.get();
-        self.next_sequence.set(sequence + 1);
         let package = Package {
             binary: program.to_bytes(),
             base: program.base,
@@ -193,7 +228,12 @@ impl NetworkOperator {
         let ciphertext = aes.encrypt_cbc(&payload, rng);
         let wrapped_key = router_key.encrypt(&sym_key, rng)?;
 
-        Ok(InstallationBundle { ciphertext, wrapped_key, signature, certificate })
+        Ok(InstallationBundle {
+            ciphertext,
+            wrapped_key,
+            signature,
+            certificate,
+        })
     }
 }
 
@@ -340,7 +380,8 @@ impl RouterDevice {
         let hash = MerkleTreeHash::with_compression(package.hash_param, package.compression);
         for &core in cores {
             let monitor = HardwareMonitor::new(graph.clone(), hash);
-            self.np.install(core, &package.binary, package.base, Box::new(monitor));
+            self.np
+                .install(core, &package.binary, package.base, Box::new(monitor));
             self.installed[core] = Some(InstalledApp {
                 hash_param: package.hash_param,
                 binary_bytes: package.binary.len(),
@@ -389,9 +430,9 @@ impl RouterDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use sdmmon_npu::programs::{self, testing};
     use sdmmon_npu::runtime::{HaltReason, Verdict};
+    use sdmmon_rng::SeedableRng;
 
     const KEY_BITS: usize = 512; // small keys for fast tests; protocol is size-agnostic
 
@@ -399,18 +440,23 @@ mod tests {
         manufacturer: Manufacturer,
         operator: NetworkOperator,
         router: RouterDevice,
-        rng: rand::rngs::StdRng,
+        rng: sdmmon_rng::StdRng,
     }
 
     fn world(seed: u64) -> World {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = sdmmon_rng::StdRng::seed_from_u64(seed);
         let manufacturer = Manufacturer::new("acme", KEY_BITS, &mut rng).unwrap();
         let mut operator = NetworkOperator::new("op-1", KEY_BITS, &mut rng).unwrap();
-        operator.accept_certificate(
-            manufacturer.certify_operator(operator.public_key(), "op-1"),
-        );
-        let router = manufacturer.provision_router("r-1", 2, KEY_BITS, &mut rng).unwrap();
-        World { manufacturer, operator, router, rng }
+        operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "op-1"));
+        let router = manufacturer
+            .provision_router("r-1", 2, KEY_BITS, &mut rng)
+            .unwrap();
+        World {
+            manufacturer,
+            operator,
+            router,
+            rng,
+        }
     }
 
     #[test]
@@ -424,7 +470,10 @@ mod tests {
         let report = w.router.install_bundle(&bundle, &[0, 1]).unwrap();
         assert_eq!(report.cores, vec![0, 1]);
         assert!(report.package_bytes > program.to_bytes().len());
-        assert!(report.bundle_bytes > report.package_bytes, "envelope adds overhead");
+        assert!(
+            report.bundle_bytes > report.package_bytes,
+            "envelope adds overhead"
+        );
         let app = w.router.installed(0).unwrap().clone();
         assert_eq!(w.router.installed(1), Some(&app));
 
@@ -436,10 +485,12 @@ mod tests {
 
     #[test]
     fn operator_without_certificate_cannot_package() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = sdmmon_rng::StdRng::seed_from_u64(2);
         let operator = NetworkOperator::new("op", KEY_BITS, &mut rng).unwrap();
         let manufacturer = Manufacturer::new("m", KEY_BITS, &mut rng).unwrap();
-        let router = manufacturer.provision_router("r", 1, KEY_BITS, &mut rng).unwrap();
+        let router = manufacturer
+            .provision_router("r", 1, KEY_BITS, &mut rng)
+            .unwrap();
         let program = programs::ipv4_forward().unwrap();
         assert_eq!(
             operator
@@ -454,7 +505,7 @@ mod tests {
         // An attacker with their own key pair and a self-made certificate
         // cannot get a package accepted.
         let mut w = world(3);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng = sdmmon_rng::StdRng::seed_from_u64(99);
         let attacker_keys = RsaKeyPair::generate(KEY_BITS, &mut rng).unwrap();
         let mut attacker = NetworkOperator::new("evil", KEY_BITS, &mut rng).unwrap();
         // Self-signed "certificate": signed by the attacker, not the
@@ -496,7 +547,10 @@ mod tests {
             ),
             "{err}"
         );
-        assert!(w.router.installed(0).is_none(), "nothing installed on failure");
+        assert!(
+            w.router.installed(0).is_none(),
+            "nothing installed on failure"
+        );
     }
 
     #[test]
@@ -566,12 +620,18 @@ mod tests {
         let mut w = world(8);
         let fwd = programs::ipv4_forward().unwrap();
         let cm = programs::ipv4_cm().unwrap();
-        let b1 = w.operator.prepare_package(&fwd, w.router.public_key(), &mut w.rng).unwrap();
+        let b1 = w
+            .operator
+            .prepare_package(&fwd, w.router.public_key(), &mut w.rng)
+            .unwrap();
         w.router.install_bundle(&b1, &[0, 1]).unwrap();
         let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"");
         assert_eq!(w.router.process_on(0, &packet).verdict, Verdict::Forward(2));
 
-        let b2 = w.operator.prepare_package(&cm, w.router.public_key(), &mut w.rng).unwrap();
+        let b2 = w
+            .operator
+            .prepare_package(&cm, w.router.public_key(), &mut w.rng)
+            .unwrap();
         w.router.install_bundle(&b2, &[0]).unwrap();
         assert_eq!(w.router.process_on(0, &packet).verdict, Verdict::Forward(2));
         assert!(
@@ -592,10 +652,9 @@ mod tests {
             .prepare_package(&program, w.router.public_key(), &mut w.rng)
             .unwrap();
         w.router.install_bundle(&bundle, &[0, 1]).unwrap();
-        let attack = testing::hijack_packet(
-            "li $t4, 0x0007fff0\nli $t5, 15\nsw $t5, 0($t4)\nbreak 0",
-        )
-        .unwrap();
+        let attack =
+            testing::hijack_packet("li $t4, 0x0007fff0\nli $t5, 15\nsw $t5, 0($t4)\nbreak 0")
+                .unwrap();
         let out = w.router.process_on(0, &attack);
         assert_eq!(out.verdict, Verdict::Drop);
         assert_eq!(out.halt, HaltReason::MonitorViolation);

@@ -28,12 +28,12 @@
 //! # Examples
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use sdmmon_rng::SeedableRng;
 //! use sdmmon_core::entities::{Manufacturer, NetworkOperator};
 //! use sdmmon_npu::{programs, runtime::Verdict};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = sdmmon_rng::StdRng::seed_from_u64(1);
 //! // Small keys keep doctests fast; the paper (and our defaults) use 2048.
 //! let manufacturer = Manufacturer::new("acme-networks", 512, &mut rng)?;
 //! let mut operator = NetworkOperator::new("backbone-op", 512, &mut rng)?;
@@ -107,7 +107,10 @@ impl fmt::Display for SdmmonError {
                 write!(f, "operator holds no manufacturer certificate")
             }
             SdmmonError::WrongDevice => {
-                write!(f, "package symmetric key cannot be unwrapped by this device")
+                write!(
+                    f,
+                    "package symmetric key cannot be unwrapped by this device"
+                )
             }
             SdmmonError::DecryptionFailed => write!(f, "package decryption failed"),
             SdmmonError::SignatureInvalid => write!(f, "package signature is invalid"),

@@ -7,7 +7,7 @@
 //! encrypted to one specific router.
 
 use crate::cert::Certificate;
-use crate::wire::{Reader, Writer, WireError};
+use crate::wire::{Reader, WireError, Writer};
 
 /// Magic bytes of the plaintext package payload.
 const PKG_MAGIC: &[u8; 4] = b"SDMP";
@@ -83,7 +83,14 @@ impl Package {
             .ok_or_else(|| WireError::new("unknown compression id"))?;
         let sequence = ((r.u32()? as u64) << 32) | r.u32()? as u64;
         r.done()?;
-        Ok(Package { binary, base, graph, hash_param, compression, sequence })
+        Ok(Package {
+            binary,
+            base,
+            graph,
+            hash_param,
+            compression,
+            sequence,
+        })
     }
 }
 
@@ -125,7 +132,12 @@ impl InstallationBundle {
         let signature = r.bytes()?.to_vec();
         let certificate = Certificate::from_bytes(r.bytes()?)?;
         r.done()?;
-        Ok(InstallationBundle { ciphertext, wrapped_key, signature, certificate })
+        Ok(InstallationBundle {
+            ciphertext,
+            wrapped_key,
+            signature,
+            certificate,
+        })
     }
 
     /// Total transport size in bytes (drives the download-time model).
@@ -137,8 +149,8 @@ impl InstallationBundle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use sdmmon_crypto::rsa::RsaKeyPair;
+    use sdmmon_rng::SeedableRng;
 
     #[test]
     fn package_round_trip() {
@@ -156,7 +168,10 @@ mod tests {
     #[test]
     fn package_rejects_garbage() {
         assert!(Package::from_bytes(b"").is_err());
-        assert!(Package::from_bytes(b"\x00\x00\x00\x04XXXX").is_err(), "bad magic");
+        assert!(
+            Package::from_bytes(b"\x00\x00\x00\x04XXXX").is_err(),
+            "bad magic"
+        );
         let pkg = Package {
             binary: vec![1],
             base: 0,
@@ -175,7 +190,7 @@ mod tests {
 
     #[test]
     fn bundle_round_trip() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut rng = sdmmon_rng::StdRng::seed_from_u64(8);
         let keys = RsaKeyPair::generate(512, &mut rng).unwrap();
         let cert = crate::cert::Certificate::issue("op", &keys.public, &keys.private);
         let bundle = InstallationBundle {

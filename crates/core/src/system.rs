@@ -13,7 +13,6 @@
 use crate::entities::{InstallReport, Manufacturer, NetworkOperator, RouterDevice};
 use crate::package::InstallationBundle;
 use crate::SdmmonError;
-use rand::RngCore;
 use sdmmon_isa::asm::Program;
 use sdmmon_monitor::hash::Compression;
 use sdmmon_monitor::{HardwareMonitor, MerkleTreeHash, MonitoringGraph};
@@ -21,6 +20,7 @@ use sdmmon_net::channel::{Channel, FileServer};
 use sdmmon_npu::core::Core;
 use sdmmon_npu::programs::testing::hijack_packet;
 use sdmmon_npu::runtime::{HaltReason, PacketOutcome, Verdict};
+use sdmmon_rng::{RngCore, SeedableRng};
 use std::time::Duration;
 
 /// Outcome of a complete deployment (download + install).
@@ -65,7 +65,10 @@ pub fn deploy<R: RngCore + ?Sized>(
     let bundle = InstallationBundle::from_bytes(&bytes)
         .map_err(|e| SdmmonError::MalformedPackage(e.to_string()))?;
     let install = router.install_bundle(&bundle, cores)?;
-    Ok(DeploymentReport { download_time, install })
+    Ok(DeploymentReport {
+        download_time,
+        install,
+    })
 }
 
 /// A fleet of identical routers running the same binary — the homogeneity
@@ -74,12 +77,21 @@ pub fn deploy<R: RngCore + ?Sized>(
 #[derive(Debug)]
 pub struct Fleet {
     routers: Vec<RouterDevice>,
+    reports: Vec<InstallReport>,
 }
 
 impl Fleet {
     /// Provisions `count` routers from `manufacturer`, then securely
     /// installs `program` on all cores of each via `operator`. Every
     /// router receives a freshly parameterized package.
+    ///
+    /// Per-router work (RSA key generation, graph extraction, packaging,
+    /// installation) runs on one scoped thread per router. Determinism is
+    /// preserved by construction: a single master seed is drawn from `rng`,
+    /// router `i` derives its own seed as `split_seed(master, i)` and its
+    /// package sequence from a block reserved up front, so the result is
+    /// byte-identical to [`Fleet::deploy_serial`] regardless of thread
+    /// scheduling.
     ///
     /// # Errors
     ///
@@ -93,21 +105,87 @@ impl Fleet {
         key_bits: usize,
         rng: &mut R,
     ) -> Result<Fleet, SdmmonError> {
-        let mut routers = Vec::with_capacity(count);
-        for i in 0..count {
-            let mut router =
-                manufacturer.provision_router(&format!("router-{i}"), cores_each, key_bits, rng)?;
-            let bundle = operator.prepare_package(program, router.public_key(), rng)?;
-            let cores: Vec<usize> = (0..cores_each).collect();
-            router.install_bundle(&bundle, &cores)?;
+        let master = rng.next_u64();
+        let first_seq = operator.reserve_sequences(count as u64);
+        let mut slots: Vec<Option<Result<(RouterDevice, InstallReport), SdmmonError>>> =
+            (0..count).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    *slot = Some(deploy_one(
+                        manufacturer,
+                        operator,
+                        program,
+                        i,
+                        cores_each,
+                        key_bits,
+                        sdmmon_rng::split_seed(master, i as u64),
+                        first_seq + i as u64,
+                    ));
+                });
+            }
+        });
+        Fleet::collect(
+            slots
+                .into_iter()
+                .map(|s| s.expect("scope joined every thread")),
+        )
+    }
+
+    /// The serial reference implementation of [`Fleet::deploy`]: identical
+    /// seed and sequence derivation, one router at a time. Exists so the
+    /// parallel path can be differentially tested (and benchmarked)
+    /// against it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates provisioning and installation failures.
+    pub fn deploy_serial<R: RngCore + ?Sized>(
+        manufacturer: &Manufacturer,
+        operator: &NetworkOperator,
+        program: &Program,
+        count: usize,
+        cores_each: usize,
+        key_bits: usize,
+        rng: &mut R,
+    ) -> Result<Fleet, SdmmonError> {
+        let master = rng.next_u64();
+        let first_seq = operator.reserve_sequences(count as u64);
+        Fleet::collect((0..count).map(|i| {
+            deploy_one(
+                manufacturer,
+                operator,
+                program,
+                i,
+                cores_each,
+                key_bits,
+                sdmmon_rng::split_seed(master, i as u64),
+                first_seq + i as u64,
+            )
+        }))
+    }
+
+    fn collect(
+        results: impl Iterator<Item = Result<(RouterDevice, InstallReport), SdmmonError>>,
+    ) -> Result<Fleet, SdmmonError> {
+        let mut routers = Vec::new();
+        let mut reports = Vec::new();
+        for result in results {
+            let (router, report) = result?;
             routers.push(router);
+            reports.push(report);
         }
-        Ok(Fleet { routers })
+        Ok(Fleet { routers, reports })
     }
 
     /// The deployed routers.
     pub fn routers(&self) -> &[RouterDevice] {
         &self.routers
+    }
+
+    /// Per-router installation reports, in router order.
+    pub fn reports(&self) -> &[InstallReport] {
+        &self.reports
     }
 
     /// Mutable access (for processing traffic).
@@ -133,6 +211,33 @@ impl Fleet {
             .map(|r| r.process_on(0, packet))
             .collect()
     }
+}
+
+/// Provisions, packages, and installs one fleet router from its derived
+/// seed and pre-assigned package sequence (see [`Fleet::deploy`]).
+#[allow(clippy::too_many_arguments)]
+fn deploy_one(
+    manufacturer: &Manufacturer,
+    operator: &NetworkOperator,
+    program: &Program,
+    index: usize,
+    cores_each: usize,
+    key_bits: usize,
+    seed: u64,
+    sequence: u64,
+) -> Result<(RouterDevice, InstallReport), SdmmonError> {
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(seed);
+    let mut router = manufacturer.provision_router(
+        &format!("router-{index}"),
+        cores_each,
+        key_bits,
+        &mut rng,
+    )?;
+    let bundle =
+        operator.prepare_package_with_sequence(program, router.public_key(), sequence, &mut rng)?;
+    let cores: Vec<usize> = (0..cores_each).collect();
+    let report = router.install_bundle(&bundle, &cores)?;
+    Ok((router, report))
 }
 
 /// An attack packet crafted to evade one specific router's monitor.
@@ -207,7 +312,10 @@ pub fn craft_evasive_hijack(
             }
         }
     }
-    assert!(!start.is_empty(), "no indirect return to hijack in this program");
+    assert!(
+        !start.is_empty(),
+        "no indirect return to hijack in this program"
+    );
 
     // The final observed injected instruction is the verdict write
     // (`break 0` traps before it is ever observed by the monitor). Its
@@ -292,7 +400,12 @@ pub fn craft_evasive_hijack(
         let imm = (0..=u16::MAX).find(|&imm| {
             runs += 1;
             hash.hash(
-                Inst::Ori { rt: sdmmon_isa::Reg::ZERO, rs: sdmmon_isa::Reg::ZERO, imm }.encode(),
+                Inst::Ori {
+                    rt: sdmmon_isa::Reg::ZERO,
+                    rs: sdmmon_isa::Reg::ZERO,
+                    imm,
+                }
+                .encode(),
             ) == want
         })?;
         imms.push(imm);
@@ -301,7 +414,12 @@ pub fn craft_evasive_hijack(
     let port = (1..=fin.max_port).find(|&port| {
         runs += 1;
         hash.hash(
-            Inst::Addiu { rt: fin.rt, rs: sdmmon_isa::Reg::ZERO, imm: port as i16 }.encode(),
+            Inst::Addiu {
+                rt: fin.rt,
+                rs: sdmmon_isa::Reg::ZERO,
+                imm: port as i16,
+            }
+            .encode(),
         ) == want_addiu
     })?;
 
@@ -342,8 +460,19 @@ struct FinalStore {
 fn final_store_candidates() -> Vec<FinalStore> {
     use sdmmon_isa::{Inst, Reg};
     let temps = [
-        Reg::T5, Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::T4, Reg::T6, Reg::T7, Reg::T8,
-        Reg::T9, Reg::V0, Reg::V1, Reg::AT,
+        Reg::T5,
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::T3,
+        Reg::T4,
+        Reg::T6,
+        Reg::T7,
+        Reg::T8,
+        Reg::T9,
+        Reg::V0,
+        Reg::V1,
+        Reg::AT,
     ];
     // (base register, offset of the verdict word relative to it)
     let bases = [(Reg::S0, -16i16), (Reg::S1, -20i16)];
@@ -352,7 +481,12 @@ fn final_store_candidates() -> Vec<FinalStore> {
         for &rt in &temps {
             // Full-word store of the port.
             out.push(FinalStore {
-                word: Inst::Sw { rt, base, offset: off }.encode(),
+                word: Inst::Sw {
+                    rt,
+                    base,
+                    offset: off,
+                }
+                .encode(),
                 asm: format!("sw {rt}, {off}({base})"),
                 rt,
                 max_port: i16::MAX as u16,
@@ -361,13 +495,23 @@ fn final_store_candidates() -> Vec<FinalStore> {
             // half-word store of the low half (big-endian: offset + 2) or a
             // byte store of the low byte (offset + 3) also sets it.
             out.push(FinalStore {
-                word: Inst::Sh { rt, base, offset: off + 2 }.encode(),
+                word: Inst::Sh {
+                    rt,
+                    base,
+                    offset: off + 2,
+                }
+                .encode(),
                 asm: format!("sh {rt}, {}({base})", off + 2),
                 rt,
                 max_port: i16::MAX as u16,
             });
             out.push(FinalStore {
-                word: Inst::Sb { rt, base, offset: off + 3 }.encode(),
+                word: Inst::Sb {
+                    rt,
+                    base,
+                    offset: off + 3,
+                }
+                .encode(),
                 asm: format!("sb {rt}, {}({base})", off + 3),
                 rt,
                 max_port: 255,
@@ -396,24 +540,25 @@ fn evasive_payload(imms: &[u16], port: u16, fin: &FinalStore) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use sdmmon_npu::programs::{self, testing};
+    use sdmmon_rng::SeedableRng;
 
     const KEY_BITS: usize = 512;
 
-    fn setup(seed: u64) -> (Manufacturer, NetworkOperator, rand::rngs::StdRng) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    fn setup(seed: u64) -> (Manufacturer, NetworkOperator, sdmmon_rng::StdRng) {
+        let mut rng = sdmmon_rng::StdRng::seed_from_u64(seed);
         let manufacturer = Manufacturer::new("acme", KEY_BITS, &mut rng).unwrap();
         let mut operator = NetworkOperator::new("op", KEY_BITS, &mut rng).unwrap();
-        operator
-            .accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));
+        operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));
         (manufacturer, operator, rng)
     }
 
     #[test]
     fn deploy_over_file_server() {
         let (manufacturer, operator, mut rng) = setup(11);
-        let mut router = manufacturer.provision_router("r", 2, KEY_BITS, &mut rng).unwrap();
+        let mut router = manufacturer
+            .provision_router("r", 2, KEY_BITS, &mut rng)
+            .unwrap();
         let program = programs::ipv4_forward().unwrap();
         let mut server = FileServer::new();
         let channel = Channel::paper_testbed();
@@ -450,7 +595,11 @@ mod tests {
         let mut unique = params.clone();
         unique.sort_unstable();
         unique.dedup();
-        assert_eq!(unique.len(), params.len(), "SR2: parameters must differ: {params:?}");
+        assert_eq!(
+            unique.len(),
+            params.len(),
+            "SR2: parameters must differ: {params:?}"
+        );
     }
 
     #[test]
@@ -463,6 +612,35 @@ mod tests {
         for out in fleet.broadcast(&packet) {
             assert_eq!(out.verdict, Verdict::Forward(7));
         }
+    }
+
+    #[test]
+    fn parallel_deploy_is_bit_identical_to_serial() {
+        // Two identically seeded worlds: one deployed in parallel, one
+        // serially. Thread scheduling must not leak into any observable
+        // output — router identity, key material, hash parameters, or the
+        // install reports.
+        let program = programs::ipv4_forward().unwrap();
+        let (m_par, o_par, mut rng_par) = setup(16);
+        let (m_ser, o_ser, mut rng_ser) = setup(16);
+        let parallel =
+            Fleet::deploy(&m_par, &o_par, &program, 4, 2, KEY_BITS, &mut rng_par).unwrap();
+        let serial =
+            Fleet::deploy_serial(&m_ser, &o_ser, &program, 4, 2, KEY_BITS, &mut rng_ser).unwrap();
+
+        assert_eq!(parallel.len(), serial.len());
+        assert_eq!(parallel.reports(), serial.reports());
+        for (a, b) in parallel.routers().iter().zip(serial.routers()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(
+                a.public_key().modulus_bytes(),
+                b.public_key().modulus_bytes()
+            );
+            assert_eq!(a.installed(0), b.installed(0));
+            assert_eq!(a.installed(1), b.installed(1));
+        }
+        // Both deployments leave the caller's rng in the same state.
+        assert_eq!(rng_par.next_u64(), rng_ser.next_u64());
     }
 
     #[test]
@@ -500,8 +678,7 @@ mod tests {
     #[test]
     fn evasive_search_reports_effort() {
         let program = programs::vulnerable_forward().unwrap();
-        let attack =
-            craft_evasive_hijack(&program, 0x1234_5678, Compression::SBox).unwrap();
+        let attack = craft_evasive_hijack(&program, 0x1234_5678, Compression::SBox).unwrap();
         assert!(attack.search_runs > 0);
         assert!(attack.port > 0);
     }

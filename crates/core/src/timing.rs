@@ -140,7 +140,10 @@ pub fn table2_rows(
     download: Duration,
 ) -> Vec<StepTiming> {
     vec![
-        StepTiming { step: "Download data from FTP server", time: download },
+        StepTiming {
+            step: "Download data from FTP server",
+            time: download,
+        },
         StepTiming {
             step: "Check manufacturer certificate of network operator's public key",
             time: model.check_certificate(modulus_bits, cert_bytes),
@@ -198,12 +201,19 @@ mod tests {
         for (row, &expect) in rows.iter().zip(paper.iter()) {
             let got = row.time.as_secs_f64();
             let rel = (got - expect).abs() / expect;
-            assert!(rel < 0.15, "{}: modelled {got:.2} s vs paper {expect:.2} s", row.step);
+            assert!(
+                rel < 0.15,
+                "{}: modelled {got:.2} s vs paper {expect:.2} s",
+                row.step
+            );
         }
         let total = table2_total(&rows).as_secs_f64();
         assert!((total - 25.62).abs() / 25.62 < 0.10, "total {total:.2}");
         let reduced = table2_total_no_net_no_cert(&rows).as_secs_f64();
-        assert!((18.0..22.0).contains(&reduced), "reduced total {reduced:.2}");
+        assert!(
+            (18.0..22.0).contains(&reduced),
+            "reduced total {reduced:.2}"
+        );
     }
 
     #[test]
@@ -211,7 +221,13 @@ mod tests {
         // The structural claim: RSA private > AES package decrypt >
         // signature verify ≥ certificate check > (typical) download.
         let m = NiosCycleModel::paper();
-        let rows = table2_rows(&m, 2048, PAPER_PKG, PAPER_CERT, Duration::from_secs_f64(1.9));
+        let rows = table2_rows(
+            &m,
+            2048,
+            PAPER_PKG,
+            PAPER_CERT,
+            Duration::from_secs_f64(1.9),
+        );
         let t: Vec<f64> = rows.iter().map(|r| r.time.as_secs_f64()).collect();
         assert!(t[2] > t[3], "RSA private ({}) > AES ({})", t[2], t[3]);
         assert!(t[3] > t[4], "AES ({}) > verify ({})", t[3], t[4]);
@@ -226,7 +242,10 @@ mod tests {
         let t1024 = m.rsa_private_op(1024).as_secs_f64() - overhead;
         let t2048 = m.rsa_private_op(2048).as_secs_f64() - overhead;
         let ratio = t2048 / t1024;
-        assert!((7.0..9.0).contains(&ratio), "expected ≈8× for doubled key, got {ratio}");
+        assert!(
+            (7.0..9.0).contains(&ratio),
+            "expected ≈8× for doubled key, got {ratio}"
+        );
     }
 
     #[test]

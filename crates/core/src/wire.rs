@@ -16,7 +16,9 @@ pub struct WireError {
 
 impl WireError {
     pub(crate) fn new(reason: impl Into<String>) -> WireError {
-        WireError { reason: reason.into() }
+        WireError {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -124,7 +126,9 @@ impl<'a> Reader<'a> {
     ///
     /// Returns [`WireError`] when fewer than 4 bytes remain.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a length-prefixed byte string.

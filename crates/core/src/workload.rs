@@ -13,8 +13,8 @@
 
 use crate::entities::{NetworkOperator, RouterDevice};
 use crate::SdmmonError;
-use rand::RngCore;
 use sdmmon_isa::asm::Program;
+use sdmmon_rng::RngCore;
 use std::collections::BTreeMap;
 
 /// A registered packet-processing application.
@@ -77,7 +77,10 @@ impl WorkloadManager {
             )));
         }
         self.demand.insert(name.to_owned(), 0);
-        self.apps.push(AppSpec { name: name.to_owned(), program });
+        self.apps.push(AppSpec {
+            name: name.to_owned(),
+            program,
+        });
         Ok(())
     }
 
@@ -257,13 +260,14 @@ impl WorkloadManager {
 mod tests {
     use super::*;
     use crate::entities::Manufacturer;
-    use rand::SeedableRng;
     use sdmmon_npu::programs::{self, testing};
     use sdmmon_npu::runtime::Verdict;
+    use sdmmon_rng::SeedableRng;
 
     fn manager() -> WorkloadManager {
         let mut m = WorkloadManager::new();
-        m.register("ipv4", programs::ipv4_forward().unwrap()).unwrap();
+        m.register("ipv4", programs::ipv4_forward().unwrap())
+            .unwrap();
         m.register("ipv4cm", programs::ipv4_cm().unwrap()).unwrap();
         m
     }
@@ -271,7 +275,11 @@ mod tests {
     #[test]
     fn registration_validates() {
         let mut m = manager();
-        assert!(m.register("ipv4", programs::ipv4_forward().unwrap()).is_err(), "duplicate");
+        assert!(
+            m.register("ipv4", programs::ipv4_forward().unwrap())
+                .is_err(),
+            "duplicate"
+        );
         assert!(m.record_demand("nope", 1).is_err(), "unknown app");
         assert_eq!(m.apps().collect::<Vec<_>>(), vec!["ipv4", "ipv4cm"]);
     }
@@ -295,14 +303,18 @@ mod tests {
     #[test]
     fn largest_remainder_rounds_sensibly() {
         let mut m = manager();
-        m.register("third", programs::vulnerable_forward().unwrap()).unwrap();
+        m.register("third", programs::vulnerable_forward().unwrap())
+            .unwrap();
         m.record_demand("ipv4", 100).unwrap();
         m.record_demand("ipv4cm", 100).unwrap();
         m.record_demand("third", 100).unwrap();
         // 4 cores for 3 equal apps: 1 each + 1 by remainder (earliest app).
         let alloc = m.allocation(4);
         for app in ["ipv4", "ipv4cm", "third"] {
-            assert!(alloc.iter().filter(|a| **a == app).count() >= 1, "{app} starved");
+            assert!(
+                alloc.iter().filter(|a| **a == app).count() >= 1,
+                "{app} starved"
+            );
         }
         assert_eq!(alloc.len(), 4);
     }
@@ -343,11 +355,13 @@ mod tests {
 
     #[test]
     fn reconcile_drives_secure_reprogramming() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xD17);
+        let mut rng = sdmmon_rng::StdRng::seed_from_u64(0xD17);
         let manufacturer = Manufacturer::new("m", 512, &mut rng).unwrap();
         let mut operator = crate::entities::NetworkOperator::new("op", 512, &mut rng).unwrap();
         operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));
-        let mut router = manufacturer.provision_router("r", 4, 512, &mut rng).unwrap();
+        let mut router = manufacturer
+            .provision_router("r", 4, 512, &mut rng)
+            .unwrap();
         let mut m = manager();
 
         // Epoch 1: all traffic is plain IPv4.
@@ -361,13 +375,20 @@ mod tests {
         m.decay_demand();
         m.record_demand("ipv4cm", 500).unwrap();
         let changes = m.reconcile(&operator, &mut router, &mut rng).unwrap();
-        assert_eq!(changes.len(), 2, "minimal churn: two cores switch, got {changes:?}");
+        assert_eq!(
+            changes.len(),
+            2,
+            "minimal churn: two cores switch, got {changes:?}"
+        );
         for (_, app) in &changes {
             assert_eq!(app, "ipv4cm");
         }
         // Every core still forwards correctly under its monitor.
         for core in 0..4 {
-            assert_eq!(router.process_on(core, &packet).verdict, Verdict::Forward(2));
+            assert_eq!(
+                router.process_on(core, &packet).verdict,
+                Verdict::Forward(2)
+            );
         }
         assert_eq!(router.stats().violations, 0);
 

@@ -5,7 +5,7 @@
 //! provides the cipher the control processor uses to decrypt it.
 
 use crate::CryptoError;
-use rand::RngCore;
+use sdmmon_rng::RngCore;
 
 /// AES forward S-box.
 const SBOX: [u8; 256] = [
@@ -150,7 +150,12 @@ impl Aes {
                 }
             }
             let prev = w[i - nk];
-            w.push([t[0] ^ prev[0], t[1] ^ prev[1], t[2] ^ prev[2], t[3] ^ prev[3]]);
+            w.push([
+                t[0] ^ prev[0],
+                t[1] ^ prev[1],
+                t[2] ^ prev[2],
+                t[3] ^ prev[3],
+            ]);
         }
         let round_keys = w
             .chunks_exact(4)
@@ -205,11 +210,11 @@ impl Aes {
     ///
     /// ```
     /// use sdmmon_crypto::aes::Aes;
-    /// use rand::SeedableRng;
+    /// use sdmmon_rng::SeedableRng;
     ///
     /// # fn main() -> Result<(), sdmmon_crypto::CryptoError> {
     /// let aes = Aes::new(&[7u8; 16])?;
-    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// let mut rng = sdmmon_rng::StdRng::seed_from_u64(1);
     /// let ct = aes.encrypt_cbc(b"attack at dawn", &mut rng);
     /// assert_eq!(aes.decrypt_cbc(&ct)?, b"attack at dawn");
     /// # Ok(())
@@ -335,7 +340,7 @@ fn increment_counter(counter: &mut [u8; 16]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use sdmmon_rng::SeedableRng;
 
     fn from_hex(s: &str) -> Vec<u8> {
         (0..s.len())
@@ -347,7 +352,9 @@ mod tests {
     #[test]
     fn fips197_aes128_vector() {
         let key = from_hex("000102030405060708090a0b0c0d0e0f");
-        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
         let aes = Aes::new(&key).unwrap();
         let ct = aes.encrypt_block(pt);
         assert_eq!(ct.to_vec(), from_hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
@@ -357,7 +364,9 @@ mod tests {
     #[test]
     fn fips197_aes192_vector() {
         let key = from_hex("000102030405060708090a0b0c0d0e0f1011121314151617");
-        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
         let aes = Aes::new(&key).unwrap();
         let ct = aes.encrypt_block(pt);
         assert_eq!(ct.to_vec(), from_hex("dda97ca4864cdfe06eaf70a0ec0d7191"));
@@ -367,7 +376,9 @@ mod tests {
     #[test]
     fn fips197_aes256_vector() {
         let key = from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
-        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
         let aes = Aes::new(&key).unwrap();
         let ct = aes.encrypt_block(pt);
         assert_eq!(ct.to_vec(), from_hex("8ea2b7ca516745bfeafc49904b496089"));
@@ -378,7 +389,9 @@ mod tests {
     fn sp800_38a_ctr_vector() {
         // NIST SP 800-38A F.5.1 CTR-AES128.
         let key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
-        let counter: [u8; 16] = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let counter: [u8; 16] = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+            .try_into()
+            .unwrap();
         let pt = from_hex("6bc1bee22e409f96e93d7e117393172a");
         let aes = Aes::new(&key).unwrap();
         let ct = aes.apply_ctr(counter, &pt);
@@ -397,7 +410,7 @@ mod tests {
     #[test]
     fn cbc_round_trip_various_lengths() {
         let aes = Aes::new(&[9u8; 32]).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = sdmmon_rng::StdRng::seed_from_u64(5);
         for len in [0usize, 1, 15, 16, 17, 31, 32, 100, 1000] {
             let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
             let ct = aes.encrypt_cbc(&pt, &mut rng);
@@ -408,11 +421,17 @@ mod tests {
     #[test]
     fn cbc_tamper_detected_as_padding_or_garbage() {
         let aes = Aes::new(&[9u8; 16]).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = sdmmon_rng::StdRng::seed_from_u64(5);
         let ct = aes.encrypt_cbc(b"network operator package", &mut rng);
         // Truncated / misaligned ciphertexts are rejected outright.
-        assert_eq!(aes.decrypt_cbc(&ct[..ct.len() - 1]), Err(CryptoError::InvalidPadding));
-        assert_eq!(aes.decrypt_cbc(&ct[..BLOCK]), Err(CryptoError::InvalidPadding));
+        assert_eq!(
+            aes.decrypt_cbc(&ct[..ct.len() - 1]),
+            Err(CryptoError::InvalidPadding)
+        );
+        assert_eq!(
+            aes.decrypt_cbc(&ct[..BLOCK]),
+            Err(CryptoError::InvalidPadding)
+        );
         // Flipping a bit in the last block corrupts padding with high
         // probability; either way the plaintext must differ.
         let mut tampered = ct.clone();

@@ -12,7 +12,7 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, Mul, Rem, Sub};
 
-use rand::RngCore;
+use sdmmon_rng::RngCore;
 
 /// An arbitrary-precision unsigned integer.
 ///
@@ -98,7 +98,11 @@ impl BigUint {
     /// Panics if the value does not fit in `len` bytes.
     pub fn to_be_bytes_padded(&self, len: usize) -> Vec<u8> {
         let raw = self.to_be_bytes();
-        assert!(raw.len() <= len, "value needs {} bytes, got {len}", raw.len());
+        assert!(
+            raw.len() <= len,
+            "value needs {} bytes, got {len}",
+            raw.len()
+        );
         let mut out = vec![0u8; len - raw.len()];
         out.extend_from_slice(&raw);
         out
@@ -291,9 +295,7 @@ impl BigUint {
             let numerator = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
             let mut qhat = numerator / v_top;
             let mut rhat = numerator % v_top;
-            while qhat >> 64 != 0
-                || qhat * v_next > ((rhat << 64) | un[j + n - 2] as u128)
-            {
+            while qhat >> 64 != 0 || qhat * v_next > ((rhat << 64) | un[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v_top;
                 if rhat >> 64 != 0 {
@@ -362,17 +364,41 @@ impl BigUint {
         if modulus == &BigUint::one() {
             return BigUint::zero();
         }
+        let bits = exponent.bit_len();
+        if bits == 0 {
+            return BigUint::one();
+        }
         let mut result = BigUint::one();
         let mut base = self.div_rem(modulus).1;
-        for i in 0..exponent.bit_len() {
+        for i in 0..bits {
             if exponent.bit(i) {
                 result = result.mul_impl(&base).div_rem(modulus).1;
             }
-            if i + 1 < exponent.bit_len() {
+            if i + 1 < bits {
                 base = base.mul_impl(&base).div_rem(modulus).1;
             }
         }
         result
+    }
+
+    /// Computes `self^exponent mod modulus`, dispatching to Montgomery-form
+    /// windowed exponentiation (see [`crate::montgomery`]) when the modulus
+    /// is odd, and falling back to the schoolbook [`BigUint::mod_pow`]
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn mod_pow_fast(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        match crate::montgomery::MontgomeryContext::new(modulus) {
+            Some(ctx) => ctx.mod_pow(self, exponent),
+            None => self.mod_pow(exponent, modulus),
+        }
+    }
+
+    /// Little-endian limb view (crate-internal, for Montgomery arithmetic).
+    pub(crate) fn limbs(&self) -> &[u64] {
+        &self.limbs
     }
 
     /// Computes the greatest common divisor.
@@ -417,7 +443,9 @@ impl BigUint {
         }
         let inv = old_s.div_rem(modulus).1;
         Some(if old_s_neg && !inv.is_zero() {
-            modulus.checked_sub(&inv).expect("reduced value below modulus")
+            modulus
+                .checked_sub(&inv)
+                .expect("reduced value below modulus")
         } else {
             inv
         })
@@ -525,7 +553,8 @@ impl Sub for &BigUint {
     ///
     /// Panics on underflow; use [`BigUint::checked_sub`] to handle it.
     fn sub(self, rhs: &BigUint) -> BigUint {
-        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
     }
 }
 
@@ -578,7 +607,7 @@ impl fmt::LowerHex for BigUint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use sdmmon_rng::SeedableRng;
 
     fn big(s: &str) -> BigUint {
         // Parse decimal for test readability.
@@ -633,7 +662,10 @@ mod tests {
     fn multiplication_known_value() {
         let a = big("12345678901234567890");
         let b = big("98765432109876543210");
-        assert_eq!((&a * &b).to_string(), "1219326311370217952237463801111263526900");
+        assert_eq!(
+            (&a * &b).to_string(),
+            "1219326311370217952237463801111263526900"
+        );
     }
 
     #[test]
@@ -687,9 +719,18 @@ mod tests {
     #[test]
     fn mod_pow_edge_cases() {
         let m = BigUint::from(7u64);
-        assert_eq!(BigUint::from(3u64).mod_pow(&BigUint::zero(), &m), BigUint::one());
-        assert_eq!(BigUint::from(3u64).mod_pow(&BigUint::one(), &m), BigUint::from(3u64));
-        assert_eq!(BigUint::from(10u64).mod_pow(&BigUint::from(5u64), &BigUint::one()), BigUint::zero());
+        assert_eq!(
+            BigUint::from(3u64).mod_pow(&BigUint::zero(), &m),
+            BigUint::one()
+        );
+        assert_eq!(
+            BigUint::from(3u64).mod_pow(&BigUint::one(), &m),
+            BigUint::from(3u64)
+        );
+        assert_eq!(
+            BigUint::from(10u64).mod_pow(&BigUint::from(5u64), &BigUint::one()),
+            BigUint::zero()
+        );
     }
 
     #[test]
@@ -718,7 +759,7 @@ mod tests {
 
     #[test]
     fn random_below_respects_bound() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = sdmmon_rng::StdRng::seed_from_u64(42);
         let bound = big("1000000000000000000000");
         for _ in 0..50 {
             assert!(BigUint::random_below(&bound, &mut rng) < bound);
@@ -727,7 +768,7 @@ mod tests {
 
     #[test]
     fn random_exact_bits_sets_top_bit() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = sdmmon_rng::StdRng::seed_from_u64(42);
         for bits in [1, 7, 64, 65, 257] {
             let v = BigUint::random_exact_bits(bits, &mut rng);
             assert_eq!(v.bit_len(), bits);

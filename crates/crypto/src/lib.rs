@@ -9,6 +9,8 @@
 //!
 //! * [`bignum::BigUint`] — arbitrary-precision unsigned arithmetic
 //!   (Knuth Algorithm D division, modular exponentiation, modular inverse)
+//! * [`montgomery`] — Montgomery-form (REDC) modular arithmetic with
+//!   4-bit-window exponentiation; the hot path under every RSA operation
 //! * [`prime`] — Miller–Rabin probabilistic primality and prime generation
 //! * [`rsa`] — RSA key generation, PKCS#1 v1.5 encryption and signatures
 //! * [`aes`] — AES-128/192/256 block cipher with CBC and CTR modes
@@ -24,10 +26,10 @@
 //!
 //! ```
 //! use sdmmon_crypto::{rsa::RsaKeyPair, sha256::sha256};
-//! use rand::SeedableRng;
+//! use sdmmon_rng::SeedableRng;
 //!
 //! # fn main() -> Result<(), sdmmon_crypto::CryptoError> {
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = sdmmon_rng::StdRng::seed_from_u64(7);
 //! let keys = RsaKeyPair::generate(512, &mut rng)?;
 //! let sig = keys.private.sign(b"monitoring graph");
 //! assert!(keys.public.verify(b"monitoring graph", &sig));
@@ -39,6 +41,7 @@
 pub mod aes;
 pub mod bignum;
 pub mod hmac;
+pub mod montgomery;
 pub mod prime;
 pub mod rsa;
 pub mod sha256;

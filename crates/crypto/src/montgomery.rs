@@ -1,0 +1,397 @@
+//! Montgomery-form modular arithmetic for odd moduli.
+//!
+//! All RSA hot paths in the installation protocol — signing, decryption,
+//! verification, and the Miller–Rabin rounds inside key generation — reduce
+//! to modular exponentiation. The schoolbook [`BigUint::mod_pow`] pays a
+//! full Knuth Algorithm D division after every multiplication; Montgomery
+//! REDC replaces that division with a second multiplication against the
+//! modulus, which the CIOS (coarsely integrated operand scanning) loop
+//! below fuses into a single pass.
+//!
+//! [`MontgomeryContext::mod_pow`] adds fixed 4-bit-window exponentiation on
+//! top: 15 precomputed odd powers trade one multiplication per window of
+//! four exponent bits against the one-per-set-bit of square-and-multiply.
+//! [`MontgomeryContext::pow_65537`] is the public-exponent fast path —
+//! e = 2¹⁶ + 1 needs exactly 16 squarings and one multiplication.
+//!
+//! This code favours clarity over side-channel hardening (the simulation
+//! threat model AC1–AC4 does not include timing attacks on the operator's
+//! own signing box); exponent-dependent branches are therefore acceptable.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdmmon_crypto::bignum::BigUint;
+//! use sdmmon_crypto::montgomery::MontgomeryContext;
+//!
+//! let n = BigUint::from(497u64); // odd modulus
+//! let ctx = MontgomeryContext::new(&n).unwrap();
+//! let r = ctx.mod_pow(&BigUint::from(4u64), &BigUint::from(13u64));
+//! assert_eq!(r, BigUint::from(445u64));
+//! // Bit-identical to the schoolbook path:
+//! assert_eq!(r, BigUint::from(4u64).mod_pow(&BigUint::from(13u64), &n));
+//! ```
+
+use crate::bignum::BigUint;
+
+/// Precomputed constants for Montgomery arithmetic modulo an odd `n`.
+#[derive(Debug, Clone)]
+pub struct MontgomeryContext {
+    /// Modulus limbs, little-endian, length `k` (top limb non-zero).
+    n: Vec<u64>,
+    /// The modulus as a [`BigUint`], for reductions and fallbacks.
+    n_big: BigUint,
+    /// `-n⁻¹ mod 2⁶⁴` — the REDC folding constant.
+    n0inv: u64,
+    /// `R² mod n` where `R = 2^(64k)`, used to enter Montgomery form.
+    r2: Vec<u64>,
+    /// `R mod n` — the Montgomery form of 1.
+    one: Vec<u64>,
+}
+
+/// A residue held in Montgomery form (`x·R mod n`), tied to the context
+/// that produced it. The representation is canonical (`< n`), so equality
+/// of elements is equality of the residues they represent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MontElem(Vec<u64>);
+
+impl MontgomeryContext {
+    /// Builds a context for `modulus`. Returns `None` when the modulus is
+    /// even or `< 3` — Montgomery reduction requires `gcd(n, 2⁶⁴) = 1`.
+    pub fn new(modulus: &BigUint) -> Option<MontgomeryContext> {
+        if modulus.is_even() || modulus <= &BigUint::one() {
+            return None;
+        }
+        let n = modulus.limbs().to_vec();
+        let k = n.len();
+
+        // n0inv = n[0]⁻¹ mod 2⁶⁴ by Newton iteration: each step doubles the
+        // number of correct low bits, and x = n[0] is already correct mod 8.
+        let n0 = n[0];
+        let mut inv = n0;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n0inv = inv.wrapping_neg();
+
+        // R² mod n via one full division — amortized over the hundreds of
+        // REDC multiplications a single exponentiation performs.
+        let r2_big = BigUint::one().shl(2 * 64 * k).div_rem(modulus).1;
+        let r2 = pad(r2_big.limbs(), k);
+        let one = pad(BigUint::one().shl(64 * k).div_rem(modulus).1.limbs(), k);
+
+        Some(MontgomeryContext {
+            n,
+            n_big: modulus.clone(),
+            n0inv,
+            r2,
+            one,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n_big
+    }
+
+    /// Converts `x` into Montgomery form (reducing mod n first).
+    pub fn convert(&self, x: &BigUint) -> MontElem {
+        let reduced = if x < &self.n_big {
+            x.clone()
+        } else {
+            x.div_rem(&self.n_big).1
+        };
+        MontElem(self.redc_mul(&pad(reduced.limbs(), self.n.len()), &self.r2))
+    }
+
+    /// Converts a Montgomery-form element back to an ordinary residue.
+    pub fn recover(&self, x: &MontElem) -> BigUint {
+        let mut unit = vec![0u64; self.n.len()];
+        unit[0] = 1;
+        BigUint::from_limbs(self.redc_mul(&x.0, &unit))
+    }
+
+    /// The Montgomery form of 1.
+    pub fn one_elem(&self) -> MontElem {
+        MontElem(self.one.clone())
+    }
+
+    /// Montgomery product of two elements.
+    pub fn mul(&self, a: &MontElem, b: &MontElem) -> MontElem {
+        MontElem(self.redc_mul(&a.0, &b.0))
+    }
+
+    /// Raises a Montgomery-form base to `exponent` with fixed 4-bit-window
+    /// exponentiation, staying in Montgomery form.
+    pub fn pow(&self, base: &MontElem, exponent: &BigUint) -> MontElem {
+        let bits = exponent.bit_len();
+        if bits == 0 {
+            return self.one_elem();
+        }
+
+        // table[i] = baseⁱ in Montgomery form, i in 0..16.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.one_elem());
+        table.push(base.clone());
+        for i in 2..16 {
+            table.push(self.mul(&table[i - 1], base));
+        }
+
+        let windows = bits.div_ceil(4);
+        let window_at = |w: usize| -> usize {
+            let lo = w * 4;
+            (0..4)
+                .filter(|&b| exponent.bit(lo + b))
+                .fold(0usize, |acc, b| acc | (1 << b))
+        };
+
+        let mut acc = table[window_at(windows - 1)].clone();
+        for w in (0..windows - 1).rev() {
+            for _ in 0..4 {
+                acc = self.mul(&acc, &acc);
+            }
+            let idx = window_at(w);
+            if idx != 0 {
+                acc = self.mul(&acc, &table[idx]);
+            }
+        }
+        acc
+    }
+
+    /// Computes `base^exponent mod n` — the drop-in replacement for
+    /// [`BigUint::mod_pow`] on odd moduli.
+    pub fn mod_pow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        self.recover(&self.pow(&self.convert(base), exponent))
+    }
+
+    /// Fast path for the customary RSA public exponent e = 65537 = 2¹⁶ + 1:
+    /// sixteen squarings and a single multiplication.
+    pub fn pow_65537(&self, base: &BigUint) -> BigUint {
+        let b = self.convert(base);
+        let mut acc = b.clone();
+        for _ in 0..16 {
+            acc = self.mul(&acc, &acc);
+        }
+        self.recover(&self.mul(&acc, &b))
+    }
+
+    /// CIOS Montgomery multiplication: returns `a·b·R⁻¹ mod n` for inputs
+    /// `< n`, interleaving the multiply and REDC passes limb by limb.
+    fn redc_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.n.len();
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        let mut t = vec![0u64; k + 2];
+
+        for &ai in a {
+            // t += ai * b
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+
+            // Fold out the low limb: t = (t + m*n) / 2⁶⁴ with m chosen so
+            // the low limb of the sum is zero.
+            let m = t[0].wrapping_mul(self.n0inv);
+            let s = t[0] as u128 + m as u128 * self.n[0] as u128;
+            let mut carry = s >> 64;
+            for j in 1..k {
+                let s = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1].wrapping_add((s >> 64) as u64);
+            t[k + 1] = 0;
+        }
+
+        // One conditional subtraction brings the result below n.
+        if t[k] != 0 || ge(&t[..k], &self.n) {
+            sub_in_place(&mut t, &self.n);
+        }
+        t.truncate(k);
+        t
+    }
+}
+
+/// Copies `limbs` into a fresh vector of exactly `k` limbs.
+fn pad(limbs: &[u64], k: usize) -> Vec<u64> {
+    debug_assert!(limbs.len() <= k);
+    let mut out = vec![0u64; k];
+    out[..limbs.len()].copy_from_slice(limbs);
+    out
+}
+
+/// `a >= b` for equal-length little-endian limb slices.
+fn ge(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// `a -= b` in place, where `a` has one extra (possibly set) top limb.
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..b.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = u64::from(b1) + u64::from(b2);
+    }
+    a[b.len()] = a[b.len()].wrapping_sub(borrow);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdmmon_rng::{Rng, SeedableRng, StdRng};
+
+    fn random_odd(rng: &mut StdRng, bits: usize) -> BigUint {
+        let mut n = BigUint::random_exact_bits(bits, rng);
+        if n.is_even() {
+            n = &n + &BigUint::one();
+        }
+        n
+    }
+
+    #[test]
+    fn rejects_even_and_trivial_moduli() {
+        assert!(MontgomeryContext::new(&BigUint::from(10u64)).is_none());
+        assert!(MontgomeryContext::new(&BigUint::zero()).is_none());
+        assert!(MontgomeryContext::new(&BigUint::one()).is_none());
+        assert!(MontgomeryContext::new(&BigUint::from(3u64)).is_some());
+    }
+
+    #[test]
+    fn round_trip_through_montgomery_form() {
+        let mut rng = StdRng::seed_from_u64(101);
+        for bits in [64usize, 127, 512, 1024] {
+            let n = random_odd(&mut rng, bits);
+            let ctx = MontgomeryContext::new(&n).unwrap();
+            for _ in 0..10 {
+                let x = BigUint::random_below(&n, &mut rng);
+                assert_eq!(ctx.recover(&ctx.convert(&x)), x);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        let mut rng = StdRng::seed_from_u64(102);
+        for bits in [64usize, 192, 521] {
+            let n = random_odd(&mut rng, bits);
+            let ctx = MontgomeryContext::new(&n).unwrap();
+            for _ in 0..20 {
+                let a = BigUint::random_below(&n, &mut rng);
+                let b = BigUint::random_below(&n, &mut rng);
+                let got = ctx.recover(&ctx.mul(&ctx.convert(&a), &ctx.convert(&b)));
+                assert_eq!(got, &(&a * &b) % &n);
+            }
+        }
+    }
+
+    #[test]
+    fn mod_pow_matches_oracle() {
+        let mut rng = StdRng::seed_from_u64(103);
+        for bits in [64usize, 160, 512] {
+            let n = random_odd(&mut rng, bits);
+            let ctx = MontgomeryContext::new(&n).unwrap();
+            for _ in 0..8 {
+                let base = BigUint::random_bits(bits + 17, &mut rng); // may exceed n
+                let e = BigUint::random_bits(rng.gen_range(0..=96usize), &mut rng);
+                assert_eq!(ctx.mod_pow(&base, &e), base.mod_pow(&e, &n));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_exponent_and_zero_base() {
+        let n = BigUint::from(1009u64);
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        assert_eq!(
+            ctx.mod_pow(&BigUint::from(5u64), &BigUint::zero()),
+            BigUint::one()
+        );
+        assert_eq!(
+            ctx.mod_pow(&BigUint::zero(), &BigUint::from(5u64)),
+            BigUint::zero()
+        );
+        // 1^n and n ≡ 0 cases
+        assert_eq!(
+            ctx.mod_pow(&BigUint::one(), &BigUint::from(999u64)),
+            BigUint::one()
+        );
+        assert_eq!(ctx.mod_pow(&n, &BigUint::from(3u64)), BigUint::zero());
+    }
+
+    #[test]
+    fn pow_65537_matches_generic() {
+        let mut rng = StdRng::seed_from_u64(104);
+        let e = BigUint::from(65537u64);
+        for bits in [128usize, 512] {
+            let n = random_odd(&mut rng, bits);
+            let ctx = MontgomeryContext::new(&n).unwrap();
+            for _ in 0..5 {
+                let m = BigUint::random_below(&n, &mut rng);
+                assert_eq!(ctx.pow_65537(&m), ctx.mod_pow(&m, &e));
+                assert_eq!(ctx.pow_65537(&m), m.mod_pow(&e, &n));
+            }
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem_holds() {
+        // 2¹²⁷ − 1 is a Mersenne prime: a^(p−1) ≡ 1 (mod p).
+        let p = BigUint::one()
+            .shl(127)
+            .checked_sub(&BigUint::one())
+            .unwrap();
+        let ctx = MontgomeryContext::new(&p).unwrap();
+        let exp = p.checked_sub(&BigUint::one()).unwrap();
+        let mut rng = StdRng::seed_from_u64(105);
+        for _ in 0..4 {
+            let a = BigUint::random_below(&p, &mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(ctx.mod_pow(&a, &exp), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn mod_pow_fast_dispatches_correctly() {
+        let mut rng = StdRng::seed_from_u64(106);
+        // Odd modulus → Montgomery; even modulus → schoolbook fallback.
+        for modulus in [BigUint::from(1001u64), BigUint::from(1000u64)] {
+            for _ in 0..16 {
+                let a = BigUint::random_bits(96, &mut rng);
+                let e = BigUint::random_bits(40, &mut rng);
+                assert_eq!(a.mod_pow_fast(&e, &modulus), a.mod_pow(&e, &modulus));
+            }
+        }
+    }
+
+    #[test]
+    fn single_limb_and_max_limb_moduli() {
+        // Edge shapes: modulus with top limb all ones, and tiny modulus.
+        let n = BigUint::from_be_bytes(&[0xff; 16]); // 2¹²⁸ − 1, odd
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        let mut rng = StdRng::seed_from_u64(107);
+        for _ in 0..8 {
+            let a = BigUint::random_bits(200, &mut rng);
+            let e = BigUint::random_bits(24, &mut rng);
+            assert_eq!(ctx.mod_pow(&a, &e), a.mod_pow(&e, &n));
+        }
+    }
+}

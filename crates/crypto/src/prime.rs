@@ -2,14 +2,15 @@
 //! generation.
 
 use crate::bignum::BigUint;
+use crate::montgomery::MontgomeryContext;
 use crate::CryptoError;
-use rand::RngCore;
+use sdmmon_rng::RngCore;
 
 /// Small primes used for fast trial division before Miller–Rabin.
 const SMALL_PRIMES: [u64; 54] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Number of Miller–Rabin rounds; 2⁻⁸⁰ error bound for random candidates.
@@ -25,9 +26,9 @@ const MILLER_RABIN_ROUNDS: usize = 40;
 ///
 /// ```
 /// use sdmmon_crypto::{bignum::BigUint, prime::is_probable_prime};
-/// use rand::SeedableRng;
+/// use sdmmon_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = sdmmon_rng::StdRng::seed_from_u64(1);
 /// assert!(is_probable_prime(&BigUint::from(1000000007u64), &mut rng));
 /// assert!(!is_probable_prime(&BigUint::from(1000000008u64), &mut rng));
 /// ```
@@ -48,6 +49,10 @@ pub fn is_probable_prime<R: RngCore + ?Sized>(n: &BigUint, rng: &mut R) -> bool 
 }
 
 /// Runs `rounds` of the Miller–Rabin witness test on odd `n > 2`.
+///
+/// One [`MontgomeryContext`] is built for `n` and reused across every
+/// round: each witness costs one windowed exponentiation plus up to `s − 1`
+/// REDC squarings, all in Montgomery form with no divisions.
 fn miller_rabin<R: RngCore + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
     let one = BigUint::one();
     let two = BigUint::from(2u64);
@@ -59,6 +64,12 @@ fn miller_rabin<R: RngCore + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) ->
         d = d.shr(1);
         s += 1;
     }
+    // Trial division has removed even n, so the context always exists.
+    let Some(ctx) = MontgomeryContext::new(n) else {
+        return false;
+    };
+    let one_m = ctx.one_elem();
+    let minus_one_m = ctx.convert(&n_minus_1);
     'witness: for _ in 0..rounds {
         // a in [2, n-2]
         let upper = match n_minus_1.checked_sub(&two) {
@@ -66,13 +77,13 @@ fn miller_rabin<R: RngCore + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) ->
             _ => return true, // n == 3
         };
         let a = &BigUint::random_below(&upper, rng) + &two;
-        let mut x = a.mod_pow(&d, n);
-        if x == one || x == n_minus_1 {
+        let mut x = ctx.pow(&ctx.convert(&a), &d);
+        if x == one_m || x == minus_one_m {
             continue;
         }
         for _ in 0..s - 1 {
-            x = x.mod_pow(&two, n);
-            if x == n_minus_1 {
+            x = ctx.mul(&x, &x);
+            if x == minus_one_m {
                 continue 'witness;
             }
         }
@@ -100,10 +111,10 @@ fn miller_rabin<R: RngCore + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) ->
 ///
 /// ```
 /// use sdmmon_crypto::prime::generate_prime;
-/// use rand::SeedableRng;
+/// use sdmmon_rng::SeedableRng;
 ///
 /// # fn main() -> Result<(), sdmmon_crypto::CryptoError> {
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = sdmmon_rng::StdRng::seed_from_u64(3);
 /// let p = generate_prime(64, &mut rng)?;
 /// assert_eq!(p.bit_len(), 64);
 /// # Ok(())
@@ -135,10 +146,10 @@ pub fn generate_prime<R: RngCore + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use sdmmon_rng::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(0xC0FFEE)
+    fn rng() -> sdmmon_rng::StdRng {
+        sdmmon_rng::StdRng::seed_from_u64(0xC0FFEE)
     }
 
     #[test]
@@ -170,10 +181,16 @@ mod tests {
     fn known_large_prime() {
         let mut r = rng();
         // 2^127 - 1 is a Mersenne prime.
-        let p = BigUint::one().shl(127).checked_sub(&BigUint::one()).unwrap();
+        let p = BigUint::one()
+            .shl(127)
+            .checked_sub(&BigUint::one())
+            .unwrap();
         assert!(is_probable_prime(&p, &mut r));
         // 2^128 - 1 = 3 * 5 * 17 * ... is composite.
-        let c = BigUint::one().shl(128).checked_sub(&BigUint::one()).unwrap();
+        let c = BigUint::one()
+            .shl(128)
+            .checked_sub(&BigUint::one())
+            .unwrap();
         assert!(!is_probable_prime(&c, &mut r));
     }
 

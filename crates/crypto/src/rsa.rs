@@ -11,18 +11,19 @@
 //!    SR4).
 
 use crate::bignum::BigUint;
+use crate::montgomery::MontgomeryContext;
 use crate::prime::generate_prime;
 use crate::sha256::sha256;
 use crate::CryptoError;
-use rand::RngCore;
+use sdmmon_rng::RngCore;
 
 /// The customary public exponent 65537.
 const PUBLIC_EXPONENT: u64 = 65537;
 
 /// DER prefix of the PKCS#1 v1.5 `DigestInfo` structure for SHA-256.
 const SHA256_DIGEST_INFO: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// An RSA public key `(n, e)`.
@@ -31,10 +32,10 @@ const SHA256_DIGEST_INFO: [u8; 19] = [
 ///
 /// ```
 /// use sdmmon_crypto::rsa::RsaKeyPair;
-/// use rand::SeedableRng;
+/// use sdmmon_rng::SeedableRng;
 ///
 /// # fn main() -> Result<(), sdmmon_crypto::CryptoError> {
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let mut rng = sdmmon_rng::StdRng::seed_from_u64(11);
 /// let keys = RsaKeyPair::generate(512, &mut rng)?;
 /// let ct = keys.public.encrypt(b"aes key bytes", &mut rng)?;
 /// assert_eq!(keys.private.decrypt(&ct)?, b"aes key bytes");
@@ -118,8 +119,20 @@ impl RsaKeyPair {
             };
             let dp = &d % &p_1;
             let dq = &d % &q_1;
-            let public = RsaPublicKey { n: n.clone(), e: e.clone() };
-            let private = RsaPrivateKey { n, d, p, q, dp, dq, qinv, public: public.clone() };
+            let public = RsaPublicKey {
+                n: n.clone(),
+                e: e.clone(),
+            };
+            let private = RsaPrivateKey {
+                n,
+                d,
+                p,
+                q,
+                dp,
+                dq,
+                qinv,
+                public: public.clone(),
+            };
             return Ok(RsaKeyPair { public, private });
         }
     }
@@ -165,6 +178,18 @@ impl RsaPublicKey {
         self.n.bit_len()
     }
 
+    /// The public operation `m^e mod n` through Montgomery arithmetic, with
+    /// the dedicated 16-squarings-plus-one-multiply path for e = 65537.
+    fn public_op(&self, m: &BigUint) -> BigUint {
+        match MontgomeryContext::new(&self.n) {
+            Some(ctx) if self.e == BigUint::from(PUBLIC_EXPONENT) => ctx.pow_65537(m),
+            Some(ctx) => ctx.mod_pow(m, &self.e),
+            // An even modulus is not a usable RSA key; keep the schoolbook
+            // semantics rather than panicking.
+            None => m.mod_pow(&self.e, &self.n),
+        }
+    }
+
     /// Encrypts `message` with PKCS#1 v1.5 type-2 padding.
     ///
     /// # Errors
@@ -195,7 +220,7 @@ impl RsaPublicKey {
         em.push(0x00);
         em.extend_from_slice(message);
         let m = BigUint::from_be_bytes(&em);
-        let c = m.mod_pow(&self.e, &self.n);
+        let c = self.public_op(&m);
         Ok(c.to_be_bytes_padded(k))
     }
 
@@ -211,7 +236,7 @@ impl RsaPublicKey {
         if s >= self.n {
             return false;
         }
-        let em = s.mod_pow(&self.e, &self.n).to_be_bytes_padded(self.modulus_len());
+        let em = self.public_op(&s).to_be_bytes_padded(self.modulus_len());
         em == expected_signature_em(message, self.modulus_len())
     }
 }
@@ -224,10 +249,11 @@ impl RsaPrivateKey {
 
     /// The private-key operation `c^d mod n`, evaluated via the Chinese
     /// Remainder Theorem (two half-size exponentiations recombined with
-    /// Garner's formula), exactly as OpenSSL does it.
+    /// Garner's formula), exactly as OpenSSL does it. The two half-size
+    /// exponentiations run in Montgomery form (RSA primes are odd).
     fn private_op(&self, c: &BigUint) -> BigUint {
-        let m1 = c.mod_pow(&self.dp, &self.p);
-        let m2 = c.mod_pow(&self.dq, &self.q);
+        let m1 = c.mod_pow_fast(&self.dp, &self.p);
+        let m2 = c.mod_pow_fast(&self.dq, &self.q);
         // h = qinv * (m1 - m2) mod p, with the subtraction lifted into p's
         // residue ring.
         let m2_mod_p = &m2 % &self.p;
@@ -289,10 +315,10 @@ impl RsaPrivateKey {
     ///
     /// ```
     /// use sdmmon_crypto::rsa::RsaKeyPair;
-    /// use rand::SeedableRng;
+    /// use sdmmon_rng::SeedableRng;
     ///
     /// # fn main() -> Result<(), sdmmon_crypto::CryptoError> {
-    /// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    /// let mut rng = sdmmon_rng::StdRng::seed_from_u64(2);
     /// let keys = RsaKeyPair::generate(512, &mut rng)?;
     /// let sig = keys.private.sign(b"package");
     /// assert!(keys.public.verify(b"package", &sig));
@@ -326,10 +352,10 @@ fn expected_signature_em(message: &[u8], k: usize) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use sdmmon_rng::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(0xBEEF)
+    fn rng() -> sdmmon_rng::StdRng {
+        sdmmon_rng::StdRng::seed_from_u64(0xBEEF)
     }
 
     fn keys(bits: usize) -> RsaKeyPair {
@@ -368,13 +394,16 @@ mod tests {
     fn oversized_message_rejected() {
         let k = keys(256);
         let msg = vec![1u8; 32 - 11 + 1];
-        assert_eq!(k.public.encrypt(&msg, &mut rng()), Err(CryptoError::MessageTooLong));
+        assert_eq!(
+            k.public.encrypt(&msg, &mut rng()),
+            Err(CryptoError::MessageTooLong)
+        );
     }
 
     #[test]
     fn decrypt_for_wrong_key_fails() {
         let alice = keys(512);
-        let eve = RsaKeyPair::generate(512, &mut rand::rngs::StdRng::seed_from_u64(99)).unwrap();
+        let eve = RsaKeyPair::generate(512, &mut sdmmon_rng::StdRng::seed_from_u64(99)).unwrap();
         let ct = alice.public.encrypt(b"secret", &mut rng()).unwrap();
         // SR4 at the crypto layer: another device's key cannot decrypt.
         assert!(eve.private.decrypt(&ct).is_err());
@@ -435,10 +464,8 @@ mod tests {
         let k = keys(512);
         let mut r = rng();
         for _ in 0..10 {
-            let c = BigUint::random_below(
-                &BigUint::from_be_bytes(&k.public.modulus_bytes()),
-                &mut r,
-            );
+            let c =
+                BigUint::random_below(&BigUint::from_be_bytes(&k.public.modulus_bytes()), &mut r);
             assert_eq!(k.private.private_op_crt(&c), k.private.private_op_plain(&c));
         }
     }
@@ -446,7 +473,7 @@ mod tests {
     #[test]
     fn cross_key_signature_rejected() {
         let a = keys(512);
-        let b = RsaKeyPair::generate(512, &mut rand::rngs::StdRng::seed_from_u64(1234)).unwrap();
+        let b = RsaKeyPair::generate(512, &mut sdmmon_rng::StdRng::seed_from_u64(1234)).unwrap();
         let sig = a.private.sign(b"msg");
         assert!(!b.public.verify(b"msg", &sig));
     }

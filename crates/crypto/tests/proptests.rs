@@ -1,142 +1,304 @@
-//! Property-based tests for the cryptographic substrate: algebraic laws of
-//! the big-integer arithmetic and round-trip laws of the ciphers.
+//! Randomized property tests for the cryptographic substrate: algebraic
+//! laws of the big-integer arithmetic and round-trip laws of the ciphers.
+//!
+//! Cases are drawn from seeded [`StdRng`] streams so failures reproduce.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
 use sdmmon_crypto::aes::Aes;
 use sdmmon_crypto::bignum::BigUint;
 use sdmmon_crypto::hmac::{hmac_sha256, verify_hmac_sha256};
+use sdmmon_crypto::montgomery::MontgomeryContext;
+use sdmmon_crypto::rsa::RsaKeyPair;
 use sdmmon_crypto::sha256::{sha256, Sha256};
+use sdmmon_rng::{Rng, RngCore, SeedableRng, StdRng};
 
-fn arb_biguint(max_bytes: usize) -> impl Strategy<Value = BigUint> {
-    prop::collection::vec(any::<u8>(), 0..=max_bytes).prop_map(|b| BigUint::from_be_bytes(&b))
+const CASES: usize = 256;
+
+fn arb_biguint(rng: &mut StdRng, max_bytes: usize) -> BigUint {
+    let len = rng.gen_range(0..=max_bytes);
+    let mut bytes = vec![0u8; len];
+    rng.fill_bytes(&mut bytes);
+    BigUint::from_be_bytes(&bytes)
 }
 
-proptest! {
-    #[test]
-    fn bytes_round_trip(a in arb_biguint(40)) {
-        prop_assert_eq!(BigUint::from_be_bytes(&a.to_be_bytes()), a);
+#[test]
+fn bytes_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0001);
+    for _ in 0..CASES {
+        let a = arb_biguint(&mut rng, 40);
+        assert_eq!(BigUint::from_be_bytes(&a.to_be_bytes()), a);
     }
+}
 
-    #[test]
-    fn addition_commutes(a in arb_biguint(32), b in arb_biguint(32)) {
-        prop_assert_eq!(&a + &b, &b + &a);
+#[test]
+fn addition_commutes() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0002);
+    for _ in 0..CASES {
+        let a = arb_biguint(&mut rng, 32);
+        let b = arb_biguint(&mut rng, 32);
+        assert_eq!(&a + &b, &b + &a);
     }
+}
 
-    #[test]
-    fn add_then_sub_is_identity(a in arb_biguint(32), b in arb_biguint(32)) {
-        prop_assert_eq!((&a + &b).checked_sub(&b), Some(a));
+#[test]
+fn add_then_sub_is_identity() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0003);
+    for _ in 0..CASES {
+        let a = arb_biguint(&mut rng, 32);
+        let b = arb_biguint(&mut rng, 32);
+        assert_eq!((&a + &b).checked_sub(&b), Some(a));
     }
+}
 
-    #[test]
-    fn multiplication_commutes_and_distributes(
-        a in arb_biguint(24),
-        b in arb_biguint(24),
-        c in arb_biguint(24),
-    ) {
-        prop_assert_eq!(&a * &b, &b * &a);
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+#[test]
+fn multiplication_commutes_and_distributes() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0004);
+    for _ in 0..CASES {
+        let a = arb_biguint(&mut rng, 24);
+        let b = arb_biguint(&mut rng, 24);
+        let c = arb_biguint(&mut rng, 24);
+        assert_eq!(&a * &b, &b * &a);
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
     }
+}
 
-    /// Division invariant: a = q*b + r with r < b.
-    #[test]
-    fn div_rem_invariant(a in arb_biguint(48), b in arb_biguint(24)) {
-        prop_assume!(!b.is_zero());
+/// Division invariant: a = q*b + r with r < b.
+#[test]
+fn div_rem_invariant() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0005);
+    for _ in 0..CASES {
+        let a = arb_biguint(&mut rng, 48);
+        let b = arb_biguint(&mut rng, 24);
+        if b.is_zero() {
+            continue;
+        }
         let (q, r) = a.div_rem(&b);
-        prop_assert!(r < b);
-        prop_assert_eq!(&(&q * &b) + &r, a);
+        assert!(r < b);
+        assert_eq!(&(&q * &b) + &r, a);
     }
+}
 
-    #[test]
-    fn shifts_are_inverse(a in arb_biguint(32), n in 0usize..200) {
-        prop_assert_eq!(a.shl(n).shr(n), a);
+#[test]
+fn shifts_are_inverse() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0006);
+    for _ in 0..CASES {
+        let a = arb_biguint(&mut rng, 32);
+        let n = rng.gen_range(0..200usize);
+        assert_eq!(a.shl(n).shr(n), a);
     }
+}
 
-    #[test]
-    fn shl_is_multiplication_by_power_of_two(a in arb_biguint(16), n in 0usize..64) {
-        prop_assert_eq!(a.shl(n), &a * &BigUint::from(1u64 << n.min(63)).shl(n.saturating_sub(63)));
+#[test]
+fn shl_is_multiplication_by_power_of_two() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0007);
+    for _ in 0..CASES {
+        let a = arb_biguint(&mut rng, 16);
+        let n = rng.gen_range(0..64usize);
+        assert_eq!(
+            a.shl(n),
+            &a * &BigUint::from(1u64 << n.min(63)).shl(n.saturating_sub(63))
+        );
     }
+}
 
-    /// mod_pow agrees with naive repeated multiplication for small exponents.
-    #[test]
-    fn mod_pow_matches_naive(a in arb_biguint(8), e in 0u32..24, m in arb_biguint(8)) {
-        prop_assume!(!m.is_zero());
+/// mod_pow agrees with naive repeated multiplication for small exponents.
+#[test]
+fn mod_pow_matches_naive() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0008);
+    for _ in 0..CASES {
+        let a = arb_biguint(&mut rng, 8);
+        let e = rng.gen_range(0..24u32);
+        let m = arb_biguint(&mut rng, 8);
+        if m.is_zero() {
+            continue;
+        }
         let fast = a.mod_pow(&BigUint::from(e), &m);
         let mut naive = &BigUint::one() % &m;
         for _ in 0..e {
             naive = &(&naive * &a) % &m;
         }
-        prop_assert_eq!(fast, naive);
+        assert_eq!(fast, naive);
     }
+}
 
-    /// (a^x)^y == a^(x*y) mod m — the identity RSA correctness rests on.
-    #[test]
-    fn mod_pow_exponent_product(a in arb_biguint(8), x in 1u32..12, y in 1u32..12, m in arb_biguint(8)) {
-        prop_assume!(!m.is_zero());
-        let lhs = a.mod_pow(&BigUint::from(x), &m).mod_pow(&BigUint::from(y), &m);
+/// (a^x)^y == a^(x*y) mod m — the identity RSA correctness rests on.
+#[test]
+fn mod_pow_exponent_product() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0009);
+    for _ in 0..CASES {
+        let a = arb_biguint(&mut rng, 8);
+        let x = rng.gen_range(1..12u32);
+        let y = rng.gen_range(1..12u32);
+        let m = arb_biguint(&mut rng, 8);
+        if m.is_zero() {
+            continue;
+        }
+        let lhs = a
+            .mod_pow(&BigUint::from(x), &m)
+            .mod_pow(&BigUint::from(y), &m);
         let rhs = a.mod_pow(&BigUint::from(x as u64 * y as u64), &m);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    /// Modular inverse really inverts when it exists.
-    #[test]
-    fn mod_inv_inverts(a in arb_biguint(16), m in arb_biguint(16)) {
-        prop_assume!(m > BigUint::one());
+/// Modular inverse really inverts when it exists.
+#[test]
+fn mod_inv_inverts() {
+    let mut rng = StdRng::seed_from_u64(0xC0_000A);
+    for _ in 0..CASES {
+        let a = arb_biguint(&mut rng, 16);
+        let m = arb_biguint(&mut rng, 16);
+        if m <= BigUint::one() {
+            continue;
+        }
         if let Some(inv) = a.mod_inv(&m) {
-            prop_assert_eq!(&(&a * &inv) % &m, BigUint::one());
-            prop_assert!(inv < m);
+            assert_eq!(&(&a * &inv) % &m, BigUint::one());
+            assert!(inv < m);
         } else {
-            prop_assert_ne!(a.gcd(&m), BigUint::one());
+            assert_ne!(a.gcd(&m), BigUint::one());
         }
     }
+}
 
-    /// AES block encrypt/decrypt are inverse for all key sizes.
-    #[test]
-    fn aes_block_round_trip(
-        key_sel in 0usize..3,
-        key_bytes in any::<[u8; 32]>(),
-        block in any::<[u8; 16]>(),
-    ) {
-        let key = &key_bytes[..[16, 24, 32][key_sel]];
+/// Differential oracle: Montgomery windowed exponentiation is bit-identical
+/// to the legacy schoolbook `mod_pow` across random 2048-bit inputs.
+#[test]
+fn montgomery_matches_legacy_oracle_2048() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0010);
+    for _ in 0..4 {
+        let mut modulus = BigUint::random_exact_bits(2048, &mut rng);
+        if modulus.is_even() {
+            modulus = &modulus + &BigUint::one();
+        }
+        let ctx = MontgomeryContext::new(&modulus).expect("odd modulus");
+        // Full-width exponent once (slow oracle), small exponents for the rest.
+        let base = BigUint::random_bits(2048, &mut rng);
+        let exp = BigUint::random_bits(2048, &mut rng);
+        assert_eq!(ctx.mod_pow(&base, &exp), base.mod_pow(&exp, &modulus));
+        for _ in 0..3 {
+            let base = BigUint::random_bits(2100, &mut rng);
+            let exp = BigUint::random_bits(64, &mut rng);
+            assert_eq!(ctx.mod_pow(&base, &exp), base.mod_pow(&exp, &modulus));
+            assert_eq!(
+                base.mod_pow_fast(&exp, &modulus),
+                base.mod_pow(&exp, &modulus)
+            );
+        }
+    }
+}
+
+/// Differential oracle at many widths: `mod_pow_fast` (Montgomery dispatch)
+/// equals the legacy path for odd and even moduli alike.
+#[test]
+fn mod_pow_fast_matches_legacy_all_widths() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0011);
+    for bits in [8usize, 63, 64, 65, 128, 256, 521] {
+        for _ in 0..8 {
+            let modulus = {
+                let m = BigUint::random_exact_bits(bits, &mut rng);
+                if m <= BigUint::one() {
+                    BigUint::from(2u64)
+                } else {
+                    m
+                }
+            };
+            let base = BigUint::random_bits(bits + 32, &mut rng);
+            let exp = BigUint::random_bits(96, &mut rng);
+            assert_eq!(
+                base.mod_pow_fast(&exp, &modulus),
+                base.mod_pow(&exp, &modulus),
+                "bits={bits}"
+            );
+        }
+    }
+}
+
+/// The full RSA private operation (Montgomery + CRT) is bit-identical to
+/// the plain `c^d mod n` oracle, and signatures verify.
+#[test]
+fn rsa_fast_path_matches_plain_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0012);
+    let keys = RsaKeyPair::generate(512, &mut rng).expect("keygen");
+    let n = BigUint::from_be_bytes(&keys.public.modulus_bytes());
+    for _ in 0..8 {
+        let c = BigUint::random_below(&n, &mut rng);
+        assert_eq!(
+            keys.private.private_op_crt(&c),
+            keys.private.private_op_plain(&c)
+        );
+    }
+    let sig = keys.private.sign(b"differential");
+    assert!(keys.public.verify(b"differential", &sig));
+}
+
+/// AES block encrypt/decrypt are inverse for all key sizes.
+#[test]
+fn aes_block_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0xC0_000B);
+    for _ in 0..CASES {
+        let key_bytes: [u8; 32] = rng.gen();
+        let block: [u8; 16] = rng.gen();
+        let key = &key_bytes[..[16, 24, 32][rng.gen_range(0..3usize)]];
         let aes = Aes::new(key).unwrap();
-        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(block)), block);
+        assert_eq!(aes.decrypt_block(aes.encrypt_block(block)), block);
     }
+}
 
-    /// CBC round trip for arbitrary plaintext lengths.
-    #[test]
-    fn aes_cbc_round_trip(key_sel in 0usize..3, pt in prop::collection::vec(any::<u8>(), 0..300), seed in any::<u64>()) {
-        let key = vec![0x42u8; [16, 24, 32][key_sel]];
+/// CBC round trip for arbitrary plaintext lengths.
+#[test]
+fn aes_cbc_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0xC0_000C);
+    for _ in 0..CASES {
+        let key = vec![0x42u8; [16, 24, 32][rng.gen_range(0..3usize)]];
+        let mut pt = vec![0u8; rng.gen_range(0..300usize)];
+        rng.fill_bytes(&mut pt);
         let aes = Aes::new(&key).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let ct = aes.encrypt_cbc(&pt, &mut rng);
-        prop_assert_eq!(aes.decrypt_cbc(&ct).unwrap(), pt);
+        assert_eq!(aes.decrypt_cbc(&ct).unwrap(), pt);
     }
+}
 
-    /// CTR is a self-inverse keystream.
-    #[test]
-    fn aes_ctr_involution(counter in any::<[u8; 16]>(), data in prop::collection::vec(any::<u8>(), 0..200)) {
+/// CTR is a self-inverse keystream.
+#[test]
+fn aes_ctr_involution() {
+    let mut rng = StdRng::seed_from_u64(0xC0_000D);
+    for _ in 0..CASES {
+        let counter: [u8; 16] = rng.gen();
+        let mut data = vec![0u8; rng.gen_range(0..200usize)];
+        rng.fill_bytes(&mut data);
         let aes = Aes::new(&[1u8; 16]).unwrap();
         let once = aes.apply_ctr(counter, &data);
-        prop_assert_eq!(aes.apply_ctr(counter, &once), data);
+        assert_eq!(aes.apply_ctr(counter, &once), data);
     }
+}
 
-    /// Incremental hashing equals one-shot for any split.
-    #[test]
-    fn sha256_incremental(data in prop::collection::vec(any::<u8>(), 0..500), split in any::<prop::sample::Index>()) {
-        let at = split.index(data.len() + 1);
+/// Incremental hashing equals one-shot for any split.
+#[test]
+fn sha256_incremental() {
+    let mut rng = StdRng::seed_from_u64(0xC0_000E);
+    for _ in 0..CASES {
+        let mut data = vec![0u8; rng.gen_range(0..500usize)];
+        rng.fill_bytes(&mut data);
+        let at = rng.gen_range(0..=data.len());
         let mut h = Sha256::new();
         h.update(&data[..at]);
         h.update(&data[at..]);
-        prop_assert_eq!(h.finalize(), sha256(&data));
+        assert_eq!(h.finalize(), sha256(&data));
     }
+}
 
-    /// HMAC verify accepts its own tags and rejects single-byte corruption.
-    #[test]
-    fn hmac_verify_laws(key in prop::collection::vec(any::<u8>(), 0..100), msg in prop::collection::vec(any::<u8>(), 0..100), corrupt in any::<prop::sample::Index>()) {
+/// HMAC verify accepts its own tags and rejects single-byte corruption.
+#[test]
+fn hmac_verify_laws() {
+    let mut rng = StdRng::seed_from_u64(0xC0_000F);
+    for _ in 0..CASES {
+        let mut key = vec![0u8; rng.gen_range(0..100usize)];
+        rng.fill_bytes(&mut key);
+        let mut msg = vec![0u8; rng.gen_range(0..100usize)];
+        rng.fill_bytes(&mut msg);
         let tag = hmac_sha256(&key, &msg);
-        prop_assert!(verify_hmac_sha256(&key, &msg, &tag));
+        assert!(verify_hmac_sha256(&key, &msg, &tag));
         let mut bad = tag;
-        bad[corrupt.index(32)] ^= 0x01;
-        prop_assert!(!verify_hmac_sha256(&key, &msg, &bad));
+        bad[rng.gen_range(0..32usize)] ^= 0x01;
+        assert!(!verify_hmac_sha256(&key, &msg, &bad));
     }
 }

@@ -79,30 +79,47 @@ pub fn np_core_with_monitor() -> Component {
             Component::new("register_file")
                 // 32 × 32-bit architectural registers in FFs.
                 .with_primitive(Primitive::Register(1024))
-                .with_primitive(Primitive::Mux { width: 32, inputs: 32 }),
+                .with_primitive(Primitive::Mux {
+                    width: 32,
+                    inputs: 32,
+                }),
         )
         .with_child(
             Component::new("alu_shifter")
                 .with_primitive(Primitive::Adder(32))
                 // Barrel shifter: 5 mux stages of 32 bits.
-                .with_primitives(Primitive::Mux { width: 32, inputs: 2 }, 5)
+                .with_primitives(
+                    Primitive::Mux {
+                        width: 32,
+                        inputs: 2,
+                    },
+                    5,
+                )
                 .with_primitive(Primitive::LogicBlock { luts: 900, ffs: 0 }),
         )
         .with_child(
-            Component::new("muldiv_unit")
-                .with_primitive(Primitive::LogicBlock { luts: 2_600, ffs: 160 }),
+            Component::new("muldiv_unit").with_primitive(Primitive::LogicBlock {
+                luts: 2_600,
+                ffs: 160,
+            }),
         )
         .with_child(
             Component::new("pipeline_and_control")
                 // Calibrated against the paper's Quartus totals.
-                .with_primitive(Primitive::LogicBlock { luts: 21_100, ffs: 21_900 }),
+                .with_primitive(Primitive::LogicBlock {
+                    luts: 21_100,
+                    ffs: 21_900,
+                }),
         );
     let monitor = Component::new("hardware_monitor")
         .with_child(merkle_hash_circuit())
         .with_child(
             Component::new("graph_walker")
                 // Candidate tracking, successor fetch, violation FSM.
-                .with_primitive(Primitive::LogicBlock { luts: 9_800, ffs: 9_200 }),
+                .with_primitive(Primitive::LogicBlock {
+                    luts: 9_800,
+                    ffs: 9_200,
+                }),
         )
         .with_child(
             Component::new("monitor_memory")
@@ -112,8 +129,10 @@ pub fn np_core_with_monitor() -> Component {
     Component::new("np_core_with_monitor")
         .with_child(plasma)
         .with_child(
-            Component::new("packet_interface")
-                .with_primitive(Primitive::LogicBlock { luts: 6_100, ffs: 8_300 }),
+            Component::new("packet_interface").with_primitive(Primitive::LogicBlock {
+                luts: 6_100,
+                ffs: 8_300,
+            }),
         )
         .with_child(
             Component::new("processor_memory")
@@ -129,8 +148,10 @@ pub fn np_core_with_monitor() -> Component {
 pub fn nios_control_processor() -> Component {
     Component::new("nios_ii_control_processor")
         .with_child(
-            Component::new("nios_ii_cpu")
-                .with_primitive(Primitive::LogicBlock { luts: 9_100, ffs: 10_900 }),
+            Component::new("nios_ii_cpu").with_primitive(Primitive::LogicBlock {
+                luts: 9_100,
+                ffs: 10_900,
+            }),
         )
         .with_child(
             Component::new("caches_and_tcm")
@@ -143,7 +164,10 @@ pub fn nios_control_processor() -> Component {
         .with_child(
             Component::new("peripherals")
                 // Ethernet MAC, timers, UART, JTAG.
-                .with_primitive(Primitive::LogicBlock { luts: 4_350, ffs: 5_950 }),
+                .with_primitive(Primitive::LogicBlock {
+                    luts: 4_350,
+                    ffs: 5_950,
+                }),
         )
 }
 
@@ -158,7 +182,11 @@ pub fn prototype_system() -> Component {
 /// DE4 / Stratix IV EP4SGX230 device capacity, for utilization reporting
 /// (the "Available on FPGA" column of Table 1).
 pub fn de4_capacity() -> crate::Resources {
-    crate::Resources { luts: 182_400, ffs: 182_400, memory_bits: 14_625_792 }
+    crate::Resources {
+        luts: 182_400,
+        ffs: 182_400,
+        memory_bits: 14_625_792,
+    }
 }
 
 #[cfg(test)]
@@ -172,7 +200,12 @@ mod tests {
         // The text: "Our Merkle tree hash requires less logic, but requires
         // memory to store the parameter, whereas the bitcount hash does not
         // require memory."
-        assert!(merkle.luts < bitcount.luts, "{} vs {}", merkle.luts, bitcount.luts);
+        assert!(
+            merkle.luts < bitcount.luts,
+            "{} vs {}",
+            merkle.luts,
+            bitcount.luts
+        );
         assert_eq!(merkle.memory_bits, 32);
         assert_eq!(bitcount.memory_bits, 0);
         // Both are tiny (double-digit LUTs in the paper).
@@ -189,10 +222,18 @@ mod tests {
         };
         assert!(close(np.luts, 41_735), "np luts {}", np.luts);
         assert!(close(np.ffs, 40_590), "np ffs {}", np.ffs);
-        assert!(close(np.memory_bits, 2_883_088), "np membits {}", np.memory_bits);
+        assert!(
+            close(np.memory_bits, 2_883_088),
+            "np membits {}",
+            np.memory_bits
+        );
         assert!(close(ctrl.luts, 13_477), "ctrl luts {}", ctrl.luts);
         assert!(close(ctrl.ffs, 16_899), "ctrl ffs {}", ctrl.ffs);
-        assert!(close(ctrl.memory_bits, 571_976), "ctrl membits {}", ctrl.memory_bits);
+        assert!(
+            close(ctrl.memory_bits, 571_976),
+            "ctrl membits {}",
+            ctrl.memory_bits
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct Resources {
 
 impl Resources {
     /// The zero usage.
-    pub const ZERO: Resources = Resources { luts: 0, ffs: 0, memory_bits: 0 };
+    pub const ZERO: Resources = Resources {
+        luts: 0,
+        ffs: 0,
+        memory_bits: 0,
+    };
 }
 
 impl Add for Resources {
@@ -48,7 +52,11 @@ impl Sum for Resources {
 
 impl fmt::Display for Resources {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} LUTs, {} FFs, {} memory bits", self.luts, self.ffs, self.memory_bits)
+        write!(
+            f,
+            "{} LUTs, {} FFs, {} memory bits",
+            self.luts, self.ffs, self.memory_bits
+        )
     }
 }
 
@@ -98,16 +106,35 @@ impl Primitive {
     /// Evaluates the cost rule.
     pub fn resources(self) -> Resources {
         match self {
-            Primitive::Adder(n) => Resources { luts: n, ..Resources::ZERO },
-            Primitive::Register(n) => Resources { ffs: n, ..Resources::ZERO },
-            Primitive::Comparator(n) => Resources { luts: n.div_ceil(2), ..Resources::ZERO },
+            Primitive::Adder(n) => Resources {
+                luts: n,
+                ..Resources::ZERO
+            },
+            Primitive::Register(n) => Resources {
+                ffs: n,
+                ..Resources::ZERO
+            },
+            Primitive::Comparator(n) => Resources {
+                luts: n.div_ceil(2),
+                ..Resources::ZERO
+            },
             Primitive::Mux { width, inputs } => Resources {
                 luts: width * inputs.saturating_sub(1),
                 ..Resources::ZERO
             },
-            Primitive::Popcount(n) => Resources { luts: 2 * n, ..Resources::ZERO },
-            Primitive::Ram(bits) => Resources { memory_bits: bits, ..Resources::ZERO },
-            Primitive::LogicBlock { luts, ffs } => Resources { luts, ffs, memory_bits: 0 },
+            Primitive::Popcount(n) => Resources {
+                luts: 2 * n,
+                ..Resources::ZERO
+            },
+            Primitive::Ram(bits) => Resources {
+                memory_bits: bits,
+                ..Resources::ZERO
+            },
+            Primitive::LogicBlock { luts, ffs } => Resources {
+                luts,
+                ffs,
+                memory_bits: 0,
+            },
         }
     }
 }
@@ -136,7 +163,11 @@ pub struct Component {
 impl Component {
     /// Creates an empty component.
     pub fn new(name: impl Into<String>) -> Component {
-        Component { name: name.into(), primitives: Vec::new(), children: Vec::new() }
+        Component {
+            name: name.into(),
+            primitives: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Adds a primitive (builder style).
@@ -169,8 +200,15 @@ impl Component {
 
     /// Total resources of this subtree.
     pub fn resources(&self) -> Resources {
-        self.primitives.iter().map(|p| p.resources()).sum::<Resources>()
-            + self.children.iter().map(Component::resources).sum::<Resources>()
+        self.primitives
+            .iter()
+            .map(|p| p.resources())
+            .sum::<Resources>()
+            + self
+                .children
+                .iter()
+                .map(Component::resources)
+                .sum::<Resources>()
     }
 
     /// Renders an indented utilization report, one line per component.
@@ -183,7 +221,14 @@ impl Component {
     fn report_into(&self, out: &mut String, depth: usize) {
         use fmt::Write;
         let r = self.resources();
-        let _ = writeln!(out, "{:indent$}{:<28} {}", "", self.name, r, indent = depth * 2);
+        let _ = writeln!(
+            out,
+            "{:indent$}{:<28} {}",
+            "",
+            self.name,
+            r,
+            indent = depth * 2
+        );
         for c in &self.children {
             c.report_into(out, depth + 1);
         }
@@ -200,8 +245,24 @@ mod tests {
         assert_eq!(Primitive::Register(16).resources().ffs, 16);
         assert_eq!(Primitive::Comparator(4).resources().luts, 2);
         assert_eq!(Primitive::Comparator(5).resources().luts, 3);
-        assert_eq!(Primitive::Mux { width: 8, inputs: 4 }.resources().luts, 24);
-        assert_eq!(Primitive::Mux { width: 8, inputs: 1 }.resources().luts, 0);
+        assert_eq!(
+            Primitive::Mux {
+                width: 8,
+                inputs: 4
+            }
+            .resources()
+            .luts,
+            24
+        );
+        assert_eq!(
+            Primitive::Mux {
+                width: 8,
+                inputs: 1
+            }
+            .resources()
+            .luts,
+            0
+        );
         assert_eq!(Primitive::Popcount(32).resources().luts, 64);
         assert_eq!(Primitive::Ram(1024).resources().memory_bits, 1024);
         let block = Primitive::LogicBlock { luts: 100, ffs: 50 }.resources();
@@ -211,21 +272,47 @@ mod tests {
     #[test]
     fn resources_sum() {
         let total: Resources = [
-            Resources { luts: 1, ffs: 2, memory_bits: 3 },
-            Resources { luts: 10, ffs: 20, memory_bits: 30 },
+            Resources {
+                luts: 1,
+                ffs: 2,
+                memory_bits: 3,
+            },
+            Resources {
+                luts: 10,
+                ffs: 20,
+                memory_bits: 30,
+            },
         ]
         .into_iter()
         .sum();
-        assert_eq!(total, Resources { luts: 11, ffs: 22, memory_bits: 33 });
+        assert_eq!(
+            total,
+            Resources {
+                luts: 11,
+                ffs: 22,
+                memory_bits: 33
+            }
+        );
     }
 
     #[test]
     fn hierarchy_aggregates() {
         let leaf = Component::new("leaf").with_primitives(Primitive::Adder(4), 3);
-        let mid = Component::new("mid").with_child(leaf).with_primitive(Primitive::Ram(64));
-        let top = Component::new("top").with_child(mid).with_primitive(Primitive::Register(8));
+        let mid = Component::new("mid")
+            .with_child(leaf)
+            .with_primitive(Primitive::Ram(64));
+        let top = Component::new("top")
+            .with_child(mid)
+            .with_primitive(Primitive::Register(8));
         let r = top.resources();
-        assert_eq!(r, Resources { luts: 12, ffs: 8, memory_bits: 64 });
+        assert_eq!(
+            r,
+            Resources {
+                luts: 12,
+                ffs: 8,
+                memory_bits: 64
+            }
+        );
     }
 
     #[test]

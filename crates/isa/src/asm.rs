@@ -80,12 +80,19 @@ impl Program {
     ///
     /// Panics if `bytes.len()` is not a multiple of 4.
     pub fn from_bytes(base: u32, bytes: &[u8]) -> Program {
-        assert!(bytes.len().is_multiple_of(4), "program image must be word aligned");
+        assert!(
+            bytes.len().is_multiple_of(4),
+            "program image must be word aligned"
+        );
         let words = bytes
             .chunks_exact(4)
             .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        Program { base, words, symbols: BTreeMap::new() }
+        Program {
+            base,
+            words,
+            symbols: BTreeMap::new(),
+        }
     }
 
     /// Address one past the last word of the image.
@@ -113,7 +120,10 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, message: message.into() })
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Two-pass assembler. Construct with [`Assembler::new`], optionally set the
@@ -127,12 +137,18 @@ pub struct Assembler {
 /// One parsed source statement (intermediate representation between passes).
 #[derive(Debug, Clone)]
 enum Stmt {
-    Inst { mnemonic: String, operands: Vec<String> },
+    Inst {
+        mnemonic: String,
+        operands: Vec<String>,
+    },
     Word(Vec<String>),
     Half(Vec<String>),
     Byte(Vec<String>),
     Space(u32),
-    Ascii { text: Vec<u8>, zero_terminated: bool },
+    Ascii {
+        text: Vec<u8>,
+        zero_terminated: bool,
+    },
     Align(u32),
     Org(u32),
 }
@@ -193,9 +209,10 @@ impl Assembler {
                 Stmt::Half(vs) => pc + 2 * vs.len() as u32,
                 Stmt::Byte(vs) => pc + vs.len() as u32,
                 Stmt::Space(n) => pc + n,
-                Stmt::Ascii { text, zero_terminated } => {
-                    pc + text.len() as u32 + u32::from(*zero_terminated)
-                }
+                Stmt::Ascii {
+                    text,
+                    zero_terminated,
+                } => pc + text.len() as u32 + u32::from(*zero_terminated),
                 Stmt::Align(p) => align_up(pc, 1 << p),
                 Stmt::Org(addr) => {
                     if *addr < pc {
@@ -251,7 +268,10 @@ impl Assembler {
                     emit(&mut image, &vec![0u8; *n as usize]);
                     pc += n;
                 }
-                Stmt::Ascii { text, zero_terminated } => {
+                Stmt::Ascii {
+                    text,
+                    zero_terminated,
+                } => {
                     emit(&mut image, text);
                     if *zero_terminated {
                         emit(&mut image, &[0]);
@@ -277,7 +297,11 @@ impl Assembler {
             .chunks_exact(4)
             .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        Ok(Program { base: self.base, words, symbols })
+        Ok(Program {
+            base: self.base,
+            words,
+            symbols,
+        })
     }
 }
 
@@ -303,7 +327,9 @@ fn find_label_colon(s: &str) -> Option<usize> {
 
 fn is_valid_label(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -329,7 +355,10 @@ fn parse_stmt(lineno: usize, rest: &str) -> Result<Stmt, AsmError> {
         return parse_directive(lineno, directive, tail);
     }
     let operands = split_operands(tail);
-    Ok(Stmt::Inst { mnemonic: head.to_ascii_lowercase(), operands })
+    Ok(Stmt::Inst {
+        mnemonic: head.to_ascii_lowercase(),
+        operands,
+    })
 }
 
 fn parse_directive(lineno: usize, directive: &str, tail: &str) -> Result<Stmt, AsmError> {
@@ -338,33 +367,44 @@ fn parse_directive(lineno: usize, directive: &str, tail: &str) -> Result<Stmt, A
         "half" => Ok(Stmt::Half(split_operands(tail))),
         "byte" => Ok(Stmt::Byte(split_operands(tail))),
         "space" => {
-            let n = parse_number(tail)
-                .ok_or_else(|| AsmError { line: lineno, message: format!("bad .space operand `{tail}`") })?;
+            let n = parse_number(tail).ok_or_else(|| AsmError {
+                line: lineno,
+                message: format!("bad .space operand `{tail}`"),
+            })?;
             if n < 0 {
                 return err(lineno, ".space size must be non-negative");
             }
             Ok(Stmt::Space(n as u32))
         }
         "align" => {
-            let p = parse_number(tail)
-                .ok_or_else(|| AsmError { line: lineno, message: format!("bad .align operand `{tail}`") })?;
+            let p = parse_number(tail).ok_or_else(|| AsmError {
+                line: lineno,
+                message: format!("bad .align operand `{tail}`"),
+            })?;
             if !(0..=16).contains(&p) {
                 return err(lineno, ".align power must be in 0..=16");
             }
             Ok(Stmt::Align(p as u32))
         }
         "org" => {
-            let a = parse_number(tail)
-                .ok_or_else(|| AsmError { line: lineno, message: format!("bad .org operand `{tail}`") })?;
+            let a = parse_number(tail).ok_or_else(|| AsmError {
+                line: lineno,
+                message: format!("bad .org operand `{tail}`"),
+            })?;
             if a < 0 || a > u32::MAX as i64 {
                 return err(lineno, ".org address out of range");
             }
             Ok(Stmt::Org(a as u32))
         }
         "ascii" | "asciiz" => {
-            let text = parse_string(tail)
-                .ok_or_else(|| AsmError { line: lineno, message: format!("bad string literal `{tail}`") })?;
-            Ok(Stmt::Ascii { text, zero_terminated: directive == "asciiz" })
+            let text = parse_string(tail).ok_or_else(|| AsmError {
+                line: lineno,
+                message: format!("bad string literal `{tail}`"),
+            })?;
+            Ok(Stmt::Ascii {
+                text,
+                zero_terminated: directive == "asciiz",
+            })
         }
         _ => err(lineno, format!("unknown directive `.{directive}`")),
     }
@@ -431,8 +471,10 @@ fn eval(lineno: usize, expr: &str, symbols: &BTreeMap<String, u32>) -> Result<i6
     let (sym, offset) = match expr[1..].find(['+', '-']) {
         Some(i) => {
             let split = i + 1;
-            let off = parse_number(&expr[split..])
-                .ok_or_else(|| AsmError { line: lineno, message: format!("bad offset in `{expr}`") })?;
+            let off = parse_number(&expr[split..]).ok_or_else(|| AsmError {
+                line: lineno,
+                message: format!("bad offset in `{expr}`"),
+            })?;
             (&expr[..split], off)
         }
         None => (expr, 0),
@@ -456,16 +498,22 @@ impl<'a> Ops<'a> {
         if self.operands.len() != n {
             return err(
                 self.lineno,
-                format!("`{}` expects {} operand(s), got {}", self.mnemonic, n, self.operands.len()),
+                format!(
+                    "`{}` expects {} operand(s), got {}",
+                    self.mnemonic,
+                    n,
+                    self.operands.len()
+                ),
             );
         }
         Ok(())
     }
 
     fn reg(&self, i: usize) -> Result<Reg, AsmError> {
-        self.operands[i]
-            .parse::<Reg>()
-            .map_err(|e| AsmError { line: self.lineno, message: e.to_string() })
+        self.operands[i].parse::<Reg>().map_err(|e| AsmError {
+            line: self.lineno,
+            message: e.to_string(),
+        })
     }
 
     fn imm16(&self, i: usize) -> Result<i16, AsmError> {
@@ -514,7 +562,10 @@ impl<'a> Ops<'a> {
         let base = text[open + 1..close]
             .trim()
             .parse::<Reg>()
-            .map_err(|e| AsmError { line: self.lineno, message: e.to_string() })?;
+            .map_err(|e| AsmError {
+                line: self.lineno,
+                message: e.to_string(),
+            })?;
         Ok((base, offset))
     }
 
@@ -530,7 +581,10 @@ impl<'a> Ops<'a> {
             }
         };
         if byte_off % 4 != 0 {
-            return err(self.lineno, format!("branch offset {byte_off} not word aligned"));
+            return err(
+                self.lineno,
+                format!("branch offset {byte_off} not word aligned"),
+            );
         }
         let words = byte_off / 4;
         check_range(self.lineno, words, -32768, 32767)?;
@@ -563,46 +617,87 @@ fn encode_line(
     pc: u32,
     symbols: &BTreeMap<String, u32>,
 ) -> Result<Vec<Inst>, AsmError> {
-    let o = Ops { lineno, mnemonic, operands, symbols, pc };
+    let o = Ops {
+        lineno,
+        mnemonic,
+        operands,
+        symbols,
+        pc,
+    };
     use Inst::*;
     let one = |i: Inst| Ok(vec![i]);
     match mnemonic {
         // --- pseudo-instructions ---
         "nop" => {
             o.expect(0)?;
-            one(Sll { rd: Reg::ZERO, rt: Reg::ZERO, shamt: 0 })
+            one(Sll {
+                rd: Reg::ZERO,
+                rt: Reg::ZERO,
+                shamt: 0,
+            })
         }
         "move" => {
             o.expect(2)?;
-            one(Addu { rd: o.reg(0)?, rs: o.reg(1)?, rt: Reg::ZERO })
+            one(Addu {
+                rd: o.reg(0)?,
+                rs: o.reg(1)?,
+                rt: Reg::ZERO,
+            })
         }
         "not" => {
             o.expect(2)?;
-            one(Nor { rd: o.reg(0)?, rs: o.reg(1)?, rt: Reg::ZERO })
+            one(Nor {
+                rd: o.reg(0)?,
+                rs: o.reg(1)?,
+                rt: Reg::ZERO,
+            })
         }
         "neg" => {
             o.expect(2)?;
-            one(Subu { rd: o.reg(0)?, rs: Reg::ZERO, rt: o.reg(1)? })
+            one(Subu {
+                rd: o.reg(0)?,
+                rs: Reg::ZERO,
+                rt: o.reg(1)?,
+            })
         }
         "b" => {
             o.expect(1)?;
-            one(Beq { rs: Reg::ZERO, rt: Reg::ZERO, offset: o.branch(0)? })
+            one(Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                offset: o.branch(0)?,
+            })
         }
         "beqz" => {
             o.expect(2)?;
-            one(Beq { rs: o.reg(0)?, rt: Reg::ZERO, offset: o.branch(1)? })
+            one(Beq {
+                rs: o.reg(0)?,
+                rt: Reg::ZERO,
+                offset: o.branch(1)?,
+            })
         }
         "bnez" => {
             o.expect(2)?;
-            one(Bne { rs: o.reg(0)?, rt: Reg::ZERO, offset: o.branch(1)? })
+            one(Bne {
+                rs: o.reg(0)?,
+                rt: Reg::ZERO,
+                offset: o.branch(1)?,
+            })
         }
         "li" | "la" => {
             o.expect(2)?;
             let rt = o.reg(0)?;
             let value = o.imm32(1)?;
             Ok(vec![
-                Lui { rt, imm: (value >> 16) as u16 },
-                Ori { rt, rs: rt, imm: (value & 0xffff) as u16 },
+                Lui {
+                    rt,
+                    imm: (value >> 16) as u16,
+                },
+                Ori {
+                    rt,
+                    rs: rt,
+                    imm: (value & 0xffff) as u16,
+                },
             ])
         }
         // --- shifts ---
@@ -672,23 +767,41 @@ fn encode_line(
         "j" | "jal" => {
             o.expect(1)?;
             let index = o.jump(0)?;
-            one(if mnemonic == "j" { J { index } } else { Jal { index } })
+            one(if mnemonic == "j" {
+                J { index }
+            } else {
+                Jal { index }
+            })
         }
         "jr" => {
             o.expect(1)?;
             one(Jr { rs: o.reg(0)? })
         }
         "jalr" => match operands.len() {
-            1 => one(Jalr { rd: Reg::RA, rs: o.reg(0)? }),
-            2 => one(Jalr { rd: o.reg(0)?, rs: o.reg(1)? }),
+            1 => one(Jalr {
+                rd: Reg::RA,
+                rs: o.reg(0)?,
+            }),
+            2 => one(Jalr {
+                rd: o.reg(0)?,
+                rs: o.reg(1)?,
+            }),
             n => err(lineno, format!("`jalr` expects 1 or 2 operands, got {n}")),
         },
         "syscall" => {
-            let code = if operands.is_empty() { 0 } else { o.imm32(0)? & 0xf_ffff };
+            let code = if operands.is_empty() {
+                0
+            } else {
+                o.imm32(0)? & 0xf_ffff
+            };
             one(Syscall { code })
         }
         "break" => {
-            let code = if operands.is_empty() { 0 } else { o.imm32(0)? & 0xf_ffff };
+            let code = if operands.is_empty() {
+                0
+            } else {
+                o.imm32(0)? & 0xf_ffff
+            };
             one(Break { code })
         }
         // --- branches ---
@@ -735,7 +848,10 @@ fn encode_line(
         }
         "lui" => {
             o.expect(2)?;
-            one(Lui { rt: o.reg(0)?, imm: o.uimm16(1)? })
+            one(Lui {
+                rt: o.reg(0)?,
+                imm: o.uimm16(1)?,
+            })
         }
         // --- memory ---
         "lb" | "lh" | "lw" | "lbu" | "lhu" | "sb" | "sh" | "sw" => {
@@ -762,7 +878,9 @@ mod tests {
     use super::*;
 
     fn asm(src: &str) -> Program {
-        Assembler::new().assemble(src).expect("assembly should succeed")
+        Assembler::new()
+            .assemble(src)
+            .expect("assembly should succeed")
     }
 
     #[test]
@@ -784,12 +902,20 @@ mod tests {
         // beq at 0 targets 8: offset words = (8 - 4)/4 = 1
         assert_eq!(
             Inst::decode(p.words[0]).unwrap(),
-            Inst::Beq { rs: Reg::ZERO, rt: Reg::ZERO, offset: 1 }
+            Inst::Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                offset: 1
+            }
         );
         // b at 8 targets 0: (0 - 12)/4 = -3
         assert_eq!(
             Inst::decode(p.words[2]).unwrap(),
-            Inst::Beq { rs: Reg::ZERO, rt: Reg::ZERO, offset: -3 }
+            Inst::Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                offset: -3
+            }
         );
     }
 
@@ -799,23 +925,35 @@ mod tests {
         assert_eq!(p.words.len(), 2);
         assert_eq!(
             Inst::decode(p.words[0]).unwrap(),
-            Inst::Lui { rt: Reg::T0, imm: 0xdead }
+            Inst::Lui {
+                rt: Reg::T0,
+                imm: 0xdead
+            }
         );
         assert_eq!(
             Inst::decode(p.words[1]).unwrap(),
-            Inst::Ori { rt: Reg::T0, rs: Reg::T0, imm: 0xbeef }
+            Inst::Ori {
+                rt: Reg::T0,
+                rs: Reg::T0,
+                imm: 0xbeef
+            }
         );
     }
 
     #[test]
     fn la_resolves_label_address() {
-        let p = Assembler::new().with_base(0x1000).assemble(
-            "       la $t0, buf\n        jr $ra\nbuf:   .space 8",
-        ).unwrap();
+        let p = Assembler::new()
+            .with_base(0x1000)
+            .assemble("       la $t0, buf\n        jr $ra\nbuf:   .space 8")
+            .unwrap();
         assert_eq!(p.symbol("buf"), Some(0x100c));
         assert_eq!(
             Inst::decode(p.words[1]).unwrap(),
-            Inst::Ori { rt: Reg::T0, rs: Reg::T0, imm: 0x100c }
+            Inst::Ori {
+                rt: Reg::T0,
+                rs: Reg::T0,
+                imm: 0x100c
+            }
         );
     }
 
@@ -824,11 +962,19 @@ mod tests {
         let p = asm("lw $t0, -8($sp)\nsw $t1, ($a0)");
         assert_eq!(
             Inst::decode(p.words[0]).unwrap(),
-            Inst::Lw { rt: Reg::T0, base: Reg::SP, offset: -8 }
+            Inst::Lw {
+                rt: Reg::T0,
+                base: Reg::SP,
+                offset: -8
+            }
         );
         assert_eq!(
             Inst::decode(p.words[1]).unwrap(),
-            Inst::Sw { rt: Reg::T1, base: Reg::A0, offset: 0 }
+            Inst::Sw {
+                rt: Reg::T1,
+                base: Reg::A0,
+                offset: 0
+            }
         );
     }
 
@@ -883,14 +1029,19 @@ mod tests {
 
     #[test]
     fn unknown_mnemonic_reports_line() {
-        let e = Assembler::new().assemble("nop\nfrobnicate $t0").unwrap_err();
+        let e = Assembler::new()
+            .assemble("nop\nfrobnicate $t0")
+            .unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.to_string().contains("frobnicate"));
     }
 
     #[test]
     fn jump_resolution_and_region_check() {
-        let p = Assembler::new().with_base(0x100).assemble("target: nop\n j target").unwrap();
+        let p = Assembler::new()
+            .with_base(0x100)
+            .assemble("target: nop\n j target")
+            .unwrap();
         assert_eq!(
             Inst::decode(p.words[1]).unwrap(),
             Inst::J { index: 0x100 >> 2 }
@@ -902,7 +1053,11 @@ mod tests {
         let p = asm("la $t0, tbl+8\njr $ra\ntbl: .space 16");
         assert_eq!(
             Inst::decode(p.words[1]).unwrap(),
-            Inst::Ori { rt: Reg::T0, rs: Reg::T0, imm: 12 + 8 }
+            Inst::Ori {
+                rt: Reg::T0,
+                rs: Reg::T0,
+                imm: 12 + 8
+            }
         );
     }
 
@@ -925,29 +1080,52 @@ mod tests {
         let p = asm("move $t0, $t1\nnot $t2, $t3\nneg $t4, $t5\nbeqz $t0, 4\nbnez $t0, -4");
         assert_eq!(
             Inst::decode(p.words[0]).unwrap(),
-            Inst::Addu { rd: Reg::T0, rs: Reg::T1, rt: Reg::ZERO }
+            Inst::Addu {
+                rd: Reg::T0,
+                rs: Reg::T1,
+                rt: Reg::ZERO
+            }
         );
         assert_eq!(
             Inst::decode(p.words[1]).unwrap(),
-            Inst::Nor { rd: Reg::T2, rs: Reg::T3, rt: Reg::ZERO }
+            Inst::Nor {
+                rd: Reg::T2,
+                rs: Reg::T3,
+                rt: Reg::ZERO
+            }
         );
         assert_eq!(
             Inst::decode(p.words[2]).unwrap(),
-            Inst::Subu { rd: Reg::T4, rs: Reg::ZERO, rt: Reg::T5 }
+            Inst::Subu {
+                rd: Reg::T4,
+                rs: Reg::ZERO,
+                rt: Reg::T5
+            }
         );
         assert_eq!(
             Inst::decode(p.words[3]).unwrap(),
-            Inst::Beq { rs: Reg::T0, rt: Reg::ZERO, offset: 1 }
+            Inst::Beq {
+                rs: Reg::T0,
+                rt: Reg::ZERO,
+                offset: 1
+            }
         );
         assert_eq!(
             Inst::decode(p.words[4]).unwrap(),
-            Inst::Bne { rs: Reg::T0, rt: Reg::ZERO, offset: -1 }
+            Inst::Bne {
+                rs: Reg::T0,
+                rt: Reg::ZERO,
+                offset: -1
+            }
         );
     }
 
     #[test]
     fn program_end_address() {
-        let p = Assembler::new().with_base(0x100).assemble("nop\nnop").unwrap();
+        let p = Assembler::new()
+            .with_base(0x100)
+            .assemble("nop\nnop")
+            .unwrap();
         assert_eq!(p.end(), 0x108);
     }
 }

@@ -234,8 +234,12 @@ impl Inst {
         // Strict field checks: must-be-zero fields of the encoding really
         // are zero, so decode is an exact partial inverse of encode (any
         // other pattern is a reserved-instruction fault on the core).
-        let (z_rs, z_rt, z_rd, z_sh) =
-            (rs.number() == 0, rt.number() == 0, rd.number() == 0, shamt == 0);
+        let (z_rs, z_rt, z_rd, z_sh) = (
+            rs.number() == 0,
+            rt.number() == 0,
+            rd.number() == 0,
+            shamt == 0,
+        );
         Ok(match op {
             0x00 => match word & 0x3f {
                 0x00 if z_rs => Inst::Sll { rd, rt, shamt },
@@ -246,8 +250,12 @@ impl Inst {
                 0x07 if z_sh => Inst::Srav { rd, rt, rs },
                 0x08 if z_rt && z_rd && z_sh => Inst::Jr { rs },
                 0x09 if z_rt && z_sh => Inst::Jalr { rd, rs },
-                0x0c => Inst::Syscall { code: (word >> 6) & 0xf_ffff },
-                0x0d => Inst::Break { code: (word >> 6) & 0xf_ffff },
+                0x0c => Inst::Syscall {
+                    code: (word >> 6) & 0xf_ffff,
+                },
+                0x0d => Inst::Break {
+                    code: (word >> 6) & 0xf_ffff,
+                },
                 0x10 if z_rs && z_rt && z_sh => Inst::Mfhi { rd },
                 0x11 if z_rt && z_rd && z_sh => Inst::Mthi { rs },
                 0x12 if z_rs && z_rt && z_sh => Inst::Mflo { rd },
@@ -269,34 +277,127 @@ impl Inst {
                 _ => return err,
             },
             0x01 => match rt.number() {
-                0x00 => Inst::Bltz { rs, offset: imm_of(word) },
-                0x01 => Inst::Bgez { rs, offset: imm_of(word) },
-                0x10 => Inst::Bltzal { rs, offset: imm_of(word) },
-                0x11 => Inst::Bgezal { rs, offset: imm_of(word) },
+                0x00 => Inst::Bltz {
+                    rs,
+                    offset: imm_of(word),
+                },
+                0x01 => Inst::Bgez {
+                    rs,
+                    offset: imm_of(word),
+                },
+                0x10 => Inst::Bltzal {
+                    rs,
+                    offset: imm_of(word),
+                },
+                0x11 => Inst::Bgezal {
+                    rs,
+                    offset: imm_of(word),
+                },
                 _ => return err,
             },
-            0x02 => Inst::J { index: word & 0x03ff_ffff },
-            0x03 => Inst::Jal { index: word & 0x03ff_ffff },
-            0x04 => Inst::Beq { rs, rt, offset: imm_of(word) },
-            0x05 => Inst::Bne { rs, rt, offset: imm_of(word) },
-            0x06 if rt.number() == 0 => Inst::Blez { rs, offset: imm_of(word) },
-            0x07 if rt.number() == 0 => Inst::Bgtz { rs, offset: imm_of(word) },
-            0x08 => Inst::Addi { rt, rs, imm: imm_of(word) },
-            0x09 => Inst::Addiu { rt, rs, imm: imm_of(word) },
-            0x0a => Inst::Slti { rt, rs, imm: imm_of(word) },
-            0x0b => Inst::Sltiu { rt, rs, imm: imm_of(word) },
-            0x0c => Inst::Andi { rt, rs, imm: uimm_of(word) },
-            0x0d => Inst::Ori { rt, rs, imm: uimm_of(word) },
-            0x0e => Inst::Xori { rt, rs, imm: uimm_of(word) },
-            0x0f if rs.number() == 0 => Inst::Lui { rt, imm: uimm_of(word) },
-            0x20 => Inst::Lb { rt, base: rs, offset: imm_of(word) },
-            0x21 => Inst::Lh { rt, base: rs, offset: imm_of(word) },
-            0x23 => Inst::Lw { rt, base: rs, offset: imm_of(word) },
-            0x24 => Inst::Lbu { rt, base: rs, offset: imm_of(word) },
-            0x25 => Inst::Lhu { rt, base: rs, offset: imm_of(word) },
-            0x28 => Inst::Sb { rt, base: rs, offset: imm_of(word) },
-            0x29 => Inst::Sh { rt, base: rs, offset: imm_of(word) },
-            0x2b => Inst::Sw { rt, base: rs, offset: imm_of(word) },
+            0x02 => Inst::J {
+                index: word & 0x03ff_ffff,
+            },
+            0x03 => Inst::Jal {
+                index: word & 0x03ff_ffff,
+            },
+            0x04 => Inst::Beq {
+                rs,
+                rt,
+                offset: imm_of(word),
+            },
+            0x05 => Inst::Bne {
+                rs,
+                rt,
+                offset: imm_of(word),
+            },
+            0x06 if rt.number() == 0 => Inst::Blez {
+                rs,
+                offset: imm_of(word),
+            },
+            0x07 if rt.number() == 0 => Inst::Bgtz {
+                rs,
+                offset: imm_of(word),
+            },
+            0x08 => Inst::Addi {
+                rt,
+                rs,
+                imm: imm_of(word),
+            },
+            0x09 => Inst::Addiu {
+                rt,
+                rs,
+                imm: imm_of(word),
+            },
+            0x0a => Inst::Slti {
+                rt,
+                rs,
+                imm: imm_of(word),
+            },
+            0x0b => Inst::Sltiu {
+                rt,
+                rs,
+                imm: imm_of(word),
+            },
+            0x0c => Inst::Andi {
+                rt,
+                rs,
+                imm: uimm_of(word),
+            },
+            0x0d => Inst::Ori {
+                rt,
+                rs,
+                imm: uimm_of(word),
+            },
+            0x0e => Inst::Xori {
+                rt,
+                rs,
+                imm: uimm_of(word),
+            },
+            0x0f if rs.number() == 0 => Inst::Lui {
+                rt,
+                imm: uimm_of(word),
+            },
+            0x20 => Inst::Lb {
+                rt,
+                base: rs,
+                offset: imm_of(word),
+            },
+            0x21 => Inst::Lh {
+                rt,
+                base: rs,
+                offset: imm_of(word),
+            },
+            0x23 => Inst::Lw {
+                rt,
+                base: rs,
+                offset: imm_of(word),
+            },
+            0x24 => Inst::Lbu {
+                rt,
+                base: rs,
+                offset: imm_of(word),
+            },
+            0x25 => Inst::Lhu {
+                rt,
+                base: rs,
+                offset: imm_of(word),
+            },
+            0x28 => Inst::Sb {
+                rt,
+                base: rs,
+                offset: imm_of(word),
+            },
+            0x29 => Inst::Sh {
+                rt,
+                base: rs,
+                offset: imm_of(word),
+            },
+            0x2b => Inst::Sw {
+                rt,
+                base: rs,
+                offset: imm_of(word),
+            },
             _ => return err,
         })
     }
@@ -382,15 +483,27 @@ impl Inst {
     pub fn control_flow(self) -> ControlFlow {
         use Inst::*;
         match self {
-            Beq { offset, .. } | Bne { offset, .. } | Blez { offset, .. }
-            | Bgtz { offset, .. } | Bltz { offset, .. } | Bgez { offset, .. } => {
-                ControlFlow::Branch { offset, linking: false }
-            }
-            Bltzal { offset, .. } | Bgezal { offset, .. } => {
-                ControlFlow::Branch { offset, linking: true }
-            }
-            J { index } => ControlFlow::Jump { index, linking: false },
-            Jal { index } => ControlFlow::Jump { index, linking: true },
+            Beq { offset, .. }
+            | Bne { offset, .. }
+            | Blez { offset, .. }
+            | Bgtz { offset, .. }
+            | Bltz { offset, .. }
+            | Bgez { offset, .. } => ControlFlow::Branch {
+                offset,
+                linking: false,
+            },
+            Bltzal { offset, .. } | Bgezal { offset, .. } => ControlFlow::Branch {
+                offset,
+                linking: true,
+            },
+            J { index } => ControlFlow::Jump {
+                index,
+                linking: false,
+            },
+            Jal { index } => ControlFlow::Jump {
+                index,
+                linking: true,
+            },
             Jr { .. } => ControlFlow::Indirect { linking: false },
             Jalr { .. } => ControlFlow::Indirect { linking: true },
             _ => ControlFlow::Sequential,
@@ -484,9 +597,15 @@ impl fmt::Display for Inst {
             Sllv { rd, rt, rs } | Srlv { rd, rt, rs } | Srav { rd, rt, rs } => {
                 write!(f, "{m} {rd}, {rt}, {rs}")
             }
-            Add { rd, rs, rt } | Addu { rd, rs, rt } | Sub { rd, rs, rt }
-            | Subu { rd, rs, rt } | And { rd, rs, rt } | Or { rd, rs, rt }
-            | Xor { rd, rs, rt } | Nor { rd, rs, rt } | Slt { rd, rs, rt }
+            Add { rd, rs, rt }
+            | Addu { rd, rs, rt }
+            | Sub { rd, rs, rt }
+            | Subu { rd, rs, rt }
+            | And { rd, rs, rt }
+            | Or { rd, rs, rt }
+            | Xor { rd, rs, rt }
+            | Nor { rd, rs, rt }
+            | Slt { rd, rs, rt }
             | Sltu { rd, rs, rt } => write!(f, "{m} {rd}, {rs}, {rt}"),
             Mult { rs, rt } | Multu { rs, rt } | Div { rs, rt } | Divu { rs, rt } => {
                 write!(f, "{m} {rs}, {rt}")
@@ -506,19 +625,30 @@ impl fmt::Display for Inst {
             Beq { rs, rt, offset } | Bne { rs, rt, offset } => {
                 write!(f, "{m} {rs}, {rt}, {}", (offset as i32) << 2)
             }
-            Blez { rs, offset } | Bgtz { rs, offset } | Bltz { rs, offset }
-            | Bgez { rs, offset } | Bltzal { rs, offset } | Bgezal { rs, offset } => {
+            Blez { rs, offset }
+            | Bgtz { rs, offset }
+            | Bltz { rs, offset }
+            | Bgez { rs, offset }
+            | Bltzal { rs, offset }
+            | Bgezal { rs, offset } => {
                 write!(f, "{m} {rs}, {}", (offset as i32) << 2)
             }
-            Addi { rt, rs, imm } | Addiu { rt, rs, imm } | Slti { rt, rs, imm }
+            Addi { rt, rs, imm }
+            | Addiu { rt, rs, imm }
+            | Slti { rt, rs, imm }
             | Sltiu { rt, rs, imm } => write!(f, "{m} {rt}, {rs}, {imm}"),
             Andi { rt, rs, imm } | Ori { rt, rs, imm } | Xori { rt, rs, imm } => {
                 write!(f, "{m} {rt}, {rs}, 0x{imm:x}")
             }
             Lui { rt, imm } => write!(f, "{m} {rt}, 0x{imm:x}"),
-            Lb { rt, base, offset } | Lh { rt, base, offset } | Lw { rt, base, offset }
-            | Lbu { rt, base, offset } | Lhu { rt, base, offset } | Sb { rt, base, offset }
-            | Sh { rt, base, offset } | Sw { rt, base, offset } => {
+            Lb { rt, base, offset }
+            | Lh { rt, base, offset }
+            | Lw { rt, base, offset }
+            | Lbu { rt, base, offset }
+            | Lhu { rt, base, offset }
+            | Sb { rt, base, offset }
+            | Sh { rt, base, offset }
+            | Sw { rt, base, offset } => {
                 write!(f, "{m} {rt}, {offset}({base})")
             }
         }
@@ -533,22 +663,86 @@ mod tests {
         use Inst::*;
         let (a, b, c) = (Reg::T0, Reg::A1, Reg::V0);
         vec![
-            Sll { rd: a, rt: b, shamt: 3 },
-            Srl { rd: a, rt: b, shamt: 31 },
-            Sra { rd: a, rt: b, shamt: 1 },
-            Sllv { rd: a, rt: b, rs: c },
-            Srlv { rd: a, rt: b, rs: c },
-            Srav { rd: a, rt: b, rs: c },
-            Add { rd: a, rs: b, rt: c },
-            Addu { rd: a, rs: b, rt: c },
-            Sub { rd: a, rs: b, rt: c },
-            Subu { rd: a, rs: b, rt: c },
-            And { rd: a, rs: b, rt: c },
-            Or { rd: a, rs: b, rt: c },
-            Xor { rd: a, rs: b, rt: c },
-            Nor { rd: a, rs: b, rt: c },
-            Slt { rd: a, rs: b, rt: c },
-            Sltu { rd: a, rs: b, rt: c },
+            Sll {
+                rd: a,
+                rt: b,
+                shamt: 3,
+            },
+            Srl {
+                rd: a,
+                rt: b,
+                shamt: 31,
+            },
+            Sra {
+                rd: a,
+                rt: b,
+                shamt: 1,
+            },
+            Sllv {
+                rd: a,
+                rt: b,
+                rs: c,
+            },
+            Srlv {
+                rd: a,
+                rt: b,
+                rs: c,
+            },
+            Srav {
+                rd: a,
+                rt: b,
+                rs: c,
+            },
+            Add {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Addu {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Sub {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Subu {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            And {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Or {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Xor {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Nor {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Slt {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Sltu {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
             Mult { rs: a, rt: b },
             Multu { rs: a, rt: b },
             Div { rs: a, rt: b },
@@ -563,30 +757,98 @@ mod tests {
             Jal { index: 0x3ff_ffff },
             Syscall { code: 0 },
             Break { code: 7 },
-            Beq { rs: a, rt: b, offset: -4 },
-            Bne { rs: a, rt: b, offset: 100 },
+            Beq {
+                rs: a,
+                rt: b,
+                offset: -4,
+            },
+            Bne {
+                rs: a,
+                rt: b,
+                offset: 100,
+            },
             Blez { rs: a, offset: 2 },
             Bgtz { rs: a, offset: -2 },
             Bltz { rs: a, offset: 1 },
             Bgez { rs: a, offset: -1 },
             Bltzal { rs: a, offset: 5 },
             Bgezal { rs: a, offset: -5 },
-            Addi { rt: a, rs: b, imm: -32768 },
-            Addiu { rt: a, rs: b, imm: 32767 },
-            Slti { rt: a, rs: b, imm: 12 },
-            Sltiu { rt: a, rs: b, imm: -1 },
-            Andi { rt: a, rs: b, imm: 0xffff },
-            Ori { rt: a, rs: b, imm: 0xabcd },
-            Xori { rt: a, rs: b, imm: 1 },
+            Addi {
+                rt: a,
+                rs: b,
+                imm: -32768,
+            },
+            Addiu {
+                rt: a,
+                rs: b,
+                imm: 32767,
+            },
+            Slti {
+                rt: a,
+                rs: b,
+                imm: 12,
+            },
+            Sltiu {
+                rt: a,
+                rs: b,
+                imm: -1,
+            },
+            Andi {
+                rt: a,
+                rs: b,
+                imm: 0xffff,
+            },
+            Ori {
+                rt: a,
+                rs: b,
+                imm: 0xabcd,
+            },
+            Xori {
+                rt: a,
+                rs: b,
+                imm: 1,
+            },
             Lui { rt: a, imm: 0x8000 },
-            Lb { rt: a, base: b, offset: -4 },
-            Lh { rt: a, base: b, offset: 2 },
-            Lw { rt: a, base: b, offset: 4 },
-            Lbu { rt: a, base: b, offset: 0 },
-            Lhu { rt: a, base: b, offset: 6 },
-            Sb { rt: a, base: b, offset: -1 },
-            Sh { rt: a, base: b, offset: 8 },
-            Sw { rt: a, base: b, offset: 12 },
+            Lb {
+                rt: a,
+                base: b,
+                offset: -4,
+            },
+            Lh {
+                rt: a,
+                base: b,
+                offset: 2,
+            },
+            Lw {
+                rt: a,
+                base: b,
+                offset: 4,
+            },
+            Lbu {
+                rt: a,
+                base: b,
+                offset: 0,
+            },
+            Lhu {
+                rt: a,
+                base: b,
+                offset: 6,
+            },
+            Sb {
+                rt: a,
+                base: b,
+                offset: -1,
+            },
+            Sh {
+                rt: a,
+                base: b,
+                offset: 8,
+            },
+            Sw {
+                rt: a,
+                base: b,
+                offset: 12,
+            },
         ]
     }
 
@@ -609,53 +871,103 @@ mod tests {
     fn known_encodings_match_mips_manual() {
         // Cross-checked against the MIPS32 reference encodings.
         assert_eq!(
-            Inst::Addu { rd: Reg::V0, rs: Reg::A0, rt: Reg::A1 }.encode(),
+            Inst::Addu {
+                rd: Reg::V0,
+                rs: Reg::A0,
+                rt: Reg::A1
+            }
+            .encode(),
             0x0085_1021
         );
         assert_eq!(
-            Inst::Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: 5 }.encode(),
+            Inst::Addiu {
+                rt: Reg::T0,
+                rs: Reg::ZERO,
+                imm: 5
+            }
+            .encode(),
             0x2408_0005
         );
         assert_eq!(Inst::Jr { rs: Reg::RA }.encode(), 0x03e0_0008);
         assert_eq!(
-            Inst::Lw { rt: Reg::T0, base: Reg::SP, offset: 4 }.encode(),
+            Inst::Lw {
+                rt: Reg::T0,
+                base: Reg::SP,
+                offset: 4
+            }
+            .encode(),
             0x8fa8_0004
         );
         assert_eq!(Inst::J { index: 0x10 }.encode(), 0x0800_0010);
-        assert_eq!(Inst::Sll { rd: Reg::ZERO, rt: Reg::ZERO, shamt: 0 }.encode(), 0);
+        assert_eq!(
+            Inst::Sll {
+                rd: Reg::ZERO,
+                rt: Reg::ZERO,
+                shamt: 0
+            }
+            .encode(),
+            0
+        );
     }
 
     #[test]
     fn nop_is_sll_zero() {
         assert_eq!(
             Inst::decode(0).unwrap(),
-            Inst::Sll { rd: Reg::ZERO, rt: Reg::ZERO, shamt: 0 }
+            Inst::Sll {
+                rd: Reg::ZERO,
+                rt: Reg::ZERO,
+                shamt: 0
+            }
         );
     }
 
     #[test]
     fn reserved_words_fail_to_decode() {
-        for w in [0xffff_ffffu32, 0x0000_003f, 0x7000_0000, 0x0400_0000 | (2 << 16)] {
-            assert!(Inst::decode(w).is_err(), "word {w:#010x} should be reserved");
+        for w in [
+            0xffff_ffffu32,
+            0x0000_003f,
+            0x7000_0000,
+            0x0400_0000 | (2 << 16),
+        ] {
+            assert!(
+                Inst::decode(w).is_err(),
+                "word {w:#010x} should be reserved"
+            );
         }
     }
 
     #[test]
     fn branch_targets_resolve() {
-        let beq = Inst::Beq { rs: Reg::T0, rt: Reg::T1, offset: -2 };
+        let beq = Inst::Beq {
+            rs: Reg::T0,
+            rt: Reg::T1,
+            offset: -2,
+        };
         assert_eq!(beq.control_flow().taken_target(0x100), Some(0x100 + 4 - 8));
         let j = Inst::J { index: 0x40 };
-        assert_eq!(j.control_flow().taken_target(0x9000_0000), Some(0x9000_0100));
+        assert_eq!(
+            j.control_flow().taken_target(0x9000_0000),
+            Some(0x9000_0100)
+        );
     }
 
     #[test]
     fn fall_through_classification() {
-        assert!(Inst::Addu { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }
-            .control_flow()
-            .falls_through());
-        assert!(Inst::Beq { rs: Reg::T0, rt: Reg::T1, offset: 1 }
-            .control_flow()
-            .falls_through());
+        assert!(Inst::Addu {
+            rd: Reg::T0,
+            rs: Reg::T1,
+            rt: Reg::T2
+        }
+        .control_flow()
+        .falls_through());
+        assert!(Inst::Beq {
+            rs: Reg::T0,
+            rt: Reg::T1,
+            offset: 1
+        }
+        .control_flow()
+        .falls_through());
         assert!(!Inst::J { index: 1 }.control_flow().falls_through());
         assert!(!Inst::Jr { rs: Reg::RA }.control_flow().falls_through());
     }
@@ -663,18 +975,38 @@ mod tests {
     #[test]
     fn block_enders() {
         assert!(Inst::Jr { rs: Reg::RA }.ends_basic_block());
-        assert!(Inst::Bne { rs: Reg::T0, rt: Reg::T1, offset: 1 }.ends_basic_block());
-        assert!(!Inst::Lw { rt: Reg::T0, base: Reg::SP, offset: 0 }.ends_basic_block());
+        assert!(Inst::Bne {
+            rs: Reg::T0,
+            rt: Reg::T1,
+            offset: 1
+        }
+        .ends_basic_block());
+        assert!(!Inst::Lw {
+            rt: Reg::T0,
+            base: Reg::SP,
+            offset: 0
+        }
+        .ends_basic_block());
     }
 
     #[test]
     fn display_forms() {
         assert_eq!(
-            Inst::Lw { rt: Reg::T0, base: Reg::SP, offset: -8 }.to_string(),
+            Inst::Lw {
+                rt: Reg::T0,
+                base: Reg::SP,
+                offset: -8
+            }
+            .to_string(),
             "lw $t0, -8($sp)"
         );
         assert_eq!(
-            Inst::Beq { rs: Reg::T0, rt: Reg::ZERO, offset: 3 }.to_string(),
+            Inst::Beq {
+                rs: Reg::T0,
+                rt: Reg::ZERO,
+                offset: 3
+            }
+            .to_string(),
             "beq $t0, $zero, 12"
         );
         assert_eq!(Inst::Syscall { code: 0 }.to_string(), "syscall");

@@ -1,124 +1,350 @@
-//! Property-based tests for the ISA crate: encode/decode inverses,
+//! Randomized property tests for the ISA crate: encode/decode inverses,
 //! disassemble/assemble round trips, and classification invariants.
+//!
+//! Cases are drawn from a seeded [`StdRng`] so failures reproduce exactly.
 
-use proptest::prelude::*;
 use sdmmon_isa::{asm::Assembler, ControlFlow, Inst, Reg};
+use sdmmon_rng::{Rng, RngCore, SeedableRng, StdRng};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+const CASES: usize = 2048;
+
+fn reg(rng: &mut StdRng) -> Reg {
+    Reg::new(rng.gen_range(0..32u8))
 }
 
-/// Generates an arbitrary instruction covering every variant.
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    let r = arb_reg;
-    prop_oneof![
-        (r(), r(), 0u8..32).prop_map(|(rd, rt, shamt)| Inst::Sll { rd, rt, shamt }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rt, shamt)| Inst::Srl { rd, rt, shamt }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rt, shamt)| Inst::Sra { rd, rt, shamt }),
-        (r(), r(), r()).prop_map(|(rd, rt, rs)| Inst::Sllv { rd, rt, rs }),
-        (r(), r(), r()).prop_map(|(rd, rt, rs)| Inst::Srlv { rd, rt, rs }),
-        (r(), r(), r()).prop_map(|(rd, rt, rs)| Inst::Srav { rd, rt, rs }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Add { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Addu { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Sub { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Subu { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::And { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Or { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Xor { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Nor { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Slt { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Sltu { rd, rs, rt }),
-        (r(), r()).prop_map(|(rs, rt)| Inst::Mult { rs, rt }),
-        (r(), r()).prop_map(|(rs, rt)| Inst::Multu { rs, rt }),
-        (r(), r()).prop_map(|(rs, rt)| Inst::Div { rs, rt }),
-        (r(), r()).prop_map(|(rs, rt)| Inst::Divu { rs, rt }),
-        r().prop_map(|rd| Inst::Mfhi { rd }),
-        r().prop_map(|rs| Inst::Mthi { rs }),
-        r().prop_map(|rd| Inst::Mflo { rd }),
-        r().prop_map(|rs| Inst::Mtlo { rs }),
-        r().prop_map(|rs| Inst::Jr { rs }),
-        (r(), r()).prop_map(|(rd, rs)| Inst::Jalr { rd, rs }),
-        (0u32..(1 << 26)).prop_map(|index| Inst::J { index }),
-        (0u32..(1 << 26)).prop_map(|index| Inst::Jal { index }),
-        (0u32..(1 << 20)).prop_map(|code| Inst::Syscall { code }),
-        (0u32..(1 << 20)).prop_map(|code| Inst::Break { code }),
-        (r(), r(), any::<i16>()).prop_map(|(rs, rt, offset)| Inst::Beq { rs, rt, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rs, rt, offset)| Inst::Bne { rs, rt, offset }),
-        (r(), any::<i16>()).prop_map(|(rs, offset)| Inst::Blez { rs, offset }),
-        (r(), any::<i16>()).prop_map(|(rs, offset)| Inst::Bgtz { rs, offset }),
-        (r(), any::<i16>()).prop_map(|(rs, offset)| Inst::Bltz { rs, offset }),
-        (r(), any::<i16>()).prop_map(|(rs, offset)| Inst::Bgez { rs, offset }),
-        (r(), any::<i16>()).prop_map(|(rs, offset)| Inst::Bltzal { rs, offset }),
-        (r(), any::<i16>()).prop_map(|(rs, offset)| Inst::Bgezal { rs, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Addi { rt, rs, imm }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Addiu { rt, rs, imm }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Slti { rt, rs, imm }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Sltiu { rt, rs, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Andi { rt, rs, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Ori { rt, rs, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Xori { rt, rs, imm }),
-        (r(), any::<u16>()).prop_map(|(rt, imm)| Inst::Lui { rt, imm }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Inst::Lb { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Inst::Lh { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Inst::Lw { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Inst::Lbu { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Inst::Lhu { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Inst::Sb { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Inst::Sh { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Inst::Sw { rt, base, offset }),
-    ]
-}
-
-proptest! {
-    /// decode(encode(i)) == i for every constructible instruction.
-    #[test]
-    fn encode_decode_round_trip(inst in arb_inst()) {
-        prop_assert_eq!(Inst::decode(inst.encode()), Ok(inst));
+/// Draws an arbitrary instruction covering every variant.
+fn arb_inst(rng: &mut StdRng) -> Inst {
+    let r = reg;
+    match rng.gen_range(0..52u8) {
+        0 => Inst::Sll {
+            rd: r(rng),
+            rt: r(rng),
+            shamt: rng.gen_range(0..32u8),
+        },
+        1 => Inst::Srl {
+            rd: r(rng),
+            rt: r(rng),
+            shamt: rng.gen_range(0..32u8),
+        },
+        2 => Inst::Sra {
+            rd: r(rng),
+            rt: r(rng),
+            shamt: rng.gen_range(0..32u8),
+        },
+        3 => Inst::Sllv {
+            rd: r(rng),
+            rt: r(rng),
+            rs: r(rng),
+        },
+        4 => Inst::Srlv {
+            rd: r(rng),
+            rt: r(rng),
+            rs: r(rng),
+        },
+        5 => Inst::Srav {
+            rd: r(rng),
+            rt: r(rng),
+            rs: r(rng),
+        },
+        6 => Inst::Add {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        7 => Inst::Addu {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        8 => Inst::Sub {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        9 => Inst::Subu {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        10 => Inst::And {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        11 => Inst::Or {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        12 => Inst::Xor {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        13 => Inst::Nor {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        14 => Inst::Slt {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        15 => Inst::Sltu {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        16 => Inst::Mult {
+            rs: r(rng),
+            rt: r(rng),
+        },
+        17 => Inst::Multu {
+            rs: r(rng),
+            rt: r(rng),
+        },
+        18 => Inst::Div {
+            rs: r(rng),
+            rt: r(rng),
+        },
+        19 => Inst::Divu {
+            rs: r(rng),
+            rt: r(rng),
+        },
+        20 => Inst::Mfhi { rd: r(rng) },
+        21 => Inst::Mthi { rs: r(rng) },
+        22 => Inst::Mflo { rd: r(rng) },
+        23 => Inst::Mtlo { rs: r(rng) },
+        24 => Inst::Jr { rs: r(rng) },
+        25 => Inst::Jalr {
+            rd: r(rng),
+            rs: r(rng),
+        },
+        26 => Inst::J {
+            index: rng.gen_range(0..1u32 << 26),
+        },
+        27 => Inst::Jal {
+            index: rng.gen_range(0..1u32 << 26),
+        },
+        28 => Inst::Syscall {
+            code: rng.gen_range(0..1u32 << 20),
+        },
+        29 => Inst::Break {
+            code: rng.gen_range(0..1u32 << 20),
+        },
+        30 => Inst::Beq {
+            rs: r(rng),
+            rt: r(rng),
+            offset: rng.gen::<i16>(),
+        },
+        31 => Inst::Bne {
+            rs: r(rng),
+            rt: r(rng),
+            offset: rng.gen::<i16>(),
+        },
+        32 => Inst::Blez {
+            rs: r(rng),
+            offset: rng.gen::<i16>(),
+        },
+        33 => Inst::Bgtz {
+            rs: r(rng),
+            offset: rng.gen::<i16>(),
+        },
+        34 => Inst::Bltz {
+            rs: r(rng),
+            offset: rng.gen::<i16>(),
+        },
+        35 => Inst::Bgez {
+            rs: r(rng),
+            offset: rng.gen::<i16>(),
+        },
+        36 => Inst::Bltzal {
+            rs: r(rng),
+            offset: rng.gen::<i16>(),
+        },
+        37 => Inst::Bgezal {
+            rs: r(rng),
+            offset: rng.gen::<i16>(),
+        },
+        38 => Inst::Addi {
+            rt: r(rng),
+            rs: r(rng),
+            imm: rng.gen::<i16>(),
+        },
+        39 => Inst::Addiu {
+            rt: r(rng),
+            rs: r(rng),
+            imm: rng.gen::<i16>(),
+        },
+        40 => Inst::Slti {
+            rt: r(rng),
+            rs: r(rng),
+            imm: rng.gen::<i16>(),
+        },
+        41 => Inst::Sltiu {
+            rt: r(rng),
+            rs: r(rng),
+            imm: rng.gen::<i16>(),
+        },
+        42 => Inst::Andi {
+            rt: r(rng),
+            rs: r(rng),
+            imm: rng.gen::<u16>(),
+        },
+        43 => Inst::Ori {
+            rt: r(rng),
+            rs: r(rng),
+            imm: rng.gen::<u16>(),
+        },
+        44 => Inst::Xori {
+            rt: r(rng),
+            rs: r(rng),
+            imm: rng.gen::<u16>(),
+        },
+        45 => Inst::Lui {
+            rt: r(rng),
+            imm: rng.gen::<u16>(),
+        },
+        46 => Inst::Lb {
+            rt: r(rng),
+            base: r(rng),
+            offset: rng.gen::<i16>(),
+        },
+        47 => Inst::Lh {
+            rt: r(rng),
+            base: r(rng),
+            offset: rng.gen::<i16>(),
+        },
+        48 => Inst::Lw {
+            rt: r(rng),
+            base: r(rng),
+            offset: rng.gen::<i16>(),
+        },
+        49 => Inst::Lbu {
+            rt: r(rng),
+            base: r(rng),
+            offset: rng.gen::<i16>(),
+        },
+        50 => Inst::Lhu {
+            rt: r(rng),
+            base: r(rng),
+            offset: rng.gen::<i16>(),
+        },
+        51 => Inst::Sb {
+            rt: r(rng),
+            base: r(rng),
+            offset: rng.gen::<i16>(),
+        },
+        _ => unreachable!(),
     }
+}
 
-    /// Decoding an arbitrary word either fails or re-encodes to the same
-    /// word (no information is lost or invented by decode).
-    #[test]
-    fn decode_is_partial_inverse_of_encode(word in any::<u32>()) {
+/// Store variants, drawn separately so they get coverage despite the
+/// uniform draw above ending at `Sb`.
+fn arb_store(rng: &mut StdRng) -> Inst {
+    match rng.gen_range(0..3u8) {
+        0 => Inst::Sb {
+            rt: reg(rng),
+            base: reg(rng),
+            offset: rng.gen::<i16>(),
+        },
+        1 => Inst::Sh {
+            rt: reg(rng),
+            base: reg(rng),
+            offset: rng.gen::<i16>(),
+        },
+        _ => Inst::Sw {
+            rt: reg(rng),
+            base: reg(rng),
+            offset: rng.gen::<i16>(),
+        },
+    }
+}
+
+fn arb_any(rng: &mut StdRng) -> Inst {
+    if rng.gen_range(0..16u8) < 2 {
+        arb_store(rng)
+    } else {
+        arb_inst(rng)
+    }
+}
+
+/// decode(encode(i)) == i for every constructible instruction.
+#[test]
+fn encode_decode_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x15A_0001);
+    for _ in 0..CASES {
+        let inst = arb_any(&mut rng);
+        assert_eq!(Inst::decode(inst.encode()), Ok(inst));
+    }
+}
+
+/// Decoding an arbitrary word either fails or re-encodes to the same word
+/// (no information is lost or invented by decode).
+#[test]
+fn decode_is_partial_inverse_of_encode() {
+    let mut rng = StdRng::seed_from_u64(0x15A_0002);
+    for _ in 0..4 * CASES {
+        let word = rng.next_u32();
         if let Ok(inst) = Inst::decode(word) {
-            prop_assert_eq!(inst.encode(), word, "{}", inst);
+            assert_eq!(inst.encode(), word, "{inst}");
         }
     }
+}
 
-    /// Branch targets are always pc + 4 + 4 * offset, within wrapping
-    /// arithmetic.
-    #[test]
-    fn branch_target_arithmetic(offset in any::<i16>(), pc in any::<u32>()) {
-        let pc = pc & !3;
-        let inst = Inst::Beq { rs: Reg::T0, rt: Reg::T1, offset };
+/// Branch targets are always pc + 4 + 4 * offset, within wrapping
+/// arithmetic.
+#[test]
+fn branch_target_arithmetic() {
+    let mut rng = StdRng::seed_from_u64(0x15A_0003);
+    for _ in 0..CASES {
+        let offset = rng.gen::<i16>();
+        let pc = rng.next_u32() & !3;
+        let inst = Inst::Beq {
+            rs: Reg::T0,
+            rt: Reg::T1,
+            offset,
+        };
         let target = inst.control_flow().taken_target(pc).unwrap();
-        let expect = pc.wrapping_add(4).wrapping_add(((offset as i32) << 2) as u32);
-        prop_assert_eq!(target, expect);
+        let expect = pc
+            .wrapping_add(4)
+            .wrapping_add(((offset as i32) << 2) as u32);
+        assert_eq!(target, expect);
     }
+}
 
-    /// Only branches and sequential instructions fall through.
-    #[test]
-    fn fall_through_consistent(inst in arb_inst()) {
+/// Only branches and sequential instructions fall through.
+#[test]
+fn fall_through_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x15A_0004);
+    for _ in 0..CASES {
+        let inst = arb_any(&mut rng);
         let cf = inst.control_flow();
         match cf {
             ControlFlow::Sequential | ControlFlow::Branch { .. } => {
-                prop_assert!(cf.falls_through())
+                assert!(cf.falls_through(), "{inst}")
             }
             ControlFlow::Jump { .. } | ControlFlow::Indirect { .. } => {
-                prop_assert!(!cf.falls_through())
+                assert!(!cf.falls_through(), "{inst}")
             }
         }
     }
+}
 
-    /// The disassembly of any instruction assembles back to the same word.
-    #[test]
-    fn disassembly_reassembles(inst in arb_inst()) {
+/// The disassembly of any instruction assembles back to the same word.
+#[test]
+fn disassembly_reassembles() {
+    let mut rng = StdRng::seed_from_u64(0x15A_0005);
+    for _ in 0..CASES {
+        let inst = arb_any(&mut rng);
         // `j`/`jal` display absolute region-relative targets that only make
         // sense at a matching pc; assemble them at pc 0 in region 0.
         let text = inst.to_string();
-        let program = Assembler::new().assemble(&text)
-            .map_err(|e| TestCaseError::fail(format!("`{text}`: {e}")))?;
-        prop_assert_eq!(program.words.len(), 1, "`{}`", &text);
-        prop_assert_eq!(program.words[0], inst.encode(), "`{}`", &text);
+        let program = Assembler::new()
+            .assemble(&text)
+            .unwrap_or_else(|e| panic!("`{text}`: {e}"));
+        assert_eq!(program.words.len(), 1, "`{text}`");
+        assert_eq!(program.words[0], inst.encode(), "`{text}`");
     }
 }

@@ -150,9 +150,20 @@ impl BlockGraph {
                 }
             };
             work.extend(successors.iter().copied());
-            blocks.insert(entry, Block { len, digest, successors });
+            blocks.insert(
+                entry,
+                Block {
+                    len,
+                    digest,
+                    successors,
+                },
+            );
         }
-        Ok(BlockGraph { blocks, compression, entry: base })
+        Ok(BlockGraph {
+            blocks,
+            compression,
+            entry: base,
+        })
     }
 
     /// The region starting at `entry`, if any.
@@ -258,7 +269,10 @@ impl<H: InstructionHash> ExecutionObserver for BlockMonitor<H> {
 
     fn observe(&mut self, _pc: u32, word: u32) -> Observation {
         self.stats.instructions_observed += 1;
-        self.digest = self.graph.compression.compress(self.digest, self.hash.hash(word));
+        self.digest = self
+            .graph
+            .compression
+            .compress(self.digest, self.hash.hash(word));
         self.count += 1;
         // The control-transfer signal: the monitor classifies the word's
         // control-flow kind (hardware taps the branch-retirement line, and
@@ -304,10 +318,7 @@ mod tests {
     use sdmmon_npu::programs::{self, testing};
     use sdmmon_npu::runtime::{HaltReason, Verdict};
 
-    fn block_monitored(
-        program: &Program,
-        param: u32,
-    ) -> (Core, BlockMonitor<MerkleTreeHash>) {
+    fn block_monitored(program: &Program, param: u32) -> (Core, BlockMonitor<MerkleTreeHash>) {
         let hash = MerkleTreeHash::new(param);
         let graph = BlockGraph::extract(program, &hash).unwrap();
         let mut core = Core::new();
@@ -381,11 +392,12 @@ mod tests {
         // statistical majority, not certainty (the ablation bench measures
         // the rates).
         let program = programs::vulnerable_forward().unwrap();
-        let attack = testing::hijack_packet(
-            "li $t4, 0x0007fff0\nli $t5, 15\nsw $t5, 0($t4)\nbreak 0",
-        )
-        .unwrap();
-        let params: Vec<u32> = (0..16).map(|i| 0x9E37_79B9u32.wrapping_mul(i + 1)).collect();
+        let attack =
+            testing::hijack_packet("li $t4, 0x0007fff0\nli $t5, 15\nsw $t5, 0($t4)\nbreak 0")
+                .unwrap();
+        let params: Vec<u32> = (0..16)
+            .map(|i| 0x9E37_79B9u32.wrapping_mul(i + 1))
+            .collect();
         let mut detected = 0;
         let mut escaped = 0;
         for &param in &params {
@@ -413,10 +425,9 @@ mod tests {
         // violation (when both detect) comes at >= the instruction-level
         // monitor's step count.
         let program = programs::vulnerable_forward().unwrap();
-        let attack = testing::hijack_packet(
-            "li $t4, 0x0007fff0\nli $t5, 15\nsw $t5, 0($t4)\nbreak 0",
-        )
-        .unwrap();
+        let attack =
+            testing::hijack_packet("li $t4, 0x0007fff0\nli $t5, 15\nsw $t5, 0($t4)\nbreak 0")
+                .unwrap();
         let param = 0xAB; // both monitors detect under this parameter
         let (mut core_i, mut mon_i) = {
             let hash = MerkleTreeHash::new(param);
@@ -428,10 +439,14 @@ mod tests {
         let (mut core_b, mut mon_b) = block_monitored(&program, param);
         let out_i = core_i.process_packet(&attack, &mut mon_i);
         let out_b = core_b.process_packet(&attack, &mut mon_b);
-        if out_i.halt == HaltReason::MonitorViolation
-            && out_b.halt == HaltReason::MonitorViolation
+        if out_i.halt == HaltReason::MonitorViolation && out_b.halt == HaltReason::MonitorViolation
         {
-            assert!(out_b.steps >= out_i.steps, "{} vs {}", out_b.steps, out_i.steps);
+            assert!(
+                out_b.steps >= out_i.steps,
+                "{} vs {}",
+                out_b.steps,
+                out_i.steps
+            );
         }
     }
 

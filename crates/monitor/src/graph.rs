@@ -145,11 +145,18 @@ impl MonitoringGraph {
                         ControlFlow::Indirect { .. } => indirect_targets.clone(),
                     },
                 };
-                Node { hash: hash.hash(word), successors }
+                Node {
+                    hash: hash.hash(word),
+                    successors,
+                }
             })
             .collect();
 
-        Ok(MonitoringGraph { base, hash_bits: hash.output_bits(), nodes })
+        Ok(MonitoringGraph {
+            base,
+            hash_bits: hash.output_bits(),
+            nodes,
+        })
     }
 
     /// Load address of the covered binary.
@@ -257,7 +264,11 @@ impl MonitoringGraph {
         if r.pos != bytes.len() {
             return Err(GraphError::Malformed("trailing bytes".into()));
         }
-        Ok(MonitoringGraph { base, hash_bits, nodes })
+        Ok(MonitoringGraph {
+            base,
+            hash_bits,
+            nodes,
+        })
     }
 }
 
@@ -294,7 +305,10 @@ mod tests {
         let g = graph_of("nop\nnop\nbreak 0");
         assert_eq!(g.node(0).unwrap().successors, vec![4]);
         assert_eq!(g.node(4).unwrap().successors, vec![8]);
-        assert!(g.node(8).unwrap().successors.is_empty(), "break is terminal");
+        assert!(
+            g.node(8).unwrap().successors.is_empty(),
+            "break is terminal"
+        );
     }
 
     #[test]
@@ -345,7 +359,9 @@ mod tests {
 
     #[test]
     fn hashes_follow_hash_function() {
-        let p = Assembler::new().assemble("addiu $t0, $zero, 5\nbreak 0").unwrap();
+        let p = Assembler::new()
+            .assemble("addiu $t0, $zero, 5\nbreak 0")
+            .unwrap();
         let h = MerkleTreeHash::new(77);
         let g = MonitoringGraph::extract(&p, &h).unwrap();
         assert_eq!(g.node(0).unwrap().hash, h.hash(p.words[0]));

@@ -123,7 +123,10 @@ impl MerkleTreeHash {
     /// Creates the hash with a secret 32-bit `param` and the paper's
     /// sum-mod-16 compression.
     pub fn new(param: u32) -> MerkleTreeHash {
-        MerkleTreeHash { param, compression: Compression::SumMod16 }
+        MerkleTreeHash {
+            param,
+            compression: Compression::SumMod16,
+        }
     }
 
     /// Creates the hash with an explicit compression function (ablation).
@@ -196,7 +199,10 @@ impl WidthHash {
     /// Panics unless `bits` is 2, 4, or 8.
     pub fn new(param: u32, bits: u8) -> WidthHash {
         assert!(matches!(bits, 2 | 4 | 8), "supported widths: 2, 4, 8");
-        WidthHash { inner: MerkleTreeHash::new(param), bits }
+        WidthHash {
+            inner: MerkleTreeHash::new(param),
+            bits,
+        }
     }
 }
 
@@ -255,7 +261,11 @@ impl InstructionHash for BitcountHash {
 
 impl fmt::Display for MerkleTreeHash {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "merkle-tree(param=0x{:08x}, {:?})", self.param, self.compression)
+        write!(
+            f,
+            "merkle-tree(param=0x{:08x}, {:?})",
+            self.param, self.compression
+        )
     }
 }
 
@@ -343,7 +353,11 @@ mod tests {
         // H(a ^ b) == H(a) ^ H(b) ^ H(0). This is the weakness the ablation
         // demonstrates.
         let m = MerkleTreeHash::with_compression(0x5a5a_5a5a, Compression::Xor);
-        for (a, b) in [(0x1234_5678u32, 0x9abc_def0u32), (3, 4), (0xffff_0000, 0x0000_ffff)] {
+        for (a, b) in [
+            (0x1234_5678u32, 0x9abc_def0u32),
+            (3, 4),
+            (0xffff_0000, 0x0000_ffff),
+        ] {
             assert_eq!(m.hash(a ^ b), m.hash(a) ^ m.hash(b) ^ m.hash(0));
         }
     }
@@ -383,13 +397,20 @@ mod tests {
         );
         for param in [1u32, 0xdead_beef, 0x8000_0001, 42] {
             let h = MerkleTreeHash::new(param);
-            assert_eq!(h.hash(a), h.hash(b), "collision persists at param {param:#x}");
+            assert_eq!(
+                h.hash(a),
+                h.hash(b),
+                "collision persists at param {param:#x}"
+            );
         }
         let breaks = [1u32, 0xdead_beef, 0x8000_0001, 42].iter().any(|&p| {
             let h = MerkleTreeHash::with_compression(p, Compression::SBox);
             h.hash(a) != h.hash(b)
         });
-        assert!(breaks, "S-box compression must make collisions parameter-dependent");
+        assert!(
+            breaks,
+            "S-box compression must make collisions parameter-dependent"
+        );
     }
 
     #[test]

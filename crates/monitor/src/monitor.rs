@@ -40,7 +40,16 @@ pub struct MonitorStats {
 pub struct HardwareMonitor<H: InstructionHash> {
     graph: MonitoringGraph,
     hash: H,
-    /// Candidate graph positions consistent with the observed hash stream.
+    /// Per-node instruction hash, indexed by node index — the dense table
+    /// the hardware actually compares against, one memory access per
+    /// retired instruction.
+    node_hashes: Vec<u8>,
+    /// Flattened successor lists as node indices (not addresses).
+    succ_edges: Vec<u32>,
+    /// Per-node `(start, end)` span into [`Self::succ_edges`].
+    succ_spans: Vec<(u32, u32)>,
+    /// Candidate graph positions (node indices) consistent with the
+    /// observed hash stream.
     current: Vec<u32>,
     scratch: Vec<u32>,
     stats: MonitorStats,
@@ -50,6 +59,14 @@ impl<H: InstructionHash> HardwareMonitor<H> {
     /// Couples a monitoring graph with the hash function it was built
     /// under. (SDMMon guarantees the coupling cryptographically: graph and
     /// hash parameter travel in the same signed package.)
+    ///
+    /// The graph is compiled into dense index-based tables here, so the
+    /// per-instruction check in [`ExecutionObserver::observe`] is a plain
+    /// array compare with no address arithmetic or bounds decisions.
+    /// Successor addresses that fall outside the graph (possible only in
+    /// hand-crafted or corrupted serialized graphs) are dropped during
+    /// compilation — they could never match any future hash, which is
+    /// exactly how the uncompiled monitor treated them.
     ///
     /// # Panics
     ///
@@ -61,9 +78,25 @@ impl<H: InstructionHash> HardwareMonitor<H> {
             hash.output_bits(),
             "graph and hash function disagree on output width"
         );
+        let mut node_hashes = Vec::with_capacity(graph.len());
+        let mut succ_edges = Vec::new();
+        let mut succ_spans = Vec::with_capacity(graph.len());
+        for (_, node) in graph.iter() {
+            node_hashes.push(node.hash);
+            let start = succ_edges.len() as u32;
+            succ_edges.extend(
+                node.successors
+                    .iter()
+                    .filter_map(|&addr| node_index(&graph, addr)),
+            );
+            succ_spans.push((start, succ_edges.len() as u32));
+        }
         HardwareMonitor {
             graph,
             hash,
+            node_hashes,
+            succ_edges,
+            succ_spans,
             current: Vec::new(),
             scratch: Vec::new(),
             stats: MonitorStats::default(),
@@ -91,11 +124,22 @@ impl<H: InstructionHash> HardwareMonitor<H> {
     }
 }
 
+/// Maps an address to its dense node index, if it is a covered, aligned
+/// graph position.
+fn node_index(graph: &MonitoringGraph, addr: u32) -> Option<u32> {
+    let off = addr.wrapping_sub(graph.base());
+    if addr < graph.base() || !off.is_multiple_of(4) {
+        return None;
+    }
+    let idx = off / 4;
+    ((idx as usize) < graph.len()).then_some(idx)
+}
+
 impl<H: InstructionHash> ExecutionObserver for HardwareMonitor<H> {
     fn begin(&mut self, entry: u32) {
         self.stats.runs += 1;
         self.current.clear();
-        self.current.push(entry);
+        self.current.extend(node_index(&self.graph, entry));
     }
 
     fn observe(&mut self, _pc: u32, word: u32) -> Observation {
@@ -104,12 +148,11 @@ impl<H: InstructionHash> ExecutionObserver for HardwareMonitor<H> {
         self.scratch.clear();
         let mut matched = false;
         for &cand in &self.current {
-            let Some(node) = self.graph.node(cand) else {
-                continue;
-            };
-            if node.hash == observed {
+            if self.node_hashes[cand as usize] == observed {
                 matched = true;
-                self.scratch.extend_from_slice(&node.successors);
+                let (start, end) = self.succ_spans[cand as usize];
+                self.scratch
+                    .extend_from_slice(&self.succ_edges[start as usize..end as usize]);
             }
         }
         if !matched {
@@ -259,7 +302,30 @@ mod tests {
         core.process_packet(&packet, &mut monitor);
         // Bounded by the return-site set plus hash-collision ambiguity;
         // must stay far below the program size for hardware viability.
-        assert!(monitor.stats().max_candidates <= 8, "{}", monitor.stats().max_candidates);
+        assert!(
+            monitor.stats().max_candidates <= 8,
+            "{}",
+            monitor.stats().max_candidates
+        );
+    }
+
+    #[test]
+    fn compiled_tables_mirror_graph() {
+        // The dense index tables built at construction must be a faithful
+        // compilation of the address-keyed graph.
+        let program = programs::ipv4_cm().unwrap();
+        let hash = MerkleTreeHash::new(0x1234);
+        let graph = MonitoringGraph::extract(&program, &hash).unwrap();
+        let monitor = HardwareMonitor::new(graph.clone(), hash);
+        for (i, (addr, node)) in graph.iter().enumerate() {
+            assert_eq!(monitor.node_hashes[i], node.hash, "hash at {addr:#x}");
+            let (start, end) = monitor.succ_spans[i];
+            let succ_addrs: Vec<u32> = monitor.succ_edges[start as usize..end as usize]
+                .iter()
+                .map(|&idx| graph.base() + 4 * idx)
+                .collect();
+            assert_eq!(succ_addrs, node.successors, "successors at {addr:#x}");
+        }
     }
 
     #[test]
@@ -282,10 +348,7 @@ mod tests {
             let graph = MonitoringGraph::extract(&program, &hash).unwrap();
             Box::new(HardwareMonitor::new(graph, hash))
         });
-        let attack = testing::hijack_packet(
-            "li $t5, 15\nli $t6, 3\nli $t7, 9\nbreak 0",
-        )
-        .unwrap();
+        let attack = testing::hijack_packet("li $t5, 15\nli $t6, 3\nli $t7, 9\nbreak 0").unwrap();
         let good = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"");
         np.process(&attack);
         let (_, out) = np.process(&good); // other core

@@ -1,8 +1,9 @@
-//! Property-based tests for the monitoring stack — the soundness property
-//! the whole paper rests on: **legitimate execution is never flagged**,
-//! for any workload, parameter, compression, and traffic.
+//! Randomized property tests for the monitoring stack — the soundness
+//! property the whole paper rests on: **legitimate execution is never
+//! flagged**, for any workload, parameter, compression, and traffic.
+//!
+//! Cases are drawn from seeded [`StdRng`] streams so failures reproduce.
 
-use proptest::prelude::*;
 use sdmmon_isa::asm::Assembler;
 use sdmmon_monitor::block::{BlockGraph, BlockMonitor};
 use sdmmon_monitor::graph::MonitoringGraph;
@@ -11,30 +12,32 @@ use sdmmon_monitor::monitor::HardwareMonitor;
 use sdmmon_npu::core::Core;
 use sdmmon_npu::programs::{self, testing};
 use sdmmon_npu::runtime::HaltReason;
+use sdmmon_rng::{Rng, RngCore, SeedableRng, StdRng};
 
-fn arb_compression() -> impl Strategy<Value = Compression> {
-    prop_oneof![
-        Just(Compression::SumMod16),
-        Just(Compression::Xor),
-        Just(Compression::SBox),
-    ]
+const CASES: usize = 64;
+
+fn arb_compression(rng: &mut StdRng) -> Compression {
+    match rng.gen_range(0..3u8) {
+        0 => Compression::SumMod16,
+        1 => Compression::Xor,
+        _ => Compression::SBox,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// No false positives: any parameter, any compression, any valid or
-    /// malformed packet — the instruction-level monitor never flags the
-    /// legitimate binary.
-    #[test]
-    fn no_false_positives_instruction_level(
-        param in any::<u32>(),
-        compression in arb_compression(),
-        dst in any::<u8>(),
-        ttl in any::<u8>(),
-        payload in prop::collection::vec(any::<u8>(), 0..128),
-    ) {
-        let program = programs::ipv4_forward().expect("workload assembles");
+/// No false positives: any parameter, any compression, any valid or
+/// malformed packet — the instruction-level monitor never flags the
+/// legitimate binary.
+#[test]
+fn no_false_positives_instruction_level() {
+    let program = programs::ipv4_forward().expect("workload assembles");
+    let mut rng = StdRng::seed_from_u64(0x4D0_0001);
+    for _ in 0..CASES {
+        let param = rng.next_u32();
+        let compression = arb_compression(&mut rng);
+        let dst = rng.gen::<u8>();
+        let ttl = rng.gen::<u8>();
+        let mut payload = vec![0u8; rng.gen_range(0..128usize)];
+        rng.fill_bytes(&mut payload);
         let hash = MerkleTreeHash::with_compression(param, compression);
         let graph = MonitoringGraph::extract(&program, &hash).expect("graph extracts");
         let mut monitor = HardwareMonitor::new(graph, hash);
@@ -42,18 +45,21 @@ proptest! {
         core.install(&program.to_bytes(), program.base);
         let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, dst], ttl, &payload);
         let out = core.process_packet(&packet, &mut monitor);
-        prop_assert_eq!(out.halt, HaltReason::Completed);
-        prop_assert_eq!(monitor.stats().violations, 0);
+        assert_eq!(out.halt, HaltReason::Completed);
+        assert_eq!(monitor.stats().violations, 0);
     }
+}
 
-    /// Same soundness for the block-granularity monitor.
-    #[test]
-    fn no_false_positives_block_level(
-        param in any::<u32>(),
-        dst in any::<u8>(),
-        payload in prop::collection::vec(any::<u8>(), 0..128),
-    ) {
-        let program = programs::ipv4_cm().expect("workload assembles");
+/// Same soundness for the block-granularity monitor.
+#[test]
+fn no_false_positives_block_level() {
+    let program = programs::ipv4_cm().expect("workload assembles");
+    let mut rng = StdRng::seed_from_u64(0x4D0_0002);
+    for _ in 0..CASES {
+        let param = rng.next_u32();
+        let dst = rng.gen::<u8>();
+        let mut payload = vec![0u8; rng.gen_range(0..128usize)];
+        rng.fill_bytes(&mut payload);
         let hash = MerkleTreeHash::new(param);
         let graph = BlockGraph::extract(&program, &hash).expect("graph extracts");
         let mut monitor = BlockMonitor::new(graph, hash);
@@ -61,57 +67,67 @@ proptest! {
         core.install(&program.to_bytes(), program.base);
         let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, dst], 64, &payload);
         let out = core.process_packet(&packet, &mut monitor);
-        prop_assert_eq!(out.halt, HaltReason::Completed);
-        prop_assert_eq!(monitor.stats().violations, 0);
+        assert_eq!(out.halt, HaltReason::Completed);
+        assert_eq!(monitor.stats().violations, 0);
     }
+}
 
-    /// Width-ablated monitors are sound too.
-    #[test]
-    fn no_false_positives_any_width(
-        param in any::<u32>(),
-        width_sel in 0usize..3,
-        dst in 1u8..10,
-    ) {
-        let program = programs::ipv4_forward().expect("workload assembles");
-        let hash = WidthHash::new(param, [2, 4, 8][width_sel]);
+/// Width-ablated monitors are sound too.
+#[test]
+fn no_false_positives_any_width() {
+    let program = programs::ipv4_forward().expect("workload assembles");
+    let mut rng = StdRng::seed_from_u64(0x4D0_0003);
+    for _ in 0..CASES {
+        let param = rng.next_u32();
+        let width = [2, 4, 8][rng.gen_range(0..3usize)];
+        let dst = rng.gen_range(1..10u8);
+        let hash = WidthHash::new(param, width);
         let graph = MonitoringGraph::extract(&program, &hash).expect("graph extracts");
         let mut monitor = HardwareMonitor::new(graph, hash);
         let mut core = Core::new();
         core.install(&program.to_bytes(), program.base);
         let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, dst], 64, b"x");
         let out = core.process_packet(&packet, &mut monitor);
-        prop_assert_eq!(out.halt, HaltReason::Completed);
+        assert_eq!(out.halt, HaltReason::Completed);
     }
+}
 
-    /// Graph serialization round-trips for arbitrary small programs built
-    /// from random (mostly invalid) words — the graph treats undecodable
-    /// words as data and must survive them.
-    #[test]
-    fn graph_serialization_round_trips_any_program(
-        words in prop::collection::vec(any::<u32>(), 1..64),
-        param in any::<u32>(),
-    ) {
-        let program = sdmmon_isa::asm::Program { base: 0, words, symbols: Default::default() };
+/// Graph serialization round-trips for arbitrary small programs built from
+/// random (mostly invalid) words — the graph treats undecodable words as
+/// data and must survive them.
+#[test]
+fn graph_serialization_round_trips_any_program() {
+    let mut rng = StdRng::seed_from_u64(0x4D0_0004);
+    for _ in 0..CASES {
+        let words: Vec<u32> = (0..rng.gen_range(1..64usize))
+            .map(|_| rng.next_u32())
+            .collect();
+        let param = rng.next_u32();
+        let program = sdmmon_isa::asm::Program {
+            base: 0,
+            words,
+            symbols: Default::default(),
+        };
         let hash = MerkleTreeHash::new(param);
         let graph = MonitoringGraph::extract(&program, &hash).expect("graph extracts");
         let restored = MonitoringGraph::from_bytes(&graph.to_bytes()).expect("round trip");
-        prop_assert_eq!(restored, graph);
+        assert_eq!(restored, graph);
     }
+}
 
-    /// Corrupting any single instruction of the binary is detected when
-    /// that instruction executes on the hot path — or at worst the run
-    /// completes with identical observable behaviour (a 4-bit hash
-    /// collision AND semantically harmless change). The monitor must never
-    /// produce a *wrong verdict silently while flagging nothing on a
-    /// changed hash*.
-    #[test]
-    fn corruption_is_detected_or_collides(
-        param in any::<u32>(),
-        word_index in 0usize..40,
-        bit in 0usize..32,
-    ) {
-        let program = programs::ipv4_forward().expect("workload assembles");
-        prop_assume!(word_index < program.words.len());
+/// Corrupting any single instruction of the binary is detected when that
+/// instruction executes on the hot path — or at worst the run completes
+/// with identical observable behaviour (a 4-bit hash collision AND
+/// semantically harmless change). The monitor must never produce a *wrong
+/// verdict silently while flagging nothing on a changed hash*.
+#[test]
+fn corruption_is_detected_or_collides() {
+    let program = programs::ipv4_forward().expect("workload assembles");
+    let mut rng = StdRng::seed_from_u64(0x4D0_0005);
+    for _ in 0..CASES {
+        let param = rng.next_u32();
+        let word_index = rng.gen_range(0..program.words.len().min(40));
+        let bit = rng.gen_range(0..32usize);
         let hash = MerkleTreeHash::with_compression(param, Compression::SBox);
         let graph = MonitoringGraph::extract(&program, &hash).expect("graph extracts");
         let mut monitor = HardwareMonitor::new(graph, hash);
@@ -120,34 +136,43 @@ proptest! {
         let addr = program.base + 4 * word_index as u32;
         let original = core.memory().load_u32(addr).expect("in range");
         let corrupted = original ^ (1 << bit);
-        core.memory_mut().store_u32(addr, corrupted).expect("in range");
+        core.memory_mut()
+            .store_u32(addr, corrupted)
+            .expect("in range");
         let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"pp");
         let out = core.process_packet(&packet, &mut monitor);
         if out.halt == HaltReason::MonitorViolation {
             // Detected: fine. The hash of the corrupted word must indeed
             // differ... from at least the corrupted position's node
             // (otherwise the monitor had a real reason elsewhere).
-            prop_assert_eq!(monitor.stats().violations, 1);
+            assert_eq!(monitor.stats().violations, 1);
         } else {
-            // Not flagged: either the corrupted word never executed, or
-            // its hash collided. In both cases the run must have ended in
-            // an orderly way.
-            prop_assert!(matches!(
+            // Not flagged: either the corrupted word never executed, or its
+            // hash collided. In both cases the run must have ended in an
+            // orderly way.
+            assert!(matches!(
                 out.halt,
                 HaltReason::Completed | HaltReason::Fault(_) | HaltReason::StepLimit
             ));
         }
     }
+}
 
-    /// Monitoring-graph structure is parameter-independent: only hashes
-    /// change with the parameter, never successor sets.
-    #[test]
-    fn graph_structure_is_parameter_independent(a in any::<u32>(), b in any::<u32>()) {
-        let program = programs::vulnerable_forward().expect("workload assembles");
+/// Monitoring-graph structure is parameter-independent: only hashes change
+/// with the parameter, never successor sets.
+#[test]
+fn graph_structure_is_parameter_independent() {
+    let program = programs::vulnerable_forward().expect("workload assembles");
+    let mut rng = StdRng::seed_from_u64(0x4D0_0006);
+    for _ in 0..16 {
+        let (a, b) = (rng.next_u32(), rng.next_u32());
         let ga = MonitoringGraph::extract(&program, &MerkleTreeHash::new(a)).expect("graph");
         let gb = MonitoringGraph::extract(&program, &MerkleTreeHash::new(b)).expect("graph");
         for (addr, node) in ga.iter() {
-            prop_assert_eq!(&node.successors, &gb.node(addr).expect("same shape").successors);
+            assert_eq!(
+                &node.successors,
+                &gb.node(addr).expect("same shape").successors
+            );
         }
     }
 }
@@ -166,7 +191,11 @@ fn wrong_binary_graph_rejects_quickly() {
     let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"");
     let out = core.process_packet(&packet, &mut monitor);
     assert_eq!(out.halt, HaltReason::MonitorViolation);
-    assert!(out.steps < 40, "mismatch found within a few instructions: {}", out.steps);
+    assert!(
+        out.steps < 40,
+        "mismatch found within a few instructions: {}",
+        out.steps
+    );
 }
 
 /// Deterministic: monitors survive tiny synthetic programs with odd shapes

@@ -131,12 +131,14 @@ impl FileServer {
     /// # Errors
     ///
     /// Returns [`FetchError`] when the path is not published.
-    pub fn fetch(&mut self, path: &str, channel: &Channel) -> Result<(Vec<u8>, Duration), FetchError> {
-        let bytes = self
-            .files
-            .get(path)
-            .cloned()
-            .ok_or_else(|| FetchError { path: path.to_owned() })?;
+    pub fn fetch(
+        &mut self,
+        path: &str,
+        channel: &Channel,
+    ) -> Result<(Vec<u8>, Duration), FetchError> {
+        let bytes = self.files.get(path).cloned().ok_or_else(|| FetchError {
+            path: path.to_owned(),
+        })?;
         self.fetches += 1;
         let took = channel.transfer_time(bytes.len());
         Ok((bytes, took))

@@ -104,7 +104,10 @@ impl Ipv4Packet {
     /// found (the same conditions the assembly workloads check on-core).
     pub fn parse(bytes: &[u8]) -> Result<Ipv4Packet, ParsePacketError> {
         if bytes.len() < 20 {
-            return Err(ParsePacketError::Truncated { need: 20, have: bytes.len() });
+            return Err(ParsePacketError::Truncated {
+                need: 20,
+                have: bytes.len(),
+            });
         }
         let version = bytes[0] >> 4;
         if version != 4 {
@@ -117,7 +120,10 @@ impl Ipv4Packet {
         }
         let declared = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
         if declared != bytes.len() {
-            return Err(ParsePacketError::BadTotalLength { declared, actual: bytes.len() });
+            return Err(ParsePacketError::BadTotalLength {
+                declared,
+                actual: bytes.len(),
+            });
         }
         if ones_complement_checksum(&bytes[..header_len]) != 0 {
             return Err(ParsePacketError::BadChecksum);
@@ -326,7 +332,10 @@ mod tests {
         ));
 
         let corrupted = Ipv4Packet::builder().corrupt_checksum().build();
-        assert_eq!(Ipv4Packet::parse(&corrupted), Err(ParsePacketError::BadChecksum));
+        assert_eq!(
+            Ipv4Packet::parse(&corrupted),
+            Err(ParsePacketError::BadChecksum)
+        );
     }
 
     #[test]

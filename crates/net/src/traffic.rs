@@ -6,8 +6,8 @@
 //! fraction of malformed packets.
 
 use crate::packet::Ipv4Packet;
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use sdmmon_rng::StdRng;
+use sdmmon_rng::{Rng, RngCore, SeedableRng};
 
 /// Kind of packet emitted by the generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,14 +73,24 @@ impl TrafficGenerator {
     /// Panics on an empty destination set, an inverted payload range, or a
     /// malformed rate outside `[0, 1]`.
     pub fn new(config: TrafficConfig) -> TrafficGenerator {
-        assert!(!config.destinations.is_empty(), "need at least one destination");
-        assert!(config.payload_range.0 <= config.payload_range.1, "inverted payload range");
+        assert!(
+            !config.destinations.is_empty(),
+            "need at least one destination"
+        );
+        assert!(
+            config.payload_range.0 <= config.payload_range.1,
+            "inverted payload range"
+        );
         assert!(
             (0.0..=1.0).contains(&config.malformed_rate),
             "malformed rate must be a probability"
         );
         let rng = StdRng::seed_from_u64(config.seed);
-        TrafficGenerator { config, rng, emitted: 0 }
+        TrafficGenerator {
+            config,
+            rng,
+            emitted: 0,
+        }
     }
 
     /// Number of packets emitted so far.
@@ -135,7 +145,10 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let cfg = TrafficConfig { seed: 99, ..TrafficConfig::default() };
+        let cfg = TrafficConfig {
+            seed: 99,
+            ..TrafficConfig::default()
+        };
         let a = TrafficGenerator::new(cfg.clone()).take(20);
         let b = TrafficGenerator::new(cfg).take(20);
         assert_eq!(a, b);
@@ -171,7 +184,11 @@ mod tests {
             malformed_rate: 0.25,
             ..TrafficConfig::default()
         });
-        let bad = gen.take(1000).iter().filter(|(_, k)| *k == PacketKind::Malformed).count();
+        let bad = gen
+            .take(1000)
+            .iter()
+            .filter(|(_, k)| *k == PacketKind::Malformed)
+            .count();
         assert!((150..350).contains(&bad), "got {bad} malformed of 1000");
     }
 
@@ -191,6 +208,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "destination")]
     fn empty_destinations_rejected() {
-        TrafficGenerator::new(TrafficConfig { destinations: vec![], ..TrafficConfig::default() });
+        TrafficGenerator::new(TrafficConfig {
+            destinations: vec![],
+            ..TrafficConfig::default()
+        });
     }
 }

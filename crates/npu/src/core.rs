@@ -3,7 +3,7 @@
 //! packet, resetting the processing stack, and continuing with processing
 //! the next packet").
 
-use crate::cpu::{Cpu, ExecutionObserver, Observation, Trap};
+use crate::cpu::{Cpu, DecodeCache, ExecutionObserver, Observation, Trap};
 use crate::mem::Memory;
 use crate::runtime::{
     HaltReason, PacketOutcome, Verdict, MEM_SIZE, PKT_DATA_ADDR, PKT_LEN_ADDR, PKT_MAX_BYTES,
@@ -29,6 +29,12 @@ pub struct Core {
     image: Vec<u8>,
     /// Load address / entry point of the installed image.
     entry: u32,
+    /// Pre-decoded text segment, built once at install from the pristine
+    /// image and restored on reset; `None` until a program is installed.
+    pristine_dcache: Option<DecodeCache>,
+    /// Working decode cache; diverges from pristine when the running
+    /// program writes into its own text.
+    dcache: Option<DecodeCache>,
     step_limit: u64,
     /// Number of resets performed (for the recovery statistics).
     resets: u64,
@@ -48,6 +54,8 @@ impl Core {
             mem: Memory::new(MEM_SIZE),
             image: Vec::new(),
             entry: 0,
+            pristine_dcache: None,
+            dcache: None,
             step_limit: DEFAULT_STEP_LIMIT,
             resets: 0,
         }
@@ -72,7 +80,13 @@ impl Core {
         );
         self.image = image.to_vec();
         self.entry = base;
+        self.pristine_dcache = None;
         self.reset();
+        // Decode the text segment once; every packet run reuses the
+        // pre-decoded form (restored from this pristine copy on reset).
+        let cache = DecodeCache::build(&self.mem, base, image.len() as u32);
+        self.dcache = Some(cache.clone());
+        self.pristine_dcache = Some(cache);
     }
 
     /// Returns true once a program is installed.
@@ -100,6 +114,7 @@ impl Core {
                 .write_bytes(self.entry, &self.image)
                 .expect("image fits: checked at install");
         }
+        self.dcache = self.pristine_dcache.clone();
         self.resets += 1;
     }
 
@@ -109,7 +124,13 @@ impl Core {
     }
 
     /// Direct write access to core memory.
+    ///
+    /// The caller may write anywhere — including into the program text — so
+    /// the pre-decoded instruction cache is conservatively flushed.
     pub fn memory_mut(&mut self) -> &mut Memory {
+        if let Some(cache) = self.dcache.as_mut() {
+            cache.invalidate_all();
+        }
         &mut self.mem
     }
 
@@ -130,7 +151,11 @@ impl Core {
     ) -> PacketOutcome {
         assert!(self.is_programmed(), "no program installed");
         if packet.len() as u64 > PKT_MAX_BYTES as u64 {
-            return PacketOutcome { verdict: Verdict::Drop, steps: 0, halt: HaltReason::Completed };
+            return PacketOutcome {
+                verdict: Verdict::Drop,
+                steps: 0,
+                halt: HaltReason::Completed,
+            };
         }
         // Stage the packet and clear the verdict.
         self.mem
@@ -154,7 +179,11 @@ impl Core {
             if steps >= self.step_limit {
                 break HaltReason::StepLimit;
             }
-            match self.cpu.step(&mut self.mem) {
+            let stepped = match self.dcache.as_mut() {
+                Some(cache) => self.cpu.step_cached(&mut self.mem, cache),
+                None => self.cpu.step(&mut self.mem),
+            };
+            match stepped {
                 Ok(retired) => {
                     steps += 1;
                     if observer.observe(retired.pc, retired.word) == Observation::Violation {
@@ -169,7 +198,10 @@ impl Core {
                     // digest check.
                     steps += 1;
                     let pc = self.cpu.pc();
-                    let word = self.mem.load_u32(pc).expect("break was just fetched from here");
+                    let word = self
+                        .mem
+                        .load_u32(pc)
+                        .expect("break was just fetched from here");
                     if observer.observe(pc, word) == Observation::Violation {
                         break HaltReason::MonitorViolation;
                     }
@@ -180,11 +212,19 @@ impl Core {
         };
 
         let verdict = if halt.is_clean() {
-            Verdict::from_word(self.mem.load_u32(VERDICT_ADDR).expect("verdict slot in range"))
+            Verdict::from_word(
+                self.mem
+                    .load_u32(VERDICT_ADDR)
+                    .expect("verdict slot in range"),
+            )
         } else {
             Verdict::Drop
         };
-        PacketOutcome { verdict, steps, halt }
+        PacketOutcome {
+            verdict,
+            steps,
+            halt,
+        }
     }
 }
 
@@ -258,7 +298,10 @@ mod tests {
 
     #[test]
     fn step_limit_stops_runaway() {
-        let program = Assembler::new().assemble("spin: b spin").unwrap().to_bytes();
+        let program = Assembler::new()
+            .assemble("spin: b spin")
+            .unwrap()
+            .to_bytes();
         let mut core = Core::new();
         core.install(&program, 0);
         core.set_step_limit(100);
@@ -296,7 +339,10 @@ mod tests {
         // Corrupt the program in memory.
         core.memory_mut().store_u32(0, 0xffff_ffff).unwrap();
         let bad = core.process_packet(&[], &mut NullObserver);
-        assert!(matches!(bad.halt, HaltReason::Fault(Trap::ReservedInstruction { .. })));
+        assert!(matches!(
+            bad.halt,
+            HaltReason::Fault(Trap::ReservedInstruction { .. })
+        ));
         core.reset();
         let good = core.process_packet(&[], &mut NullObserver);
         assert_eq!(good.halt, HaltReason::Completed);

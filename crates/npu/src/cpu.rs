@@ -106,6 +106,142 @@ impl ExecutionObserver for NullObserver {
     }
 }
 
+/// One pre-decoded text-segment word.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// The word decodes; fetches reuse the decoded form directly.
+    Decoded { word: u32, inst: Inst },
+    /// The word does not decode; fetches trap without re-decoding.
+    Reserved { word: u32 },
+    /// Invalidated (or unreadable at build time); the next fetch re-decodes
+    /// from memory and refills the slot.
+    Stale,
+}
+
+/// A pre-decoded view of a program's text segment.
+///
+/// Decoding a MIPS word is a bit-slicing match that the interpreter
+/// otherwise repeats on every retired instruction. The cache decodes the
+/// whole text range once (at program install) so the hot fetch path is an
+/// array index; stores into the text range invalidate the covered slots, so
+/// self-modifying or corrupted code still behaves exactly like the uncached
+/// interpreter.
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_npu::{cpu::{Cpu, DecodeCache}, mem::Memory};
+/// use sdmmon_isa::{Inst, Reg};
+///
+/// let mut mem = Memory::new(64);
+/// mem.store_u32(0, Inst::Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: 42 }.encode()).unwrap();
+/// let mut cache = DecodeCache::build(&mem, 0, 4);
+/// let mut cpu = Cpu::new();
+/// cpu.step_cached(&mut mem, &mut cache).unwrap();
+/// assert_eq!(cpu.reg(Reg::T0), 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecodeCache {
+    /// First cached address (word-aligned).
+    base: u32,
+    /// One slot per text word.
+    slots: Vec<Slot>,
+}
+
+impl DecodeCache {
+    /// Pre-decodes `len_bytes` of memory starting at `base`.
+    ///
+    /// Words that cannot be read (range runs past memory) are left stale and
+    /// resolve through the ordinary fetch path; words that do not decode are
+    /// remembered as reserved so they trap without re-decoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not word-aligned.
+    pub fn build(mem: &Memory, base: u32, len_bytes: u32) -> DecodeCache {
+        assert_eq!(base % 4, 0, "text segment must be word-aligned");
+        let words = (len_bytes as usize).div_ceil(4);
+        let mut slots = Vec::with_capacity(words);
+        for i in 0..words {
+            let addr = base.wrapping_add((i as u32) * 4);
+            let slot = match mem.load_u32(addr) {
+                Ok(word) => match Inst::decode(word) {
+                    Ok(inst) => Slot::Decoded { word, inst },
+                    Err(DecodeError { word }) => Slot::Reserved { word },
+                },
+                Err(_) => Slot::Stale,
+            };
+            slots.push(slot);
+        }
+        DecodeCache { base, slots }
+    }
+
+    /// First cached address.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of cached text words.
+    pub fn len_words(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Marks every slot stale, forcing re-decode on next fetch. Used when
+    /// memory is mutated behind the cache's back (e.g. direct test access).
+    pub fn invalidate_all(&mut self) {
+        self.slots.fill(Slot::Stale);
+    }
+
+    /// Invalidates the slots covering a `width`-byte store at `addr`.
+    pub fn invalidate(&mut self, addr: u32, width: u32) {
+        let end = addr.wrapping_add(width.saturating_sub(1));
+        for word_addr in [addr & !3, end & !3] {
+            if let Some(idx) = self.index_of(word_addr) {
+                self.slots[idx] = Slot::Stale;
+            }
+        }
+    }
+
+    /// Whether `pc` is an aligned address inside the cached range.
+    fn covers(&self, pc: u32) -> bool {
+        self.index_of(pc).is_some()
+    }
+
+    /// Slot index for an aligned in-range address.
+    fn index_of(&self, addr: u32) -> Option<usize> {
+        let off = addr.wrapping_sub(self.base);
+        if addr < self.base || !off.is_multiple_of(4) {
+            return None;
+        }
+        let idx = (off / 4) as usize;
+        (idx < self.slots.len()).then_some(idx)
+    }
+
+    /// Cached fetch+decode, refilling stale slots from memory.
+    fn fetch(&mut self, pc: u32, mem: &Memory) -> Result<(u32, Inst), Trap> {
+        let idx = self.index_of(pc).expect("caller checked covers()");
+        match self.slots[idx] {
+            Slot::Decoded { word, inst } => Ok((word, inst)),
+            Slot::Reserved { word } => Err(Trap::ReservedInstruction { pc, word }),
+            Slot::Stale => {
+                let word = mem
+                    .load_u32(pc)
+                    .map_err(|error| Trap::FetchFault { pc, error })?;
+                match Inst::decode(word) {
+                    Ok(inst) => {
+                        self.slots[idx] = Slot::Decoded { word, inst };
+                        Ok((word, inst))
+                    }
+                    Err(DecodeError { word }) => {
+                        self.slots[idx] = Slot::Reserved { word };
+                        Err(Trap::ReservedInstruction { pc, word })
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Architectural state of the MIPS-I core.
 ///
 /// # Examples
@@ -137,7 +273,12 @@ impl Default for Cpu {
 impl Cpu {
     /// Creates a core with all registers zero and `pc = 0`.
     pub fn new() -> Cpu {
-        Cpu { regs: [0; 32], hi: 0, lo: 0, pc: 0 }
+        Cpu {
+            regs: [0; 32],
+            hi: 0,
+            lo: 0,
+            pc: 0,
+        }
     }
 
     /// Current program counter.
@@ -186,13 +327,43 @@ impl Cpu {
     /// is left pointing *at* the trapping instruction so recovery code can
     /// inspect it.
     pub fn step(&mut self, mem: &mut Memory) -> Result<Retired, Trap> {
+        self.step_impl(mem, None)
+    }
+
+    /// Executes one instruction, fetching through a pre-decoded text cache.
+    ///
+    /// Behaviour is bit-identical to [`Cpu::step`] (stores into the cached
+    /// range invalidate the covered slots), only faster: in-range fetches
+    /// skip the load + decode work entirely.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Cpu::step`].
+    pub fn step_cached(
+        &mut self,
+        mem: &mut Memory,
+        cache: &mut DecodeCache,
+    ) -> Result<Retired, Trap> {
+        self.step_impl(mem, Some(cache))
+    }
+
+    fn step_impl(
+        &mut self,
+        mem: &mut Memory,
+        mut cache: Option<&mut DecodeCache>,
+    ) -> Result<Retired, Trap> {
         let pc = self.pc;
-        let word = mem
-            .load_u32(pc)
-            .map_err(|error| Trap::FetchFault { pc, error })?;
-        let inst = Inst::decode(word).map_err(|DecodeError { word }| {
-            Trap::ReservedInstruction { pc, word }
-        })?;
+        let (word, inst) = match cache.as_deref_mut() {
+            Some(c) if c.covers(pc) => c.fetch(pc, mem)?,
+            _ => {
+                let word = mem
+                    .load_u32(pc)
+                    .map_err(|error| Trap::FetchFault { pc, error })?;
+                let inst = Inst::decode(word)
+                    .map_err(|DecodeError { word }| Trap::ReservedInstruction { pc, word })?;
+                (word, inst)
+            }
+        };
         let mut next_pc = pc.wrapping_add(4);
 
         use Inst::*;
@@ -206,8 +377,7 @@ impl Cpu {
                 self.set_reg(rd, ((self.reg(rt) as i32) >> (self.reg(rs) & 31)) as u32)
             }
             Add { rd, rs, rt } => {
-                let (v, overflow) =
-                    (self.reg(rs) as i32).overflowing_add(self.reg(rt) as i32);
+                let (v, overflow) = (self.reg(rs) as i32).overflowing_add(self.reg(rt) as i32);
                 if overflow {
                     return Err(Trap::Overflow { pc });
                 }
@@ -215,8 +385,7 @@ impl Cpu {
             }
             Addu { rd, rs, rt } => self.set_reg(rd, self.reg(rs).wrapping_add(self.reg(rt))),
             Sub { rd, rs, rt } => {
-                let (v, overflow) =
-                    (self.reg(rs) as i32).overflowing_sub(self.reg(rt) as i32);
+                let (v, overflow) = (self.reg(rs) as i32).overflowing_sub(self.reg(rt) as i32);
                 if overflow {
                     return Err(Trap::Overflow { pc });
                 }
@@ -328,15 +497,9 @@ impl Cpu {
                 }
                 self.set_reg(rt, v as u32);
             }
-            Addiu { rt, rs, imm } => {
-                self.set_reg(rt, self.reg(rs).wrapping_add(imm as i32 as u32))
-            }
-            Slti { rt, rs, imm } => {
-                self.set_reg(rt, u32::from((self.reg(rs) as i32) < imm as i32))
-            }
-            Sltiu { rt, rs, imm } => {
-                self.set_reg(rt, u32::from(self.reg(rs) < imm as i32 as u32))
-            }
+            Addiu { rt, rs, imm } => self.set_reg(rt, self.reg(rs).wrapping_add(imm as i32 as u32)),
+            Slti { rt, rs, imm } => self.set_reg(rt, u32::from((self.reg(rs) as i32) < imm as i32)),
+            Sltiu { rt, rs, imm } => self.set_reg(rt, u32::from(self.reg(rs) < imm as i32 as u32)),
             Andi { rt, rs, imm } => self.set_reg(rt, self.reg(rs) & imm as u32),
             Ori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) | imm as u32),
             Xori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) ^ imm as u32),
@@ -365,16 +528,25 @@ impl Cpu {
                 let addr = self.eff_addr(base, offset);
                 mem.store_u8(addr, self.reg(rt) as u8)
                     .map_err(|error| Trap::MemFault { pc, error })?;
+                if let Some(c) = cache.as_deref_mut() {
+                    c.invalidate(addr, 1);
+                }
             }
             Sh { rt, base, offset } => {
                 let addr = self.eff_addr(base, offset);
                 mem.store_u16(addr, self.reg(rt) as u16)
                     .map_err(|error| Trap::MemFault { pc, error })?;
+                if let Some(c) = cache.as_deref_mut() {
+                    c.invalidate(addr, 2);
+                }
             }
             Sw { rt, base, offset } => {
                 let addr = self.eff_addr(base, offset);
                 mem.store_u32(addr, self.reg(rt))
                     .map_err(|error| Trap::MemFault { pc, error })?;
+                if let Some(c) = cache {
+                    c.invalidate(addr, 4);
+                }
             }
         }
 
@@ -399,7 +571,8 @@ impl Cpu {
 }
 
 fn branch_target(pc: u32, offset: i16) -> u32 {
-    pc.wrapping_add(4).wrapping_add(((offset as i32) << 2) as u32)
+    pc.wrapping_add(4)
+        .wrapping_add(((offset as i32) << 2) as u32)
 }
 
 #[cfg(test)]
@@ -409,7 +582,9 @@ mod tests {
 
     /// Assembles and runs `src` until `break 0`, returning the CPU.
     fn run(src: &str) -> (Cpu, Memory) {
-        let program = Assembler::new().assemble(src).expect("test program assembles");
+        let program = Assembler::new()
+            .assemble(src)
+            .expect("test program assembles");
         let mut mem = Memory::new(0x10000);
         mem.write_bytes(0, &program.to_bytes()).unwrap();
         let mut cpu = Cpu::new();
@@ -425,8 +600,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_logic() {
-        let (cpu, _) = run(
-            "li $t0, 7
+        let (cpu, _) = run("li $t0, 7
              li $t1, 5
              addu $t2, $t0, $t1
              subu $t3, $t0, $t1
@@ -434,8 +608,7 @@ mod tests {
              or   $t5, $t0, $t1
              xor  $t6, $t0, $t1
              nor  $t7, $t0, $t1
-             break 0",
-        );
+             break 0");
         assert_eq!(cpu.reg(Reg::T2), 12);
         assert_eq!(cpu.reg(Reg::T3), 2);
         assert_eq!(cpu.reg(Reg::T4), 5);
@@ -446,8 +619,7 @@ mod tests {
 
     #[test]
     fn shifts_and_set_less_than() {
-        let (cpu, _) = run(
-            "li $t0, 0x80000000
+        let (cpu, _) = run("li $t0, 0x80000000
              srl $t1, $t0, 4
              sra $t2, $t0, 4
              li $t3, 3
@@ -455,8 +627,7 @@ mod tests {
              slt $t5, $t0, $zero     # signed: 0x80000000 < 0
              sltu $t6, $t0, $zero    # unsigned: not less
              slti $t7, $t3, 10
-             break 0",
-        );
+             break 0");
         assert_eq!(cpu.reg(Reg::T1), 0x0800_0000);
         assert_eq!(cpu.reg(Reg::T2), 0xF800_0000);
         assert_eq!(cpu.reg(Reg::T4), 24);
@@ -467,8 +638,7 @@ mod tests {
 
     #[test]
     fn multiply_divide() {
-        let (cpu, _) = run(
-            "li $t0, -6
+        let (cpu, _) = run("li $t0, -6
              li $t1, 4
              mult $t0, $t1
              mflo $t2
@@ -478,8 +648,7 @@ mod tests {
              divu $t4, $t5
              mflo $t6
              mfhi $t7
-             break 0",
-        );
+             break 0");
         assert_eq!(cpu.reg(Reg::T2) as i32, -24);
         assert_eq!(cpu.reg(Reg::T3) as i32, -1); // sign extension of product
         assert_eq!(cpu.reg(Reg::T6), 3);
@@ -488,21 +657,18 @@ mod tests {
 
     #[test]
     fn divide_by_zero_is_deterministic_zero() {
-        let (cpu, _) = run(
-            "li $t0, 9
+        let (cpu, _) = run("li $t0, 9
              div $t0, $zero
              mflo $t1
              mfhi $t2
-             break 0",
-        );
+             break 0");
         assert_eq!(cpu.reg(Reg::T1), 0);
         assert_eq!(cpu.reg(Reg::T2), 0);
     }
 
     #[test]
     fn loads_stores_and_sign_extension() {
-        let (cpu, _) = run(
-            "li $t0, 0x1000
+        let (cpu, _) = run("li $t0, 0x1000
              li $t1, 0xffffff80
              sb $t1, 0($t0)
              lb $t2, 0($t0)
@@ -513,8 +679,7 @@ mod tests {
              lhu $t6, 2($t0)
              sw $t1, 4($t0)
              lw $t7, 4($t0)
-             break 0",
-        );
+             break 0");
         assert_eq!(cpu.reg(Reg::T2), 0xffff_ff80);
         assert_eq!(cpu.reg(Reg::T3), 0x80);
         assert_eq!(cpu.reg(Reg::T5), 0xffff_8001);
@@ -524,40 +689,34 @@ mod tests {
 
     #[test]
     fn branches_and_loop() {
-        let (cpu, _) = run(
-            "       li $t0, 5
+        let (cpu, _) = run("       li $t0, 5
                     li $t1, 0
              loop:  addu $t1, $t1, $t0
                     addiu $t0, $t0, -1
                     bgtz $t0, loop
-                    break 0",
-        );
+                    break 0");
         assert_eq!(cpu.reg(Reg::T1), 15); // 5+4+3+2+1
     }
 
     #[test]
     fn function_call_and_return() {
-        let (cpu, _) = run(
-            "       li $sp, 0x8000
+        let (cpu, _) = run("       li $sp, 0x8000
                     li $a0, 20
                     jal double
                     move $s0, $v0
                     break 0
              double: addu $v0, $a0, $a0
-                    jr $ra",
-        );
+                    jr $ra");
         assert_eq!(cpu.reg(Reg::S0), 40);
     }
 
     #[test]
     fn jalr_links_and_jumps() {
-        let (cpu, _) = run(
-            "       la $t0, target
+        let (cpu, _) = run("       la $t0, target
                     jalr $t1, $t0
                     break 0
              target: li $s1, 99
-                    jr $t1",
-        );
+                    jr $t1");
         assert_eq!(cpu.reg(Reg::S1), 99);
         assert_eq!(cpu.reg(Reg::T1), 12); // return address after jalr (2 la words + jalr)
     }
@@ -588,7 +747,9 @@ mod tests {
 
     #[test]
     fn unaligned_access_traps() {
-        let program = Assembler::new().assemble("li $t0, 2\nlw $t1, 0($t0)").unwrap();
+        let program = Assembler::new()
+            .assemble("li $t0, 2\nlw $t1, 0($t0)")
+            .unwrap();
         let mut mem = Memory::new(0x1000);
         mem.write_bytes(0, &program.to_bytes()).unwrap();
         let mut cpu = Cpu::new();
@@ -598,12 +759,20 @@ mod tests {
                 Err(t) => break t,
             }
         };
-        assert!(matches!(trap, Trap::MemFault { error: MemError::Unaligned { addr: 2, .. }, .. }));
+        assert!(matches!(
+            trap,
+            Trap::MemFault {
+                error: MemError::Unaligned { addr: 2, .. },
+                ..
+            }
+        ));
     }
 
     #[test]
     fn wild_jump_fetch_faults() {
-        let program = Assembler::new().assemble("li $t0, 0x00ff0000\njr $t0").unwrap();
+        let program = Assembler::new()
+            .assemble("li $t0, 0x00ff0000\njr $t0")
+            .unwrap();
         let mut mem = Memory::new(0x1000);
         mem.write_bytes(0, &program.to_bytes()).unwrap();
         let mut cpu = Cpu::new();
@@ -614,6 +783,117 @@ mod tests {
             }
         };
         assert!(matches!(trap, Trap::FetchFault { pc: 0x00ff0000, .. }));
+    }
+
+    /// Runs `src` twice — once plain, once through a [`DecodeCache`] — and
+    /// asserts the retired streams and final states are identical.
+    fn run_both_ways(src: &str) -> (Cpu, Memory) {
+        let program = Assembler::new()
+            .assemble(src)
+            .expect("test program assembles");
+        let bytes = program.to_bytes();
+
+        let mut mem_a = Memory::new(0x10000);
+        mem_a.write_bytes(0, &bytes).unwrap();
+        let mut cpu_a = Cpu::new();
+
+        let mut mem_b = Memory::new(0x10000);
+        mem_b.write_bytes(0, &bytes).unwrap();
+        let mut cpu_b = Cpu::new();
+        let mut cache = DecodeCache::build(&mem_b, 0, bytes.len() as u32);
+
+        for _ in 0..100_000 {
+            let plain = cpu_a.step(&mut mem_a);
+            let cached = cpu_b.step_cached(&mut mem_b, &mut cache);
+            assert_eq!(plain, cached, "cached stepping diverged");
+            assert_eq!(cpu_a, cpu_b);
+            match plain {
+                Ok(_) => {}
+                Err(_) => return (cpu_b, mem_b),
+            }
+        }
+        panic!("program did not halt");
+    }
+
+    #[test]
+    fn cached_stepping_is_bit_identical() {
+        run_both_ways(
+            "       li $t0, 5
+                    li $t1, 0
+             loop:  addu $t1, $t1, $t0
+                    addiu $t0, $t0, -1
+                    bgtz $t0, loop
+                    li $sp, 0x8000
+                    jal double
+                    break 0
+             double: addu $v0, $a0, $a0
+                    jr $ra",
+        );
+    }
+
+    #[test]
+    fn cached_stepping_sees_self_modifying_code() {
+        // The program overwrites its own upcoming instruction (a `break 1`)
+        // with `break 0` before reaching it; the store-side invalidation
+        // must make the cached path fetch the new word.
+        let (cpu, _) = run_both_ways(
+            "       la $t0, patch
+                    li $t1, 13             # 0x0000000d: encoding of `break 0`
+                    sw $t1, 0($t0)
+                    li $s0, 77
+             patch: break 1",
+        );
+        assert_eq!(cpu.reg(Reg::S0), 77);
+    }
+
+    #[test]
+    fn cache_invalidate_all_forces_refetch() {
+        let program = Assembler::new().assemble("nop\nbreak 0").unwrap();
+        let mut mem = Memory::new(0x100);
+        mem.write_bytes(0, &program.to_bytes()).unwrap();
+        let mut cache = DecodeCache::build(&mem, 0, 8);
+        // Mutate memory behind the cache's back, then invalidate.
+        mem.store_u32(
+            0,
+            Inst::Addiu {
+                rt: Reg::T0,
+                rs: Reg::ZERO,
+                imm: 9,
+            }
+            .encode(),
+        )
+        .unwrap();
+        cache.invalidate_all();
+        let mut cpu = Cpu::new();
+        cpu.step_cached(&mut mem, &mut cache).unwrap();
+        assert_eq!(cpu.reg(Reg::T0), 9);
+    }
+
+    #[test]
+    fn cache_out_of_range_fetch_falls_through() {
+        // Program counter outside the cached range uses the plain path.
+        let mut mem = Memory::new(0x100);
+        mem.store_u32(0x40, Inst::Break { code: 3 }.encode())
+            .unwrap();
+        let mut cache = DecodeCache::build(&mem, 0, 8);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0x40);
+        assert_eq!(cpu.step_cached(&mut mem, &mut cache), Err(Trap::Break(3)));
+    }
+
+    #[test]
+    fn cache_reserved_word_traps_like_plain_step() {
+        let mut mem = Memory::new(0x100);
+        mem.store_u32(0, 0xffff_ffff).unwrap();
+        let mut cache = DecodeCache::build(&mem, 0, 4);
+        let mut cpu = Cpu::new();
+        assert_eq!(
+            cpu.step_cached(&mut mem, &mut cache),
+            Err(Trap::ReservedInstruction {
+                pc: 0,
+                word: 0xffff_ffff
+            })
+        );
     }
 
     #[test]

@@ -58,7 +58,9 @@ pub struct Memory {
 impl Memory {
     /// Allocates `size` bytes of zeroed memory.
     pub fn new(size: u32) -> Memory {
-        Memory { bytes: vec![0; size as usize] }
+        Memory {
+            bytes: vec![0; size as usize],
+        }
     }
 
     /// Memory size in bytes.
@@ -160,7 +162,10 @@ impl Memory {
     pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), MemError> {
         let end = addr as u64 + data.len() as u64;
         if end > self.bytes.len() as u64 {
-            return Err(MemError::OutOfBounds { addr, width: data.len() as u32 });
+            return Err(MemError::OutOfBounds {
+                addr,
+                width: data.len() as u32,
+            });
         }
         self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
         Ok(())
@@ -201,16 +206,28 @@ mod tests {
     #[test]
     fn alignment_enforced() {
         let mut m = Memory::new(16);
-        assert_eq!(m.load_u32(2), Err(MemError::Unaligned { addr: 2, width: 4 }));
-        assert_eq!(m.load_u16(1), Err(MemError::Unaligned { addr: 1, width: 2 }));
-        assert_eq!(m.store_u32(5, 0), Err(MemError::Unaligned { addr: 5, width: 4 }));
+        assert_eq!(
+            m.load_u32(2),
+            Err(MemError::Unaligned { addr: 2, width: 4 })
+        );
+        assert_eq!(
+            m.load_u16(1),
+            Err(MemError::Unaligned { addr: 1, width: 2 })
+        );
+        assert_eq!(
+            m.store_u32(5, 0),
+            Err(MemError::Unaligned { addr: 5, width: 4 })
+        );
     }
 
     #[test]
     fn bounds_enforced() {
         let mut m = Memory::new(8);
         assert!(m.load_u8(7).is_ok());
-        assert_eq!(m.load_u8(8), Err(MemError::OutOfBounds { addr: 8, width: 1 }));
+        assert_eq!(
+            m.load_u8(8),
+            Err(MemError::OutOfBounds { addr: 8, width: 1 })
+        );
         assert!(m.store_u32(4, 1).is_ok());
         assert!(m.store_u32(8, 1).is_err());
         // Wrap-around addresses must not panic.

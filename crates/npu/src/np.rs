@@ -29,9 +29,35 @@ impl fmt::Display for NpStats {
         write!(
             f,
             "processed {} / forwarded {} / dropped {} / violations {} / faults {} / recoveries {}",
-            self.processed, self.forwarded, self.dropped, self.violations, self.faults,
+            self.processed,
+            self.forwarded,
+            self.dropped,
+            self.violations,
+            self.faults,
             self.recoveries
         )
+    }
+}
+
+impl NpStats {
+    /// Folds one packet outcome into the counters (recovery is implied by
+    /// any unclean halt — see [`Slot::run`]).
+    fn record(&mut self, outcome: &PacketOutcome) {
+        self.processed += 1;
+        match outcome.halt {
+            HaltReason::Completed => {}
+            HaltReason::MonitorViolation => self.violations += 1,
+            HaltReason::Fault(_) | HaltReason::StepLimit => self.faults += 1,
+        }
+        if outcome.halt.is_clean() {
+            match outcome.verdict {
+                crate::runtime::Verdict::Drop => self.dropped += 1,
+                crate::runtime::Verdict::Forward(_) => self.forwarded += 1,
+            }
+        } else {
+            self.dropped += 1;
+            self.recoveries += 1;
+        }
     }
 }
 
@@ -39,6 +65,20 @@ impl fmt::Display for NpStats {
 struct Slot {
     core: Core,
     observer: Box<dyn ExecutionObserver + Send>,
+}
+
+impl Slot {
+    /// Runs one packet on this core, applying the recovery policy (reset
+    /// after any unclean halt) but not touching the NP-wide stats.
+    fn run(&mut self, packet: &[u8]) -> PacketOutcome {
+        let outcome = self.core.process_packet(packet, self.observer.as_mut());
+        if !outcome.halt.is_clean() {
+            // Recovery: drop the packet and reset the core so the next
+            // packet starts from a pristine image.
+            self.core.reset();
+        }
+        outcome
+    }
 }
 
 impl fmt::Debug for Slot {
@@ -91,7 +131,11 @@ impl NetworkProcessor {
                 observer: Box::new(NullObserver) as Box<dyn ExecutionObserver + Send>,
             })
             .collect();
-        NetworkProcessor { slots, next: 0, stats: NpStats::default() }
+        NetworkProcessor {
+            slots,
+            next: 0,
+            stats: NpStats::default(),
+        }
     }
 
     /// Number of cores.
@@ -164,27 +208,62 @@ impl NetworkProcessor {
 
     /// Processes one packet on a specific core (flow-pinned dispatch).
     pub fn process_on(&mut self, index: usize, packet: &[u8]) -> PacketOutcome {
-        let slot = &mut self.slots[index];
-        let outcome = slot.core.process_packet(packet, slot.observer.as_mut());
-        self.stats.processed += 1;
-        match outcome.halt {
-            HaltReason::Completed => {}
-            HaltReason::MonitorViolation => self.stats.violations += 1,
-            HaltReason::Fault(_) | HaltReason::StepLimit => self.stats.faults += 1,
-        }
-        if outcome.halt.is_clean() {
-            match outcome.verdict {
-                crate::runtime::Verdict::Drop => self.stats.dropped += 1,
-                crate::runtime::Verdict::Forward(_) => self.stats.forwarded += 1,
-            }
-        } else {
-            // Recovery: drop the packet and reset the core so the next
-            // packet starts from a pristine image.
-            self.stats.dropped += 1;
-            self.stats.recoveries += 1;
-            slot.core.reset();
-        }
+        let outcome = self.slots[index].run(packet);
+        self.stats.record(&outcome);
         outcome
+    }
+
+    /// Processes a batch of packets with all cores running in parallel.
+    ///
+    /// Packets are partitioned by flow (same mapping as
+    /// [`NetworkProcessor::process_flow`]), each core works through its
+    /// share on its own scoped thread, and the merged result preserves the
+    /// input order. Because flow dispatch and per-core processing order are
+    /// both deterministic, outcomes and statistics are identical to calling
+    /// `process_flow` on each packet in turn — only the wall clock differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a selected core has no program installed.
+    pub fn process_batch(&mut self, packets: &[Vec<u8>]) -> Vec<(usize, PacketOutcome)> {
+        let cores = self.slots.len();
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); cores];
+        for (i, packet) in packets.iter().enumerate() {
+            queues[(flow_hash(packet) % cores as u64) as usize].push(i);
+        }
+        let per_core: Vec<Vec<(usize, PacketOutcome)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slots
+                .iter_mut()
+                .zip(&queues)
+                .map(|(slot, queue)| {
+                    scope.spawn(move || {
+                        queue
+                            .iter()
+                            .map(|&i| (i, slot.run(&packets[i])))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("core thread panicked"))
+                .collect()
+        });
+        let mut merged: Vec<Option<(usize, PacketOutcome)>> = vec![None; packets.len()];
+        for (core_index, outcomes) in per_core.into_iter().enumerate() {
+            for (i, outcome) in outcomes {
+                merged[i] = Some((core_index, outcome));
+            }
+        }
+        let merged: Vec<(usize, PacketOutcome)> = merged
+            .into_iter()
+            .map(|m| m.expect("every packet was dispatched"))
+            .collect();
+        for (_, outcome) in &merged {
+            self.stats.record(outcome);
+        }
+        merged
     }
 
     /// Aggregate statistics.
@@ -221,14 +300,16 @@ fn flow_hash(packet: &[u8]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cpu::{Observation, NullObserver};
+    use crate::cpu::{NullObserver, Observation};
     use crate::programs::{self, testing};
     use crate::runtime::Verdict;
 
     fn loaded_np(cores: usize) -> NetworkProcessor {
         let program = programs::ipv4_forward().unwrap();
         let mut np = NetworkProcessor::new(cores);
-        np.install_all(&program.to_bytes(), program.base, |_| Box::new(NullObserver));
+        np.install_all(&program.to_bytes(), program.base, |_| {
+            Box::new(NullObserver)
+        });
         np
     }
 
@@ -271,7 +352,12 @@ mod tests {
         }
         let program = programs::ipv4_forward().unwrap();
         let mut np = NetworkProcessor::new(1);
-        np.install(0, &program.to_bytes(), program.base, Box::new(TripAfter(10)));
+        np.install(
+            0,
+            &program.to_bytes(),
+            program.base,
+            Box::new(TripAfter(10)),
+        );
         let packet = testing::ipv4_packet([1, 1, 1, 1], [2, 2, 2, 2], 64, b"");
         let (_, out) = np.process(&packet);
         assert_eq!(out.halt, HaltReason::MonitorViolation);
@@ -288,7 +374,9 @@ mod tests {
         // after reset.
         let program = programs::vulnerable_forward().unwrap();
         let mut np = NetworkProcessor::new(1);
-        np.install_all(&program.to_bytes(), program.base, |_| Box::new(NullObserver));
+        np.install_all(&program.to_bytes(), program.base, |_| {
+            Box::new(NullObserver)
+        });
         // Attack that corrupts the in-memory route table, then halts.
         let table = program.symbol("route_table").unwrap();
         let attack = testing::hijack_packet(&format!(
@@ -305,7 +393,11 @@ mod tests {
         // recovery): subsequent packets misroute.
         np.process(&attack);
         let (_, out) = np.process(&good);
-        assert_eq!(out.verdict, Verdict::Forward(15), "attack silently redirected traffic");
+        assert_eq!(
+            out.verdict,
+            Verdict::Forward(15),
+            "attack silently redirected traffic"
+        );
 
         // A manual reset (what the monitor path automates) restores routing.
         np.slots[0].core.reset();
@@ -338,6 +430,45 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn zero_cores_rejected() {
         NetworkProcessor::new(0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_flow_dispatch() {
+        // Mixed traffic — forwards, policy drops, and hijacks that force
+        // recoveries — must produce identical outcomes and stats whether
+        // processed one at a time or as a parallel batch.
+        let program = programs::vulnerable_forward().unwrap();
+        let mut batch_np = NetworkProcessor::new(4);
+        let mut seq_np = NetworkProcessor::new(4);
+        for np in [&mut batch_np, &mut seq_np] {
+            np.install_all(&program.to_bytes(), program.base, |_| {
+                Box::new(NullObserver)
+            });
+        }
+
+        let attack = testing::hijack_packet("li $t5, 15\nbreak 1").unwrap();
+        let mut packets: Vec<Vec<u8>> = Vec::new();
+        for i in 0..40u8 {
+            packets.push(testing::ipv4_packet(
+                [10, 1, i, 1],
+                [10, 0, 0, 1 + i % 15],
+                64,
+                b"payload",
+            ));
+            if i % 10 == 3 {
+                packets.push(attack.clone());
+            }
+        }
+
+        let batched = batch_np.process_batch(&packets);
+        let sequential: Vec<(usize, PacketOutcome)> =
+            packets.iter().map(|p| seq_np.process_flow(p)).collect();
+        assert_eq!(batched, sequential);
+        assert_eq!(batch_np.stats(), seq_np.stats());
+        assert!(
+            batch_np.stats().recoveries > 0,
+            "the hijack packets must exercise recovery"
+        );
     }
 
     #[test]

@@ -206,9 +206,8 @@ fw_rules:
     .half 8080, 0               # alt-http: drop
     .half 4444, 0               # metasploit default: drop
 ";
-    let source = format!(
-        "{VALIDATE}{filter_stage}{TTL_AND_REWRITE}{ROUTE_AND_FINISH}{COMMON_TAIL}{data}"
-    );
+    let source =
+        format!("{VALIDATE}{filter_stage}{TTL_AND_REWRITE}{ROUTE_AND_FINISH}{COMMON_TAIL}{data}");
     Assembler::new().assemble(&source)
 }
 
@@ -304,7 +303,13 @@ pub mod testing {
         build_packet(src, dst, ttl, options, payload)
     }
 
-    fn build_packet(src: [u8; 4], dst: [u8; 4], ttl: u8, options: &[u8], payload: &[u8]) -> Vec<u8> {
+    fn build_packet(
+        src: [u8; 4],
+        dst: [u8; 4],
+        ttl: u8,
+        options: &[u8],
+        payload: &[u8],
+    ) -> Vec<u8> {
         let mut opts = options.to_vec();
         while !opts.len().is_multiple_of(4) {
             opts.push(0); // EOL padding
@@ -497,9 +502,15 @@ mod tests {
         let udp = [0x04u8, 0xd2, 0x00, 0x50, 0x00, 0x08, 0x00, 0x00];
         let mut corrupted = ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 1, &udp);
         // TTL 1 expires.
-        assert_eq!(core.process_packet(&corrupted, &mut NullObserver).verdict, Verdict::Drop);
+        assert_eq!(
+            core.process_packet(&corrupted, &mut NullObserver).verdict,
+            Verdict::Drop
+        );
         corrupted[10] ^= 0xff; // and a bad checksum also drops
-        assert_eq!(core.process_packet(&corrupted, &mut NullObserver).verdict, Verdict::Drop);
+        assert_eq!(
+            core.process_packet(&corrupted, &mut NullObserver).verdict,
+            Verdict::Drop
+        );
     }
 
     #[test]
@@ -519,7 +530,10 @@ mod tests {
         let program = ipv4_forward().unwrap();
         let mut core = core_with(&program);
         let packet = ipv4_packet([10, 0, 0, 1], [10, 0, 0, 16], 64, b""); // 16 & 0xf == 0
-        assert_eq!(core.process_packet(&packet, &mut NullObserver).verdict, Verdict::Drop);
+        assert_eq!(
+            core.process_packet(&packet, &mut NullObserver).verdict,
+            Verdict::Drop
+        );
     }
 
     #[test]
@@ -527,18 +541,30 @@ mod tests {
         let program = ipv4_forward().unwrap();
         let mut core = core_with(&program);
         // Runt.
-        assert_eq!(core.process_packet(&[1, 2, 3], &mut NullObserver).verdict, Verdict::Drop);
+        assert_eq!(
+            core.process_packet(&[1, 2, 3], &mut NullObserver).verdict,
+            Verdict::Drop
+        );
         // Wrong version.
         let mut p = ipv4_packet([1, 1, 1, 1], [2, 2, 2, 2], 64, b"");
         p[0] = 0x65;
-        assert_eq!(core.process_packet(&p, &mut NullObserver).verdict, Verdict::Drop);
+        assert_eq!(
+            core.process_packet(&p, &mut NullObserver).verdict,
+            Verdict::Drop
+        );
         // Corrupted checksum.
         let mut p = ipv4_packet([1, 1, 1, 1], [2, 2, 2, 2], 64, b"");
         p[10] ^= 0xff;
-        assert_eq!(core.process_packet(&p, &mut NullObserver).verdict, Verdict::Drop);
+        assert_eq!(
+            core.process_packet(&p, &mut NullObserver).verdict,
+            Verdict::Drop
+        );
         // Expired TTL.
         let p = ipv4_packet([1, 1, 1, 1], [2, 2, 2, 2], 1, b"");
-        assert_eq!(core.process_packet(&p, &mut NullObserver).verdict, Verdict::Drop);
+        assert_eq!(
+            core.process_packet(&p, &mut NullObserver).verdict,
+            Verdict::Drop
+        );
     }
 
     #[test]
@@ -572,7 +598,10 @@ mod tests {
             marked.push(tos & 3 == 3);
         }
         // Counter hits 4 on the 4th packet and 8 on the 8th.
-        assert_eq!(marked, [false, false, false, true, false, false, false, true]);
+        assert_eq!(
+            marked,
+            [false, false, false, true, false, false, false, true]
+        );
     }
 
     #[test]

@@ -39,13 +39,23 @@ pub struct CoreCycleModel {
 impl CoreCycleModel {
     /// The PLASMA-class model of the prototype.
     pub fn plasma() -> CoreCycleModel {
-        CoreCycleModel { alu: 1, load: 2, store: 1, control: 2, muldiv: 32, monitor_stall: 0 }
+        CoreCycleModel {
+            alu: 1,
+            load: 2,
+            store: 1,
+            control: 2,
+            muldiv: 32,
+            monitor_stall: 0,
+        }
     }
 
     /// The same core with a monitor that stalls every instruction by
     /// `stall` cycles.
     pub fn plasma_with_stall(stall: u64) -> CoreCycleModel {
-        CoreCycleModel { monitor_stall: stall, ..CoreCycleModel::plasma() }
+        CoreCycleModel {
+            monitor_stall: stall,
+            ..CoreCycleModel::plasma()
+        }
     }
 
     /// Cycles charged for one retired instruction word.
@@ -107,7 +117,11 @@ pub struct CycleCounter {
 impl CycleCounter {
     /// Creates a counter with the given model.
     pub fn new(model: CoreCycleModel) -> CycleCounter {
-        CycleCounter { model, cycles: 0, instructions: 0 }
+        CycleCounter {
+            model,
+            cycles: 0,
+            instructions: 0,
+        }
     }
 
     /// Accumulated cycles since the last `begin`.
@@ -149,18 +163,77 @@ mod tests {
     #[test]
     fn per_class_costs() {
         let m = CoreCycleModel::plasma();
-        assert_eq!(m.cycles_for(Inst::Addu { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }.encode()), 1);
-        assert_eq!(m.cycles_for(Inst::Lw { rt: Reg::T0, base: Reg::SP, offset: 0 }.encode()), 2);
-        assert_eq!(m.cycles_for(Inst::Sw { rt: Reg::T0, base: Reg::SP, offset: 0 }.encode()), 1);
-        assert_eq!(m.cycles_for(Inst::Beq { rs: Reg::T0, rt: Reg::T1, offset: 1 }.encode()), 2);
+        assert_eq!(
+            m.cycles_for(
+                Inst::Addu {
+                    rd: Reg::T0,
+                    rs: Reg::T1,
+                    rt: Reg::T2
+                }
+                .encode()
+            ),
+            1
+        );
+        assert_eq!(
+            m.cycles_for(
+                Inst::Lw {
+                    rt: Reg::T0,
+                    base: Reg::SP,
+                    offset: 0
+                }
+                .encode()
+            ),
+            2
+        );
+        assert_eq!(
+            m.cycles_for(
+                Inst::Sw {
+                    rt: Reg::T0,
+                    base: Reg::SP,
+                    offset: 0
+                }
+                .encode()
+            ),
+            1
+        );
+        assert_eq!(
+            m.cycles_for(
+                Inst::Beq {
+                    rs: Reg::T0,
+                    rt: Reg::T1,
+                    offset: 1
+                }
+                .encode()
+            ),
+            2
+        );
         assert_eq!(m.cycles_for(Inst::J { index: 4 }.encode()), 2);
-        assert_eq!(m.cycles_for(Inst::Mult { rs: Reg::T0, rt: Reg::T1 }.encode()), 32);
+        assert_eq!(
+            m.cycles_for(
+                Inst::Mult {
+                    rs: Reg::T0,
+                    rt: Reg::T1
+                }
+                .encode()
+            ),
+            32
+        );
     }
 
     #[test]
     fn stall_adds_per_instruction() {
         let m = CoreCycleModel::plasma_with_stall(3);
-        assert_eq!(m.cycles_for(Inst::Addu { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }.encode()), 4);
+        assert_eq!(
+            m.cycles_for(
+                Inst::Addu {
+                    rd: Reg::T0,
+                    rs: Reg::T1,
+                    rt: Reg::T2
+                }
+                .encode()
+            ),
+            4
+        );
     }
 
     #[test]

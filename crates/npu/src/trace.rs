@@ -20,7 +20,11 @@ impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match Inst::decode(self.word) {
             Ok(inst) => write!(f, "{:08x}:  {:08x}  {}", self.pc, self.word, inst),
-            Err(_) => write!(f, "{:08x}:  {:08x}  .word 0x{:08x}", self.pc, self.word, self.word),
+            Err(_) => write!(
+                f,
+                "{:08x}:  {:08x}  .word 0x{:08x}",
+                self.pc, self.word, self.word
+            ),
         }
     }
 }
@@ -60,7 +64,11 @@ impl Tracer {
     /// Panics if `limit` is zero.
     pub fn keep_last(limit: usize) -> Tracer {
         assert!(limit > 0, "a zero-length trace records nothing");
-        Tracer { entries: std::collections::VecDeque::with_capacity(limit), limit, total: 0 }
+        Tracer {
+            entries: std::collections::VecDeque::with_capacity(limit),
+            limit,
+            total: 0,
+        }
     }
 
     /// The retained entries, oldest first.
@@ -183,9 +191,19 @@ mod tests {
         let mut tracer = Tracer::keep_last(8);
         let mut trip = TripAt(20);
         let packet = testing::ipv4_packet([1, 1, 1, 1], [2, 2, 2, 2], 64, b"");
-        let out = core.process_packet(&packet, &mut Tee { first: &mut tracer, second: &mut trip });
+        let out = core.process_packet(
+            &packet,
+            &mut Tee {
+                first: &mut tracer,
+                second: &mut trip,
+            },
+        );
         assert_eq!(out.halt, crate::runtime::HaltReason::MonitorViolation);
-        assert_eq!(tracer.total_observed(), 20, "tracer saw everything up to the violation");
+        assert_eq!(
+            tracer.total_observed(),
+            20,
+            "tracer saw everything up to the violation"
+        );
         assert_eq!(tracer.entries().count(), 8);
     }
 

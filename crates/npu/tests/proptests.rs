@@ -1,139 +1,161 @@
-//! Property-based tests for the network-processor substrate: architectural
-//! invariants of the CPU under arbitrary instruction streams, and
-//! robustness of the packet runtime under arbitrary packet bytes.
+//! Randomized property tests for the network-processor substrate:
+//! architectural invariants of the CPU under arbitrary instruction streams,
+//! and robustness of the packet runtime under arbitrary packet bytes.
+//!
+//! Cases are drawn from seeded [`StdRng`] streams so failures reproduce.
 
-use proptest::prelude::*;
 use sdmmon_isa::Reg;
 use sdmmon_npu::core::Core;
 use sdmmon_npu::cpu::{Cpu, NullObserver, Trap};
 use sdmmon_npu::mem::Memory;
 use sdmmon_npu::programs::{self, testing};
 use sdmmon_npu::runtime::{HaltReason, Verdict};
+use sdmmon_rng::{Rng, RngCore, SeedableRng, StdRng};
 
-proptest! {
-    /// Running the CPU over *arbitrary word soup* never panics: every
-    /// outcome is a retired instruction or a clean trap.
-    #[test]
-    fn cpu_never_panics_on_arbitrary_memory(
-        words in prop::collection::vec(any::<u32>(), 1..64),
-        steps in 1usize..200,
-    ) {
-        let mut mem = Memory::new(0x1000);
-        for (i, w) in words.iter().enumerate() {
-            mem.store_u32(i as u32 * 4, *w).unwrap();
-        }
+const CASES: usize = 256;
+
+fn word_soup(rng: &mut StdRng, max_words: usize) -> Memory {
+    let mut mem = Memory::new(0x1000);
+    let n = rng.gen_range(1..max_words);
+    for i in 0..n {
+        mem.store_u32(i as u32 * 4, rng.next_u32()).unwrap();
+    }
+    mem
+}
+
+/// Running the CPU over *arbitrary word soup* never panics: every outcome
+/// is a retired instruction or a clean trap.
+#[test]
+fn cpu_never_panics_on_arbitrary_memory() {
+    let mut rng = StdRng::seed_from_u64(0x4B0_0001);
+    for _ in 0..CASES {
+        let mut mem = word_soup(&mut rng, 64);
+        let steps = rng.gen_range(1..200usize);
         let mut cpu = Cpu::new();
         for _ in 0..steps {
-            match cpu.step(&mut mem) {
-                Ok(_) => {}
-                Err(_) => break,
-            }
-        }
-    }
-
-    /// The zero register reads zero no matter what executed.
-    #[test]
-    fn zero_register_invariant(
-        words in prop::collection::vec(any::<u32>(), 1..64),
-    ) {
-        let mut mem = Memory::new(0x1000);
-        for (i, w) in words.iter().enumerate() {
-            mem.store_u32(i as u32 * 4, *w).unwrap();
-        }
-        let mut cpu = Cpu::new();
-        for _ in 0..words.len() {
             if cpu.step(&mut mem).is_err() {
                 break;
             }
-            prop_assert_eq!(cpu.reg(Reg::ZERO), 0);
         }
     }
+}
 
-    /// Retired.next_pc always equals the pc of the following fetch.
-    #[test]
-    fn next_pc_is_honest(words in prop::collection::vec(any::<u32>(), 1..32)) {
-        let mut mem = Memory::new(0x1000);
-        for (i, w) in words.iter().enumerate() {
-            mem.store_u32(i as u32 * 4, *w).unwrap();
-        }
+/// The zero register reads zero no matter what executed.
+#[test]
+fn zero_register_invariant() {
+    let mut rng = StdRng::seed_from_u64(0x4B0_0002);
+    for _ in 0..CASES {
+        let mut mem = word_soup(&mut rng, 64);
         let mut cpu = Cpu::new();
-        for _ in 0..words.len() {
+        for _ in 0..64 {
+            if cpu.step(&mut mem).is_err() {
+                break;
+            }
+            assert_eq!(cpu.reg(Reg::ZERO), 0);
+        }
+    }
+}
+
+/// Retired.next_pc always equals the pc of the following fetch.
+#[test]
+fn next_pc_is_honest() {
+    let mut rng = StdRng::seed_from_u64(0x4B0_0003);
+    for _ in 0..CASES {
+        let mut mem = word_soup(&mut rng, 32);
+        let mut cpu = Cpu::new();
+        for _ in 0..32 {
             match cpu.step(&mut mem) {
-                Ok(retired) => prop_assert_eq!(retired.next_pc, cpu.pc()),
+                Ok(retired) => assert_eq!(retired.next_pc, cpu.pc()),
                 Err(_) => break,
             }
         }
     }
+}
 
-    /// The packet runtime handles arbitrary packet bytes without panicking,
-    /// always producing a verdict, and never exceeding the step budget.
-    #[test]
-    fn runtime_robust_to_arbitrary_packets(
-        packet in prop::collection::vec(any::<u8>(), 0..600),
-    ) {
-        let program = programs::ipv4_forward().expect("workload assembles");
-        let mut core = Core::new();
-        core.install(&program.to_bytes(), program.base);
-        core.set_step_limit(100_000);
+/// The packet runtime handles arbitrary packet bytes without panicking,
+/// always producing a verdict, and never exceeding the step budget.
+#[test]
+fn runtime_robust_to_arbitrary_packets() {
+    let program = programs::ipv4_forward().expect("workload assembles");
+    let mut core = Core::new();
+    core.install(&program.to_bytes(), program.base);
+    core.set_step_limit(100_000);
+    let mut rng = StdRng::seed_from_u64(0x4B0_0004);
+    for _ in 0..CASES {
+        let mut packet = vec![0u8; rng.gen_range(0..600usize)];
+        rng.fill_bytes(&mut packet);
         let out = core.process_packet(&packet, &mut NullObserver);
-        prop_assert!(out.steps <= 100_000);
+        assert!(out.steps <= 100_000);
         // The hardened ipv4 workload always completes and drops junk.
-        prop_assert_eq!(out.halt, HaltReason::Completed);
-    }
-
-    /// Valid generated packets are forwarded to the port selected by the
-    /// destination's last octet (mod 16, entry 0 drops).
-    #[test]
-    fn routing_matches_destination(dst in any::<u8>(), ttl in 2u8..255, payload in prop::collection::vec(any::<u8>(), 0..64)) {
-        let program = programs::ipv4_forward().expect("workload assembles");
-        let mut core = Core::new();
-        core.install(&program.to_bytes(), program.base);
-        let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, dst], ttl, &payload);
-        let out = core.process_packet(&packet, &mut NullObserver);
-        prop_assert_eq!(out.halt, HaltReason::Completed);
-        let expected = (dst & 0xf) as u32;
-        if expected == 0 {
-            prop_assert_eq!(out.verdict, Verdict::Drop);
-        } else {
-            prop_assert_eq!(out.verdict, Verdict::Forward(expected));
-        }
-    }
-
-    /// TTL 0/1 always drops; the packet is never forwarded with TTL 0.
-    #[test]
-    fn expired_ttl_drops(ttl in 0u8..2, dst in 1u8..15) {
-        let program = programs::ipv4_forward().expect("workload assembles");
-        let mut core = Core::new();
-        core.install(&program.to_bytes(), program.base);
-        let packet = testing::ipv4_packet([1, 2, 3, 4], [10, 0, 0, dst], ttl, b"x");
-        let out = core.process_packet(&packet, &mut NullObserver);
-        prop_assert_eq!(out.verdict, Verdict::Drop);
-    }
-
-    /// Single-bit corruption anywhere in a valid packet is either dropped
-    /// (checksum/structure) or forwarded with a correctly rewritten header
-    /// — never a crash or a runaway.
-    #[test]
-    fn bit_flips_never_crash_the_forwarder(
-        dst in 1u8..15,
-        bit in 0usize..(26 * 8),
-    ) {
-        let program = programs::ipv4_forward().expect("workload assembles");
-        let mut core = Core::new();
-        core.install(&program.to_bytes(), program.base);
-        let mut packet = testing::ipv4_packet([10, 0, 0, 9], [10, 0, 0, dst], 64, b"payload");
-        let idx = bit / 8;
-        prop_assume!(idx < packet.len());
-        packet[idx] ^= 1 << (bit % 8);
-        let out = core.process_packet(&packet, &mut NullObserver);
-        prop_assert_eq!(out.halt, HaltReason::Completed);
+        assert_eq!(out.halt, HaltReason::Completed);
     }
 }
 
-/// Deterministic companion checks that don't need proptest.
+/// Valid generated packets are forwarded to the port selected by the
+/// destination's last octet (mod 16, entry 0 drops).
+#[test]
+fn routing_matches_destination() {
+    let program = programs::ipv4_forward().expect("workload assembles");
+    let mut core = Core::new();
+    core.install(&program.to_bytes(), program.base);
+    let mut rng = StdRng::seed_from_u64(0x4B0_0005);
+    for _ in 0..CASES {
+        let dst = rng.gen::<u8>();
+        let ttl = rng.gen_range(2..255u8);
+        let mut payload = vec![0u8; rng.gen_range(0..64usize)];
+        rng.fill_bytes(&mut payload);
+        let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, dst], ttl, &payload);
+        let out = core.process_packet(&packet, &mut NullObserver);
+        assert_eq!(out.halt, HaltReason::Completed);
+        let expected = (dst & 0xf) as u32;
+        if expected == 0 {
+            assert_eq!(out.verdict, Verdict::Drop);
+        } else {
+            assert_eq!(out.verdict, Verdict::Forward(expected));
+        }
+    }
+}
+
+/// TTL 0/1 always drops; the packet is never forwarded with TTL 0.
+#[test]
+fn expired_ttl_drops() {
+    let program = programs::ipv4_forward().expect("workload assembles");
+    let mut core = Core::new();
+    core.install(&program.to_bytes(), program.base);
+    for ttl in 0..2u8 {
+        for dst in 1..15u8 {
+            let packet = testing::ipv4_packet([1, 2, 3, 4], [10, 0, 0, dst], ttl, b"x");
+            let out = core.process_packet(&packet, &mut NullObserver);
+            assert_eq!(out.verdict, Verdict::Drop);
+        }
+    }
+}
+
+/// Single-bit corruption anywhere in a valid packet is either dropped
+/// (checksum/structure) or forwarded with a correctly rewritten header —
+/// never a crash or a runaway.
+#[test]
+fn bit_flips_never_crash_the_forwarder() {
+    let program = programs::ipv4_forward().expect("workload assembles");
+    let mut core = Core::new();
+    core.install(&program.to_bytes(), program.base);
+    let mut rng = StdRng::seed_from_u64(0x4B0_0006);
+    for _ in 0..CASES {
+        let dst = rng.gen_range(1..15u8);
+        let mut packet = testing::ipv4_packet([10, 0, 0, 9], [10, 0, 0, dst], 64, b"payload");
+        let bit = rng.gen_range(0..packet.len() * 8);
+        packet[bit / 8] ^= 1 << (bit % 8);
+        let out = core.process_packet(&packet, &mut NullObserver);
+        assert_eq!(out.halt, HaltReason::Completed);
+    }
+}
+
+/// Deterministic companion check.
 #[test]
 fn break_trap_is_reported_with_code() {
-    let program = sdmmon_isa::asm::Assembler::new().assemble("break 42").unwrap();
+    let program = sdmmon_isa::asm::Assembler::new()
+        .assemble("break 42")
+        .unwrap();
     let mut mem = Memory::new(0x100);
     mem.write_bytes(0, &program.to_bytes()).unwrap();
     let mut cpu = Cpu::new();

@@ -17,7 +17,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The attack: overflow the option-parsing stack buffer, overwrite the
     // return address, and run packet-resident code that rewrites the route
     // table so future packets to .2 go to the attacker's port 15.
-    let route_table = program.symbol("route_table").expect("workload exports its table");
+    let route_table = program
+        .symbol("route_table")
+        .expect("workload exports its table");
     let attack = programs::testing::hijack_packet(&format!(
         "li $t4, 0x{route_table:x}
          li $t5, 15
@@ -34,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (_, after) = unprotected.process(&good);
     println!("unmonitored NP:");
     println!("  before attack: packet to .2 -> {}", before.verdict);
-    println!("  after attack:  packet to .2 -> {}   <- hijacked!", after.verdict);
+    println!(
+        "  after attack:  packet to .2 -> {}   <- hijacked!",
+        after.verdict
+    );
     assert_eq!(before.verdict, Verdict::Forward(2));
     assert_eq!(after.verdict, Verdict::Forward(15));
 
@@ -48,10 +53,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     protected.process(&good);
     let (core, outcome) = protected.process(&attack);
     println!("\nmonitored NP:");
-    println!("  attack on core {core}: {} ({})", outcome.verdict, outcome.halt);
+    println!(
+        "  attack on core {core}: {} ({})",
+        outcome.verdict, outcome.halt
+    );
     let (_, after) = protected.process(&good);
     let (_, after2) = protected.process(&good);
-    println!("  next packets to .2 -> {} / {}   <- service intact", after.verdict, after2.verdict);
+    println!(
+        "  next packets to .2 -> {} / {}   <- service intact",
+        after.verdict, after2.verdict
+    );
     println!("  stats: {}", protected.stats());
     assert_eq!(outcome.verdict, Verdict::Drop);
     assert_eq!(after.verdict, Verdict::Forward(2));

@@ -6,17 +6,17 @@
 //!
 //! Run with: `cargo run --example dynamic_workloads`
 
-use rand::SeedableRng;
 use sdmmon::core::entities::{Manufacturer, NetworkOperator};
 use sdmmon::core::workload::WorkloadManager;
 use sdmmon::npu::programs::{self, testing};
 use sdmmon::npu::runtime::Verdict;
+use sdmmon_rng::SeedableRng;
 
 const KEY_BITS: usize = 512;
 const CORES: usize = 4;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xD1CE);
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(0xD1CE);
     let manufacturer = Manufacturer::new("acme", KEY_BITS, &mut rng)?;
     let mut operator = NetworkOperator::new("op", KEY_BITS, &mut rng)?;
     operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));
@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let (_core, out) = router.process(&packet);
             assert_eq!(out.verdict, Verdict::Forward(2));
         }
-        println!("  traffic check: {} packets forwarded, 0 violations\n", CORES);
+        println!(
+            "  traffic check: {} packets forwarded, 0 violations\n",
+            CORES
+        );
     }
     println!("router stats: {}", router.stats());
     Ok(())

@@ -10,18 +10,18 @@
 //!
 //! Run with: `cargo run --release --example fleet_diversity`
 
-use rand::SeedableRng;
 use sdmmon::core::entities::{Manufacturer, NetworkOperator};
 use sdmmon::core::system::{craft_evasive_hijack, Fleet};
 use sdmmon::monitor::hash::Compression;
 use sdmmon::npu::programs;
 use sdmmon::npu::runtime::HaltReason;
+use sdmmon_rng::SeedableRng;
 
 const KEY_BITS: usize = 512; // key size is irrelevant to this experiment
 const FLEET_SIZE: usize = 8;
 
 fn run_fleet(compression: Compression) -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(77);
     let manufacturer = Manufacturer::new("acme", KEY_BITS, &mut rng)?;
     let mut operator = NetworkOperator::new("op", KEY_BITS, &mut rng)?;
     operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));

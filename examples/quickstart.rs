@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for dst in 1u8..=4 {
         let packet = programs::testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, dst], 64, b"data");
         let outcome = core.process_packet(&packet, &mut monitor);
-        println!("packet to .{dst}: {} after {} instructions", outcome.verdict, outcome.steps);
+        println!(
+            "packet to .{dst}: {} after {} instructions",
+            outcome.verdict, outcome.steps
+        );
         assert_eq!(outcome.halt, HaltReason::Completed);
     }
 
@@ -50,6 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = core.process_packet(&packet, &mut monitor);
     println!("after reset: {} ({})", outcome.verdict, outcome.halt);
     assert_eq!(outcome.halt, HaltReason::Completed);
-    println!("monitor checked {} instructions total", monitor.stats().instructions_checked);
+    println!(
+        "monitor checked {} instructions total",
+        monitor.stats().instructions_checked
+    );
     Ok(())
 }

@@ -5,18 +5,18 @@
 //! Run with: `cargo run --release --example secure_install`
 //! (release recommended: RSA-2048 key generation runs in seconds there).
 
-use rand::SeedableRng;
 use sdmmon::core::entities::{Manufacturer, NetworkOperator};
 use sdmmon::core::system::deploy;
 use sdmmon::net::channel::{Channel, FileServer};
 use sdmmon::npu::programs;
+use sdmmon_rng::SeedableRng;
 
 /// The paper uses RSA-2048; debug builds of the from-scratch bignum are
 /// slow at that size, so scale down when unoptimized.
 const KEY_BITS: usize = if cfg!(debug_assertions) { 512 } else { 2048 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2014);
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(2014);
 
     // --- At manufacturing time -------------------------------------------
     println!("generating {KEY_BITS}-bit RSA keys for all three entities...");
@@ -25,9 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- At installation time --------------------------------------------
     let mut operator = NetworkOperator::new("backbone-op", KEY_BITS, &mut rng)?;
-    operator.accept_certificate(
-        manufacturer.certify_operator(operator.public_key(), "backbone-op"),
-    );
+    operator
+        .accept_certificate(manufacturer.certify_operator(operator.public_key(), "backbone-op"));
     println!("operator certified by manufacturer (chain of trust established)");
 
     // --- At programming time ---------------------------------------------
@@ -46,25 +45,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut rng,
     )?;
 
-    println!("\npackage: {} plaintext bytes, {} transport bytes", report.install.package_bytes, report.install.bundle_bytes);
+    println!(
+        "\npackage: {} plaintext bytes, {} transport bytes",
+        report.install.package_bytes, report.install.bundle_bytes
+    );
     println!("\nmodelled control-processor timing (Nios II @ 100 MHz, cf. Table 2):");
     let t = &report.install.timing;
     let rows = [
         ("Download data from FTP server", report.download_time),
-        ("Check manufacturer certificate of operator key", t.check_certificate),
+        (
+            "Check manufacturer certificate of operator key",
+            t.check_certificate,
+        ),
         ("Decrypt AES key using router's private key", t.unwrap_key),
         ("Decrypt package with AES key", t.decrypt_package),
-        ("Verify package signature with operator key", t.verify_signature),
+        (
+            "Verify package signature with operator key",
+            t.verify_signature,
+        ),
     ];
     for (step, time) in rows {
         println!("  {step:<50} {:>8.2} s", time.as_secs_f64());
     }
-    println!("  {:<50} {:>8.2} s", "Total", report.total_time().as_secs_f64());
+    println!(
+        "  {:<50} {:>8.2} s",
+        "Total",
+        report.total_time().as_secs_f64()
+    );
 
     // --- At runtime --------------------------------------------------------
     let packet = programs::testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 5], 64, b"payload");
     let (core, outcome) = router.process(&packet);
-    println!("\nfirst packet processed on core {core}: {}", outcome.verdict);
+    println!(
+        "\nfirst packet processed on core {core}: {}",
+        outcome.verdict
+    );
     println!(
         "installed app: parameter 0x{:08x}, binary {} B, graph {} B",
         router.installed(0).unwrap().hash_param,

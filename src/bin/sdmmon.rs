@@ -97,11 +97,18 @@ impl<'a> Args<'a> {
                 positional.push(a.as_str());
             }
         }
-        Ok(Args { positional, options })
+        Ok(Args {
+            positional,
+            options,
+        })
     }
 
     fn option(&self, flag: &str) -> Option<&str> {
-        self.options.iter().rev().find(|(f, _)| *f == flag).map(|(_, v)| *v)
+        self.options
+            .iter()
+            .rev()
+            .find(|(f, _)| *f == flag)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -117,12 +124,17 @@ fn parse_compression(text: &str) -> Result<Compression, CliError> {
         "sum" => Ok(Compression::SumMod16),
         "xor" => Ok(Compression::Xor),
         "sbox" => Ok(Compression::SBox),
-        other => Err(usage(format!("unknown compression `{other}` (sum|xor|sbox)"))),
+        other => Err(usage(format!(
+            "unknown compression `{other}` (sum|xor|sbox)"
+        ))),
     }
 }
 
 fn parse_hex_bytes(text: &str) -> Result<Vec<u8>, CliError> {
-    let clean: String = text.chars().filter(|c| !c.is_whitespace() && *c != ':').collect();
+    let clean: String = text
+        .chars()
+        .filter(|c| !c.is_whitespace() && *c != ':')
+        .collect();
     if !clean.len().is_multiple_of(2) {
         return Err(usage("hex string has odd length"));
     }
@@ -131,7 +143,7 @@ fn parse_hex_bytes(text: &str) -> Result<Vec<u8>, CliError> {
         .map(|i| {
             u8::from_str_radix(&clean[i..i + 2], 16)
                 .map_err(|_| usage(format!("bad hex byte `{}`", &clean[i..i + 2])))
-    })
+        })
         .collect()
 }
 
@@ -149,14 +161,23 @@ fn cmd_asm(args: &[String]) -> Result<(), CliError> {
     let [input] = a.positional[..] else {
         return Err(usage("asm expects exactly one input file"));
     };
-    let base = a.option("--base").map(|b| parse_u32(b, "base")).transpose()?.unwrap_or(0);
+    let base = a
+        .option("--base")
+        .map(|b| parse_u32(b, "base"))
+        .transpose()?
+        .unwrap_or(0);
     let program = assemble_file(input, base)?;
     let bytes = program.to_bytes();
     match a.option("-o") {
         Some(out) => {
             std::fs::write(out, &bytes)
                 .map_err(|e| processing(format!("cannot write {out}: {e}")))?;
-            println!("{}: {} instructions, {} bytes -> {out}", input, program.words.len(), bytes.len());
+            println!(
+                "{}: {} instructions, {} bytes -> {out}",
+                input,
+                program.words.len(),
+                bytes.len()
+            );
         }
         None => {
             for line in sdmmon::isa::disassemble(&program.words, program.base) {
@@ -172,8 +193,13 @@ fn cmd_disasm(args: &[String]) -> Result<(), CliError> {
     let [input] = a.positional[..] else {
         return Err(usage("disasm expects exactly one input file"));
     };
-    let base = a.option("--base").map(|b| parse_u32(b, "base")).transpose()?.unwrap_or(0);
-    let bytes = std::fs::read(input).map_err(|e| processing(format!("cannot read {input}: {e}")))?;
+    let base = a
+        .option("--base")
+        .map(|b| parse_u32(b, "base"))
+        .transpose()?
+        .unwrap_or(0);
+    let bytes =
+        std::fs::read(input).map_err(|e| processing(format!("cannot read {input}: {e}")))?;
     if !bytes.len().is_multiple_of(4) {
         return Err(processing("binary image must be a multiple of 4 bytes"));
     }
@@ -192,8 +218,16 @@ fn cmd_graph(args: &[String]) -> Result<(), CliError> {
     let [input] = a.positional[..] else {
         return Err(usage("graph expects exactly one input file"));
     };
-    let base = a.option("--base").map(|b| parse_u32(b, "base")).transpose()?.unwrap_or(0);
-    let param = a.option("--param").map(|p| parse_u32(p, "param")).transpose()?.unwrap_or(0);
+    let base = a
+        .option("--base")
+        .map(|b| parse_u32(b, "base"))
+        .transpose()?
+        .unwrap_or(0);
+    let param = a
+        .option("--param")
+        .map(|p| parse_u32(p, "param"))
+        .transpose()?
+        .unwrap_or(0);
     let compression = a
         .option("--compression")
         .map(parse_compression)
@@ -216,8 +250,15 @@ fn cmd_graph(args: &[String]) -> Result<(), CliError> {
     }
     println!("workload:      {input}");
     println!("instructions:  {}", graph.len());
-    println!("hash:          merkle-tree/{compression:?}, param 0x{param:08x}, {} bits", graph.hash_bits());
-    println!("graph size:    {} bits compact, {} bytes on the wire", graph.compact_size_bits(), graph.to_bytes().len());
+    println!(
+        "hash:          merkle-tree/{compression:?}, param 0x{param:08x}, {} bits",
+        graph.hash_bits()
+    );
+    println!(
+        "graph size:    {} bits compact, {} bytes on the wire",
+        graph.compact_size_bits(),
+        graph.to_bytes().len()
+    );
     println!(
         "binary ratio:  {:.1}%",
         100.0 * graph.compact_size_bits() as f64 / (program.words.len() * 32) as f64
@@ -227,15 +268,27 @@ fn cmd_graph(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_run(args: &[String]) -> Result<(), CliError> {
-    let a = Args::parse(args, &["--packet", "--param", "--trace", "--base", "--compression"])?;
+    let a = Args::parse(
+        args,
+        &["--packet", "--param", "--trace", "--base", "--compression"],
+    )?;
     let [input] = a.positional[..] else {
         return Err(usage("run expects exactly one input file"));
     };
     let packet = parse_hex_bytes(
-        a.option("--packet").ok_or_else(|| usage("run needs --packet <hex>"))?,
+        a.option("--packet")
+            .ok_or_else(|| usage("run needs --packet <hex>"))?,
     )?;
-    let base = a.option("--base").map(|b| parse_u32(b, "base")).transpose()?.unwrap_or(0);
-    let param = a.option("--param").map(|p| parse_u32(p, "param")).transpose()?.unwrap_or(0x5eed);
+    let base = a
+        .option("--base")
+        .map(|b| parse_u32(b, "base"))
+        .transpose()?
+        .unwrap_or(0);
+    let param = a
+        .option("--param")
+        .map(|p| parse_u32(p, "param"))
+        .transpose()?
+        .unwrap_or(0x5eed);
     let compression = a
         .option("--compression")
         .map(parse_compression)
@@ -256,8 +309,13 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
 
     let outcome = if trace_len > 0 {
         let mut tracer = Tracer::keep_last(trace_len);
-        let out =
-            core.process_packet(&packet, &mut Tee { first: &mut tracer, second: &mut monitor });
+        let out = core.process_packet(
+            &packet,
+            &mut Tee {
+                first: &mut tracer,
+                second: &mut monitor,
+            },
+        );
         println!("--- last {} instructions ---", tracer.entries().count());
         print!("{}", tracer.render());
         println!("----------------------------");

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_compression-12f0c06fc81f5499.d: crates/bench/src/bin/ablation_compression.rs
+
+/root/repo/target/debug/deps/ablation_compression-12f0c06fc81f5499: crates/bench/src/bin/ablation_compression.rs
+
+crates/bench/src/bin/ablation_compression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_granularity-97f2039634f6b032.d: crates/bench/src/bin/ablation_granularity.rs
+
+/root/repo/target/debug/deps/ablation_granularity-97f2039634f6b032: crates/bench/src/bin/ablation_granularity.rs
+
+crates/bench/src/bin/ablation_granularity.rs:

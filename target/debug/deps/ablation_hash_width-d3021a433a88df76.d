@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hash_width-d3021a433a88df76.d: crates/bench/src/bin/ablation_hash_width.rs
+
+/root/repo/target/debug/deps/ablation_hash_width-d3021a433a88df76: crates/bench/src/bin/ablation_hash_width.rs
+
+crates/bench/src/bin/ablation_hash_width.rs:

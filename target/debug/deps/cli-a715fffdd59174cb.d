@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-a715fffdd59174cb.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-a715fffdd59174cb: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_sdmmon=/root/repo/target/debug/sdmmon

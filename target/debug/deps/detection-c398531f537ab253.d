@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detection-c398531f537ab253.d: crates/bench/src/bin/detection.rs
+
+/root/repo/target/debug/deps/detection-c398531f537ab253: crates/bench/src/bin/detection.rs
+
+crates/bench/src/bin/detection.rs:

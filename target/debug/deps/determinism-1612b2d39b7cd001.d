@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-1612b2d39b7cd001.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-1612b2d39b7cd001: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-62b7adeae6a659be.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-62b7adeae6a659be: tests/end_to_end.rs
+
+tests/end_to_end.rs:

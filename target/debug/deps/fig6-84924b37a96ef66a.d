@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-84924b37a96ef66a.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-84924b37a96ef66a: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

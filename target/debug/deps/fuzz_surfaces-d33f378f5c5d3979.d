@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_surfaces-d33f378f5c5d3979.d: tests/fuzz_surfaces.rs
+
+/root/repo/target/debug/deps/fuzz_surfaces-d33f378f5c5d3979: tests/fuzz_surfaces.rs
+
+tests/fuzz_surfaces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_size-f18bcb465412ccf1.d: crates/bench/src/bin/graph_size.rs
+
+/root/repo/target/debug/deps/graph_size-f18bcb465412ccf1: crates/bench/src/bin/graph_size.rs
+
+crates/bench/src/bin/graph_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-d5adc81fb20503db.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-d5adc81fb20503db: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_report-e84950a5a2b47d7e.d: crates/bench/src/bin/perf_report.rs
+
+/root/repo/target/debug/deps/perf_report-e84950a5a2b47d7e: crates/bench/src/bin/perf_report.rs
+
+crates/bench/src/bin/perf_report.rs:

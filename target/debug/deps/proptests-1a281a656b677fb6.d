@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1a281a656b677fb6.d: crates/npu/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1a281a656b677fb6: crates/npu/tests/proptests.rs
+
+crates/npu/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-718c688f6b0a7242.d: crates/crypto/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-718c688f6b0a7242: crates/crypto/tests/proptests.rs
+
+crates/crypto/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f936d307e75dcf92.d: crates/monitor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f936d307e75dcf92: crates/monitor/tests/proptests.rs
+
+crates/monitor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fee8d0742089e359.d: crates/isa/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fee8d0742089e359: crates/isa/tests/proptests.rs
+
+crates/isa/tests/proptests.rs:

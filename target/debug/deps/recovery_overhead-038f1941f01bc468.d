@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_overhead-038f1941f01bc468.d: crates/bench/src/bin/recovery_overhead.rs
+
+/root/repo/target/debug/deps/recovery_overhead-038f1941f01bc468: crates/bench/src/bin/recovery_overhead.rs
+
+crates/bench/src/bin/recovery_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-269c8794380c4c43.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-269c8794380c4c43: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

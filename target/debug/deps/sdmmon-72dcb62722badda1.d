@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sdmmon-72dcb62722badda1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsdmmon-72dcb62722badda1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsdmmon-72dcb62722badda1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdmmon-89022835fa178acd.d: src/lib.rs
+
+/root/repo/target/debug/deps/sdmmon-89022835fa178acd: src/lib.rs
+
+src/lib.rs:

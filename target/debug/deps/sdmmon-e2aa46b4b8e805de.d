@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdmmon-e2aa46b4b8e805de.d: src/bin/sdmmon.rs
+
+/root/repo/target/debug/deps/sdmmon-e2aa46b4b8e805de: src/bin/sdmmon.rs
+
+src/bin/sdmmon.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdmmon-ee3ad9549b92fab4.d: src/bin/sdmmon.rs
+
+/root/repo/target/debug/deps/sdmmon-ee3ad9549b92fab4: src/bin/sdmmon.rs
+
+src/bin/sdmmon.rs:

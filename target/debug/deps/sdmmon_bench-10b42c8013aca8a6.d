@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdmmon_bench-10b42c8013aca8a6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sdmmon_bench-10b42c8013aca8a6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sdmmon_bench-b123a5a1fef7b0ac.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsdmmon_bench-b123a5a1fef7b0ac.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsdmmon_bench-b123a5a1fef7b0ac.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sdmmon_core-2750730de726b48f.d: crates/core/src/lib.rs crates/core/src/cert.rs crates/core/src/entities.rs crates/core/src/package.rs crates/core/src/system.rs crates/core/src/timing.rs crates/core/src/wire.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/libsdmmon_core-2750730de726b48f.rlib: crates/core/src/lib.rs crates/core/src/cert.rs crates/core/src/entities.rs crates/core/src/package.rs crates/core/src/system.rs crates/core/src/timing.rs crates/core/src/wire.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/libsdmmon_core-2750730de726b48f.rmeta: crates/core/src/lib.rs crates/core/src/cert.rs crates/core/src/entities.rs crates/core/src/package.rs crates/core/src/system.rs crates/core/src/timing.rs crates/core/src/wire.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cert.rs:
+crates/core/src/entities.rs:
+crates/core/src/package.rs:
+crates/core/src/system.rs:
+crates/core/src/timing.rs:
+crates/core/src/wire.rs:
+crates/core/src/workload.rs:

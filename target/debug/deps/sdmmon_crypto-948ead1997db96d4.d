@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sdmmon_crypto-948ead1997db96d4.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/bignum.rs crates/crypto/src/hmac.rs crates/crypto/src/montgomery.rs crates/crypto/src/prime.rs crates/crypto/src/rsa.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/libsdmmon_crypto-948ead1997db96d4.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/bignum.rs crates/crypto/src/hmac.rs crates/crypto/src/montgomery.rs crates/crypto/src/prime.rs crates/crypto/src/rsa.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/libsdmmon_crypto-948ead1997db96d4.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/bignum.rs crates/crypto/src/hmac.rs crates/crypto/src/montgomery.rs crates/crypto/src/prime.rs crates/crypto/src/rsa.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/bignum.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/montgomery.rs:
+crates/crypto/src/prime.rs:
+crates/crypto/src/rsa.rs:
+crates/crypto/src/sha256.rs:

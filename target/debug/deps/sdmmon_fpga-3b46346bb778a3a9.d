@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sdmmon_fpga-3b46346bb778a3a9.d: crates/fpga/src/lib.rs crates/fpga/src/components.rs crates/fpga/src/model.rs
+
+/root/repo/target/debug/deps/sdmmon_fpga-3b46346bb778a3a9: crates/fpga/src/lib.rs crates/fpga/src/components.rs crates/fpga/src/model.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/components.rs:
+crates/fpga/src/model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdmmon_fpga-a0b6dec340b0d870.d: crates/fpga/src/lib.rs crates/fpga/src/components.rs crates/fpga/src/model.rs
+
+/root/repo/target/debug/deps/libsdmmon_fpga-a0b6dec340b0d870.rlib: crates/fpga/src/lib.rs crates/fpga/src/components.rs crates/fpga/src/model.rs
+
+/root/repo/target/debug/deps/libsdmmon_fpga-a0b6dec340b0d870.rmeta: crates/fpga/src/lib.rs crates/fpga/src/components.rs crates/fpga/src/model.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/components.rs:
+crates/fpga/src/model.rs:

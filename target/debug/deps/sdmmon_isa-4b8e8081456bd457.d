@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sdmmon_isa-4b8e8081456bd457.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/sdmmon_isa-4b8e8081456bd457: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/reg.rs:

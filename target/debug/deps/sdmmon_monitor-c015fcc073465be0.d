@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdmmon_monitor-c015fcc073465be0.d: crates/monitor/src/lib.rs crates/monitor/src/block.rs crates/monitor/src/graph.rs crates/monitor/src/hash.rs crates/monitor/src/monitor.rs
+
+/root/repo/target/debug/deps/sdmmon_monitor-c015fcc073465be0: crates/monitor/src/lib.rs crates/monitor/src/block.rs crates/monitor/src/graph.rs crates/monitor/src/hash.rs crates/monitor/src/monitor.rs
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/block.rs:
+crates/monitor/src/graph.rs:
+crates/monitor/src/hash.rs:
+crates/monitor/src/monitor.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sdmmon_monitor-f3c8db2f7d407fd2.d: crates/monitor/src/lib.rs crates/monitor/src/block.rs crates/monitor/src/graph.rs crates/monitor/src/hash.rs crates/monitor/src/monitor.rs
+
+/root/repo/target/debug/deps/libsdmmon_monitor-f3c8db2f7d407fd2.rlib: crates/monitor/src/lib.rs crates/monitor/src/block.rs crates/monitor/src/graph.rs crates/monitor/src/hash.rs crates/monitor/src/monitor.rs
+
+/root/repo/target/debug/deps/libsdmmon_monitor-f3c8db2f7d407fd2.rmeta: crates/monitor/src/lib.rs crates/monitor/src/block.rs crates/monitor/src/graph.rs crates/monitor/src/hash.rs crates/monitor/src/monitor.rs
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/block.rs:
+crates/monitor/src/graph.rs:
+crates/monitor/src/hash.rs:
+crates/monitor/src/monitor.rs:

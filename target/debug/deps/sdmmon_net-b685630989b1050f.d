@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sdmmon_net-b685630989b1050f.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/packet.rs crates/net/src/traffic.rs
+
+/root/repo/target/debug/deps/libsdmmon_net-b685630989b1050f.rlib: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/packet.rs crates/net/src/traffic.rs
+
+/root/repo/target/debug/deps/libsdmmon_net-b685630989b1050f.rmeta: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/packet.rs crates/net/src/traffic.rs
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/packet.rs:
+crates/net/src/traffic.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sdmmon_net-ef4783c38d3d42bd.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/packet.rs crates/net/src/traffic.rs
+
+/root/repo/target/debug/deps/sdmmon_net-ef4783c38d3d42bd: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/packet.rs crates/net/src/traffic.rs
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/packet.rs:
+crates/net/src/traffic.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sdmmon_npu-7e50f8123d78d40b.d: crates/npu/src/lib.rs crates/npu/src/core.rs crates/npu/src/cpu.rs crates/npu/src/mem.rs crates/npu/src/np.rs crates/npu/src/programs.rs crates/npu/src/runtime.rs crates/npu/src/timing.rs crates/npu/src/trace.rs
+
+/root/repo/target/debug/deps/sdmmon_npu-7e50f8123d78d40b: crates/npu/src/lib.rs crates/npu/src/core.rs crates/npu/src/cpu.rs crates/npu/src/mem.rs crates/npu/src/np.rs crates/npu/src/programs.rs crates/npu/src/runtime.rs crates/npu/src/timing.rs crates/npu/src/trace.rs
+
+crates/npu/src/lib.rs:
+crates/npu/src/core.rs:
+crates/npu/src/cpu.rs:
+crates/npu/src/mem.rs:
+crates/npu/src/np.rs:
+crates/npu/src/programs.rs:
+crates/npu/src/runtime.rs:
+crates/npu/src/timing.rs:
+crates/npu/src/trace.rs:

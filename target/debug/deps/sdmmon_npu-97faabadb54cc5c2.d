@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sdmmon_npu-97faabadb54cc5c2.d: crates/npu/src/lib.rs crates/npu/src/core.rs crates/npu/src/cpu.rs crates/npu/src/mem.rs crates/npu/src/np.rs crates/npu/src/programs.rs crates/npu/src/runtime.rs crates/npu/src/timing.rs crates/npu/src/trace.rs
+
+/root/repo/target/debug/deps/libsdmmon_npu-97faabadb54cc5c2.rlib: crates/npu/src/lib.rs crates/npu/src/core.rs crates/npu/src/cpu.rs crates/npu/src/mem.rs crates/npu/src/np.rs crates/npu/src/programs.rs crates/npu/src/runtime.rs crates/npu/src/timing.rs crates/npu/src/trace.rs
+
+/root/repo/target/debug/deps/libsdmmon_npu-97faabadb54cc5c2.rmeta: crates/npu/src/lib.rs crates/npu/src/core.rs crates/npu/src/cpu.rs crates/npu/src/mem.rs crates/npu/src/np.rs crates/npu/src/programs.rs crates/npu/src/runtime.rs crates/npu/src/timing.rs crates/npu/src/trace.rs
+
+crates/npu/src/lib.rs:
+crates/npu/src/core.rs:
+crates/npu/src/cpu.rs:
+crates/npu/src/mem.rs:
+crates/npu/src/np.rs:
+crates/npu/src/programs.rs:
+crates/npu/src/runtime.rs:
+crates/npu/src/timing.rs:
+crates/npu/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdmmon_rng-ba31d4943004e81d.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/sdmmon_rng-ba31d4943004e81d: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sdmmon_rng-d410298db59f8885.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libsdmmon_rng-d410298db59f8885.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libsdmmon_rng-d410298db59f8885.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_requirements-c3e7f2fcf48e6acc.d: tests/security_requirements.rs
+
+/root/repo/target/debug/deps/security_requirements-c3e7f2fcf48e6acc: tests/security_requirements.rs
+
+tests/security_requirements.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-7ee15503c50d81ee.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-7ee15503c50d81ee: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-1f71199ace8fcd11.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-1f71199ace8fcd11: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-4633056e8f88102a.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-4633056e8f88102a: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

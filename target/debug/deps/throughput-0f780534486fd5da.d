@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-0f780534486fd5da.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/debug/deps/throughput-0f780534486fd5da: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_detection-508f96d4fc63c1bc.d: examples/attack_detection.rs
+
+/root/repo/target/debug/examples/attack_detection-508f96d4fc63c1bc: examples/attack_detection.rs
+
+examples/attack_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_workloads-eb41fe7bb15e449c.d: examples/dynamic_workloads.rs
+
+/root/repo/target/debug/examples/dynamic_workloads-eb41fe7bb15e449c: examples/dynamic_workloads.rs
+
+examples/dynamic_workloads.rs:

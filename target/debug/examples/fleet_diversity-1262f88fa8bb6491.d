@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_diversity-1262f88fa8bb6491.d: examples/fleet_diversity.rs
+
+/root/repo/target/debug/examples/fleet_diversity-1262f88fa8bb6491: examples/fleet_diversity.rs
+
+examples/fleet_diversity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-204886e9856a3966.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-204886e9856a3966: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_install-03dfa9894d5deb22.d: examples/secure_install.rs
+
+/root/repo/target/debug/examples/secure_install-03dfa9894d5deb22: examples/secure_install.rs
+
+examples/secure_install.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_compression-01cc6ac3d0ebbb87.d: crates/bench/src/bin/ablation_compression.rs
+
+/root/repo/target/release/deps/ablation_compression-01cc6ac3d0ebbb87: crates/bench/src/bin/ablation_compression.rs
+
+crates/bench/src/bin/ablation_compression.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_compression-109a19267761514d.d: crates/bench/src/bin/ablation_compression.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_compression-109a19267761514d.rmeta: crates/bench/src/bin/ablation_compression.rs Cargo.toml
+
+crates/bench/src/bin/ablation_compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

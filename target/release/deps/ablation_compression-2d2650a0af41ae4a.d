@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_compression-2d2650a0af41ae4a.d: crates/bench/src/bin/ablation_compression.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_compression-2d2650a0af41ae4a.rmeta: crates/bench/src/bin/ablation_compression.rs Cargo.toml
+
+crates/bench/src/bin/ablation_compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

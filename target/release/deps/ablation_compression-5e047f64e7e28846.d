@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_compression-5e047f64e7e28846.d: crates/bench/src/bin/ablation_compression.rs
+
+/root/repo/target/release/deps/ablation_compression-5e047f64e7e28846: crates/bench/src/bin/ablation_compression.rs
+
+crates/bench/src/bin/ablation_compression.rs:

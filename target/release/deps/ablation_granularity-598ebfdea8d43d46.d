@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_granularity-598ebfdea8d43d46.d: crates/bench/src/bin/ablation_granularity.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_granularity-598ebfdea8d43d46.rmeta: crates/bench/src/bin/ablation_granularity.rs Cargo.toml
+
+crates/bench/src/bin/ablation_granularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

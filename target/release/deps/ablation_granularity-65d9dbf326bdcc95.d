@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_granularity-65d9dbf326bdcc95.d: crates/bench/src/bin/ablation_granularity.rs
+
+/root/repo/target/release/deps/ablation_granularity-65d9dbf326bdcc95: crates/bench/src/bin/ablation_granularity.rs
+
+crates/bench/src/bin/ablation_granularity.rs:

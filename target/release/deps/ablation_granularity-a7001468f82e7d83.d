@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_granularity-a7001468f82e7d83.d: crates/bench/src/bin/ablation_granularity.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_granularity-a7001468f82e7d83.rmeta: crates/bench/src/bin/ablation_granularity.rs Cargo.toml
+
+crates/bench/src/bin/ablation_granularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

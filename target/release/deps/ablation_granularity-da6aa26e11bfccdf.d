@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_granularity-da6aa26e11bfccdf.d: crates/bench/src/bin/ablation_granularity.rs
+
+/root/repo/target/release/deps/ablation_granularity-da6aa26e11bfccdf: crates/bench/src/bin/ablation_granularity.rs
+
+crates/bench/src/bin/ablation_granularity.rs:

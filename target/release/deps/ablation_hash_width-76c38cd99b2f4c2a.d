@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_hash_width-76c38cd99b2f4c2a.d: crates/bench/src/bin/ablation_hash_width.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_hash_width-76c38cd99b2f4c2a.rmeta: crates/bench/src/bin/ablation_hash_width.rs Cargo.toml
+
+crates/bench/src/bin/ablation_hash_width.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_hash_width-cd1e48a6dffd40bf.d: crates/bench/src/bin/ablation_hash_width.rs
+
+/root/repo/target/release/deps/ablation_hash_width-cd1e48a6dffd40bf: crates/bench/src/bin/ablation_hash_width.rs
+
+crates/bench/src/bin/ablation_hash_width.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_hash_width-e5aa5c6f978a545d.d: crates/bench/src/bin/ablation_hash_width.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_hash_width-e5aa5c6f978a545d.rmeta: crates/bench/src/bin/ablation_hash_width.rs Cargo.toml
+
+crates/bench/src/bin/ablation_hash_width.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

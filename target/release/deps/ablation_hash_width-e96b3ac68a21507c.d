@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_hash_width-e96b3ac68a21507c.d: crates/bench/src/bin/ablation_hash_width.rs
+
+/root/repo/target/release/deps/ablation_hash_width-e96b3ac68a21507c: crates/bench/src/bin/ablation_hash_width.rs
+
+crates/bench/src/bin/ablation_hash_width.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cli-112639c62821b891.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/release/deps/libcli-112639c62821b891.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_sdmmon=placeholder:sdmmon
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

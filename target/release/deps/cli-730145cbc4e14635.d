@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-730145cbc4e14635.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-730145cbc4e14635: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_sdmmon=/root/repo/target/release/sdmmon

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/detection-3b78bf927d1a5acc.d: crates/bench/src/bin/detection.rs Cargo.toml
+
+/root/repo/target/release/deps/libdetection-3b78bf927d1a5acc.rmeta: crates/bench/src/bin/detection.rs Cargo.toml
+
+crates/bench/src/bin/detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

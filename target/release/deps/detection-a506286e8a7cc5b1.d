@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/detection-a506286e8a7cc5b1.d: crates/bench/src/bin/detection.rs Cargo.toml
+
+/root/repo/target/release/deps/libdetection-a506286e8a7cc5b1.rmeta: crates/bench/src/bin/detection.rs Cargo.toml
+
+crates/bench/src/bin/detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/detection-b62b0a840a30367a.d: crates/bench/src/bin/detection.rs
+
+/root/repo/target/release/deps/detection-b62b0a840a30367a: crates/bench/src/bin/detection.rs
+
+crates/bench/src/bin/detection.rs:

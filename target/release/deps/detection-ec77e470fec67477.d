@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/detection-ec77e470fec67477.d: crates/bench/src/bin/detection.rs
+
+/root/repo/target/release/deps/detection-ec77e470fec67477: crates/bench/src/bin/detection.rs
+
+crates/bench/src/bin/detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-79580d4856fb6056.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-79580d4856fb6056: tests/determinism.rs
+
+tests/determinism.rs:

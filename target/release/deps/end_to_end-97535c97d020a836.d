@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-97535c97d020a836.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-97535c97d020a836: tests/end_to_end.rs
+
+tests/end_to_end.rs:

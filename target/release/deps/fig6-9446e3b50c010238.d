@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-9446e3b50c010238.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-9446e3b50c010238: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-ab88b59ef6cde5cd.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-ab88b59ef6cde5cd: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

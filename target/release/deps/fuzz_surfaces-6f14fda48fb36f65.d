@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzz_surfaces-6f14fda48fb36f65.d: tests/fuzz_surfaces.rs
+
+/root/repo/target/release/deps/fuzz_surfaces-6f14fda48fb36f65: tests/fuzz_surfaces.rs
+
+tests/fuzz_surfaces.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fuzz_surfaces-fc34564155600bae.d: tests/fuzz_surfaces.rs Cargo.toml
+
+/root/repo/target/release/deps/libfuzz_surfaces-fc34564155600bae.rmeta: tests/fuzz_surfaces.rs Cargo.toml
+
+tests/fuzz_surfaces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

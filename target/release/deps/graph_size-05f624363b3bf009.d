@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/graph_size-05f624363b3bf009.d: crates/bench/src/bin/graph_size.rs Cargo.toml
+
+/root/repo/target/release/deps/libgraph_size-05f624363b3bf009.rmeta: crates/bench/src/bin/graph_size.rs Cargo.toml
+
+crates/bench/src/bin/graph_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/graph_size-1633ab72ebbd749f.d: crates/bench/src/bin/graph_size.rs
+
+/root/repo/target/release/deps/graph_size-1633ab72ebbd749f: crates/bench/src/bin/graph_size.rs
+
+crates/bench/src/bin/graph_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/graph_size-e745720da30b472f.d: crates/bench/src/bin/graph_size.rs
+
+/root/repo/target/release/deps/graph_size-e745720da30b472f: crates/bench/src/bin/graph_size.rs
+
+crates/bench/src/bin/graph_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-aa626f613e7e6d81.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-aa626f613e7e6d81: tests/paper_claims.rs
+
+tests/paper_claims.rs:

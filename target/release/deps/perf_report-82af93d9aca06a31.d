@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/perf_report-82af93d9aca06a31.d: crates/bench/src/bin/perf_report.rs
+
+/root/repo/target/release/deps/perf_report-82af93d9aca06a31: crates/bench/src/bin/perf_report.rs
+
+crates/bench/src/bin/perf_report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/perf_report-fc5e6a0561b283f5.d: crates/bench/src/bin/perf_report.rs Cargo.toml
+
+/root/repo/target/release/deps/libperf_report-fc5e6a0561b283f5.rmeta: crates/bench/src/bin/perf_report.rs Cargo.toml
+
+crates/bench/src/bin/perf_report.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

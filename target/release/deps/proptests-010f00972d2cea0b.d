@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-010f00972d2cea0b.d: crates/crypto/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-010f00972d2cea0b.rmeta: crates/crypto/tests/proptests.rs Cargo.toml
+
+crates/crypto/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-34b5940951b44c7f.d: crates/isa/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-34b5940951b44c7f: crates/isa/tests/proptests.rs
+
+crates/isa/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-3714c79684d44658.d: crates/npu/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-3714c79684d44658: crates/npu/tests/proptests.rs
+
+crates/npu/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-5abedbe4417849ee.d: crates/npu/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-5abedbe4417849ee.rmeta: crates/npu/tests/proptests.rs Cargo.toml
+
+crates/npu/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

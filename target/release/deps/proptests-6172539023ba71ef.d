@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-6172539023ba71ef.d: crates/isa/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-6172539023ba71ef.rmeta: crates/isa/tests/proptests.rs Cargo.toml
+
+crates/isa/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-7cc0736b4d6733d5.d: crates/monitor/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-7cc0736b4d6733d5: crates/monitor/tests/proptests.rs
+
+crates/monitor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-ad1f83b6739547d1.d: crates/crypto/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-ad1f83b6739547d1: crates/crypto/tests/proptests.rs
+
+crates/crypto/tests/proptests.rs:

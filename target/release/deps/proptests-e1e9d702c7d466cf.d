@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-e1e9d702c7d466cf.d: crates/monitor/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-e1e9d702c7d466cf.rmeta: crates/monitor/tests/proptests.rs Cargo.toml
+
+crates/monitor/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/recovery_overhead-86ccb0e212c2c377.d: crates/bench/src/bin/recovery_overhead.rs Cargo.toml
+
+/root/repo/target/release/deps/librecovery_overhead-86ccb0e212c2c377.rmeta: crates/bench/src/bin/recovery_overhead.rs Cargo.toml
+
+crates/bench/src/bin/recovery_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

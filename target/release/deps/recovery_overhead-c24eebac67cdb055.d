@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/recovery_overhead-c24eebac67cdb055.d: crates/bench/src/bin/recovery_overhead.rs Cargo.toml
+
+/root/repo/target/release/deps/librecovery_overhead-c24eebac67cdb055.rmeta: crates/bench/src/bin/recovery_overhead.rs Cargo.toml
+
+crates/bench/src/bin/recovery_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

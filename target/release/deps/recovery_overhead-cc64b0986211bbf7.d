@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recovery_overhead-cc64b0986211bbf7.d: crates/bench/src/bin/recovery_overhead.rs
+
+/root/repo/target/release/deps/recovery_overhead-cc64b0986211bbf7: crates/bench/src/bin/recovery_overhead.rs
+
+crates/bench/src/bin/recovery_overhead.rs:

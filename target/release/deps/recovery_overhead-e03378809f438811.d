@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recovery_overhead-e03378809f438811.d: crates/bench/src/bin/recovery_overhead.rs
+
+/root/repo/target/release/deps/recovery_overhead-e03378809f438811: crates/bench/src/bin/recovery_overhead.rs
+
+crates/bench/src/bin/recovery_overhead.rs:

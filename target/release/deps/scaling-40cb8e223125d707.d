@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scaling-40cb8e223125d707.d: crates/bench/src/bin/scaling.rs Cargo.toml
+
+/root/repo/target/release/deps/libscaling-40cb8e223125d707.rmeta: crates/bench/src/bin/scaling.rs Cargo.toml
+
+crates/bench/src/bin/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-6d258259e062876f.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-6d258259e062876f: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-6ddde48053a61faf.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-6ddde48053a61faf: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scaling-e52adc809b12d1c8.d: crates/bench/src/bin/scaling.rs Cargo.toml
+
+/root/repo/target/release/deps/libscaling-e52adc809b12d1c8.rmeta: crates/bench/src/bin/scaling.rs Cargo.toml
+
+crates/bench/src/bin/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

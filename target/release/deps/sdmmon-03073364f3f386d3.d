@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sdmmon-03073364f3f386d3.d: src/bin/sdmmon.rs Cargo.toml
+
+/root/repo/target/release/deps/libsdmmon-03073364f3f386d3.rmeta: src/bin/sdmmon.rs Cargo.toml
+
+src/bin/sdmmon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sdmmon-1370b1e789bb8990.d: src/lib.rs
+
+/root/repo/target/release/deps/sdmmon-1370b1e789bb8990: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sdmmon-1a9fa70038a351fe.d: src/lib.rs
+
+/root/repo/target/release/deps/libsdmmon-1a9fa70038a351fe.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsdmmon-1a9fa70038a351fe.rmeta: src/lib.rs
+
+src/lib.rs:

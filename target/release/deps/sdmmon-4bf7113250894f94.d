@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sdmmon-4bf7113250894f94.d: src/bin/sdmmon.rs
+
+/root/repo/target/release/deps/sdmmon-4bf7113250894f94: src/bin/sdmmon.rs
+
+src/bin/sdmmon.rs:

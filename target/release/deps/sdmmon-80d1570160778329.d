@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sdmmon-80d1570160778329.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsdmmon-80d1570160778329.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sdmmon-dcbb1782a3acb6d9.d: src/bin/sdmmon.rs
+
+/root/repo/target/release/deps/sdmmon-dcbb1782a3acb6d9: src/bin/sdmmon.rs
+
+src/bin/sdmmon.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sdmmon-fab741c5e5c2c7f7.d: src/bin/sdmmon.rs Cargo.toml
+
+/root/repo/target/release/deps/libsdmmon-fab741c5e5c2c7f7.rmeta: src/bin/sdmmon.rs Cargo.toml
+
+src/bin/sdmmon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sdmmon_bench-11d3bc0b4ef86725.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsdmmon_bench-11d3bc0b4ef86725.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

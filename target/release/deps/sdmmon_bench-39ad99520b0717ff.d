@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sdmmon_bench-39ad99520b0717ff.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/sdmmon_bench-39ad99520b0717ff: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sdmmon_bench-662c400122c4a549.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsdmmon_bench-662c400122c4a549.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsdmmon_bench-662c400122c4a549.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sdmmon_bench-a5b81809eff53815.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsdmmon_bench-a5b81809eff53815.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

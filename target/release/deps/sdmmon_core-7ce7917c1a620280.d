@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sdmmon_core-7ce7917c1a620280.d: crates/core/src/lib.rs crates/core/src/cert.rs crates/core/src/entities.rs crates/core/src/package.rs crates/core/src/system.rs crates/core/src/timing.rs crates/core/src/wire.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/libsdmmon_core-7ce7917c1a620280.rlib: crates/core/src/lib.rs crates/core/src/cert.rs crates/core/src/entities.rs crates/core/src/package.rs crates/core/src/system.rs crates/core/src/timing.rs crates/core/src/wire.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/libsdmmon_core-7ce7917c1a620280.rmeta: crates/core/src/lib.rs crates/core/src/cert.rs crates/core/src/entities.rs crates/core/src/package.rs crates/core/src/system.rs crates/core/src/timing.rs crates/core/src/wire.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cert.rs:
+crates/core/src/entities.rs:
+crates/core/src/package.rs:
+crates/core/src/system.rs:
+crates/core/src/timing.rs:
+crates/core/src/wire.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sdmmon_core-c718646940c4d653.d: crates/core/src/lib.rs crates/core/src/cert.rs crates/core/src/entities.rs crates/core/src/package.rs crates/core/src/system.rs crates/core/src/timing.rs crates/core/src/wire.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/sdmmon_core-c718646940c4d653: crates/core/src/lib.rs crates/core/src/cert.rs crates/core/src/entities.rs crates/core/src/package.rs crates/core/src/system.rs crates/core/src/timing.rs crates/core/src/wire.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cert.rs:
+crates/core/src/entities.rs:
+crates/core/src/package.rs:
+crates/core/src/system.rs:
+crates/core/src/timing.rs:
+crates/core/src/wire.rs:
+crates/core/src/workload.rs:

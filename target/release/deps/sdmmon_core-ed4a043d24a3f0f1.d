@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sdmmon_core-ed4a043d24a3f0f1.d: crates/core/src/lib.rs crates/core/src/cert.rs crates/core/src/entities.rs crates/core/src/package.rs crates/core/src/system.rs crates/core/src/timing.rs crates/core/src/wire.rs crates/core/src/workload.rs Cargo.toml
+
+/root/repo/target/release/deps/libsdmmon_core-ed4a043d24a3f0f1.rmeta: crates/core/src/lib.rs crates/core/src/cert.rs crates/core/src/entities.rs crates/core/src/package.rs crates/core/src/system.rs crates/core/src/timing.rs crates/core/src/wire.rs crates/core/src/workload.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cert.rs:
+crates/core/src/entities.rs:
+crates/core/src/package.rs:
+crates/core/src/system.rs:
+crates/core/src/timing.rs:
+crates/core/src/wire.rs:
+crates/core/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

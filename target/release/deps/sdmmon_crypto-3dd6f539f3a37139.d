@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sdmmon_crypto-3dd6f539f3a37139.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/bignum.rs crates/crypto/src/hmac.rs crates/crypto/src/montgomery.rs crates/crypto/src/prime.rs crates/crypto/src/rsa.rs crates/crypto/src/sha256.rs Cargo.toml
+
+/root/repo/target/release/deps/libsdmmon_crypto-3dd6f539f3a37139.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/bignum.rs crates/crypto/src/hmac.rs crates/crypto/src/montgomery.rs crates/crypto/src/prime.rs crates/crypto/src/rsa.rs crates/crypto/src/sha256.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/bignum.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/montgomery.rs:
+crates/crypto/src/prime.rs:
+crates/crypto/src/rsa.rs:
+crates/crypto/src/sha256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sdmmon_fpga-23da4f48d459e429.d: crates/fpga/src/lib.rs crates/fpga/src/components.rs crates/fpga/src/model.rs
+
+/root/repo/target/release/deps/sdmmon_fpga-23da4f48d459e429: crates/fpga/src/lib.rs crates/fpga/src/components.rs crates/fpga/src/model.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/components.rs:
+crates/fpga/src/model.rs:

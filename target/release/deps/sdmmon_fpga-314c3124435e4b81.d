@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sdmmon_fpga-314c3124435e4b81.d: crates/fpga/src/lib.rs crates/fpga/src/components.rs crates/fpga/src/model.rs Cargo.toml
+
+/root/repo/target/release/deps/libsdmmon_fpga-314c3124435e4b81.rmeta: crates/fpga/src/lib.rs crates/fpga/src/components.rs crates/fpga/src/model.rs Cargo.toml
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/components.rs:
+crates/fpga/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sdmmon_fpga-a59129e009ee6c97.d: crates/fpga/src/lib.rs crates/fpga/src/components.rs crates/fpga/src/model.rs
+
+/root/repo/target/release/deps/libsdmmon_fpga-a59129e009ee6c97.rlib: crates/fpga/src/lib.rs crates/fpga/src/components.rs crates/fpga/src/model.rs
+
+/root/repo/target/release/deps/libsdmmon_fpga-a59129e009ee6c97.rmeta: crates/fpga/src/lib.rs crates/fpga/src/components.rs crates/fpga/src/model.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/components.rs:
+crates/fpga/src/model.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sdmmon_isa-48023fa014c80a72.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libsdmmon_isa-48023fa014c80a72.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libsdmmon_isa-48023fa014c80a72.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sdmmon_isa-6a22b377799d1e65.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/sdmmon_isa-6a22b377799d1e65: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sdmmon_monitor-77250b3e3a3091d7.d: crates/monitor/src/lib.rs crates/monitor/src/block.rs crates/monitor/src/graph.rs crates/monitor/src/hash.rs crates/monitor/src/monitor.rs
+
+/root/repo/target/release/deps/sdmmon_monitor-77250b3e3a3091d7: crates/monitor/src/lib.rs crates/monitor/src/block.rs crates/monitor/src/graph.rs crates/monitor/src/hash.rs crates/monitor/src/monitor.rs
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/block.rs:
+crates/monitor/src/graph.rs:
+crates/monitor/src/hash.rs:
+crates/monitor/src/monitor.rs:

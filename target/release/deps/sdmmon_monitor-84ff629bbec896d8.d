@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sdmmon_monitor-84ff629bbec896d8.d: crates/monitor/src/lib.rs crates/monitor/src/block.rs crates/monitor/src/graph.rs crates/monitor/src/hash.rs crates/monitor/src/monitor.rs Cargo.toml
+
+/root/repo/target/release/deps/libsdmmon_monitor-84ff629bbec896d8.rmeta: crates/monitor/src/lib.rs crates/monitor/src/block.rs crates/monitor/src/graph.rs crates/monitor/src/hash.rs crates/monitor/src/monitor.rs Cargo.toml
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/block.rs:
+crates/monitor/src/graph.rs:
+crates/monitor/src/hash.rs:
+crates/monitor/src/monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

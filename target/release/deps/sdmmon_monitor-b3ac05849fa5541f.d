@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sdmmon_monitor-b3ac05849fa5541f.d: crates/monitor/src/lib.rs crates/monitor/src/block.rs crates/monitor/src/graph.rs crates/monitor/src/hash.rs crates/monitor/src/monitor.rs Cargo.toml
+
+/root/repo/target/release/deps/libsdmmon_monitor-b3ac05849fa5541f.rmeta: crates/monitor/src/lib.rs crates/monitor/src/block.rs crates/monitor/src/graph.rs crates/monitor/src/hash.rs crates/monitor/src/monitor.rs Cargo.toml
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/block.rs:
+crates/monitor/src/graph.rs:
+crates/monitor/src/hash.rs:
+crates/monitor/src/monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

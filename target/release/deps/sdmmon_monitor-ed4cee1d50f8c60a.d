@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sdmmon_monitor-ed4cee1d50f8c60a.d: crates/monitor/src/lib.rs crates/monitor/src/block.rs crates/monitor/src/graph.rs crates/monitor/src/hash.rs crates/monitor/src/monitor.rs
+
+/root/repo/target/release/deps/libsdmmon_monitor-ed4cee1d50f8c60a.rlib: crates/monitor/src/lib.rs crates/monitor/src/block.rs crates/monitor/src/graph.rs crates/monitor/src/hash.rs crates/monitor/src/monitor.rs
+
+/root/repo/target/release/deps/libsdmmon_monitor-ed4cee1d50f8c60a.rmeta: crates/monitor/src/lib.rs crates/monitor/src/block.rs crates/monitor/src/graph.rs crates/monitor/src/hash.rs crates/monitor/src/monitor.rs
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/block.rs:
+crates/monitor/src/graph.rs:
+crates/monitor/src/hash.rs:
+crates/monitor/src/monitor.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sdmmon_net-03f262cc45501eb0.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/packet.rs crates/net/src/traffic.rs
+
+/root/repo/target/release/deps/sdmmon_net-03f262cc45501eb0: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/packet.rs crates/net/src/traffic.rs
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/packet.rs:
+crates/net/src/traffic.rs:

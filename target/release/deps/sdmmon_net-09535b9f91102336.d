@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sdmmon_net-09535b9f91102336.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/packet.rs crates/net/src/traffic.rs
+
+/root/repo/target/release/deps/libsdmmon_net-09535b9f91102336.rlib: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/packet.rs crates/net/src/traffic.rs
+
+/root/repo/target/release/deps/libsdmmon_net-09535b9f91102336.rmeta: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/packet.rs crates/net/src/traffic.rs
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/packet.rs:
+crates/net/src/traffic.rs:

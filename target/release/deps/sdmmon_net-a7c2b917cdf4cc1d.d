@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sdmmon_net-a7c2b917cdf4cc1d.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/packet.rs crates/net/src/traffic.rs Cargo.toml
+
+/root/repo/target/release/deps/libsdmmon_net-a7c2b917cdf4cc1d.rmeta: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/packet.rs crates/net/src/traffic.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/packet.rs:
+crates/net/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sdmmon_npu-04deda981618cb5c.d: crates/npu/src/lib.rs crates/npu/src/core.rs crates/npu/src/cpu.rs crates/npu/src/mem.rs crates/npu/src/np.rs crates/npu/src/programs.rs crates/npu/src/runtime.rs crates/npu/src/timing.rs crates/npu/src/trace.rs
+
+/root/repo/target/release/deps/libsdmmon_npu-04deda981618cb5c.rlib: crates/npu/src/lib.rs crates/npu/src/core.rs crates/npu/src/cpu.rs crates/npu/src/mem.rs crates/npu/src/np.rs crates/npu/src/programs.rs crates/npu/src/runtime.rs crates/npu/src/timing.rs crates/npu/src/trace.rs
+
+/root/repo/target/release/deps/libsdmmon_npu-04deda981618cb5c.rmeta: crates/npu/src/lib.rs crates/npu/src/core.rs crates/npu/src/cpu.rs crates/npu/src/mem.rs crates/npu/src/np.rs crates/npu/src/programs.rs crates/npu/src/runtime.rs crates/npu/src/timing.rs crates/npu/src/trace.rs
+
+crates/npu/src/lib.rs:
+crates/npu/src/core.rs:
+crates/npu/src/cpu.rs:
+crates/npu/src/mem.rs:
+crates/npu/src/np.rs:
+crates/npu/src/programs.rs:
+crates/npu/src/runtime.rs:
+crates/npu/src/timing.rs:
+crates/npu/src/trace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/sdmmon_npu-9afd7f7979facd13.d: crates/npu/src/lib.rs crates/npu/src/core.rs crates/npu/src/cpu.rs crates/npu/src/mem.rs crates/npu/src/np.rs crates/npu/src/programs.rs crates/npu/src/runtime.rs crates/npu/src/timing.rs crates/npu/src/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libsdmmon_npu-9afd7f7979facd13.rmeta: crates/npu/src/lib.rs crates/npu/src/core.rs crates/npu/src/cpu.rs crates/npu/src/mem.rs crates/npu/src/np.rs crates/npu/src/programs.rs crates/npu/src/runtime.rs crates/npu/src/timing.rs crates/npu/src/trace.rs Cargo.toml
+
+crates/npu/src/lib.rs:
+crates/npu/src/core.rs:
+crates/npu/src/cpu.rs:
+crates/npu/src/mem.rs:
+crates/npu/src/np.rs:
+crates/npu/src/programs.rs:
+crates/npu/src/runtime.rs:
+crates/npu/src/timing.rs:
+crates/npu/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sdmmon_npu-ad05cd4bfad064e0.d: crates/npu/src/lib.rs crates/npu/src/core.rs crates/npu/src/cpu.rs crates/npu/src/mem.rs crates/npu/src/np.rs crates/npu/src/programs.rs crates/npu/src/runtime.rs crates/npu/src/timing.rs crates/npu/src/trace.rs
+
+/root/repo/target/release/deps/sdmmon_npu-ad05cd4bfad064e0: crates/npu/src/lib.rs crates/npu/src/core.rs crates/npu/src/cpu.rs crates/npu/src/mem.rs crates/npu/src/np.rs crates/npu/src/programs.rs crates/npu/src/runtime.rs crates/npu/src/timing.rs crates/npu/src/trace.rs
+
+crates/npu/src/lib.rs:
+crates/npu/src/core.rs:
+crates/npu/src/cpu.rs:
+crates/npu/src/mem.rs:
+crates/npu/src/np.rs:
+crates/npu/src/programs.rs:
+crates/npu/src/runtime.rs:
+crates/npu/src/timing.rs:
+crates/npu/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sdmmon_rng-06ccfaadd2497d81.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libsdmmon_rng-06ccfaadd2497d81.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libsdmmon_rng-06ccfaadd2497d81.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sdmmon_rng-0bf0ab0cc23d100c.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/sdmmon_rng-0bf0ab0cc23d100c: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sdmmon_rng-7a7a52347d87394d.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsdmmon_rng-7a7a52347d87394d.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

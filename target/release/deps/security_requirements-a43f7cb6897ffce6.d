@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/security_requirements-a43f7cb6897ffce6.d: tests/security_requirements.rs Cargo.toml
+
+/root/repo/target/release/deps/libsecurity_requirements-a43f7cb6897ffce6.rmeta: tests/security_requirements.rs Cargo.toml
+
+tests/security_requirements.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/security_requirements-ad421b2697fd6a3e.d: tests/security_requirements.rs
+
+/root/repo/target/release/deps/security_requirements-ad421b2697fd6a3e: tests/security_requirements.rs
+
+tests/security_requirements.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table1-c30b6119d8d4416f.d: crates/bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable1-c30b6119d8d4416f.rmeta: crates/bench/src/bin/table1.rs Cargo.toml
+
+crates/bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

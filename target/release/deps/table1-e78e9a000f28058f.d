@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-e78e9a000f28058f.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-e78e9a000f28058f: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-f604e6c740475a52.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-f604e6c740475a52: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

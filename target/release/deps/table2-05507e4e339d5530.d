@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-05507e4e339d5530.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-05507e4e339d5530: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-8e01c2a155999a80.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-8e01c2a155999a80: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

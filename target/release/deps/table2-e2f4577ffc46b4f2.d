@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table2-e2f4577ffc46b4f2.d: crates/bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable2-e2f4577ffc46b4f2.rmeta: crates/bench/src/bin/table2.rs Cargo.toml
+
+crates/bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-a752a5049aa5a4d5.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-a752a5049aa5a4d5: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-326d56c26487b34f.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-326d56c26487b34f: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

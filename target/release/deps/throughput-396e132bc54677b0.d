@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/throughput-396e132bc54677b0.d: crates/bench/src/bin/throughput.rs Cargo.toml
+
+/root/repo/target/release/deps/libthroughput-396e132bc54677b0.rmeta: crates/bench/src/bin/throughput.rs Cargo.toml
+
+crates/bench/src/bin/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-5c637601e1761d67.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-5c637601e1761d67: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

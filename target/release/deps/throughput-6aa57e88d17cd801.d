@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/throughput-6aa57e88d17cd801.d: crates/bench/src/bin/throughput.rs Cargo.toml
+
+/root/repo/target/release/deps/libthroughput-6aa57e88d17cd801.rmeta: crates/bench/src/bin/throughput.rs Cargo.toml
+
+crates/bench/src/bin/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

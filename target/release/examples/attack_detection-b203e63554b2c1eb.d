@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/attack_detection-b203e63554b2c1eb.d: examples/attack_detection.rs
+
+/root/repo/target/release/examples/attack_detection-b203e63554b2c1eb: examples/attack_detection.rs
+
+examples/attack_detection.rs:

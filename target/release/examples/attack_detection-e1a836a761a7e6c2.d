@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/attack_detection-e1a836a761a7e6c2.d: examples/attack_detection.rs Cargo.toml
+
+/root/repo/target/release/examples/libattack_detection-e1a836a761a7e6c2.rmeta: examples/attack_detection.rs Cargo.toml
+
+examples/attack_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dynamic_workloads-70a1b50ea9afae7b.d: examples/dynamic_workloads.rs
+
+/root/repo/target/release/examples/dynamic_workloads-70a1b50ea9afae7b: examples/dynamic_workloads.rs
+
+examples/dynamic_workloads.rs:

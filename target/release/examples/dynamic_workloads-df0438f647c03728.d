@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/dynamic_workloads-df0438f647c03728.d: examples/dynamic_workloads.rs Cargo.toml
+
+/root/repo/target/release/examples/libdynamic_workloads-df0438f647c03728.rmeta: examples/dynamic_workloads.rs Cargo.toml
+
+examples/dynamic_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/fleet_diversity-3f08779315981b4f.d: examples/fleet_diversity.rs Cargo.toml
+
+/root/repo/target/release/examples/libfleet_diversity-3f08779315981b4f.rmeta: examples/fleet_diversity.rs Cargo.toml
+
+examples/fleet_diversity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fleet_diversity-9c1511aea2dbc94a.d: examples/fleet_diversity.rs
+
+/root/repo/target/release/examples/fleet_diversity-9c1511aea2dbc94a: examples/fleet_diversity.rs
+
+examples/fleet_diversity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-04642da355991b65.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-04642da355991b65: examples/quickstart.rs
+
+examples/quickstart.rs:

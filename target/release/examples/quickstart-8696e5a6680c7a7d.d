@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-8696e5a6680c7a7d.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-8696e5a6680c7a7d.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

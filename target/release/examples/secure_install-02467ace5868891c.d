@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/secure_install-02467ace5868891c.d: examples/secure_install.rs
+
+/root/repo/target/release/examples/secure_install-02467ace5868891c: examples/secure_install.rs
+
+examples/secure_install.rs:

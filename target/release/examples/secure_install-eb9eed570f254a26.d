@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/secure_install-eb9eed570f254a26.d: examples/secure_install.rs Cargo.toml
+
+/root/repo/target/release/examples/libsecure_install-eb9eed570f254a26.rmeta: examples/secure_install.rs Cargo.toml
+
+examples/secure_install.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

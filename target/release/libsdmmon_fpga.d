@@ -1,0 +1,1 @@
+/root/repo/target/release/libsdmmon_fpga.rlib: /root/repo/crates/fpga/src/components.rs /root/repo/crates/fpga/src/lib.rs /root/repo/crates/fpga/src/model.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libsdmmon_isa.rlib: /root/repo/crates/isa/src/asm.rs /root/repo/crates/isa/src/inst.rs /root/repo/crates/isa/src/lib.rs /root/repo/crates/isa/src/reg.rs

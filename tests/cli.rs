@@ -35,7 +35,11 @@ fn no_args_is_a_usage_error() {
 fn asm_disassembles_to_stdout() {
     let src = write_temp("tiny.s", TINY);
     let out = sdmmon().arg("asm").arg(&src).output().expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("lui"), "{text}");
     assert!(text.contains("break"), "{text}");
@@ -45,8 +49,18 @@ fn asm_disassembles_to_stdout() {
 fn asm_then_disasm_round_trip() {
     let src = write_temp("rt.s", TINY);
     let bin = write_temp("rt.bin", "");
-    let out = sdmmon().arg("asm").arg(&src).arg("-o").arg(&bin).output().expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = sdmmon()
+        .arg("asm")
+        .arg(&src)
+        .arg("-o")
+        .arg(&bin)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = sdmmon().arg("disasm").arg(&bin).output().expect("spawn");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
@@ -65,7 +79,11 @@ fn graph_reports_statistics() {
         .arg("sbox")
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("instructions:  6"), "{text}"); // 2x li = 4 words + sw + break
     assert!(text.contains("param 0xdeadbeef"), "{text}");
@@ -83,7 +101,11 @@ fn run_executes_a_packet_with_monitor_and_trace() {
         .arg("4")
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("verdict:  forward(port 7)"), "{text}");
     assert!(text.contains("0 violations"), "{text}");
@@ -96,7 +118,11 @@ fn bad_inputs_yield_clean_errors() {
     let out = sdmmon().arg("frobnicate").output().expect("spawn");
     assert_eq!(out.status.code(), Some(1));
     // Missing file.
-    let out = sdmmon().arg("asm").arg("/nonexistent/x.s").output().expect("spawn");
+    let out = sdmmon()
+        .arg("asm")
+        .arg("/nonexistent/x.s")
+        .output()
+        .expect("spawn");
     assert_eq!(out.status.code(), Some(2));
     // Assembly error reports the line.
     let src = write_temp("bad.s", "frobnicate $t0\n");
@@ -105,6 +131,12 @@ fn bad_inputs_yield_clean_errors() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
     // Odd hex.
     let src = write_temp("odd.s", TINY);
-    let out = sdmmon().arg("run").arg(&src).arg("--packet").arg("abc").output().expect("spawn");
+    let out = sdmmon()
+        .arg("run")
+        .arg(&src)
+        .arg("--packet")
+        .arg("abc")
+        .output()
+        .expect("spawn");
     assert_eq!(out.status.code(), Some(1));
 }

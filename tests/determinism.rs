@@ -2,22 +2,22 @@
 //! whole pipeline — key generation, packaging, installation, traffic,
 //! detection — must be bit-for-bit deterministic for a fixed seed.
 
-use rand::SeedableRng;
 use sdmmon::core::entities::{Manufacturer, NetworkOperator};
 use sdmmon::core::system::Fleet;
 use sdmmon::net::traffic::{TrafficConfig, TrafficGenerator};
 use sdmmon::npu::programs;
+use sdmmon_rng::SeedableRng;
 
 const KEY_BITS: usize = 512;
 
 fn build_fleet(seed: u64) -> (Fleet, Vec<u32>) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(seed);
     let manufacturer = Manufacturer::new("acme", KEY_BITS, &mut rng).expect("keygen");
     let mut operator = NetworkOperator::new("op", KEY_BITS, &mut rng).expect("keygen");
     operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));
     let program = programs::ipv4_forward().expect("workload");
-    let fleet = Fleet::deploy(&manufacturer, &operator, &program, 3, 2, KEY_BITS, &mut rng)
-        .expect("fleet");
+    let fleet =
+        Fleet::deploy(&manufacturer, &operator, &program, 3, 2, KEY_BITS, &mut rng).expect("fleet");
     let params = fleet
         .routers()
         .iter()
@@ -30,7 +30,10 @@ fn build_fleet(seed: u64) -> (Fleet, Vec<u32>) {
 fn same_seed_same_fleet() {
     let (_, params_a) = build_fleet(42);
     let (_, params_b) = build_fleet(42);
-    assert_eq!(params_a, params_b, "identical seeds give identical parameters");
+    assert_eq!(
+        params_a, params_b,
+        "identical seeds give identical parameters"
+    );
     let (_, params_c) = build_fleet(43);
     assert_ne!(params_a, params_c, "different seeds diverge");
 }
@@ -38,11 +41,13 @@ fn same_seed_same_fleet() {
 #[test]
 fn same_seed_same_packaging_bytes() {
     let run = || {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = sdmmon_rng::StdRng::seed_from_u64(7);
         let manufacturer = Manufacturer::new("m", KEY_BITS, &mut rng).expect("keygen");
         let mut operator = NetworkOperator::new("o", KEY_BITS, &mut rng).expect("keygen");
         operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "o"));
-        let router = manufacturer.provision_router("r", 1, KEY_BITS, &mut rng).expect("router");
+        let router = manufacturer
+            .provision_router("r", 1, KEY_BITS, &mut rng)
+            .expect("router");
         let program = programs::ipv4_cm().expect("workload");
         operator
             .prepare_package(&program, router.public_key(), &mut rng)

@@ -2,31 +2,44 @@
 //! secure deployment over the simulated network, mixed data-plane traffic,
 //! attack detection and recovery, and runtime re-programming.
 
-use rand::SeedableRng;
 use sdmmon::core::entities::{Manufacturer, NetworkOperator};
 use sdmmon::core::system::{deploy, Fleet};
 use sdmmon::net::channel::{Channel, FileServer};
 use sdmmon::net::traffic::{PacketKind, TrafficConfig, TrafficGenerator};
 use sdmmon::npu::programs::{self, testing};
 use sdmmon::npu::runtime::{HaltReason, Verdict};
+use sdmmon_rng::SeedableRng;
 
 const KEY_BITS: usize = 512;
 
 #[test]
 fn full_lifecycle_with_mixed_traffic() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE2E);
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(0xE2E);
     let manufacturer = Manufacturer::new("acme", KEY_BITS, &mut rng).expect("keygen");
     let mut operator = NetworkOperator::new("op", KEY_BITS, &mut rng).expect("keygen");
     operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));
-    let mut router = manufacturer.provision_router("edge-1", 4, KEY_BITS, &mut rng).expect("provision");
+    let mut router = manufacturer
+        .provision_router("edge-1", 4, KEY_BITS, &mut rng)
+        .expect("provision");
 
     // Secure deployment over the simulated FTP path.
     let program = programs::ipv4_forward().expect("workload");
     let mut server = FileServer::new();
     let channel = Channel::paper_testbed();
-    let report = deploy(&operator, &program, &mut router, &[0, 1, 2, 3], &mut server, &channel, &mut rng)
-        .expect("deployment");
-    assert!(report.total_time().as_secs_f64() > 1.0, "modelled install takes seconds");
+    let report = deploy(
+        &operator,
+        &program,
+        &mut router,
+        &[0, 1, 2, 3],
+        &mut server,
+        &channel,
+        &mut rng,
+    )
+    .expect("deployment");
+    assert!(
+        report.total_time().as_secs_f64() > 1.0,
+        "modelled install takes seconds"
+    );
 
     // Mixed traffic: 20% structurally malformed packets. Malformed input
     // is *normal traffic* to the monitor — the binary's validation path
@@ -41,7 +54,11 @@ fn full_lifecycle_with_mixed_traffic() {
     for _ in 0..300 {
         let (packet, kind) = gen.next_packet();
         let (_, outcome) = router.process(&packet);
-        assert_eq!(outcome.halt, HaltReason::Completed, "validation handles junk");
+        assert_eq!(
+            outcome.halt,
+            HaltReason::Completed,
+            "validation handles junk"
+        );
         match kind {
             PacketKind::Valid => assert_ne!(outcome.verdict, Verdict::Drop),
             PacketKind::Malformed => {
@@ -59,11 +76,13 @@ fn full_lifecycle_with_mixed_traffic() {
 
 #[test]
 fn attack_detection_and_recovery_through_full_stack() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE2F);
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(0xE2F);
     let manufacturer = Manufacturer::new("acme", KEY_BITS, &mut rng).expect("keygen");
     let mut operator = NetworkOperator::new("op", KEY_BITS, &mut rng).expect("keygen");
     operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));
-    let mut router = manufacturer.provision_router("edge-2", 2, KEY_BITS, &mut rng).expect("provision");
+    let mut router = manufacturer
+        .provision_router("edge-2", 2, KEY_BITS, &mut rng)
+        .expect("provision");
 
     let program = programs::vulnerable_forward().expect("workload");
     let bundle = operator
@@ -86,7 +105,11 @@ fn attack_detection_and_recovery_through_full_stack() {
         assert_eq!(out.halt, HaltReason::MonitorViolation, "round {round}");
         assert_eq!(out.verdict, Verdict::Drop);
         let out = router.process_on(round % 2, &good);
-        assert_eq!(out.verdict, Verdict::Forward(2), "service restored, round {round}");
+        assert_eq!(
+            out.verdict,
+            Verdict::Forward(2),
+            "service restored, round {round}"
+        );
     }
     let stats = router.stats();
     assert_eq!(stats.violations, 3);
@@ -96,11 +119,13 @@ fn attack_detection_and_recovery_through_full_stack() {
 
 #[test]
 fn runtime_reprogramming_switches_and_keeps_monitoring() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE30);
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(0xE30);
     let manufacturer = Manufacturer::new("acme", KEY_BITS, &mut rng).expect("keygen");
     let mut operator = NetworkOperator::new("op", KEY_BITS, &mut rng).expect("keygen");
     operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));
-    let mut router = manufacturer.provision_router("edge-3", 1, KEY_BITS, &mut rng).expect("provision");
+    let mut router = manufacturer
+        .provision_router("edge-3", 1, KEY_BITS, &mut rng)
+        .expect("provision");
 
     let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 3], 64, b"x");
     for program in [
@@ -116,12 +141,16 @@ fn runtime_reprogramming_switches_and_keeps_monitoring() {
         assert_eq!(out.halt, HaltReason::Completed);
         assert_eq!(out.verdict, Verdict::Forward(3));
     }
-    assert_eq!(router.stats().violations, 0, "reprogramming never trips the monitor");
+    assert_eq!(
+        router.stats().violations,
+        0,
+        "reprogramming never trips the monitor"
+    );
 }
 
 #[test]
 fn fleet_survives_broadcast_attack_storm() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE31);
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(0xE31);
     let manufacturer = Manufacturer::new("acme", KEY_BITS, &mut rng).expect("keygen");
     let mut operator = NetworkOperator::new("op", KEY_BITS, &mut rng).expect("keygen");
     operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));

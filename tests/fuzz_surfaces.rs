@@ -2,57 +2,71 @@
 //! random and truncated inputs must produce clean errors, never panics.
 //! (The control processor parses these bytes *before* any signature check,
 //! so the parsers themselves are attack surface.)
+//!
+//! Cases are drawn from seeded [`StdRng`] streams so failures reproduce.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
 use sdmmon::core::cert::Certificate;
 use sdmmon::core::package::{InstallationBundle, Package};
 use sdmmon::monitor::MonitoringGraph;
 use sdmmon::net::packet::Ipv4Packet;
+use sdmmon_rng::{Rng, RngCore, SeedableRng, StdRng};
 
-proptest! {
-    /// Random bytes into every deserializer: error or valid value, no panic.
-    #[test]
-    fn deserializers_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+const CASES: usize = 256;
+
+/// Random bytes into every deserializer: error or valid value, no panic.
+#[test]
+fn deserializers_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xF0_0001);
+    for _ in 0..CASES {
+        let mut bytes = vec![0u8; rng.gen_range(0..300usize)];
+        rng.fill_bytes(&mut bytes);
         let _ = Package::from_bytes(&bytes);
         let _ = InstallationBundle::from_bytes(&bytes);
         let _ = Certificate::from_bytes(&bytes);
         let _ = MonitoringGraph::from_bytes(&bytes);
         let _ = Ipv4Packet::parse(&bytes);
     }
+}
 
-    /// Any truncation of a *valid* bundle is rejected (never mis-parsed).
-    #[test]
-    fn truncated_bundles_rejected(cut in 0usize..100) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let keys = sdmmon::crypto::rsa::RsaKeyPair::generate(512, &mut rng).expect("keygen");
-        let cert = Certificate::issue("op", &keys.public, &keys.private);
-        let bundle = InstallationBundle {
-            ciphertext: vec![1; 64],
-            wrapped_key: vec![2; 32],
-            signature: vec![3; 32],
-            certificate: cert,
-        };
-        let bytes = bundle.to_bytes();
-        prop_assume!(cut < bytes.len());
+/// Any truncation of a *valid* bundle is rejected (never mis-parsed).
+#[test]
+fn truncated_bundles_rejected() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let keys = sdmmon::crypto::rsa::RsaKeyPair::generate(512, &mut rng).expect("keygen");
+    let cert = Certificate::issue("op", &keys.public, &keys.private);
+    let bundle = InstallationBundle {
+        ciphertext: vec![1; 64],
+        wrapped_key: vec![2; 32],
+        signature: vec![3; 32],
+        certificate: cert,
+    };
+    let bytes = bundle.to_bytes();
+    for cut in 0..100.min(bytes.len() - 1) {
         let truncated = &bytes[..bytes.len() - 1 - cut];
-        prop_assert!(InstallationBundle::from_bytes(truncated).is_err());
+        assert!(
+            InstallationBundle::from_bytes(truncated).is_err(),
+            "cut {cut}"
+        );
     }
+}
 
-    /// Bit-flipping a valid serialized monitoring graph either still parses
-    /// (to a different graph) or errors — and reserialization of whatever
-    /// parses is stable.
-    #[test]
-    fn graph_bitflips_are_contained(flip in any::<prop::sample::Index>()) {
-        let program = sdmmon::npu::programs::ipv4_forward().expect("workload");
-        let hash = sdmmon::monitor::MerkleTreeHash::new(1);
-        let graph = MonitoringGraph::extract(&program, &hash).expect("graph");
-        let mut bytes = graph.to_bytes();
-        let at = flip.index(bytes.len());
-        bytes[at] ^= 0x01;
-        if let Ok(parsed) = MonitoringGraph::from_bytes(&bytes) {
+/// Bit-flipping a valid serialized monitoring graph either still parses
+/// (to a different graph) or errors — and reserialization of whatever
+/// parses is stable.
+#[test]
+fn graph_bitflips_are_contained() {
+    let program = sdmmon::npu::programs::ipv4_forward().expect("workload");
+    let hash = sdmmon::monitor::MerkleTreeHash::new(1);
+    let graph = MonitoringGraph::extract(&program, &hash).expect("graph");
+    let bytes = graph.to_bytes();
+    let mut rng = StdRng::seed_from_u64(0xF0_0003);
+    for _ in 0..CASES {
+        let mut mutated = bytes.clone();
+        let at = rng.gen_range(0..mutated.len());
+        mutated[at] ^= 0x01;
+        if let Ok(parsed) = MonitoringGraph::from_bytes(&mutated) {
             let re = parsed.to_bytes();
-            prop_assert_eq!(MonitoringGraph::from_bytes(&re).expect("stable"), parsed);
+            assert_eq!(MonitoringGraph::from_bytes(&re).expect("stable"), parsed);
         }
     }
 }

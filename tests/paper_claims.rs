@@ -1,18 +1,18 @@
 //! Quantitative checks of the paper's headline claims, at test scale
 //! (the bench binaries run the full-scale versions).
 
-use rand::{Rng, SeedableRng};
 use sdmmon::fpga::components;
 use sdmmon::monitor::hash::{hamming, InstructionHash, MerkleTreeHash};
 use sdmmon::monitor::MonitoringGraph;
 use sdmmon::net::channel::Channel;
 use sdmmon::npu::programs;
+use sdmmon_rng::{Rng, SeedableRng};
 
 /// §2.1: escape probability falls geometrically (≈16× per instruction).
 #[test]
 fn detection_probability_is_geometric() {
     let program = programs::ipv4_forward().expect("workload");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x6E0);
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(0x6E0);
     let trials = 200_000u64;
     let mut escapes = [0u64; 3]; // k = 1, 2, 3
     let hash = MerkleTreeHash::new(rng.gen());
@@ -46,7 +46,10 @@ fn detection_probability_is_geometric() {
     let p2 = escapes[1] as f64 / trials as f64;
     assert!((0.04..0.09).contains(&p1), "P(escape 1) = {p1}");
     let ratio = p1 / p2;
-    assert!((8.0..30.0).contains(&ratio), "geometric decrease, ratio {ratio}");
+    assert!(
+        (8.0..30.0).contains(&ratio),
+        "geometric decrease, ratio {ratio}"
+    );
 }
 
 /// §2.1: the monitoring graph is a fraction of the processing binary.
@@ -67,8 +70,8 @@ fn graph_is_a_fraction_of_the_binary() {
 /// input HD ≥ 2, with input HD 1 slightly skewed.
 #[test]
 fn figure6_shape_holds() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF16);
-    let mean_for = |input_hd: u32, rng: &mut rand::rngs::StdRng| -> f64 {
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(0xF16);
+    let mean_for = |input_hd: u32, rng: &mut sdmmon_rng::StdRng| -> f64 {
         let pairs = 4_000;
         let mut sum = 0u64;
         for _ in 0..pairs {
@@ -92,7 +95,10 @@ fn figure6_shape_holds() {
         assert!((1.85..2.15).contains(&mean), "input HD {d}: mean {mean}");
     }
     let hd1 = mean_for(1, &mut rng);
-    assert!(hd1 < 1.85, "input HD 1 must deviate from the plateau, got {hd1}");
+    assert!(
+        hd1 < 1.85,
+        "input HD 1 must deviate from the plateau, got {hd1}"
+    );
 }
 
 /// Table 1: the control processor is about a third of a monitored NP core.

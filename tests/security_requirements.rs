@@ -1,7 +1,6 @@
 //! Integration tests for the paper's four security requirements (§2.2.1),
 //! exercised end-to-end across all crates through the facade.
 
-use rand::SeedableRng;
 use sdmmon::core::cert::Certificate;
 use sdmmon::core::entities::{Manufacturer, NetworkOperator, RouterDevice};
 use sdmmon::core::package::{InstallationBundle, Package};
@@ -10,6 +9,7 @@ use sdmmon::crypto::rsa::RsaKeyPair;
 use sdmmon::monitor::hash::Compression;
 use sdmmon::monitor::{MerkleTreeHash, MonitoringGraph};
 use sdmmon::npu::programs;
+use sdmmon_rng::SeedableRng;
 
 const KEY_BITS: usize = 512;
 
@@ -17,16 +17,23 @@ struct World {
     manufacturer: Manufacturer,
     operator: NetworkOperator,
     router: RouterDevice,
-    rng: rand::rngs::StdRng,
+    rng: sdmmon_rng::StdRng,
 }
 
 fn world(seed: u64) -> World {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = sdmmon_rng::StdRng::seed_from_u64(seed);
     let manufacturer = Manufacturer::new("acme", KEY_BITS, &mut rng).expect("keygen");
     let mut operator = NetworkOperator::new("op", KEY_BITS, &mut rng).expect("keygen");
     operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));
-    let router = manufacturer.provision_router("r", 2, KEY_BITS, &mut rng).expect("provision");
-    World { manufacturer, operator, router, rng }
+    let router = manufacturer
+        .provision_router("r", 2, KEY_BITS, &mut rng)
+        .expect("provision");
+    World {
+        manufacturer,
+        operator,
+        router,
+        rng,
+    }
 }
 
 /// SR1: only valid binaries and matching monitor graphs are installed —
@@ -57,7 +64,11 @@ fn sr1_attacker_generated_graph_rejected() {
     let aes = sdmmon::crypto::aes::Aes::new(&sym_key).expect("key");
     let bundle = InstallationBundle {
         ciphertext: aes.encrypt_cbc(&payload, &mut w.rng),
-        wrapped_key: w.router.public_key().encrypt(&sym_key, &mut w.rng).expect("wrap"),
+        wrapped_key: w
+            .router
+            .public_key()
+            .encrypt(&sym_key, &mut w.rng)
+            .expect("wrap"),
         signature,
         // Forged certificate: attacker key signed by the attacker.
         certificate: Certificate::issue("op", &attacker_keys.public, &attacker_keys.private),
@@ -86,7 +97,10 @@ fn sr1_signature_substitution_rejected() {
         .expect("package");
     // Frankenstein bundle: vulnerable payload, signature from the ipv4
     // package.
-    let franken = InstallationBundle { signature: good.signature.clone(), ..other };
+    let franken = InstallationBundle {
+        signature: good.signature.clone(),
+        ..other
+    };
     assert_eq!(
         w.router.install_bundle(&franken, &[0]).unwrap_err(),
         SdmmonError::SignatureInvalid
@@ -108,7 +122,11 @@ fn sr2_packages_are_diverse() {
         w.router.install_bundle(&bundle, &[0]).expect("install");
         params.insert(w.router.installed(0).unwrap().hash_param);
     }
-    assert_eq!(params.len(), 8, "8 installs must draw 8 distinct parameters");
+    assert_eq!(
+        params.len(),
+        8,
+        "8 installs must draw 8 distinct parameters"
+    );
 }
 
 /// SR3: the transported bundle reveals neither the binary, the graph, nor
@@ -128,7 +146,10 @@ fn sr3_confidentiality_of_transport() {
         .expect("package");
     let binary = program.to_bytes();
     let contains = |hay: &[u8], needle: &[u8]| hay.windows(needle.len()).any(|wd| wd == needle);
-    assert!(!contains(&b1.ciphertext, &binary[..16]), "plaintext binary leaked");
+    assert!(
+        !contains(&b1.ciphertext, &binary[..16]),
+        "plaintext binary leaked"
+    );
     // Fresh AES key + IV per package: identical payloads encrypt
     // differently.
     assert_ne!(b1.ciphertext[..32], b2.ciphertext[..32]);
@@ -155,7 +176,9 @@ fn sr4_cross_device_replay_rejected() {
     );
     assert!(router_b.installed(0).is_none());
     // The intended router still accepts the very same bundle.
-    w.router.install_bundle(&bundle_for_a, &[0]).expect("intended device installs");
+    w.router
+        .install_bundle(&bundle_for_a, &[0])
+        .expect("intended device installs");
 }
 
 /// Reproduction extension: replaying an *old, validly signed* package to
@@ -175,8 +198,12 @@ fn replay_of_old_package_rejected() {
         .prepare_package(&program, w.router.public_key(), &mut w.rng)
         .expect("package");
 
-    w.router.install_bundle(&old_bundle, &[0]).expect("first install");
-    w.router.install_bundle(&new_bundle, &[0]).expect("upgrade installs");
+    w.router
+        .install_bundle(&old_bundle, &[0])
+        .expect("first install");
+    w.router
+        .install_bundle(&new_bundle, &[0])
+        .expect("upgrade installs");
     // The attacker replays the recorded older bundle.
     assert!(matches!(
         w.router.install_bundle(&old_bundle, &[0]).unwrap_err(),
@@ -192,7 +219,9 @@ fn replay_of_old_package_rejected() {
         .operator
         .prepare_package(&program, w.router.public_key(), &mut w.rng)
         .expect("package");
-    w.router.install_bundle(&next, &[0]).expect("later package installs");
+    w.router
+        .install_bundle(&next, &[0])
+        .expect("later package installs");
 }
 
 /// Tampering with any single transported field is caught by some layer.
@@ -206,7 +235,9 @@ fn every_bundle_field_is_tamper_evident() {
         .expect("package");
 
     // Baseline sanity: the untampered bundle installs.
-    w.router.install_bundle(&bundle, &[0]).expect("clean bundle installs");
+    w.router
+        .install_bundle(&bundle, &[0])
+        .expect("clean bundle installs");
 
     // Ciphertext bit flip.
     let mut t = bundle.clone();
@@ -216,7 +247,10 @@ fn every_bundle_field_is_tamper_evident() {
     // Wrapped-key bit flip.
     let mut t = bundle.clone();
     t.wrapped_key[10] ^= 0x01;
-    assert_eq!(w.router.install_bundle(&t, &[0]).unwrap_err(), SdmmonError::WrongDevice);
+    assert_eq!(
+        w.router.install_bundle(&t, &[0]).unwrap_err(),
+        SdmmonError::WrongDevice
+    );
 
     // Signature bit flip.
     let mut t = bundle.clone();
