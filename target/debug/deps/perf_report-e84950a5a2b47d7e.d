@@ -3,3 +3,5 @@
 /root/repo/target/debug/deps/perf_report-e84950a5a2b47d7e: crates/bench/src/bin/perf_report.rs
 
 crates/bench/src/bin/perf_report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/sdmmon_crypto-27293979aa1bd553.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/bignum.rs crates/crypto/src/hmac.rs crates/crypto/src/prime.rs crates/crypto/src/rsa.rs crates/crypto/src/sha256.rs
+/root/repo/target/debug/deps/sdmmon_crypto-27293979aa1bd553.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/bignum.rs crates/crypto/src/hmac.rs crates/crypto/src/montgomery.rs crates/crypto/src/prime.rs crates/crypto/src/rsa.rs crates/crypto/src/sha256.rs
 
-/root/repo/target/debug/deps/sdmmon_crypto-27293979aa1bd553: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/bignum.rs crates/crypto/src/hmac.rs crates/crypto/src/prime.rs crates/crypto/src/rsa.rs crates/crypto/src/sha256.rs
+/root/repo/target/debug/deps/sdmmon_crypto-27293979aa1bd553: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/bignum.rs crates/crypto/src/hmac.rs crates/crypto/src/montgomery.rs crates/crypto/src/prime.rs crates/crypto/src/rsa.rs crates/crypto/src/sha256.rs
 
 crates/crypto/src/lib.rs:
 crates/crypto/src/aes.rs:
 crates/crypto/src/bignum.rs:
 crates/crypto/src/hmac.rs:
+crates/crypto/src/montgomery.rs:
 crates/crypto/src/prime.rs:
 crates/crypto/src/rsa.rs:
 crates/crypto/src/sha256.rs:
