@@ -1,8 +1,16 @@
 #!/bin/sh
-# Repo gate: formatting, lints, full test suite, and a quick perf smoke
-# run (quick mode writes target/BENCH_PR1.quick.json; the committed
-# BENCH_PR1.json comes from a full release run of the same binary).
+# Repo gate: formatting, lints, full test suite, a quick perf smoke run
+# (quick mode writes target/BENCH_PR1.quick.json; the committed
+# BENCH_PR1.json comes from a full release run of the same binary), and a
+# bounded adversarial campaign (accounting + differential assertions,
+# deterministic per seed; see docs/TESTKIT.md).
 set -eux
+
+# Build artifacts must never be tracked.
+if git ls-files -- target | grep -q .; then
+    echo "error: target/ files are tracked by git" >&2
+    exit 1
+fi
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets --release -- -D warnings
@@ -10,3 +18,4 @@ cargo build --release
 cargo test -q
 cargo test -q --workspace --release
 cargo run --release -p sdmmon-bench --bin perf_report -- --quick
+cargo run --release --bin sdmmon -- campaign --seed 1 --budget 2000

@@ -421,6 +421,23 @@ impl RouterDevice {
         self.np.process_on(core, packet)
     }
 
+    /// Immutable access to one NP core (inspection in tests/benches).
+    pub fn core(&self, core: usize) -> &sdmmon_npu::core::Core {
+        self.np.core(core)
+    }
+
+    /// Mutable access to one NP core — the hook the fault-injection
+    /// harness uses to flip bits in a live core's instruction memory.
+    pub fn core_mut(&mut self, core: usize) -> &mut sdmmon_npu::core::Core {
+        self.np.core_mut(core)
+    }
+
+    /// Forces a mid-run recovery reset of one core (fault-injection /
+    /// operator-commanded recovery; counted as a recovery cycle).
+    pub fn reset_core(&mut self, core: usize) {
+        self.np.reset_core(core)
+    }
+
     /// NP-wide statistics (violations, recoveries, forwarding counts).
     pub fn stats(&self) -> NpStats {
         self.np.stats()

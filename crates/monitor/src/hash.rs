@@ -57,6 +57,9 @@ pub enum Compression {
 const SBOX4: [u8; 16] = [12, 5, 6, 11, 9, 0, 10, 13, 3, 14, 15, 8, 4, 7, 1, 2];
 
 impl Compression {
+    /// All compression functions, for sweeps and campaign harnesses.
+    pub const ALL: [Compression; 3] = [Compression::SumMod16, Compression::Xor, Compression::SBox];
+
     /// Applies the 8→4-bit compression to two nibbles.
     pub fn compress(self, a: u8, b: u8) -> u8 {
         debug_assert!(a < 16 && b < 16);

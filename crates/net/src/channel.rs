@@ -125,6 +125,22 @@ impl FileServer {
         self.fetches
     }
 
+    /// Mutates a published file in place, returning `true` if the path
+    /// exists. This models an attacker between the operator and the device
+    /// (a compromised server or on-path MITM): every subsequent fetch
+    /// returns the tampered bytes. The SDMMon security argument is exactly
+    /// that such tampering is detected on the device, never on the wire —
+    /// the fault-injection harness drives this hook.
+    pub fn tamper(&mut self, path: &str, mutate: impl FnOnce(&mut Vec<u8>)) -> bool {
+        match self.files.get_mut(path) {
+            Some(bytes) => {
+                mutate(bytes);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Downloads a file over `channel`, returning the bytes and the
     /// modelled transfer duration.
     ///
@@ -181,6 +197,16 @@ mod tests {
         let slow = Channel::paper_testbed().transfer_time(1 << 20);
         let fast = Channel::ideal_gigabit().transfer_time(1 << 20);
         assert!(slow.as_secs_f64() / fast.as_secs_f64() > 50.0);
+    }
+
+    #[test]
+    fn tamper_mutates_published_bytes() {
+        let mut s = FileServer::new();
+        s.publish("pkg", vec![0u8; 8]);
+        assert!(s.tamper("pkg", |bytes| bytes[3] ^= 0xff));
+        let (bytes, _) = s.fetch("pkg", &Channel::ideal_gigabit()).unwrap();
+        assert_eq!(bytes[3], 0xff);
+        assert!(!s.tamper("missing", |_| unreachable!("no such file")));
     }
 
     #[test]

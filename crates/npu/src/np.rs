@@ -180,6 +180,20 @@ impl NetworkProcessor {
         &self.slots[index].core
     }
 
+    /// Mutable access to a core — the hook the fault-injection harness
+    /// uses to corrupt instruction memory of a live core.
+    pub fn core_mut(&mut self, index: usize) -> &mut Core {
+        &mut self.slots[index].core
+    }
+
+    /// Forces a recovery reset of one core outside the normal violation
+    /// path (models an operator-commanded or fault-injected mid-run reset).
+    /// Counted in [`NpStats::recoveries`] like any other recovery cycle.
+    pub fn reset_core(&mut self, index: usize) {
+        self.slots[index].core.reset();
+        self.stats.recoveries += 1;
+    }
+
     /// Processes one packet on the next round-robin core, applying the
     /// recovery policy on unclean halts. Returns the core index used and
     /// the outcome.
@@ -430,6 +444,20 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn zero_cores_rejected() {
         NetworkProcessor::new(0);
+    }
+
+    #[test]
+    fn forced_reset_restores_corrupted_core() {
+        let mut np = loaded_np(1);
+        // Corrupt the text segment through the fault-injection hook.
+        let word = np.core(0).memory().load_u32(0).unwrap();
+        np.core_mut(0).memory_mut().store_u32(0, word ^ 1).unwrap();
+        np.reset_core(0);
+        assert_eq!(np.stats().recoveries, 1);
+        assert_eq!(np.core(0).memory().load_u32(0).unwrap(), word);
+        let packet = testing::ipv4_packet([1, 1, 1, 1], [2, 2, 2, 2], 64, b"");
+        let (_, out) = np.process(&packet);
+        assert_eq!(out.verdict, Verdict::Forward(2));
     }
 
     #[test]

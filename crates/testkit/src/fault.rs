@@ -1,0 +1,340 @@
+//! Fault-injection primitives: wire-level bundle tampering, live
+//! instruction-memory bit flips, and packet mutation.
+//!
+//! Everything here is a pure function of its inputs and the supplied RNG,
+//! so a campaign that injects thousands of faults replays exactly from its
+//! seed. The wire faults operate on the *serialized* transport bytes — the
+//! representation an on-path attacker or compromised file server actually
+//! sees — and compose with [`sdmmon_net::channel::FileServer::tamper`].
+
+use sdmmon_core::package::InstallationBundle;
+use sdmmon_core::{cert::Certificate, SdmmonError};
+use sdmmon_crypto::rsa::RsaKeyPair;
+use sdmmon_npu::core::Core;
+use sdmmon_rng::{Rng, RngCore};
+
+/// One class of wire-level tampering applied to a serialized
+/// [`InstallationBundle`] in transit. Each class is chosen to trip a
+/// *specific* verification step of the secure-installation sequence, so
+/// rejections can be asserted per [`SdmmonError`] variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Flip one bit of the operator signature. The payload decrypts
+    /// cleanly, then SR1's signature check fails: [`SdmmonError::SignatureInvalid`].
+    TamperSignature,
+    /// Flip one bit in the final AES-CBC ciphertext block, garbling the
+    /// whole padding block: [`SdmmonError::DecryptionFailed`] (SR3).
+    CorruptCiphertext,
+    /// Flip one bit of the CBC IV. Padding survives, exactly one payload
+    /// bit flips, and the signature no longer verifies:
+    /// [`SdmmonError::SignatureInvalid`] (SR1 catching an SR3-layer tamper).
+    TamperIv,
+    /// Replace the wrapped AES key with one wrapped for a *different*
+    /// device key. The router's RSA unwrap yields garbage padding:
+    /// [`SdmmonError::WrongDevice`] (SR4).
+    ForeignKeyWrap,
+    /// Swap the operator certificate for a self-signed forgery over the
+    /// attacker's key, keeping the subject name:
+    /// [`SdmmonError::CertificateInvalid`] (SR1's chain of trust).
+    ForgeCertificate,
+    /// Drop trailing transport bytes; structural parsing fails:
+    /// [`SdmmonError::MalformedPackage`].
+    TruncateTransport,
+}
+
+impl WireFault {
+    /// Every wire-fault class, in a fixed campaign order.
+    pub const ALL: [WireFault; 6] = [
+        WireFault::TamperSignature,
+        WireFault::CorruptCiphertext,
+        WireFault::TamperIv,
+        WireFault::ForeignKeyWrap,
+        WireFault::ForgeCertificate,
+        WireFault::TruncateTransport,
+    ];
+
+    /// Stable snake_case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFault::TamperSignature => "tamper_signature",
+            WireFault::CorruptCiphertext => "corrupt_ciphertext",
+            WireFault::TamperIv => "tamper_iv",
+            WireFault::ForeignKeyWrap => "foreign_key_wrap",
+            WireFault::ForgeCertificate => "forge_certificate",
+            WireFault::TruncateTransport => "truncate_transport",
+        }
+    }
+
+    /// Whether `err` is the rejection this fault class is expected to
+    /// provoke. `CorruptCiphertext` admits `SignatureInvalid` as well:
+    /// with probability ≈2⁻⁸ the garbled final block still parses as
+    /// padding and the tamper is caught one layer later — still a
+    /// rejection, just a different tripwire.
+    pub fn matches_expected(self, err: &SdmmonError) -> bool {
+        match self {
+            WireFault::TamperSignature | WireFault::TamperIv => {
+                matches!(err, SdmmonError::SignatureInvalid)
+            }
+            WireFault::CorruptCiphertext => matches!(
+                err,
+                SdmmonError::DecryptionFailed | SdmmonError::SignatureInvalid
+            ),
+            WireFault::ForeignKeyWrap => matches!(err, SdmmonError::WrongDevice),
+            WireFault::ForgeCertificate => matches!(err, SdmmonError::CertificateInvalid),
+            WireFault::TruncateTransport => matches!(err, SdmmonError::MalformedPackage(_)),
+        }
+    }
+}
+
+/// AES-CBC block size: the ciphertext layout is `IV ‖ block₁ ‖ … ‖ blockₙ`.
+const CBC_BLOCK: usize = 16;
+
+/// Applies [`WireFault`]s to transport bytes. Owns the attacker identity
+/// (a key pair outside the manufacturer's chain of trust) so certificate
+/// forgery and foreign key wraps don't pay a key generation per injection.
+#[derive(Debug)]
+pub struct WireFaultInjector {
+    attacker: RsaKeyPair,
+}
+
+impl WireFaultInjector {
+    /// Creates an injector with a fresh attacker key pair of `key_bits`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation failures.
+    pub fn new<R: RngCore>(key_bits: usize, rng: &mut R) -> Result<WireFaultInjector, SdmmonError> {
+        Ok(WireFaultInjector {
+            attacker: RsaKeyPair::generate(key_bits, rng)?,
+        })
+    }
+
+    /// Tampers `transport` (a serialized [`InstallationBundle`]) in place
+    /// according to `fault`, drawing positions and key material from `rng`.
+    ///
+    /// Structural faults re-serialize the parsed bundle; if the bytes do
+    /// not parse (already damaged), the injector degrades to truncation so
+    /// every injection leaves a genuinely tampered artifact behind.
+    pub fn inject<R: RngCore>(&self, fault: WireFault, transport: &mut Vec<u8>, rng: &mut R) {
+        if fault == WireFault::TruncateTransport {
+            truncate(transport, rng);
+            return;
+        }
+        let Ok(mut bundle) = InstallationBundle::from_bytes(transport) else {
+            truncate(transport, rng);
+            return;
+        };
+        match fault {
+            WireFault::TamperSignature => flip_random_bit(&mut bundle.signature, rng),
+            WireFault::CorruptCiphertext => {
+                // Last block: byte offset in [len - 16, len).
+                let len = bundle.ciphertext.len();
+                let byte = len - CBC_BLOCK + rng.gen_range(0..CBC_BLOCK);
+                bundle.ciphertext[byte] ^= 1 << rng.gen_range(0..8u32);
+            }
+            WireFault::TamperIv => {
+                let byte = rng.gen_range(0..CBC_BLOCK);
+                bundle.ciphertext[byte] ^= 1 << rng.gen_range(0..8u32);
+            }
+            WireFault::ForeignKeyWrap => {
+                let mut key = [0u8; 16];
+                rng.fill_bytes(&mut key);
+                bundle.wrapped_key = self
+                    .attacker
+                    .public
+                    .encrypt(&key, rng)
+                    .expect("attacker key wraps a 16-byte key");
+            }
+            WireFault::ForgeCertificate => {
+                bundle.certificate = Certificate::issue(
+                    bundle.certificate.subject(),
+                    &self.attacker.public,
+                    &self.attacker.private,
+                );
+            }
+            WireFault::TruncateTransport => unreachable!("handled above"),
+        }
+        *transport = bundle.to_bytes();
+    }
+}
+
+/// Drops 1..=8 trailing bytes (never the whole transport).
+fn truncate<R: RngCore>(transport: &mut Vec<u8>, rng: &mut R) {
+    let cut = rng.gen_range(1..=8.min(transport.len().saturating_sub(1)).max(1));
+    transport.truncate(transport.len().saturating_sub(cut));
+}
+
+/// Flips one uniformly random bit of `bytes`.
+fn flip_random_bit<R: RngCore>(bytes: &mut [u8], rng: &mut R) {
+    let bit = rng.gen_range(0..bytes.len() * 8);
+    bytes[bit / 8] ^= 1 << (bit % 8);
+}
+
+/// Record of one instruction-memory bit flip, for logs and undo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TextFlip {
+    /// Word-aligned address of the flipped instruction.
+    pub addr: u32,
+    /// Bit position within the word (0 = LSB).
+    pub bit: u32,
+    /// The instruction word before the flip.
+    pub before: u32,
+    /// The instruction word after the flip.
+    pub after: u32,
+}
+
+/// Flips one random bit in the text segment `[base, base + len_bytes)` of a
+/// live core — the transient-hardware-fault / post-exploitation-patch model
+/// the monitor must catch when the flipped word is executed. The core's
+/// pre-decoded cache is invalidated by the write path, so the fault is
+/// architecturally visible, not just a stale-cache artifact.
+///
+/// # Panics
+///
+/// Panics if `len_bytes < 4` or the address range is unmapped.
+pub fn flip_text_bit<R: RngCore>(
+    core: &mut Core,
+    base: u32,
+    len_bytes: u32,
+    rng: &mut R,
+) -> TextFlip {
+    assert!(len_bytes >= 4, "text segment too small to flip");
+    let addr = base + 4 * rng.gen_range(0..len_bytes / 4);
+    let bit = rng.gen_range(0..32u32);
+    let before = core.memory().load_u32(addr).expect("text address mapped");
+    let after = before ^ (1 << bit);
+    core.memory_mut()
+        .store_u32(addr, after)
+        .expect("text address mapped");
+    TextFlip {
+        addr,
+        bit,
+        before,
+        after,
+    }
+}
+
+/// Mutates a packet in place with one randomly chosen corruption: a bit
+/// flip, byte overwrite, truncation, random extension, byte swap, or a
+/// zeroed span. Mirrors what a malfunctioning or adversarial upstream hop
+/// could deliver to the data plane.
+pub fn mutate_packet<R: RngCore>(packet: &mut Vec<u8>, rng: &mut R) {
+    if packet.is_empty() {
+        packet.push(rng.gen());
+        return;
+    }
+    match rng.gen_range(0..6u32) {
+        0 => {
+            let bit = rng.gen_range(0..packet.len() * 8);
+            packet[bit / 8] ^= 1 << (bit % 8);
+        }
+        1 => {
+            let i = rng.gen_range(0..packet.len());
+            packet[i] = rng.gen();
+        }
+        2 => {
+            let keep = rng.gen_range(0..packet.len());
+            packet.truncate(keep);
+        }
+        3 => {
+            let extra = rng.gen_range(1..=32usize);
+            for _ in 0..extra {
+                packet.push(rng.gen());
+            }
+        }
+        4 => {
+            let a = rng.gen_range(0..packet.len());
+            let b = rng.gen_range(0..packet.len());
+            packet.swap(a, b);
+        }
+        _ => {
+            let start = rng.gen_range(0..packet.len());
+            let end = (start + rng.gen_range(1..=8usize)).min(packet.len());
+            packet[start..end].fill(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdmmon_rng::{SeedableRng, StdRng};
+
+    #[test]
+    fn wire_fault_names_are_unique() {
+        let mut names: Vec<_> = WireFault::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), WireFault::ALL.len());
+    }
+
+    #[test]
+    fn injection_changes_transport_bytes() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let keys = RsaKeyPair::generate(512, &mut rng).unwrap();
+        let cert = Certificate::issue("op", &keys.public, &keys.private);
+        let bundle = InstallationBundle {
+            ciphertext: vec![7; 64],
+            wrapped_key: vec![8; 64],
+            signature: vec![9; 64],
+            certificate: cert,
+        };
+        let injector = WireFaultInjector::new(512, &mut rng).unwrap();
+        for fault in WireFault::ALL {
+            let mut transport = bundle.to_bytes();
+            injector.inject(fault, &mut transport, &mut rng);
+            assert_ne!(transport, bundle.to_bytes(), "{}", fault.name());
+        }
+    }
+
+    #[test]
+    fn unparsable_transport_degrades_to_truncation() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let injector = WireFaultInjector::new(512, &mut rng).unwrap();
+        let mut garbage = vec![0xAB; 40];
+        injector.inject(WireFault::TamperSignature, &mut garbage, &mut rng);
+        assert!(garbage.len() < 40);
+    }
+
+    #[test]
+    fn text_flip_changes_exactly_one_bit_and_cache_sees_it() {
+        use sdmmon_npu::cpu::NullObserver;
+        use sdmmon_npu::runtime::HaltReason;
+        let program = sdmmon_npu::programs::ipv4_forward().unwrap();
+        let image = program.to_bytes();
+        let mut core = Core::new();
+        core.install(&image, program.base);
+        let mut rng = StdRng::seed_from_u64(23);
+        let flip = flip_text_bit(&mut core, program.base, image.len() as u32, &mut rng);
+        assert_eq!((flip.before ^ flip.after).count_ones(), 1);
+        assert_eq!(core.memory().load_u32(flip.addr).unwrap(), flip.after);
+        // The run must execute the *flipped* text (any outcome is legal;
+        // what matters is that it does not silently use a stale decode).
+        let packet =
+            sdmmon_npu::programs::testing::ipv4_packet([1, 1, 1, 1], [2, 2, 2, 2], 64, b"");
+        let _ = core.process_packet(&packet, &mut NullObserver);
+        core.reset();
+        assert_eq!(
+            core.memory().load_u32(flip.addr).unwrap(),
+            flip.before,
+            "reset restores the pristine image"
+        );
+        let out = core.process_packet(&packet, &mut NullObserver);
+        assert_eq!(out.halt, HaltReason::Completed);
+    }
+
+    #[test]
+    fn packet_mutation_is_deterministic_per_seed() {
+        let base: Vec<u8> = (0..60).collect();
+        let mutate_with = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut p = base.clone();
+            for _ in 0..16 {
+                mutate_packet(&mut p, &mut rng);
+            }
+            p
+        };
+        assert_eq!(mutate_with(5), mutate_with(5));
+        assert_ne!(mutate_with(5), mutate_with(6));
+    }
+}

@@ -12,6 +12,11 @@
 //!
 //! sdmmon run <file.s> --packet <hex> [--param <hex>] [--trace <n>]
 //!     Run one packet through a monitored core and print the outcome.
+//!
+//! sdmmon campaign [--seed <n>] [--budget <n>] [--routers <n>]
+//!                 [--escape-trials <n>] [--out <path>]
+//!     Run the seeded fault-injection / adversarial campaign suite and
+//!     write the deterministic JSON report.
 //! ```
 //!
 //! Exit codes: 0 success, 1 usage error, 2 processing error.
@@ -21,6 +26,7 @@ use sdmmon::monitor::hash::{Compression, MerkleTreeHash};
 use sdmmon::monitor::{HardwareMonitor, MonitoringGraph};
 use sdmmon::npu::core::Core;
 use sdmmon::npu::trace::{Tee, Tracer};
+use sdmmon::testkit::{run_campaign, CampaignConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -30,6 +36,7 @@ fn main() -> ExitCode {
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("graph") => cmd_graph(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::from(u8::from(args.is_empty()));
@@ -58,6 +65,8 @@ USAGE:
     sdmmon disasm <file.bin> [--base <addr>]
     sdmmon graph  <file.s>   [--param <hex>] [--compression sum|xor|sbox]
     sdmmon run    <file.s>   --packet <hex> [--param <hex>] [--trace <n>]
+    sdmmon campaign [--seed <n>] [--budget <n>] [--routers <n>]
+                    [--escape-trials <n>] [--out <path>]
 ";
 
 enum CliError {
@@ -331,5 +340,73 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         monitor.stats().instructions_checked,
         monitor.stats().violations
     );
+    Ok(())
+}
+
+fn parse_u64(text: &str, what: &str) -> Result<u64, CliError> {
+    text.parse::<u64>()
+        .map_err(|_| usage(format!("cannot parse {what} `{text}`")))
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
+    let a = Args::parse(
+        args,
+        &[
+            "--seed",
+            "--budget",
+            "--routers",
+            "--escape-trials",
+            "--out",
+        ],
+    )?;
+    if !a.positional.is_empty() {
+        return Err(usage("campaign takes no positional arguments"));
+    }
+    let seed = a
+        .option("--seed")
+        .map(|s| parse_u64(s, "seed"))
+        .transpose()?
+        .unwrap_or(42);
+    let mut config = CampaignConfig::new(seed);
+    if let Some(b) = a.option("--budget") {
+        let budget = parse_u64(b, "budget")?;
+        // Unless overridden, the statistical escape model scales with the
+        // adversarial budget.
+        config = config
+            .with_budget(budget)
+            .with_escape_trials(budget.saturating_mul(10));
+    }
+    if let Some(r) = a.option("--routers") {
+        config = config.with_routers(
+            parse_u64(r, "routers")?
+                .try_into()
+                .map_err(|_| usage("router count out of range"))?,
+        );
+    }
+    if let Some(t) = a.option("--escape-trials") {
+        config = config.with_escape_trials(parse_u64(t, "escape trials")?);
+    }
+    let out = a.option("--out").unwrap_or("target/CAMPAIGN.json");
+
+    let report = run_campaign(&config).map_err(processing)?;
+    print!("{}", report.summary());
+    report
+        .verify_accounting()
+        .map_err(|msg| processing(format!("accounting violated: {msg}")))?;
+    let divergences = report.differential.total_divergences();
+    if divergences > 0 {
+        return Err(processing(format!(
+            "{divergences} differential divergence(s): a fast path disagrees with its oracle"
+        )));
+    }
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| processing(format!("cannot create {}: {e}", dir.display())))?;
+        }
+    }
+    std::fs::write(out, report.to_json())
+        .map_err(|e| processing(format!("cannot write {out}: {e}")))?;
+    println!("\nreport: {out} (seed {seed}, replays byte-identically)");
     Ok(())
 }

@@ -13,6 +13,7 @@
 //! | [`net`] | `sdmmon-net` | packets, traffic generation, channel/file-server models |
 //! | [`fpga`] | `sdmmon-fpga` | FPGA resource estimation (Tables 1 and 3) |
 //! | [`core`] | `sdmmon-core` | the SDMMon protocol: entities, packages, timing, fleets |
+//! | [`testkit`] | `sdmmon-testkit` | deterministic fault injection + adversarial campaigns |
 //!
 //! # Examples
 //!
@@ -44,3 +45,4 @@ pub use sdmmon_isa as isa;
 pub use sdmmon_monitor as monitor;
 pub use sdmmon_net as net;
 pub use sdmmon_npu as npu;
+pub use sdmmon_testkit as testkit;

@@ -113,6 +113,41 @@ fn run_executes_a_packet_with_monitor_and_trace() {
 }
 
 #[test]
+fn campaign_replays_byte_identically_per_seed() {
+    let dir = std::env::temp_dir().join(format!("sdmmon-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let run = |seed: &str, name: &str| -> Vec<u8> {
+        let out_path = dir.join(name);
+        let out = sdmmon()
+            .arg("campaign")
+            .arg("--seed")
+            .arg(seed)
+            .arg("--budget")
+            .arg("50")
+            .arg("--escape-trials")
+            .arg("400")
+            .arg("--out")
+            .arg(&out_path)
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("escape model"), "{text}");
+        assert!(text.contains("differential"), "{text}");
+        std::fs::read(&out_path).expect("campaign report written")
+    };
+    let first = run("7", "campaign-a.json");
+    let second = run("7", "campaign-b.json");
+    assert_eq!(first, second, "same seed must replay byte-identically");
+    let other = run("8", "campaign-c.json");
+    assert_ne!(first, other, "different seeds must differ");
+}
+
+#[test]
 fn bad_inputs_yield_clean_errors() {
     // Unknown command.
     let out = sdmmon().arg("frobnicate").output().expect("spawn");

@@ -6,9 +6,12 @@ use sdmmon::core::entities::{Manufacturer, NetworkOperator, RouterDevice};
 use sdmmon::core::package::{InstallationBundle, Package};
 use sdmmon::core::SdmmonError;
 use sdmmon::crypto::rsa::RsaKeyPair;
+use sdmmon::isa::asm::Program;
 use sdmmon::monitor::hash::Compression;
 use sdmmon::monitor::{MerkleTreeHash, MonitoringGraph};
+use sdmmon::net::channel::{Channel, FileServer};
 use sdmmon::npu::programs;
+use sdmmon::testkit::{WireFault, WireFaultInjector};
 use sdmmon_rng::SeedableRng;
 
 const KEY_BITS: usize = 512;
@@ -224,50 +227,156 @@ fn replay_of_old_package_rejected() {
         .expect("later package installs");
 }
 
-/// Tampering with any single transported field is caught by some layer.
+/// Tampering with any single transported field is caught by some layer —
+/// driven by the testkit's wire-fault injector over the *serialized*
+/// transport bytes (the representation an on-path attacker actually sees),
+/// rather than hand-rolled per-field flips on the in-memory struct.
 #[test]
 fn every_bundle_field_is_tamper_evident() {
     let mut w = world(0xA6);
     let program = programs::ipv4_forward().expect("workload");
+
+    // Baseline sanity: the untampered transport round-trips and installs.
     let bundle = w
         .operator
         .prepare_package(&program, w.router.public_key(), &mut w.rng)
         .expect("package");
-
-    // Baseline sanity: the untampered bundle installs.
+    let clean = InstallationBundle::from_bytes(&bundle.to_bytes()).expect("round-trip");
     w.router
-        .install_bundle(&bundle, &[0])
+        .install_bundle(&clean, &[0])
         .expect("clean bundle installs");
 
-    // Ciphertext bit flip.
-    let mut t = bundle.clone();
-    t.ciphertext[40] ^= 0x80;
-    assert!(w.router.install_bundle(&t, &[0]).is_err());
+    let mut attacker_rng = sdmmon_rng::StdRng::seed_from_u64(0x7A3);
+    let injector = WireFaultInjector::new(KEY_BITS, &mut attacker_rng).expect("keygen");
+    for fault in WireFault::ALL {
+        let fresh = w
+            .operator
+            .prepare_package(&program, w.router.public_key(), &mut w.rng)
+            .expect("package");
+        let mut transport = fresh.to_bytes();
+        injector.inject(fault, &mut transport, &mut attacker_rng);
+        let result = InstallationBundle::from_bytes(&transport)
+            .map_err(|e| SdmmonError::MalformedPackage(e.to_string()))
+            .and_then(|b| w.router.install_bundle(&b, &[1]).map(|_| ()));
+        let err = result.expect_err(fault.name());
+        assert!(
+            fault.matches_expected(&err),
+            "{}: unexpected rejection {err:?}",
+            fault.name()
+        );
+    }
+    assert!(
+        w.router.installed(1).is_none(),
+        "no tampered transport may install"
+    );
+}
 
-    // Wrapped-key bit flip.
-    let mut t = bundle.clone();
-    t.wrapped_key[10] ^= 0x01;
-    assert_eq!(
-        w.router.install_bundle(&t, &[0]).unwrap_err(),
-        SdmmonError::WrongDevice
+/// Maps the rejection to a stable label so the distinct-variant assertion
+/// below reads as data.
+fn variant_name(err: &SdmmonError) -> &'static str {
+    match err {
+        SdmmonError::CertificateInvalid => "certificate_invalid",
+        SdmmonError::WrongDevice => "wrong_device",
+        SdmmonError::DecryptionFailed => "decryption_failed",
+        SdmmonError::SignatureInvalid => "signature_invalid",
+        SdmmonError::MalformedPackage(_) => "malformed_package",
+        SdmmonError::ReplayedPackage { .. } => "replayed_package",
+        _ => "other",
+    }
+}
+
+/// Publishes a freshly prepared bundle, lets `tamper` rewrite the bytes on
+/// the file server (the on-path attacker position of AC3), then fetches
+/// and installs on core 0.
+fn deploy_over_wire(
+    w: &mut World,
+    server: &mut FileServer,
+    channel: &Channel,
+    program: &Program,
+    tamper: impl FnOnce(&mut Vec<u8>),
+) -> Result<(), SdmmonError> {
+    let bundle = w
+        .operator
+        .prepare_package(program, w.router.public_key(), &mut w.rng)?;
+    let path = format!("pkg/{}.sdmmon", w.router.name());
+    server.publish(path.clone(), bundle.to_bytes());
+    assert!(server.tamper(&path, tamper), "published path exists");
+    let (bytes, _) = server
+        .fetch(&path, channel)
+        .map_err(|e| SdmmonError::Download(e.to_string()))?;
+    let fetched = InstallationBundle::from_bytes(&bytes)
+        .map_err(|e| SdmmonError::MalformedPackage(e.to_string()))?;
+    w.router.install_bundle(&fetched, &[0]).map(|_| ())
+}
+
+/// SR1–SR4 negative paths over the wire: every fault class the testkit
+/// injector can apply to a transported bundle is rejected, and each class
+/// trips the error variant of the specific security requirement it
+/// violates — tampered signatures and IVs fail SR1's signature check,
+/// garbled ciphertext fails SR3's decryption, foreign key wraps fail SR4's
+/// device binding, forged certificates fail SR1's chain of trust,
+/// truncation fails parsing, and stale replays fail the sequence check.
+/// No fault collapses into a generic error.
+#[test]
+fn wire_faults_reject_with_distinct_variants() {
+    let mut w = world(0xA8);
+    let program = programs::ipv4_forward().expect("workload");
+    let mut attacker_rng = sdmmon_rng::StdRng::seed_from_u64(0x0B5E);
+    let injector = WireFaultInjector::new(KEY_BITS, &mut attacker_rng).expect("keygen");
+    let mut server = FileServer::new();
+    let channel = Channel::ideal_gigabit();
+
+    let mut variants = std::collections::BTreeSet::new();
+    for fault in WireFault::ALL {
+        for _ in 0..3 {
+            let err = deploy_over_wire(&mut w, &mut server, &channel, &program, |bytes| {
+                injector.inject(fault, bytes, &mut attacker_rng)
+            })
+            .expect_err(fault.name());
+            assert!(
+                fault.matches_expected(&err),
+                "{}: unexpected rejection {err:?}",
+                fault.name()
+            );
+            variants.insert(variant_name(&err));
+        }
+    }
+    assert!(
+        w.router.installed(0).is_none(),
+        "no tampered transport may install"
     );
 
-    // Signature bit flip.
-    let mut t = bundle.clone();
-    t.signature[0] ^= 0x04;
-    assert_eq!(
-        w.router.install_bundle(&t, &[0]).unwrap_err(),
-        SdmmonError::SignatureInvalid
+    // Replay over the same wire: a recorded stale bundle re-fed after an
+    // upgrade is its own rejection class (the SR4 extension).
+    let old = w
+        .operator
+        .prepare_package(&program, w.router.public_key(), &mut w.rng)
+        .expect("package");
+    let newer = w
+        .operator
+        .prepare_package(&program, w.router.public_key(), &mut w.rng)
+        .expect("package");
+    w.router.install_bundle(&old, &[1]).expect("first install");
+    w.router.install_bundle(&newer, &[1]).expect("upgrade");
+    server.publish("pkg/replay.sdmmon", old.to_bytes());
+    let (bytes, _) = server.fetch("pkg/replay.sdmmon", &channel).expect("fetch");
+    let stale = InstallationBundle::from_bytes(&bytes).expect("parses");
+    let err = w.router.install_bundle(&stale, &[1]).unwrap_err();
+    assert!(
+        matches!(err, SdmmonError::ReplayedPackage { .. }),
+        "{err:?}"
     );
+    variants.insert(variant_name(&err));
 
-    // Certificate subject rename.
-    let mut t = bundle.clone();
-    let mut cert_bytes = t.certificate.to_bytes();
-    // Subject is the first length-prefixed string: flip a subject byte.
-    cert_bytes[5] ^= 0x20;
-    t.certificate = Certificate::from_bytes(&cert_bytes).expect("still parses");
-    assert_eq!(
-        w.router.install_bundle(&t, &[0]).unwrap_err(),
-        SdmmonError::CertificateInvalid
-    );
+    let expected: std::collections::BTreeSet<&str> = [
+        "certificate_invalid",
+        "decryption_failed",
+        "malformed_package",
+        "replayed_package",
+        "signature_invalid",
+        "wrong_device",
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(variants, expected, "each fault class has its own variant");
 }
