@@ -19,3 +19,9 @@ cargo test -q
 cargo test -q --workspace --release
 cargo run --release -p sdmmon-bench --bin perf_report -- --quick
 cargo run --release --bin sdmmon -- campaign --seed 1 --budget 2000
+# Resilient-deploy smoke: a small fleet must converge through a lossy,
+# corrupting, stalling link with a server outage, quarantining only the
+# blackholed router (exit 2 if the whole fleet quarantines). Bounded:
+# 4 routers x <=3 cycles x <=60 transport attempts.
+cargo run --release --bin sdmmon -- deploy --routers 4 --cores 2 --seed 7 \
+    --loss 0.2 --corrupt 0.05 --stall 0.05 --outage 2:5 --blackhole 2

@@ -334,6 +334,15 @@ impl RouterDevice {
         bundle: &InstallationBundle,
         cores: &[usize],
     ) -> Result<InstallReport, SdmmonError> {
+        // Atomicity: validate the core list before anything else. Every
+        // later failure mode also precedes the programming loop, so an
+        // install either programs all requested cores or touches none.
+        if let Some(&bad) = cores.iter().find(|&&c| c >= self.installed.len()) {
+            return Err(SdmmonError::NoSuchCore {
+                core: bad,
+                cores: self.installed.len(),
+            });
+        }
         // SR1 (chain of trust): the certificate must be manufacturer-signed.
         if !bundle.certificate.verify(&self.manufacturer_key) {
             return Err(SdmmonError::CertificateInvalid);
@@ -436,6 +445,35 @@ impl RouterDevice {
     /// operator-commanded recovery; counted as a recovery cycle).
     pub fn reset_core(&mut self, core: usize) {
         self.np.reset_core(core)
+    }
+
+    /// Replaces the NP's supervisor policy (escalating recovery — see
+    /// `sdmmon_npu::supervisor`). Routers come up with the paper's
+    /// reset-only recovery; the resilient deployment path enables the
+    /// ladder.
+    pub fn set_supervisor_policy(&mut self, policy: sdmmon_npu::supervisor::SupervisorPolicy) {
+        self.np.set_policy(policy);
+    }
+
+    /// Whether the NP has quarantined a core out of dispatch.
+    pub fn is_quarantined(&self, core: usize) -> bool {
+        self.np.is_quarantined(core)
+    }
+
+    /// Quarantines a core by operator decree (reversed by installing a
+    /// bundle on it).
+    pub fn quarantine_core(&mut self, core: usize) {
+        self.np.quarantine_core(core);
+    }
+
+    /// The supervisor ledger of one NP core.
+    pub fn core_health(&self, core: usize) -> sdmmon_npu::supervisor::CoreHealth {
+        self.np.core_health(core)
+    }
+
+    /// Indices of the cores still in dispatch.
+    pub fn active_cores(&self) -> Vec<usize> {
+        self.np.active_cores()
     }
 
     /// NP-wide statistics (violations, recoveries, forwarding counts).
@@ -680,6 +718,72 @@ mod tests {
         // Service continues.
         let good = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 64, b"");
         assert_eq!(w.router.process_on(0, &good).verdict, Verdict::Forward(2));
+    }
+
+    #[test]
+    fn install_failure_is_atomic() {
+        // Regression: a bundle that fails verification partway — here a
+        // core list pointing past the device, checked after a prior good
+        // install — must leave previously installed apps, monitor state,
+        // and the anti-replay high-water mark untouched. No partial
+        // install, full rollback semantics.
+        let mut w = world(20);
+        let program = programs::vulnerable_forward().unwrap();
+        let good = w
+            .operator
+            .prepare_package(&program, w.router.public_key(), &mut w.rng)
+            .unwrap();
+        w.router.install_bundle(&good, &[0, 1]).unwrap();
+        let before: Vec<Option<InstalledApp>> =
+            (0..2).map(|c| w.router.installed(c).cloned()).collect();
+
+        // Failure mode 1: bad core index (caught before programming).
+        let next = w
+            .operator
+            .prepare_package(&program, w.router.public_key(), &mut w.rng)
+            .unwrap();
+        assert_eq!(
+            w.router.install_bundle(&next, &[0, 7]).unwrap_err(),
+            SdmmonError::NoSuchCore { core: 7, cores: 2 }
+        );
+
+        // Failure mode 2: tampered ciphertext (caught in verification).
+        let mut tampered = w
+            .operator
+            .prepare_package(&program, w.router.public_key(), &mut w.rng)
+            .unwrap();
+        let mid = tampered.ciphertext.len() / 2;
+        tampered.ciphertext[mid] ^= 0x80;
+        assert!(w.router.install_bundle(&tampered, &[0, 1]).is_err());
+
+        // Failure mode 3: replayed bundle (caught after decrypt).
+        assert!(matches!(
+            w.router.install_bundle(&good, &[0, 1]).unwrap_err(),
+            SdmmonError::ReplayedPackage { .. }
+        ));
+
+        // The previously installed apps survive every failure unchanged...
+        let after: Vec<Option<InstalledApp>> =
+            (0..2).map(|c| w.router.installed(c).cloned()).collect();
+        assert_eq!(
+            before, after,
+            "failed installs must not touch installed state"
+        );
+        // ...and the monitors still work: the hijack is still detected.
+        let attack =
+            testing::hijack_packet("li $t4, 0x0007fff0\nli $t5, 15\nsw $t5, 0($t4)\nbreak 0")
+                .unwrap();
+        assert_eq!(
+            w.router.process_on(0, &attack).halt,
+            HaltReason::MonitorViolation
+        );
+        // A fresh valid bundle still installs (sequence not burned by the
+        // failures).
+        let fresh = w
+            .operator
+            .prepare_package(&program, w.router.public_key(), &mut w.rng)
+            .unwrap();
+        w.router.install_bundle(&fresh, &[0, 1]).unwrap();
     }
 
     #[test]

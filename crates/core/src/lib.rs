@@ -96,6 +96,15 @@ pub enum SdmmonError {
         /// Device's current high-water mark.
         latest: u64,
     },
+    /// An install targeted a core index the device does not have. Checked
+    /// up front so a bad core list can never abort an install halfway
+    /// through programming (atomicity).
+    NoSuchCore {
+        /// The offending core index.
+        core: usize,
+        /// Number of cores the device has.
+        cores: usize,
+    },
 }
 
 impl fmt::Display for SdmmonError {
@@ -121,6 +130,9 @@ impl fmt::Display for SdmmonError {
                 f,
                 "replayed package: sequence {got} does not advance past {latest}"
             ),
+            SdmmonError::NoSuchCore { core, cores } => {
+                write!(f, "no such core: {core} (device has {cores})")
+            }
         }
     }
 }

@@ -17,9 +17,12 @@ use sdmmon_isa::asm::Program;
 use sdmmon_monitor::hash::Compression;
 use sdmmon_monitor::{HardwareMonitor, MerkleTreeHash, MonitoringGraph};
 use sdmmon_net::channel::{Channel, FileServer};
+use sdmmon_net::download::{DownloadClient, DownloadError, RetryPolicy};
+use sdmmon_net::resilience::{FlakyServer, LossyChannel};
 use sdmmon_npu::core::Core;
 use sdmmon_npu::programs::testing::hijack_packet;
 use sdmmon_npu::runtime::{HaltReason, PacketOutcome, Verdict};
+use sdmmon_npu::supervisor::SupervisorPolicy;
 use sdmmon_rng::{RngCore, SeedableRng};
 use std::time::Duration;
 
@@ -210,6 +213,224 @@ impl Fleet {
             .iter_mut()
             .map(|r| r.process_on(0, packet))
             .collect()
+    }
+}
+
+/// Knobs of [`Fleet::deploy_resilient`].
+#[derive(Debug, Clone)]
+pub struct ResilientConfig {
+    /// Fault model of the link between the operator's server and every
+    /// router (loss / corruption / stall probabilities).
+    pub link: LossyChannel,
+    /// Per-download transport retry policy (attempt budget, backoff,
+    /// chunking).
+    pub retry: RetryPolicy,
+    /// Full download + verify + install cycles per router before the
+    /// deployment gives up and quarantines it.
+    pub max_deploy_attempts: u32,
+    /// Supervisor policy installed on every successfully deployed router
+    /// (the runtime half of the healing loop).
+    pub supervisor: SupervisorPolicy,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> ResilientConfig {
+        ResilientConfig {
+            link: LossyChannel::clean(Channel::paper_testbed()),
+            retry: RetryPolicy::default(),
+            max_deploy_attempts: 3,
+            supervisor: SupervisorPolicy::default(),
+        }
+    }
+}
+
+/// Where a router's deployment state machine ended up
+/// (pending → downloading → verifying → installed | quarantined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeployPhase {
+    /// Every reachable router finishes here.
+    Installed,
+    /// The attempt budget ran out; the router is excluded from the fleet.
+    Quarantined,
+}
+
+/// Per-router record of one resilient deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterDeployment {
+    /// Router name (`router-<i>`).
+    pub router: String,
+    /// Terminal state of the deployment state machine.
+    pub phase: DeployPhase,
+    /// Download + verify + install cycles spent (1 = first try worked).
+    pub deploy_attempts: u32,
+    /// Transport attempts across all download cycles.
+    pub transport_attempts: u32,
+    /// Modelled time on the wire across all cycles.
+    pub transfer_time: Duration,
+    /// Modelled backoff time across all cycles.
+    pub backoff_time: Duration,
+    /// Whole-file restarts forced by the transport integrity re-check.
+    pub integrity_restarts: u32,
+    /// The last error, for quarantined routers.
+    pub error: Option<String>,
+}
+
+impl RouterDeployment {
+    /// Total modelled wall-clock the transport layer spent on this router.
+    pub fn network_time(&self) -> Duration {
+        self.transfer_time + self.backoff_time
+    }
+}
+
+/// Result of [`Fleet::deploy_resilient`]: the routers that made it, plus a
+/// deployment record for *every* requested router (partial-fleet success).
+#[derive(Debug)]
+pub struct ResilientFleet {
+    /// The successfully deployed routers (quarantined ones are excluded).
+    pub fleet: Fleet,
+    /// One record per requested router, in router order — including the
+    /// quarantined ones.
+    pub deployments: Vec<RouterDeployment>,
+}
+
+impl ResilientFleet {
+    /// Routers that reached `Installed`.
+    pub fn installed(&self) -> usize {
+        self.deployments
+            .iter()
+            .filter(|d| d.phase == DeployPhase::Installed)
+            .count()
+    }
+
+    /// Routers that ended `Quarantined`.
+    pub fn quarantined(&self) -> usize {
+        self.deployments.len() - self.installed()
+    }
+}
+
+impl Fleet {
+    /// Deploys a fleet over a *faulty* transport, driving each router's
+    /// deployment state machine (pending → downloading → verifying →
+    /// installed | quarantined) to a terminal state:
+    ///
+    /// * each cycle prepares a **fresh** bundle (new sequence, parameter,
+    ///   and keys — a re-download of a stale bundle would be rejected as a
+    ///   replay), publishes it on `server`, and downloads it through
+    ///   `config.link` with the retrying, resuming
+    ///   [`DownloadClient`];
+    /// * verification failures (a corrupted transfer that slipped past the
+    ///   transport checksum, a stale sequence) roll back atomically —
+    ///   [`RouterDevice::install_bundle`] programs nothing on any error —
+    ///   and burn one of the router's `max_deploy_attempts` cycles;
+    /// * a router whose budget runs out is **quarantined**: recorded in
+    ///   [`ResilientFleet::deployments`] but excluded from the returned
+    ///   fleet, without failing the routers that did deploy
+    ///   (partial-fleet success);
+    /// * every deployed router gets `config.supervisor` installed, so the
+    ///   runtime half of the healing loop (redeploy/quarantine ladder,
+    ///   degraded dispatch) is armed.
+    ///
+    /// Deployment is serial, in router order, and fully deterministic:
+    /// router `i` draws from `split_seed(master, i)` and the server's fault
+    /// stream from its own seed, so a given (rng, server-seed, config)
+    /// triple replays byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for *systemic* failures (provisioning or
+    /// packaging — e.g. a missing operator certificate). Transport and
+    /// verification failures never error; they end in quarantine records.
+    #[allow(clippy::too_many_arguments)]
+    pub fn deploy_resilient<R: RngCore + ?Sized>(
+        manufacturer: &Manufacturer,
+        operator: &NetworkOperator,
+        program: &Program,
+        count: usize,
+        cores_each: usize,
+        key_bits: usize,
+        server: &mut FlakyServer,
+        config: &ResilientConfig,
+        rng: &mut R,
+    ) -> Result<ResilientFleet, SdmmonError> {
+        let master = rng.next_u64();
+        let client = DownloadClient::new(config.retry);
+        let mut routers = Vec::new();
+        let mut reports = Vec::new();
+        let mut deployments = Vec::with_capacity(count);
+        for i in 0..count {
+            let mut router_rng =
+                sdmmon_rng::StdRng::seed_from_u64(sdmmon_rng::split_seed(master, i as u64));
+            let mut router = manufacturer.provision_router(
+                &format!("router-{i}"),
+                cores_each,
+                key_bits,
+                &mut router_rng,
+            )?;
+            let path = format!("pkg/{}.sdmmon", router.name());
+            let cores: Vec<usize> = (0..cores_each).collect();
+            let mut record = RouterDeployment {
+                router: router.name().to_owned(),
+                phase: DeployPhase::Quarantined,
+                deploy_attempts: 0,
+                transport_attempts: 0,
+                transfer_time: Duration::ZERO,
+                backoff_time: Duration::ZERO,
+                integrity_restarts: 0,
+                error: None,
+            };
+            let mut outcome = None;
+            while record.deploy_attempts < config.max_deploy_attempts.max(1) {
+                record.deploy_attempts += 1;
+                // Pending → Downloading: fresh bundle every cycle.
+                let bundle =
+                    operator.prepare_package(program, router.public_key(), &mut router_rng)?;
+                server.server_mut().publish(path.clone(), bundle.to_bytes());
+                let download = match client.download(server, &path, &config.link, &mut router_rng) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        record.error = Some(e.to_string());
+                        if let DownloadError::AttemptsExhausted { attempts, .. } = e {
+                            record.transport_attempts += attempts;
+                        }
+                        continue;
+                    }
+                };
+                record.transport_attempts += download.attempts.len() as u32;
+                record.transfer_time += download.transfer_time();
+                record.backoff_time += download.backoff_time();
+                record.integrity_restarts += download.integrity_restarts;
+                // Downloading → Verifying: parse + full SR1–SR4 install.
+                let result = InstallationBundle::from_bytes(&download.bytes)
+                    .map_err(|e| SdmmonError::MalformedPackage(e.to_string()))
+                    .and_then(|b| router.install_bundle(&b, &cores));
+                match result {
+                    Ok(report) => {
+                        outcome = Some(report);
+                        break;
+                    }
+                    // Verifying → (rolled back) Pending: install_bundle is
+                    // atomic, so the router is exactly as before the cycle.
+                    Err(e) => record.error = Some(e.to_string()),
+                }
+            }
+            match outcome {
+                Some(report) => {
+                    record.phase = DeployPhase::Installed;
+                    record.error = None;
+                    router.set_supervisor_policy(config.supervisor);
+                    routers.push(router);
+                    reports.push(report);
+                }
+                None => {
+                    // Quarantined: dropped from the fleet, kept on record.
+                }
+            }
+            deployments.push(record);
+        }
+        Ok(ResilientFleet {
+            fleet: Fleet { routers, reports },
+            deployments,
+        })
     }
 }
 
@@ -641,6 +862,147 @@ mod tests {
         }
         // Both deployments leave the caller's rng in the same state.
         assert_eq!(rng_par.next_u64(), rng_ser.next_u64());
+    }
+
+    fn hostile_world() -> (FlakyServer, ResilientConfig) {
+        // Lossy, corrupting, stalling link; one five-attempt server outage
+        // early on; router-2's package path is blackholed (unreachable).
+        let mut server = FlakyServer::new(FileServer::new(), 0xf1ee7);
+        server.schedule_outage(sdmmon_net::resilience::OutageWindow { from: 2, len: 5 });
+        server.blackhole("pkg/router-2.sdmmon");
+        let config = ResilientConfig {
+            link: LossyChannel::clean(Channel::ideal_gigabit())
+                .with_loss(0.2)
+                .with_corrupt(0.05)
+                .with_stall(0.05),
+            retry: RetryPolicy::default()
+                .with_chunk_bytes(16 * 1024)
+                .with_max_attempts(60),
+            max_deploy_attempts: 3,
+            supervisor: SupervisorPolicy::default(),
+        };
+        (server, config)
+    }
+
+    fn resilient_run(seed: u64) -> (ResilientFleet, u64) {
+        let (manufacturer, operator, mut rng) = setup(seed);
+        let (mut server, config) = hostile_world();
+        let program = programs::ipv4_forward().unwrap();
+        let result = Fleet::deploy_resilient(
+            &manufacturer,
+            &operator,
+            &program,
+            4,
+            2,
+            KEY_BITS,
+            &mut server,
+            &config,
+            &mut rng,
+        )
+        .unwrap();
+        (result, server.stats().attempts)
+    }
+
+    #[test]
+    fn resilient_deploy_converges_under_faults() {
+        // The acceptance-criteria scenario: seeded loss + corruption +
+        // stalls + one server outage + one unreachable router. Every
+        // reachable router must install; only the unreachable one may be
+        // quarantined.
+        let (result, _) = resilient_run(17);
+        assert_eq!(result.deployments.len(), 4);
+        assert_eq!(result.installed(), 3);
+        assert_eq!(result.quarantined(), 1);
+        assert_eq!(result.fleet.len(), 3);
+        for (i, d) in result.deployments.iter().enumerate() {
+            if i == 2 {
+                assert_eq!(d.phase, DeployPhase::Quarantined, "{d:?}");
+                assert!(d.error.is_some());
+                assert_eq!(d.deploy_attempts, 3, "budget fully spent");
+            } else {
+                assert_eq!(d.phase, DeployPhase::Installed, "{d:?}");
+                assert!(d.error.is_none());
+                assert!(d.transport_attempts > 0);
+            }
+        }
+        // Partial-fleet success: the survivors forward traffic and carry
+        // distinct SR2 parameters.
+        let mut fleet = result.fleet;
+        let params: Vec<u32> = fleet
+            .routers()
+            .iter()
+            .map(|r| r.installed(0).unwrap().hash_param)
+            .collect();
+        let mut unique = params.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), params.len(), "SR2 held: {params:?}");
+        let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 6], 64, b"");
+        for out in fleet.broadcast(&packet) {
+            assert_eq!(out.verdict, Verdict::Forward(6));
+        }
+
+        // Degraded dispatch: quarantine core 0 of a deployed router and a
+        // quarantined core never receives a packet again.
+        let router = &mut fleet.routers_mut()[0];
+        router.quarantine_core(0);
+        assert_eq!(router.active_cores(), vec![1]);
+        for _ in 0..8 {
+            let (core, out) = router.process(&packet);
+            assert_eq!(core, 1, "quarantined core 0 got a packet");
+            assert_eq!(out.verdict, Verdict::Forward(6));
+        }
+        assert_eq!(router.stats().quarantined_cores, 1);
+    }
+
+    #[test]
+    fn resilient_deploy_replays_byte_identically() {
+        let (a, a_attempts) = resilient_run(17);
+        let (b, b_attempts) = resilient_run(17);
+        assert_eq!(a.deployments, b.deployments);
+        assert_eq!(a.fleet.reports(), b.fleet.reports());
+        assert_eq!(a_attempts, b_attempts, "same server-side fault clock");
+        for (x, y) in a.fleet.routers().iter().zip(b.fleet.routers()) {
+            assert_eq!(x.name(), y.name());
+            assert_eq!(x.installed(0), y.installed(0));
+            assert_eq!(
+                x.public_key().modulus_bytes(),
+                y.public_key().modulus_bytes()
+            );
+        }
+        // A different seed takes a different path through the faults.
+        let (c, _) = resilient_run(18);
+        assert_ne!(
+            a.deployments, c.deployments,
+            "distinct seeds should differ somewhere in the timeline"
+        );
+    }
+
+    #[test]
+    fn clean_transport_deploys_first_try() {
+        let (manufacturer, operator, mut rng) = setup(19);
+        let mut server = FlakyServer::new(FileServer::new(), 9);
+        let config = ResilientConfig::default();
+        let program = programs::ipv4_forward().unwrap();
+        let result = Fleet::deploy_resilient(
+            &manufacturer,
+            &operator,
+            &program,
+            3,
+            1,
+            KEY_BITS,
+            &mut server,
+            &config,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(result.installed(), 3);
+        assert_eq!(result.quarantined(), 0);
+        for d in &result.deployments {
+            assert_eq!(d.deploy_attempts, 1, "no faults, no retries: {d:?}");
+            assert_eq!(d.integrity_restarts, 0);
+            assert_eq!(d.backoff_time, Duration::ZERO);
+        }
     }
 
     #[test]

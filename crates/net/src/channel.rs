@@ -97,6 +97,8 @@ impl std::error::Error for FetchError {}
 pub struct FileServer {
     files: BTreeMap<String, Vec<u8>>,
     fetches: u64,
+    misses: u64,
+    path_fetches: BTreeMap<String, u64>,
 }
 
 impl FileServer {
@@ -120,9 +122,36 @@ impl FileServer {
         self.files.keys().map(String::as_str)
     }
 
-    /// Number of completed fetches (server-side statistic).
+    /// Number of completed fetches (server-side statistic). Ranged fetches
+    /// ([`FileServer::fetch_range`]) count once per range served.
     pub fn fetches(&self) -> u64 {
         self.fetches
+    }
+
+    /// Number of failed fetches — requests for unpublished paths
+    /// (server-side statistic).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Completed fetches for one specific path — the server-side effort a
+    /// retrying client caused, which retry tests assert on directly instead
+    /// of inferring it from client-side outcomes.
+    pub fn fetches_for(&self, path: &str) -> u64 {
+        self.path_fetches.get(path).copied().unwrap_or(0)
+    }
+
+    /// The published bytes of `path`, without counting a fetch (the cheap
+    /// metadata lookup behind `HEAD`-style probes).
+    pub fn stat(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(Vec::as_slice)
+    }
+
+    /// Records a failed lookup initiated by a transport wrapper (so misses
+    /// observed through e.g. `sdmmon_net::resilience::FlakyServer` land in
+    /// the same server-side books as direct ones).
+    pub fn record_miss(&mut self, _path: &str) {
+        self.misses += 1;
     }
 
     /// Mutates a published file in place, returning `true` if the path
@@ -152,10 +181,45 @@ impl FileServer {
         path: &str,
         channel: &Channel,
     ) -> Result<(Vec<u8>, Duration), FetchError> {
-        let bytes = self.files.get(path).cloned().ok_or_else(|| FetchError {
-            path: path.to_owned(),
-        })?;
+        let len = match self.files.get(path) {
+            Some(bytes) => bytes.len(),
+            None => {
+                self.misses += 1;
+                return Err(FetchError {
+                    path: path.to_owned(),
+                });
+            }
+        };
+        self.fetch_range(path, 0, len, channel)
+    }
+
+    /// Downloads up to `len` bytes of `path` starting at byte `offset`
+    /// (the `REST`-style ranged transfer resumable clients use). Requests
+    /// past the end return an empty slice; each served range counts as one
+    /// fetch in the server-side statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] (and counts a miss) when the path is not
+    /// published.
+    pub fn fetch_range(
+        &mut self,
+        path: &str,
+        offset: usize,
+        len: usize,
+        channel: &Channel,
+    ) -> Result<(Vec<u8>, Duration), FetchError> {
+        let Some(file) = self.files.get(path) else {
+            self.misses += 1;
+            return Err(FetchError {
+                path: path.to_owned(),
+            });
+        };
+        let start = offset.min(file.len());
+        let end = offset.saturating_add(len).min(file.len());
+        let bytes = file[start..end].to_vec();
         self.fetches += 1;
+        *self.path_fetches.entry(path.to_owned()).or_insert(0) += 1;
         let took = channel.transfer_time(bytes.len());
         Ok((bytes, took))
     }
@@ -207,6 +271,27 @@ mod tests {
         let (bytes, _) = s.fetch("pkg", &Channel::ideal_gigabit()).unwrap();
         assert_eq!(bytes[3], 0xff);
         assert!(!s.tamper("missing", |_| unreachable!("no such file")));
+    }
+
+    #[test]
+    fn server_counts_misses_and_per_path_effort() {
+        let mut s = FileServer::new();
+        s.publish("pkg/a", vec![0u8; 100]);
+        s.publish("pkg/b", vec![0u8; 100]);
+        let ch = Channel::ideal_gigabit();
+        for _ in 0..3 {
+            s.fetch("pkg/a", &ch).unwrap();
+        }
+        s.fetch("pkg/b", &ch).unwrap();
+        let (part, _) = s.fetch_range("pkg/b", 50, 100, &ch).unwrap();
+        assert_eq!(part.len(), 50, "range clamped to the file");
+        assert!(s.fetch("missing", &ch).is_err());
+        assert!(s.fetch_range("missing", 0, 4, &ch).is_err());
+        assert_eq!(s.fetches(), 5);
+        assert_eq!(s.misses(), 2);
+        assert_eq!(s.fetches_for("pkg/a"), 3);
+        assert_eq!(s.fetches_for("pkg/b"), 2);
+        assert_eq!(s.fetches_for("missing"), 0);
     }
 
     #[test]

@@ -1,0 +1,522 @@
+//! A retrying, resuming download client for the faulty transport.
+//!
+//! [`DownloadClient`] drives [`FlakyServer::fetch_chunk`] to completion
+//! under loss, corruption, stalls, and outages: chunked transfer with
+//! resume-after-short-read, bounded exponential backoff with seeded jitter,
+//! and a post-download integrity re-check against the probed transport
+//! checksum (a corrupted assembly is discarded and restarted, still within
+//! the attempt budget). Every duration is *modelled* — nothing sleeps — so
+//! a download timeline is a deterministic function of the seeds involved.
+
+use crate::resilience::{transport_checksum, FlakyServer, LossyChannel, TransportError};
+use sdmmon_rng::{Rng, RngCore};
+use std::fmt;
+use std::time::Duration;
+
+/// Retry/backoff policy of one download.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total transport attempts (probes + chunk fetches) allowed before the
+    /// download fails.
+    pub max_attempts: u32,
+    /// Backoff after the first consecutive failure; doubles per failure.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Fraction of each backoff randomized (0 = fixed, 1 = full jitter).
+    pub jitter: f64,
+    /// Bytes requested per chunk.
+    pub chunk_bytes: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 24,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            jitter: 0.5,
+            chunk_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Sets the attempt budget (at least 1).
+    pub fn with_max_attempts(mut self, attempts: u32) -> RetryPolicy {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the chunk size (at least 1 byte).
+    pub fn with_chunk_bytes(mut self, bytes: usize) -> RetryPolicy {
+        self.chunk_bytes = bytes.max(1);
+        self
+    }
+
+    /// The bounded-exponential backoff after `consecutive` failures
+    /// (1-based), jittered from `rng`.
+    fn backoff<R: RngCore>(&self, consecutive: u32, rng: &mut R) -> Duration {
+        if consecutive == 0 {
+            return Duration::ZERO;
+        }
+        let exp = consecutive.saturating_sub(1).min(16);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        // Jittered into [raw * (1 - jitter), raw]: decorrelates concurrent
+        // retriers without ever exceeding the bound.
+        let u: f64 = rng.gen();
+        raw.mul_f64(1.0 - self.jitter * u)
+    }
+}
+
+/// What one transport attempt achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// Metadata probe succeeded.
+    Probed,
+    /// A complete chunk of this many bytes arrived.
+    Chunk(usize),
+    /// The connection dropped; this prefix was salvaged for resumption.
+    ShortRead(usize),
+    /// The attempt stalled to the client timeout.
+    Stalled,
+    /// The server refused the connection (outage).
+    Refused,
+    /// The assembled file failed the integrity re-check and was discarded.
+    IntegrityReject,
+}
+
+/// One entry of the per-attempt download log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attempt {
+    /// Byte offset the attempt targeted.
+    pub offset: usize,
+    /// What happened.
+    pub outcome: AttemptOutcome,
+    /// Modelled time on the wire (transfer or wasted wait).
+    pub took: Duration,
+    /// Modelled backoff slept *before* this attempt.
+    pub backoff: Duration,
+}
+
+/// A completed download: the bytes plus the full attempt timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DownloadReport {
+    /// The verified file contents.
+    pub bytes: Vec<u8>,
+    /// Every transport attempt, in order, with per-attempt timing.
+    pub attempts: Vec<Attempt>,
+    /// Full-file restarts forced by the integrity re-check.
+    pub integrity_restarts: u32,
+    /// Bytes salvaged from short reads (delivered, kept, not re-fetched).
+    pub resumed_bytes: usize,
+}
+
+impl DownloadReport {
+    /// Modelled wire time across all attempts.
+    pub fn transfer_time(&self) -> Duration {
+        self.attempts.iter().map(|a| a.took).sum()
+    }
+
+    /// Modelled backoff time across all attempts.
+    pub fn backoff_time(&self) -> Duration {
+        self.attempts.iter().map(|a| a.backoff).sum()
+    }
+
+    /// Total modelled wall clock of the download.
+    pub fn total_time(&self) -> Duration {
+        self.transfer_time() + self.backoff_time()
+    }
+
+    /// Attempts that did not deliver a complete chunk or probe.
+    pub fn failures(&self) -> u32 {
+        self.attempts
+            .iter()
+            .filter(|a| !matches!(a.outcome, AttemptOutcome::Probed | AttemptOutcome::Chunk(_)))
+            .count() as u32
+    }
+}
+
+/// Why a download gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DownloadError {
+    /// The path is not published (permanent — retrying cannot help).
+    NotFound {
+        /// The requested path.
+        path: String,
+    },
+    /// The attempt budget ran out before a verified file was assembled.
+    AttemptsExhausted {
+        /// The requested path.
+        path: String,
+        /// Attempts spent.
+        attempts: u32,
+        /// Human-readable description of the last failure.
+        last: String,
+    },
+}
+
+impl fmt::Display for DownloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DownloadError::NotFound { path } => write!(f, "download {path}: not published"),
+            DownloadError::AttemptsExhausted {
+                path,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "download {path}: gave up after {attempts} attempts ({last})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DownloadError {}
+
+/// The resilient download client (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use sdmmon_net::channel::{Channel, FileServer};
+/// use sdmmon_net::download::{DownloadClient, RetryPolicy};
+/// use sdmmon_net::resilience::{FlakyServer, LossyChannel};
+/// use sdmmon_rng::{SeedableRng, StdRng};
+///
+/// let mut server = FileServer::new();
+/// server.publish("pkg", (0..100_000u32).map(|i| i as u8).collect());
+/// let mut flaky = FlakyServer::new(server, 3);
+/// let link = LossyChannel::clean(Channel::ideal_gigabit()).with_loss(0.3);
+/// let client = DownloadClient::new(RetryPolicy::default());
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let report = client.download(&mut flaky, "pkg", &link, &mut rng).unwrap();
+/// assert_eq!(report.bytes.len(), 100_000);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DownloadClient {
+    policy: RetryPolicy,
+}
+
+impl DownloadClient {
+    /// Creates a client with the given retry policy.
+    pub fn new(policy: RetryPolicy) -> DownloadClient {
+        DownloadClient { policy }
+    }
+
+    /// The client's policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Downloads `path` from `server` over `link` to completion: probe,
+    /// chunked transfer with resume, bounded backoff between retries, and
+    /// an integrity re-check of the assembled bytes (mismatch discards the
+    /// assembly and restarts). `rng` drives only the backoff jitter.
+    ///
+    /// # Errors
+    ///
+    /// [`DownloadError::NotFound`] immediately for unpublished paths;
+    /// [`DownloadError::AttemptsExhausted`] when the budget runs out.
+    pub fn download<R: RngCore>(
+        &self,
+        server: &mut FlakyServer,
+        path: &str,
+        link: &LossyChannel,
+        rng: &mut R,
+    ) -> Result<DownloadReport, DownloadError> {
+        let p = &self.policy;
+        let mut attempts: Vec<Attempt> = Vec::new();
+        let mut consecutive = 0u32;
+        let mut last_failure = String::from("no attempts made");
+        let mut integrity_restarts = 0u32;
+        let mut resumed_bytes = 0usize;
+        let mut meta = None;
+        let mut data: Vec<u8> = Vec::new();
+
+        while (attempts.len() as u32) < p.max_attempts {
+            let backoff = p.backoff(consecutive, rng);
+            // Phase 1: probe for size + transport checksum.
+            let Some(m) = meta else {
+                match server.probe(path, link) {
+                    Ok(m) => {
+                        attempts.push(Attempt {
+                            offset: 0,
+                            outcome: AttemptOutcome::Probed,
+                            took: link.channel.latency * 2,
+                            backoff,
+                        });
+                        consecutive = 0;
+                        meta = Some(m);
+                    }
+                    Err(e) if e.is_permanent() => {
+                        return Err(DownloadError::NotFound {
+                            path: path.to_owned(),
+                        })
+                    }
+                    Err(e) => {
+                        attempts.push(Attempt {
+                            offset: 0,
+                            outcome: failure_outcome(&e),
+                            took: e.wasted(),
+                            backoff,
+                        });
+                        consecutive += 1;
+                        last_failure = e.to_string();
+                    }
+                }
+                continue;
+            };
+            // Phase 2: assembled — verify end to end.
+            if data.len() >= m.len {
+                if transport_checksum(&data) == m.checksum {
+                    return Ok(DownloadReport {
+                        bytes: data,
+                        attempts,
+                        integrity_restarts,
+                        resumed_bytes,
+                    });
+                }
+                attempts.push(Attempt {
+                    offset: data.len(),
+                    outcome: AttemptOutcome::IntegrityReject,
+                    took: Duration::ZERO,
+                    backoff,
+                });
+                data.clear();
+                integrity_restarts += 1;
+                consecutive += 1;
+                last_failure = "integrity re-check failed (corrupted transfer)".to_owned();
+                continue;
+            }
+            // Phase 3: fetch the next chunk, resuming at the current offset.
+            let offset = data.len();
+            let want = p.chunk_bytes.min(m.len - offset);
+            match server.fetch_chunk(path, offset, want, link) {
+                Ok(chunk) => {
+                    let got = chunk.bytes.len();
+                    data.extend_from_slice(&chunk.bytes);
+                    if chunk.complete {
+                        attempts.push(Attempt {
+                            offset,
+                            outcome: AttemptOutcome::Chunk(got),
+                            took: chunk.took,
+                            backoff,
+                        });
+                        consecutive = 0;
+                    } else {
+                        // Short read: keep the prefix, back off, resume.
+                        attempts.push(Attempt {
+                            offset,
+                            outcome: AttemptOutcome::ShortRead(got),
+                            took: chunk.took,
+                            backoff,
+                        });
+                        resumed_bytes += got;
+                        consecutive += 1;
+                        last_failure = format!("connection lost after {got} bytes");
+                    }
+                }
+                Err(e) if e.is_permanent() => {
+                    return Err(DownloadError::NotFound {
+                        path: path.to_owned(),
+                    })
+                }
+                Err(e) => {
+                    attempts.push(Attempt {
+                        offset,
+                        outcome: failure_outcome(&e),
+                        took: e.wasted(),
+                        backoff,
+                    });
+                    consecutive += 1;
+                    last_failure = e.to_string();
+                }
+            }
+        }
+        // Budget exhausted; one final integrity verdict if fully assembled.
+        if let Some(m) = meta {
+            if data.len() >= m.len && transport_checksum(&data) == m.checksum {
+                return Ok(DownloadReport {
+                    bytes: data,
+                    attempts,
+                    integrity_restarts,
+                    resumed_bytes,
+                });
+            }
+        }
+        Err(DownloadError::AttemptsExhausted {
+            path: path.to_owned(),
+            attempts: attempts.len() as u32,
+            last: last_failure,
+        })
+    }
+}
+
+/// Maps a transient transport error to its attempt-log outcome.
+fn failure_outcome(e: &TransportError) -> AttemptOutcome {
+    match e {
+        TransportError::Unavailable { .. } => AttemptOutcome::Refused,
+        _ => AttemptOutcome::Stalled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{Channel, FileServer};
+    use crate::resilience::OutageWindow;
+    use sdmmon_rng::{SeedableRng, StdRng};
+
+    fn published(len: usize) -> FileServer {
+        let mut s = FileServer::new();
+        s.publish("pkg", (0..len).map(|i| (i * 7) as u8).collect());
+        s
+    }
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy::default().with_chunk_bytes(4096)
+    }
+
+    #[test]
+    fn clean_download_round_trips() {
+        let mut flaky = FlakyServer::new(published(40_000), 1);
+        let link = LossyChannel::clean(Channel::paper_testbed());
+        let client = DownloadClient::new(policy());
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = client.download(&mut flaky, "pkg", &link, &mut rng).unwrap();
+        assert_eq!(r.bytes, flaky.server().stat("pkg").unwrap());
+        assert_eq!(r.failures(), 0);
+        assert_eq!(r.integrity_restarts, 0);
+        assert!(r.total_time() > Duration::ZERO);
+        // 1 probe + ceil(40000/4096) chunks.
+        assert_eq!(r.attempts.len(), 1 + 10);
+    }
+
+    #[test]
+    fn lossy_download_resumes_instead_of_restarting() {
+        let mut flaky = FlakyServer::new(published(60_000), 7);
+        let link = LossyChannel::clean(Channel::ideal_gigabit()).with_loss(0.5);
+        let client = DownloadClient::new(
+            RetryPolicy::default()
+                .with_chunk_bytes(8192)
+                .with_max_attempts(200),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = client.download(&mut flaky, "pkg", &link, &mut rng).unwrap();
+        assert_eq!(r.bytes, flaky.server().stat("pkg").unwrap());
+        assert!(r.resumed_bytes > 0, "short reads must contribute bytes");
+        assert!(r.failures() > 0);
+        assert!(r.backoff_time() > Duration::ZERO, "failures must back off");
+        // Server-side effort is visible: more ranged fetches than the
+        // fault-free chunk count.
+        assert!(flaky.server().fetches() > 8, "{}", flaky.server().fetches());
+    }
+
+    #[test]
+    fn corrupted_download_is_detected_and_restarted() {
+        let mut flaky = FlakyServer::new(published(30_000), 11);
+        let link = LossyChannel::clean(Channel::ideal_gigabit()).with_corrupt(0.2);
+        let client = DownloadClient::new(policy().with_max_attempts(400));
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = client.download(&mut flaky, "pkg", &link, &mut rng).unwrap();
+        assert_eq!(
+            r.bytes,
+            flaky.server().stat("pkg").unwrap(),
+            "integrity re-check must reject every corrupted assembly"
+        );
+        assert!(
+            r.integrity_restarts > 0,
+            "seed chosen to corrupt at least once"
+        );
+    }
+
+    #[test]
+    fn outage_is_ridden_out_by_backoff() {
+        let mut flaky = FlakyServer::new(published(10_000), 2);
+        flaky.schedule_outage(OutageWindow { from: 0, len: 5 });
+        let link = LossyChannel::clean(Channel::ideal_gigabit());
+        let client = DownloadClient::new(policy());
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = client.download(&mut flaky, "pkg", &link, &mut rng).unwrap();
+        assert_eq!(r.bytes.len(), 10_000);
+        let refused = r
+            .attempts
+            .iter()
+            .filter(|a| a.outcome == AttemptOutcome::Refused)
+            .count();
+        assert_eq!(refused, 5);
+    }
+
+    #[test]
+    fn unpublished_path_fails_fast() {
+        let mut flaky = FlakyServer::new(FileServer::new(), 1);
+        let link = LossyChannel::clean(Channel::ideal_gigabit());
+        let client = DownloadClient::new(policy());
+        let mut rng = StdRng::seed_from_u64(6);
+        let err = client
+            .download(&mut flaky, "nope", &link, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, DownloadError::NotFound { .. }));
+        assert_eq!(
+            flaky.server().misses(),
+            1,
+            "the miss is on the server's books"
+        );
+    }
+
+    #[test]
+    fn hopeless_link_exhausts_attempts() {
+        let mut flaky = FlakyServer::new(published(1000), 1);
+        flaky.blackhole("pkg");
+        let link = LossyChannel::clean(Channel::ideal_gigabit());
+        let client = DownloadClient::new(policy().with_max_attempts(6));
+        let mut rng = StdRng::seed_from_u64(7);
+        let err = client
+            .download(&mut flaky, "pkg", &link, &mut rng)
+            .unwrap_err();
+        match err {
+            DownloadError::AttemptsExhausted { attempts, .. } => assert_eq!(attempts, 6),
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn download_timeline_replays_per_seed() {
+        let run = |seed| {
+            let mut flaky = FlakyServer::new(published(30_000), seed);
+            flaky.schedule_outage(OutageWindow { from: 3, len: 2 });
+            let link = LossyChannel::clean(Channel::paper_testbed())
+                .with_loss(0.25)
+                .with_corrupt(0.08)
+                .with_stall(0.1);
+            let client = DownloadClient::new(policy().with_max_attempts(500));
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabc);
+            client.download(&mut flaky, "pkg", &link, &mut rng).unwrap()
+        };
+        let a = run(21);
+        let b = run(21);
+        assert_eq!(a, b, "identical seeds, identical timeline");
+        assert_ne!(run(21), run(22));
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_grows() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let b1 = p.backoff(1, &mut rng);
+        let b2 = p.backoff(2, &mut rng);
+        let b3 = p.backoff(3, &mut rng);
+        assert_eq!(b1, p.base_backoff);
+        assert_eq!(b2, p.base_backoff * 2);
+        assert_eq!(b3, p.base_backoff * 4);
+        assert_eq!(p.backoff(40, &mut rng), p.max_backoff, "ceiling respected");
+        assert_eq!(p.backoff(0, &mut rng), Duration::ZERO);
+    }
+}

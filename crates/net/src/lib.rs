@@ -11,6 +11,13 @@
 //! * [`channel`] — a bandwidth/latency channel model and an in-memory
 //!   [`channel::FileServer`], reproducing the "download data from FTP
 //!   server" row of the paper's Table 2
+//! * [`resilience`] — seeded transport-fault injection: a
+//!   [`resilience::LossyChannel`] link model (loss, corruption, stalls) and
+//!   a [`resilience::FlakyServer`] wrapper with outage windows and
+//!   blackholed paths
+//! * [`download`] — a retrying [`download::DownloadClient`] with bounded
+//!   exponential backoff + jitter, chunked resumable transfer, and a
+//!   post-download integrity re-check
 //!
 //! # Examples
 //!
@@ -29,5 +36,7 @@
 //! ```
 
 pub mod channel;
+pub mod download;
 pub mod packet;
+pub mod resilience;
 pub mod traffic;

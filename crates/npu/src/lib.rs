@@ -13,6 +13,9 @@
 //! * [`np::NetworkProcessor`] — a multicore NP with per-core observers,
 //!   dispatching packets and applying the paper's detect → drop → reset
 //!   recovery
+//! * [`supervisor`] — the runtime escalation ladder above that recovery:
+//!   redeploy a core from its last-known-good image after repeated unclean
+//!   halts, quarantine it out of dispatch after repeated redeploys
 //! * [`programs`] — the packet-processing workloads of the paper's
 //!   evaluation (IPv4 forwarding, IPv4 + congestion management) plus the
 //!   deliberately vulnerable forwarder used by the attack experiments
@@ -39,5 +42,6 @@ pub mod mem;
 pub mod np;
 pub mod programs;
 pub mod runtime;
+pub mod supervisor;
 pub mod timing;
 pub mod trace;

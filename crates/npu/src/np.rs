@@ -1,10 +1,14 @@
 //! The multicore network processor: several cores with per-core execution
 //! observers, round-robin packet dispatch, and the paper's recovery policy
-//! (detect → drop packet → reset core → continue with the next packet).
+//! (detect → drop packet → reset core → continue with the next packet),
+//! optionally escalated by the [`crate::supervisor`] ladder (redeploy after
+//! repeated recoveries, quarantine after repeated redeploys, degraded
+//! dispatch over the remaining cores).
 
 use crate::core::Core;
 use crate::cpu::{ExecutionObserver, NullObserver};
 use crate::runtime::{HaltReason, PacketOutcome};
+use crate::supervisor::{CoreHealth, SupervisorPolicy};
 use std::fmt;
 
 /// Aggregate counters over all packets the NP has processed.
@@ -22,19 +26,26 @@ pub struct NpStats {
     pub faults: u64,
     /// Core resets performed as recovery.
     pub recoveries: u64,
+    /// Supervisor redeploys (last-known-good re-flashes) across all cores.
+    pub redeploys: u64,
+    /// Cores currently quarantined out of dispatch.
+    pub quarantined_cores: u64,
 }
 
 impl fmt::Display for NpStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "processed {} / forwarded {} / dropped {} / violations {} / faults {} / recoveries {}",
+            "processed {} / forwarded {} / dropped {} / violations {} / faults {} / \
+             recoveries {} / redeploys {} / quarantined {}",
             self.processed,
             self.forwarded,
             self.dropped,
             self.violations,
             self.faults,
-            self.recoveries
+            self.recoveries,
+            self.redeploys,
+            self.quarantined_cores
         )
     }
 }
@@ -61,21 +72,29 @@ impl NpStats {
     }
 }
 
-/// One core and its attached observer.
+/// One core, its attached observer, and its supervisor ledger.
 struct Slot {
     core: Core,
     observer: Box<dyn ExecutionObserver + Send>,
+    health: CoreHealth,
 }
 
 impl Slot {
     /// Runs one packet on this core, applying the recovery policy (reset
-    /// after any unclean halt) but not touching the NP-wide stats.
-    fn run(&mut self, packet: &[u8]) -> PacketOutcome {
+    /// after any unclean halt) and the supervisor ladder, but not touching
+    /// the NP-wide stats.
+    fn run(&mut self, packet: &[u8], policy: &SupervisorPolicy) -> PacketOutcome {
         let outcome = self.core.process_packet(packet, self.observer.as_mut());
-        if !outcome.halt.is_clean() {
+        if outcome.halt.is_clean() {
+            self.health.record_clean();
+        } else {
             // Recovery: drop the packet and reset the core so the next
-            // packet starts from a pristine image.
+            // packet starts from a pristine image. A supervisor-ordered
+            // redeploy re-flashes the same last-known-good image — here
+            // `reset()` already restores exactly that, so escalation only
+            // changes the book-keeping (and, at the top, quarantines).
             self.core.reset();
+            self.health.record_unclean(policy);
         }
         outcome
     }
@@ -115,26 +134,42 @@ pub struct NetworkProcessor {
     slots: Vec<Slot>,
     next: usize,
     stats: NpStats,
+    policy: SupervisorPolicy,
 }
 
 impl NetworkProcessor {
-    /// Creates an NP with `cores` unprogrammed cores and null observers.
+    /// Creates an NP with `cores` unprogrammed cores, null observers, and
+    /// the paper's original reset-only recovery
+    /// ([`SupervisorPolicy::never`] — no redeploy, no quarantine). Use
+    /// [`NetworkProcessor::with_policy`] to enable the escalation ladder.
     ///
     /// # Panics
     ///
     /// Panics if `cores` is zero.
     pub fn new(cores: usize) -> NetworkProcessor {
+        NetworkProcessor::with_policy(cores, SupervisorPolicy::never())
+    }
+
+    /// Creates an NP whose recovery escalates per `policy` (see
+    /// [`crate::supervisor`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn with_policy(cores: usize, policy: SupervisorPolicy) -> NetworkProcessor {
         assert!(cores > 0, "a network processor needs at least one core");
         let slots = (0..cores)
             .map(|_| Slot {
                 core: Core::new(),
                 observer: Box::new(NullObserver) as Box<dyn ExecutionObserver + Send>,
+                health: CoreHealth::default(),
             })
             .collect();
         NetworkProcessor {
             slots,
             next: 0,
             stats: NpStats::default(),
+            policy,
         }
     }
 
@@ -143,8 +178,48 @@ impl NetworkProcessor {
         self.slots.len()
     }
 
+    /// The supervisor policy in force.
+    pub fn policy(&self) -> SupervisorPolicy {
+        self.policy
+    }
+
+    /// Replaces the supervisor policy. Existing per-core ledgers stand —
+    /// the new thresholds apply from the next packet on.
+    pub fn set_policy(&mut self, policy: SupervisorPolicy) {
+        self.policy = policy;
+    }
+
+    /// The supervisor ledger of one core.
+    pub fn core_health(&self, index: usize) -> CoreHealth {
+        self.slots[index].health
+    }
+
+    /// Whether a core is quarantined out of dispatch.
+    pub fn is_quarantined(&self, index: usize) -> bool {
+        self.slots[index].health.quarantined
+    }
+
+    /// Indices of the cores still in dispatch (not quarantined), in order.
+    pub fn active_cores(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.health.quarantined)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Quarantines a core by operator decree (the harness hook; the
+    /// supervisor normally quarantines through the ladder). Reversed by
+    /// installing a bundle on the core.
+    pub fn quarantine_core(&mut self, index: usize) {
+        self.slots[index].health.quarantined = true;
+    }
+
     /// Installs a program and observer on one core (what the SDMMon control
-    /// processor does after verifying a package for that core).
+    /// processor does after verifying a package for that core). Installing
+    /// rehabilitates the core: its supervisor ledger — strikes, redeploys,
+    /// quarantine — is wiped and it rejoins dispatch.
     ///
     /// # Panics
     ///
@@ -159,6 +234,7 @@ impl NetworkProcessor {
         let slot = &mut self.slots[core];
         slot.core.install(image, base);
         slot.observer = observer;
+        slot.health.reinstated();
     }
 
     /// Installs the same program on every core, with a per-core observer
@@ -195,15 +271,24 @@ impl NetworkProcessor {
     }
 
     /// Processes one packet on the next round-robin core, applying the
-    /// recovery policy on unclean halts. Returns the core index used and
-    /// the outcome.
+    /// recovery policy on unclean halts. Quarantined cores are skipped
+    /// (degraded mode). Returns the core index used and the outcome.
     ///
     /// # Panics
     ///
-    /// Panics if the selected core has no program installed.
+    /// Panics if the selected core has no program installed, or if every
+    /// core is quarantined.
     pub fn process(&mut self, packet: &[u8]) -> (usize, PacketOutcome) {
-        let index = self.next;
-        self.next = (self.next + 1) % self.slots.len();
+        let cores = self.slots.len();
+        assert!(
+            self.slots.iter().any(|s| !s.health.quarantined),
+            "all cores quarantined: the NP cannot dispatch"
+        );
+        let mut index = self.next;
+        while self.slots[index].health.quarantined {
+            index = (index + 1) % cores;
+        }
+        self.next = (index + 1) % cores;
         let outcome = self.process_on(index, packet);
         (index, outcome)
     }
@@ -214,15 +299,34 @@ impl NetworkProcessor {
     ///
     /// The flow key is (src, dst, protocol) plus the first payload word
     /// (the L4 ports for UDP/TCP) when present; non-IPv4 runts hash over
-    /// their raw bytes.
+    /// their raw bytes. The hash maps into the *active* (non-quarantined)
+    /// core list, so with nothing quarantined the mapping is identical to
+    /// hashing over all cores, and in degraded mode flows of a quarantined
+    /// core redistribute over the survivors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selected core has no program installed, or if every
+    /// core is quarantined.
     pub fn process_flow(&mut self, packet: &[u8]) -> (usize, PacketOutcome) {
-        let index = (flow_hash(packet) % self.slots.len() as u64) as usize;
+        let active = self.active_cores();
+        assert!(
+            !active.is_empty(),
+            "all cores quarantined: the NP cannot dispatch"
+        );
+        let index = active[(flow_hash(packet) % active.len() as u64) as usize];
         (index, self.process_on(index, packet))
     }
 
     /// Processes one packet on a specific core (flow-pinned dispatch).
+    /// This is the explicit-pin escape hatch: it dispatches even to a
+    /// quarantined core (tests and the fault harness use it to poke
+    /// specific cores); the quarantine-respecting paths are
+    /// [`NetworkProcessor::process`], [`NetworkProcessor::process_flow`],
+    /// and [`NetworkProcessor::process_batch`].
     pub fn process_on(&mut self, index: usize, packet: &[u8]) -> PacketOutcome {
-        let outcome = self.slots[index].run(packet);
+        let policy = self.policy;
+        let outcome = self.slots[index].run(packet, &policy);
         self.stats.record(&outcome);
         outcome
     }
@@ -236,15 +340,26 @@ impl NetworkProcessor {
     /// both deterministic, outcomes and statistics are identical to calling
     /// `process_flow` on each packet in turn — only the wall clock differs.
     ///
+    /// Packets are partitioned against the active-core set *at entry*: a
+    /// core the supervisor quarantines mid-batch still finishes its share
+    /// (quarantine gates dispatch, not execution) and drops out of the next
+    /// batch's partitioning.
+    ///
     /// # Panics
     ///
-    /// Panics if a selected core has no program installed.
+    /// Panics if a selected core has no program installed, or if every
+    /// core is quarantined.
     pub fn process_batch(&mut self, packets: &[Vec<u8>]) -> Vec<(usize, PacketOutcome)> {
-        let cores = self.slots.len();
-        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); cores];
+        let active = self.active_cores();
+        assert!(
+            !active.is_empty(),
+            "all cores quarantined: the NP cannot dispatch"
+        );
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); self.slots.len()];
         for (i, packet) in packets.iter().enumerate() {
-            queues[(flow_hash(packet) % cores as u64) as usize].push(i);
+            queues[active[(flow_hash(packet) % active.len() as u64) as usize]].push(i);
         }
+        let policy = self.policy;
         let per_core: Vec<Vec<(usize, PacketOutcome)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .slots
@@ -254,7 +369,7 @@ impl NetworkProcessor {
                     scope.spawn(move || {
                         queue
                             .iter()
-                            .map(|&i| (i, slot.run(&packets[i])))
+                            .map(|&i| (i, slot.run(&packets[i], &policy)))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -280,9 +395,13 @@ impl NetworkProcessor {
         merged
     }
 
-    /// Aggregate statistics.
+    /// Aggregate statistics. Redeploy and quarantine counts are derived
+    /// from the per-core supervisor ledgers at call time.
     pub fn stats(&self) -> NpStats {
-        self.stats
+        let mut s = self.stats;
+        s.redeploys = self.slots.iter().map(|sl| sl.health.redeploys as u64).sum();
+        s.quarantined_cores = self.slots.iter().filter(|sl| sl.health.quarantined).count() as u64;
+        s
     }
 }
 
@@ -497,6 +616,121 @@ mod tests {
             batch_np.stats().recoveries > 0,
             "the hijack packets must exercise recovery"
         );
+    }
+
+    fn loaded_supervised_np(cores: usize, policy: SupervisorPolicy) -> NetworkProcessor {
+        let program = programs::vulnerable_forward().unwrap();
+        let mut np = NetworkProcessor::with_policy(cores, policy);
+        np.install_all(&program.to_bytes(), program.base, |_| {
+            Box::new(NullObserver)
+        });
+        np
+    }
+
+    #[test]
+    fn supervisor_escalates_to_quarantine_and_dispatch_skips_it() {
+        let policy = SupervisorPolicy {
+            redeploy_after: 2,
+            quarantine_after: 2,
+        };
+        let mut np = loaded_supervised_np(3, policy);
+        let attack = testing::hijack_packet("break 1").unwrap();
+        // Hammer core 1 through the explicit pin until the ladder tops out:
+        // 2 strikes -> redeploy, 2 more -> quarantine.
+        for _ in 0..4 {
+            np.process_on(1, &attack);
+        }
+        assert!(np.is_quarantined(1));
+        assert_eq!(np.core_health(1).redeploys, 2);
+        assert_eq!(np.active_cores(), vec![0, 2]);
+        let s = np.stats();
+        assert_eq!(s.redeploys, 2);
+        assert_eq!(s.quarantined_cores, 1);
+        assert_eq!(s.recoveries, 4, "every unclean halt still recovers");
+
+        // Degraded round robin never lands on the quarantined core.
+        let good = testing::ipv4_packet([1, 1, 1, 1], [10, 0, 0, 2], 64, b"");
+        let ids: Vec<usize> = (0..6).map(|_| np.process(&good).0).collect();
+        assert_eq!(ids, [0, 2, 0, 2, 0, 2]);
+
+        // Degraded flow dispatch redistributes over the survivors.
+        for i in 0..32u8 {
+            let p = testing::ipv4_packet([10, 1, i, 3], [10, 0, 0, 5], 64, b"data");
+            let (core, _) = np.process_flow(&p);
+            assert_ne!(core, 1, "flow {i} reached a quarantined core");
+        }
+    }
+
+    #[test]
+    fn clean_traffic_holds_off_the_ladder() {
+        let policy = SupervisorPolicy {
+            redeploy_after: 2,
+            quarantine_after: 1,
+        };
+        let mut np = loaded_supervised_np(1, policy);
+        let attack = testing::hijack_packet("break 1").unwrap();
+        let good = testing::ipv4_packet([1, 1, 1, 1], [10, 0, 0, 2], 64, b"");
+        // Alternating bad/good never reaches two *consecutive* strikes.
+        for _ in 0..8 {
+            np.process(&attack);
+            np.process(&good);
+        }
+        assert!(!np.is_quarantined(0));
+        assert_eq!(np.stats().redeploys, 0);
+        assert_eq!(np.stats().recoveries, 8);
+    }
+
+    #[test]
+    fn reinstall_rehabilitates_a_quarantined_core() {
+        let policy = SupervisorPolicy {
+            redeploy_after: 1,
+            quarantine_after: 1,
+        };
+        let mut np = loaded_supervised_np(2, policy);
+        let attack = testing::hijack_packet("break 1").unwrap();
+        np.process_on(0, &attack);
+        assert!(np.is_quarantined(0));
+        assert_eq!(np.active_cores(), vec![1]);
+
+        let program = programs::vulnerable_forward().unwrap();
+        np.install(0, &program.to_bytes(), program.base, Box::new(NullObserver));
+        assert!(!np.is_quarantined(0));
+        assert_eq!(np.core_health(0), crate::supervisor::CoreHealth::default());
+        assert_eq!(np.active_cores(), vec![0, 1]);
+        assert_eq!(np.stats().quarantined_cores, 0);
+        let good = testing::ipv4_packet([1, 1, 1, 1], [10, 0, 0, 2], 64, b"");
+        assert_eq!(np.process(&good).0, 0, "round robin includes it again");
+    }
+
+    #[test]
+    fn batch_matches_sequential_under_quarantine() {
+        let program = programs::vulnerable_forward().unwrap();
+        let mut batch_np = NetworkProcessor::new(4);
+        let mut seq_np = NetworkProcessor::new(4);
+        for np in [&mut batch_np, &mut seq_np] {
+            np.install_all(&program.to_bytes(), program.base, |_| {
+                Box::new(NullObserver)
+            });
+            np.quarantine_core(2);
+        }
+        let packets: Vec<Vec<u8>> = (0..40u8)
+            .map(|i| testing::ipv4_packet([10, 1, i, 1], [10, 0, 0, 1 + i % 15], 64, b"x"))
+            .collect();
+        let batched = batch_np.process_batch(&packets);
+        let sequential: Vec<(usize, PacketOutcome)> =
+            packets.iter().map(|p| seq_np.process_flow(p)).collect();
+        assert_eq!(batched, sequential);
+        assert!(batched.iter().all(|&(core, _)| core != 2));
+        assert_eq!(batch_np.stats(), seq_np.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "all cores quarantined")]
+    fn fully_quarantined_np_refuses_dispatch() {
+        let mut np = loaded_np(2);
+        np.quarantine_core(0);
+        np.quarantine_core(1);
+        np.process(&testing::ipv4_packet([1, 1, 1, 1], [2, 2, 2, 2], 64, b""));
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! The per-core runtime supervisor: escalating recovery beyond the paper's
+//! "reset core, drop packet".
+//!
+//! The paper's recovery policy treats every monitor violation identically —
+//! reset the core from its pristine image and continue. That is the right
+//! response to a one-off hijacked packet, but a core that keeps halting
+//! uncleanly (a persistent exploit source, corrupted instruction store, or
+//! a flaky monitor) burns its reset budget forwarding nothing. The
+//! supervisor adds an escalation ladder on top of the per-packet reset:
+//!
+//! 1. **Recover** — each unclean halt still resets the core (a *strike*).
+//! 2. **Redeploy** — after [`SupervisorPolicy::redeploy_after`] consecutive
+//!    strikes, the core is re-flashed from its last-known-good image (in
+//!    this model, [`crate::core::Core::reset`] restores exactly the
+//!    pristine installed image, so a redeploy is a counted, intentional
+//!    re-install rather than a different mechanism) and the strike count
+//!    starts over.
+//! 3. **Quarantine** — after [`SupervisorPolicy::quarantine_after`]
+//!    redeploys without a clean packet in between, the core is pulled from
+//!    dispatch entirely: the NP runs degraded on the remaining cores and
+//!    the quarantined core receives no further packets until an operator
+//!    re-installs a bundle on it (rehabilitation).
+//!
+//! A clean packet resets the consecutive-strike count (but not the
+//! redeploy count — a core that needed two redeploys is on a short leash).
+//! All state is plain counters; given the same packet sequence the ladder
+//! replays identically.
+
+use std::fmt;
+
+/// Escalation thresholds of the runtime supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// Consecutive unclean halts (strikes) before the core is redeployed
+    /// from its last-known-good image. `0` disables redeploy.
+    pub redeploy_after: u32,
+    /// Redeploys before the core is quarantined out of dispatch. `0`
+    /// disables quarantine.
+    pub quarantine_after: u32,
+}
+
+impl Default for SupervisorPolicy {
+    /// Three strikes per redeploy, two redeploys before quarantine: a core
+    /// must fail six packets without a single clean one in between (plus
+    /// two re-flashes) to be declared unserviceable.
+    fn default() -> SupervisorPolicy {
+        SupervisorPolicy {
+            redeploy_after: 3,
+            quarantine_after: 2,
+        }
+    }
+}
+
+impl SupervisorPolicy {
+    /// A policy that never escalates — the paper's original reset-only
+    /// recovery, for differential tests against the supervised runtime.
+    pub fn never() -> SupervisorPolicy {
+        SupervisorPolicy {
+            redeploy_after: 0,
+            quarantine_after: 0,
+        }
+    }
+}
+
+/// What the supervisor decided after one unclean halt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorAction {
+    /// Plain recovery: reset and keep dispatching.
+    Recover,
+    /// Strike budget exhausted: re-flash the last-known-good image.
+    Redeploy,
+    /// Redeploy budget exhausted: remove the core from dispatch.
+    Quarantine,
+}
+
+/// Supervisor state of one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreHealth {
+    /// Unclean halts since install (lifetime, never reset by escalation).
+    pub unclean_halts: u64,
+    /// Consecutive unclean halts since the last clean packet or redeploy.
+    pub strikes: u32,
+    /// Redeploys since install.
+    pub redeploys: u32,
+    /// Whether the core is currently out of dispatch.
+    pub quarantined: bool,
+}
+
+impl CoreHealth {
+    /// Folds one unclean halt into the ladder and returns the escalation
+    /// verdict. The caller performs the actual reset/re-flash; this only
+    /// does the book-keeping.
+    pub fn record_unclean(&mut self, policy: &SupervisorPolicy) -> SupervisorAction {
+        self.unclean_halts += 1;
+        self.strikes += 1;
+        if policy.redeploy_after == 0 || self.strikes < policy.redeploy_after {
+            return SupervisorAction::Recover;
+        }
+        self.strikes = 0;
+        self.redeploys += 1;
+        if policy.quarantine_after == 0 || self.redeploys < policy.quarantine_after {
+            return SupervisorAction::Redeploy;
+        }
+        self.quarantined = true;
+        SupervisorAction::Quarantine
+    }
+
+    /// Folds one clean packet: the consecutive-strike count resets, the
+    /// lifetime and redeploy counters stand.
+    pub fn record_clean(&mut self) {
+        self.strikes = 0;
+    }
+
+    /// Rehabilitation: a fresh bundle install wipes the ladder entirely
+    /// (the operator vouched for the core again).
+    pub fn reinstated(&mut self) {
+        *self = CoreHealth::default();
+    }
+}
+
+impl fmt::Display for CoreHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unclean {} / strikes {} / redeploys {}{}",
+            self.unclean_halts,
+            self.strikes,
+            self.redeploys,
+            if self.quarantined {
+                " / QUARANTINED"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_escalates_in_order() {
+        let policy = SupervisorPolicy {
+            redeploy_after: 2,
+            quarantine_after: 2,
+        };
+        let mut h = CoreHealth::default();
+        assert_eq!(h.record_unclean(&policy), SupervisorAction::Recover);
+        assert_eq!(h.record_unclean(&policy), SupervisorAction::Redeploy);
+        assert_eq!(h.redeploys, 1);
+        assert_eq!(h.strikes, 0, "redeploy restarts the strike count");
+        assert_eq!(h.record_unclean(&policy), SupervisorAction::Recover);
+        assert_eq!(h.record_unclean(&policy), SupervisorAction::Quarantine);
+        assert!(h.quarantined);
+        assert_eq!(h.unclean_halts, 4, "lifetime counter never resets");
+    }
+
+    #[test]
+    fn clean_packets_reset_strikes_but_not_redeploys() {
+        let policy = SupervisorPolicy {
+            redeploy_after: 2,
+            quarantine_after: 3,
+        };
+        let mut h = CoreHealth::default();
+        h.record_unclean(&policy);
+        h.record_clean();
+        assert_eq!(h.strikes, 0);
+        h.record_unclean(&policy);
+        assert_eq!(
+            h.record_unclean(&policy),
+            SupervisorAction::Redeploy,
+            "strikes must be consecutive to redeploy"
+        );
+        h.record_clean();
+        assert_eq!(h.redeploys, 1, "a clean packet does not forgive redeploys");
+    }
+
+    #[test]
+    fn never_policy_only_recovers() {
+        let policy = SupervisorPolicy::never();
+        let mut h = CoreHealth::default();
+        for _ in 0..100 {
+            assert_eq!(h.record_unclean(&policy), SupervisorAction::Recover);
+        }
+        assert!(!h.quarantined);
+        assert_eq!(h.redeploys, 0);
+        assert_eq!(h.unclean_halts, 100);
+    }
+
+    #[test]
+    fn reinstatement_wipes_the_ladder() {
+        let policy = SupervisorPolicy::default();
+        let mut h = CoreHealth::default();
+        for _ in 0..6 {
+            h.record_unclean(&policy);
+        }
+        assert!(h.quarantined);
+        h.reinstated();
+        assert_eq!(h, CoreHealth::default());
+    }
+}

@@ -6,7 +6,7 @@
 //! undetected escape can never silently vanish from the report, which is
 //! what makes the escape counters trustworthy evidence.
 
-use crate::fault::{flip_text_bit, mutate_packet, WireFault, WireFaultInjector};
+use crate::fault::{flip_text_bit, mutate_packet, TransportFault, WireFault, WireFaultInjector};
 use sdmmon_core::entities::{Manufacturer, NetworkOperator, RouterDevice};
 use sdmmon_core::package::InstallationBundle;
 use sdmmon_core::system::{craft_evasive_hijack, Fleet};
@@ -14,6 +14,8 @@ use sdmmon_core::SdmmonError;
 use sdmmon_monitor::hash::Compression;
 use sdmmon_monitor::{InstructionHash, MerkleTreeHash, MonitoringGraph};
 use sdmmon_net::channel::{Channel, FileServer};
+use sdmmon_net::download::{DownloadClient, RetryPolicy};
+use sdmmon_net::resilience::FlakyServer;
 use sdmmon_npu::programs::{self, testing};
 use sdmmon_npu::runtime::{HaltReason, PacketOutcome, Verdict};
 use sdmmon_rng::{Rng, RngCore, SeedableRng, StdRng};
@@ -604,6 +606,97 @@ pub fn evasive_propagation(
     })
 }
 
+/// The healing loop under fire: every [`TransportFault`] class injected
+/// into the download path of a secure deployment, `trials_per_kind` times
+/// each, with the retrying/resuming download client in between. Bucket
+/// semantics for this campaign:
+///
+/// * `clean` — the pipeline healed: the bundle arrived bit-exact through
+///   the fault stream and installed;
+/// * `rejected` — the pipeline gave up within its bounded budget (the
+///   quarantine path; expected *only* for the unreachable class) or the
+///   control processor rejected a transfer the transport checksum missed;
+/// * `escaped` — an installed bundle whose bytes differ from what the
+///   operator published (a security failure; must never happen — the
+///   signature covers the payload).
+///
+/// Every trial draws its fault stream from its own derived sub-seed, so
+/// the campaign replays byte-for-byte.
+pub fn resilient_deploy(
+    cfg: &CampaignConfig,
+    trials_per_kind: u64,
+    seed: u64,
+) -> Result<CampaignOutcome, SdmmonError> {
+    let mut w = World::new(seed, cfg.cores_each, cfg.key_bits)?;
+    let program = programs::ipv4_forward().map_err(|e| SdmmonError::Graph(e.to_string()))?;
+    let cores: Vec<usize> = (0..cfg.cores_each).collect();
+    let client = DownloadClient::new(
+        RetryPolicy::default()
+            .with_chunk_bytes(16 * 1024)
+            .with_max_attempts(80),
+    );
+    let base = Channel::ideal_gigabit();
+    let path = format!("pkg/{}.sdmmon", w.router.name());
+
+    let mut tally = Tally::default();
+    let mut details: Vec<(String, u64)> = Vec::new();
+    let mut transport_attempts = 0u64;
+    let mut integrity_restarts = 0u64;
+    let mut resumed_bytes = 0u64;
+    for fault in TransportFault::ALL {
+        let mut healed = 0u64;
+        for _ in 0..trials_per_kind {
+            tally.attempted += 1;
+            let bundle = w
+                .operator
+                .prepare_package(&program, w.router.public_key(), &mut w.rng)?;
+            let published = bundle.to_bytes();
+            let mut server = FlakyServer::new(FileServer::new(), w.rng.next_u64());
+            server.server_mut().publish(path.clone(), published.clone());
+            let link = fault.link(base);
+            fault.arm(&mut server, &path);
+            match client.download(&mut server, &path, &link, &mut w.rng) {
+                Ok(report) => {
+                    transport_attempts += report.attempts.len() as u64;
+                    integrity_restarts += u64::from(report.integrity_restarts);
+                    resumed_bytes += report.resumed_bytes as u64;
+                    let bit_exact = report.bytes == published;
+                    let installed = InstallationBundle::from_bytes(&report.bytes)
+                        .map_err(|e| SdmmonError::MalformedPackage(e.to_string()))
+                        .and_then(|b| w.router.install_bundle(&b, &cores))
+                        .is_ok();
+                    match (installed, bit_exact) {
+                        (true, true) => {
+                            tally.clean += 1;
+                            healed += 1;
+                        }
+                        // Signature verified over different bytes: security
+                        // failure.
+                        (true, false) => tally.escaped += 1,
+                        // The control processor caught what the transport
+                        // checksum missed.
+                        (false, _) => tally.rejected += 1,
+                    }
+                }
+                // Bounded give-up: the quarantine path.
+                Err(_) => tally.rejected += 1,
+            }
+        }
+        details.push((format!("{}_healed", fault.name()), healed));
+    }
+    details.push(("transport_attempts".into(), transport_attempts));
+    details.push(("integrity_restarts".into(), integrity_restarts));
+    details.push(("resumed_bytes".into(), resumed_bytes));
+
+    Ok(CampaignOutcome {
+        name: "resilient_deploy",
+        tally,
+        latency: LatencySteps::default(),
+        recoveries: w.router.stats().recoveries,
+        details,
+    })
+}
+
 /// The paper's §2.1 detection model at campaign scale: `trials` random
 /// `k_max`-instruction deviations tracked through the monitoring NFA
 /// (candidate-set semantics, exactly as the hardware monitor resolves
@@ -708,6 +801,37 @@ mod tests {
             .1;
         assert_eq!(unrecovered, 0, "{:?}", out.tally);
         assert!(out.recoveries > 0);
+    }
+
+    #[test]
+    fn resilient_deploy_heals_recoverable_classes_only() {
+        let out = resilient_deploy(&tiny(), 2, 17).unwrap();
+        assert!(out.tally.is_accounted(), "{:?}", out.tally);
+        assert_eq!(out.tally.escaped, 0, "installed bytes must be bit-exact");
+        let get = |k: &str| {
+            out.details
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        for fault in TransportFault::ALL {
+            let healed = get(&format!("{}_healed", fault.name()));
+            if fault.recoverable() {
+                assert_eq!(healed, 2, "{} should heal every trial", fault.name());
+            } else {
+                assert_eq!(healed, 0, "{} must end in give-up", fault.name());
+            }
+        }
+        assert!(get("transport_attempts") > 0);
+    }
+
+    #[test]
+    fn resilient_deploy_replays_per_seed() {
+        let a = resilient_deploy(&tiny(), 2, 18).unwrap();
+        let b = resilient_deploy(&tiny(), 2, 18).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, resilient_deploy(&tiny(), 2, 19).unwrap());
     }
 
     #[test]

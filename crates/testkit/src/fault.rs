@@ -10,6 +10,8 @@
 use sdmmon_core::package::InstallationBundle;
 use sdmmon_core::{cert::Certificate, SdmmonError};
 use sdmmon_crypto::rsa::RsaKeyPair;
+use sdmmon_net::channel::Channel;
+use sdmmon_net::resilience::{FlakyServer, LossyChannel, OutageWindow};
 use sdmmon_npu::core::Core;
 use sdmmon_rng::{Rng, RngCore};
 
@@ -82,6 +84,99 @@ impl WireFault {
             WireFault::ForeignKeyWrap => matches!(err, SdmmonError::WrongDevice),
             WireFault::ForgeCertificate => matches!(err, SdmmonError::CertificateInvalid),
             WireFault::TruncateTransport => matches!(err, SdmmonError::MalformedPackage(_)),
+        }
+    }
+}
+
+/// One class of *transport*-level fault — loss, corruption, stalls, server
+/// outages, and unreachability — injected into the download path rather
+/// than the bundle bytes. Unlike [`WireFault`]s, which must be **rejected**
+/// by the protocol, transport faults must be **survived**: the retrying
+/// download client and the resilient deployment loop are expected to heal
+/// through every recoverable class and to quarantine cleanly on the
+/// unrecoverable one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFault {
+    /// Heavy packet loss: every fetch may terminate early, delivering a
+    /// resumable prefix.
+    PacketLoss,
+    /// Silent byte corruption: delivered chunks may carry flipped bytes;
+    /// only the end-to-end integrity re-check can notice.
+    ByteCorruption,
+    /// Stalls: fetches may hang to the client timeout and deliver nothing.
+    Stall,
+    /// A transient server outage: a window of consecutive connection
+    /// attempts is refused, then service resumes.
+    ServerOutage,
+    /// All of the above at moderate rates, plus an outage window.
+    Mixed,
+    /// The package path is blackholed — permanently unreachable. The only
+    /// class that is *supposed* to end in quarantine.
+    Unreachable,
+}
+
+impl TransportFault {
+    /// Every transport-fault class, in a fixed campaign order.
+    pub const ALL: [TransportFault; 6] = [
+        TransportFault::PacketLoss,
+        TransportFault::ByteCorruption,
+        TransportFault::Stall,
+        TransportFault::ServerOutage,
+        TransportFault::Mixed,
+        TransportFault::Unreachable,
+    ];
+
+    /// Stable snake_case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportFault::PacketLoss => "packet_loss",
+            TransportFault::ByteCorruption => "byte_corruption",
+            TransportFault::Stall => "stall",
+            TransportFault::ServerOutage => "server_outage",
+            TransportFault::Mixed => "mixed",
+            TransportFault::Unreachable => "unreachable",
+        }
+    }
+
+    /// Whether the resilient pipeline is expected to heal through this
+    /// class (`false` only for [`TransportFault::Unreachable`]).
+    pub fn recoverable(self) -> bool {
+        self != TransportFault::Unreachable
+    }
+
+    /// The link fault model of this class over `base`.
+    pub fn link(self, base: Channel) -> LossyChannel {
+        let clean = LossyChannel::clean(base);
+        match self {
+            TransportFault::PacketLoss => clean.with_loss(0.4),
+            TransportFault::ByteCorruption => clean.with_corrupt(0.15),
+            TransportFault::Stall => clean.with_stall(0.3),
+            TransportFault::ServerOutage | TransportFault::Unreachable => clean,
+            TransportFault::Mixed => clean.with_loss(0.2).with_corrupt(0.05).with_stall(0.1),
+        }
+    }
+
+    /// Arms the server-side half of this class on a [`FlakyServer`]
+    /// (outage windows, blackholed paths). `path` is the package path the
+    /// trial will download.
+    pub fn arm(self, server: &mut FlakyServer, path: &str) {
+        let next = server.stats().attempts;
+        match self {
+            TransportFault::ServerOutage => {
+                // Refuse a window of upcoming attempts, starting one in.
+                server.schedule_outage(OutageWindow {
+                    from: next + 1,
+                    len: 4,
+                });
+            }
+            TransportFault::Mixed => {
+                server.schedule_outage(OutageWindow {
+                    from: next + 2,
+                    len: 2,
+                });
+            }
+            TransportFault::Unreachable => server.blackhole(path),
+            _ => {}
         }
     }
 }
@@ -266,6 +361,44 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), WireFault::ALL.len());
+    }
+
+    #[test]
+    fn transport_fault_names_are_unique_and_classes_behave() {
+        let mut names: Vec<_> = TransportFault::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TransportFault::ALL.len());
+        assert!(TransportFault::PacketLoss.recoverable());
+        assert!(!TransportFault::Unreachable.recoverable());
+        // Each recoverable link class perturbs exactly its own knob.
+        let base = Channel::ideal_gigabit();
+        assert!(TransportFault::PacketLoss.link(base).loss > 0.0);
+        assert_eq!(TransportFault::PacketLoss.link(base).corrupt, 0.0);
+        assert!(TransportFault::ByteCorruption.link(base).corrupt > 0.0);
+        assert!(TransportFault::Stall.link(base).stall > 0.0);
+        let mixed = TransportFault::Mixed.link(base);
+        assert!(mixed.loss > 0.0 && mixed.corrupt > 0.0 && mixed.stall > 0.0);
+    }
+
+    #[test]
+    fn armed_outage_refuses_then_recovers() {
+        use sdmmon_net::channel::FileServer;
+        let mut inner = FileServer::new();
+        inner.publish("pkg", vec![1u8; 256]);
+        let mut server = FlakyServer::new(inner, 31);
+        let link = TransportFault::ServerOutage.link(Channel::ideal_gigabit());
+        TransportFault::ServerOutage.arm(&mut server, "pkg");
+        // Attempt 0 works, the armed window refuses, then service resumes.
+        assert!(server.probe("pkg", &link).is_ok());
+        let mut refused = 0;
+        for _ in 0..4 {
+            if server.probe("pkg", &link).is_err() {
+                refused += 1;
+            }
+        }
+        assert_eq!(refused, 4, "armed window must cover the next attempts");
+        assert!(server.probe("pkg", &link).is_ok(), "outage is transient");
     }
 
     #[test]

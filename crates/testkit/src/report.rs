@@ -30,13 +30,14 @@ pub struct CampaignReport {
     pub differential: DifferentialReport,
 }
 
-/// Runs the full suite: five adversarial campaigns, the escape-probability
+/// Runs the full suite: six adversarial campaigns, the escape-probability
 /// model, and the differential checks.
 ///
 /// The budget is split deterministically: 40% stack-smash variants, 30%
-/// packet fuzzing, 20% instruction-memory fault/recovery cycles, and a
-/// budget-scaled (1..=16) trial count per wire-fault class; the evasive
-/// campaign is fixed-size (two fleets). Every division is integer
+/// packet fuzzing, 20% instruction-memory fault/recovery cycles, a
+/// budget-scaled (1..=16) trial count per wire-fault class, and a
+/// budget-scaled (1..=4) trial count per transport-fault class; the
+/// evasive campaign is fixed-size (two fleets). Every division is integer
 /// arithmetic on the configured budget — nothing depends on timing.
 ///
 /// # Errors
@@ -46,12 +47,14 @@ pub struct CampaignReport {
 pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, SdmmonError> {
     let s = cfg.seed;
     let per_wire_kind = (cfg.budget / 100).clamp(1, 16);
+    let per_transport_kind = (cfg.budget / 400).clamp(1, 4);
     let campaigns = vec![
         campaign::stack_smash(cfg, (cfg.budget * 2 / 5).max(1), split_seed(s, 1))?,
         campaign::packet_fuzz(cfg, (cfg.budget * 3 / 10).max(1), split_seed(s, 2))?,
         campaign::wire_faults(cfg, per_wire_kind, split_seed(s, 3))?,
         campaign::fault_recovery(cfg, (cfg.budget / 5).max(1), split_seed(s, 4))?,
         campaign::evasive_propagation(cfg, split_seed(s, 5))?,
+        campaign::resilient_deploy(cfg, per_transport_kind, split_seed(s, 8))?,
     ];
     let escape_model = campaign::escape_model(cfg.escape_trials, 4, split_seed(s, 6));
     let differential = run_differentials(split_seed(s, 7), DiffBudget::smoke())?;
@@ -257,7 +260,13 @@ mod tests {
     fn report_passes_accounting() {
         let report = run_campaign(&tiny()).unwrap();
         report.verify_accounting().unwrap();
-        assert_eq!(report.campaigns.len(), 5);
+        assert_eq!(report.campaigns.len(), 6);
+        let resilient = report
+            .campaigns
+            .iter()
+            .find(|c| c.name == "resilient_deploy")
+            .expect("healing campaign present");
+        assert_eq!(resilient.tally.escaped, 0);
         assert_eq!(report.escape_model.len(), 4);
         assert_eq!(report.differential.total_divergences(), 0);
     }

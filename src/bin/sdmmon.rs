@@ -17,6 +17,13 @@
 //!                 [--escape-trials <n>] [--out <path>]
 //!     Run the seeded fault-injection / adversarial campaign suite and
 //!     write the deterministic JSON report.
+//!
+//! sdmmon deploy [--routers <n>] [--cores <n>] [--seed <n>]
+//!               [--loss <p>] [--corrupt <p>] [--stall <p>]
+//!               [--outage <from:len>] [--blackhole <router>]
+//!               [--max-retries <n>] [--deploy-attempts <n>]
+//!     Deploy a fleet over a deterministic faulty transport and print
+//!     the per-router convergence table (installed vs quarantined).
 //! ```
 //!
 //! Exit codes: 0 success, 1 usage error, 2 processing error.
@@ -37,6 +44,7 @@ fn main() -> ExitCode {
         Some("graph") => cmd_graph(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("deploy") => cmd_deploy(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::from(u8::from(args.is_empty()));
@@ -67,6 +75,10 @@ USAGE:
     sdmmon run    <file.s>   --packet <hex> [--param <hex>] [--trace <n>]
     sdmmon campaign [--seed <n>] [--budget <n>] [--routers <n>]
                     [--escape-trials <n>] [--out <path>]
+    sdmmon deploy [--routers <n>] [--cores <n>] [--seed <n>]
+                  [--loss <p>] [--corrupt <p>] [--stall <p>]
+                  [--outage <from:len>] [--blackhole <router>]
+                  [--max-retries <n>] [--deploy-attempts <n>]
 ";
 
 enum CliError {
@@ -346,6 +358,187 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
 fn parse_u64(text: &str, what: &str) -> Result<u64, CliError> {
     text.parse::<u64>()
         .map_err(|_| usage(format!("cannot parse {what} `{text}`")))
+}
+
+fn parse_prob(text: &str, what: &str) -> Result<f64, CliError> {
+    let p = text
+        .parse::<f64>()
+        .map_err(|_| usage(format!("cannot parse {what} `{text}`")))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(usage(format!(
+            "{what} must be within 0.0..=1.0, got `{text}`"
+        )));
+    }
+    Ok(p)
+}
+
+fn cmd_deploy(args: &[String]) -> Result<(), CliError> {
+    use sdmmon::core::entities::{Manufacturer, NetworkOperator};
+    use sdmmon::core::system::{DeployPhase, Fleet, ResilientConfig};
+    use sdmmon::net::channel::{Channel, FileServer};
+    use sdmmon::net::download::RetryPolicy;
+    use sdmmon::net::resilience::{FlakyServer, LossyChannel, OutageWindow};
+    use sdmmon::npu::supervisor::SupervisorPolicy;
+    use sdmmon_rng::{RngCore, SeedableRng, StdRng};
+
+    let a = Args::parse(
+        args,
+        &[
+            "--routers",
+            "--cores",
+            "--seed",
+            "--loss",
+            "--corrupt",
+            "--stall",
+            "--outage",
+            "--blackhole",
+            "--max-retries",
+            "--deploy-attempts",
+        ],
+    )?;
+    if !a.positional.is_empty() {
+        return Err(usage("deploy takes no positional arguments"));
+    }
+    let routers = a
+        .option("--routers")
+        .map(|v| parse_u64(v, "routers"))
+        .transpose()?
+        .unwrap_or(4) as usize;
+    let cores = a
+        .option("--cores")
+        .map(|v| parse_u64(v, "cores"))
+        .transpose()?
+        .unwrap_or(2) as usize;
+    let seed = a
+        .option("--seed")
+        .map(|v| parse_u64(v, "seed"))
+        .transpose()?
+        .unwrap_or(42);
+    let loss = a
+        .option("--loss")
+        .map(|v| parse_prob(v, "loss probability"))
+        .transpose()?
+        .unwrap_or(0.2);
+    let corrupt = a
+        .option("--corrupt")
+        .map(|v| parse_prob(v, "corruption probability"))
+        .transpose()?
+        .unwrap_or(0.05);
+    let stall = a
+        .option("--stall")
+        .map(|v| parse_prob(v, "stall probability"))
+        .transpose()?
+        .unwrap_or(0.05);
+    let max_retries = a
+        .option("--max-retries")
+        .map(|v| parse_u64(v, "max retries"))
+        .transpose()?
+        .map(|n| u32::try_from(n).map_err(|_| usage("max retries out of range")))
+        .transpose()?
+        .unwrap_or(60);
+    let deploy_attempts = a
+        .option("--deploy-attempts")
+        .map(|v| parse_u64(v, "deploy attempts"))
+        .transpose()?
+        .map(|n| u32::try_from(n).map_err(|_| usage("deploy attempts out of range")))
+        .transpose()?
+        .unwrap_or(3);
+    if routers == 0 || cores == 0 || max_retries == 0 || deploy_attempts == 0 {
+        return Err(usage(
+            "routers, cores, retries and attempts must be nonzero",
+        ));
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let manufacturer = Manufacturer::new("acme", 512, &mut rng).map_err(processing)?;
+    let mut operator = NetworkOperator::new("op", 512, &mut rng).map_err(processing)?;
+    operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));
+    let program = sdmmon::npu::programs::ipv4_forward().map_err(processing)?;
+
+    let mut server = FlakyServer::new(FileServer::new(), rng.next_u64());
+    if let Some(spec) = a.option("--outage") {
+        let (from, len) = spec
+            .split_once(':')
+            .ok_or_else(|| usage("--outage wants `from:len` (e.g. 2:5)"))?;
+        server.schedule_outage(OutageWindow {
+            from: parse_u64(from, "outage start")?,
+            len: parse_u64(len, "outage length")?,
+        });
+    }
+    if let Some(victim) = a.option("--blackhole") {
+        let victim = parse_u64(victim, "blackhole router")? as usize;
+        if victim >= routers {
+            return Err(usage(format!(
+                "--blackhole {victim} is outside the fleet (0..{routers})"
+            )));
+        }
+        server.blackhole(format!("pkg/router-{victim}.sdmmon"));
+    }
+    let config = ResilientConfig {
+        link: LossyChannel::clean(Channel::ideal_gigabit())
+            .with_loss(loss)
+            .with_corrupt(corrupt)
+            .with_stall(stall),
+        retry: RetryPolicy::default()
+            .with_chunk_bytes(16 * 1024)
+            .with_max_attempts(max_retries),
+        max_deploy_attempts: deploy_attempts,
+        supervisor: SupervisorPolicy::default(),
+    };
+
+    let result = Fleet::deploy_resilient(
+        &manufacturer,
+        &operator,
+        &program,
+        routers,
+        cores,
+        512,
+        &mut server,
+        &config,
+        &mut rng,
+    )
+    .map_err(processing)?;
+
+    println!(
+        "link: loss {loss:.2}, corrupt {corrupt:.2}, stall {stall:.2}; \
+         {max_retries} transport retries x {deploy_attempts} deploy cycles"
+    );
+    println!(
+        "{:<12} {:<11} {:>6} {:>9} {:>9} {:>12}",
+        "router", "phase", "cycles", "transport", "restarts", "network time"
+    );
+    for d in &result.deployments {
+        let phase = match d.phase {
+            DeployPhase::Installed => "installed",
+            DeployPhase::Quarantined => "quarantined",
+        };
+        println!(
+            "{:<12} {:<11} {:>6} {:>9} {:>9} {:>12}",
+            d.router,
+            phase,
+            d.deploy_attempts,
+            d.transport_attempts,
+            d.integrity_restarts,
+            format!("{:.3?}", d.network_time()),
+        );
+        if let Some(err) = &d.error {
+            println!("{:<12}   last error: {err}", "");
+        }
+    }
+    println!(
+        "\nfleet: {}/{} installed, {} quarantined ({} server fetches; seed {seed}, \
+         replays deterministically)",
+        result.installed(),
+        routers,
+        result.quarantined(),
+        server.stats().attempts,
+    );
+    if result.installed() == 0 {
+        return Err(processing(
+            "no router converged: the whole fleet quarantined",
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
