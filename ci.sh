@@ -1,9 +1,10 @@
 #!/bin/sh
 # Repo gate: formatting, lints, full test suite, a quick perf smoke run
-# (quick mode writes target/BENCH_PR1.quick.json; the committed
-# BENCH_PR1.json comes from a full release run of the same binary), and a
-# bounded adversarial campaign (accounting + differential assertions,
-# deterministic per seed; see docs/TESTKIT.md).
+# (quick mode writes target/BENCH_PR4.quick.json; the committed
+# BENCH_PR4.json comes from a full release run of the same binary), the
+# sharded-engine throughput gate, and a bounded adversarial campaign
+# (accounting + differential assertions, deterministic per seed; see
+# docs/TESTKIT.md and docs/PERF.md).
 set -eux
 
 # Build artifacts must never be tracked.
@@ -18,6 +19,20 @@ cargo build --release
 cargo test -q
 cargo test -q --workspace --release
 cargo run --release -p sdmmon-bench --bin perf_report -- --quick
+
+# Sharded-engine regression gate: the bounded quick sweep must not fall
+# below the serial baseline (exit 2 if it does — the PR 1 spawn-per-batch
+# slowdown was exactly that).
+cargo run --release --bin sdmmon -- bench --quick
+
+# Schema gate: the committed report must carry the v2 schema (v1 plus the
+# "sharded" section), and its key sequence must match what the binary
+# writes today — a drifted field set fails the diff.
+grep -q '"schema": "sdmmon-perf-report-v2"' BENCH_PR4.json
+sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' BENCH_PR4.json > target/BENCH_PR4.schema
+sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' target/BENCH_PR4.quick.json > target/BENCH_PR4.quick.schema
+diff target/BENCH_PR4.schema target/BENCH_PR4.quick.schema
+
 cargo run --release --bin sdmmon -- campaign --seed 1 --budget 2000
 # Resilient-deploy smoke: a small fleet must converge through a lossy,
 # corrupting, stalling link with a server outage, quarantining only the

@@ -1,19 +1,23 @@
-//! Machine-readable performance report for the hot-path overhaul:
-//! Montgomery/CRT RSA, the NPU pre-decoded instruction cache, and the
-//! parallel fleet/batch paths — each measured against the code path it
-//! replaced (which stays alive as the differential-test oracle).
+//! Machine-readable performance report for the hot paths: Montgomery/CRT
+//! RSA, the NPU pre-decoded instruction cache, the parallel fleet/batch
+//! paths, and (since schema v2) the sharded batch engine — each measured
+//! against the code path it replaced (which stays alive as the
+//! differential-test oracle).
 //!
-//! Writes `BENCH_PR1.json` at the repository root and prints a summary
-//! table. Run with:
+//! Writes `BENCH_PR4.json` (schema `sdmmon-perf-report-v2`) at the
+//! repository root and prints a summary table; the committed
+//! `BENCH_PR1.json` is the frozen v1 artifact of the first overhaul. Run
+//! with:
 //!
 //! ```text
-//! cargo run --release -p sdmmon-bench --bin perf_report [-- --quick]
+//! cargo run --release -p sdmmon-bench --bin perf_report [-- --quick] [--shards N]
 //! ```
 //!
-//! `--quick` shrinks iteration counts for CI smoke runs; the JSON schema
-//! is identical.
+//! `--quick` shrinks iteration counts for CI smoke runs; `--shards N`
+//! caps the sharded sweep. The JSON schema is identical either way.
 
 use sdmmon_bench::render_table;
+use sdmmon_bench::sharded::ShardedConfig;
 use sdmmon_core::entities::{Manufacturer, NetworkOperator};
 use sdmmon_core::system::Fleet;
 use sdmmon_crypto::bignum::BigUint;
@@ -67,16 +71,24 @@ impl Config {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let max_shards = args.iter().position(|a| a == "--shards").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .expect("--shards wants a positive integer")
+    });
     let cfg = Config::new(quick);
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"sdmmon-perf-report-v1\",");
+    let _ = writeln!(json, "  \"schema\": \"sdmmon-perf-report-v2\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
 
     rsa_section(&cfg, &mut rows, &mut json);
     npu_section(&cfg, &mut rows, &mut json);
     throughput_section(&cfg, &mut rows, &mut json);
+    sharded_section(quick, max_shards, &mut rows, &mut json);
     fleet_section(&cfg, &mut rows, &mut json);
 
     // Drop the trailing comma of the last section.
@@ -93,10 +105,10 @@ fn main() {
     let path = if quick {
         concat!(
             env!("CARGO_MANIFEST_DIR"),
-            "/../../target/BENCH_PR1.quick.json"
+            "/../../target/BENCH_PR4.quick.json"
         )
     } else {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json")
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json")
     };
     std::fs::write(path, &json).expect("write perf report json");
     println!("\nwrote {path}");
@@ -335,6 +347,30 @@ fn throughput_section(cfg: &Config, rows: &mut Vec<Vec<String>>, json: &mut Stri
     let _ = writeln!(json, "    \"batch_pps\": {batch_pps:.0},");
     let _ = writeln!(json, "    \"batch_speedup\": {speedup:.3}");
     let _ = writeln!(json, "  }},");
+}
+
+/// The sharded batch engine (PR 4): serial per-instruction oracle vs
+/// `process_batch` on the persistent worker pool, swept over shard counts
+/// (see [`sdmmon_bench::sharded`]). Byte-identity of outcomes and
+/// `NpStats` is asserted inside the scenario.
+fn sharded_section(
+    quick: bool,
+    max_shards: Option<usize>,
+    rows: &mut Vec<Vec<String>>,
+    json: &mut String,
+) {
+    let report = sdmmon_bench::sharded::run(&ShardedConfig::new(quick, max_shards));
+    let headline = report.headline();
+    rows.push(vec![
+        format!(
+            "sharded engine, {} cores / {} shards (kpps)",
+            report.cores, headline.shards
+        ),
+        format!("{:.0}", report.serial_pps / 1e3),
+        format!("{:.0}", headline.pps / 1e3),
+        format!("{:.2}x", report.speedup(&headline)),
+    ]);
+    let _ = writeln!(json, "{},", report.json_object());
 }
 
 /// Fleet deployment (per-router keygen + packaging + secure install):

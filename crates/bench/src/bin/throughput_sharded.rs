@@ -1,0 +1,50 @@
+//! Sharded batch-engine throughput sweep: the serial per-instruction
+//! oracle vs [`sdmmon_npu::np::NetworkProcessor::process_batch`] at each
+//! shard count, byte-identity asserted on every timed run.
+//!
+//! This is the focused, standalone form of the `sharded` section that
+//! `perf_report` folds into `BENCH_PR4.json`; it writes its own detail
+//! file under `target/` and never touches the committed artifact.
+//!
+//! ```text
+//! cargo run --release -p sdmmon-bench --bin throughput_sharded [-- --quick] [--shards N]
+//! ```
+
+use sdmmon_bench::sharded::{self, ShardedConfig};
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let max_shards = args.iter().position(|a| a == "--shards").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .expect("--shards wants a positive integer")
+    });
+
+    let cfg = ShardedConfig::new(quick, max_shards);
+    let report = sharded::run(&cfg);
+    print!("{}", report.table());
+    let headline = report.headline();
+    println!(
+        "\nheadline: {:.2}x serial at {} shards ({} packets, best of {}; \
+         outcomes and NpStats byte-identical to serial)",
+        report.speedup(&headline),
+        headline.shards,
+        report.packets,
+        report.repeats,
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"sdmmon-throughput-sharded-v1\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "{}", report.json_object());
+    json.push_str("}\n");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/THROUGHPUT_SHARDED.json"
+    );
+    std::fs::write(path, &json).expect("write sweep json");
+    println!("wrote {path}");
+}

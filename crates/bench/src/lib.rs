@@ -14,8 +14,13 @@
 //! | `graph_size` | monitoring-graph compactness across workloads |
 //!
 //! `perf_report` measures the hot paths (Montgomery/CRT RSA, the decode
-//! cache, batch/fleet parallelism) against their in-tree reference oracles
-//! and writes the machine-readable `BENCH_PR1.json` at the repo root.
+//! cache, batch/fleet parallelism, and the sharded batch engine) against
+//! their in-tree reference oracles and writes the machine-readable
+//! `BENCH_PR4.json` at the repo root (schema `sdmmon-perf-report-v2`;
+//! `BENCH_PR1.json` is the frozen v1 artifact). `throughput_sharded` runs
+//! the [`sharded`] sweep standalone.
+
+pub mod sharded;
 
 use std::fmt::Write as _;
 

@@ -20,11 +20,67 @@ use sdmmon_net::channel::{Channel, FileServer};
 use sdmmon_net::download::{DownloadClient, DownloadError, RetryPolicy};
 use sdmmon_net::resilience::{FlakyServer, LossyChannel};
 use sdmmon_npu::core::Core;
+use sdmmon_npu::engine::{shard_spans, WorkerPool};
 use sdmmon_npu::programs::testing::hijack_packet;
 use sdmmon_npu::runtime::{HaltReason, PacketOutcome, Verdict};
 use sdmmon_npu::supervisor::SupervisorPolicy;
 use sdmmon_rng::{RngCore, SeedableRng};
+use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
+
+/// The process-wide control-plane worker pool, spawned on first use and
+/// reused by every subsequent deployment. The PR 1 `Fleet::deploy` spawned
+/// one scoped OS thread per router per call; fleets are deployed repeatedly
+/// (redeploys, the healing loop, benches), so the spawn/join churn was pure
+/// overhead. Guarded by a mutex because [`WorkerPool`]'s completion
+/// channels are single-consumer; concurrent deploys simply take turns.
+fn deploy_pool() -> &'static Mutex<WorkerPool> {
+    static POOL: OnceLock<Mutex<WorkerPool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 8);
+        Mutex::new(WorkerPool::new(workers))
+    })
+}
+
+/// Runs `task(i)` for every index over the persistent deploy pool and
+/// writes each result into its own slot: contiguous index chunks, one per
+/// worker, merged **by index** — so the outcome is independent of worker
+/// scheduling and byte-identical to a serial loop whenever `task` is a
+/// pure function of its index.
+fn run_indexed<T, F>(slots: &mut [Option<T>], task: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if slots.is_empty() {
+        return;
+    }
+    let pool = deploy_pool().lock().unwrap_or_else(|e| e.into_inner());
+    let spans = shard_spans(slots.len(), pool.len().min(slots.len()));
+    let task = &task;
+    let mut rest: &mut [Option<T>] = slots;
+    let mut consumed = 0;
+    let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(pool.len());
+    for span in &spans {
+        let (chunk, tail) = rest.split_at_mut(span.end - consumed);
+        rest = tail;
+        consumed = span.end;
+        let start = span.start;
+        jobs.push(Box::new(move || {
+            for (offset, slot) in chunk.iter_mut().enumerate() {
+                *slot = Some(task(start + offset));
+            }
+        }));
+    }
+    // Fewer chunks than workers: pad with no-ops (run_batch is 1:1).
+    while jobs.len() < pool.len() {
+        jobs.push(Box::new(|| {}));
+    }
+    pool.run_batch(jobs);
+}
 
 /// Outcome of a complete deployment (download + install).
 #[derive(Debug, Clone, PartialEq)]
@@ -89,12 +145,14 @@ impl Fleet {
     /// router receives a freshly parameterized package.
     ///
     /// Per-router work (RSA key generation, graph extraction, packaging,
-    /// installation) runs on one scoped thread per router. Determinism is
-    /// preserved by construction: a single master seed is drawn from `rng`,
-    /// router `i` derives its own seed as `split_seed(master, i)` and its
-    /// package sequence from a block reserved up front, so the result is
-    /// byte-identical to [`Fleet::deploy_serial`] regardless of thread
-    /// scheduling.
+    /// installation) is fanned out over the persistent process-wide deploy
+    /// pool ([`deploy_pool`]) — the PR 1 implementation spawned and joined
+    /// one OS thread per router on every call. Determinism is preserved by
+    /// construction: a single master seed is drawn from `rng`, router `i`
+    /// derives its own seed as `split_seed(master, i)` and its package
+    /// sequence from a block reserved up front, and results merge by router
+    /// index, so the result is byte-identical to [`Fleet::deploy_serial`]
+    /// regardless of worker scheduling.
     ///
     /// # Errors
     ///
@@ -112,27 +170,19 @@ impl Fleet {
         let first_seq = operator.reserve_sequences(count as u64);
         let mut slots: Vec<Option<Result<(RouterDevice, InstallReport), SdmmonError>>> =
             (0..count).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            for (i, slot) in slots.iter_mut().enumerate() {
-                scope.spawn(move || {
-                    *slot = Some(deploy_one(
-                        manufacturer,
-                        operator,
-                        program,
-                        i,
-                        cores_each,
-                        key_bits,
-                        sdmmon_rng::split_seed(master, i as u64),
-                        first_seq + i as u64,
-                    ));
-                });
-            }
+        run_indexed(&mut slots, |i| {
+            deploy_one(
+                manufacturer,
+                operator,
+                program,
+                i,
+                cores_each,
+                key_bits,
+                sdmmon_rng::split_seed(master, i as u64),
+                first_seq + i as u64,
+            )
         });
-        Fleet::collect(
-            slots
-                .into_iter()
-                .map(|s| s.expect("scope joined every thread")),
-        )
+        Fleet::collect(slots.into_iter().map(|s| s.expect("pool ran every job")))
     }
 
     /// The serial reference implementation of [`Fleet::deploy`]: identical
@@ -330,10 +380,15 @@ impl Fleet {
     ///   runtime half of the healing loop (redeploy/quarantine ladder,
     ///   degraded dispatch) is armed.
     ///
-    /// Deployment is serial, in router order, and fully deterministic:
-    /// router `i` draws from `split_seed(master, i)` and the server's fault
-    /// stream from its own seed, so a given (rng, server-seed, config)
-    /// triple replays byte-identically.
+    /// Deployment overlaps the expensive per-router provisioning (RSA key
+    /// generation) across the persistent deploy pool, then drives the
+    /// download/verify/install cycles **serially in router-index order**:
+    /// the flaky server's fault clock is attempt-ordered shared state, so
+    /// every server interaction must happen in one deterministic sequence.
+    /// Each router's RNG state flows from its provisioning job into its
+    /// install cycles, and results merge by router index, so the outcome
+    /// is byte-identical to a fully serial deployment: a given (rng,
+    /// server-seed, config) triple replays byte-identically.
     ///
     /// # Errors
     ///
@@ -354,18 +409,31 @@ impl Fleet {
     ) -> Result<ResilientFleet, SdmmonError> {
         let master = rng.next_u64();
         let client = DownloadClient::new(config.retry);
-        let mut routers = Vec::new();
-        let mut reports = Vec::new();
-        let mut deployments = Vec::with_capacity(count);
-        for i in 0..count {
+        // Phase one — overlapped: provision every router (keygen dominates)
+        // on the deploy pool. Each job seeds its own RNG from the split
+        // master and hands the *advanced* RNG back, so phase two continues
+        // the per-router stream exactly where a serial loop would be.
+        type Provisioned = Result<(RouterDevice, sdmmon_rng::StdRng), SdmmonError>;
+        let mut provisioned: Vec<Option<Provisioned>> = (0..count).map(|_| None).collect();
+        run_indexed(&mut provisioned, |i| {
             let mut router_rng =
                 sdmmon_rng::StdRng::seed_from_u64(sdmmon_rng::split_seed(master, i as u64));
-            let mut router = manufacturer.provision_router(
+            let router = manufacturer.provision_router(
                 &format!("router-{i}"),
                 cores_each,
                 key_bits,
                 &mut router_rng,
             )?;
+            Ok((router, router_rng))
+        });
+        // Phase two — serial, router-index order: all interaction with the
+        // shared fault clock (publish, download attempts) in one
+        // deterministic sequence, merged by index.
+        let mut routers = Vec::new();
+        let mut reports = Vec::new();
+        let mut deployments = Vec::with_capacity(count);
+        for slot in provisioned {
+            let (mut router, mut router_rng) = slot.expect("pool ran every job")?;
             let path = format!("pkg/{}.sdmmon", router.name());
             let cores: Vec<usize> = (0..cores_each).collect();
             let mut record = RouterDeployment {

@@ -113,6 +113,7 @@ impl Reg {
     }
 
     /// Returns the hardware register number in `0..=31`.
+    #[inline]
     pub fn number(self) -> u8 {
         self.0
     }

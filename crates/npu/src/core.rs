@@ -174,41 +174,17 @@ impl Core {
         self.cpu.set_reg(Reg::SP, STACK_TOP);
         observer.begin(self.entry);
 
+        // Resolve the decode-cache `Option` once: the per-iteration `match`
+        // (and the re-borrow of `self` it forces) otherwise sits on the hot
+        // path of every retired instruction.
         let mut steps = 0u64;
-        let halt = loop {
-            if steps >= self.step_limit {
-                break HaltReason::StepLimit;
-            }
-            let stepped = match self.dcache.as_mut() {
-                Some(cache) => self.cpu.step_cached(&mut self.mem, cache),
-                None => self.cpu.step(&mut self.mem),
-            };
-            match stepped {
-                Ok(retired) => {
-                    steps += 1;
-                    if observer.observe(retired.pc, retired.word) == Observation::Violation {
-                        break HaltReason::MonitorViolation;
-                    }
-                }
-                Err(Trap::Break(0)) => {
-                    // The halting `break` itself retires and is visible to
-                    // the hardware monitor (the trap is delivered after the
-                    // instruction completes), so it must be observed too —
-                    // otherwise an attacker's final block would escape its
-                    // digest check.
-                    steps += 1;
-                    let pc = self.cpu.pc();
-                    let word = self
-                        .mem
-                        .load_u32(pc)
-                        .expect("break was just fetched from here");
-                    if observer.observe(pc, word) == Observation::Violation {
-                        break HaltReason::MonitorViolation;
-                    }
-                    break HaltReason::Completed;
-                }
-                Err(trap) => break HaltReason::Fault(trap),
-            }
+        let step_limit = self.step_limit;
+        let (cpu, mem) = (&mut self.cpu, &mut self.mem);
+        let halt = match self.dcache.as_mut() {
+            Some(cache) => run_loop(cpu, mem, observer, step_limit, &mut steps, |c, m| {
+                c.step_cached(m, cache)
+            }),
+            None => run_loop(cpu, mem, observer, step_limit, &mut steps, Cpu::step),
         };
 
         let verdict = if halt.is_clean() {
@@ -224,6 +200,49 @@ impl Core {
             verdict,
             steps,
             halt,
+        }
+    }
+}
+
+/// The interpret–observe loop of [`Core::process_packet`], monomorphized
+/// per fetch path (`step` closures capture the decode cache, if any).
+/// Inlined into each caller so the observer's fast path and the step
+/// dispatch fold into one loop body.
+#[inline(always)]
+fn run_loop<O: ExecutionObserver + ?Sized>(
+    cpu: &mut Cpu,
+    mem: &mut crate::mem::Memory,
+    observer: &mut O,
+    step_limit: u64,
+    steps: &mut u64,
+    mut step: impl FnMut(&mut Cpu, &mut crate::mem::Memory) -> Result<crate::cpu::Retired, Trap>,
+) -> HaltReason {
+    loop {
+        if *steps >= step_limit {
+            return HaltReason::StepLimit;
+        }
+        match step(cpu, mem) {
+            Ok(retired) => {
+                *steps += 1;
+                if observer.observe(retired.pc, retired.word) == Observation::Violation {
+                    return HaltReason::MonitorViolation;
+                }
+            }
+            Err(Trap::Break(0)) => {
+                // The halting `break` itself retires and is visible to the
+                // hardware monitor (the trap is delivered after the
+                // instruction completes), so it must be observed too —
+                // otherwise an attacker's final block would escape its
+                // digest check.
+                *steps += 1;
+                let pc = cpu.pc();
+                let word = mem.load_u32(pc).expect("break was just fetched from here");
+                if observer.observe(pc, word) == Observation::Violation {
+                    return HaltReason::MonitorViolation;
+                }
+                return HaltReason::Completed;
+            }
+            Err(trap) => return HaltReason::Fault(trap),
         }
     }
 }

@@ -92,6 +92,27 @@ pub trait ExecutionObserver {
     /// Called for every retired instruction; returning
     /// [`Observation::Violation`] halts the core.
     fn observe(&mut self, pc: u32, word: u32) -> Observation;
+
+    /// Runs one whole packet on `core` under this observer.
+    ///
+    /// The default forwards to [`crate::core::Core::process_packet`], so
+    /// behaviour is always identical to the per-instruction path. The point
+    /// of the hook is *dispatch cost*: a `Box<dyn ExecutionObserver>` pays
+    /// one virtual call per retired instruction through
+    /// [`ExecutionObserver::observe`], but only one per **packet** through
+    /// this method — inside the override everything monomorphizes. Observers
+    /// with a per-instruction fast path (the hardware monitor's compiled
+    /// tables) override this; the sharded batch engine dispatches through
+    /// it. Overrides must be observationally identical to the default —
+    /// same outcomes, same observer statistics — for any packet; the
+    /// differential suites pin this.
+    fn run_packet(
+        &mut self,
+        core: &mut crate::core::Core,
+        packet: &[u8],
+    ) -> crate::runtime::PacketOutcome {
+        core.process_packet(packet, self)
+    }
 }
 
 /// An observer that accepts everything (a core without a monitor).
@@ -202,11 +223,6 @@ impl DecodeCache {
         }
     }
 
-    /// Whether `pc` is an aligned address inside the cached range.
-    fn covers(&self, pc: u32) -> bool {
-        self.index_of(pc).is_some()
-    }
-
     /// Slot index for an aligned in-range address.
     fn index_of(&self, addr: u32) -> Option<usize> {
         let off = addr.wrapping_sub(self.base);
@@ -217,9 +233,19 @@ impl DecodeCache {
         (idx < self.slots.len()).then_some(idx)
     }
 
+    /// Cached fetch+decode for `pc`, or `None` when `pc` falls outside the
+    /// cached range (caller takes the uncached fetch path). One index
+    /// computation serves both the range check and the slot access — this
+    /// is the first load of every retired instruction, so the double
+    /// `covers()` + `fetch()` arithmetic it replaces was measurable.
+    #[inline]
+    fn try_fetch(&mut self, pc: u32, mem: &Memory) -> Option<Result<(u32, Inst), Trap>> {
+        let idx = self.index_of(pc)?;
+        Some(self.fetch_slot(idx, pc, mem))
+    }
+
     /// Cached fetch+decode, refilling stale slots from memory.
-    fn fetch(&mut self, pc: u32, mem: &Memory) -> Result<(u32, Inst), Trap> {
-        let idx = self.index_of(pc).expect("caller checked covers()");
+    fn fetch_slot(&mut self, idx: usize, pc: u32, mem: &Memory) -> Result<(u32, Inst), Trap> {
         match self.slots[idx] {
             Slot::Decoded { word, inst } => Ok((word, inst)),
             Slot::Reserved { word } => Err(Trap::ReservedInstruction { pc, word }),
@@ -292,14 +318,20 @@ impl Cpu {
     }
 
     /// Reads a general-purpose register (`$zero` always reads 0).
+    ///
+    /// The `& 31` is a no-op (register numbers are `0..=31` by
+    /// construction) that proves the index in range, keeping the per-
+    /// instruction register accesses free of bounds checks.
+    #[inline]
     pub fn reg(&self, r: Reg) -> u32 {
-        self.regs[r.number() as usize]
+        self.regs[(r.number() & 31) as usize]
     }
 
     /// Writes a general-purpose register (writes to `$zero` are ignored).
+    #[inline]
     pub fn set_reg(&mut self, r: Reg, value: u32) {
         if r != Reg::ZERO {
-            self.regs[r.number() as usize] = value;
+            self.regs[(r.number() & 31) as usize] = value;
         }
     }
 
@@ -326,6 +358,7 @@ impl Cpu {
     /// reserved instructions, arithmetic overflow, or memory faults. The pc
     /// is left pointing *at* the trapping instruction so recovery code can
     /// inspect it.
+    #[inline]
     pub fn step(&mut self, mem: &mut Memory) -> Result<Retired, Trap> {
         self.step_impl(mem, None)
     }
@@ -339,6 +372,7 @@ impl Cpu {
     /// # Errors
     ///
     /// Same contract as [`Cpu::step`].
+    #[inline]
     pub fn step_cached(
         &mut self,
         mem: &mut Memory,
@@ -347,15 +381,19 @@ impl Cpu {
         self.step_impl(mem, Some(cache))
     }
 
+    // Inline hint: each hot run loop wants its own copy specialized for
+    // its (statically known) cache argument, folding the `Option` tests
+    // and the per-instruction call/return round-trip away.
+    #[inline]
     fn step_impl(
         &mut self,
         mem: &mut Memory,
         mut cache: Option<&mut DecodeCache>,
     ) -> Result<Retired, Trap> {
         let pc = self.pc;
-        let (word, inst) = match cache.as_deref_mut() {
-            Some(c) if c.covers(pc) => c.fetch(pc, mem)?,
-            _ => {
+        let (word, inst) = match cache.as_deref_mut().and_then(|c| c.try_fetch(pc, mem)) {
+            Some(fetched) => fetched?,
+            None => {
                 let word = mem
                     .load_u32(pc)
                     .map_err(|error| Trap::FetchFault { pc, error })?;

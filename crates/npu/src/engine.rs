@@ -1,0 +1,401 @@
+//! The sharded data-plane engine: a persistent worker pool plus the
+//! per-shard bookkeeping [`crate::np::NetworkProcessor::process_batch`]
+//! runs on.
+//!
+//! PR 1 measured `batch_speedup: 0.874` — parallel batches *lost* to
+//! serial dispatch — because every `process_batch` call paid
+//! `std::thread::scope` to spawn one OS thread per core and tear all of
+//! them down again before returning. This module fixes the structural
+//! half of that regression: workers are spawned **once** (lazily, at the
+//! first batch that needs them), fed over bounded SPSC channels, and torn
+//! down on drop. A batch costs two channel hops per shard instead of a
+//! clone+spawn+join per core.
+//!
+//! Determinism is by construction, not by luck:
+//!
+//! - Packets are partitioned to cores by the same flow-affinity mapping
+//!   the serial dispatcher uses, **before** any worker runs; each core's
+//!   queue preserves input order, so per-flow order is preserved (a flow
+//!   sticks to one core).
+//! - Each shard owns a disjoint, contiguous range of cores and walks its
+//!   cores in index order; no slot is ever touched by two workers.
+//! - Per-shard counters live in cache-padded atomics ([`ShardStats`]) and
+//!   are rolled up into [`crate::np::NpStats`] **by shard index** after
+//!   the batch barrier, so the aggregate is byte-identical to the serial
+//!   fold for any seed and any shard count.
+
+use crate::runtime::{HaltReason, PacketOutcome, Verdict};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+/// A batch job shipped to a persistent worker. The `'static` bound is the
+/// public face; [`WorkerPool::run_batch`] transmutes scoped closures in and
+/// guarantees (by draining every completion channel before returning) that
+/// no job outlives the borrow it captured.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion message: `Ok` or the worker's panic payload.
+type Done = Result<(), Box<dyn std::any::Any + Send>>;
+
+struct Worker {
+    /// Bounded to 1: the pool is used strictly SPSC per worker — one
+    /// in-flight job, one completion.
+    tx: SyncSender<Job>,
+    done: Receiver<Done>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A fixed-size pool of persistent OS threads, one per data-plane shard.
+///
+/// Spawned once, reused for every batch, joined on drop. Compare the
+/// pre-PR-4 `process_batch`, which paid thread spawn/teardown per call.
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+}
+
+impl WorkerPool {
+    /// Spawns `n` persistent workers. Each worker parks on its job channel
+    /// and signals completion (or its panic payload) on its own channel.
+    pub fn new(n: usize) -> WorkerPool {
+        let workers = (0..n)
+            .map(|i| {
+                let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(1);
+                let (done_tx, done) = std::sync::mpsc::sync_channel::<Done>(1);
+                let handle = std::thread::Builder::new()
+                    .name(format!("sdmmon-shard-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            if done_tx.send(result).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn shard worker");
+                Worker {
+                    tx,
+                    done,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        WorkerPool { workers }
+    }
+
+    /// Number of persistent workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the pool has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Runs one job per worker and blocks until **all** of them complete.
+    ///
+    /// The jobs may borrow from the caller's stack frame (they are
+    /// lifetime-erased internally); soundness rests on this function never
+    /// returning — or unwinding — before every worker has signalled done.
+    /// If a job panicked, the first panic (by worker index, for
+    /// determinism) is resumed on the caller after the full drain.
+    ///
+    /// # Panics
+    ///
+    /// Resumes the first worker panic; panics if `jobs` does not match the
+    /// pool size.
+    pub fn run_batch<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        assert_eq!(jobs.len(), self.workers.len(), "one job per worker");
+        for (worker, job) in self.workers.iter().zip(jobs) {
+            // SAFETY: the job is only erased to 'static so it can cross the
+            // channel; the drain loop below blocks until the worker has
+            // finished running it, so no borrow it captured is ever used
+            // after this stack frame resumes. The drain also runs on the
+            // panic path (completion is collected for every worker before
+            // any payload is resumed).
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+            worker.tx.send(job).expect("shard worker hung up");
+        }
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for worker in &self.workers {
+            match worker.done.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(payload)) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+                // A dead worker cannot be holding the borrow any more;
+                // treat it like a panic so the caller hears about it.
+                Err(_) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(Box::new("shard worker died"));
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            // Dropping the sender ends the worker's recv loop.
+            let (dead_tx, _) = std::sync::mpsc::sync_channel::<Job>(1);
+            let tx = std::mem::replace(&mut worker.tx, dead_tx);
+            drop(tx);
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// The contiguous block of cores one shard owns: `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpan {
+    /// First core index owned by the shard.
+    pub start: usize,
+    /// One past the last core index owned by the shard.
+    pub end: usize,
+}
+
+/// Splits `cores` cores into `shards` disjoint contiguous spans, remainder
+/// distributed to the lowest-indexed shards (so spans differ by at most
+/// one core). The mapping is a pure function of `(cores, shards)` — every
+/// replay partitions identically.
+pub fn shard_spans(cores: usize, shards: usize) -> Vec<ShardSpan> {
+    assert!(shards > 0 && shards <= cores, "1 <= shards <= cores");
+    let base = cores / shards;
+    let extra = cores % shards;
+    let mut spans = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        spans.push(ShardSpan {
+            start,
+            end: start + len,
+        });
+        start += len;
+    }
+    spans
+}
+
+/// Shard of a given core under [`shard_spans`].
+pub fn shard_of(core: usize, cores: usize, shards: usize) -> usize {
+    let base = cores / shards;
+    let extra = cores % shards;
+    // Cores [0, extra*(base+1)) belong to the fattened shards.
+    let fat = extra * (base + 1);
+    if core < fat {
+        core / (base + 1)
+    } else {
+        extra + (core - fat) / base
+    }
+}
+
+/// Per-shard outcome counters in one cache line.
+///
+/// Each shard's worker is the only writer (relaxed adds, uncontended); the
+/// dispatcher rolls all shards up **in shard-index order** after the batch
+/// barrier, so false sharing never costs a bounce and the aggregate is
+/// reproducible. The fields mirror the outcome-derived half of
+/// [`crate::np::NpStats`] (redeploys/quarantines are read from the
+/// supervisor ledgers, not counted here).
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct ShardStats {
+    processed: AtomicU64,
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
+    violations: AtomicU64,
+    faults: AtomicU64,
+    recoveries: AtomicU64,
+}
+
+impl ShardStats {
+    /// Folds one packet outcome, exactly mirroring the serial
+    /// `NpStats::record` branch structure.
+    pub fn record(&self, outcome: &PacketOutcome) {
+        self.processed.fetch_add(1, Ordering::Relaxed);
+        match outcome.halt {
+            HaltReason::Completed => {}
+            HaltReason::MonitorViolation => {
+                self.violations.fetch_add(1, Ordering::Relaxed);
+            }
+            HaltReason::Fault(_) | HaltReason::StepLimit => {
+                self.faults.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if outcome.halt.is_clean() {
+            match outcome.verdict {
+                Verdict::Drop => self.dropped.fetch_add(1, Ordering::Relaxed),
+                Verdict::Forward(_) => self.forwarded.fetch_add(1, Ordering::Relaxed),
+            };
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.recoveries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drains the counters as `(processed, forwarded, dropped, violations,
+    /// faults, recoveries)`, resetting them for the next batch.
+    pub fn take(&self) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            self.processed.swap(0, Ordering::Relaxed),
+            self.forwarded.swap(0, Ordering::Relaxed),
+            self.dropped.swap(0, Ordering::Relaxed),
+            self.violations.swap(0, Ordering::Relaxed),
+            self.faults.swap(0, Ordering::Relaxed),
+            self.recoveries.swap(0, Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn spans_cover_cores_exactly_once() {
+        for cores in 1..=12 {
+            for shards in 1..=cores {
+                let spans = shard_spans(cores, shards);
+                assert_eq!(spans.len(), shards);
+                assert_eq!(spans[0].start, 0);
+                assert_eq!(spans[shards - 1].end, cores);
+                for w in spans.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "gap between spans");
+                    assert!(w[0].end > w[0].start || w[0].start == w[0].end);
+                }
+                let sizes: Vec<usize> = spans.iter().map(|s| s.end - s.start).collect();
+                let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "spans unbalanced: {sizes:?}");
+                // shard_of agrees with the spans.
+                for core in 0..cores {
+                    let s = shard_of(core, cores, shards);
+                    assert!(
+                        (spans[s].start..spans[s].end).contains(&core),
+                        "core {core} mapped to shard {s} outside its span"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= shards <= cores")]
+    fn more_shards_than_cores_rejected() {
+        shard_spans(2, 3);
+    }
+
+    #[test]
+    fn pool_runs_scoped_jobs_to_completion() {
+        let pool = WorkerPool::new(4);
+        let mut outs = vec![0u64; 4];
+        {
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = outs
+                .iter_mut()
+                .enumerate()
+                .map(|(i, out)| {
+                    Box::new(move || {
+                        *out = (i as u64 + 1) * 10;
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            pool.run_batch(jobs);
+        }
+        assert_eq!(outs, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..50 {
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..2)
+                .map(|_| {
+                    let c = &counter;
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            pool.run_batch(jobs);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn pool_propagates_worker_panics_after_draining() {
+        let pool = WorkerPool::new(3);
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..3)
+                .map(|i| {
+                    let f = &finished;
+                    Box::new(move || {
+                        if i == 1 {
+                            panic!("shard job failed");
+                        }
+                        f.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            pool.run_batch(jobs);
+        }));
+        assert!(result.is_err(), "panic must propagate to the dispatcher");
+        assert_eq!(
+            finished.load(Ordering::Relaxed),
+            2,
+            "non-panicking jobs still ran to completion before the resume"
+        );
+        // The pool survives a panicked batch.
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..3)
+            .map(|_| Box::new(|| {}) as Box<dyn FnOnce() + Send>)
+            .collect();
+        pool.run_batch(jobs);
+    }
+
+    #[test]
+    fn shard_stats_mirror_serial_record() {
+        use crate::runtime::{HaltReason, PacketOutcome, Verdict};
+        let stats = ShardStats::default();
+        let fwd = PacketOutcome {
+            verdict: Verdict::Forward(3),
+            steps: 10,
+            halt: HaltReason::Completed,
+        };
+        let drop = PacketOutcome {
+            verdict: Verdict::Drop,
+            steps: 10,
+            halt: HaltReason::Completed,
+        };
+        let violation = PacketOutcome {
+            verdict: Verdict::Drop,
+            steps: 4,
+            halt: HaltReason::MonitorViolation,
+        };
+        stats.record(&fwd);
+        stats.record(&fwd);
+        stats.record(&drop);
+        stats.record(&violation);
+        assert_eq!(stats.take(), (4, 2, 2, 1, 0, 1));
+        assert_eq!(stats.take(), (0, 0, 0, 0, 0, 0), "take drains");
+    }
+}

@@ -13,6 +13,10 @@
 //! * [`np::NetworkProcessor`] — a multicore NP with per-core observers,
 //!   dispatching packets and applying the paper's detect → drop → reset
 //!   recovery
+//! * [`engine`] — the sharded batch engine behind
+//!   [`np::NetworkProcessor::process_batch`]: a persistent worker pool,
+//!   disjoint shard-owned core ranges, and cache-padded per-shard counters
+//!   rolled up deterministically by shard index
 //! * [`supervisor`] — the runtime escalation ladder above that recovery:
 //!   redeploy a core from its last-known-good image after repeated unclean
 //!   halts, quarantine it out of dispatch after repeated redeploys
@@ -38,6 +42,7 @@
 
 pub mod core;
 pub mod cpu;
+pub mod engine;
 pub mod mem;
 pub mod np;
 pub mod programs;

@@ -102,7 +102,8 @@ impl Memory {
     /// [`MemError::OutOfBounds`] past the end of memory.
     pub fn load_u16(&self, addr: u32) -> Result<u16, MemError> {
         let i = self.check(addr, 2)?;
-        Ok(u16::from_be_bytes([self.bytes[i], self.bytes[i + 1]]))
+        let b: [u8; 2] = self.bytes[i..i + 2].try_into().expect("checked width");
+        Ok(u16::from_be_bytes(b))
     }
 
     /// Loads a big-endian word.
@@ -113,12 +114,8 @@ impl Memory {
     /// [`MemError::OutOfBounds`] past the end of memory.
     pub fn load_u32(&self, addr: u32) -> Result<u32, MemError> {
         let i = self.check(addr, 4)?;
-        Ok(u32::from_be_bytes([
-            self.bytes[i],
-            self.bytes[i + 1],
-            self.bytes[i + 2],
-            self.bytes[i + 3],
-        ]))
+        let b: [u8; 4] = self.bytes[i..i + 4].try_into().expect("checked width");
+        Ok(u32::from_be_bytes(b))
     }
 
     /// Stores one byte.

@@ -7,6 +7,7 @@
 
 use crate::core::Core;
 use crate::cpu::{ExecutionObserver, NullObserver};
+use crate::engine::{shard_spans, ShardStats, WorkerPool};
 use crate::runtime::{HaltReason, PacketOutcome};
 use crate::supervisor::{CoreHealth, SupervisorPolicy};
 use std::fmt;
@@ -82,9 +83,26 @@ struct Slot {
 impl Slot {
     /// Runs one packet on this core, applying the recovery policy (reset
     /// after any unclean halt) and the supervisor ladder, but not touching
-    /// the NP-wide stats.
+    /// the NP-wide stats. This is the reference per-instruction-dispatch
+    /// path (one virtual `observe` call per retired instruction); the batch
+    /// engine goes through [`Slot::run_fused`] instead.
     fn run(&mut self, packet: &[u8], policy: &SupervisorPolicy) -> PacketOutcome {
         let outcome = self.core.process_packet(packet, self.observer.as_mut());
+        self.settle(outcome, policy)
+    }
+
+    /// Like [`Slot::run`] but dispatches the whole packet through
+    /// [`ExecutionObserver::run_packet`]: one virtual call per packet, so
+    /// observers with a monomorphized fast path (the hardware monitor) run
+    /// it. Outcomes are identical to [`Slot::run`] by the trait's contract;
+    /// the determinism tests and testkit differentials pin that.
+    fn run_fused(&mut self, packet: &[u8], policy: &SupervisorPolicy) -> PacketOutcome {
+        let outcome = self.observer.run_packet(&mut self.core, packet);
+        self.settle(outcome, policy)
+    }
+
+    /// Shared post-packet bookkeeping for both dispatch paths.
+    fn settle(&mut self, outcome: PacketOutcome, policy: &SupervisorPolicy) -> PacketOutcome {
         if outcome.halt.is_clean() {
             self.health.record_clean();
         } else {
@@ -135,6 +153,15 @@ pub struct NetworkProcessor {
     next: usize,
     stats: NpStats,
     policy: SupervisorPolicy,
+    /// Desired batch-engine shard count (clamped to the core count at
+    /// dispatch time). One shard executes inline on the caller thread.
+    shards: usize,
+    /// Persistent shard workers, spawned lazily at the first multi-shard
+    /// batch and kept across batches (the PR 1 regression was spawning
+    /// per batch). `None` until then, or while `shards == 1`.
+    pool: Option<WorkerPool>,
+    /// Cache-padded per-shard outcome counters, one per pool worker.
+    shard_stats: Vec<ShardStats>,
 }
 
 impl NetworkProcessor {
@@ -170,6 +197,9 @@ impl NetworkProcessor {
             next: 0,
             stats: NpStats::default(),
             policy,
+            shards: default_shards(cores),
+            pool: None,
+            shard_stats: Vec::new(),
         }
     }
 
@@ -331,25 +361,37 @@ impl NetworkProcessor {
         outcome
     }
 
-    /// Processes a batch of packets with all cores running in parallel.
+    /// The batch engine's shard count (see
+    /// [`NetworkProcessor::set_shards`]).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Sets the batch-engine shard count. Each shard owns a disjoint,
+    /// contiguous block of cores and runs their queues on one persistent
+    /// worker; one shard means the batch runs inline on the caller thread.
+    /// The count is clamped to `[1, num_cores]` at dispatch time.
     ///
-    /// Packets are partitioned by flow (same mapping as
-    /// [`NetworkProcessor::process_flow`]), each core works through its
-    /// share on its own scoped thread, and the merged result preserves the
-    /// input order. Because flow dispatch and per-core processing order are
-    /// both deterministic, outcomes and statistics are identical to calling
-    /// `process_flow` on each packet in turn — only the wall clock differs.
-    ///
-    /// Packets are partitioned against the active-core set *at entry*: a
-    /// core the supervisor quarantines mid-batch still finishes its share
-    /// (quarantine gates dispatch, not execution) and drops out of the next
-    /// batch's partitioning.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a selected core has no program installed, or if every
-    /// core is quarantined.
-    pub fn process_batch(&mut self, packets: &[Vec<u8>]) -> Vec<(usize, PacketOutcome)> {
+    /// Shard count is a *throughput* knob only: packet→core assignment is
+    /// the flow mapping of [`NetworkProcessor::process_flow`] regardless of
+    /// `shards`, so outcomes and statistics are byte-identical for every
+    /// shard count (and to [`NetworkProcessor::process_batch_serial`]).
+    pub fn set_shards(&mut self, shards: usize) {
+        assert!(shards > 0, "at least one shard");
+        if shards != self.shards {
+            self.shards = shards;
+            // Tear the pool down now; the next batch respawns at the new
+            // width. (Dropping joins the workers.)
+            self.pool = None;
+            self.shard_stats = Vec::new();
+        }
+    }
+
+    /// Partitions `packets` into per-core queues by flow affinity — the
+    /// exact mapping of [`NetworkProcessor::process_flow`], applied against
+    /// the active-core set at entry. Queue order preserves input order, so
+    /// per-flow order is preserved (a flow never changes cores mid-batch).
+    fn partition(&self, packets: &[Vec<u8>]) -> Vec<Vec<usize>> {
         let active = self.active_cores();
         assert!(
             !active.is_empty(),
@@ -359,29 +401,148 @@ impl NetworkProcessor {
         for (i, packet) in packets.iter().enumerate() {
             queues[active[(flow_hash(packet) % active.len() as u64) as usize]].push(i);
         }
+        queues
+    }
+
+    /// Processes a batch of packets on the sharded data-plane engine.
+    ///
+    /// Packets are partitioned by flow (same mapping as
+    /// [`NetworkProcessor::process_flow`]), the cores are split into
+    /// [`NetworkProcessor::shards`] disjoint contiguous shards, and each
+    /// shard works through its cores' queues on a persistent worker thread
+    /// (spawned once, reused across batches, joined on drop — see
+    /// [`crate::engine`]). Per-shard counters accumulate in cache-padded
+    /// atomics and are rolled up into [`NpStats`] by shard index after the
+    /// batch barrier. The merged result preserves the input order.
+    ///
+    /// Because flow→core assignment is independent of the shard count and
+    /// each core's queue runs in input order on exactly one worker,
+    /// outcomes and statistics are byte-identical to
+    /// [`NetworkProcessor::process_batch_serial`] — and to calling
+    /// `process_flow` on each packet in turn when core health does not
+    /// change mid-batch — for any seed and any shard count. Only the wall
+    /// clock differs: shard workers dispatch whole packets through
+    /// [`ExecutionObserver::run_packet`], the monomorphized per-packet
+    /// fast path.
+    ///
+    /// Packets are partitioned against the active-core set *at entry*: a
+    /// core the supervisor quarantines mid-batch still finishes its share
+    /// (quarantine gates dispatch, not execution, and degrades only the
+    /// owning shard) and drops out of the next batch's partitioning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a selected core has no program installed, or if every
+    /// core is quarantined.
+    pub fn process_batch(&mut self, packets: &[Vec<u8>]) -> Vec<(usize, PacketOutcome)> {
+        let queues = self.partition(packets);
+        let shards = self.shards.clamp(1, self.slots.len());
+        if shards == 1 || packets.is_empty() {
+            return self.run_queues_inline(packets, &queues, DispatchPath::Fused);
+        }
+
+        if self.pool.as_ref().is_none_or(|p| p.len() != shards) {
+            self.pool = Some(WorkerPool::new(shards));
+            self.shard_stats = (0..shards).map(|_| ShardStats::default()).collect();
+        }
+        let pool = self.pool.as_ref().expect("pool just ensured");
+        let spans = shard_spans(self.slots.len(), shards);
         let policy = self.policy;
-        let per_core: Vec<Vec<(usize, PacketOutcome)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .slots
-                .iter_mut()
-                .zip(&queues)
-                .map(|(slot, queue)| {
-                    scope.spawn(move || {
-                        queue
-                            .iter()
-                            .map(|&i| (i, slot.run(&packets[i], &policy)))
-                            .collect::<Vec<_>>()
-                    })
+        let shard_stats = &self.shard_stats;
+
+        // One result buffer per shard; workers never share a buffer, and
+        // input indices are globally unique, so the merge below is
+        // order-independent across shards.
+        let mut results: Vec<Vec<(usize, usize, PacketOutcome)>> = spans
+            .iter()
+            .map(|span| {
+                let load: usize = queues[span.start..span.end].iter().map(Vec::len).sum();
+                Vec::with_capacity(load)
+            })
+            .collect();
+        {
+            // Split the slot array into per-shard disjoint chunks.
+            let mut rest: &mut [Slot] = &mut self.slots;
+            let mut chunks: Vec<&mut [Slot]> = Vec::with_capacity(shards);
+            let mut consumed = 0;
+            for span in &spans {
+                let (chunk, tail) = rest.split_at_mut(span.end - consumed);
+                chunks.push(chunk);
+                rest = tail;
+                consumed = span.end;
+            }
+            let queues = &queues;
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+                .into_iter()
+                .zip(&spans)
+                .zip(results.iter_mut())
+                .enumerate()
+                .map(|(shard_index, ((chunk, span), out))| {
+                    let span = *span;
+                    let stats = &shard_stats[shard_index];
+                    Box::new(move || {
+                        for (local, slot) in chunk.iter_mut().enumerate() {
+                            let core_index = span.start + local;
+                            for &i in &queues[core_index] {
+                                let outcome = slot.run_fused(&packets[i], &policy);
+                                stats.record(&outcome);
+                                out.push((i, core_index, outcome));
+                            }
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("core thread panicked"))
-                .collect()
-        });
+            pool.run_batch(jobs);
+        }
+
+        // Merge outcomes back into input order (indices are globally
+        // unique, so cross-shard iteration order cannot matter), then roll
+        // the padded per-shard counters up by shard index.
         let mut merged: Vec<Option<(usize, PacketOutcome)>> = vec![None; packets.len()];
-        for (core_index, outcomes) in per_core.into_iter().enumerate() {
-            for (i, outcome) in outcomes {
+        for outcomes in &results {
+            for &(i, core_index, outcome) in outcomes {
+                merged[i] = Some((core_index, outcome));
+            }
+        }
+        self.rollup_shard_stats();
+        merged
+            .into_iter()
+            .map(|m| m.expect("every packet was dispatched"))
+            .collect()
+    }
+
+    /// The serial oracle for [`NetworkProcessor::process_batch`]: identical
+    /// partition-at-entry semantics, executed entirely on the caller thread
+    /// through the reference per-instruction dispatch path (one virtual
+    /// `observe` call per retired instruction, no worker pool, no fused
+    /// fast path). The determinism tests and the `sharded_engine` testkit
+    /// differential pin `process_batch` to this function byte-for-byte.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`NetworkProcessor::process_batch`].
+    pub fn process_batch_serial(&mut self, packets: &[Vec<u8>]) -> Vec<(usize, PacketOutcome)> {
+        let queues = self.partition(packets);
+        self.run_queues_inline(packets, &queues, DispatchPath::Reference)
+    }
+
+    /// Runs pre-partitioned queues on the caller thread, in core-index
+    /// order, and merges back to input order.
+    fn run_queues_inline(
+        &mut self,
+        packets: &[Vec<u8>],
+        queues: &[Vec<usize>],
+        path: DispatchPath,
+    ) -> Vec<(usize, PacketOutcome)> {
+        let policy = self.policy;
+        let mut merged: Vec<Option<(usize, PacketOutcome)>> = vec![None; packets.len()];
+        for (core_index, queue) in queues.iter().enumerate() {
+            let slot = &mut self.slots[core_index];
+            for &i in queue {
+                let outcome = match path {
+                    DispatchPath::Fused => slot.run_fused(&packets[i], &policy),
+                    DispatchPath::Reference => slot.run(&packets[i], &policy),
+                };
                 merged[i] = Some((core_index, outcome));
             }
         }
@@ -395,6 +556,20 @@ impl NetworkProcessor {
         merged
     }
 
+    /// Folds the drained per-shard counters into the NP-wide stats, in
+    /// shard-index order.
+    fn rollup_shard_stats(&mut self) {
+        for stats in &self.shard_stats {
+            let (processed, forwarded, dropped, violations, faults, recoveries) = stats.take();
+            self.stats.processed += processed;
+            self.stats.forwarded += forwarded;
+            self.stats.dropped += dropped;
+            self.stats.violations += violations;
+            self.stats.faults += faults;
+            self.stats.recoveries += recoveries;
+        }
+    }
+
     /// Aggregate statistics. Redeploy and quarantine counts are derived
     /// from the per-core supervisor ledgers at call time.
     pub fn stats(&self) -> NpStats {
@@ -405,9 +580,32 @@ impl NetworkProcessor {
     }
 }
 
+/// Which per-packet dispatch path an inline queue run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DispatchPath {
+    /// [`ExecutionObserver::run_packet`] — one virtual call per packet.
+    Fused,
+    /// [`Core::process_packet`] via `&mut dyn` — one virtual call per
+    /// retired instruction; the oracle path.
+    Reference,
+}
+
+/// Default engine shard count for a fresh NP: one worker per available
+/// hardware thread, clamped to the core count (never more shards than
+/// cores, never zero). On a single-CPU host this is 1 — the batch path
+/// runs inline and still gets the fused per-packet dispatch.
+fn default_shards(cores: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, cores)
+}
+
 /// FNV-1a over the flow key of `packet` (see
-/// [`NetworkProcessor::process_flow`]).
-fn flow_hash(packet: &[u8]) -> u64 {
+/// [`NetworkProcessor::process_flow`]): src + dst + protocol + first L4
+/// word for IPv4, raw bytes otherwise. Public so the affinity tests and
+/// the bench can reproduce the engine's packet→core mapping.
+pub fn flow_hash(packet: &[u8]) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x1_0000_0193;
     let mut h = OFFSET;

@@ -8,7 +8,10 @@
 //! * Montgomery/CRT RSA ≡ the plain square-and-multiply oracle, including
 //!   degenerate and bit-flipped ciphertexts;
 //! * the pre-decoded instruction cache ≡ the uncached interpreter, over
-//!   corrupted text segments and hostile packets, compared retire-by-retire.
+//!   corrupted text segments and hostile packets, compared retire-by-retire;
+//! * the sharded batch engine ≡ the serial per-instruction oracle, over
+//!   monitored cores with injected instruction-memory faults, hijack
+//!   packets, and mutated traffic — outcomes *and* statistics.
 
 use crate::fault::mutate_packet;
 use sdmmon_core::entities::{Manufacturer, NetworkOperator};
@@ -17,12 +20,15 @@ use sdmmon_core::SdmmonError;
 use sdmmon_crypto::bignum::BigUint;
 use sdmmon_crypto::rsa::RsaKeyPair;
 use sdmmon_isa::Reg;
+use sdmmon_monitor::{HardwareMonitor, MerkleTreeHash, MonitoringGraph};
 use sdmmon_npu::cpu::{Cpu, DecodeCache, Trap};
 use sdmmon_npu::mem::Memory;
+use sdmmon_npu::np::NetworkProcessor;
 use sdmmon_npu::programs::{self, testing};
 use sdmmon_npu::runtime::{
     Verdict, MEM_SIZE, PKT_DATA_ADDR, PKT_LEN_ADDR, STACK_TOP, VERDICT_ADDR,
 };
+use sdmmon_npu::supervisor::SupervisorPolicy;
 use sdmmon_rng::{Rng, RngCore, SeedableRng, StdRng};
 
 /// Outcome of one differential check.
@@ -63,6 +69,9 @@ pub struct DiffBudget {
     /// Cached-vs-uncached execution runs (each over corrupted text and a
     /// hostile or mutated packet).
     pub decode_runs: u64,
+    /// Sharded-vs-serial batch runs (each over monitored cores with
+    /// injected instruction-memory faults and hostile traffic).
+    pub batch_runs: u64,
 }
 
 impl DiffBudget {
@@ -73,6 +82,7 @@ impl DiffBudget {
             modpow_trials: 24,
             deploy_rounds: 3,
             decode_runs: 16,
+            batch_runs: 6,
         }
     }
 }
@@ -90,6 +100,7 @@ pub fn run_differentials(seed: u64, budget: DiffBudget) -> Result<DifferentialRe
             modpow_fast_vs_binary(budget.modpow_trials, sdmmon_rng::split_seed(seed, 1)),
             deploy_parallel_vs_serial(budget.deploy_rounds, sdmmon_rng::split_seed(seed, 2))?,
             decode_cached_vs_uncached(budget.decode_runs, sdmmon_rng::split_seed(seed, 3)),
+            sharded_batch_vs_serial(budget.batch_runs, sdmmon_rng::split_seed(seed, 4)),
         ],
     })
 }
@@ -337,6 +348,108 @@ fn decode_cached_vs_uncached(runs: u64, seed: u64) -> DiffCheck {
     }
 }
 
+/// Sharded batch engine vs the serial per-instruction oracle, over the
+/// full recovery stack: four monitored cores (per-core hash parameters,
+/// as deployed), an aggressive supervisor ladder, identical injected
+/// instruction-memory bit flips on both sides, and traffic mixing clean
+/// flows, stack-smash hijacks, and mutated packets. A run diverges if the
+/// merged outcomes *or* the aggregate [`sdmmon_npu::np::NpStats`] differ
+/// for any shard count — the exact guarantee `process_batch` documents.
+fn sharded_batch_vs_serial(runs: u64, seed: u64) -> DiffCheck {
+    const CORES: usize = 4;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let program = programs::vulnerable_forward().expect("embedded workload assembles");
+    let image = program.to_bytes();
+    let policy = SupervisorPolicy {
+        redeploy_after: 2,
+        quarantine_after: 2,
+    };
+    let attack = testing::hijack_packet("li $t4, 0x0007fff0\nli $t5, 9\nsw $t5, 0($t4)\nbreak 0")
+        .expect("hijack payload assembles");
+    let mut divergences = 0u64;
+    for run in 0..runs {
+        let shards = [2usize, 3, 4][run as usize % 3];
+        let hash_seed: u32 = rng.gen();
+        let build = || {
+            let mut np = NetworkProcessor::with_policy(CORES, policy);
+            for core in 0..CORES {
+                let hash = MerkleTreeHash::new(hash_seed ^ core as u32);
+                let graph =
+                    MonitoringGraph::extract(&program, &hash).expect("workload graph extracts");
+                np.install(
+                    core,
+                    &image,
+                    program.base,
+                    Box::new(HardwareMonitor::new(graph, hash)),
+                );
+            }
+            np
+        };
+        let mut sharded = build();
+        sharded.set_shards(shards);
+        let mut serial = build();
+
+        // Identical instruction-memory faults on both sides, injected
+        // after install so the extracted graphs describe the *clean*
+        // program — executing a flipped word is what the monitor catches.
+        let flips: Vec<(usize, u32, u32)> = (0..rng.gen_range(1..=3u32))
+            .map(|_| {
+                (
+                    rng.gen_range(0..CORES),
+                    program.base + 4 * rng.gen_range(0..(image.len() as u32 / 4)),
+                    rng.gen_range(0..32u32),
+                )
+            })
+            .collect();
+        for np in [&mut sharded, &mut serial] {
+            for &(core, addr, bit) in &flips {
+                let word = np
+                    .core_mut(core)
+                    .memory()
+                    .load_u32(addr)
+                    .expect("text mapped");
+                np.core_mut(core)
+                    .memory_mut()
+                    .store_u32(addr, word ^ (1 << bit))
+                    .expect("text mapped");
+            }
+        }
+
+        let packets: Vec<Vec<u8>> = (0..40)
+            .map(|_| match rng.gen_range(0..5u32) {
+                0 => attack.clone(),
+                1 => {
+                    let mut p = testing::ipv4_packet(
+                        [10, rng.gen_range(0..8u8), rng.gen_range(0..250u8), 1],
+                        [10, 0, 0, rng.gen_range(1..=15u8)],
+                        64,
+                        b"dp",
+                    );
+                    mutate_packet(&mut p, &mut rng);
+                    p
+                }
+                _ => testing::ipv4_packet(
+                    [10, rng.gen_range(0..8u8), rng.gen_range(0..250u8), 1],
+                    [10, 0, 0, rng.gen_range(1..=15u8)],
+                    64,
+                    b"dp",
+                ),
+            })
+            .collect();
+
+        let fast = sharded.process_batch(&packets);
+        let oracle = serial.process_batch_serial(&packets);
+        if fast != oracle || sharded.stats() != serial.stats() {
+            divergences += 1;
+        }
+    }
+    DiffCheck {
+        name: "sharded_batch_vs_serial",
+        trials: runs,
+        divergences,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,10 +463,11 @@ mod tests {
                 modpow_trials: 8,
                 deploy_rounds: 2,
                 decode_runs: 6,
+                batch_runs: 3,
             },
         )
         .unwrap();
-        assert_eq!(report.checks.len(), 4);
+        assert_eq!(report.checks.len(), 5);
         assert_eq!(report.total_divergences(), 0, "{:?}", report.checks);
     }
 
@@ -364,6 +478,7 @@ mod tests {
             modpow_trials: 5,
             deploy_rounds: 1,
             decode_runs: 3,
+            batch_runs: 2,
         };
         let a = run_differentials(7, budget).unwrap();
         let b = run_differentials(7, budget).unwrap();

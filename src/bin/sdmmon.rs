@@ -24,6 +24,12 @@
 //!               [--max-retries <n>] [--deploy-attempts <n>]
 //!     Deploy a fleet over a deterministic faulty transport and print
 //!     the per-router convergence table (installed vs quarantined).
+//!
+//! sdmmon bench [--quick] [--shards <n>]
+//!     Run the sharded batch-engine throughput sweep (serial oracle vs
+//!     the persistent-pool engine, byte-identity asserted) and fail if
+//!     the sharded engine is slower than serial — the regression gate
+//!     CI runs against the PR 1 spawn-per-batch slowdown.
 //! ```
 //!
 //! Exit codes: 0 success, 1 usage error, 2 processing error.
@@ -45,6 +51,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("deploy") => cmd_deploy(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::from(u8::from(args.is_empty()));
@@ -79,6 +86,7 @@ USAGE:
                   [--loss <p>] [--corrupt <p>] [--stall <p>]
                   [--outage <from:len>] [--blackhole <router>]
                   [--max-retries <n>] [--deploy-attempts <n>]
+    sdmmon bench  [--quick] [--shards <n>]
 ";
 
 enum CliError {
@@ -537,6 +545,51 @@ fn cmd_deploy(args: &[String]) -> Result<(), CliError> {
         return Err(processing(
             "no router converged: the whole fleet quarantined",
         ));
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), CliError> {
+    use sdmmon::bench::sharded::{self, ShardedConfig};
+
+    // `--quick` is a switch (no value), so this command parses by hand
+    // rather than through the value-flag parser the other commands share.
+    let mut quick = false;
+    let mut max_shards = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--shards" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("option `--shards` needs a value"))?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| usage(format!("cannot parse shard count `{v}`")))?;
+                if n == 0 {
+                    return Err(usage("--shards must be nonzero"));
+                }
+                max_shards = Some(n);
+            }
+            other => return Err(usage(format!("unknown option `{other}`"))),
+        }
+    }
+
+    let report = sharded::run(&ShardedConfig::new(quick, max_shards));
+    print!("{}", report.table());
+    let headline = report.headline();
+    let speedup = report.speedup(&headline);
+    println!(
+        "\nheadline: {speedup:.2}x serial at {} shards ({} packets, best of {}; \
+         outcomes and NpStats byte-identical to serial)",
+        headline.shards, report.packets, report.repeats,
+    );
+    if speedup < 1.0 {
+        return Err(processing(format!(
+            "sharded batch engine is slower than the serial baseline \
+             ({speedup:.2}x) — the spawn-per-batch regression is back"
+        )));
     }
     Ok(())
 }

@@ -14,6 +14,7 @@
 //! | [`fpga`] | `sdmmon-fpga` | FPGA resource estimation (Tables 1 and 3) |
 //! | [`core`] | `sdmmon-core` | the SDMMon protocol: entities, packages, timing, fleets |
 //! | [`testkit`] | `sdmmon-testkit` | deterministic fault injection + adversarial campaigns |
+//! | [`bench`] | `sdmmon-bench` | benchmark scenarios (incl. the sharded-engine sweep) |
 //!
 //! # Examples
 //!
@@ -38,6 +39,7 @@
 //! # }
 //! ```
 
+pub use sdmmon_bench as bench;
 pub use sdmmon_core as core;
 pub use sdmmon_crypto as crypto;
 pub use sdmmon_fpga as fpga;
