@@ -2,9 +2,11 @@
 # Repo gate: formatting, lints, full test suite, a quick perf smoke run
 # (quick mode writes target/BENCH_PR4.quick.json; the committed
 # BENCH_PR4.json comes from a full release run of the same binary), the
-# sharded-engine throughput gate, and a bounded adversarial campaign
-# (accounting + differential assertions, deterministic per seed; see
-# docs/TESTKIT.md and docs/PERF.md).
+# sharded-engine throughput gate (with and without metrics recording),
+# a bounded adversarial campaign (accounting + differential assertions,
+# deterministic per seed), and an events-schema smoke (byte-identical
+# sdmmon-events-v1 replay; see docs/TESTKIT.md, docs/PERF.md, and
+# docs/OBSERVABILITY.md).
 set -eux
 
 # Build artifacts must never be tracked.
@@ -25,6 +27,12 @@ cargo run --release -p sdmmon-bench --bin perf_report -- --quick
 # slowdown was exactly that).
 cargo run --release --bin sdmmon -- bench --quick
 
+# The same gate with metrics recording enabled (the default observability
+# level): atomic counters on the batch path must not push the sharded
+# engine below serial, and the snapshot must carry its schema.
+cargo run --release --bin sdmmon -- bench --quick --metrics target/ci-bench-metrics.json
+grep -q '"schema": "sdmmon-metrics-v1"' target/ci-bench-metrics.json
+
 # Schema gate: the committed report must carry the v2 schema (v1 plus the
 # "sharded" section), and its key sequence must match what the binary
 # writes today — a drifted field set fails the diff.
@@ -34,6 +42,26 @@ sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' target/BENCH_PR4.quick.json > target/BENC
 diff target/BENCH_PR4.schema target/BENCH_PR4.quick.schema
 
 cargo run --release --bin sdmmon -- campaign --seed 1 --budget 2000
+
+# Events-schema smoke: a bounded campaign run twice with --events must
+# produce byte-identical JSONL (the sdmmon-events-v1 determinism
+# contract), and every line must parse as JSON carrying the schema tag.
+cargo run --release --bin sdmmon -- campaign --seed 11 --budget 200 \
+    --events target/ci-events-a.jsonl
+cargo run --release --bin sdmmon -- campaign --seed 11 --budget 200 \
+    --events target/ci-events-b.jsonl
+cmp target/ci-events-a.jsonl target/ci-events-b.jsonl
+python3 - target/ci-events-a.jsonl <<'PYEOF'
+import json, sys
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "event stream is empty"
+for n, line in enumerate(lines, 1):
+    event = json.loads(line)
+    assert event["schema"] == "sdmmon-events-v1", (n, event)
+    assert isinstance(event["seq"], int) and isinstance(event["clock"], int), n
+print(f"events ok: {len(lines)} lines, schema sdmmon-events-v1")
+PYEOF
+
 # Resilient-deploy smoke: a small fleet must converge through a lossy,
 # corrupting, stalling link with a server outage, quarantining only the
 # blackholed router (exit 2 if the whole fleet quarantines). Bounded:

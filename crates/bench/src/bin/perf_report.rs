@@ -333,6 +333,9 @@ fn throughput_section(cfg: &Config, rows: &mut Vec<Vec<String>>, json: &mut Stri
     let batch_pps = packets.len() as f64 / t.elapsed().as_secs_f64();
     assert_eq!(seq, batch, "batch path must be outcome-identical");
     let speedup = batch_pps / seq_pps;
+    // Deterministic NP counters for the batch side, on stdout only — the
+    // committed BENCH json carries timing, not per-run packet accounting.
+    println!("np stats (batch side): {}", np.stats().to_json());
 
     rows.push(vec![
         format!("np throughput, {cores} cores (kpps)"),

@@ -159,6 +159,19 @@ impl ShardedReport {
 /// `NpStats` of every NP must match the serial twin exactly; any
 /// divergence panics rather than reporting a tainted number.
 pub fn run(cfg: &ShardedConfig) -> ShardedReport {
+    run_observed(cfg, None)
+}
+
+/// [`run`] with an optional event bus attached to every timed NP: each
+/// batch then emits its `np.batch` telemetry event (shard count, packet
+/// count, queue imbalance). Batch telemetry carries only logical
+/// quantities, so the stream is byte-identical per configuration even
+/// though the surrounding measurements are timed. `None` keeps the timed
+/// loop free of any event plumbing (the default `sdmmon bench` gate).
+pub fn run_observed(
+    cfg: &ShardedConfig,
+    bus: Option<&std::sync::Arc<sdmmon_obs::EventBus>>,
+) -> ShardedReport {
     let program = programs::ipv4_forward().expect("embedded workload assembles");
     let image = program.to_bytes();
     let install = |np: &mut NetworkProcessor| {
@@ -184,6 +197,7 @@ pub fn run(cfg: &ShardedConfig) -> ShardedReport {
 
     let mut serial_np = NetworkProcessor::new(CORES);
     install(&mut serial_np);
+    serial_np.set_event_bus(bus.cloned());
     let mut shard_nps: Vec<NetworkProcessor> = cfg
         .shard_counts
         .iter()
@@ -191,6 +205,7 @@ pub fn run(cfg: &ShardedConfig) -> ShardedReport {
             let mut np = NetworkProcessor::new(CORES);
             install(&mut np);
             np.set_shards(shards);
+            np.set_event_bus(bus.cloned());
             np
         })
         .collect();

@@ -24,6 +24,7 @@ use sdmmon_npu::engine::{shard_spans, WorkerPool};
 use sdmmon_npu::programs::testing::hijack_packet;
 use sdmmon_npu::runtime::{HaltReason, PacketOutcome, Verdict};
 use sdmmon_npu::supervisor::SupervisorPolicy;
+use sdmmon_obs::{metrics, Counter, Event, EventBus};
 use sdmmon_rng::{RngCore, SeedableRng};
 use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
@@ -407,6 +408,45 @@ impl Fleet {
         config: &ResilientConfig,
         rng: &mut R,
     ) -> Result<ResilientFleet, SdmmonError> {
+        Fleet::deploy_resilient_observed(
+            manufacturer,
+            operator,
+            program,
+            count,
+            cores_each,
+            key_bits,
+            server,
+            config,
+            rng,
+            None,
+        )
+    }
+
+    /// [`Fleet::deploy_resilient`] with an optional observability bus: when
+    /// `bus` is attached, the serial download/install phase narrates each
+    /// router's state machine as structured events — one `deploy.cycle` per
+    /// download + verify + install cycle, the download attempt timeline via
+    /// [`DownloadReport::to_events`](sdmmon_net::download::DownloadReport::to_events),
+    /// `deploy.verify_failed` for rejected bundles, and a terminal
+    /// `deploy.installed` or `deploy.quarantined`. Every event's logical
+    /// clock is the flaky server's transport-attempt count (the fault
+    /// clock), which the serial router-index ordering makes deterministic,
+    /// so the stream replays byte-identically per (rng, server-seed,
+    /// config). Fleet counters are recorded on the global metrics registry
+    /// either way.
+    #[allow(clippy::too_many_arguments)]
+    pub fn deploy_resilient_observed<R: RngCore + ?Sized>(
+        manufacturer: &Manufacturer,
+        operator: &NetworkOperator,
+        program: &Program,
+        count: usize,
+        cores_each: usize,
+        key_bits: usize,
+        server: &mut FlakyServer,
+        config: &ResilientConfig,
+        rng: &mut R,
+        bus: Option<&EventBus>,
+    ) -> Result<ResilientFleet, SdmmonError> {
         let master = rng.next_u64();
         let client = DownloadClient::new(config.retry);
         // Phase one — overlapped: provision every router (keygen dominates)
@@ -449,6 +489,17 @@ impl Fleet {
             let mut outcome = None;
             while record.deploy_attempts < config.max_deploy_attempts.max(1) {
                 record.deploy_attempts += 1;
+                metrics().inc(Counter::FleetDeployCycles);
+                // The fault clock: every probe/fetch ticks it, and the
+                // serial router order makes it a deterministic logical time.
+                let clock0 = server.attempts();
+                if let Some(bus) = bus {
+                    bus.record(
+                        Event::new("deploy.cycle", clock0)
+                            .field("router", record.router.as_str())
+                            .field("cycle", record.deploy_attempts),
+                    );
+                }
                 // Pending → Downloading: fresh bundle every cycle.
                 let bundle =
                     operator.prepare_package(program, router.public_key(), &mut router_rng)?;
@@ -457,8 +508,16 @@ impl Fleet {
                     Ok(d) => d,
                     Err(e) => {
                         record.error = Some(e.to_string());
-                        if let DownloadError::AttemptsExhausted { attempts, .. } = e {
+                        if let DownloadError::AttemptsExhausted { attempts, .. } = &e {
                             record.transport_attempts += attempts;
+                        }
+                        if let Some(bus) = bus {
+                            bus.record(
+                                Event::new("deploy.download_failed", server.attempts())
+                                    .field("router", record.router.as_str())
+                                    .field("cycle", record.deploy_attempts)
+                                    .field("error", e.to_string()),
+                            );
                         }
                         continue;
                     }
@@ -467,6 +526,9 @@ impl Fleet {
                 record.transfer_time += download.transfer_time();
                 record.backoff_time += download.backoff_time();
                 record.integrity_restarts += download.integrity_restarts;
+                if let Some(bus) = bus {
+                    bus.extend(download.to_events(&record.router, clock0));
+                }
                 // Downloading → Verifying: parse + full SR1–SR4 install.
                 let result = InstallationBundle::from_bytes(&download.bytes)
                     .map_err(|e| SdmmonError::MalformedPackage(e.to_string()))
@@ -478,7 +540,17 @@ impl Fleet {
                     }
                     // Verifying → (rolled back) Pending: install_bundle is
                     // atomic, so the router is exactly as before the cycle.
-                    Err(e) => record.error = Some(e.to_string()),
+                    Err(e) => {
+                        if let Some(bus) = bus {
+                            bus.record(
+                                Event::new("deploy.verify_failed", server.attempts())
+                                    .field("router", record.router.as_str())
+                                    .field("cycle", record.deploy_attempts)
+                                    .field("error", e.to_string()),
+                            );
+                        }
+                        record.error = Some(e.to_string());
+                    }
                 }
             }
             match outcome {
@@ -488,10 +560,27 @@ impl Fleet {
                     router.set_supervisor_policy(config.supervisor);
                     routers.push(router);
                     reports.push(report);
+                    metrics().inc(Counter::FleetRoutersInstalled);
                 }
                 None => {
                     // Quarantined: dropped from the fleet, kept on record.
+                    metrics().inc(Counter::FleetRoutersQuarantined);
                 }
+            }
+            if let Some(bus) = bus {
+                let kind = match record.phase {
+                    DeployPhase::Installed => "deploy.installed",
+                    DeployPhase::Quarantined => "deploy.quarantined",
+                };
+                let mut event = Event::new(kind, server.attempts())
+                    .field("router", record.router.as_str())
+                    .field("cycles", record.deploy_attempts)
+                    .field("transport_attempts", record.transport_attempts)
+                    .field("integrity_restarts", record.integrity_restarts);
+                if let Some(error) = &record.error {
+                    event = event.field("error", error.as_str());
+                }
+                bus.record(event);
             }
             deployments.push(record);
         }

@@ -229,6 +229,7 @@ impl RsaPublicKey {
     /// Returns `false` (never an error) for any malformed or mismatched
     /// signature, so callers cannot distinguish failure modes.
     pub fn verify(&self, message: &[u8], signature: &[u8]) -> bool {
+        sdmmon_obs::metrics().inc(sdmmon_obs::Counter::CryptoRsaVerify);
         if signature.len() != self.modulus_len() {
             return false;
         }
@@ -285,6 +286,7 @@ impl RsaPrivateKey {
     /// or malformed padding (including ciphertexts produced for a different
     /// key — this is exactly how SR4 manifests at the crypto layer).
     pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        sdmmon_obs::metrics().inc(sdmmon_obs::Counter::CryptoRsaUnwrap);
         let k = self.public.modulus_len();
         if ciphertext.len() != k {
             return Err(CryptoError::InvalidPadding);
@@ -327,6 +329,7 @@ impl RsaPrivateKey {
     /// # }
     /// ```
     pub fn sign(&self, message: &[u8]) -> Vec<u8> {
+        sdmmon_obs::metrics().inc(sdmmon_obs::Counter::CryptoRsaSign);
         let k = self.public.modulus_len();
         let em = expected_signature_em(message, k);
         let m = BigUint::from_be_bytes(&em);

@@ -576,6 +576,12 @@ impl<H: InstructionHash> ExecutionObserver for FusedRun<'_, H> {
 
     #[inline(always)]
     fn observe(&mut self, _pc: u32, word: u32) -> Observation {
+        // Observability hook for the fused hot loop: a no-op sink unless
+        // the `obs-hot` feature opts into per-retired-instruction
+        // recording (the default level settles instruction counts once per
+        // packet in the NP instead — see `sdmmon-obs`).
+        #[cfg(feature = "obs-hot")]
+        sdmmon_obs::metrics().inc(sdmmon_obs::Counter::MonitorHotInstructions);
         let node = self.node;
         if node != NO_NODE {
             // The overwhelmingly common case — straight-line code under a

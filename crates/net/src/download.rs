@@ -9,6 +9,7 @@
 //! a download timeline is a deterministic function of the seeds involved.
 
 use crate::resilience::{transport_checksum, FlakyServer, LossyChannel, TransportError};
+use sdmmon_obs::{metrics, Counter, Event, Hist};
 use sdmmon_rng::{Rng, RngCore};
 use std::fmt;
 use std::time::Duration;
@@ -138,6 +139,90 @@ impl DownloadReport {
             .filter(|a| !matches!(a.outcome, AttemptOutcome::Probed | AttemptOutcome::Chunk(_)))
             .count() as u32
     }
+
+    /// Renders the deterministic attempt timeline as structured events for
+    /// the observability bus: one `download.retry` per failed attempt, one
+    /// `download.integrity_restart` per integrity reject, and a closing
+    /// `download.complete` summary. `label` names the transfer (typically
+    /// `router/path`); each event's logical clock is `clock_base` plus the
+    /// attempt's index in the timeline, so merged streams stay ordered.
+    pub fn to_events(&self, label: &str, clock_base: u64) -> Vec<Event> {
+        let mut events = Vec::new();
+        for (i, a) in self.attempts.iter().enumerate() {
+            let clock = clock_base + i as u64;
+            match a.outcome {
+                AttemptOutcome::Probed | AttemptOutcome::Chunk(_) => {}
+                AttemptOutcome::IntegrityReject => {
+                    events.push(
+                        Event::new("download.integrity_restart", clock)
+                            .field("target", label)
+                            .field("discarded_bytes", a.offset as u64),
+                    );
+                }
+                AttemptOutcome::ShortRead(got) => {
+                    events.push(
+                        Event::new("download.retry", clock)
+                            .field("target", label)
+                            .field("reason", "short_read")
+                            .field("offset", a.offset as u64)
+                            .field("salvaged_bytes", got as u64)
+                            .field("backoff_nanos", a.backoff.as_nanos() as u64),
+                    );
+                }
+                AttemptOutcome::Stalled | AttemptOutcome::Refused => {
+                    let reason = if a.outcome == AttemptOutcome::Stalled {
+                        "stalled"
+                    } else {
+                        "refused"
+                    };
+                    events.push(
+                        Event::new("download.retry", clock)
+                            .field("target", label)
+                            .field("reason", reason)
+                            .field("offset", a.offset as u64)
+                            .field("backoff_nanos", a.backoff.as_nanos() as u64),
+                    );
+                }
+            }
+        }
+        events.push(
+            Event::new("download.complete", clock_base + self.attempts.len() as u64)
+                .field("target", label)
+                .field("bytes", self.bytes.len() as u64)
+                .field("attempts", self.attempts.len() as u64)
+                .field("retries", self.failures() as u64)
+                .field("integrity_restarts", self.integrity_restarts as u64)
+                .field("resumed_bytes", self.resumed_bytes as u64)
+                .field("backoff_nanos", self.backoff_time().as_nanos() as u64),
+        );
+        events
+    }
+}
+
+/// Folds one finished (or abandoned) attempt timeline into the global
+/// metrics registry. Called on every exit path of
+/// [`DownloadClient::download`], success or not, so counters reflect all
+/// transport effort spent.
+fn record_download_metrics(attempts: &[Attempt], integrity_restarts: u32, resumed_bytes: usize) {
+    let m = metrics();
+    m.add(Counter::NetDownloadAttempts, attempts.len() as u64);
+    let mut chunks = 0u64;
+    let mut retries = 0u64;
+    let mut backoff = Duration::ZERO;
+    for a in attempts {
+        match a.outcome {
+            AttemptOutcome::Probed => {}
+            AttemptOutcome::Chunk(_) => chunks += 1,
+            _ => retries += 1,
+        }
+        backoff += a.backoff;
+    }
+    m.add(Counter::NetDownloadChunks, chunks);
+    m.add(Counter::NetDownloadRetries, retries);
+    m.add(Counter::NetIntegrityRestarts, integrity_restarts as u64);
+    m.add(Counter::NetResumedBytes, resumed_bytes as u64);
+    m.add(Counter::NetBackoffNanos, backoff.as_nanos() as u64);
+    m.observe(Hist::DownloadAttempts, attempts.len() as u64);
 }
 
 /// Why a download gave up.
@@ -253,9 +338,10 @@ impl DownloadClient {
                         meta = Some(m);
                     }
                     Err(e) if e.is_permanent() => {
+                        record_download_metrics(&attempts, integrity_restarts, resumed_bytes);
                         return Err(DownloadError::NotFound {
                             path: path.to_owned(),
-                        })
+                        });
                     }
                     Err(e) => {
                         attempts.push(Attempt {
@@ -273,6 +359,7 @@ impl DownloadClient {
             // Phase 2: assembled — verify end to end.
             if data.len() >= m.len {
                 if transport_checksum(&data) == m.checksum {
+                    record_download_metrics(&attempts, integrity_restarts, resumed_bytes);
                     return Ok(DownloadReport {
                         bytes: data,
                         attempts,
@@ -321,9 +408,10 @@ impl DownloadClient {
                     }
                 }
                 Err(e) if e.is_permanent() => {
+                    record_download_metrics(&attempts, integrity_restarts, resumed_bytes);
                     return Err(DownloadError::NotFound {
                         path: path.to_owned(),
-                    })
+                    });
                 }
                 Err(e) => {
                     attempts.push(Attempt {
@@ -338,6 +426,7 @@ impl DownloadClient {
             }
         }
         // Budget exhausted; one final integrity verdict if fully assembled.
+        record_download_metrics(&attempts, integrity_restarts, resumed_bytes);
         if let Some(m) = meta {
             if data.len() >= m.len && transport_checksum(&data) == m.checksum {
                 return Ok(DownloadReport {
@@ -501,6 +590,31 @@ mod tests {
         let b = run(21);
         assert_eq!(a, b, "identical seeds, identical timeline");
         assert_ne!(run(21), run(22));
+    }
+
+    #[test]
+    fn report_events_cover_failures_and_close_with_a_summary() {
+        let mut flaky = FlakyServer::new(published(30_000), 21);
+        flaky.schedule_outage(OutageWindow { from: 3, len: 2 });
+        let link = LossyChannel::clean(Channel::paper_testbed())
+            .with_loss(0.25)
+            .with_corrupt(0.08)
+            .with_stall(0.1);
+        let client = DownloadClient::new(policy().with_max_attempts(500));
+        let mut rng = StdRng::seed_from_u64(21 ^ 0xabc);
+        let r = client.download(&mut flaky, "pkg", &link, &mut rng).unwrap();
+        let events = r.to_events("r0/pkg", 100);
+        // One event per non-delivering attempt plus the summary.
+        let expected = r.failures() as usize + 1;
+        assert_eq!(events.len(), expected);
+        let last = events.last().unwrap();
+        assert_eq!(last.kind, "download.complete");
+        assert_eq!(last.clock, 100 + r.attempts.len() as u64);
+        // Clocks ride the attempt index, so the stream is ordered.
+        assert!(events.windows(2).all(|w| w[0].clock <= w[1].clock));
+        for e in &events {
+            sdmmon_obs::validate_event_line(&e.render_line(0)).unwrap();
+        }
     }
 
     #[test]

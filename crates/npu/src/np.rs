@@ -9,8 +9,10 @@ use crate::core::Core;
 use crate::cpu::{ExecutionObserver, NullObserver};
 use crate::engine::{shard_spans, ShardStats, WorkerPool};
 use crate::runtime::{HaltReason, PacketOutcome};
-use crate::supervisor::{CoreHealth, SupervisorPolicy};
+use crate::supervisor::{CoreHealth, SupervisorAction, SupervisorPolicy};
+use sdmmon_obs::{metrics, Counter, Event, EventBus, Gauge, Hist};
 use std::fmt;
+use std::sync::Arc;
 
 /// Aggregate counters over all packets the NP has processed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -52,6 +54,24 @@ impl fmt::Display for NpStats {
 }
 
 impl NpStats {
+    /// Renders the counters as one line of JSON with a fixed key order —
+    /// the shared formatting `sdmmon stats` and `perf_report` print
+    /// (hand-rolled; the workspace has no serialization dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"processed\":{},\"forwarded\":{},\"dropped\":{},\"violations\":{},\
+             \"faults\":{},\"recoveries\":{},\"redeploys\":{},\"quarantined_cores\":{}}}",
+            self.processed,
+            self.forwarded,
+            self.dropped,
+            self.violations,
+            self.faults,
+            self.recoveries,
+            self.redeploys,
+            self.quarantined_cores
+        )
+    }
+
     /// Folds one packet outcome into the counters (recovery is implied by
     /// any unclean halt — see [`Slot::run`]).
     fn record(&mut self, outcome: &PacketOutcome) {
@@ -86,7 +106,11 @@ impl Slot {
     /// the NP-wide stats. This is the reference per-instruction-dispatch
     /// path (one virtual `observe` call per retired instruction); the batch
     /// engine goes through [`Slot::run_fused`] instead.
-    fn run(&mut self, packet: &[u8], policy: &SupervisorPolicy) -> PacketOutcome {
+    fn run(
+        &mut self,
+        packet: &[u8],
+        policy: &SupervisorPolicy,
+    ) -> (PacketOutcome, Option<SupervisorAction>) {
         let outcome = self.core.process_packet(packet, self.observer.as_mut());
         self.settle(outcome, policy)
     }
@@ -96,25 +120,53 @@ impl Slot {
     /// observers with a monomorphized fast path (the hardware monitor) run
     /// it. Outcomes are identical to [`Slot::run`] by the trait's contract;
     /// the determinism tests and testkit differentials pin that.
-    fn run_fused(&mut self, packet: &[u8], policy: &SupervisorPolicy) -> PacketOutcome {
+    fn run_fused(
+        &mut self,
+        packet: &[u8],
+        policy: &SupervisorPolicy,
+    ) -> (PacketOutcome, Option<SupervisorAction>) {
         let outcome = self.observer.run_packet(&mut self.core, packet);
         self.settle(outcome, policy)
     }
 
-    /// Shared post-packet bookkeeping for both dispatch paths.
-    fn settle(&mut self, outcome: PacketOutcome, policy: &SupervisorPolicy) -> PacketOutcome {
+    /// Shared post-packet bookkeeping for both dispatch paths. Returns the
+    /// supervisor's verdict on an unclean halt (`None` for clean packets)
+    /// so the NP can turn ladder escalations into events; the process-wide
+    /// metrics are recorded here — a few relaxed atomic adds per packet,
+    /// all commutative, so worker-thread interleaving cannot perturb a
+    /// snapshot.
+    fn settle(
+        &mut self,
+        outcome: PacketOutcome,
+        policy: &SupervisorPolicy,
+    ) -> (PacketOutcome, Option<SupervisorAction>) {
+        let m = metrics();
+        m.inc(Counter::NpPackets);
+        m.add(Counter::NpInstructionsRetired, outcome.steps);
         if outcome.halt.is_clean() {
             self.health.record_clean();
-        } else {
-            // Recovery: drop the packet and reset the core so the next
-            // packet starts from a pristine image. A supervisor-ordered
-            // redeploy re-flashes the same last-known-good image — here
-            // `reset()` already restores exactly that, so escalation only
-            // changes the book-keeping (and, at the top, quarantines).
-            self.core.reset();
-            self.health.record_unclean(policy);
+            return (outcome, None);
         }
-        outcome
+        if matches!(outcome.halt, HaltReason::MonitorViolation) {
+            m.inc(Counter::NpViolations);
+            m.observe(Hist::DetectionLatencySteps, outcome.steps);
+        } else {
+            m.inc(Counter::NpFaults);
+        }
+        m.inc(Counter::NpRecoveries);
+        // Recovery: drop the packet and reset the core so the next
+        // packet starts from a pristine image. A supervisor-ordered
+        // redeploy re-flashes the same last-known-good image — here
+        // `reset()` already restores exactly that, so escalation only
+        // changes the book-keeping (and, at the top, quarantines).
+        self.core.reset();
+        let action = self.health.record_unclean(policy);
+        match action {
+            SupervisorAction::Recover => {}
+            SupervisorAction::Redeploy => m.inc(Counter::NpRedeploys),
+            SupervisorAction::Quarantine => m.inc(Counter::NpQuarantines),
+        }
+        (outcome, Some(action))
     }
 }
 
@@ -162,6 +214,32 @@ pub struct NetworkProcessor {
     pool: Option<WorkerPool>,
     /// Cache-padded per-shard outcome counters, one per pool worker.
     shard_stats: Vec<ShardStats>,
+    /// Optional structured-event sink (see [`sdmmon_obs::EventBus`]).
+    /// `None` — the default — is the no-op sink: no event is constructed
+    /// anywhere on the packet path.
+    bus: Option<Arc<EventBus>>,
+}
+
+/// Builds the event for one supervisor ladder escalation. Plain recoveries
+/// (strikes) are metrics-only — they fire on every unclean halt and would
+/// swamp the stream; the ladder *transitions* are the events.
+fn supervisor_event(
+    action: SupervisorAction,
+    clock: u64,
+    core: usize,
+    health: &CoreHealth,
+) -> Option<Event> {
+    let kind = match action {
+        SupervisorAction::Recover => return None,
+        SupervisorAction::Redeploy => "supervisor.redeploy",
+        SupervisorAction::Quarantine => "supervisor.quarantine",
+    };
+    Some(
+        Event::new(kind, clock)
+            .field("core", core)
+            .field("redeploys", health.redeploys)
+            .field("unclean_halts", health.unclean_halts),
+    )
 }
 
 impl NetworkProcessor {
@@ -200,7 +278,16 @@ impl NetworkProcessor {
             shards: default_shards(cores),
             pool: None,
             shard_stats: Vec::new(),
+            bus: None,
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a structured-event sink. Events
+    /// carry the NP's packet ordinal as their logical clock; on the batch
+    /// paths they are buffered per shard and merged in packet order, so
+    /// the stream is byte-identical per workload for *any* shard count.
+    pub fn set_event_bus(&mut self, bus: Option<Arc<EventBus>>) {
+        self.bus = bus;
     }
 
     /// Number of cores.
@@ -356,8 +443,14 @@ impl NetworkProcessor {
     /// and [`NetworkProcessor::process_batch`].
     pub fn process_on(&mut self, index: usize, packet: &[u8]) -> PacketOutcome {
         let policy = self.policy;
-        let outcome = self.slots[index].run(packet, &policy);
+        let clock = self.stats.processed;
+        let (outcome, action) = self.slots[index].run(packet, &policy);
         self.stats.record(&outcome);
+        if let (Some(action), Some(bus)) = (action, self.bus.as_ref()) {
+            if let Some(event) = supervisor_event(action, clock, index, &self.slots[index].health) {
+                bus.record(event);
+            }
+        }
         outcome
     }
 
@@ -437,6 +530,7 @@ impl NetworkProcessor {
     pub fn process_batch(&mut self, packets: &[Vec<u8>]) -> Vec<(usize, PacketOutcome)> {
         let queues = self.partition(packets);
         let shards = self.shards.clamp(1, self.slots.len());
+        self.record_batch_telemetry(packets.len(), &queues, shards);
         if shards == 1 || packets.is_empty() {
             return self.run_queues_inline(packets, &queues, DispatchPath::Fused);
         }
@@ -448,6 +542,8 @@ impl NetworkProcessor {
         let pool = self.pool.as_ref().expect("pool just ensured");
         let spans = shard_spans(self.slots.len(), shards);
         let policy = self.policy;
+        let base_clock = self.stats.processed;
+        let record_events = self.bus.is_some();
         let shard_stats = &self.shard_stats;
 
         // One result buffer per shard; workers never share a buffer, and
@@ -460,6 +556,9 @@ impl NetworkProcessor {
                 Vec::with_capacity(load)
             })
             .collect();
+        // Per-shard event buffers, absorbed in packet order after the
+        // barrier — the event-stream twin of the ShardStats rollup.
+        let mut shard_events: Vec<Vec<Event>> = (0..shards).map(|_| Vec::new()).collect();
         {
             // Split the slot array into per-shard disjoint chunks.
             let mut rest: &mut [Slot] = &mut self.slots;
@@ -475,17 +574,29 @@ impl NetworkProcessor {
             let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
                 .into_iter()
                 .zip(&spans)
-                .zip(results.iter_mut())
+                .zip(results.iter_mut().zip(shard_events.iter_mut()))
                 .enumerate()
-                .map(|(shard_index, ((chunk, span), out))| {
+                .map(|(shard_index, ((chunk, span), (out, events)))| {
                     let span = *span;
                     let stats = &shard_stats[shard_index];
                     Box::new(move || {
                         for (local, slot) in chunk.iter_mut().enumerate() {
                             let core_index = span.start + local;
                             for &i in &queues[core_index] {
-                                let outcome = slot.run_fused(&packets[i], &policy);
+                                let (outcome, action) = slot.run_fused(&packets[i], &policy);
                                 stats.record(&outcome);
+                                if record_events {
+                                    if let Some(action) = action {
+                                        // Clock = the packet's batch-wide
+                                        // ordinal, independent of sharding.
+                                        events.extend(supervisor_event(
+                                            action,
+                                            base_clock + i as u64,
+                                            core_index,
+                                            &slot.health,
+                                        ));
+                                    }
+                                }
                                 out.push((i, core_index, outcome));
                             }
                         }
@@ -493,6 +604,14 @@ impl NetworkProcessor {
                 })
                 .collect();
             pool.run_batch(jobs);
+        }
+        if let Some(bus) = &self.bus {
+            // Merge by logical clock (= input index, globally unique), so
+            // the stream is identical for every shard count — and to the
+            // inline/serial paths.
+            let mut events: Vec<Event> = shard_events.into_iter().flatten().collect();
+            events.sort_by_key(|e| e.clock);
+            bus.extend(events);
         }
 
         // Merge outcomes back into input order (indices are globally
@@ -535,16 +654,35 @@ impl NetworkProcessor {
         path: DispatchPath,
     ) -> Vec<(usize, PacketOutcome)> {
         let policy = self.policy;
+        let base_clock = self.stats.processed;
+        let record_events = self.bus.is_some();
+        let mut events: Vec<Event> = Vec::new();
         let mut merged: Vec<Option<(usize, PacketOutcome)>> = vec![None; packets.len()];
         for (core_index, queue) in queues.iter().enumerate() {
             let slot = &mut self.slots[core_index];
             for &i in queue {
-                let outcome = match path {
+                let (outcome, action) = match path {
                     DispatchPath::Fused => slot.run_fused(&packets[i], &policy),
                     DispatchPath::Reference => slot.run(&packets[i], &policy),
                 };
+                if record_events {
+                    if let Some(action) = action {
+                        events.extend(supervisor_event(
+                            action,
+                            base_clock + i as u64,
+                            core_index,
+                            &slot.health,
+                        ));
+                    }
+                }
                 merged[i] = Some((core_index, outcome));
             }
+        }
+        if let Some(bus) = &self.bus {
+            // Same packet-ordinal merge as the sharded path, so serial,
+            // inline, and sharded runs emit one identical stream.
+            events.sort_by_key(|e| e.clock);
+            bus.extend(events);
         }
         let merged: Vec<(usize, PacketOutcome)> = merged
             .into_iter()
@@ -554,6 +692,38 @@ impl NetworkProcessor {
             self.stats.record(outcome);
         }
         merged
+    }
+
+    /// Records the per-batch gauges (shard queue depths, imbalance) and —
+    /// when a bus is attached — one `np.batch` event. Shared by the
+    /// sharded and inline batch paths.
+    fn record_batch_telemetry(&self, packets: usize, queues: &[Vec<usize>], shards: usize) {
+        let m = metrics();
+        m.inc(Counter::NpBatches);
+        m.set_gauge(Gauge::BatchShards, shards as u64);
+        m.set_gauge(Gauge::BatchPackets, packets as u64);
+        let spans = shard_spans(self.slots.len(), shards);
+        let mut min_load = u64::MAX;
+        let mut max_load = 0u64;
+        for (shard, span) in spans.iter().enumerate() {
+            let load: u64 = queues[span.start..span.end]
+                .iter()
+                .map(|q| q.len() as u64)
+                .sum();
+            m.set_shard_depth(shard, load);
+            min_load = min_load.min(load);
+            max_load = max_load.max(load);
+        }
+        let imbalance = max_load.saturating_sub(min_load);
+        m.set_gauge(Gauge::ShardImbalance, imbalance);
+        if let Some(bus) = &self.bus {
+            bus.record(
+                Event::new("np.batch", self.stats.processed)
+                    .field("shards", shards)
+                    .field("packets", packets)
+                    .field("imbalance", imbalance),
+            );
+        }
     }
 
     /// Folds the drained per-shard counters into the NP-wide stats, in

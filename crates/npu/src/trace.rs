@@ -32,6 +32,19 @@ impl fmt::Display for TraceEntry {
 /// Records retired instructions up to a configurable limit (keeping the
 /// *last* `limit` entries, which is what post-mortem debugging wants).
 ///
+/// # Ring-buffer semantics
+///
+/// The buffer holds at most `limit` entries. Until the run retires `limit`
+/// instructions, every entry is retained; from the `limit + 1`-th retired
+/// instruction on, each new entry evicts the oldest one, so at any moment
+/// [`Tracer::entries`] yields exactly the last `min(retired, limit)`
+/// instructions in retirement order, and [`Tracer::total_observed`] keeps
+/// the full count including evicted entries. A run that retires *exactly*
+/// `limit` instructions therefore keeps all of them with nothing evicted
+/// (the wrap boundary). `limit == 0` is rejected at construction — a
+/// zero-length trace would record nothing. The wrap boundary is pinned by
+/// the `wrap_boundary_*` unit tests below.
+///
 /// # Examples
 ///
 /// ```
@@ -211,5 +224,47 @@ mod tests {
     #[should_panic(expected = "zero-length")]
     fn zero_limit_rejected() {
         Tracer::keep_last(0);
+    }
+
+    /// Runs a program that retires exactly four instructions (three nops
+    /// and the break) under a tracer of the given limit, returning the
+    /// retained pcs and the tracer.
+    fn trace_four(limit: usize) -> (Vec<u32>, Tracer) {
+        let program = Assembler::new().assemble("nop\nnop\nnop\nbreak 0").unwrap();
+        let mut core = Core::new();
+        core.install(&program.to_bytes(), program.base);
+        let mut tracer = Tracer::keep_last(limit);
+        core.process_packet(&[], &mut tracer);
+        let pcs = tracer.entries().map(|e| e.pc).collect();
+        (pcs, tracer)
+    }
+
+    #[test]
+    fn wrap_boundary_limit_one_keeps_only_the_last() {
+        let (pcs, tracer) = trace_four(1);
+        assert_eq!(pcs, vec![12], "only the break is retained");
+        assert_eq!(tracer.total_observed(), 4);
+    }
+
+    #[test]
+    fn wrap_boundary_exact_limit_keeps_everything() {
+        // Exactly `limit` retirements: full retention, nothing evicted.
+        let (pcs, tracer) = trace_four(4);
+        assert_eq!(pcs, vec![0, 4, 8, 12]);
+        assert_eq!(tracer.total_observed(), 4);
+    }
+
+    #[test]
+    fn wrap_boundary_one_past_limit_evicts_the_oldest() {
+        // One retirement past the limit: the first entry is gone.
+        let (pcs, tracer) = trace_four(3);
+        assert_eq!(pcs, vec![4, 8, 12]);
+        assert_eq!(tracer.total_observed(), 4);
+    }
+
+    #[test]
+    fn wrap_boundary_oversized_limit_never_wraps() {
+        let (pcs, _) = trace_four(5);
+        assert_eq!(pcs, vec![0, 4, 8, 12], "limit+1 capacity holds all four");
     }
 }

@@ -1,0 +1,328 @@
+//! The structured event stream: typed events with a logical clock,
+//! collected on an [`EventBus`] and rendered as versioned JSONL.
+//!
+//! Determinism contract: an event's `clock` is always a *logical* quantity
+//! the producer derives from its own deterministic state — a packet
+//! ordinal, a transport-attempt count, a retired-instruction count — never
+//! wall time. Producers running on worker threads push into a thread-local
+//! [`EventBuffer`]; the owner absorbs the buffers in a fixed order (shard
+//! index, router index) after the barrier, exactly like the sharded
+//! engine's stats rollup, so the rendered stream is byte-identical per
+//! seed regardless of scheduling.
+
+use crate::json::write_json_string;
+use std::sync::Mutex;
+
+/// Schema identifier stamped on every rendered event line (bump on layout
+/// changes).
+pub const EVENTS_SCHEMA: &str = "sdmmon-events-v1";
+
+/// One typed event field value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Unsigned counter / ordinal.
+    U64(u64),
+    /// Signed quantity.
+    I64(i64),
+    /// Short label (router name, outcome kind, error text).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// One structured event: a dotted `kind`, a logical clock, and flat typed
+/// fields in insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Dotted event type, e.g. `supervisor.quarantine` (see
+    /// `docs/OBSERVABILITY.md` for the catalog).
+    pub kind: &'static str,
+    /// Logical timestamp — a deterministic count, never wall time.
+    pub clock: u64,
+    /// Flat fields, rendered in insertion order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Creates an event with no fields.
+    pub fn new(kind: &'static str, clock: u64) -> Event {
+        Event {
+            kind,
+            clock,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style).
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Event {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Renders the single JSONL line for this event with stream sequence
+    /// number `seq`. The first three keys (`schema`, `seq`, `clock`) are
+    /// fixed; `kind` and the typed fields follow in insertion order.
+    pub fn render_line(&self, seq: u64) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"schema\":");
+        write_json_string(&mut out, EVENTS_SCHEMA);
+        out.push_str(&format!(
+            ",\"seq\":{seq},\"clock\":{},\"kind\":",
+            self.clock
+        ));
+        write_json_string(&mut out, self.kind);
+        for (key, value) in &self.fields {
+            out.push(',');
+            write_json_string(&mut out, key);
+            out.push(':');
+            match value {
+                Value::U64(v) => out.push_str(&v.to_string()),
+                Value::I64(v) => out.push_str(&v.to_string()),
+                Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                Value::Str(v) => write_json_string(&mut out, v),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A plain, single-threaded event accumulator for producers that run off
+/// the owning thread (shard workers). The owner absorbs buffers into the
+/// [`EventBus`] in a deterministic order after the parallel section.
+#[derive(Debug, Default)]
+pub struct EventBuffer {
+    events: Vec<Event>,
+}
+
+impl EventBuffer {
+    /// An empty buffer.
+    pub fn new() -> EventBuffer {
+        EventBuffer::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consumes the buffer, yielding the events in push order.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+/// The shared event sink: an append-only, mutex-guarded event list.
+///
+/// The bus itself does no ordering magic — determinism is the *producers'*
+/// contract (record on deterministic paths, or buffer per worker and
+/// absorb in a fixed order). Sequence numbers are assigned at render time
+/// from the stored order, so a bus filled deterministically renders
+/// byte-identically.
+#[derive(Debug, Default)]
+pub struct EventBus {
+    events: Mutex<Vec<Event>>,
+}
+
+impl EventBus {
+    /// An empty bus.
+    pub fn new() -> EventBus {
+        EventBus::default()
+    }
+
+    /// Appends one event.
+    pub fn record(&self, event: Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event);
+    }
+
+    /// Appends a batch of events in the iterator's order.
+    pub fn extend(&self, events: impl IntoIterator<Item = Event>) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend(events);
+    }
+
+    /// Absorbs a worker-side buffer (push order preserved). Call in a
+    /// fixed order across buffers — shard index, router index — to keep
+    /// the stream deterministic.
+    pub fn absorb(&self, buffer: EventBuffer) {
+        self.extend(buffer.into_events());
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns all events in recorded order.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Renders the whole stream as `sdmmon-events-v1` JSONL (one event per
+    /// line, trailing newline, `seq` numbered from 0 in recorded order)
+    /// without consuming it.
+    pub fn render_jsonl(&self) -> String {
+        let events = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::with_capacity(events.len() * 96);
+        for (seq, event) in events.iter().enumerate() {
+            out.push_str(&event.render_line(seq as u64));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Validates one rendered event line: it must be a minimally well-formed
+/// flat JSON object that starts with the `schema`/`seq`/`clock`/`kind`
+/// header. Returns a description of the first problem. (CI additionally
+/// runs a full JSON parse over the emitted files; this is the in-process
+/// check the tests use.)
+pub fn validate_event_line(line: &str) -> Result<(), String> {
+    let expected = format!("{{\"schema\":\"{EVENTS_SCHEMA}\",\"seq\":");
+    if !line.starts_with(&expected) {
+        return Err(format!("line does not carry the schema header: {line}"));
+    }
+    if !line.ends_with('}') {
+        return Err(format!("line is not a closed object: {line}"));
+    }
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut depth = 0i32;
+    for c in line.chars() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '{' if !in_string => depth += 1,
+            '}' if !in_string => depth -= 1,
+            _ => {}
+        }
+    }
+    if in_string || depth != 0 {
+        return Err(format!("unbalanced quotes or braces: {line}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_renders_header_then_fields_in_order() {
+        let event = Event::new("supervisor.redeploy", 17)
+            .field("core", 3u64)
+            .field("router", "router-1")
+            .field("final", true);
+        assert_eq!(
+            event.render_line(5),
+            "{\"schema\":\"sdmmon-events-v1\",\"seq\":5,\"clock\":17,\
+             \"kind\":\"supervisor.redeploy\",\"core\":3,\"router\":\"router-1\",\"final\":true}"
+        );
+    }
+
+    #[test]
+    fn bus_assigns_sequence_in_recorded_order() {
+        let bus = EventBus::new();
+        bus.record(Event::new("a", 1));
+        let mut buffer = EventBuffer::new();
+        buffer.push(Event::new("b", 2));
+        buffer.push(Event::new("c", 3));
+        bus.absorb(buffer);
+        let jsonl = bus.render_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"seq\":0") && lines[0].contains("\"kind\":\"a\""));
+        assert!(lines[1].contains("\"seq\":1") && lines[1].contains("\"kind\":\"b\""));
+        assert!(lines[2].contains("\"seq\":2") && lines[2].contains("\"kind\":\"c\""));
+        assert_eq!(bus.len(), 3, "render does not consume");
+        assert_eq!(bus.take().len(), 3);
+        assert!(bus.is_empty());
+    }
+
+    #[test]
+    fn rendering_twice_is_byte_identical() {
+        let bus = EventBus::new();
+        for i in 0..10 {
+            bus.record(Event::new("tick", i).field("i", i));
+        }
+        assert_eq!(bus.render_jsonl(), bus.render_jsonl());
+    }
+
+    #[test]
+    fn every_rendered_line_validates() {
+        let bus = EventBus::new();
+        bus.record(Event::new("weird.chars", 0).field("text", "a\"b\\c\nnewline"));
+        bus.record(Event::new("plain", 1).field("n", 42u64));
+        for line in bus.render_jsonl().lines() {
+            validate_event_line(line).expect("line validates");
+        }
+        assert!(validate_event_line("{\"nope\":1}").is_err());
+        assert!(validate_event_line("{\"schema\":\"sdmmon-events-v1\",\"seq\":0,\"x\":").is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! # sdmmon-obs — deterministic observability layer
+//!
+//! The rest of the workspace is built around one contract: *everything
+//! replays byte-identically from a seed*. A telemetry layer that stamps
+//! wall-clock times or depends on thread interleaving would break that
+//! contract the moment it was wired in, so this crate provides two
+//! primitives designed around determinism instead:
+//!
+//! * **[`EventBus`]** — a structured event stream. Every [`Event`] carries
+//!   a caller-supplied *logical* clock (packet ordinals, transport-attempt
+//!   counts, retired-instruction counts — never wall time) and renders to
+//!   one line of the versioned [`EVENTS_SCHEMA`] JSONL format. Producers
+//!   that run on worker threads collect into a local [`EventBuffer`] and
+//!   the owner absorbs buffers in a fixed order (shard index, router
+//!   index), so the serialized stream is a pure function of the inputs.
+//! * **[`MetricsRegistry`]** — counters, gauges, and fixed-bucket
+//!   histograms over relaxed atomics. Recording is a handful of
+//!   uncontended-in-practice atomic adds, cheap enough for per-packet hot
+//!   paths; all operations are commutative, so the *snapshot* is
+//!   deterministic even when the recording interleaving is not.
+//!
+//! This crate sits below every other `sdmmon-*` crate (it depends on
+//! nothing), which is why it carries its own minimal JSON rendering
+//! instead of reusing the testkit's report builder.
+//!
+//! Per-retired-instruction recording in the fused monitor loop is gated
+//! behind the `obs-hot` cargo feature of `sdmmon-monitor` and compiles to
+//! a no-op sink by default; everything in this crate records at packet or
+//! coarser granularity. The default observability level is therefore
+//! *events off* (no bus attached), *metrics on*.
+
+mod event;
+mod json;
+mod metrics;
+
+pub use event::{validate_event_line, Event, EventBuffer, EventBus, Value, EVENTS_SCHEMA};
+pub use json::write_json_string;
+pub use metrics::{
+    metrics, Counter, Gauge, Hist, MetricsRegistry, HIST_BUCKETS, MAX_SHARD_SLOTS, METRICS_SCHEMA,
+};

@@ -1,0 +1,398 @@
+//! The metrics registry: fixed-identity counters, gauges, and
+//! power-of-two-bucket histograms over relaxed atomics.
+//!
+//! Metric identities are enums, not string keys: recording indexes a fixed
+//! atomic array (no hashing, no allocation, no lock), and snapshots walk
+//! the enums in declaration order, so the rendered JSON key order is a
+//! compile-time constant. All operations are commutative adds/stores, so a
+//! snapshot taken after a deterministic workload is deterministic even
+//! though the recording interleaving across shard workers is not.
+//!
+//! The process-wide registry ([`metrics`]) is what the instrumented crates
+//! record into; tests that need isolation construct their own
+//! [`MetricsRegistry`].
+
+use crate::json::write_json_string;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Schema identifier stamped on every metrics snapshot.
+pub const METRICS_SCHEMA: &str = "sdmmon-metrics-v1";
+
+/// Histogram bucket count: bucket `i` holds values `v` with
+/// `bit_width(v) == i` (bucket 0 is exactly zero, bucket `i ≥ 1` covers
+/// `[2^(i-1), 2^i)`), and the last bucket absorbs everything wider.
+pub const HIST_BUCKETS: usize = 22;
+
+/// Per-shard gauge slots tracked by the registry (shards beyond this are
+/// still processed, just not individually gauged).
+pub const MAX_SHARD_SLOTS: usize = 16;
+
+macro_rules! metric_enum {
+    ($(#[$doc:meta])* $name:ident { $($(#[$vdoc:meta])* $variant:ident => $label:literal,)+ }) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub enum $name {
+            $($(#[$vdoc])* $variant,)+
+        }
+
+        impl $name {
+            /// Every variant, in snapshot order.
+            pub const ALL: &'static [$name] = &[$($name::$variant,)+];
+
+            /// Number of variants.
+            pub const COUNT: usize = $name::ALL.len();
+
+            /// The stable snake_case snapshot key.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $($name::$variant => $label,)+
+                }
+            }
+        }
+    };
+}
+
+metric_enum! {
+    /// Monotonic counters. Per-packet costs are one or two relaxed adds;
+    /// everything else fires on control-plane or failure paths.
+    Counter {
+        /// Packets settled by a network processor (all dispatch paths).
+        NpPackets => "np_packets",
+        /// Retired instructions summed per packet at settle (no
+        /// per-instruction atomics; see the `obs-hot` monitor feature).
+        NpInstructionsRetired => "np_instructions_retired",
+        /// Monitor-stopped runs (detections).
+        NpViolations => "np_violations",
+        /// Trap/step-limit-stopped runs.
+        NpFaults => "np_faults",
+        /// Recovery resets (every unclean halt).
+        NpRecoveries => "np_recoveries",
+        /// Supervisor redeploy escalations.
+        NpRedeploys => "np_redeploys",
+        /// Supervisor quarantine escalations.
+        NpQuarantines => "np_quarantines",
+        /// Batches dispatched through the sharded engine.
+        NpBatches => "np_batches",
+        /// Retired instructions counted one-by-one in the fused monitor
+        /// loop — only ever nonzero with the `obs-hot` feature of
+        /// `sdmmon-monitor`; the default build is a no-op sink.
+        MonitorHotInstructions => "monitor_hot_instructions",
+        /// RSA signatures produced.
+        CryptoRsaSign => "crypto_rsa_sign",
+        /// RSA signature verifications.
+        CryptoRsaVerify => "crypto_rsa_verify",
+        /// RSA private-key unwraps (package key decryption).
+        CryptoRsaUnwrap => "crypto_rsa_unwrap",
+        /// Transport attempts issued by the download client.
+        NetDownloadAttempts => "net_download_attempts",
+        /// Complete chunks delivered.
+        NetDownloadChunks => "net_download_chunks",
+        /// Failed transport attempts (short reads, stalls, refusals,
+        /// integrity rejects) — the retry count.
+        NetDownloadRetries => "net_download_retries",
+        /// Whole-file restarts forced by the integrity re-check.
+        NetIntegrityRestarts => "net_integrity_restarts",
+        /// Bytes salvaged from short reads.
+        NetResumedBytes => "net_resumed_bytes",
+        /// Modelled backoff, in nanoseconds (deterministic — modelled time,
+        /// not wall time).
+        NetBackoffNanos => "net_backoff_nanos",
+        /// Download+verify+install cycles started by `deploy_resilient`.
+        FleetDeployCycles => "fleet_deploy_cycles",
+        /// Routers that reached `Installed`.
+        FleetRoutersInstalled => "fleet_routers_installed",
+        /// Routers that ended `Quarantined`.
+        FleetRoutersQuarantined => "fleet_routers_quarantined",
+    }
+}
+
+metric_enum! {
+    /// Last-write-wins gauges (scalar; per-shard queue depth has its own
+    /// indexed slots).
+    Gauge {
+        /// Shard count of the most recent batch dispatch.
+        BatchShards => "batch_shards",
+        /// Packets in the most recent batch.
+        BatchPackets => "batch_packets",
+        /// Max−min per-shard queue load of the most recent batch — the
+        /// imbalance the flow-affinity partition produced.
+        ShardImbalance => "shard_imbalance",
+    }
+}
+
+metric_enum! {
+    /// Fixed-bucket histograms (see [`HIST_BUCKETS`] for the layout).
+    Hist {
+        /// Retired instructions until the monitor fired, per detection.
+        DetectionLatencySteps => "detection_latency_steps",
+        /// Transport attempts per completed download.
+        DownloadAttempts => "download_attempts",
+    }
+}
+
+/// One histogram's cells.
+#[derive(Debug)]
+struct HistCells {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+impl HistCells {
+    const fn new() -> HistCells {
+        HistCells {
+            buckets: [ZERO; HIST_BUCKETS],
+            count: ZERO,
+            sum: ZERO,
+        }
+    }
+}
+
+/// The registry: every metric the workspace records, as fixed atomic
+/// slots. See the module docs for the determinism argument.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    counters: [AtomicU64; Counter::COUNT],
+    gauges: [AtomicU64; Gauge::COUNT],
+    shard_depth: [AtomicU64; MAX_SHARD_SLOTS],
+    shard_slots_used: AtomicU64,
+    hists: [HistCells; Hist::COUNT],
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A zeroed registry.
+    pub const fn new() -> MetricsRegistry {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const HIST: HistCells = HistCells::new();
+        MetricsRegistry {
+            counters: [ZERO; Counter::COUNT],
+            gauges: [ZERO; Gauge::COUNT],
+            shard_depth: [ZERO; MAX_SHARD_SLOTS],
+            shard_slots_used: ZERO,
+            hists: [HIST; Hist::COUNT],
+        }
+    }
+
+    /// Adds 1 to a counter.
+    #[inline]
+    pub fn inc(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Adds `delta` to a counter (relaxed; counters are commutative).
+    #[inline]
+    pub fn add(&self, counter: Counter, delta: u64) {
+        self.counters[counter as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Sets a scalar gauge (last write wins).
+    #[inline]
+    pub fn set_gauge(&self, gauge: Gauge, value: u64) {
+        self.gauges[gauge as usize].store(value, Ordering::Relaxed);
+    }
+
+    /// Reads a scalar gauge.
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        self.gauges[gauge as usize].load(Ordering::Relaxed)
+    }
+
+    /// Sets the queue-depth gauge of one shard. Shards at or beyond
+    /// [`MAX_SHARD_SLOTS`] are ignored (the engine itself is not limited).
+    pub fn set_shard_depth(&self, shard: usize, depth: u64) {
+        if let Some(slot) = self.shard_depth.get(shard) {
+            slot.store(depth, Ordering::Relaxed);
+            self.shard_slots_used
+                .fetch_max(shard as u64 + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one histogram observation: one bucket add plus count/sum.
+    #[inline]
+    pub fn observe(&self, hist: Hist, value: u64) {
+        let cells = &self.hists[hist as usize];
+        let index = ((u64::BITS - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1);
+        cells.buckets[index].fetch_add(1, Ordering::Relaxed);
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Reads a histogram's observation count.
+    pub fn hist_count(&self, hist: Hist) -> u64 {
+        self.hists[hist as usize].count.load(Ordering::Relaxed)
+    }
+
+    /// Reads a histogram's observation sum.
+    pub fn hist_sum(&self, hist: Hist) -> u64 {
+        self.hists[hist as usize].sum.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every slot. The CLI calls this at command start so a
+    /// `--metrics` snapshot covers exactly one run.
+    pub fn reset(&self) {
+        for slot in self
+            .counters
+            .iter()
+            .chain(&self.gauges)
+            .chain(&self.shard_depth)
+            .chain([&self.shard_slots_used])
+        {
+            slot.store(0, Ordering::Relaxed);
+        }
+        for hist in &self.hists {
+            for bucket in &hist.buckets {
+                bucket.store(0, Ordering::Relaxed);
+            }
+            hist.count.store(0, Ordering::Relaxed);
+            hist.sum.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Renders the deterministic snapshot: `sdmmon-metrics-v1`, two-space
+    /// pretty JSON, keys in enum declaration order. Shard-depth slots are
+    /// emitted up to the highest shard ever gauged.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n  \"schema\": ");
+        write_json_string(&mut out, METRICS_SCHEMA);
+        out.push_str(",\n  \"counters\": {");
+        for (i, &counter) in Counter::ALL.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            write_json_string(&mut out, counter.name());
+            out.push_str(&format!(": {}", self.counter(counter)));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, &gauge) in Gauge::ALL.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            write_json_string(&mut out, gauge.name());
+            out.push_str(&format!(": {}", self.gauge(gauge)));
+        }
+        let used = (self.shard_slots_used.load(Ordering::Relaxed) as usize).min(MAX_SHARD_SLOTS);
+        out.push_str(",\n    \"shard_queue_depth\": [");
+        for slot in 0..used {
+            if slot > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&self.shard_depth[slot].load(Ordering::Relaxed).to_string());
+        }
+        out.push_str("]\n  },\n  \"histograms\": {");
+        for (i, &hist) in Hist::ALL.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            write_json_string(&mut out, hist.name());
+            let cells = &self.hists[hist as usize];
+            out.push_str(&format!(
+                ": {{ \"count\": {}, \"sum\": {}, \"buckets\": [",
+                cells.count.load(Ordering::Relaxed),
+                cells.sum.load(Ordering::Relaxed)
+            ));
+            for (b, bucket) in cells.buckets.iter().enumerate() {
+                if b > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&bucket.load(Ordering::Relaxed).to_string());
+            }
+            out.push_str("] }");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// The process-wide registry every instrumented crate records into.
+pub fn metrics() -> &'static MetricsRegistry {
+    static REGISTRY: MetricsRegistry = MetricsRegistry::new();
+    &REGISTRY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = MetricsRegistry::new();
+        m.inc(Counter::NpPackets);
+        m.add(Counter::NpPackets, 4);
+        m.add(Counter::NetBackoffNanos, 1_000);
+        assert_eq!(m.counter(Counter::NpPackets), 5);
+        assert_eq!(m.counter(Counter::NetBackoffNanos), 1_000);
+        m.reset();
+        assert_eq!(m.counter(Counter::NpPackets), 0);
+        assert_eq!(m.counter(Counter::NetBackoffNanos), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_width() {
+        let m = MetricsRegistry::new();
+        let h = Hist::DetectionLatencySteps;
+        m.observe(h, 0); // bucket 0
+        m.observe(h, 1); // bucket 1
+        m.observe(h, 2); // bucket 2
+        m.observe(h, 3); // bucket 2
+        m.observe(h, 1024); // bucket 11
+        m.observe(h, u64::MAX); // clamped to the last bucket
+        assert_eq!(m.hist_count(h), 6);
+        // fetch_add wraps, so the sum is modular.
+        assert_eq!(m.hist_sum(h), 1030u64.wrapping_add(u64::MAX));
+        let json = m.snapshot_json();
+        let line = json
+            .lines()
+            .find(|l| l.contains("detection_latency_steps"))
+            .unwrap();
+        assert!(
+            line.contains("\"buckets\": [1, 1, 2, 0, 0, 0, 0, 0, 0, 0, 0, 1,"),
+            "unexpected bucket layout: {line}"
+        );
+        assert!(line.contains("0, 1] }"), "overflow bucket: {line}");
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_ordered() {
+        let m = MetricsRegistry::new();
+        m.inc(Counter::CryptoRsaSign);
+        m.set_gauge(Gauge::BatchShards, 4);
+        m.set_shard_depth(0, 7);
+        m.set_shard_depth(3, 2);
+        let a = m.snapshot_json();
+        let b = m.snapshot_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"sdmmon-metrics-v1\""));
+        // Slots up to the highest gauged shard are emitted, zeros included.
+        assert!(a.contains("\"shard_queue_depth\": [7, 0, 0, 2]"), "{a}");
+        // Enum order is snapshot order.
+        let np = a.find("\"np_packets\"").unwrap();
+        let sign = a.find("\"crypto_rsa_sign\"").unwrap();
+        let fleet = a.find("\"fleet_deploy_cycles\"").unwrap();
+        assert!(np < sign && sign < fleet);
+    }
+
+    #[test]
+    fn out_of_range_shard_slots_are_ignored() {
+        let m = MetricsRegistry::new();
+        m.set_shard_depth(MAX_SHARD_SLOTS + 5, 9);
+        assert!(m.snapshot_json().contains("\"shard_queue_depth\": []"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let before = metrics().counter(Counter::MonitorHotInstructions);
+        metrics().inc(Counter::MonitorHotInstructions);
+        assert!(metrics().counter(Counter::MonitorHotInstructions) > before);
+    }
+}

@@ -52,4 +52,4 @@ pub mod report;
 pub use campaign::{CampaignConfig, CampaignOutcome, EscapeRow, Tally};
 pub use differential::DifferentialReport;
 pub use fault::{WireFault, WireFaultInjector};
-pub use report::{run_campaign, CampaignReport};
+pub use report::{run_campaign, run_campaign_observed, CampaignReport};

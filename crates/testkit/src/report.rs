@@ -8,6 +8,7 @@ use crate::campaign::{self, CampaignConfig, CampaignOutcome, EscapeRow};
 use crate::differential::{run_differentials, DiffBudget, DifferentialReport};
 use crate::json::Json;
 use sdmmon_core::SdmmonError;
+use sdmmon_obs::{Event, EventBus};
 use sdmmon_rng::split_seed;
 use std::fmt::Write as _;
 
@@ -65,6 +66,26 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, SdmmonError>
         escape_model,
         differential,
     })
+}
+
+/// [`run_campaign`] with an optional observability bus: when `bus` is
+/// attached, the report's lifecycle is narrated as structured events (see
+/// [`CampaignReport::to_events`]) after the run completes. The events are a
+/// pure function of the (already byte-stable) report, so the stream replays
+/// byte-identically per `(seed, budget, routers, escape_trials)`.
+///
+/// # Errors
+///
+/// Exactly those of [`run_campaign`].
+pub fn run_campaign_observed(
+    cfg: &CampaignConfig,
+    bus: Option<&EventBus>,
+) -> Result<CampaignReport, SdmmonError> {
+    let report = run_campaign(cfg)?;
+    if let Some(bus) = bus {
+        bus.extend(report.to_events());
+    }
+    Ok(report)
 }
 
 impl CampaignReport {
@@ -189,6 +210,71 @@ impl CampaignReport {
         text
     }
 
+    /// Renders the report as structured events for the observability bus:
+    /// `campaign.start`, one `campaign.done` per adversarial campaign, one
+    /// `escape_model.row` per `k`, one `differential.done` per check, and a
+    /// closing `campaign.report`. The logical clock is the cumulative trial
+    /// count — attempted attacks, then escape-model trials, then
+    /// differential trials — so the stream orders by work performed and
+    /// never touches wall time.
+    pub fn to_events(&self) -> Vec<Event> {
+        let mut events = Vec::with_capacity(self.campaigns.len() + self.escape_model.len() + 4);
+        events.push(
+            Event::new("campaign.start", 0)
+                .field("seed", self.seed)
+                .field("budget", self.budget)
+                .field("campaigns", self.campaigns.len()),
+        );
+        let mut clock = 0u64;
+        for c in &self.campaigns {
+            clock += c.tally.attempted;
+            events.push(
+                Event::new("campaign.done", clock)
+                    .field("name", c.name)
+                    .field("attempted", c.tally.attempted)
+                    .field("detected", c.tally.detected)
+                    .field("faulted", c.tally.faulted)
+                    .field("rejected", c.tally.rejected)
+                    .field("clean", c.tally.clean)
+                    .field("escaped", c.tally.escaped)
+                    .field("recoveries", c.recoveries)
+                    .field("latency_min_steps", c.latency.min)
+                    .field("latency_max_steps", c.latency.max),
+            );
+        }
+        for r in &self.escape_model {
+            clock += r.trials;
+            events.push(
+                Event::new("escape_model.row", clock)
+                    .field("k", r.k)
+                    .field("trials", r.trials)
+                    .field("escapes", r.escapes),
+            );
+        }
+        for c in &self.differential.checks {
+            clock += c.trials;
+            events.push(
+                Event::new("differential.done", clock)
+                    .field("name", c.name)
+                    .field("trials", c.trials)
+                    .field("divergences", c.divergences),
+            );
+        }
+        events.push(
+            Event::new("campaign.report", clock)
+                .field("total_escapes", self.total_escapes())
+                .field(
+                    "accounting",
+                    if self.verify_accounting().is_ok() {
+                        "ok"
+                    } else {
+                        "violated"
+                    },
+                ),
+        );
+        events
+    }
+
     /// Human-readable summary table for the CLI.
     pub fn summary(&self) -> String {
         let mut out = String::new();
@@ -292,6 +378,38 @@ mod tests {
         .unwrap()
         .to_json();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn observed_run_narrates_the_report_deterministically() {
+        let bus = sdmmon_obs::EventBus::new();
+        let report = run_campaign_observed(&tiny(), Some(&bus)).unwrap();
+        let jsonl = bus.render_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        // start + one per campaign + one per escape row + one per
+        // differential check + the closing report event.
+        assert_eq!(
+            lines.len(),
+            1 + report.campaigns.len()
+                + report.escape_model.len()
+                + report.differential.checks.len()
+                + 1
+        );
+        for line in &lines {
+            sdmmon_obs::validate_event_line(line).unwrap();
+        }
+        assert!(lines[0].contains("\"kind\":\"campaign.start\""));
+        assert!(lines
+            .last()
+            .unwrap()
+            .contains("\"kind\":\"campaign.report\""));
+        // Clocks are cumulative trial counts: monotone non-decreasing.
+        let events = report.to_events();
+        assert!(events.windows(2).all(|w| w[0].clock <= w[1].clock));
+        // The stream is a pure function of the byte-stable report.
+        let bus2 = sdmmon_obs::EventBus::new();
+        run_campaign_observed(&tiny(), Some(&bus2)).unwrap();
+        assert_eq!(jsonl, bus2.render_jsonl());
     }
 
     #[test]

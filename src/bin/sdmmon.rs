@@ -15,6 +15,7 @@
 //!
 //! sdmmon campaign [--seed <n>] [--budget <n>] [--routers <n>]
 //!                 [--escape-trials <n>] [--out <path>]
+//!                 [--events <path>] [--metrics <path>]
 //!     Run the seeded fault-injection / adversarial campaign suite and
 //!     write the deterministic JSON report.
 //!
@@ -22,15 +23,27 @@
 //!               [--loss <p>] [--corrupt <p>] [--stall <p>]
 //!               [--outage <from:len>] [--blackhole <router>]
 //!               [--max-retries <n>] [--deploy-attempts <n>]
+//!               [--events <path>] [--metrics <path>]
 //!     Deploy a fleet over a deterministic faulty transport and print
 //!     the per-router convergence table (installed vs quarantined).
 //!
-//! sdmmon bench [--quick] [--shards <n>]
+//! sdmmon bench [--quick] [--shards <n>] [--metrics <path>]
 //!     Run the sharded batch-engine throughput sweep (serial oracle vs
 //!     the persistent-pool engine, byte-identity asserted) and fail if
 //!     the sharded engine is slower than serial — the regression gate
 //!     CI runs against the PR 1 spawn-per-batch slowdown.
+//!
+//! sdmmon stats [--seed <n>] [--packets <n>] [--cores <n>] [--shards <n>]
+//!              [--events <path>] [--metrics <path>]
+//!     Drive seeded monitored traffic (benign + hijack bursts) through the
+//!     sharded batch engine with the supervisor armed and print the NP
+//!     counters plus the metrics-registry snapshot.
 //! ```
+//!
+//! Every command starts from a clean metrics registry; `--metrics <path>`
+//! writes the `sdmmon-metrics-v1` snapshot and `--events <path>` writes
+//! the `sdmmon-events-v1` JSONL stream, both byte-identical per seed (see
+//! `docs/OBSERVABILITY.md`).
 //!
 //! Exit codes: 0 success, 1 usage error, 2 processing error.
 
@@ -39,11 +52,15 @@ use sdmmon::monitor::hash::{Compression, MerkleTreeHash};
 use sdmmon::monitor::{HardwareMonitor, MonitoringGraph};
 use sdmmon::npu::core::Core;
 use sdmmon::npu::trace::{Tee, Tracer};
-use sdmmon::testkit::{run_campaign, CampaignConfig};
+use sdmmon::obs::EventBus;
+use sdmmon::testkit::{run_campaign_observed, CampaignConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Every command measures from a clean registry, so `--metrics` output
+    // reflects exactly this invocation (the registry is process-global).
+    sdmmon::obs::metrics().reset();
     let result = match args.first().map(String::as_str) {
         Some("asm") => cmd_asm(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
@@ -52,6 +69,7 @@ fn main() -> ExitCode {
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("deploy") => cmd_deploy(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::from(u8::from(args.is_empty()));
@@ -82,11 +100,18 @@ USAGE:
     sdmmon run    <file.s>   --packet <hex> [--param <hex>] [--trace <n>]
     sdmmon campaign [--seed <n>] [--budget <n>] [--routers <n>]
                     [--escape-trials <n>] [--out <path>]
+                    [--events <path>] [--metrics <path>]
     sdmmon deploy [--routers <n>] [--cores <n>] [--seed <n>]
                   [--loss <p>] [--corrupt <p>] [--stall <p>]
                   [--outage <from:len>] [--blackhole <router>]
                   [--max-retries <n>] [--deploy-attempts <n>]
-    sdmmon bench  [--quick] [--shards <n>]
+                  [--events <path>] [--metrics <path>]
+    sdmmon bench  [--quick] [--shards <n>] [--metrics <path>]
+    sdmmon stats  [--seed <n>] [--packets <n>] [--cores <n>] [--shards <n>]
+                  [--events <path>] [--metrics <path>]
+
+`--events` writes the sdmmon-events-v1 JSONL stream; `--metrics` writes the
+sdmmon-metrics-v1 snapshot. Both replay byte-identically per seed.
 ";
 
 enum CliError {
@@ -100,6 +125,35 @@ fn usage(msg: impl Into<String>) -> CliError {
 
 fn processing(msg: impl std::fmt::Display) -> CliError {
     CliError::Processing(msg.to_string())
+}
+
+/// Writes `text` to `path`, creating parent directories as needed.
+fn write_output(path: &str, text: &str) -> Result<(), CliError> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| processing(format!("cannot create {}: {e}", dir.display())))?;
+        }
+    }
+    std::fs::write(path, text).map_err(|e| processing(format!("cannot write {path}: {e}")))
+}
+
+/// Writes the observability artifacts a command was asked for: the
+/// rendered `sdmmon-events-v1` JSONL stream and/or the global
+/// `sdmmon-metrics-v1` snapshot.
+fn write_observability(
+    events: Option<(&str, &EventBus)>,
+    metrics_path: Option<&str>,
+) -> Result<(), CliError> {
+    if let Some((path, bus)) = events {
+        write_output(path, &bus.render_jsonl())?;
+        println!("events: {path} ({} events, sdmmon-events-v1)", bus.len());
+    }
+    if let Some(path) = metrics_path {
+        write_output(path, &sdmmon::obs::metrics().snapshot_json())?;
+        println!("metrics: {path} (sdmmon-metrics-v1)");
+    }
+    Ok(())
 }
 
 /// Tiny flag parser: positional arguments plus `--flag value` options.
@@ -402,6 +456,8 @@ fn cmd_deploy(args: &[String]) -> Result<(), CliError> {
             "--blackhole",
             "--max-retries",
             "--deploy-attempts",
+            "--events",
+            "--metrics",
         ],
     )?;
     if !a.positional.is_empty() {
@@ -494,7 +550,8 @@ fn cmd_deploy(args: &[String]) -> Result<(), CliError> {
         supervisor: SupervisorPolicy::default(),
     };
 
-    let result = Fleet::deploy_resilient(
+    let bus = a.option("--events").map(|_| EventBus::new());
+    let result = Fleet::deploy_resilient_observed(
         &manufacturer,
         &operator,
         &program,
@@ -504,6 +561,7 @@ fn cmd_deploy(args: &[String]) -> Result<(), CliError> {
         &mut server,
         &config,
         &mut rng,
+        bus.as_ref(),
     )
     .map_err(processing)?;
 
@@ -541,6 +599,8 @@ fn cmd_deploy(args: &[String]) -> Result<(), CliError> {
         result.quarantined(),
         server.stats().attempts,
     );
+    let events = a.option("--events").zip(bus.as_ref());
+    write_observability(events, a.option("--metrics"))?;
     if result.installed() == 0 {
         return Err(processing(
             "no router converged: the whole fleet quarantined",
@@ -556,6 +616,8 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     // rather than through the value-flag parser the other commands share.
     let mut quick = false;
     let mut max_shards = None;
+    let mut events_path = None;
+    let mut metrics_path = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -572,11 +634,29 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
                 }
                 max_shards = Some(n);
             }
+            "--events" => {
+                events_path = Some(
+                    it.next()
+                        .ok_or_else(|| usage("option `--events` needs a value"))?
+                        .as_str(),
+                );
+            }
+            "--metrics" => {
+                metrics_path = Some(
+                    it.next()
+                        .ok_or_else(|| usage("option `--metrics` needs a value"))?
+                        .as_str(),
+                );
+            }
             other => return Err(usage(format!("unknown option `{other}`"))),
         }
     }
 
-    let report = sharded::run(&ShardedConfig::new(quick, max_shards));
+    // The timed loop runs with no event plumbing unless asked — the bench
+    // is also the hot-path regression gate for the default (events-off)
+    // observability level.
+    let bus = events_path.map(|_| std::sync::Arc::new(EventBus::new()));
+    let report = sharded::run_observed(&ShardedConfig::new(quick, max_shards), bus.as_ref());
     print!("{}", report.table());
     let headline = report.headline();
     let speedup = report.speedup(&headline);
@@ -585,6 +665,8 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
          outcomes and NpStats byte-identical to serial)",
         headline.shards, report.packets, report.repeats,
     );
+    let events = events_path.zip(bus.as_deref());
+    write_observability(events, metrics_path)?;
     if speedup < 1.0 {
         return Err(processing(format!(
             "sharded batch engine is slower than the serial baseline \
@@ -603,6 +685,8 @@ fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
             "--routers",
             "--escape-trials",
             "--out",
+            "--events",
+            "--metrics",
         ],
     )?;
     if !a.positional.is_empty() {
@@ -634,7 +718,8 @@ fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
     }
     let out = a.option("--out").unwrap_or("target/CAMPAIGN.json");
 
-    let report = run_campaign(&config).map_err(processing)?;
+    let bus = a.option("--events").map(|_| EventBus::new());
+    let report = run_campaign_observed(&config, bus.as_ref()).map_err(processing)?;
     print!("{}", report.summary());
     report
         .verify_accounting()
@@ -645,14 +730,121 @@ fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
             "{divergences} differential divergence(s): a fast path disagrees with its oracle"
         )));
     }
-    if let Some(dir) = std::path::Path::new(out).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir)
-                .map_err(|e| processing(format!("cannot create {}: {e}", dir.display())))?;
+    write_output(out, &report.to_json())?;
+    println!("\nreport: {out} (seed {seed}, replays byte-identically)");
+    let events = a.option("--events").zip(bus.as_ref());
+    write_observability(events, a.option("--metrics"))?;
+    Ok(())
+}
+
+/// `sdmmon stats`: drives seeded mixed traffic — benign forwards, policy
+/// drops, and hijack bursts dense enough to push cores through the
+/// supervisor's redeploy/quarantine ladder — through the sharded batch
+/// engine with hardware monitors armed, then prints the NP counters and
+/// the metrics-registry snapshot. The whole run is a deterministic
+/// function of `--seed`, so `--events`/`--metrics` artifacts replay
+/// byte-identically.
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
+    use sdmmon::npu::np::NetworkProcessor;
+    use sdmmon::npu::programs::{self, testing};
+    use sdmmon::npu::supervisor::SupervisorPolicy;
+    use sdmmon_rng::{Rng, SeedableRng, StdRng};
+    use std::sync::Arc;
+
+    let a = Args::parse(
+        args,
+        &[
+            "--seed",
+            "--packets",
+            "--cores",
+            "--shards",
+            "--events",
+            "--metrics",
+        ],
+    )?;
+    if !a.positional.is_empty() {
+        return Err(usage("stats takes no positional arguments"));
+    }
+    let seed = a
+        .option("--seed")
+        .map(|v| parse_u64(v, "seed"))
+        .transpose()?
+        .unwrap_or(42);
+    let packet_count = a
+        .option("--packets")
+        .map(|v| parse_u64(v, "packets"))
+        .transpose()?
+        .unwrap_or(512) as usize;
+    let cores = a
+        .option("--cores")
+        .map(|v| parse_u64(v, "cores"))
+        .transpose()?
+        .unwrap_or(4) as usize;
+    let shards = a
+        .option("--shards")
+        .map(|v| parse_u64(v, "shards"))
+        .transpose()?
+        .unwrap_or(4) as usize;
+    if cores == 0 || shards == 0 || packet_count == 0 {
+        return Err(usage("packets, cores and shards must be nonzero"));
+    }
+
+    // The deliberately vulnerable forwarder: hijack packets smash its
+    // stack, the per-core monitors catch the control-flow deviation, and
+    // repeated strikes walk the supervisor ladder.
+    let program = programs::vulnerable_forward().map_err(processing)?;
+    let image = program.to_bytes();
+    let policy = SupervisorPolicy {
+        redeploy_after: 2,
+        quarantine_after: 2,
+    };
+    let mut np = NetworkProcessor::with_policy(cores, policy);
+    np.install_all(&image, program.base, |i| {
+        let hash = MerkleTreeHash::new(0x0b5e_55ed ^ i as u32);
+        let graph = MonitoringGraph::extract(&program, &hash).expect("embedded workload extracts");
+        Box::new(HardwareMonitor::new(graph, hash))
+    });
+    np.set_shards(shards);
+    let bus = a.option("--events").map(|_| Arc::new(EventBus::new()));
+    np.set_event_bus(bus.clone());
+
+    // Mixed traffic: an attack burst up front (contiguous per-flow, so the
+    // ladder tops out early and the event stream shows the transitions),
+    // then a seeded benign/attack mix. Two batches, so the second one
+    // repartitions against whatever degraded core set the first left.
+    let attacks: Vec<Vec<u8>> = (0..4)
+        .map(|i| {
+            testing::hijack_packet(&format!("li $t5, {i}\nbreak 1")).expect("attack assembles")
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut packets = Vec::with_capacity(packet_count + 16);
+    for attack in &attacks {
+        for _ in 0..4 {
+            packets.push(attack.clone());
         }
     }
-    std::fs::write(out, report.to_json())
-        .map_err(|e| processing(format!("cannot write {out}: {e}")))?;
-    println!("\nreport: {out} (seed {seed}, replays byte-identically)");
+    while packets.len() < packet_count + 16 {
+        if rng.gen_range(0..8u32) == 0 {
+            packets.push(attacks[rng.gen_range(0..attacks.len())].clone());
+        } else {
+            let src = [10, rng.gen_range(0..4u8), rng.gen_range(0..250u8), 1];
+            let dst = [10, 0, 0, rng.gen_range(1..=16u8)];
+            packets.push(testing::ipv4_packet(src, dst, 64, b"stats pay"));
+        }
+    }
+    let split = packets.len() / 2;
+    np.process_batch(&packets[..split]);
+    np.process_batch(&packets[split..]);
+
+    let stats = np.stats();
+    println!(
+        "seed {seed}: {} packets, {cores} cores, {shards} shard(s)",
+        packets.len()
+    );
+    println!("np stats: {}", stats.to_json());
+    print!("{}", sdmmon::obs::metrics().snapshot_json());
+    let events = a.option("--events").zip(bus.as_deref());
+    write_observability(events, a.option("--metrics"))?;
     Ok(())
 }

@@ -15,6 +15,7 @@
 //! | [`core`] | `sdmmon-core` | the SDMMon protocol: entities, packages, timing, fleets |
 //! | [`testkit`] | `sdmmon-testkit` | deterministic fault injection + adversarial campaigns |
 //! | [`bench`] | `sdmmon-bench` | benchmark scenarios (incl. the sharded-engine sweep) |
+//! | [`obs`] | `sdmmon-obs` | structured event bus + metrics registry (deterministic observability) |
 //!
 //! # Examples
 //!
@@ -47,4 +48,5 @@ pub use sdmmon_isa as isa;
 pub use sdmmon_monitor as monitor;
 pub use sdmmon_net as net;
 pub use sdmmon_npu as npu;
+pub use sdmmon_obs as obs;
 pub use sdmmon_testkit as testkit;
