@@ -1,8 +1,10 @@
 #!/bin/sh
 # Repo gate: formatting, lints, full test suite, a quick perf smoke run
-# (quick mode writes target/BENCH_PR4.quick.json; the committed
-# BENCH_PR4.json comes from a full release run of the same binary), the
+# (quick mode writes target/BENCH_PR6.quick.json; the committed
+# BENCH_PR6.json comes from a full release run of the same binary), the
 # sharded-engine throughput gate (with and without metrics recording),
+# the bit-sliced hash gate (SWAR block path >= 4x scalar on the headline
+# compression),
 # a bounded adversarial campaign (accounting + differential assertions,
 # deterministic per seed), and an events-schema smoke (byte-identical
 # sdmmon-events-v1 replay; see docs/TESTKIT.md, docs/PERF.md, and
@@ -33,13 +35,20 @@ cargo run --release --bin sdmmon -- bench --quick
 cargo run --release --bin sdmmon -- bench --quick --metrics target/ci-bench-metrics.json
 grep -q '"schema": "sdmmon-metrics-v1"' target/ci-bench-metrics.json
 
-# Schema gate: the committed report must carry the v2 schema (v1 plus the
-# "sharded" section), and its key sequence must match what the binary
+# Bit-sliced hash gate: the SWAR block path must stay at least 4x the
+# scalar loop on the headline compression (sip — the one whose scalar
+# tree the compiler cannot collapse), and the block path's outputs must
+# stay byte-identical to the scalar oracle (asserted inside the bench;
+# exit 2 on a regression).
+cargo run --release --bin sdmmon -- bench --quick --hash
+
+# Schema gate: the committed report must carry the v3 schema (v2 plus the
+# "hash" section), and its key sequence must match what the binary
 # writes today — a drifted field set fails the diff.
-grep -q '"schema": "sdmmon-perf-report-v2"' BENCH_PR4.json
-sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' BENCH_PR4.json > target/BENCH_PR4.schema
-sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' target/BENCH_PR4.quick.json > target/BENCH_PR4.quick.schema
-diff target/BENCH_PR4.schema target/BENCH_PR4.quick.schema
+grep -q '"schema": "sdmmon-perf-report-v3"' BENCH_PR6.json
+sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' BENCH_PR6.json > target/BENCH_PR6.schema
+sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' target/BENCH_PR6.quick.json > target/BENCH_PR6.quick.schema
+diff target/BENCH_PR6.schema target/BENCH_PR6.quick.schema
 
 cargo run --release --bin sdmmon -- campaign --seed 1 --budget 2000
 

@@ -1,13 +1,13 @@
 //! Machine-readable performance report for the hot paths: Montgomery/CRT
 //! RSA, the NPU pre-decoded instruction cache, the parallel fleet/batch
-//! paths, and (since schema v2) the sharded batch engine — each measured
-//! against the code path it replaced (which stays alive as the
-//! differential-test oracle).
+//! paths, the sharded batch engine (schema v2), and the SWAR bit-sliced
+//! monitor hash (schema v3) — each measured against the code path it
+//! replaced (which stays alive as the differential-test oracle).
 //!
-//! Writes `BENCH_PR4.json` (schema `sdmmon-perf-report-v2`) at the
+//! Writes `BENCH_PR6.json` (schema `sdmmon-perf-report-v3`) at the
 //! repository root and prints a summary table; the committed
-//! `BENCH_PR1.json` is the frozen v1 artifact of the first overhaul. Run
-//! with:
+//! `BENCH_PR1.json` and `BENCH_PR4.json` are the frozen v1/v2 artifacts
+//! of the earlier overhauls. Run with:
 //!
 //! ```text
 //! cargo run --release -p sdmmon-bench --bin perf_report [-- --quick] [--shards N]
@@ -16,6 +16,7 @@
 //! `--quick` shrinks iteration counts for CI smoke runs; `--shards N`
 //! caps the sharded sweep. The JSON schema is identical either way.
 
+use sdmmon_bench::hashbench::HashBenchConfig;
 use sdmmon_bench::render_table;
 use sdmmon_bench::sharded::ShardedConfig;
 use sdmmon_core::entities::{Manufacturer, NetworkOperator};
@@ -82,11 +83,12 @@ fn main() {
     let cfg = Config::new(quick);
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"sdmmon-perf-report-v2\",");
+    let _ = writeln!(json, "  \"schema\": \"sdmmon-perf-report-v3\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
 
     rsa_section(&cfg, &mut rows, &mut json);
     npu_section(&cfg, &mut rows, &mut json);
+    hash_section(quick, &mut rows, &mut json);
     throughput_section(&cfg, &mut rows, &mut json);
     sharded_section(quick, max_shards, &mut rows, &mut json);
     fleet_section(&cfg, &mut rows, &mut json);
@@ -105,10 +107,10 @@ fn main() {
     let path = if quick {
         concat!(
             env!("CARGO_MANIFEST_DIR"),
-            "/../../target/BENCH_PR4.quick.json"
+            "/../../target/BENCH_PR6.quick.json"
         )
     } else {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json")
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json")
     };
     std::fs::write(path, &json).expect("write perf report json");
     println!("\nwrote {path}");
@@ -293,6 +295,28 @@ fn npu_section(cfg: &Config, rows: &mut Vec<Vec<String>>, json: &mut String) {
     let _ = writeln!(json, "    \"ips_cached\": {ips_cached:.0},");
     let _ = writeln!(json, "    \"decode_cache_speedup\": {speedup:.3}");
     let _ = writeln!(json, "  }},");
+}
+
+/// The bit-sliced monitor hash (PR 6): scalar tree hashing vs the 16-lane
+/// SWAR block path per compression, plus the end-to-end dispatch pair
+/// (see [`sdmmon_bench::hashbench`]). Output identity is asserted inside
+/// the scenario.
+fn hash_section(quick: bool, rows: &mut Vec<Vec<String>>, json: &mut String) {
+    let report = sdmmon_bench::hashbench::run(&HashBenchConfig::new(quick));
+    let headline = report.headline();
+    rows.push(vec![
+        "monitor hash, sip (M hash/s)".into(),
+        format!("{:.1}", headline.scalar_hps / 1e6),
+        format!("{:.1}", headline.bitsliced_hps / 1e6),
+        format!("{:.2}x", headline.speedup()),
+    ]);
+    rows.push(vec![
+        "monitored core dispatch (kpps)".into(),
+        format!("{:.0}", report.reference_pps / 1e3),
+        format!("{:.0}", report.block_pps / 1e3),
+        format!("{:.2}x", report.e2e_speedup()),
+    ]);
+    let _ = writeln!(json, "{},", report.json_object());
 }
 
 /// Multi-packet simulation across NP cores: sequential flow dispatch vs

@@ -14,12 +14,15 @@
 //! | `graph_size` | monitoring-graph compactness across workloads |
 //!
 //! `perf_report` measures the hot paths (Montgomery/CRT RSA, the decode
-//! cache, batch/fleet parallelism, and the sharded batch engine) against
-//! their in-tree reference oracles and writes the machine-readable
-//! `BENCH_PR4.json` at the repo root (schema `sdmmon-perf-report-v2`;
-//! `BENCH_PR1.json` is the frozen v1 artifact). `throughput_sharded` runs
-//! the [`sharded`] sweep standalone.
+//! cache, batch/fleet parallelism, the sharded batch engine, and the
+//! bit-sliced monitor hash) against their in-tree reference oracles and
+//! writes the machine-readable `BENCH_PR6.json` at the repo root (schema
+//! `sdmmon-perf-report-v3`; `BENCH_PR1.json` and `BENCH_PR4.json` are the
+//! frozen v1/v2 artifacts). `throughput_sharded` runs the [`sharded`]
+//! sweep standalone; the [`hashbench`] sweep also backs
+//! `sdmmon bench --hash`.
 
+pub mod hashbench;
 pub mod sharded;
 
 use std::fmt::Write as _;

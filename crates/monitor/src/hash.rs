@@ -11,6 +11,12 @@
 
 use std::fmt;
 
+pub mod bitslice;
+
+/// Lanes processed by one [`InstructionHash::hash_block`] call — the width
+/// of the bit-sliced data path (16 × 4-bit lanes fill one `u64` plane).
+pub const BLOCK_LANES: usize = 16;
+
 /// Maps a 32-bit instruction word to a short hash value.
 ///
 /// Implementations must be pure functions of `(parameter, word)` — the
@@ -23,6 +29,20 @@ pub trait InstructionHash {
     /// Hashes one instruction word; the result fits in
     /// [`InstructionHash::output_bits`] bits.
     fn hash(&self, word: u32) -> u8;
+
+    /// Hashes a full block of [`BLOCK_LANES`] instruction words.
+    ///
+    /// Must produce exactly `[hash(words[0]), …, hash(words[15])]`. The
+    /// default is the scalar loop; [`MerkleTreeHash`] and [`WidthHash`]
+    /// override it with the [`bitslice`] SWAR evaluation, which is what
+    /// the monitor's block-verification path consumes.
+    fn hash_block(&self, words: &[u32; BLOCK_LANES]) -> [u8; BLOCK_LANES] {
+        let mut out = [0u8; BLOCK_LANES];
+        for (o, &w) in out.iter_mut().zip(words) {
+            *o = self.hash(w);
+        }
+        out
+    }
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
@@ -51,22 +71,56 @@ pub enum Compression {
     /// A fixed 4-bit S-box applied to `(a + b) mod 16` — stronger
     /// nonlinearity at slightly higher LUT cost.
     SBox,
+    /// A keyed SipHash-style ARX round on `(a + b) mod 16`: shift-add
+    /// multiply by 5 (mod 16), rotate-left 1, xor a round constant. Like
+    /// SipHash, the only operations are add/rotate/xor — no lookup table —
+    /// so the node costs three adders in hardware and bit-slices without a
+    /// boolean network. The router's secret parameter is the key, mixed in
+    /// at every tree leaf exactly as for the other compressions; the mod-16
+    /// carries make the permutation nonlinear over GF(2), so collisions
+    /// stay parameter-dependent (the SR2 diversity property the linear
+    /// compressions lack).
+    SipRound,
 }
 
 /// 4-bit S-box used by [`Compression::SBox`] (the PRESENT cipher S-box).
 const SBOX4: [u8; 16] = [12, 5, 6, 11, 9, 0, 10, 13, 3, 14, 15, 8, 4, 7, 1, 2];
 
+/// Scalar ARX round of [`Compression::SipRound`]: add (`⊞` mod 16),
+/// shift-add multiply by 5, rotate-left 1, xor the round constant. The
+/// result is a fixed bijection of `(a + b) mod 16`, so the compression is
+/// bijective in each argument (uniform outputs over uniform inputs, which
+/// the 16^-k escape model depends on).
+#[inline]
+fn sip_round(a: u8, b: u8) -> u8 {
+    let s = (a + b) & 0xf;
+    let m = (s + ((s << 2) & 0xf)) & 0xf; // 5·s mod 16, as shift-add
+    (((m << 1) | (m >> 3)) & 0xf) ^ 0x6
+}
+
 impl Compression {
     /// All compression functions, for sweeps and campaign harnesses.
-    pub const ALL: [Compression; 3] = [Compression::SumMod16, Compression::Xor, Compression::SBox];
+    pub const ALL: [Compression; 4] = [
+        Compression::SumMod16,
+        Compression::Xor,
+        Compression::SBox,
+        Compression::SipRound,
+    ];
 
     /// Applies the 8→4-bit compression to two nibbles.
+    ///
+    /// Both inputs are masked to their low nibble up front: the scalar and
+    /// bit-sliced paths must agree on malformed (out-of-range) input, and
+    /// the unmasked `a + b` would overflow the `u8` in debug builds for
+    /// large bytes while silently wrapping in release.
+    #[inline]
     pub fn compress(self, a: u8, b: u8) -> u8 {
-        debug_assert!(a < 16 && b < 16);
+        let (a, b) = (a & 0xf, b & 0xf);
         match self {
             Compression::SumMod16 => (a + b) & 0xf,
             Compression::Xor => a ^ b,
             Compression::SBox => SBOX4[((a + b) & 0xf) as usize],
+            Compression::SipRound => sip_round(a, b),
         }
     }
 
@@ -77,6 +131,7 @@ impl Compression {
             Compression::SumMod16 => 0,
             Compression::Xor => 1,
             Compression::SBox => 2,
+            Compression::SipRound => 3,
         }
     }
 
@@ -86,6 +141,7 @@ impl Compression {
             0 => Some(Compression::SumMod16),
             1 => Some(Compression::Xor),
             2 => Some(Compression::SBox),
+            3 => Some(Compression::SipRound),
             _ => None,
         }
     }
@@ -120,21 +176,35 @@ impl Compression {
 pub struct MerkleTreeHash {
     param: u32,
     compression: Compression,
+    /// `param` split into its eight nibbles once at construction — the
+    /// leaf-level key inputs, re-extracted per `level2` call before.
+    param_nibbles: [u8; 8],
+    /// The matching 16-lane SWAR evaluator (parameter planes
+    /// pre-broadcast), built once so `hash_block` pays no per-block setup.
+    bitsliced: bitslice::BitslicedMerkleHash,
+}
+
+/// Splits a 32-bit value into its eight nibbles, low nibble first.
+#[inline]
+fn nibbles(value: u32) -> [u8; 8] {
+    std::array::from_fn(|i| ((value >> (i * 4)) & 0xf) as u8)
 }
 
 impl MerkleTreeHash {
     /// Creates the hash with a secret 32-bit `param` and the paper's
     /// sum-mod-16 compression.
     pub fn new(param: u32) -> MerkleTreeHash {
-        MerkleTreeHash {
-            param,
-            compression: Compression::SumMod16,
-        }
+        MerkleTreeHash::with_compression(param, Compression::SumMod16)
     }
 
     /// Creates the hash with an explicit compression function (ablation).
     pub fn with_compression(param: u32, compression: Compression) -> MerkleTreeHash {
-        MerkleTreeHash { param, compression }
+        MerkleTreeHash {
+            param,
+            compression,
+            param_nibbles: nibbles(param),
+            bitsliced: bitslice::BitslicedMerkleHash::new(param, compression),
+        }
     }
 
     /// The secret parameter (transported encrypted inside SDMMon packages).
@@ -149,13 +219,13 @@ impl MerkleTreeHash {
 
     /// Evaluates the tree, returning the two level-2 outputs (8 bits of
     /// state) — used by the width-ablation wrappers.
+    #[inline]
     fn level2(&self, word: u32) -> (u8, u8) {
         let c = self.compression;
         let mut leaves = [0u8; 8];
         for (i, leaf) in leaves.iter_mut().enumerate() {
             let w = ((word >> (i * 4)) & 0xf) as u8;
-            let p = ((self.param >> (i * 4)) & 0xf) as u8;
-            *leaf = c.compress(p, w);
+            *leaf = c.compress(self.param_nibbles[i], w);
         }
         let l1 = [
             c.compress(leaves[0], leaves[1]),
@@ -172,9 +242,15 @@ impl InstructionHash for MerkleTreeHash {
         4
     }
 
+    #[inline]
     fn hash(&self, word: u32) -> u8 {
         let (a, b) = self.level2(word);
         self.compression.compress(a, b)
+    }
+
+    #[inline]
+    fn hash_block(&self, words: &[u32; BLOCK_LANES]) -> [u8; BLOCK_LANES] {
+        self.bitsliced.hash_block(words)
     }
 
     fn name(&self) -> &'static str {
@@ -224,6 +300,21 @@ impl InstructionHash for WidthHash {
             _ => {
                 let h = self.inner.hash(word);
                 (h >> 2) ^ (h & 0x3)
+            }
+        }
+    }
+
+    fn hash_block(&self, words: &[u32; BLOCK_LANES]) -> [u8; BLOCK_LANES] {
+        let sliced = bitslice::BitslicedMerkleHash::from_scalar(&self.inner);
+        match self.bits {
+            8 => {
+                let (a, b) = sliced.level2_block(words);
+                std::array::from_fn(|i| (a[i] << 4) | b[i])
+            }
+            4 => sliced.hash_block(words),
+            _ => {
+                let h = sliced.hash_block(words);
+                std::array::from_fn(|i| (h[i] >> 2) ^ (h[i] & 0x3))
             }
         }
     }
@@ -418,10 +509,89 @@ mod tests {
 
     #[test]
     fn compression_id_round_trip() {
-        for c in [Compression::SumMod16, Compression::Xor, Compression::SBox] {
+        for c in Compression::ALL {
             assert_eq!(Compression::from_id(c.to_id()), Some(c));
         }
         assert_eq!(Compression::from_id(9), None);
+    }
+
+    #[test]
+    fn compress_masks_out_of_range_inputs() {
+        // Regression: out-of-range nibbles used to overflow the `u8` add in
+        // debug builds (SumMod16/SBox) and silently wrap in release. Both
+        // inputs are masked now, so any byte behaves as its low nibble —
+        // keeping the scalar and bit-sliced paths in agreement on
+        // malformed input.
+        for c in Compression::ALL {
+            for (a, b) in [(0xffu8, 0xffu8), (0x10, 0x02), (0xa5, 0x5a), (16, 16)] {
+                assert_eq!(
+                    c.compress(a, b),
+                    c.compress(a & 0xf, b & 0xf),
+                    "{c:?} compress({a:#x}, {b:#x})"
+                );
+                assert!(c.compress(a, b) < 16);
+            }
+        }
+    }
+
+    #[test]
+    fn sip_round_is_bijective_per_argument() {
+        // Bijectivity in each argument keeps hash outputs uniform over
+        // uniform words — the property the 16^-k escape model needs.
+        for fixed in 0u8..16 {
+            let mut by_a: Vec<u8> = (0..16)
+                .map(|a| Compression::SipRound.compress(a, fixed))
+                .collect();
+            let mut by_b: Vec<u8> = (0..16)
+                .map(|b| Compression::SipRound.compress(fixed, b))
+                .collect();
+            by_a.sort_unstable();
+            by_b.sort_unstable();
+            let all: Vec<u8> = (0..16).collect();
+            assert_eq!(by_a, all);
+            assert_eq!(by_b, all);
+        }
+    }
+
+    #[test]
+    fn sip_collisions_are_parameter_dependent() {
+        // Like the S-box, the ARX round's GF(2) nonlinearity must break the
+        // sum compression's parameter-invariant collisions (SR2).
+        let (a, b) = (0x2408_0005u32, 0x0000_0003u32); // collide under sum at every param
+        let breaks = [1u32, 0xdead_beef, 0x8000_0001, 42].iter().any(|&p| {
+            let h = MerkleTreeHash::with_compression(p, Compression::SipRound);
+            h.hash(a) != h.hash(b)
+        });
+        assert!(breaks, "SipRound must make collisions parameter-dependent");
+    }
+
+    #[test]
+    fn sip_hash_distribution_is_roughly_uniform() {
+        let m = MerkleTreeHash::with_compression(0x8badf00d, Compression::SipRound);
+        let mut counts = [0u32; 16];
+        let samples = 160_000u32;
+        for i in 0..samples {
+            counts[m.hash(i.wrapping_mul(0x9E37_79B9)) as usize] += 1;
+        }
+        let expect = samples / 16;
+        for (v, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - expect as i64).unsigned_abs() < (expect / 10) as u64,
+                "bucket {v} count {c} far from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_hash_block_matches_scalar_loop() {
+        // The trait default must be the scalar loop; BitcountHash does not
+        // override it.
+        let h = BitcountHash::new();
+        let words: [u32; BLOCK_LANES] = std::array::from_fn(|i| (i as u32) * 0x0101_0101);
+        let block = h.hash_block(&words);
+        for (i, &w) in words.iter().enumerate() {
+            assert_eq!(block[i], h.hash(w));
+        }
     }
 
     #[test]

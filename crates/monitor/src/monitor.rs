@@ -14,44 +14,17 @@
 //! attack length.
 
 use crate::graph::MonitoringGraph;
-use crate::hash::InstructionHash;
-use sdmmon_npu::core::Core;
+use crate::hash::{InstructionHash, BLOCK_LANES};
+use sdmmon_npu::core::{BlockObserver, Core, RETIRE_BLOCK};
 use sdmmon_npu::cpu::{ExecutionObserver, Observation};
 use sdmmon_npu::runtime::PacketOutcome;
 
-/// Valid bit of a packed [`HardwareMonitor::fused_next`] entry. (`0` alone
-/// cannot be used as the empty sentinel: the all-zero word is a legitimate
-/// instruction.)
-const FUSED_VALID: u64 = 1 << 63;
-
-/// Set in a [`HardwareMonitor::fused_next`] entry when the node has zero or
-/// several distinct successors, so the fused fast path must advance through
-/// the node's [`HardwareMonitor::fast_spans`] span instead of the packed
-/// successor field.
-const FUSED_MULTI: u64 = 1 << 62;
-
-/// Set (together with [`FUSED_MULTI`]) when the node has exactly two
-/// distinct successors that both fit [`ARM_BITS`]: the arms are packed into
-/// the entry itself (bits 32.. and 46..), so a verified branch advance
-/// resolves to the register pair without touching the edge tables.
-const FUSED_PAIR: u64 = 1 << 61;
-
-/// Width of one packed pair arm (two fit under the flag bits; graphs too
-/// large for that — over 16 K nodes — simply fall back to the span walk).
-const ARM_BITS: u32 = 14;
-
-/// "No singleton candidate" sentinel for [`FusedRun::node`].
+/// "No singleton candidate" sentinel for [`BlockRun::node`].
 const NO_NODE: u32 = u32::MAX;
 
-/// Slots in the direct-mapped [`HardwareMonitor::hash_memo`] (must be a
-/// power of two). 1024 entries × 8 bytes covers every distinct word of the
-/// packet workloads many times over and stays resident in L1.
-const HASH_MEMO_SLOTS: usize = 1024;
-
-/// Valid bit in a packed [`HardwareMonitor::hash_memo`] entry (the hash
-/// occupies bits 0..8, wide enough for any supported hash width; the word
-/// sits above the valid bit).
-const HASH_MEMO_VALID: u64 = 1 << 8;
+// The core's retirement buffer and the bit-sliced hash data path must agree
+// on the block width; a full buffer flush is exactly one SWAR pass.
+const _: () = assert!(RETIRE_BLOCK == BLOCK_LANES);
 
 /// Counters kept by a monitor across its lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -86,30 +59,12 @@ pub struct HardwareMonitor<H: InstructionHash> {
     succ_spans: Vec<(u32, u32)>,
     /// Per-node successor lists pre-sorted and deduplicated — exactly what
     /// the general path's `sort_unstable` + `dedup` produces for a
-    /// singleton candidate set, computed once at construction so the fused
-    /// per-packet path ([`ExecutionObserver::run_packet`]) advances with a
-    /// span copy instead of a sort per instruction.
+    /// singleton candidate set, computed once at construction so the
+    /// block-verification path ([`ExecutionObserver::run_packet`]) advances
+    /// with a span copy instead of a sort per instruction.
     fast_edges: Vec<u32>,
     /// Per-node `(start, end)` span into [`Self::fast_edges`].
     fast_spans: Vec<(u32, u32)>,
-    /// Verified word memo, one packed entry per node, written whenever a
-    /// full hash computation proves an observed `word` hashes to
-    /// `node_hashes[n]`: bits 0..32 hold that word, [`FUSED_VALID`] marks
-    /// the entry bound, and — for nodes with exactly one distinct
-    /// successor — bits 32..62 hold that successor's index (otherwise
-    /// [`FUSED_MULTI`] is set and the successors come from
-    /// [`Self::fast_spans`]). The hash is a pure function of the word, so
-    /// a later instruction matching the memo can skip the hash entirely:
-    /// match, advance, and successor resolve in a *single* load on the
-    /// fused path's straight-line fast case. Never invalidated; never
-    /// serialized.
-    fused_next: Vec<u64>,
-    /// Direct-mapped word→hash memo for the fused path's fallback (used
-    /// when the candidate set is not a singleton, e.g. while both arms of
-    /// a branch are still live). Each entry packs
-    /// `word << 9 | HASH_MEMO_VALID | hash`; again sound because the hash
-    /// is pure in the word. Sized [`HASH_MEMO_SLOTS`].
-    hash_memo: Box<[u64]>,
     /// Candidate graph positions (node indices) consistent with the
     /// observed hash stream.
     current: Vec<u32>,
@@ -163,7 +118,6 @@ impl<H: InstructionHash> HardwareMonitor<H> {
             fast_edges.extend(sorted);
             fast_spans.push((fast_start, fast_edges.len() as u32));
         }
-        let fused_next = vec![0; node_hashes.len()];
         HardwareMonitor {
             graph,
             hash,
@@ -172,8 +126,6 @@ impl<H: InstructionHash> HardwareMonitor<H> {
             succ_spans,
             fast_edges,
             fast_spans,
-            fused_next,
-            hash_memo: vec![0u64; HASH_MEMO_SLOTS].into_boxed_slice(),
             current: Vec::new(),
             scratch: Vec::new(),
             stats: MonitorStats::default(),
@@ -212,41 +164,6 @@ fn node_index(graph: &MonitoringGraph, addr: u32) -> Option<u32> {
     ((idx as usize) < graph.len()).then_some(idx)
 }
 
-/// The packed fused-next entry recording a proven `(node, word)` hash
-/// match, built from the pre-sorted successor tables. Free-standing so both
-/// the monitor's reference path and a [`FusedRun`] holding the tables by
-/// value produce bit-identical entries.
-#[inline]
-fn packed_entry(fast_spans: &[(u32, u32)], fast_edges: &[u32], cand: usize, word: u32) -> u64 {
-    let (start, end) = fast_spans[cand];
-    entry_from_span(fast_edges, start, end, word)
-}
-
-/// Builds the packed entry for a node whose successor span is already in
-/// hand: single successors go in bits 32..62, small two-arm branches pack
-/// both arms ([`FUSED_PAIR`]), everything else defers to the span walk.
-#[inline]
-fn entry_from_span(fast_edges: &[u32], start: u32, end: u32, word: u32) -> u64 {
-    let s = start as usize;
-    match end - start {
-        1 => u64::from(word) | (u64::from(fast_edges[s]) << 32) | FUSED_VALID,
-        2 => {
-            let (a, b) = (fast_edges[s], fast_edges[s + 1]);
-            if a >> ARM_BITS == 0 && b >> ARM_BITS == 0 {
-                u64::from(word)
-                    | FUSED_VALID
-                    | FUSED_MULTI
-                    | FUSED_PAIR
-                    | (u64::from(a) << 32)
-                    | (u64::from(b) << (32 + ARM_BITS))
-            } else {
-                u64::from(word) | FUSED_VALID | FUSED_MULTI
-            }
-        }
-        _ => u64::from(word) | FUSED_VALID | FUSED_MULTI,
-    }
-}
-
 impl<H: InstructionHash> HardwareMonitor<H> {
     fn begin_impl(&mut self, entry: u32) {
         self.stats.runs += 1;
@@ -256,30 +173,21 @@ impl<H: InstructionHash> HardwareMonitor<H> {
 
     /// The reference per-instruction check: hash the word, compare against
     /// every candidate, advance to the union of matched successors. This is
-    /// the hardware's data path and the oracle the fused path must agree
-    /// with. Every verified `(node, word)` match is memoized into
-    /// [`Self::fused_next`] — sound because the hash is a pure function
-    /// of the word, so the verdict for that pair can never change.
+    /// the hardware's data path and the oracle the block-verification path
+    /// must agree with.
     fn observe_general(&mut self, word: u32) -> Observation {
         let observed = self.hash.hash(word);
-        self.advance_candidates(word, observed)
+        self.advance_candidates(observed)
     }
 
-    /// Records a proven `(node, word)` hash match in [`Self::fused_next`].
-    #[inline]
-    fn learn(&mut self, cand: usize, word: u32) {
-        self.fused_next[cand] = packed_entry(&self.fast_spans, &self.fast_edges, cand, word);
-    }
-
-    /// Candidate-set advance for an already-computed hash of `word`.
-    fn advance_candidates(&mut self, word: u32, observed: u8) -> Observation {
+    /// Candidate-set advance for an already-computed hash value.
+    fn advance_candidates(&mut self, observed: u8) -> Observation {
         self.scratch.clear();
         let mut matched = false;
         for i in 0..self.current.len() {
             let cand = self.current[i] as usize;
             if self.node_hashes[cand] == observed {
                 matched = true;
-                self.learn(cand, word);
                 let (start, end) = self.succ_spans[cand];
                 self.scratch
                     .extend_from_slice(&self.succ_edges[start as usize..end as usize]);
@@ -297,85 +205,52 @@ impl<H: InstructionHash> HardwareMonitor<H> {
     }
 }
 
-/// The monomorphized view [`HardwareMonitor::run_packet`] hands to the
-/// core: same monitor state, but `observe` goes through the fused check,
-/// and the per-run bookkeeping lives in register-friendly locals merged
-/// back into [`MonitorStats`] once per packet. Private on purpose — the
-/// fused path is reachable only through [`ExecutionObserver::run_packet`],
-/// keeping the trait's per-instruction `observe` the unchanged reference
-/// implementation.
-struct FusedRun<'a, H: InstructionHash> {
+/// The block-verification observer [`HardwareMonitor::run_packet`] hands
+/// to [`Core::process_packet_blocks`]: full retirement blocks are hashed in
+/// one bit-sliced pass ([`InstructionHash::hash_block`]) and the NFA walk
+/// consumes the precomputed lane hashes; partial final blocks (trap,
+/// `break 0`, step-limit) take the scalar tail. Per-run bookkeeping lives
+/// in register-friendly locals merged back into [`MonitorStats`] once per
+/// packet. Private on purpose — the block path is reachable only through
+/// [`ExecutionObserver::run_packet`], keeping the trait's per-instruction
+/// `observe` the unchanged reference implementation (the differential
+/// oracle).
+struct BlockRun<'a, H: InstructionHash> {
     mon: &'a mut HardwareMonitor<H>,
-    /// The monitor's hot tables ([`HardwareMonitor::fused_next`],
-    /// `node_hashes`, `hash_memo`, `fast_edges`, `fast_spans`), moved in
-    /// for the duration of the run and moved back by [`Drop`]. Held by
-    /// value so the per-instruction cases read observer-local state only:
-    /// loads behind `mon` must be re-done after every interpreted store
-    /// (the compiler cannot prove the core's memory writes don't alias
-    /// them), while fields of the observer — a `noalias` parameter of the
-    /// monomorphized run loop — stay in registers or L1.
-    next_tab: Vec<u64>,
-    node_hashes: Vec<u8>,
-    hash_memo: Box<[u64]>,
-    fast_edges: Vec<u32>,
-    fast_spans: Vec<(u32, u32)>,
     /// The sole candidate while the set is a singleton ([`NO_NODE`]
-    /// otherwise). Holding it here — instead of reading `current[0]` back
-    /// each instruction — keeps the straight-line fast case to a single
-    /// load of the fused-next table.
+    /// otherwise) — the overwhelmingly common straight-line mode, kept in
+    /// a register instead of `current[0]`.
     node: u32,
     /// Both live arms of a branch while the set has exactly two
     /// candidates (`pair.0 == NO_NODE` otherwise; always sorted, like the
-    /// sets the reference path produces). The pair resolves in-registers
-    /// with two hash-table compares, so the branch round-trip — the most
-    /// common non-singleton shape by far — never touches `mon.current`.
+    /// sets the reference path produces). The pair resolves with two
+    /// table compares, so the branch round-trip — the most common
+    /// non-singleton shape by far — never touches `mon.current`.
     pair: (u32, u32),
     /// Local high-water mark of the candidate-set sizes produced by the
     /// register-resident advances; merged into `stats.max_candidates` at
     /// the end of the packet (the materialized fallback updates the stat
     /// directly, and `max` is order-independent).
     max_seen: usize,
+    /// Full 16-lane blocks hashed bit-sliced this run.
+    blocks: u64,
+    /// Instructions hashed by the scalar tail this run.
+    tail: u64,
+    /// Per-lane hashes of the block being walked.
+    hashes: [u8; BLOCK_LANES],
 }
 
-impl<'a, H: InstructionHash> FusedRun<'a, H> {
-    /// Moves the monitor's hot tables into a run-local observer. The
-    /// tables go back on drop, so the monitor is whole again even if the
-    /// interpreter panics mid-run (the testkit's fault campaigns unwind
-    /// through here).
-    fn take(mon: &'a mut HardwareMonitor<H>) -> FusedRun<'a, H> {
-        FusedRun {
-            next_tab: std::mem::take(&mut mon.fused_next),
-            node_hashes: std::mem::take(&mut mon.node_hashes),
-            hash_memo: std::mem::take(&mut mon.hash_memo),
-            fast_edges: std::mem::take(&mut mon.fast_edges),
-            fast_spans: std::mem::take(&mut mon.fast_spans),
+impl<'a, H: InstructionHash> BlockRun<'a, H> {
+    fn new(mon: &'a mut HardwareMonitor<H>) -> BlockRun<'a, H> {
+        BlockRun {
             mon,
             node: NO_NODE,
             pair: (NO_NODE, NO_NODE),
             max_seen: 0,
+            blocks: 0,
+            tail: 0,
+            hashes: [0; BLOCK_LANES],
         }
-    }
-
-    /// Word→hash through the run-local direct-mapped memo, computing and
-    /// filling on miss. Pure-function memoization: the returned value
-    /// always equals `hash.hash(word)`.
-    #[inline]
-    fn memoized_hash(&mut self, word: u32) -> u8 {
-        let slot = (word.wrapping_mul(0x9e37_79b1) >> 22) as usize & (HASH_MEMO_SLOTS - 1);
-        let packed = self.hash_memo[slot];
-        if packed >> 9 == u64::from(word) && packed & HASH_MEMO_VALID != 0 {
-            return (packed & 0xff) as u8;
-        }
-        let hashed = self.mon.hash.hash(word);
-        self.hash_memo[slot] = (u64::from(word) << 9) | HASH_MEMO_VALID | u64::from(hashed);
-        hashed
-    }
-
-    /// Records a proven `(node, word)` hash match in the run-local table —
-    /// the same packed entry [`HardwareMonitor::learn`] would write.
-    #[inline]
-    fn learn_local(&mut self, cand: usize, word: u32) {
-        self.next_tab[cand] = packed_entry(&self.fast_spans, &self.fast_edges, cand, word);
     }
 
     /// After a proven match on `cand`, move to its pre-sorted, pre-deduped
@@ -383,62 +258,25 @@ impl<'a, H: InstructionHash> FusedRun<'a, H> {
     /// recording the high-water statistic the reference path would.
     #[inline]
     fn advance_span(&mut self, cand: usize) {
-        let (start, end) = self.fast_spans[cand];
-        match end - start {
-            1 => {
-                self.node = self.fast_edges[start as usize];
+        let (start, end) = self.mon.fast_spans[cand];
+        let span = &self.mon.fast_edges[start as usize..end as usize];
+        match *span {
+            [next] => {
+                self.node = next;
                 self.pair = (NO_NODE, NO_NODE);
                 self.max_seen = self.max_seen.max(1);
             }
-            2 => {
+            [a, b] => {
                 self.node = NO_NODE;
-                self.pair = (
-                    self.fast_edges[start as usize],
-                    self.fast_edges[start as usize + 1],
-                );
+                self.pair = (a, b);
                 self.max_seen = self.max_seen.max(2);
             }
-            n => {
+            _ => {
                 self.node = NO_NODE;
                 self.pair = (NO_NODE, NO_NODE);
+                self.max_seen = self.max_seen.max(span.len());
                 self.mon.current.clear();
-                self.mon
-                    .current
-                    .extend_from_slice(&self.fast_edges[start as usize..end as usize]);
-                self.max_seen = self.max_seen.max(n as usize);
-            }
-        }
-    }
-
-    /// [`Self::learn_local`] and [`Self::advance_span`] fused over a single
-    /// span load (the pair path runs this on every resolved branch arm):
-    /// writes the same packed entry and lands in the same mode.
-    #[inline]
-    fn learn_and_advance(&mut self, cand: usize, word: u32) {
-        let (start, end) = self.fast_spans[cand];
-        self.next_tab[cand] = entry_from_span(&self.fast_edges, start, end, word);
-        match end - start {
-            1 => {
-                self.node = self.fast_edges[start as usize];
-                self.pair = (NO_NODE, NO_NODE);
-                self.max_seen = self.max_seen.max(1);
-            }
-            2 => {
-                self.node = NO_NODE;
-                self.pair = (
-                    self.fast_edges[start as usize],
-                    self.fast_edges[start as usize + 1],
-                );
-                self.max_seen = self.max_seen.max(2);
-            }
-            n => {
-                self.node = NO_NODE;
-                self.pair = (NO_NODE, NO_NODE);
-                self.mon.current.clear();
-                self.mon
-                    .current
-                    .extend_from_slice(&self.fast_edges[start as usize..end as usize]);
-                self.max_seen = self.max_seen.max(n as usize);
+                self.mon.current.extend_from_slice(span);
             }
         }
     }
@@ -479,18 +317,42 @@ impl<'a, H: InstructionHash> FusedRun<'a, H> {
         }
     }
 
-    /// Pair-mode check: resolve both arms of a live branch with the
-    /// memoized hash and the run-local node-hash table, entirely in
-    /// registers. The both-match case (a hash collision between the arms)
+    /// One NFA step for a precomputed lane hash. Must stay in lockstep
+    /// with [`HardwareMonitor::advance_candidates`] — same matches, same
+    /// resulting set, same statistics; only the dispatch differs (register
+    /// modes for singleton/pair sets, the reference-shaped fallback for
+    /// everything else). On a violation the candidate state is left
+    /// untouched, exactly like the reference path.
+    #[inline]
+    fn advance(&mut self, observed: u8) -> Observation {
+        let node = self.node;
+        if node != NO_NODE {
+            if self.mon.node_hashes[node as usize] == observed {
+                self.advance_span(node as usize);
+                return Observation::Continue;
+            }
+            self.mon.stats.violations += 1;
+            return Observation::Violation;
+        }
+        if self.pair.0 != NO_NODE {
+            return self.advance_pair(observed);
+        }
+        let obs = self.mon.advance_candidates(observed);
+        if obs == Observation::Continue {
+            self.sync_mode();
+        }
+        obs
+    }
+
+    /// Pair-mode step: resolve both arms of a live branch with two table
+    /// compares. The both-match case (a hash collision between the arms)
     /// takes the materialized reference-shaped fallback.
-    fn observe_pair(&mut self, word: u32) -> Observation {
+    fn advance_pair(&mut self, observed: u8) -> Observation {
         let (pa, pb) = (self.pair.0 as usize, self.pair.1 as usize);
-        let observed = self.memoized_hash(word);
-        let m0 = self.node_hashes[pa] == observed;
-        let m1 = self.node_hashes[pb] == observed;
+        let m0 = self.mon.node_hashes[pa] == observed;
+        let m1 = self.mon.node_hashes[pb] == observed;
         if m0 != m1 {
-            let cand = if m0 { pa } else { pb };
-            self.learn_and_advance(cand, word);
+            self.advance_span(if m0 { pa } else { pb });
             return Observation::Continue;
         }
         if !m0 {
@@ -498,126 +360,46 @@ impl<'a, H: InstructionHash> FusedRun<'a, H> {
             return Observation::Violation;
         }
         self.materialize();
-        let obs = self.advance_fallback(word);
-        self.sync_mode();
+        let obs = self.mon.advance_candidates(observed);
+        if obs == Observation::Continue {
+            self.sync_mode();
+        }
         obs
-    }
-
-    /// The non-register half of `observe`: materialize the live set, run
-    /// the reference-shaped check, re-enter a register mode if the result
-    /// is small again.
-    fn observe_slow(&mut self, word: u32) -> Observation {
-        self.materialize();
-        let obs = self.advance_fallback(word);
-        self.sync_mode();
-        obs
-    }
-
-    /// Candidate advance over `mon.current` with the memoized hash and a
-    /// small-set sort specialization. Must stay in lockstep with
-    /// [`HardwareMonitor::advance_candidates`] — same matches, same
-    /// resulting set, same statistics; only the arithmetic shortcuts
-    /// differ (memoized hash instead of recomputed, compare-swap instead
-    /// of `sort_unstable` for two-element sets).
-    fn advance_fallback(&mut self, word: u32) -> Observation {
-        let observed = self.memoized_hash(word);
-        self.mon.scratch.clear();
-        let mut matched = false;
-        for i in 0..self.mon.current.len() {
-            let cand = self.mon.current[i] as usize;
-            if self.node_hashes[cand] == observed {
-                matched = true;
-                self.learn_local(cand, word);
-                let (start, end) = self.mon.succ_spans[cand];
-                self.mon
-                    .scratch
-                    .extend_from_slice(&self.mon.succ_edges[start as usize..end as usize]);
-            }
-        }
-        if !matched {
-            self.mon.stats.violations += 1;
-            return Observation::Violation;
-        }
-        match self.mon.scratch.len() {
-            0 | 1 => {}
-            2 => {
-                if self.mon.scratch[0] > self.mon.scratch[1] {
-                    self.mon.scratch.swap(0, 1);
-                } else if self.mon.scratch[0] == self.mon.scratch[1] {
-                    self.mon.scratch.pop();
-                }
-            }
-            _ => {
-                self.mon.scratch.sort_unstable();
-                self.mon.scratch.dedup();
-            }
-        }
-        std::mem::swap(&mut self.mon.current, &mut self.mon.scratch);
-        self.mon.stats.max_candidates = self.mon.stats.max_candidates.max(self.mon.current.len());
-        Observation::Continue
     }
 }
 
-impl<H: InstructionHash> Drop for FusedRun<'_, H> {
-    fn drop(&mut self) {
-        self.mon.fused_next = std::mem::take(&mut self.next_tab);
-        self.mon.node_hashes = std::mem::take(&mut self.node_hashes);
-        self.mon.hash_memo = std::mem::take(&mut self.hash_memo);
-        self.mon.fast_edges = std::mem::take(&mut self.fast_edges);
-        self.mon.fast_spans = std::mem::take(&mut self.fast_spans);
-    }
-}
-
-impl<H: InstructionHash> ExecutionObserver for FusedRun<'_, H> {
+impl<H: InstructionHash> BlockObserver for BlockRun<'_, H> {
     fn begin(&mut self, entry: u32) {
         self.mon.begin_impl(entry);
         self.sync_mode();
     }
 
-    #[inline(always)]
-    fn observe(&mut self, _pc: u32, word: u32) -> Observation {
-        // Observability hook for the fused hot loop: a no-op sink unless
-        // the `obs-hot` feature opts into per-retired-instruction
-        // recording (the default level settles instruction counts once per
-        // packet in the NP instead — see `sdmmon-obs`).
-        #[cfg(feature = "obs-hot")]
-        sdmmon_obs::metrics().inc(sdmmon_obs::Counter::MonitorHotInstructions);
-        let node = self.node;
-        if node != NO_NODE {
-            // The overwhelmingly common case — straight-line code under a
-            // singleton candidate whose word was verified before: one load
-            // resolves match and successor (the general path would record
-            // `max(.., 1)` and re-learn the same packed entry here). The
-            // masked compare checks word and [`FUSED_VALID`] in one test;
-            // a cursor out of table range (impossible by construction)
-            // reads as unlearned and re-validates on the slow path.
-            let packed = self.next_tab.get(node as usize).map_or(0, |&p| p);
-            if packed & (FUSED_VALID | 0xffff_ffff) == u64::from(word) | FUSED_VALID {
-                if packed & FUSED_MULTI == 0 {
-                    self.node = ((packed >> 32) & 0x1fff_ffff) as u32;
-                    self.max_seen = self.max_seen.max(1);
-                    return Observation::Continue;
-                }
-                if packed & FUSED_PAIR != 0 {
-                    // Both arms of the branch come out of the entry itself:
-                    // the whole multi-successor advance is one load.
-                    self.node = NO_NODE;
-                    self.pair = (
-                        ((packed >> 32) as u32) & ((1 << ARM_BITS) - 1),
-                        ((packed >> (32 + ARM_BITS)) as u32) & ((1 << ARM_BITS) - 1),
-                    );
-                    self.max_seen = self.max_seen.max(2);
-                    return Observation::Continue;
-                }
-                self.advance_span(node as usize);
-                return Observation::Continue;
+    fn observe_block(&mut self, words: &[u32]) -> Option<usize> {
+        // Full blocks go through the bit-sliced tree — one SWAR pass for
+        // all 16 lanes; the partial final block falls back to the scalar
+        // hash (the block path's scalar tail).
+        if let Ok(full) = <&[u32; BLOCK_LANES]>::try_from(words) {
+            self.hashes = self.mon.hash.hash_block(full);
+            self.blocks += 1;
+        } else {
+            for (h, &w) in self.hashes.iter_mut().zip(words) {
+                *h = self.mon.hash.hash(w);
             }
-            return self.observe_slow(word);
+            self.tail += words.len() as u64;
         }
-        if self.pair.0 != NO_NODE {
-            return self.observe_pair(word);
+        for i in 0..words.len() {
+            // Observability hook for the hot loop: a no-op sink unless the
+            // `obs-hot` feature opts into per-retired-instruction
+            // recording (the default level settles instruction counts once
+            // per packet in the NP instead — see `sdmmon-obs`).
+            #[cfg(feature = "obs-hot")]
+            sdmmon_obs::metrics().inc(sdmmon_obs::Counter::MonitorHotInstructions);
+            let observed = self.hashes[i];
+            if self.advance(observed) == Observation::Violation {
+                return Some(i);
+            }
         }
-        self.observe_slow(word)
+        None
     }
 }
 
@@ -631,26 +413,31 @@ impl<H: InstructionHash> ExecutionObserver for HardwareMonitor<H> {
         self.observe_general(word)
     }
 
-    /// The fused per-packet path: one virtual call per packet, then a
-    /// fully monomorphized interpret–check loop (the generic
-    /// [`Core::process_packet`] inlines [`FusedRun::observe`], which uses
-    /// the memoized-word singleton fast path). Outcomes and statistics are
-    /// identical to the default per-instruction dispatch.
+    /// The block per-packet path: the core retires instructions into
+    /// 16-word blocks ([`Core::process_packet_blocks`]), full blocks are
+    /// hashed in one bit-sliced SWAR pass, and the NFA walk consumes the
+    /// precomputed lane hashes. Outcomes and statistics are identical to
+    /// the default per-instruction dispatch — the block loop rolls the
+    /// step count back to the violating lane and discards speculative
+    /// over-execution.
     fn run_packet(&mut self, core: &mut Core, packet: &[u8]) -> PacketOutcome {
-        let mut fused = FusedRun::take(self);
-        let out = core.process_packet(packet, &mut fused);
+        let mut run = BlockRun::new(self);
+        let out = core.process_packet_blocks(packet, &mut run);
         // The candidate set must survive the run (`candidate_count` is
         // public API and `begin` of the next packet reads nothing else),
         // so flush whatever register mode the run ended in.
-        fused.materialize();
-        let max_seen = fused.max_seen;
-        drop(fused); // moves the hot tables back into the monitor
+        run.materialize();
+        let (max_seen, blocks, tail) = (run.max_seen, run.blocks, run.tail);
 
-        // `observe` fires exactly once per retired instruction — the count
-        // the core already returns — so the per-instruction counter the
-        // general path keeps can be settled once per packet here.
+        // The block loop checks exactly one hash per retired instruction —
+        // the count the core already returns — so the per-instruction
+        // counter the general path keeps can be settled once per packet.
         self.stats.instructions_checked += out.steps;
         self.stats.max_candidates = self.stats.max_candidates.max(max_seen);
+        let metrics = sdmmon_obs::metrics();
+        metrics.add(sdmmon_obs::Counter::MonitorBlocksVerified, blocks);
+        metrics.add(sdmmon_obs::Counter::MonitorScalarTailInstructions, tail);
+        metrics.observe(sdmmon_obs::Hist::MonitorBlocksPerPacket, blocks);
         out
     }
 }

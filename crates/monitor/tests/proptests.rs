@@ -7,9 +7,10 @@
 use sdmmon_isa::asm::Assembler;
 use sdmmon_monitor::block::{BlockGraph, BlockMonitor};
 use sdmmon_monitor::graph::MonitoringGraph;
-use sdmmon_monitor::hash::{Compression, MerkleTreeHash, WidthHash};
+use sdmmon_monitor::hash::{Compression, InstructionHash, MerkleTreeHash, WidthHash, BLOCK_LANES};
 use sdmmon_monitor::monitor::HardwareMonitor;
 use sdmmon_npu::core::Core;
+use sdmmon_npu::cpu::ExecutionObserver;
 use sdmmon_npu::programs::{self, testing};
 use sdmmon_npu::runtime::HaltReason;
 use sdmmon_rng::{Rng, RngCore, SeedableRng, StdRng};
@@ -17,11 +18,7 @@ use sdmmon_rng::{Rng, RngCore, SeedableRng, StdRng};
 const CASES: usize = 64;
 
 fn arb_compression(rng: &mut StdRng) -> Compression {
-    match rng.gen_range(0..3u8) {
-        0 => Compression::SumMod16,
-        1 => Compression::Xor,
-        _ => Compression::SBox,
-    }
+    Compression::ALL[rng.gen_range(0..Compression::ALL.len())]
 }
 
 /// No false positives: any parameter, any compression, any valid or
@@ -196,6 +193,116 @@ fn wrong_binary_graph_rejects_quickly() {
         "mismatch found within a few instructions: {}",
         out.steps
     );
+}
+
+/// The bit-sliced block hash is a drop-in for the scalar tree: for every
+/// compression, random parameters, and random instruction words, all 16
+/// lanes of [`InstructionHash::hash_block`] agree with the scalar
+/// [`InstructionHash::hash`] — including words whose nibbles exercise the
+/// full 0..16 range in every plane.
+#[test]
+fn bitsliced_block_hash_matches_scalar_all_compressions() {
+    let mut rng = StdRng::seed_from_u64(0x4D0_0007);
+    for _ in 0..CASES {
+        let param = rng.next_u32();
+        for compression in Compression::ALL {
+            let hash = MerkleTreeHash::with_compression(param, compression);
+            let mut words = [0u32; BLOCK_LANES];
+            for w in &mut words {
+                *w = rng.next_u32();
+            }
+            let block = hash.hash_block(&words);
+            for (i, &w) in words.iter().enumerate() {
+                assert_eq!(
+                    block[i],
+                    hash.hash(w),
+                    "lane {i} param {param:#010x} {compression:?}"
+                );
+            }
+        }
+    }
+}
+
+/// [`WidthHash`] block hashing agrees with its scalar path at every
+/// ablation width (2, 4, 8 bits), random parameters and words.
+#[test]
+fn width_hash_block_path_matches_scalar() {
+    let mut rng = StdRng::seed_from_u64(0x4D0_0008);
+    for _ in 0..CASES {
+        let param = rng.next_u32();
+        for width in [2, 4, 8] {
+            let hash = WidthHash::new(param, width);
+            let mut words = [0u32; BLOCK_LANES];
+            for w in &mut words {
+                *w = rng.next_u32();
+            }
+            let block = hash.hash_block(&words);
+            for (i, &w) in words.iter().enumerate() {
+                assert_eq!(block[i], hash.hash(w), "lane {i} width {width}");
+            }
+        }
+    }
+}
+
+/// The block-verification packet path ([`ExecutionObserver::run_packet`],
+/// which retires 16-instruction blocks and hashes them bit-sliced) is
+/// observationally identical to the per-instruction reference dispatch:
+/// same verdict, halt reason, and step count, same monitor statistics and
+/// final candidate set — for random parameters, compressions, packets, and
+/// randomly corrupted binaries (so violations land at arbitrary offsets
+/// inside a block, including partial final blocks of 1..=15 instructions).
+#[test]
+fn block_path_is_byte_identical_to_reference_path() {
+    let program = programs::ipv4_forward().expect("workload assembles");
+    let mut rng = StdRng::seed_from_u64(0x4D0_0009);
+    for case in 0..CASES * 2 {
+        let param = rng.next_u32();
+        let compression = arb_compression(&mut rng);
+        let dst = rng.gen::<u8>();
+        let ttl = rng.gen::<u8>();
+        let mut payload = vec![0u8; rng.gen_range(0..96usize)];
+        rng.fill_bytes(&mut payload);
+        let corrupt = rng.gen_bool(0.5);
+
+        let hash = MerkleTreeHash::with_compression(param, compression);
+        let graph = MonitoringGraph::extract(&program, &hash).expect("graph extracts");
+        let mut reference = HardwareMonitor::new(graph.clone(), hash);
+        let mut blockwise = HardwareMonitor::new(graph, hash);
+
+        let mut core_a = Core::new();
+        let mut core_b = Core::new();
+        core_a.install(&program.to_bytes(), program.base);
+        core_b.install(&program.to_bytes(), program.base);
+        if corrupt {
+            let word_index = rng.gen_range(0..program.words.len().min(40));
+            let bit = rng.gen_range(0..32usize);
+            let addr = program.base + 4 * word_index as u32;
+            let original = core_a.memory().load_u32(addr).expect("in range");
+            let patched = original ^ (1 << bit);
+            core_a
+                .memory_mut()
+                .store_u32(addr, patched)
+                .expect("in range");
+            core_b
+                .memory_mut()
+                .store_u32(addr, patched)
+                .expect("in range");
+        }
+
+        let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, dst], ttl, &payload);
+        // Reference: the trait's default per-instruction observe loop.
+        let ref_out = core_a.process_packet(&packet, &mut reference);
+        // Under test: the block path behind `run_packet`.
+        let blk_out = blockwise.run_packet(&mut core_b, &packet);
+
+        assert_eq!(blk_out, ref_out, "case {case} outcome");
+        assert_eq!(blockwise.stats(), reference.stats(), "case {case} stats");
+        assert_eq!(
+            blockwise.candidate_count(),
+            reference.candidate_count(),
+            "case {case} candidates"
+        );
+    }
 }
 
 /// Deterministic: monitors survive tiny synthetic programs with odd shapes

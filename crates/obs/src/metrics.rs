@@ -77,6 +77,12 @@ metric_enum! {
         /// loop — only ever nonzero with the `obs-hot` feature of
         /// `sdmmon-monitor`; the default build is a no-op sink.
         MonitorHotInstructions => "monitor_hot_instructions",
+        /// Full 16-lane retirement blocks verified through the monitor's
+        /// bit-sliced hash path (settled once per packet).
+        MonitorBlocksVerified => "monitor_blocks_verified",
+        /// Instructions verified by the block path's scalar tail — partial
+        /// final blocks at trap/`break`/step-limit boundaries.
+        MonitorScalarTailInstructions => "monitor_scalar_tail_instructions",
         /// RSA signatures produced.
         CryptoRsaSign => "crypto_rsa_sign",
         /// RSA signature verifications.
@@ -127,6 +133,10 @@ metric_enum! {
         DetectionLatencySteps => "detection_latency_steps",
         /// Transport attempts per completed download.
         DownloadAttempts => "download_attempts",
+        /// Full bit-sliced blocks per packet on the monitor's block path —
+        /// together with the block/tail counters this makes block-path
+        /// coverage visible in `sdmmon stats`.
+        MonitorBlocksPerPacket => "monitor_blocks_per_packet",
     }
 }
 

@@ -704,9 +704,24 @@ pub fn resilient_deploy(
 /// `k` required `k` consecutive 4-bit hash collisions, so the observed
 /// rate should track `16^-k`.
 pub fn escape_model(trials: u64, k_max: u32, seed: u64) -> Vec<EscapeRow> {
+    escape_model_for(Compression::SumMod16, trials, k_max, seed)
+}
+
+/// [`escape_model`] generalized over the compression function, so the
+/// keyed [`Compression::SipRound`] variant (and the ablation compressions)
+/// can be validated against the same `16^-k` curve. The paper's model only
+/// needs the per-node hash to be uniform over the parameter; every wired
+/// compression is bijective in each argument, so the curve should hold for
+/// all of them.
+pub fn escape_model_for(
+    compression: Compression,
+    trials: u64,
+    k_max: u32,
+    seed: u64,
+) -> Vec<EscapeRow> {
     let mut rng = StdRng::seed_from_u64(seed);
     let program = programs::ipv4_forward().expect("embedded workload assembles");
-    let hash = MerkleTreeHash::new(rng.gen());
+    let hash = MerkleTreeHash::with_compression(rng.gen(), compression);
     let graph = MonitoringGraph::extract(&program, &hash).expect("graph extracts");
     let addrs: Vec<u32> = graph.iter().map(|(a, _)| a).collect();
     let mut escapes = vec![0u64; k_max as usize];

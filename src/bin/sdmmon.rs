@@ -7,7 +7,7 @@
 //! sdmmon disasm <file.bin> [--base <addr>]
 //!     Disassemble a binary image.
 //!
-//! sdmmon graph <file.s> [--param <hex>] [--compression sum|xor|sbox]
+//! sdmmon graph <file.s> [--param <hex>] [--compression sum|xor|sbox|sip]
 //!     Extract and summarize the monitoring graph of a workload.
 //!
 //! sdmmon run <file.s> --packet <hex> [--param <hex>] [--trace <n>]
@@ -27,7 +27,7 @@
 //!     Deploy a fleet over a deterministic faulty transport and print
 //!     the per-router convergence table (installed vs quarantined).
 //!
-//! sdmmon bench [--quick] [--shards <n>] [--metrics <path>]
+//! sdmmon bench [--quick] [--shards <n>] [--hash] [--metrics <path>]
 //!     Run the sharded batch-engine throughput sweep (serial oracle vs
 //!     the persistent-pool engine, byte-identity asserted) and fail if
 //!     the sharded engine is slower than serial — the regression gate
@@ -96,7 +96,7 @@ sdmmon — network-processor hardware-monitor toolkit (DAC'14 reproduction)
 USAGE:
     sdmmon asm    <file.s>   [-o <out.bin>] [--base <addr>]
     sdmmon disasm <file.bin> [--base <addr>]
-    sdmmon graph  <file.s>   [--param <hex>] [--compression sum|xor|sbox]
+    sdmmon graph  <file.s>   [--param <hex>] [--compression sum|xor|sbox|sip]
     sdmmon run    <file.s>   --packet <hex> [--param <hex>] [--trace <n>]
     sdmmon campaign [--seed <n>] [--budget <n>] [--routers <n>]
                     [--escape-trials <n>] [--out <path>]
@@ -106,7 +106,7 @@ USAGE:
                   [--outage <from:len>] [--blackhole <router>]
                   [--max-retries <n>] [--deploy-attempts <n>]
                   [--events <path>] [--metrics <path>]
-    sdmmon bench  [--quick] [--shards <n>] [--metrics <path>]
+    sdmmon bench  [--quick] [--shards <n>] [--hash] [--metrics <path>]
     sdmmon stats  [--seed <n>] [--packets <n>] [--cores <n>] [--shards <n>]
                   [--events <path>] [--metrics <path>]
 
@@ -207,8 +207,9 @@ fn parse_compression(text: &str) -> Result<Compression, CliError> {
         "sum" => Ok(Compression::SumMod16),
         "xor" => Ok(Compression::Xor),
         "sbox" => Ok(Compression::SBox),
+        "sip" => Ok(Compression::SipRound),
         other => Err(usage(format!(
-            "unknown compression `{other}` (sum|xor|sbox)"
+            "unknown compression `{other}` (sum|xor|sbox|sip)"
         ))),
     }
 }
@@ -610,11 +611,13 @@ fn cmd_deploy(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), CliError> {
+    use sdmmon::bench::hashbench::{self, HashBenchConfig};
     use sdmmon::bench::sharded::{self, ShardedConfig};
 
     // `--quick` is a switch (no value), so this command parses by hand
     // rather than through the value-flag parser the other commands share.
     let mut quick = false;
+    let mut hash = false;
     let mut max_shards = None;
     let mut events_path = None;
     let mut metrics_path = None;
@@ -622,6 +625,7 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--hash" => hash = true,
             "--shards" => {
                 let v = it
                     .next()
@@ -650,6 +654,35 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
             }
             other => return Err(usage(format!("unknown option `{other}`"))),
         }
+    }
+
+    // `--hash` runs the bit-sliced hash scenario instead of the sharded
+    // sweep and gates the SWAR win: the headline compression (sip — the
+    // one whose scalar tree the compiler cannot collapse, so the ratio is
+    // the honest tree-vs-SWAR comparison; see `hashbench::headline`) must
+    // hash at least 4x faster bit-sliced than scalar, or the bench fails.
+    if hash {
+        let report = hashbench::run(&HashBenchConfig::new(quick));
+        print!("{}", report.table());
+        let headline = report.headline();
+        println!(
+            "\nheadline: {:.2}x scalar for `{}` ({} words, best of {}; \
+             outputs identical to the scalar oracle)",
+            headline.speedup(),
+            headline.label(),
+            report.words,
+            report.repeats,
+        );
+        write_observability(None, metrics_path)?;
+        if headline.speedup() < 4.0 {
+            return Err(processing(format!(
+                "bit-sliced hash is below the 4x gate over scalar \
+                 ({:.2}x for `{}`) — the SWAR block path regressed",
+                headline.speedup(),
+                headline.label(),
+            )));
+        }
+        return Ok(());
     }
 
     // The timed loop runs with no event plumbing unless asked — the bench

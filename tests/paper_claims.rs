@@ -2,11 +2,12 @@
 //! (the bench binaries run the full-scale versions).
 
 use sdmmon::fpga::components;
+use sdmmon::monitor::hash::Compression;
 use sdmmon::monitor::hash::{hamming, MerkleTreeHash};
 use sdmmon::monitor::{InstructionHash, MonitoringGraph};
 use sdmmon::net::channel::Channel;
 use sdmmon::npu::programs;
-use sdmmon::testkit::campaign::escape_model;
+use sdmmon::testkit::campaign::{escape_model, escape_model_for};
 use sdmmon_rng::{Rng, SeedableRng};
 
 /// §2.1: escape probability falls geometrically as 16⁻ᵏ for deviation
@@ -42,6 +43,28 @@ fn detection_probability_is_geometric() {
                 pair[1].k
             );
         }
+    }
+}
+
+/// The keyed SipRound compression keeps the paper's 16⁻ᵏ escape curve:
+/// the ARX round is bijective in each argument, so per-node hashes stay
+/// uniform over the router parameter and deviation detection loses nothing
+/// to the keyed variant. Same campaign model, k ∈ {1, 2, 3}.
+#[test]
+fn keyed_sip_compression_keeps_the_escape_curve() {
+    let trials = 200_000u64;
+    let rows = escape_model_for(Compression::SipRound, trials, 3, 0x6E1);
+    assert_eq!(rows.len(), 3);
+    for row in &rows {
+        let observed = row.observed_rate();
+        let model = row.model_rate();
+        assert!(
+            observed >= model / 3.0 && observed <= model * 3.0,
+            "k={}: observed {observed:.8} vs model {model:.8} ({} escapes / {} trials)",
+            row.k,
+            row.escapes,
+            row.trials,
+        );
     }
 }
 
