@@ -1,14 +1,16 @@
 #!/bin/sh
 # Repo gate: formatting, lints, full test suite, a quick perf smoke run
-# (quick mode writes target/BENCH_PR6.quick.json; the committed
-# BENCH_PR6.json comes from a full release run of the same binary), the
+# (quick mode writes target/BENCH_PR7.quick.json; the committed
+# BENCH_PR7.json comes from a full release run of the same binary), the
 # sharded-engine throughput gate (with and without metrics recording),
 # the bit-sliced hash gate (SWAR block path >= 4x scalar on the headline
 # compression),
 # a bounded adversarial campaign (accounting + differential assertions,
-# deterministic per seed), and an events-schema smoke (byte-identical
-# sdmmon-events-v1 replay; see docs/TESTKIT.md, docs/PERF.md, and
-# docs/OBSERVABILITY.md).
+# deterministic per seed), an events-schema smoke (byte-identical
+# sdmmon-events-v1 replay), the v1-vs-v2 install differential, and a
+# seeded 1k-router fleet deploy smoke (byte-identical replay; see
+# docs/TESTKIT.md, docs/PERF.md, docs/OBSERVABILITY.md, and
+# docs/RESILIENCE.md §7).
 set -eux
 
 # Build artifacts must never be tracked.
@@ -42,13 +44,19 @@ grep -q '"schema": "sdmmon-metrics-v1"' target/ci-bench-metrics.json
 # exit 2 on a regression).
 cargo run --release --bin sdmmon -- bench --quick --hash
 
-# Schema gate: the committed report must carry the v3 schema (v2 plus the
-# "hash" section), and its key sequence must match what the binary
-# writes today — a drifted field set fails the diff.
-grep -q '"schema": "sdmmon-perf-report-v3"' BENCH_PR6.json
-sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' BENCH_PR6.json > target/BENCH_PR6.schema
-sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' target/BENCH_PR6.quick.json > target/BENCH_PR6.quick.schema
-diff target/BENCH_PR6.schema target/BENCH_PR6.quick.schema
+# Schema gate: the committed report must carry the v4 schema (v3 plus the
+# "deploy" section and the keygen split in "fleet"), and its key sequence
+# must match what the binary writes today — a drifted field set fails the
+# diff.
+grep -q '"schema": "sdmmon-perf-report-v4"' BENCH_PR7.json
+sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' BENCH_PR7.json > target/BENCH_PR7.schema
+sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' target/BENCH_PR7.quick.json > target/BENCH_PR7.quick.schema
+diff target/BENCH_PR7.schema target/BENCH_PR7.quick.schema
+
+# Wire-format differential gate: a router installing the v1 rendering and
+# its twin installing the v2 rendering of the same fleet update must land
+# in byte-identical state, across seeds and core counts.
+cargo test -q --release --test fleet_scale v1_and_v2_installs_agree
 
 cargo run --release --bin sdmmon -- campaign --seed 1 --budget 2000
 
@@ -77,3 +85,32 @@ PYEOF
 # 4 routers x <=3 cycles x <=60 transport attempts.
 cargo run --release --bin sdmmon -- deploy --routers 4 --cores 2 --seed 7 \
     --loss 0.2 --corrupt 0.05 --stall 0.05 --outage 2:5 --blackhole 2
+
+# Fleet-scale deploy smoke: a seeded 1k-router hierarchical campaign
+# (operator -> 8 relays -> routers, shared-package key-wrap, wire-v2
+# delta fetches) must complete in seconds and replay byte-identically —
+# both the JSON report and the fleet.* event stream.
+cargo run --release --bin sdmmon -- deploy --routers 1000 --relays 8 \
+    --seed 42 --out target/ci-fleet-a.json --events target/ci-fleet-a.jsonl
+cargo run --release --bin sdmmon -- deploy --routers 1000 --relays 8 \
+    --seed 42 --out target/ci-fleet-b.json --events target/ci-fleet-b.jsonl
+cmp target/ci-fleet-a.json target/ci-fleet-b.json
+cmp target/ci-fleet-a.jsonl target/ci-fleet-b.jsonl
+python3 - target/ci-fleet-a.json target/ci-fleet-a.jsonl <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "sdmmon-fleet-v1", report["schema"]
+assert report["installed"] + report["quarantined"] == report["routers"]
+assert report["installed"] > 0, "fleet deploy installed nothing"
+lines = open(sys.argv[2]).read().splitlines()
+kinds = set()
+for n, line in enumerate(lines, 1):
+    event = json.loads(line)
+    assert event["schema"] == "sdmmon-events-v1", (n, event)
+    if event["kind"].startswith("fleet."):
+        kinds.add(event["kind"])
+for kind in ("fleet.relay_synced", "fleet.router_installed", "fleet.deploy_done"):
+    assert kind in kinds, (kind, sorted(kinds))
+print(f"fleet ok: {report['installed']}/{report['routers']} installed, "
+      f"{len(kinds)} fleet.* event kinds")
+PYEOF

@@ -1,13 +1,14 @@
 //! Machine-readable performance report for the hot paths: Montgomery/CRT
 //! RSA, the NPU pre-decoded instruction cache, the parallel fleet/batch
-//! paths, the sharded batch engine (schema v2), and the SWAR bit-sliced
-//! monitor hash (schema v3) — each measured against the code path it
-//! replaced (which stays alive as the differential-test oracle).
+//! paths, the sharded batch engine (schema v2), the SWAR bit-sliced
+//! monitor hash (schema v3), and the shared-package fleet-update crypto
+//! (schema v4) — each measured against the code path it replaced (which
+//! stays alive as the differential-test oracle).
 //!
-//! Writes `BENCH_PR6.json` (schema `sdmmon-perf-report-v3`) at the
+//! Writes `BENCH_PR7.json` (schema `sdmmon-perf-report-v4`) at the
 //! repository root and prints a summary table; the committed
-//! `BENCH_PR1.json` and `BENCH_PR4.json` are the frozen v1/v2 artifacts
-//! of the earlier overhauls. Run with:
+//! `BENCH_PR1.json`, `BENCH_PR4.json` and `BENCH_PR6.json` are the frozen
+//! v1/v2/v3 artifacts of the earlier overhauls. Run with:
 //!
 //! ```text
 //! cargo run --release -p sdmmon-bench --bin perf_report [-- --quick] [--shards N]
@@ -45,6 +46,12 @@ struct Config {
     ips_packets: usize,
     throughput_packets: usize,
     fleet_routers: usize,
+    /// Fleet size of the shared-package deploy measurement.
+    deploy_routers: usize,
+    /// Routers actually prepared on the naive per-router side (the full
+    /// per-router packaging is what the shared path exists to avoid, so it
+    /// is sampled and reported per-router, never extrapolated to a total).
+    naive_sample: usize,
 }
 
 impl Config {
@@ -56,6 +63,8 @@ impl Config {
                 ips_packets: 64,
                 throughput_packets: 128,
                 fleet_routers: 2,
+                deploy_routers: 500,
+                naive_sample: 8,
             }
         } else {
             // Sized so each timed side runs long enough (≥100 ms) that
@@ -66,6 +75,8 @@ impl Config {
                 ips_packets: 32_768,
                 throughput_packets: 16_384,
                 fleet_routers: 6,
+                deploy_routers: 10_000,
+                naive_sample: 128,
             }
         }
     }
@@ -83,7 +94,7 @@ fn main() {
     let cfg = Config::new(quick);
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"sdmmon-perf-report-v3\",");
+    let _ = writeln!(json, "  \"schema\": \"sdmmon-perf-report-v4\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
 
     rsa_section(&cfg, &mut rows, &mut json);
@@ -92,6 +103,7 @@ fn main() {
     throughput_section(&cfg, &mut rows, &mut json);
     sharded_section(quick, max_shards, &mut rows, &mut json);
     fleet_section(&cfg, &mut rows, &mut json);
+    deploy_section(&cfg, &mut rows, &mut json);
 
     // Drop the trailing comma of the last section.
     json.truncate(json.trim_end().trim_end_matches(',').len());
@@ -107,10 +119,10 @@ fn main() {
     let path = if quick {
         concat!(
             env!("CARGO_MANIFEST_DIR"),
-            "/../../target/BENCH_PR6.quick.json"
+            "/../../target/BENCH_PR7.quick.json"
         )
     } else {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json")
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json")
     };
     std::fs::write(path, &json).expect("write perf report json");
     println!("\nwrote {path}");
@@ -426,6 +438,18 @@ fn fleet_section(cfg: &Config, rows: &mut Vec<Vec<String>>, json: &mut String) {
     let report = router.install_bundle(&bundle, &[0]).expect("install");
     let install_ms = t.elapsed().as_secs_f64() * 1e3;
 
+    // RSA key generation alone for the same fleet, timed separately: the
+    // deploy wall clock below is keygen-bound, and the v3 report's bare
+    // `parallel_speedup` ≈ 1.0 read as "parallelism is broken" when it
+    // actually meant "the timed region is mostly this serial-equivalent
+    // RSA work". The fraction makes that denominator explicit.
+    let (_, _, mut rng) = world(0xBE7C_0005);
+    let t = Instant::now();
+    for _ in 0..cfg.fleet_routers {
+        RsaKeyPair::generate(FLEET_KEY_BITS, &mut rng).expect("pool key");
+    }
+    let keygen_ms = t.elapsed().as_secs_f64() * 1e3;
+
     let (manufacturer, operator, mut rng) = world(0xBE7C_0005);
     let t = Instant::now();
     let serial = Fleet::deploy_serial(
@@ -477,11 +501,147 @@ fn fleet_section(cfg: &Config, rows: &mut Vec<Vec<String>>, json: &mut String) {
     let _ = writeln!(json, "    \"package_bytes\": {},", report.package_bytes);
     let _ = writeln!(json, "    \"install_ms\": {install_ms:.3}");
     let _ = writeln!(json, "  }},");
+    let keygen_fraction = (keygen_ms / serial_ms).min(1.0);
     let _ = writeln!(json, "  \"fleet\": {{");
     let _ = writeln!(json, "    \"routers\": {},", cfg.fleet_routers);
     let _ = writeln!(json, "    \"key_bits\": {FLEET_KEY_BITS},");
+    let _ = writeln!(json, "    \"keygen_ms\": {keygen_ms:.3},");
+    let _ = writeln!(json, "    \"keygen_fraction\": {keygen_fraction:.3},");
     let _ = writeln!(json, "    \"serial_deploy_ms\": {serial_ms:.3},");
     let _ = writeln!(json, "    \"parallel_deploy_ms\": {parallel_ms:.3},");
     let _ = writeln!(json, "    \"parallel_speedup\": {speedup:.3}");
     let _ = writeln!(json, "  }},");
+}
+
+/// The PR 7 shared-package fleet update: per-router crypto cost of the
+/// naive path (one full package — graph extraction, signature, AES
+/// encryption, key wrap — per router) vs the shared path (one package +
+/// one batched key wrap per router), then the hierarchical transport
+/// campaign timed **separately** so simulated-network work never pollutes
+/// the crypto figures.
+fn deploy_section(cfg: &Config, rows: &mut Vec<Vec<String>>, json: &mut String) {
+    use sdmmon_core::distrib::{deploy_fleet, FleetDeployConfig};
+    use sdmmon_crypto::rsa::RsaPublicKey;
+
+    /// Router device key size: the 16-byte package key + 11 bytes PKCS#1
+    /// padding needs ≥ 216 bits; small keys keep 10k wraps honest about
+    /// the *amortization*, which is key-size-agnostic.
+    const DEVICE_KEY_BITS: usize = 256;
+    const KEY_POOL: usize = 64;
+
+    let program = programs::ipv4_forward().expect("assembles");
+    let mut rng = StdRng::seed_from_u64(0xBE7C_0007);
+    let manufacturer = Manufacturer::new("acme", FLEET_KEY_BITS, &mut rng).expect("keys");
+    let mut operator = NetworkOperator::new("op", FLEET_KEY_BITS, &mut rng).expect("keys");
+    operator.accept_certificate(manufacturer.certify_operator(operator.public_key(), "op"));
+    // Both paths draw recipients from the same bounded pool, exactly like
+    // the fleet campaign.
+    let pool: Vec<RsaKeyPair> = (0..KEY_POOL)
+        .map(|_| RsaKeyPair::generate(DEVICE_KEY_BITS, &mut rng).expect("pool key"))
+        .collect();
+
+    // Naive side: a complete per-router package, sampled (preparing 10k of
+    // them is precisely the cost this PR removes).
+    let naive_n = cfg.naive_sample.min(cfg.deploy_routers).max(1);
+    let t = Instant::now();
+    for i in 0..naive_n {
+        operator
+            .prepare_package(&program, &pool[i % KEY_POOL].public, &mut rng)
+            .expect("naive package");
+    }
+    let naive_total_ms = t.elapsed().as_secs_f64() * 1e3;
+    let naive_per_router_us = naive_total_ms * 1e3 / naive_n as f64;
+
+    // Shared side at full fleet size: one package preparation, then one
+    // batched wrap of the symmetric key for every router.
+    let routers = cfg.deploy_routers;
+    let t = Instant::now();
+    let update = operator
+        .prepare_fleet_update(&program, &mut rng)
+        .expect("fleet update");
+    let prepare_ms = t.elapsed().as_secs_f64() * 1e3;
+    let recipients: Vec<&RsaPublicKey> = (0..routers).map(|i| &pool[i % KEY_POOL].public).collect();
+    let t = Instant::now();
+    let wrapped = update.wrap_keys(&recipients, &mut rng).expect("wrap keys");
+    let wrap_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(wrapped.len(), routers);
+    let shared_per_router_us = (prepare_ms + wrap_ms) * 1e3 / routers as f64;
+    let amortization = naive_per_router_us / shared_per_router_us;
+
+    // Transport, as its own measurement: the full hierarchical campaign
+    // over the simulated faulty network. Its wall clock includes fault
+    // simulation and install verification — reported separately so the
+    // crypto amortization above stays a pure crypto ratio.
+    let relays = 16usize.min(routers.max(1));
+    let config = FleetDeployConfig {
+        routers,
+        relays,
+        key_pool: KEY_POOL,
+        ..FleetDeployConfig::default()
+    };
+    let t = Instant::now();
+    let report = deploy_fleet(&config, &program, 0xBE7C_0007, None).expect("fleet campaign");
+    let tree_ms = t.elapsed().as_secs_f64() * 1e3;
+    report.verify_accounting().expect("campaign accounting");
+
+    rows.push(vec![
+        format!("fleet update crypto, {routers} routers (us/router)"),
+        format!("{naive_per_router_us:.0}"),
+        format!("{shared_per_router_us:.1}"),
+        format!("{amortization:.1}x"),
+    ]);
+    rows.push(vec![
+        format!("fleet campaign, {routers} routers x {relays} relays (ms)"),
+        "-".into(),
+        format!("{tree_ms:.0}"),
+        "-".into(),
+    ]);
+
+    let _ = writeln!(json, "  \"deploy\": {{");
+    let _ = writeln!(json, "    \"routers\": {routers},");
+    let _ = writeln!(json, "    \"relays\": {relays},");
+    let _ = writeln!(json, "    \"device_key_bits\": {DEVICE_KEY_BITS},");
+    let _ = writeln!(json, "    \"key_pool\": {KEY_POOL},");
+    let _ = writeln!(json, "    \"naive_sample_routers\": {naive_n},");
+    let _ = writeln!(json, "    \"naive_total_ms\": {naive_total_ms:.3},");
+    let _ = writeln!(
+        json,
+        "    \"naive_per_router_crypto_us\": {naive_per_router_us:.3},"
+    );
+    let _ = writeln!(json, "    \"shared_prepare_ms\": {prepare_ms:.3},");
+    let _ = writeln!(json, "    \"shared_wrap_ms\": {wrap_ms:.3},");
+    let _ = writeln!(
+        json,
+        "    \"shared_per_router_crypto_us\": {shared_per_router_us:.3},"
+    );
+    let _ = writeln!(json, "    \"crypto_amortization_x\": {amortization:.3},");
+    let _ = writeln!(json, "    \"tree_deploy_ms\": {tree_ms:.3},");
+    let _ = writeln!(
+        json,
+        "    \"transport_attempts\": {},",
+        report.transport_attempts
+    );
+    let _ = writeln!(
+        json,
+        "    \"origin_shared_egress_bytes\": {},",
+        report.origin_shared_egress_bytes
+    );
+    let _ = writeln!(
+        json,
+        "    \"origin_key_egress_bytes\": {},",
+        report.origin_key_egress_bytes
+    );
+    let _ = writeln!(
+        json,
+        "    \"relay_egress_bytes\": {},",
+        report.relay_egress_bytes
+    );
+    let _ = writeln!(json, "    \"installed\": {},", report.installed);
+    let _ = writeln!(json, "    \"quarantined\": {}", report.quarantined);
+    let _ = writeln!(json, "  }},");
+
+    assert!(
+        amortization >= 10.0,
+        "shared-package crypto amortization below the 10x gate: {amortization:.2}x"
+    );
 }

@@ -4,9 +4,11 @@
 use crate::cert::Certificate;
 use crate::package::{InstallationBundle, Package};
 use crate::timing::NiosCycleModel;
+use crate::wire2::{BundleV2, Section, SectionTag, TlvBundle, SEGMENT_BYTES};
 use crate::SdmmonError;
 use sdmmon_crypto::aes::Aes;
-use sdmmon_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use sdmmon_crypto::hmac::hmac_sha256;
+use sdmmon_crypto::rsa::{wrap_key_batch, RsaKeyPair, RsaPublicKey};
 use sdmmon_isa::asm::Program;
 use sdmmon_monitor::hash::Compression;
 use sdmmon_monitor::{HardwareMonitor, MerkleTreeHash, MonitoringGraph};
@@ -81,15 +83,31 @@ impl Manufacturer {
         key_bits: usize,
         rng: &mut R,
     ) -> Result<RouterDevice, SdmmonError> {
-        Ok(RouterDevice {
+        Ok(self.provision_router_with_keys(name, cores, RsaKeyPair::generate(key_bits, rng)?))
+    }
+
+    /// [`Manufacturer::provision_router`] with a caller-supplied device key
+    /// pair.
+    ///
+    /// This is the fleet-scale provisioning path: a bounded pool of
+    /// pre-generated key pairs caps key-generation cost when manufacturing
+    /// tens of thousands of simulated routers, while the install protocol
+    /// itself stays strictly per-key.
+    pub fn provision_router_with_keys(
+        &self,
+        name: &str,
+        cores: usize,
+        keys: RsaKeyPair,
+    ) -> RouterDevice {
+        RouterDevice {
             name: name.to_owned(),
-            keys: RsaKeyPair::generate(key_bits, rng)?,
+            keys,
             manufacturer_key: self.keys.public.clone(),
             np: NetworkProcessor::new(cores),
             installed: vec![None; cores],
             timing_model: NiosCycleModel::paper(),
             last_sequence: 0,
-        })
+        }
     }
 }
 
@@ -235,6 +253,285 @@ impl NetworkOperator {
             certificate,
         })
     }
+
+    /// Prepares one **shared fleet update**: the expensive per-package work
+    /// — graph extraction, signing, and payload encryption — happens *once*
+    /// here, leaving only the cheap per-router RSA key-wrap
+    /// ([`FleetUpdate::wrap_keys`]) to scale with fleet size. This is the
+    /// amortization the paper's structure permits: SR1/SR3 cover the shared
+    /// payload, SR4 stays per-router via the wrap.
+    ///
+    /// The payload is encrypted per [`SEGMENT_BYTES`]-sized section with a
+    /// plaintext-derived IV, so successor updates
+    /// ([`NetworkOperator::prepare_fleet_successor`]) re-encrypt unchanged
+    /// sections to identical ciphertext — the delta-update contract.
+    ///
+    /// Note the SR2 tradeoff: every router installing one fleet update
+    /// shares a hash parameter (diversity is *across updates*, not across
+    /// routers within one update). Operators wanting per-router diversity
+    /// keep using [`NetworkOperator::prepare_package`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`NetworkOperator::prepare_package`].
+    pub fn prepare_fleet_update<R: RngCore + ?Sized>(
+        &self,
+        program: &Program,
+        rng: &mut R,
+    ) -> Result<FleetUpdate, SdmmonError> {
+        let sequence = self.reserve_sequences(1);
+        self.prepare_fleet_update_with_sequence(program, sequence, rng)
+    }
+
+    /// [`NetworkOperator::prepare_fleet_update`] with a caller-assigned
+    /// sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`NetworkOperator::prepare_package`].
+    pub fn prepare_fleet_update_with_sequence<R: RngCore + ?Sized>(
+        &self,
+        program: &Program,
+        sequence: u64,
+        rng: &mut R,
+    ) -> Result<FleetUpdate, SdmmonError> {
+        let hash_param = rng.next_u32();
+        let mut sym_key = [0u8; SYM_KEY_BYTES];
+        rng.fill_bytes(&mut sym_key);
+        self.build_fleet_update(program, hash_param, sym_key, sequence)
+    }
+
+    /// Prepares the **successor version** of a fleet update: same package
+    /// key and hash parameter as `prev`, fresh sequence number. Unchanged
+    /// payload sections re-encrypt to byte-identical ciphertext, so routers
+    /// holding `prev` download only the sections that differ (for a pure
+    /// sequence bump: the final section, which carries the sequence field).
+    ///
+    /// Reusing the hash parameter is the documented delta-vs-rotation
+    /// choice: a successor keeps monitors parameter-compatible across the
+    /// fleet but does not re-diversify (SR2 across versions); preparing a
+    /// fresh [`NetworkOperator::prepare_fleet_update`] rotates both and
+    /// forces a full download. Entirely deterministic — no rng.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`NetworkOperator::prepare_package`].
+    pub fn prepare_fleet_successor(
+        &self,
+        prev: &FleetUpdate,
+        program: &Program,
+    ) -> Result<FleetUpdate, SdmmonError> {
+        let sequence = self.reserve_sequences(1);
+        self.build_fleet_update(program, prev.hash_param, prev.sym_key, sequence)
+    }
+
+    fn build_fleet_update(
+        &self,
+        program: &Program,
+        hash_param: u32,
+        sym_key: [u8; SYM_KEY_BYTES],
+        sequence: u64,
+    ) -> Result<FleetUpdate, SdmmonError> {
+        let certificate = self
+            .certificate
+            .clone()
+            .ok_or(SdmmonError::MissingCertificate)?;
+        let hash = MerkleTreeHash::with_compression(hash_param, self.compression);
+        let graph = MonitoringGraph::extract(program, &hash)
+            .map_err(|e| SdmmonError::Graph(e.to_string()))?;
+        let package = Package {
+            binary: program.to_bytes(),
+            base: program.base,
+            graph: graph.to_bytes(),
+            hash_param,
+            compression: self.compression,
+            sequence,
+        };
+        let payload = package.to_bytes();
+        let signature = self.keys.private.sign(&payload);
+        let cipher_sections = encrypt_segments(&sym_key, &payload)?;
+        sdmmon_obs::metrics().inc(sdmmon_obs::Counter::FleetUpdatesPrepared);
+        Ok(FleetUpdate {
+            certificate,
+            payload,
+            signature,
+            sym_key,
+            cipher_sections,
+            sequence,
+            hash_param,
+        })
+    }
+}
+
+/// Splits `payload` into fixed-size segments and CBC-encrypts each under a
+/// deterministic plaintext-derived IV (SIV-style):
+/// `IV = HMAC-SHA256(sym_key, segment)[..16]`.
+///
+/// Determinism is the point — same key, same plaintext section, same
+/// ciphertext — which is what lets a delta download skip unchanged sections
+/// of a successor update. The tradeoff is the standard encrypted-dedup one:
+/// an observer learns *which* sections changed between versions (never
+/// their contents); rotating the package key restores full unlinkability at
+/// the price of a full download. See docs/RESILIENCE.md.
+fn encrypt_segments(
+    sym_key: &[u8; SYM_KEY_BYTES],
+    payload: &[u8],
+) -> Result<Vec<Vec<u8>>, SdmmonError> {
+    let aes = Aes::new(sym_key)?;
+    Ok(payload
+        .chunks(SEGMENT_BYTES)
+        .map(|seg| {
+            let tag = hmac_sha256(sym_key, seg);
+            let iv: [u8; 16] = tag[..16].try_into().expect("16 bytes");
+            aes.encrypt_cbc_with_iv(seg, iv)
+        })
+        .collect())
+}
+
+/// One fleet-wide update: the package payload extracted, signed, and
+/// section-encrypted **once**, with only the per-router key-wrap left to
+/// do. Produced by [`NetworkOperator::prepare_fleet_update`]; rendered
+/// per router as a [`BundleV2`] (or a v1 [`InstallationBundle`] for the
+/// differential path).
+#[derive(Debug, Clone)]
+pub struct FleetUpdate {
+    certificate: Certificate,
+    /// Plaintext package payload — operator-side only, never transported.
+    payload: Vec<u8>,
+    signature: Vec<u8>,
+    sym_key: [u8; SYM_KEY_BYTES],
+    cipher_sections: Vec<Vec<u8>>,
+    sequence: u64,
+    hash_param: u32,
+}
+
+impl FleetUpdate {
+    /// The anti-replay sequence number this update carries.
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// The fleet-wide hash parameter of this update (SR2 note on
+    /// [`NetworkOperator::prepare_fleet_update`]).
+    pub fn hash_param(&self) -> u32 {
+        self.hash_param
+    }
+
+    /// The operator's certificate embedded in every rendering.
+    pub fn certificate(&self) -> &Certificate {
+        &self.certificate
+    }
+
+    /// Plaintext package payload size in bytes.
+    pub fn package_bytes(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// The encrypted payload sections, in order.
+    pub fn cipher_sections(&self) -> &[Vec<u8>] {
+        &self.cipher_sections
+    }
+
+    /// The sections every router shares: `cert`, `sig`, then each `ciph`
+    /// segment — everything except the per-router `key`.
+    pub fn shared_sections(&self) -> Vec<Section> {
+        let mut out = Vec::with_capacity(2 + self.cipher_sections.len());
+        out.push(Section::new(
+            SectionTag::Certificate,
+            self.certificate.to_bytes(),
+        ));
+        out.push(Section::new(SectionTag::Signature, self.signature.clone()));
+        for seg in &self.cipher_sections {
+            out.push(Section::new(SectionTag::Ciphertext, seg.clone()));
+        }
+        out
+    }
+
+    /// Serializes the shared sections as one TLV document — what the
+    /// operator publishes once and relays cache.
+    pub fn shared_document(&self) -> Vec<u8> {
+        TlvBundle::new(self.shared_sections()).to_bytes()
+    }
+
+    /// Serializes one router's wrapped key as a single-section TLV
+    /// document — the only per-router bytes on the wire.
+    pub fn key_document(wrapped_key: Vec<u8>) -> Vec<u8> {
+        TlvBundle::new(vec![Section::new(SectionTag::WrappedKey, wrapped_key)]).to_bytes()
+    }
+
+    /// Wraps the package key for one router (SR4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates RSA failures (e.g. a modulus too small for the key).
+    pub fn wrap_key_for<R: RngCore + ?Sized>(
+        &self,
+        router_key: &RsaPublicKey,
+        rng: &mut R,
+    ) -> Result<Vec<u8>, SdmmonError> {
+        sdmmon_obs::metrics().inc(sdmmon_obs::Counter::FleetKeyWraps);
+        Ok(router_key.encrypt(&self.sym_key, rng)?)
+    }
+
+    /// Wraps the package key for a whole fleet in one batched pass —
+    /// byte-identical to calling [`FleetUpdate::wrap_key_for`] per router
+    /// with the same rng, but amortizing Montgomery context setup across
+    /// routers that share pool keys (see
+    /// [`wrap_key_batch`](sdmmon_crypto::rsa::wrap_key_batch)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates RSA failures; a failed batch consumes no randomness.
+    pub fn wrap_keys<R: RngCore + ?Sized>(
+        &self,
+        recipients: &[&RsaPublicKey],
+        rng: &mut R,
+    ) -> Result<Vec<Vec<u8>>, SdmmonError> {
+        sdmmon_obs::metrics().add(sdmmon_obs::Counter::FleetKeyWraps, recipients.len() as u64);
+        Ok(wrap_key_batch(&self.sym_key, recipients, rng)?)
+    }
+
+    /// Renders the complete v2 bundle for one router.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RSA failures from the key-wrap.
+    pub fn bundle_v2_for<R: RngCore + ?Sized>(
+        &self,
+        router_key: &RsaPublicKey,
+        rng: &mut R,
+    ) -> Result<BundleV2, SdmmonError> {
+        Ok(BundleV2 {
+            certificate: self.certificate.clone(),
+            signature: self.signature.clone(),
+            wrapped_key: self.wrap_key_for(router_key, rng)?,
+            cipher_sections: self.cipher_sections.clone(),
+        })
+    }
+
+    /// Renders this update as a v1 [`InstallationBundle`] for one router:
+    /// the same payload, signature, and certificate, with the payload
+    /// re-encrypted as one random-IV CBC blob. This is the differential
+    /// anchor — a router installing either rendering must end up in a
+    /// byte-identical state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RSA failures from the key-wrap.
+    pub fn bundle_v1_for<R: RngCore + ?Sized>(
+        &self,
+        router_key: &RsaPublicKey,
+        rng: &mut R,
+    ) -> Result<InstallationBundle, SdmmonError> {
+        let aes = Aes::new(&self.sym_key)?;
+        let ciphertext = aes.encrypt_cbc(&self.payload, rng);
+        Ok(InstallationBundle {
+            ciphertext,
+            wrapped_key: self.wrap_key_for(router_key, rng)?,
+            signature: self.signature.clone(),
+            certificate: self.certificate.clone(),
+        })
+    }
 }
 
 /// What a router remembers about an application installed on one core.
@@ -365,12 +662,98 @@ impl RouterDevice {
             .decrypt_cbc(&bundle.ciphertext)
             .map_err(|_| SdmmonError::DecryptionFailed)?;
 
+        self.finish_install(
+            &operator_key,
+            &bundle.certificate,
+            &payload,
+            &bundle.signature,
+            cores,
+            bundle.ciphertext.len(),
+            bundle.transport_size(),
+        )
+    }
+
+    /// [`RouterDevice::install_bundle`] for a wire-format-v2 bundle: the
+    /// same check ladder with the shared-package envelope — unwrap the
+    /// fleet key (SR4), decrypt each ciphertext section independently
+    /// (SR3), then verify and program exactly as v1 (SR1, anti-replay).
+    ///
+    /// # Errors
+    ///
+    /// Identical error mapping to [`RouterDevice::install_bundle`]; nothing
+    /// is installed on any error.
+    pub fn install_bundle_v2(
+        &mut self,
+        bundle: &BundleV2,
+        cores: &[usize],
+    ) -> Result<InstallReport, SdmmonError> {
+        if let Some(&bad) = cores.iter().find(|&&c| c >= self.installed.len()) {
+            return Err(SdmmonError::NoSuchCore {
+                core: bad,
+                cores: self.installed.len(),
+            });
+        }
+        // SR1 (chain of trust): the certificate must be manufacturer-signed.
+        if !bundle.certificate.verify(&self.manufacturer_key) {
+            return Err(SdmmonError::CertificateInvalid);
+        }
+        let operator_key = bundle
+            .certificate
+            .subject_key()
+            .map_err(|_| SdmmonError::CertificateInvalid)?;
+
+        // SR4: only this router's private key can unwrap the fleet key.
+        let sym_key = self
+            .keys
+            .private
+            .decrypt(&bundle.wrapped_key)
+            .map_err(|_| SdmmonError::WrongDevice)?;
+
+        // SR3: decrypt each payload section; any damaged section fails the
+        // whole install (the transport layer's per-section checksums exist
+        // so it rarely gets this far with a bad section).
+        let aes = Aes::new(&sym_key).map_err(|_| SdmmonError::DecryptionFailed)?;
+        let mut payload = Vec::new();
+        for section in &bundle.cipher_sections {
+            payload.extend_from_slice(
+                &aes.decrypt_cbc(section)
+                    .map_err(|_| SdmmonError::DecryptionFailed)?,
+            );
+        }
+
+        let ciphertext_bytes = bundle.cipher_sections.iter().map(Vec::len).sum();
+        self.finish_install(
+            &operator_key,
+            &bundle.certificate,
+            &payload,
+            &bundle.signature,
+            cores,
+            ciphertext_bytes,
+            bundle.transport_size(),
+        )
+    }
+
+    /// The envelope-independent back half of an install: signature verify
+    /// (SR1), package parse, anti-replay, graph parse, core programming,
+    /// and the timing report. Shared by the v1 and v2 paths so the check
+    /// ladder cannot drift between them.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_install(
+        &mut self,
+        operator_key: &RsaPublicKey,
+        certificate: &Certificate,
+        payload: &[u8],
+        signature: &[u8],
+        cores: &[usize],
+        ciphertext_bytes: usize,
+        transport_bytes: usize,
+    ) -> Result<InstallReport, SdmmonError> {
         // SR1: the payload must carry a valid operator signature.
-        if !operator_key.verify(&payload, &bundle.signature) {
+        if !operator_key.verify(payload, signature) {
             return Err(SdmmonError::SignatureInvalid);
         }
 
-        let package = Package::from_bytes(&payload)
+        let package = Package::from_bytes(payload)
             .map_err(|e| SdmmonError::MalformedPackage(e.to_string()))?;
         // Anti-replay (reproduction extension): reject packages that do not
         // advance the device's sequence high-water mark — otherwise a
@@ -402,15 +785,14 @@ impl RouterDevice {
         let m = &self.timing_model;
         let modulus_bits = self.keys.public.modulus_bits();
         let timing = InstallTiming {
-            check_certificate: m
-                .check_certificate(modulus_bits, bundle.certificate.to_bytes().len()),
+            check_certificate: m.check_certificate(modulus_bits, certificate.to_bytes().len()),
             unwrap_key: m.rsa_private_op(modulus_bits),
-            decrypt_package: m.aes_cbc(bundle.ciphertext.len()),
+            decrypt_package: m.aes_cbc(ciphertext_bytes),
             verify_signature: m.verify_signature(modulus_bits, payload.len()),
         };
         Ok(InstallReport {
             cores: cores.to_vec(),
-            bundle_bytes: bundle.transport_size(),
+            bundle_bytes: transport_bytes,
             package_bytes: payload.len(),
             timing,
         })
@@ -800,5 +1182,114 @@ mod tests {
         let t = &report.timing;
         assert!(t.unwrap_key > t.check_certificate);
         assert!(t.total() > t.unwrap_key);
+    }
+
+    #[test]
+    fn fleet_v1_and_v2_renderings_install_identically() {
+        // The differential anchor: one FleetUpdate rendered as a v1
+        // envelope and as a v2 TLV bundle must leave two identically
+        // provisioned routers in byte-identical states.
+        let mut w = world(20);
+        let keys = RsaKeyPair::generate(KEY_BITS, &mut w.rng).unwrap();
+        let mut r1 = w
+            .manufacturer
+            .provision_router_with_keys("twin", 2, keys.clone());
+        let mut r2 = w.manufacturer.provision_router_with_keys("twin", 2, keys);
+        let program = programs::ipv4_forward().unwrap();
+        let update = w
+            .operator
+            .prepare_fleet_update(&program, &mut w.rng)
+            .unwrap();
+        let v1 = update.bundle_v1_for(r1.public_key(), &mut w.rng).unwrap();
+        let v2 = update.bundle_v2_for(r2.public_key(), &mut w.rng).unwrap();
+        let rep1 = r1.install_bundle(&v1, &[0, 1]).unwrap();
+        let rep2 = r2.install_bundle_v2(&v2, &[0, 1]).unwrap();
+        assert_eq!(rep1.package_bytes, rep2.package_bytes);
+        for core in 0..2 {
+            assert_eq!(r1.installed(core), r2.installed(core));
+        }
+        let packet = testing::ipv4_packet([10, 0, 0, 1], [10, 0, 0, 4], 64, b"d");
+        assert_eq!(r1.process_on(0, &packet), r2.process_on(0, &packet));
+        assert_eq!(r1.stats(), r2.stats());
+    }
+
+    #[test]
+    fn fleet_successor_changes_only_trailing_sections() {
+        // A pure sequence bump re-encrypts to identical ciphertext for
+        // every section except the last (the sequence lives at the end of
+        // the package payload) — the delta-download foundation.
+        let mut w = world(21);
+        // A padded workload whose package payload spans several 4 KiB
+        // sections (ipv4_forward alone fits in one).
+        let mut source = String::from(
+            "    li   $t4, 0x0007fff0\n    li   $t3, 2\n    sw   $t3, 0($t4)\n    break 0\npad:\n",
+        );
+        for i in 0..2400 {
+            source.push_str(&format!("    .word {i}\n"));
+        }
+        let program = sdmmon_isa::asm::Assembler::new().assemble(&source).unwrap();
+        let first = w
+            .operator
+            .prepare_fleet_update(&program, &mut w.rng)
+            .unwrap();
+        let second = w
+            .operator
+            .prepare_fleet_successor(&first, &program)
+            .unwrap();
+        assert!(second.sequence() > first.sequence());
+        assert_eq!(first.hash_param(), second.hash_param());
+        let a = first.cipher_sections();
+        let b = second.cipher_sections();
+        assert_eq!(a.len(), b.len());
+        assert!(a.len() >= 2, "package should span multiple sections");
+        assert_eq!(a[..a.len() - 1], b[..b.len() - 1], "shared prefix intact");
+        assert_ne!(a.last(), b.last(), "sequence bump changes the tail");
+    }
+
+    #[test]
+    fn fleet_v2_install_enforces_sr_ladder() {
+        let program = programs::ipv4_forward().unwrap();
+        // SR4: a v2 bundle keyed to another router is rejected.
+        let mut w = world(22);
+        let other = w
+            .manufacturer
+            .provision_router("r-other", 1, KEY_BITS, &mut w.rng)
+            .unwrap();
+        let update = w
+            .operator
+            .prepare_fleet_update(&program, &mut w.rng)
+            .unwrap();
+        let foreign = update
+            .bundle_v2_for(other.public_key(), &mut w.rng)
+            .unwrap();
+        assert_eq!(
+            w.router.install_bundle_v2(&foreign, &[0]).unwrap_err(),
+            SdmmonError::WrongDevice
+        );
+        // SR1/SR3: a flipped ciphertext section is caught by the ladder.
+        let mut tampered = update
+            .bundle_v2_for(w.router.public_key(), &mut w.rng)
+            .unwrap();
+        tampered.cipher_sections[0][7] ^= 0x40;
+        let err = w.router.install_bundle_v2(&tampered, &[0]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SdmmonError::DecryptionFailed
+                    | SdmmonError::SignatureInvalid
+                    | SdmmonError::MalformedPackage(_)
+            ),
+            "{err}"
+        );
+        assert!(w.router.installed(0).is_none());
+        // Clean install succeeds, then the same sequence replays → rejected.
+        let good = update
+            .bundle_v2_for(w.router.public_key(), &mut w.rng)
+            .unwrap();
+        w.router.install_bundle_v2(&good, &[0]).unwrap();
+        assert!(matches!(
+            w.router.install_bundle_v2(&good, &[0]).unwrap_err(),
+            SdmmonError::ReplayedPackage { .. }
+        ));
     }
 }

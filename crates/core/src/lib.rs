@@ -55,11 +55,13 @@
 //! ```
 
 pub mod cert;
+pub mod distrib;
 pub mod entities;
 pub mod package;
 pub mod system;
 pub mod timing;
 pub mod wire;
+pub mod wire2;
 pub mod workload;
 
 use std::fmt;

@@ -223,6 +223,18 @@ impl Aes {
     pub fn encrypt_cbc<R: RngCore + ?Sized>(&self, plaintext: &[u8], rng: &mut R) -> Vec<u8> {
         let mut iv = [0u8; BLOCK];
         rng.fill_bytes(&mut iv);
+        self.encrypt_cbc_with_iv(plaintext, iv)
+    }
+
+    /// CBC encryption under a caller-supplied IV (still IV-prefixed and
+    /// PKCS#7-padded, so [`Aes::decrypt_cbc`] reads it unchanged).
+    ///
+    /// This is the deterministic-encryption building block of the fleet
+    /// delta path: deriving the IV from the plaintext (SIV-style) makes
+    /// unchanged sections re-encrypt to identical ciphertext, which is what
+    /// lets a delta download skip them. Callers own the IV-misuse tradeoff:
+    /// equal `(key, iv, plaintext)` triples produce equal ciphertexts.
+    pub fn encrypt_cbc_with_iv(&self, plaintext: &[u8], iv: [u8; BLOCK]) -> Vec<u8> {
         let mut out = iv.to_vec();
         let pad = BLOCK - plaintext.len() % BLOCK;
         let mut prev = iv;

@@ -201,24 +201,12 @@ impl RsaPublicKey {
         message: &[u8],
         rng: &mut R,
     ) -> Result<Vec<u8>, CryptoError> {
+        sdmmon_obs::metrics().inc(sdmmon_obs::Counter::CryptoRsaWrap);
         let k = self.modulus_len();
         if message.len() + 11 > k {
             return Err(CryptoError::MessageTooLong);
         }
-        // EM = 0x00 || 0x02 || PS (non-zero random) || 0x00 || M
-        let mut em = Vec::with_capacity(k);
-        em.push(0x00);
-        em.push(0x02);
-        for _ in 0..k - message.len() - 3 {
-            em.push(loop {
-                let b = (rng.next_u32() & 0xff) as u8;
-                if b != 0 {
-                    break b;
-                }
-            });
-        }
-        em.push(0x00);
-        em.extend_from_slice(message);
+        let em = type2_pad(message, k, rng);
         let m = BigUint::from_be_bytes(&em);
         let c = self.public_op(&m);
         Ok(c.to_be_bytes_padded(k))
@@ -335,6 +323,79 @@ impl RsaPrivateKey {
         let m = BigUint::from_be_bytes(&em);
         self.private_op(&m).to_be_bytes_padded(k)
     }
+}
+
+/// Builds the type-2 encoded message `0x00 02 PS 00 M` with non-zero
+/// random padding `PS` drawn from `rng` by rejection sampling.
+///
+/// Callers must have checked `message.len() + 11 <= k`; the draw order
+/// (one `next_u32` per accepted byte, retried on zero) is part of the
+/// deterministic-replay contract and must not change.
+fn type2_pad<R: RngCore + ?Sized>(message: &[u8], k: usize, rng: &mut R) -> Vec<u8> {
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x02);
+    for _ in 0..k - message.len() - 3 {
+        em.push(loop {
+            let b = (rng.next_u32() & 0xff) as u8;
+            if b != 0 {
+                break b;
+            }
+        });
+    }
+    em.push(0x00);
+    em.extend_from_slice(message);
+    em
+}
+
+/// Wraps the same short secret under many recipient public keys in one
+/// pass — the fleet key-wrap: one AES package key, N routers.
+///
+/// The padding stream is drawn from `rng` in recipient order, so the output
+/// is byte-identical to calling [`RsaPublicKey::encrypt`] once per recipient
+/// with the same rng (pinned by `batch_wrap_matches_sequential_encrypt`).
+/// What the batch form amortizes is the Montgomery context: contexts are
+/// built once per *distinct modulus* and reused, so a 10k-router deploy
+/// drawing keys from a provisioning pool performs O(pool) context setups
+/// instead of O(routers).
+///
+/// # Errors
+///
+/// Returns [`CryptoError::MessageTooLong`] if `secret` does not fit under
+/// any recipient's modulus; validation happens up front so a failed batch
+/// never half-advances the rng stream.
+pub fn wrap_key_batch<R: RngCore + ?Sized>(
+    secret: &[u8],
+    recipients: &[&RsaPublicKey],
+    rng: &mut R,
+) -> Result<Vec<Vec<u8>>, CryptoError> {
+    for key in recipients {
+        if secret.len() + 11 > key.modulus_len() {
+            return Err(CryptoError::MessageTooLong);
+        }
+    }
+    let e_65537 = BigUint::from(PUBLIC_EXPONENT);
+    let mut by_modulus: std::collections::BTreeMap<Vec<u8>, usize> =
+        std::collections::BTreeMap::new();
+    let mut contexts: Vec<Option<MontgomeryContext>> = Vec::new();
+    let mut out = Vec::with_capacity(recipients.len());
+    for key in recipients {
+        let k = key.modulus_len();
+        let slot = *by_modulus.entry(key.modulus_bytes()).or_insert_with(|| {
+            contexts.push(MontgomeryContext::new(&key.n));
+            contexts.len() - 1
+        });
+        let em = type2_pad(secret, k, rng);
+        let m = BigUint::from_be_bytes(&em);
+        let c = match &contexts[slot] {
+            Some(ctx) if key.e == e_65537 => ctx.pow_65537(&m),
+            Some(ctx) => ctx.mod_pow(&m, &key.e),
+            None => m.mod_pow(&key.e, &key.n),
+        };
+        out.push(c.to_be_bytes_padded(k));
+    }
+    sdmmon_obs::metrics().add(sdmmon_obs::Counter::CryptoRsaWrap, recipients.len() as u64);
+    Ok(out)
 }
 
 /// Builds the type-1 encoded message `0x00 01 FF… 00 DigestInfo digest`.
@@ -479,5 +540,52 @@ mod tests {
         let b = RsaKeyPair::generate(512, &mut sdmmon_rng::StdRng::seed_from_u64(1234)).unwrap();
         let sig = a.private.sign(b"msg");
         assert!(!b.public.verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn batch_wrap_matches_sequential_encrypt() {
+        // Three distinct keys plus a repeat (the fleet key-pool case); the
+        // batch must consume the rng exactly as the sequential loop does.
+        let mut keygen = sdmmon_rng::StdRng::seed_from_u64(4242);
+        let pool: Vec<RsaKeyPair> = (0..3)
+            .map(|_| RsaKeyPair::generate(256, &mut keygen).unwrap())
+            .collect();
+        let recipients: Vec<&RsaPublicKey> = [0usize, 1, 2, 1, 0, 0]
+            .iter()
+            .map(|&i| &pool[i].public)
+            .collect();
+        let secret = [0x5a; 16];
+
+        let mut seq_rng = sdmmon_rng::StdRng::seed_from_u64(77);
+        let sequential: Vec<Vec<u8>> = recipients
+            .iter()
+            .map(|key| key.encrypt(&secret, &mut seq_rng).unwrap())
+            .collect();
+
+        let mut batch_rng = sdmmon_rng::StdRng::seed_from_u64(77);
+        let batch = wrap_key_batch(&secret, &recipients, &mut batch_rng).unwrap();
+        assert_eq!(batch, sequential);
+        // Both streams ended at the same point.
+        assert_eq!(seq_rng.next_u64(), batch_rng.next_u64());
+
+        // Every wrap unwraps under its own private key.
+        for (wrapped, &i) in batch.iter().zip([0usize, 1, 2, 1, 0, 0].iter()) {
+            assert_eq!(pool[i].private.decrypt(wrapped).unwrap(), secret);
+        }
+    }
+
+    #[test]
+    fn batch_wrap_oversized_secret_rejected_upfront() {
+        let k = keys(256);
+        let recipients = [&k.public, &k.public];
+        let secret = [9u8; 64]; // 64 + 11 > 32-byte modulus
+        let mut r = rng();
+        assert!(matches!(
+            wrap_key_batch(&secret, &recipients, &mut r),
+            Err(CryptoError::MessageTooLong)
+        ));
+        // The failed batch consumed no randomness.
+        let mut fresh = rng();
+        assert_eq!(r.next_u64(), fresh.next_u64());
     }
 }

@@ -109,6 +109,22 @@ metric_enum! {
         FleetRoutersInstalled => "fleet_routers_installed",
         /// Routers that ended `Quarantined`.
         FleetRoutersQuarantined => "fleet_routers_quarantined",
+        /// PKCS#1 type-2 key-wrap encryptions (public-key operations).
+        CryptoRsaWrap => "crypto_rsa_wrap",
+        /// Shared fleet updates prepared by the operator (one per push).
+        FleetUpdatesPrepared => "fleet_updates_prepared",
+        /// Per-router symmetric-key wraps performed for fleet updates.
+        FleetKeyWraps => "fleet_key_wraps",
+        /// Relay syncs of the shared ciphertext document from the origin.
+        FleetRelaySyncs => "fleet_relay_syncs",
+        /// Wire-format-v2 sections fetched over a link (cache misses).
+        FleetSectionsFetched => "fleet_sections_fetched",
+        /// Wire-format-v2 sections reused from a local cache (delta hits).
+        FleetSectionsReused => "fleet_sections_reused",
+        /// Payload bytes served by the operator's origin server.
+        FleetOriginEgressBytes => "fleet_origin_egress_bytes",
+        /// Payload bytes served to routers by regional relays.
+        FleetRelayEgressBytes => "fleet_relay_egress_bytes",
     }
 }
 

@@ -1,0 +1,195 @@
+//! The fleet-scale deployment scenario: a seeded campaign driving
+//! [`sdmmon_core::distrib::deploy_fleet`] — operator → relays → routers —
+//! and rendering a byte-stable JSON report.
+//!
+//! This is the PR 7 campaign surface: `sdmmon deploy --routers N --relays M`
+//! and the CI deploy smoke are thin wrappers around [`run_fleet_scale`] +
+//! [`fleet_report_json`]. Everything replays byte-identically from the
+//! seed — the report contains no wall-clock values, and the per-router rows
+//! are summarized (full rows for quarantined routers only) so a 10k-router
+//! report stays small and diffable.
+
+use crate::json::Json;
+use sdmmon_core::distrib::{deploy_fleet, FleetDeployConfig, FleetScaleReport};
+use sdmmon_core::SdmmonError;
+use sdmmon_npu::programs;
+use sdmmon_obs::EventBus;
+
+/// Schema identifier embedded in every fleet report.
+pub const FLEET_SCHEMA: &str = "sdmmon-fleet-v1";
+
+/// One fleet-scale scenario: a master seed plus the deployment knobs.
+#[derive(Debug, Clone)]
+pub struct FleetScaleConfig {
+    /// Master seed; every rng in the run derives from it.
+    pub seed: u64,
+    /// The deployment tree and fault model.
+    pub deploy: FleetDeployConfig,
+}
+
+impl FleetScaleConfig {
+    /// A clean 16-router / 2-relay scenario at `seed`.
+    pub fn new(seed: u64) -> FleetScaleConfig {
+        FleetScaleConfig {
+            seed,
+            deploy: FleetDeployConfig::default(),
+        }
+    }
+
+    /// Sets the fleet size.
+    #[must_use]
+    pub fn with_routers(mut self, routers: usize) -> FleetScaleConfig {
+        self.deploy.routers = routers;
+        self
+    }
+
+    /// Sets the relay count.
+    #[must_use]
+    pub fn with_relays(mut self, relays: usize) -> FleetScaleConfig {
+        self.deploy.relays = relays;
+        self
+    }
+
+    /// Sets loss and corruption probabilities on every link.
+    #[must_use]
+    pub fn with_faults(mut self, loss: f64, corrupt: f64) -> FleetScaleConfig {
+        self.deploy.link = self.deploy.link.with_loss(loss).with_corrupt(corrupt);
+        self
+    }
+
+    /// Blackholes one router's key document (a deterministic quarantine).
+    #[must_use]
+    pub fn with_blackhole(mut self, router: usize) -> FleetScaleConfig {
+        self.deploy.blackhole_router = Some(router);
+        self
+    }
+}
+
+/// Runs the fleet-scale scenario on the baseline IPv4 forwarding workload,
+/// verifying the report's accounting before returning it.
+///
+/// # Errors
+///
+/// Propagates systemic failures from [`deploy_fleet`] and surfaces any
+/// accounting violation as [`SdmmonError::MalformedPackage`] (a campaign
+/// whose books do not balance must fail loudly, not render a report).
+pub fn run_fleet_scale(
+    cfg: &FleetScaleConfig,
+    bus: Option<&EventBus>,
+) -> Result<FleetScaleReport, SdmmonError> {
+    let program = programs::ipv4_forward().map_err(|e| SdmmonError::Graph(e.to_string()))?;
+    let report = deploy_fleet(&cfg.deploy, &program, cfg.seed, bus)?;
+    report
+        .verify_accounting()
+        .map_err(SdmmonError::MalformedPackage)?;
+    Ok(report)
+}
+
+/// Renders the report as a byte-stable JSON document: run parameters,
+/// install/quarantine totals, the egress ledger, and one detail row per
+/// *quarantined* router (installed routers are aggregated, keeping a
+/// 10k-router report small).
+pub fn fleet_report_json(report: &FleetScaleReport) -> Json {
+    let quarantined = report
+        .rows
+        .iter()
+        .filter(|r| !r.installed)
+        .map(|r| {
+            Json::obj([
+                ("router", Json::from(r.router)),
+                ("relay", Json::from(r.relay)),
+                ("cycles", Json::from(r.cycles)),
+                ("sections_fetched", Json::from(r.sections_fetched)),
+                ("sections_reused", Json::from(r.sections_reused)),
+                (
+                    "error",
+                    r.error
+                        .as_deref()
+                        .map_or(Json::Null, |e| Json::from(e.to_owned())),
+                ),
+            ])
+        })
+        .collect::<Vec<_>>();
+    let total_cycles: u64 = report.rows.iter().map(|r| u64::from(r.cycles)).sum();
+    Json::obj([
+        ("schema", Json::from(FLEET_SCHEMA)),
+        ("seed", Json::from(report.seed)),
+        ("routers", Json::from(report.routers)),
+        ("relays", Json::from(report.relays)),
+        ("cores_each", Json::from(report.cores_each)),
+        ("key_bits", Json::from(report.key_bits)),
+        ("key_pool", Json::from(report.key_pool)),
+        ("installed", Json::from(report.installed)),
+        ("quarantined", Json::from(report.quarantined)),
+        ("relays_synced", Json::from(report.relays_synced)),
+        ("deploy_cycles", Json::from(total_cycles)),
+        (
+            "shared_document_bytes",
+            Json::from(report.shared_document_bytes),
+        ),
+        ("key_document_bytes", Json::from(report.key_document_bytes)),
+        ("package_bytes", Json::from(report.package_bytes)),
+        (
+            "origin_shared_egress_bytes",
+            Json::from(report.origin_shared_egress_bytes),
+        ),
+        (
+            "origin_key_egress_bytes",
+            Json::from(report.origin_key_egress_bytes),
+        ),
+        ("relay_egress_bytes", Json::from(report.relay_egress_bytes)),
+        ("sections_fetched", Json::from(report.sections_fetched)),
+        ("sections_reused", Json::from(report.sections_reused)),
+        ("transport_attempts", Json::from(report.transport_attempts)),
+        ("quarantined_rows", Json::Array(quarantined)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_scenario_replays_byte_identically() {
+        let cfg = FleetScaleConfig::new(42).with_routers(12).with_relays(3);
+        let a = fleet_report_json(&run_fleet_scale(&cfg, None).unwrap()).render(0);
+        let b = fleet_report_json(&run_fleet_scale(&cfg, None).unwrap()).render(0);
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"sdmmon-fleet-v1\""));
+        assert!(a.contains("\"installed\": 12"));
+        assert!(a.contains("\"quarantined_rows\": []"));
+    }
+
+    #[test]
+    fn faulty_scenario_still_balances() {
+        let cfg = FleetScaleConfig::new(9)
+            .with_routers(10)
+            .with_relays(2)
+            .with_faults(0.15, 0.15);
+        let report = run_fleet_scale(&cfg, None).unwrap();
+        assert_eq!(report.installed + report.quarantined, 10);
+    }
+
+    #[test]
+    fn blackholed_router_appears_in_quarantine_rows() {
+        let cfg = FleetScaleConfig::new(5)
+            .with_routers(6)
+            .with_relays(2)
+            .with_blackhole(3);
+        let report = run_fleet_scale(&cfg, None).unwrap();
+        assert_eq!(report.quarantined_routers, vec![3]);
+        let doc = fleet_report_json(&report).render(0);
+        assert!(doc.contains("\"router\": 3"), "{doc}");
+    }
+
+    #[test]
+    fn event_stream_replays_per_seed() {
+        let cfg = FleetScaleConfig::new(77).with_routers(8).with_relays(2);
+        let bus_a = EventBus::new();
+        run_fleet_scale(&cfg, Some(&bus_a)).unwrap();
+        let bus_b = EventBus::new();
+        run_fleet_scale(&cfg, Some(&bus_b)).unwrap();
+        assert_eq!(bus_a.render_jsonl(), bus_b.render_jsonl());
+        assert!(bus_a.render_jsonl().contains("fleet.deploy_done"));
+    }
+}

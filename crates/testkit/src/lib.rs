@@ -46,10 +46,12 @@
 pub mod campaign;
 pub mod differential;
 pub mod fault;
+pub mod fleet;
 pub mod json;
 pub mod report;
 
 pub use campaign::{CampaignConfig, CampaignOutcome, EscapeRow, Tally};
 pub use differential::DifferentialReport;
 pub use fault::{WireFault, WireFaultInjector};
+pub use fleet::{fleet_report_json, run_fleet_scale, FleetScaleConfig, FLEET_SCHEMA};
 pub use report::{run_campaign, run_campaign_observed, CampaignReport};

@@ -27,6 +27,13 @@
 //!     Deploy a fleet over a deterministic faulty transport and print
 //!     the per-router convergence table (installed vs quarantined).
 //!
+//! sdmmon deploy --relays <m> [--routers <n>] [--key-pool <n>]
+//!               [--out <path>] [...same fault/seed flags...]
+//!     Hierarchical fleet-scale deployment: one shared encrypted update,
+//!     relays caching the ciphertext (origin egress O(relays)), per-router
+//!     key wraps, wire-format v2 with per-section checksums. Writes the
+//!     byte-stable sdmmon-fleet-v1 JSON report.
+//!
 //! sdmmon bench [--quick] [--shards <n>] [--hash] [--metrics <path>]
 //!     Run the sharded batch-engine throughput sweep (serial oracle vs
 //!     the persistent-pool engine, byte-identity asserted) and fail if
@@ -106,6 +113,8 @@ USAGE:
                   [--outage <from:len>] [--blackhole <router>]
                   [--max-retries <n>] [--deploy-attempts <n>]
                   [--events <path>] [--metrics <path>]
+    sdmmon deploy --relays <m> [--routers <n>] [--key-pool <n>] [--out <path>]
+                  [...same fault/seed flags...]   (hierarchical fleet-scale)
     sdmmon bench  [--quick] [--shards <n>] [--hash] [--metrics <path>]
     sdmmon stats  [--seed <n>] [--packets <n>] [--cores <n>] [--shards <n>]
                   [--events <path>] [--metrics <path>]
@@ -448,6 +457,7 @@ fn cmd_deploy(args: &[String]) -> Result<(), CliError> {
         args,
         &[
             "--routers",
+            "--relays",
             "--cores",
             "--seed",
             "--loss",
@@ -457,12 +467,19 @@ fn cmd_deploy(args: &[String]) -> Result<(), CliError> {
             "--blackhole",
             "--max-retries",
             "--deploy-attempts",
+            "--key-pool",
+            "--out",
             "--events",
             "--metrics",
         ],
     )?;
     if !a.positional.is_empty() {
         return Err(usage("deploy takes no positional arguments"));
+    }
+    // `--relays` selects the hierarchical fleet-scale path: one shared
+    // update, relays caching the ciphertext, per-router key wraps.
+    if a.option("--relays").is_some() {
+        return cmd_deploy_fleet(&a);
     }
     let routers = a
         .option("--routers")
@@ -603,6 +620,137 @@ fn cmd_deploy(args: &[String]) -> Result<(), CliError> {
     let events = a.option("--events").zip(bus.as_ref());
     write_observability(events, a.option("--metrics"))?;
     if result.installed() == 0 {
+        return Err(processing(
+            "no router converged: the whole fleet quarantined",
+        ));
+    }
+    Ok(())
+}
+
+/// `sdmmon deploy --relays M`: the hierarchical fleet-scale campaign —
+/// operator → relays → routers, shared-package encryption with per-router
+/// key wraps, wire-format v2 with per-section checksums. Writes the
+/// byte-stable `sdmmon-fleet-v1` report to `--out`.
+fn cmd_deploy_fleet(a: &Args) -> Result<(), CliError> {
+    use sdmmon::net::download::RetryPolicy;
+    use sdmmon::net::resilience::OutageWindow;
+    use sdmmon::testkit::{fleet_report_json, run_fleet_scale, FleetScaleConfig};
+
+    let routers = a
+        .option("--routers")
+        .map(|v| parse_u64(v, "routers"))
+        .transpose()?
+        .unwrap_or(64) as usize;
+    let relays = a
+        .option("--relays")
+        .map(|v| parse_u64(v, "relays"))
+        .transpose()?
+        .unwrap_or(4) as usize;
+    let cores = a
+        .option("--cores")
+        .map(|v| parse_u64(v, "cores"))
+        .transpose()?
+        .unwrap_or(1) as usize;
+    let seed = a
+        .option("--seed")
+        .map(|v| parse_u64(v, "seed"))
+        .transpose()?
+        .unwrap_or(42);
+    let loss = a
+        .option("--loss")
+        .map(|v| parse_prob(v, "loss probability"))
+        .transpose()?
+        .unwrap_or(0.05);
+    let corrupt = a
+        .option("--corrupt")
+        .map(|v| parse_prob(v, "corruption probability"))
+        .transpose()?
+        .unwrap_or(0.02);
+    let stall = a
+        .option("--stall")
+        .map(|v| parse_prob(v, "stall probability"))
+        .transpose()?
+        .unwrap_or(0.02);
+    let max_retries = a
+        .option("--max-retries")
+        .map(|v| parse_u64(v, "max retries"))
+        .transpose()?
+        .map(|n| u32::try_from(n).map_err(|_| usage("max retries out of range")))
+        .transpose()?
+        .unwrap_or(60);
+    let deploy_attempts = a
+        .option("--deploy-attempts")
+        .map(|v| parse_u64(v, "deploy attempts"))
+        .transpose()?
+        .map(|n| u32::try_from(n).map_err(|_| usage("deploy attempts out of range")))
+        .transpose()?
+        .unwrap_or(3);
+    let key_pool = a
+        .option("--key-pool")
+        .map(|v| parse_u64(v, "key pool"))
+        .transpose()?
+        .unwrap_or(64) as usize;
+    if routers == 0 || relays == 0 || cores == 0 || key_pool == 0 {
+        return Err(usage("routers, relays, cores and key-pool must be nonzero"));
+    }
+
+    let mut cfg = FleetScaleConfig::new(seed)
+        .with_routers(routers)
+        .with_relays(relays);
+    cfg.deploy.cores_each = cores;
+    cfg.deploy.key_pool = key_pool;
+    cfg.deploy.max_deploy_attempts = deploy_attempts;
+    cfg.deploy.link = cfg
+        .deploy
+        .link
+        .with_loss(loss)
+        .with_corrupt(corrupt)
+        .with_stall(stall);
+    cfg.deploy.retry = RetryPolicy::default()
+        .with_chunk_bytes(16 * 1024)
+        .with_max_attempts(max_retries);
+    if let Some(spec) = a.option("--outage") {
+        let (from, len) = spec
+            .split_once(':')
+            .ok_or_else(|| usage("--outage wants `from:len` (e.g. 2:5)"))?;
+        cfg.deploy.outage = Some(OutageWindow {
+            from: parse_u64(from, "outage start")?,
+            len: parse_u64(len, "outage length")?,
+        });
+    }
+    if let Some(victim) = a.option("--blackhole") {
+        let victim = parse_u64(victim, "blackhole router")? as usize;
+        if victim >= routers {
+            return Err(usage(format!(
+                "--blackhole {victim} is outside the fleet (0..{routers})"
+            )));
+        }
+        cfg.deploy.blackhole_router = Some(victim);
+    }
+
+    let bus = a.option("--events").map(|_| EventBus::new());
+    let report = run_fleet_scale(&cfg, bus.as_ref()).map_err(processing)?;
+    println!(
+        "tree: {} routers over {} relays, {} core(s) each, {} distinct keys; \
+         link loss {loss:.2} corrupt {corrupt:.2} stall {stall:.2}",
+        report.routers, report.relays, report.cores_each, report.key_pool
+    );
+    println!("{}", report.summary());
+    for row in report.rows.iter().filter(|r| !r.installed) {
+        println!(
+            "  quarantined router {} (relay {}, {} cycles): {}",
+            row.router,
+            row.relay,
+            row.cycles,
+            row.error.as_deref().unwrap_or("unknown"),
+        );
+    }
+    let out = a.option("--out").unwrap_or("target/FLEET.json");
+    write_output(out, &fleet_report_json(&report).render(0))?;
+    println!("report: {out} (seed {seed}, replays byte-identically)");
+    let events = a.option("--events").zip(bus.as_ref());
+    write_observability(events, a.option("--metrics"))?;
+    if report.installed == 0 {
         return Err(processing(
             "no router converged: the whole fleet quarantined",
         ));
