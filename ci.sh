@@ -7,10 +7,12 @@
 # compression),
 # a bounded adversarial campaign (accounting + differential assertions,
 # deterministic per seed), an events-schema smoke (byte-identical
-# sdmmon-events-v1 replay), the v1-vs-v2 install differential, and a
+# sdmmon-events-v1 replay), the v1-vs-v2 install differential, the
+# availability-vs-security frontier gate (byte-identical
+# sdmmon-frontier-v1 replay + monotone trade), and a
 # seeded 1k-router fleet deploy smoke (byte-identical replay; see
-# docs/TESTKIT.md, docs/PERF.md, docs/OBSERVABILITY.md, and
-# docs/RESILIENCE.md §7).
+# docs/TESTKIT.md, docs/PERF.md, docs/OBSERVABILITY.md,
+# docs/THREAT_RESPONSE.md, and docs/RESILIENCE.md §7).
 set -eux
 
 # Build artifacts must never be tracked.
@@ -77,6 +79,34 @@ for n, line in enumerate(lines, 1):
     assert event["schema"] == "sdmmon-events-v1", (n, event)
     assert isinstance(event["seq"], int) and isinstance(event["clock"], int), n
 print(f"events ok: {len(lines)} lines, schema sdmmon-events-v1")
+PYEOF
+
+# Frontier gate: the availability-vs-security sweep at the pinned seed
+# must replay byte-identically (the sdmmon-frontier-v1 determinism
+# contract), carry its schema, and stay monotone on both axes — every
+# stricter policy admits no more escapes and serves no more packets.
+cargo run --release --bin sdmmon -- frontier --quick --seed 62471 \
+    --out target/ci-frontier-a.json
+cargo run --release --bin sdmmon -- frontier --quick --seed 62471 \
+    --out target/ci-frontier-b.json
+cmp target/ci-frontier-a.json target/ci-frontier-b.json
+python3 - target/ci-frontier-a.json <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "sdmmon-frontier-v1", report["schema"]
+assert report["scenarios"], "frontier grid is empty"
+for scenario in report["scenarios"]:
+    cells = scenario["cells"]
+    assert cells, (scenario["name"], "no cells")
+    for loose, strict in zip(cells, cells[1:]):
+        for axis in ("served", "escapes"):
+            assert strict[axis] <= loose[axis], (
+                scenario["name"], strict["policy"], axis,
+                strict[axis], loose[axis])
+    assert cells[0]["escapes"] > cells[-1]["escapes"], scenario["name"]
+    assert cells[0]["served"] > cells[-1]["served"], scenario["name"]
+print(f"frontier ok: {len(report['scenarios'])} scenarios x "
+      f"{len(report['scenarios'][0]['cells'])} policies, monotone")
 PYEOF
 
 # Resilient-deploy smoke: a small fleet must converge through a lossy,

@@ -862,6 +862,44 @@ impl RouterDevice {
     pub fn stats(&self) -> NpStats {
         self.np.stats()
     }
+
+    /// Attaches (or detaches) a deterministic event bus to the NP — the
+    /// `supervisor.*` / `np.batch` stream the frontier harness consumes.
+    pub fn set_event_bus(&mut self, bus: Option<std::sync::Arc<sdmmon_obs::EventBus>>) {
+        self.np.set_event_bus(bus);
+    }
+
+    /// Processes a batch on the NP's sharded engine, then executes any
+    /// zeroize orders the graded supervisor issued during the batch: a
+    /// zeroized core's installation record — including its wrapped secret
+    /// hash parameter — is destroyed and the core decommissioned (fresh
+    /// blank core, quarantined out of dispatch) until an operator installs
+    /// a new bundle on it.
+    pub fn process_batch(&mut self, packets: &[Vec<u8>]) -> Vec<(usize, PacketOutcome)> {
+        let outcomes = self.np.process_batch(packets);
+        for core in self.np.take_zeroize_orders() {
+            self.installed[core] = None;
+            self.np.decommission(core);
+        }
+        outcomes
+    }
+
+    /// The core a flow-dispatched packet would land on right now (the
+    /// weighted table the graded supervisor maintains).
+    pub fn dispatch_core(&self, packet: &[u8]) -> usize {
+        self.np.core_for(packet)
+    }
+
+    /// Whether the graded supervisor has halved this core's dispatch share.
+    pub fn is_throttled(&self, core: usize) -> bool {
+        self.np.is_throttled(core)
+    }
+
+    /// Whether a zeroize escalation latched the device into lockdown
+    /// (cleared when every zeroized core has been reinstalled).
+    pub fn is_locked_down(&self) -> bool {
+        self.np.is_locked_down()
+    }
 }
 
 #[cfg(test)]

@@ -195,6 +195,31 @@ pub fn shard_spans(cores: usize, shards: usize) -> Vec<ShardSpan> {
     spans
 }
 
+/// Expands `(core, weight)` pairs into a flow-dispatch slot table: a flow
+/// hashes to `table[hash % table.len()]`, so a core's share of new flows
+/// is proportional to its weight (the graded supervisor throttles a core
+/// by halving its weight).
+///
+/// When every weight is equal the table collapses to one slot per core,
+/// which keeps the mapping bit-identical to the historical
+/// `active[hash % active.len()]` dispatch — an un-throttled NP dispatches
+/// exactly as it did before weights existed.
+pub fn dispatch_slots(weighted: &[(usize, u32)]) -> Vec<usize> {
+    assert!(
+        !weighted.is_empty(),
+        "dispatch table needs at least one core"
+    );
+    if weighted.iter().all(|&(_, w)| w == weighted[0].1) {
+        return weighted.iter().map(|&(core, _)| core).collect();
+    }
+    let total: usize = weighted.iter().map(|&(_, w)| w as usize).sum();
+    let mut slots = Vec::with_capacity(total);
+    for &(core, weight) in weighted {
+        slots.extend(std::iter::repeat_n(core, weight as usize));
+    }
+    slots
+}
+
 /// Shard of a given core under [`shard_spans`].
 pub fn shard_of(core: usize, cores: usize, shards: usize) -> usize {
     let base = cores / shards;
@@ -302,6 +327,28 @@ mod tests {
     #[should_panic(expected = "1 <= shards <= cores")]
     fn more_shards_than_cores_rejected() {
         shard_spans(2, 3);
+    }
+
+    #[test]
+    fn uniform_weights_collapse_to_one_slot_per_core() {
+        assert_eq!(dispatch_slots(&[(0, 2), (1, 2), (2, 2)]), vec![0, 1, 2]);
+        assert_eq!(dispatch_slots(&[(0, 1), (3, 1)]), vec![0, 3]);
+        assert_eq!(dispatch_slots(&[(5, 7)]), vec![5]);
+    }
+
+    #[test]
+    fn throttled_weights_expand_proportionally_in_core_order() {
+        assert_eq!(
+            dispatch_slots(&[(0, 2), (1, 1), (2, 2)]),
+            vec![0, 0, 1, 2, 2]
+        );
+        assert_eq!(dispatch_slots(&[(1, 1), (2, 2)]), vec![1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_dispatch_table_rejected() {
+        dispatch_slots(&[]);
     }
 
     #[test]

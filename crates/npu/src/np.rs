@@ -1,16 +1,21 @@
 //! The multicore network processor: several cores with per-core execution
 //! observers, round-robin packet dispatch, and the paper's recovery policy
 //! (detect → drop packet → reset core → continue with the next packet),
-//! optionally escalated by the [`crate::supervisor`] ladder (redeploy after
-//! repeated recoveries, quarantine after repeated redeploys, degraded
-//! dispatch over the remaining cores).
+//! optionally escalated by the [`crate::supervisor`] — the structural
+//! strike ladder (redeploy after repeated recoveries, quarantine after
+//! repeated redeploys) plus the adaptive graded response table (alert →
+//! throttle a core's dispatch share → quarantine → zeroize its wrapped key
+//! and latch NP lockdown), with timed parole restoring throttled and
+//! quarantined cores after clean batches and a bounded per-core forensic
+//! ring flushed as `supervisor.forensic` events on escalation.
 
 use crate::core::Core;
 use crate::cpu::{ExecutionObserver, NullObserver};
-use crate::engine::{shard_spans, ShardStats, WorkerPool};
+use crate::engine::{dispatch_slots, shard_spans, ShardStats, WorkerPool};
 use crate::runtime::{HaltReason, PacketOutcome};
-use crate::supervisor::{CoreHealth, SupervisorAction, SupervisorPolicy};
+use crate::supervisor::{CoreHealth, Parole, SupervisorAction, SupervisorPolicy};
 use sdmmon_obs::{metrics, Counter, Event, EventBus, Gauge, Hist};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
@@ -93,11 +98,36 @@ impl NpStats {
     }
 }
 
-/// One core, its attached observer, and its supervisor ledger.
+/// One settled packet remembered by the forensic ring.
+#[derive(Debug, Clone, Copy)]
+struct ForensicEntry {
+    /// The packet's batch-wide ordinal (its event clock).
+    at: u64,
+    /// How the run halted: `clean`, `violation`, or `fault`.
+    halt: &'static str,
+    /// Retired instructions.
+    steps: u64,
+}
+
+/// Halt label used by forensic events.
+fn halt_label(halt: &HaltReason) -> &'static str {
+    match halt {
+        HaltReason::Completed => "clean",
+        HaltReason::MonitorViolation => "violation",
+        HaltReason::Fault(_) | HaltReason::StepLimit => "fault",
+    }
+}
+
+/// One core, its attached observer, its supervisor ledger, and the bounded
+/// forensic ring of recently settled packets.
 struct Slot {
     core: Core,
     observer: Box<dyn ExecutionObserver + Send>,
     health: CoreHealth,
+    /// Pre-detection window, capacity `AdaptiveConfig::forensic_window`.
+    /// Touched only by the core's owning thread, so the captured window is
+    /// identical at every shard count.
+    forensics: VecDeque<ForensicEntry>,
 }
 
 impl Slot {
@@ -144,7 +174,7 @@ impl Slot {
         m.inc(Counter::NpPackets);
         m.add(Counter::NpInstructionsRetired, outcome.steps);
         if outcome.halt.is_clean() {
-            self.health.record_clean();
+            self.health.record_clean(policy);
             return (outcome, None);
         }
         if matches!(outcome.halt, HaltReason::MonitorViolation) {
@@ -160,13 +190,50 @@ impl Slot {
         // `reset()` already restores exactly that, so escalation only
         // changes the book-keeping (and, at the top, quarantines).
         self.core.reset();
-        let action = self.health.record_unclean(policy);
+        let action = self.health.record_unclean(policy, outcome.steps);
         match action {
             SupervisorAction::Recover => {}
+            SupervisorAction::Alert => m.inc(Counter::NpAlerts),
+            SupervisorAction::Throttle => m.inc(Counter::NpThrottles),
             SupervisorAction::Redeploy => m.inc(Counter::NpRedeploys),
             SupervisorAction::Quarantine => m.inc(Counter::NpQuarantines),
+            SupervisorAction::Zeroize => m.inc(Counter::NpZeroizes),
         }
         (outcome, Some(action))
+    }
+
+    /// Remembers one settled packet in the forensic ring (no-op when the
+    /// window is zero).
+    fn note_forensic(&mut self, at: u64, outcome: &PacketOutcome, window: usize) {
+        if window == 0 {
+            return;
+        }
+        while self.forensics.len() >= window {
+            self.forensics.pop_front();
+        }
+        self.forensics.push_back(ForensicEntry {
+            at,
+            halt: halt_label(&outcome.halt),
+            steps: outcome.steps,
+        });
+    }
+
+    /// Drains the forensic ring into `supervisor.forensic` events — the
+    /// pre-detection window, oldest first, all stamped with the escalating
+    /// packet's clock (their own ordinals ride in the `at` field, so the
+    /// clock-sorted merge keeps the flush contiguous at every shard
+    /// count).
+    fn flush_forensics(&mut self, clock: u64, core: usize, events: &mut Vec<Event>) {
+        for (index, entry) in self.forensics.drain(..).enumerate() {
+            events.push(
+                Event::new("supervisor.forensic", clock)
+                    .field("core", core)
+                    .field("window_index", index)
+                    .field("at", entry.at)
+                    .field("halt", entry.halt)
+                    .field("steps", entry.steps),
+            );
+        }
     }
 }
 
@@ -218,11 +285,20 @@ pub struct NetworkProcessor {
     /// `None` — the default — is the no-op sink: no event is constructed
     /// anywhere on the packet path.
     bus: Option<Arc<EventBus>>,
+    /// Latched when any core receives a zeroize order (threat Critical):
+    /// the control-plane signal that the NP should be pulled from service.
+    /// Dispatch itself keeps working on the surviving cores — honoring the
+    /// lockdown is the caller's decision — and an operator re-install of
+    /// the zeroized core clears it.
+    lockdown: bool,
 }
 
-/// Builds the event for one supervisor ladder escalation. Plain recoveries
+/// Builds the event for one supervisor escalation. Plain recoveries
 /// (strikes) are metrics-only — they fire on every unclean halt and would
-/// swamp the stream; the ladder *transitions* are the events.
+/// swamp the stream; the *transitions* (graded responses and ladder steps)
+/// are the events. Every event carries the threat level and score that
+/// drove it (`level` is `none` when the structural ladder escalated on its
+/// own).
 fn supervisor_event(
     action: SupervisorAction,
     clock: u64,
@@ -231,14 +307,19 @@ fn supervisor_event(
 ) -> Option<Event> {
     let kind = match action {
         SupervisorAction::Recover => return None,
+        SupervisorAction::Alert => "supervisor.alert",
+        SupervisorAction::Throttle => "supervisor.throttle",
         SupervisorAction::Redeploy => "supervisor.redeploy",
         SupervisorAction::Quarantine => "supervisor.quarantine",
+        SupervisorAction::Zeroize => "supervisor.zeroize",
     };
     Some(
         Event::new(kind, clock)
             .field("core", core)
             .field("redeploys", health.redeploys)
-            .field("unclean_halts", health.unclean_halts),
+            .field("unclean_halts", health.unclean_halts)
+            .field("level", health.threat.name())
+            .field("score", health.threat_score()),
     )
 }
 
@@ -268,6 +349,7 @@ impl NetworkProcessor {
                 core: Core::new(),
                 observer: Box::new(NullObserver) as Box<dyn ExecutionObserver + Send>,
                 health: CoreHealth::default(),
+                forensics: VecDeque::new(),
             })
             .collect();
         NetworkProcessor {
@@ -279,6 +361,7 @@ impl NetworkProcessor {
             pool: None,
             shard_stats: Vec::new(),
             bus: None,
+            lockdown: false,
         }
     }
 
@@ -314,6 +397,48 @@ impl NetworkProcessor {
     /// Whether a core is quarantined out of dispatch.
     pub fn is_quarantined(&self, index: usize) -> bool {
         self.slots[index].health.quarantined
+    }
+
+    /// Whether a core's dispatch share is currently halved by the graded
+    /// supervisor.
+    pub fn is_throttled(&self, index: usize) -> bool {
+        self.slots[index].health.throttled
+    }
+
+    /// Whether the NP is in lockdown: some core's threat reached Critical
+    /// and its key-zeroize order was issued. Dispatch keeps degraded
+    /// service on the surviving cores; pulling the NP from the data plane
+    /// is the caller's (fleet controller's) decision.
+    pub fn is_locked_down(&self) -> bool {
+        self.lockdown
+    }
+
+    /// Drains outstanding zeroize orders: core indices whose threat
+    /// reached Critical since the last call. The control plane (e.g.
+    /// `RouterDevice::process_batch` in `sdmmon-core`) destroys each
+    /// core's wrapped key material and calls
+    /// [`NetworkProcessor::decommission`]; each order is returned once.
+    pub fn take_zeroize_orders(&mut self) -> Vec<usize> {
+        let mut orders = Vec::new();
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            if slot.health.zeroize_ordered && !slot.health.zeroize_taken {
+                slot.health.zeroize_taken = true;
+                orders.push(index);
+            }
+        }
+        orders
+    }
+
+    /// Wipes a zeroized core down to an unprogrammed state: fresh core,
+    /// null observer, forensic ring cleared. The supervisor ledger stands
+    /// (still quarantined, zeroize on record) so the core stays out of
+    /// dispatch until an operator re-installs a bundle on it.
+    pub fn decommission(&mut self, core: usize) {
+        let slot = &mut self.slots[core];
+        slot.core = Core::new();
+        slot.observer = Box::new(NullObserver);
+        slot.forensics.clear();
+        slot.health.quarantined = true;
     }
 
     /// Indices of the cores still in dispatch (not quarantined), in order.
@@ -352,6 +477,10 @@ impl NetworkProcessor {
         slot.core.install(image, base);
         slot.observer = observer;
         slot.health.reinstated();
+        slot.forensics.clear();
+        // Lockdown lifts once no core has an outstanding zeroize on
+        // record — the operator vouched for the re-installed core.
+        self.lockdown = self.slots.iter().any(|s| s.health.zeroize_ordered);
     }
 
     /// Installs the same program on every core, with a per-core observer
@@ -416,9 +545,11 @@ impl NetworkProcessor {
     ///
     /// The flow key is (src, dst, protocol) plus the first payload word
     /// (the L4 ports for UDP/TCP) when present; non-IPv4 runts hash over
-    /// their raw bytes. The hash maps into the *active* (non-quarantined)
-    /// core list, so with nothing quarantined the mapping is identical to
-    /// hashing over all cores, and in degraded mode flows of a quarantined
+    /// their raw bytes. The hash maps into the weighted dispatch table
+    /// over the *active* (non-quarantined) cores — a throttled core holds
+    /// half the slots of a healthy one. With nothing quarantined or
+    /// throttled the table collapses to one slot per core, identical to
+    /// hashing over all cores; in degraded mode flows of a quarantined
     /// core redistribute over the survivors.
     ///
     /// # Panics
@@ -426,13 +557,41 @@ impl NetworkProcessor {
     /// Panics if the selected core has no program installed, or if every
     /// core is quarantined.
     pub fn process_flow(&mut self, packet: &[u8]) -> (usize, PacketOutcome) {
-        let active = self.active_cores();
+        let index = self.core_for(packet);
+        (index, self.process_on(index, packet))
+    }
+
+    /// The weighted flow-dispatch slot table over the active cores:
+    /// healthy cores weigh 2, throttled cores 1 (half the share). Uniform
+    /// weights collapse to one slot per core — bit-identical to the
+    /// pre-graded `active[hash % active.len()]` mapping.
+    fn dispatch_table(&self) -> Vec<usize> {
+        let weighted: Vec<(usize, u32)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.health.quarantined)
+            .map(|(i, s)| (i, if s.health.throttled { 1 } else { 2 }))
+            .collect();
         assert!(
-            !active.is_empty(),
+            !weighted.is_empty(),
             "all cores quarantined: the NP cannot dispatch"
         );
-        let index = active[(flow_hash(packet) % active.len() as u64) as usize];
-        (index, self.process_on(index, packet))
+        dispatch_slots(&weighted)
+    }
+
+    /// The core `packet`'s flow currently dispatches to (the exact mapping
+    /// of [`NetworkProcessor::process_flow`] and the batch partition,
+    /// against current core health). Public so harnesses modelling
+    /// per-core capacity (the frontier sweep) can reproduce the engine's
+    /// packet→core assignment without dispatching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every core is quarantined.
+    pub fn core_for(&self, packet: &[u8]) -> usize {
+        let table = self.dispatch_table();
+        table[(flow_hash(packet) % table.len() as u64) as usize]
     }
 
     /// Processes one packet on a specific core (flow-pinned dispatch).
@@ -446,12 +605,46 @@ impl NetworkProcessor {
         let clock = self.stats.processed;
         let (outcome, action) = self.slots[index].run(packet, &policy);
         self.stats.record(&outcome);
-        if let (Some(action), Some(bus)) = (action, self.bus.as_ref()) {
-            if let Some(event) = supervisor_event(action, clock, index, &self.slots[index].health) {
-                bus.record(event);
+        self.slots[index].note_forensic(clock, &outcome, policy.adaptive.forensic_window);
+        if let Some(action) = action {
+            if self.bus.is_some() {
+                let mut events = Vec::new();
+                if action >= SupervisorAction::Quarantine {
+                    self.slots[index].flush_forensics(clock, index, &mut events);
+                }
+                events.extend(supervisor_event(
+                    action,
+                    clock,
+                    index,
+                    &self.slots[index].health,
+                ));
+                if let Some(bus) = &self.bus {
+                    bus.extend(events);
+                }
+            }
+            if action == SupervisorAction::Zeroize {
+                self.latch_lockdown(clock);
             }
         }
         outcome
+    }
+
+    /// Latches NP lockdown (once) and emits the `supervisor.lockdown`
+    /// event.
+    fn latch_lockdown(&mut self, clock: u64) {
+        if self.lockdown {
+            return;
+        }
+        self.lockdown = true;
+        metrics().inc(Counter::NpLockdowns);
+        if let Some(bus) = &self.bus {
+            let zeroized = self
+                .slots
+                .iter()
+                .filter(|s| s.health.zeroize_ordered)
+                .count();
+            bus.record(Event::new("supervisor.lockdown", clock).field("cores_zeroized", zeroized));
+        }
     }
 
     /// The batch engine's shard count (see
@@ -485,16 +678,29 @@ impl NetworkProcessor {
     /// the active-core set at entry. Queue order preserves input order, so
     /// per-flow order is preserved (a flow never changes cores mid-batch).
     fn partition(&self, packets: &[Vec<u8>]) -> Vec<Vec<usize>> {
-        let active = self.active_cores();
-        assert!(
-            !active.is_empty(),
-            "all cores quarantined: the NP cannot dispatch"
-        );
+        let table = self.dispatch_table();
         let mut queues: Vec<Vec<usize>> = vec![Vec::new(); self.slots.len()];
         for (i, packet) in packets.iter().enumerate() {
-            queues[active[(flow_hash(packet) % active.len() as u64) as usize]].push(i);
+            queues[table[(flow_hash(packet) % table.len() as u64) as usize]].push(i);
         }
         queues
+    }
+
+    /// Folds each active core's queue depth at batch entry into its
+    /// baseline (the third graded-supervisor signal). Runs on the dispatch
+    /// thread before any core executes, so the baselines are identical at
+    /// every shard count.
+    fn note_queue_depths(&mut self, queues: &[Vec<usize>]) {
+        let policy = self.policy;
+        if !policy.adaptive.enabled {
+            return;
+        }
+        for (core, queue) in queues.iter().enumerate() {
+            let health = &mut self.slots[core].health;
+            if !health.quarantined {
+                health.note_queue_depth(queue.len() as u64, &policy);
+            }
+        }
     }
 
     /// Processes a batch of packets on the sharded data-plane engine.
@@ -530,9 +736,12 @@ impl NetworkProcessor {
     pub fn process_batch(&mut self, packets: &[Vec<u8>]) -> Vec<(usize, PacketOutcome)> {
         let queues = self.partition(packets);
         let shards = self.shards.clamp(1, self.slots.len());
+        self.note_queue_depths(&queues);
         self.record_batch_telemetry(packets.len(), &queues, shards);
         if shards == 1 || packets.is_empty() {
-            return self.run_queues_inline(packets, &queues, DispatchPath::Fused);
+            let merged = self.run_queues_inline(packets, &queues, DispatchPath::Fused);
+            self.finish_batch();
+            return merged;
         }
 
         if self.pool.as_ref().is_none_or(|p| p.len() != shards) {
@@ -585,13 +794,22 @@ impl NetworkProcessor {
                             for &i in &queues[core_index] {
                                 let (outcome, action) = slot.run_fused(&packets[i], &policy);
                                 stats.record(&outcome);
+                                // Clock = the packet's batch-wide ordinal,
+                                // independent of sharding.
+                                let clock = base_clock + i as u64;
+                                slot.note_forensic(
+                                    clock,
+                                    &outcome,
+                                    policy.adaptive.forensic_window,
+                                );
                                 if record_events {
                                     if let Some(action) = action {
-                                        // Clock = the packet's batch-wide
-                                        // ordinal, independent of sharding.
+                                        if action >= SupervisorAction::Quarantine {
+                                            slot.flush_forensics(clock, core_index, events);
+                                        }
                                         events.extend(supervisor_event(
                                             action,
-                                            base_clock + i as u64,
+                                            clock,
                                             core_index,
                                             &slot.health,
                                         ));
@@ -624,6 +842,7 @@ impl NetworkProcessor {
             }
         }
         self.rollup_shard_stats();
+        self.finish_batch();
         merged
             .into_iter()
             .map(|m| m.expect("every packet was dispatched"))
@@ -642,7 +861,10 @@ impl NetworkProcessor {
     /// Same contract as [`NetworkProcessor::process_batch`].
     pub fn process_batch_serial(&mut self, packets: &[Vec<u8>]) -> Vec<(usize, PacketOutcome)> {
         let queues = self.partition(packets);
-        self.run_queues_inline(packets, &queues, DispatchPath::Reference)
+        self.note_queue_depths(&queues);
+        let merged = self.run_queues_inline(packets, &queues, DispatchPath::Reference);
+        self.finish_batch();
+        merged
     }
 
     /// Runs pre-partitioned queues on the caller thread, in core-index
@@ -665,14 +887,14 @@ impl NetworkProcessor {
                     DispatchPath::Fused => slot.run_fused(&packets[i], &policy),
                     DispatchPath::Reference => slot.run(&packets[i], &policy),
                 };
+                let clock = base_clock + i as u64;
+                slot.note_forensic(clock, &outcome, policy.adaptive.forensic_window);
                 if record_events {
                     if let Some(action) = action {
-                        events.extend(supervisor_event(
-                            action,
-                            base_clock + i as u64,
-                            core_index,
-                            &slot.health,
-                        ));
+                        if action >= SupervisorAction::Quarantine {
+                            slot.flush_forensics(clock, core_index, &mut events);
+                        }
+                        events.extend(supervisor_event(action, clock, core_index, &slot.health));
                     }
                 }
                 merged[i] = Some((core_index, outcome));
@@ -723,6 +945,44 @@ impl NetworkProcessor {
                     .field("packets", packets)
                     .field("imbalance", imbalance),
             );
+        }
+    }
+
+    /// Batch epilogue, shared by the sharded, inline, and serial paths and
+    /// always run on the caller thread: ticks the per-core parole clocks
+    /// (in core-index order, so the emitted `supervisor.parole` events are
+    /// independent of the shard count) and latches fleet lockdown if any
+    /// core was ordered zeroized during the batch. The parole/lockdown
+    /// clock is the post-batch processed count, which is identical for
+    /// every shard count.
+    fn finish_batch(&mut self) {
+        let policy = self.policy;
+        let clock = self.stats.processed;
+        let mut events: Vec<Event> = Vec::new();
+        let record_events = self.bus.is_some();
+        for (core_index, slot) in self.slots.iter_mut().enumerate() {
+            let Some(parole) = slot.health.note_batch_end(&policy) else {
+                continue;
+            };
+            metrics().inc(Counter::NpParoles);
+            if record_events {
+                let restored = match parole {
+                    Parole::Dispatch => "dispatch",
+                    Parole::Full => "full",
+                };
+                events.push(
+                    Event::new("supervisor.parole", clock)
+                        .field("core", core_index)
+                        .field("restored", restored)
+                        .field("level", slot.health.threat.name()),
+                );
+            }
+        }
+        if let Some(bus) = &self.bus {
+            bus.extend(events);
+        }
+        if self.slots.iter().any(|s| s.health.zeroize_ordered) {
+            self.latch_lockdown(clock);
         }
     }
 
@@ -997,10 +1257,7 @@ mod tests {
 
     #[test]
     fn supervisor_escalates_to_quarantine_and_dispatch_skips_it() {
-        let policy = SupervisorPolicy {
-            redeploy_after: 2,
-            quarantine_after: 2,
-        };
+        let policy = SupervisorPolicy::ladder(2, 2);
         let mut np = loaded_supervised_np(3, policy);
         let attack = testing::hijack_packet("break 1").unwrap();
         // Hammer core 1 through the explicit pin until the ladder tops out:
@@ -1031,10 +1288,7 @@ mod tests {
 
     #[test]
     fn clean_traffic_holds_off_the_ladder() {
-        let policy = SupervisorPolicy {
-            redeploy_after: 2,
-            quarantine_after: 1,
-        };
+        let policy = SupervisorPolicy::ladder(2, 1);
         let mut np = loaded_supervised_np(1, policy);
         let attack = testing::hijack_packet("break 1").unwrap();
         let good = testing::ipv4_packet([1, 1, 1, 1], [10, 0, 0, 2], 64, b"");
@@ -1050,10 +1304,7 @@ mod tests {
 
     #[test]
     fn reinstall_rehabilitates_a_quarantined_core() {
-        let policy = SupervisorPolicy {
-            redeploy_after: 1,
-            quarantine_after: 1,
-        };
+        let policy = SupervisorPolicy::ladder(1, 1);
         let mut np = loaded_supervised_np(2, policy);
         let attack = testing::hijack_packet("break 1").unwrap();
         np.process_on(0, &attack);
@@ -1112,5 +1363,149 @@ mod tests {
             Box::new(NullObserver)
         });
         assert_eq!(seen, [0, 1, 2]);
+    }
+
+    use crate::supervisor::AdaptiveConfig;
+
+    fn graded_np(cores: usize, adaptive: AdaptiveConfig) -> NetworkProcessor {
+        loaded_supervised_np(cores, SupervisorPolicy::graded(adaptive))
+    }
+
+    /// Hammers one core with hijack packets until `done(np)` holds; panics
+    /// if the graded supervisor never gets there within the bound.
+    fn hammer_until(
+        np: &mut NetworkProcessor,
+        core: usize,
+        bound: usize,
+        done: impl Fn(&NetworkProcessor) -> bool,
+    ) {
+        let attack = testing::hijack_packet("break 1").unwrap();
+        for _ in 0..bound {
+            if done(np) {
+                return;
+            }
+            np.process_on(core, &attack);
+        }
+        assert!(done(np), "graded supervisor never reached the target state");
+    }
+
+    #[test]
+    fn graded_throttle_halves_the_dispatch_share() {
+        let mut np = graded_np(
+            3,
+            AdaptiveConfig {
+                parole_batches: 0,
+                ..AdaptiveConfig::default()
+            },
+        );
+        hammer_until(&mut np, 1, 8, |np| np.is_throttled(1));
+        assert!(!np.is_quarantined(1), "throttle precedes quarantine");
+        // Healthy cores weigh 2, a throttled core 1: the flow table is no
+        // longer one-slot-per-core, so the throttled core's share drops.
+        let hits: Vec<usize> = (0..64u8)
+            .map(|i| np.core_for(&testing::ipv4_packet([10, 2, i, 7], [10, 0, 0, 3], 64, b"")))
+            .collect();
+        let share = |c: usize| hits.iter().filter(|&&h| h == c).count();
+        assert!(share(1) > 0, "a throttled core keeps a reduced share");
+        assert!(
+            share(1) < share(0) && share(1) < share(2),
+            "throttled core 1 outweighed by healthy peers: {:?}",
+            [share(0), share(1), share(2)]
+        );
+    }
+
+    #[test]
+    fn healthy_core_for_matches_the_historical_uniform_mapping() {
+        // With every core healthy the weighted table collapses to one slot
+        // per core — byte-identical dispatch to the pre-graded NP.
+        let mut healthy = loaded_np(4);
+        let mut graded = graded_np(4, AdaptiveConfig::default());
+        for i in 0..64u8 {
+            let p = testing::ipv4_packet([10, 3, i, 9], [10, 0, 0, 2], 64, b"");
+            assert_eq!(healthy.core_for(&p), graded.core_for(&p));
+            assert_eq!(healthy.process_flow(&p).0, graded.process_flow(&p).0);
+        }
+    }
+
+    #[test]
+    fn graded_zeroize_latches_lockdown_until_reinstall() {
+        let mut np = graded_np(
+            2,
+            AdaptiveConfig {
+                parole_batches: 0,
+                ..AdaptiveConfig::default()
+            },
+        );
+        hammer_until(&mut np, 0, 32, |np| np.is_locked_down());
+        let health = np.core_health(0);
+        assert!(health.zeroize_ordered);
+        assert!(health.quarantined);
+        assert_eq!(health.threat, crate::supervisor::ThreatLevel::Critical);
+
+        // Zeroize orders hand off exactly once.
+        assert_eq!(np.take_zeroize_orders(), vec![0]);
+        assert!(np.take_zeroize_orders().is_empty());
+
+        // Decommission wipes the slot but keeps it out of dispatch.
+        np.decommission(0);
+        assert!(np.is_quarantined(0));
+        assert_eq!(np.active_cores(), vec![1]);
+
+        // Lockdown is latched until an operator reinstalls the core.
+        np.process_batch(&[]);
+        assert!(np.is_locked_down());
+        let program = programs::vulnerable_forward().unwrap();
+        np.install(0, &program.to_bytes(), program.base, Box::new(NullObserver));
+        assert!(!np.is_locked_down());
+        assert!(!np.is_quarantined(0));
+    }
+
+    #[test]
+    fn parole_restores_a_throttled_core_after_clean_batches() {
+        let mut np = graded_np(
+            2,
+            AdaptiveConfig {
+                parole_batches: 2,
+                ..AdaptiveConfig::default()
+            },
+        );
+        hammer_until(&mut np, 0, 8, |np| np.is_throttled(0));
+        let good: Vec<Vec<u8>> = (0..8u8)
+            .map(|i| testing::ipv4_packet([10, 4, i, 1], [10, 0, 0, 2], 64, b""))
+            .collect();
+        // Batch 1 consumes the dirty-batch flag, batches 2 and 3 count as
+        // clean; parole restores the full dispatch share on batch 3.
+        np.process_batch(&good);
+        assert!(np.is_throttled(0));
+        np.process_batch(&good);
+        assert!(np.is_throttled(0));
+        np.process_batch(&good);
+        assert!(!np.is_throttled(0), "parole restores the dispatch share");
+        assert_eq!(
+            np.core_health(0).threat,
+            crate::supervisor::ThreatLevel::None
+        );
+    }
+
+    #[test]
+    fn parole_walks_quarantine_back_through_throttle() {
+        let mut np = graded_np(
+            2,
+            AdaptiveConfig {
+                parole_batches: 1,
+                ..AdaptiveConfig::default()
+            },
+        );
+        hammer_until(&mut np, 0, 16, |np| np.is_quarantined(0));
+        assert!(!np.core_health(0).zeroize_ordered, "stopped before zeroize");
+        // Dirty-batch flag burns batch 1; batch 2 paroles quarantine down
+        // to throttled; batch 3 restores the full share.
+        np.process_batch(&[]);
+        assert!(np.is_quarantined(0));
+        np.process_batch(&[]);
+        assert!(!np.is_quarantined(0));
+        assert!(np.is_throttled(0), "quarantine paroles to throttled first");
+        np.process_batch(&[]);
+        assert!(!np.is_throttled(0));
     }
 }

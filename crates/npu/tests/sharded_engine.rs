@@ -75,10 +75,7 @@ fn traffic(seed: u64, n: usize, burst: bool) -> Vec<Vec<u8>> {
 
 #[test]
 fn sharded_batch_is_byte_identical_to_serial_for_all_shard_counts_and_seeds() {
-    let policy = SupervisorPolicy {
-        redeploy_after: 2,
-        quarantine_after: 2,
-    };
+    let policy = SupervisorPolicy::ladder(2, 2);
     for (seed, burst) in SEEDS {
         let packets = traffic(seed, 160, burst);
         // A second batch repartitions against the (possibly degraded)

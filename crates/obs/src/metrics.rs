@@ -27,6 +27,37 @@ pub const HIST_BUCKETS: usize = 22;
 /// still processed, just not individually gauged).
 pub const MAX_SHARD_SLOTS: usize = 16;
 
+/// The histogram bucket a value lands in: `bit_width(value)` clamped to
+/// the last bucket (see [`HIST_BUCKETS`]). Public so consumers computing
+/// percentiles from their own bucket arrays (the frontier harness) use
+/// exactly the registry's layout.
+pub const fn bucket_index(value: u64) -> usize {
+    let index = (u64::BITS - value.leading_zeros()) as usize;
+    if index < HIST_BUCKETS {
+        index
+    } else {
+        HIST_BUCKETS - 1
+    }
+}
+
+/// Inclusive `(lo, hi)` value range of histogram bucket `index`: bucket 0
+/// is exactly `(0, 0)`, bucket `i ≥ 1` is `(2^(i-1), 2^i - 1)`, and the
+/// last bucket runs to `u64::MAX`.
+///
+/// # Panics
+///
+/// Panics if `index >= HIST_BUCKETS`.
+pub const fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < HIST_BUCKETS, "bucket index out of range");
+    if index == 0 {
+        (0, 0)
+    } else if index == HIST_BUCKETS - 1 {
+        (1 << (index - 1), u64::MAX)
+    } else {
+        (1 << (index - 1), (1 << index) - 1)
+    }
+}
+
 macro_rules! metric_enum {
     ($(#[$doc:meta])* $name:ident { $($(#[$vdoc:meta])* $variant:ident => $label:literal,)+ }) => {
         $(#[$doc])*
@@ -125,6 +156,16 @@ metric_enum! {
         FleetOriginEgressBytes => "fleet_origin_egress_bytes",
         /// Payload bytes served to routers by regional relays.
         FleetRelayEgressBytes => "fleet_relay_egress_bytes",
+        /// Graded-supervisor alerts (threat level reached Low).
+        NpAlerts => "np_alerts",
+        /// Graded-supervisor throttles (dispatch share halved).
+        NpThrottles => "np_throttles",
+        /// Graded-supervisor zeroize orders (wrapped key destruction).
+        NpZeroizes => "np_zeroizes",
+        /// NP lockdown latches (first zeroize order escalates fleet-wide).
+        NpLockdowns => "np_lockdowns",
+        /// Parole steps restoring throttled/quarantined cores.
+        NpParoles => "np_paroles",
     }
 }
 
@@ -413,6 +454,51 @@ mod tests {
         let m = MetricsRegistry::new();
         m.set_shard_depth(MAX_SHARD_SLOTS + 5, 9);
         assert!(m.snapshot_json().contains("\"shard_queue_depth\": []"));
+    }
+
+    #[test]
+    fn bucket_boundaries_land_exact_powers_of_two_where_documented() {
+        // Bucket 0 is exactly zero.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_bounds(0), (0, 0));
+        // Every exact power of two 2^k opens bucket k+1 (it is that
+        // bucket's inclusive lower bound), and 2^k - 1 closes bucket k.
+        for k in 0..(HIST_BUCKETS - 2) as u32 {
+            let v = 1u64 << k;
+            assert_eq!(bucket_index(v), k as usize + 1, "2^{k}");
+            assert_eq!(bucket_bounds(k as usize + 1).0, v, "2^{k} lower bound");
+            if v > 1 {
+                assert_eq!(bucket_index(v - 1), k as usize, "2^{k} - 1");
+                assert_eq!(bucket_bounds(k as usize).1, v - 1, "2^{k} - 1 upper");
+            }
+        }
+        // The last bucket absorbs everything wider, up to u64::MAX.
+        assert_eq!(bucket_index(1 << (HIST_BUCKETS - 1)), HIST_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_bounds(HIST_BUCKETS - 1).1, u64::MAX);
+        // Contiguity: every bucket's hi + 1 is the next bucket's lo.
+        for i in 0..HIST_BUCKETS - 1 {
+            assert_eq!(bucket_bounds(i).1 + 1, bucket_bounds(i + 1).0, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_matches_the_registry_observe_path() {
+        let m = MetricsRegistry::new();
+        for value in [0u64, 1, 2, 3, 4, 1023, 1024, 1 << 40, u64::MAX] {
+            m.observe(Hist::DownloadAttempts, value);
+        }
+        let snapshot = m.snapshot_json();
+        // Reconstruct the expected bucket array through the public helper.
+        let mut expected = [0u64; HIST_BUCKETS];
+        for value in [0u64, 1, 2, 3, 4, 1023, 1024, 1 << 40, u64::MAX] {
+            expected[bucket_index(value)] += 1;
+        }
+        let rendered: Vec<String> = expected.iter().map(u64::to_string).collect();
+        assert!(
+            snapshot.contains(&format!("\"buckets\": [{}]", rendered.join(", "))),
+            "observe() disagrees with bucket_index(): {snapshot}"
+        );
     }
 
     #[test]

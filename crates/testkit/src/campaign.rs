@@ -20,6 +20,36 @@ use sdmmon_npu::programs::{self, testing};
 use sdmmon_npu::runtime::{HaltReason, PacketOutcome, Verdict};
 use sdmmon_rng::{Rng, RngCore, SeedableRng, StdRng};
 
+/// The registered adversarial campaigns, in the order
+/// [`crate::report::run_campaign`] executes them, with one-line
+/// descriptions (`sdmmon campaign --list` prints this catalog).
+pub const CAMPAIGN_CATALOG: &[(&str, &str)] = &[
+    (
+        "stack_smash",
+        "randomized stack-smashing hijack variants vs the monitored vulnerable forwarder (AC1)",
+    ),
+    (
+        "packet_fuzz",
+        "structurally mutated packets vs the hardened and vulnerable workloads",
+    ),
+    (
+        "wire_faults",
+        "bit flips, foreign keys, forged certs, and truncation on serialized install bundles",
+    ),
+    (
+        "fault_recovery",
+        "live instruction-memory corruption and forced resets against the recovery loop",
+    ),
+    (
+        "evasive_propagation",
+        "hash-colliding hijacks crafted from a leaked parameter, across a deployed fleet",
+    ),
+    (
+        "resilient_deploy",
+        "every transport-fault class injected into the secure download/install path",
+    ),
+];
+
 /// Tunable knobs of a full campaign run. All sizes are in *trials*, never
 /// in wall-clock time, so runs are reproducible on any machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -360,10 +360,7 @@ fn sharded_batch_vs_serial(runs: u64, seed: u64) -> DiffCheck {
     let mut rng = StdRng::seed_from_u64(seed);
     let program = programs::vulnerable_forward().expect("embedded workload assembles");
     let image = program.to_bytes();
-    let policy = SupervisorPolicy {
-        redeploy_after: 2,
-        quarantine_after: 2,
-    };
+    let policy = SupervisorPolicy::ladder(2, 2);
     let attack = testing::hijack_packet("li $t4, 0x0007fff0\nli $t5, 9\nsw $t5, 0($t4)\nbreak 0")
         .expect("hijack payload assembles");
     let mut divergences = 0u64;

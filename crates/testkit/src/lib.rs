@@ -47,6 +47,7 @@ pub mod campaign;
 pub mod differential;
 pub mod fault;
 pub mod fleet;
+pub mod frontier;
 pub mod json;
 pub mod report;
 
@@ -54,4 +55,8 @@ pub use campaign::{CampaignConfig, CampaignOutcome, EscapeRow, Tally};
 pub use differential::DifferentialReport;
 pub use fault::{WireFault, WireFaultInjector};
 pub use fleet::{fleet_report_json, run_fleet_scale, FleetScaleConfig, FLEET_SCHEMA};
+pub use frontier::{
+    frontier_json, frontier_table, run_frontier, FrontierCell, FrontierConfig, FrontierReport,
+    FRONTIER_SCHEMA,
+};
 pub use report::{run_campaign, run_campaign_observed, CampaignReport};

@@ -75,6 +75,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("deploy") => cmd_deploy(&args[1..]),
+        Some("frontier") => cmd_frontier(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -108,6 +109,8 @@ USAGE:
     sdmmon campaign [--seed <n>] [--budget <n>] [--routers <n>]
                     [--escape-trials <n>] [--out <path>]
                     [--events <path>] [--metrics <path>]
+    sdmmon campaign --list                 (catalog of registered campaigns)
+    sdmmon frontier [--seed <n>] [--quick] [--out <path>]
     sdmmon deploy [--routers <n>] [--cores <n>] [--seed <n>]
                   [--loss <p>] [--corrupt <p>] [--stall <p>]
                   [--outage <from:len>] [--blackhole <router>]
@@ -444,6 +447,23 @@ fn parse_prob(text: &str, what: &str) -> Result<f64, CliError> {
     Ok(p)
 }
 
+/// Renders one field of a structured event for human output (`?` when the
+/// event does not carry the field).
+fn event_field(event: &sdmmon::obs::Event, key: &str) -> String {
+    use sdmmon::obs::Value;
+    event
+        .fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| match v {
+            Value::U64(n) => n.to_string(),
+            Value::I64(n) => n.to_string(),
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+        })
+        .unwrap_or_else(|| "?".to_owned())
+}
+
 fn cmd_deploy(args: &[String]) -> Result<(), CliError> {
     use sdmmon::core::entities::{Manufacturer, NetworkOperator};
     use sdmmon::core::system::{DeployPhase, Fleet, ResilientConfig};
@@ -569,7 +589,7 @@ fn cmd_deploy(args: &[String]) -> Result<(), CliError> {
     };
 
     let bus = a.option("--events").map(|_| EventBus::new());
-    let result = Fleet::deploy_resilient_observed(
+    let mut result = Fleet::deploy_resilient_observed(
         &manufacturer,
         &operator,
         &program,
@@ -617,6 +637,120 @@ fn cmd_deploy(args: &[String]) -> Result<(), CliError> {
         result.quarantined(),
         server.stats().attempts,
     );
+
+    // Post-deploy shakedown: drive a seeded instruction-memory fault burst
+    // through each converged router so the graded supervisor's quarantine
+    // and parole records land in this human output — previously they were
+    // visible only on the `--events` JSONL stream. A private bus captures
+    // the shakedown's `supervisor.*` events so the deploy event stream the
+    // user asked for stays untouched.
+    let image_base = program.base;
+    let image_len = program.to_bytes().len() as u32;
+    let parole_batches = config.supervisor.adaptive.parole_batches.max(1);
+    println!(
+        "\nshakedown: graded supervisor under instruction-memory faults (per converged router)"
+    );
+    for router in result.fleet.routers_mut() {
+        if router.active_cores().is_empty() {
+            continue;
+        }
+        let name = router.name().to_owned();
+        let victim = (rng.next_u64() % cores as u64) as usize;
+        let shakedown_bus = std::sync::Arc::new(EventBus::new());
+        router.set_event_bus(Some(shakedown_bus.clone()));
+        let probe = sdmmon::npu::programs::testing::ipv4_packet(
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            64,
+            b"shakedown",
+        );
+        let mut faults = 0u32;
+        // Each flip lands on a random text word; violations escalate the
+        // EWMA threat score until the supervisor quarantines the core (a
+        // recovery reset heals the image after every detected hit, so the
+        // burst needs repeated flips). Bounded so an unlucky seed cannot
+        // spin forever on flips that miss the executed path.
+        for _ in 0..24 {
+            if router.is_quarantined(victim) {
+                break;
+            }
+            sdmmon::testkit::fault::flip_text_bit(
+                router.core_mut(victim),
+                image_base,
+                image_len,
+                &mut rng,
+            );
+            router.process_on(victim, &probe);
+            faults += 1;
+        }
+        // Heal any flip a clean completion left behind, then run clean
+        // batches until the parole clock walks the core back to a full
+        // dispatch share (quarantine -> throttled -> full).
+        router.reset_core(victim);
+        let clean: Vec<Vec<u8>> = (0..8u8)
+            .map(|i| {
+                sdmmon::npu::programs::testing::ipv4_packet(
+                    [10, 1, i, 1],
+                    [10, 0, 0, 2],
+                    64,
+                    b"parole",
+                )
+            })
+            .collect();
+        for _ in 0..(2 * parole_batches + 1) {
+            router.process_batch(&clean);
+        }
+        router.set_event_bus(None);
+        let health = router.core_health(victim);
+        println!(
+            "{:<12} core {victim}: {faults} faulted packets, peak threat {}, now {} ({})",
+            name,
+            health.peak_threat.name(),
+            health.threat.name(),
+            if router.active_cores().contains(&victim) {
+                if router.is_throttled(victim) {
+                    "throttled"
+                } else {
+                    "full dispatch share"
+                }
+            } else {
+                "out of dispatch"
+            },
+        );
+        let mut forensics = 0u64;
+        for event in shakedown_bus.take() {
+            match event.kind {
+                "supervisor.throttle" | "supervisor.quarantine" | "supervisor.zeroize" => {
+                    println!(
+                        "{:<12}   {} at packet {} (threat {}, score {})",
+                        "",
+                        event.kind.trim_start_matches("supervisor."),
+                        event.clock,
+                        event_field(&event, "level"),
+                        event_field(&event, "score"),
+                    );
+                }
+                "supervisor.parole" => {
+                    println!(
+                        "{:<12}   parole at batch clock {} restores {} share (threat {})",
+                        "",
+                        event.clock,
+                        event_field(&event, "restored"),
+                        event_field(&event, "level"),
+                    );
+                }
+                "supervisor.forensic" => forensics += 1,
+                _ => {}
+            }
+        }
+        if forensics > 0 {
+            println!(
+                "{:<12}   {forensics} forensic pre-detection events captured (see --events)",
+                ""
+            );
+        }
+    }
+
     let events = a.option("--events").zip(bus.as_ref());
     write_observability(events, a.option("--metrics"))?;
     if result.installed() == 0 {
@@ -857,7 +991,66 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `sdmmon frontier`: sweeps the graded supervisor's policy ladder over
+/// the seeded attack-scenario grid and reports the availability-vs-
+/// security frontier — packets served vs evasive escapes admitted — as an
+/// ASCII table and a byte-stable `sdmmon-frontier-v1` JSON document.
+fn cmd_frontier(args: &[String]) -> Result<(), CliError> {
+    use sdmmon::testkit::frontier::{frontier_json, frontier_table, run_frontier, FrontierConfig};
+
+    // `--quick` is a switch (no value), so parse by hand like `bench`.
+    let mut quick = false;
+    let mut seed = 0xF407u64;
+    let mut out = "target/FRONTIER.json";
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("option `--seed` needs a value"))?;
+                seed = parse_u64(v, "seed")?;
+            }
+            "--out" => {
+                out = it
+                    .next()
+                    .ok_or_else(|| usage("option `--out` needs a value"))?
+                    .as_str();
+            }
+            other => return Err(usage(format!("unknown option `{other}`"))),
+        }
+    }
+
+    let mut cfg = FrontierConfig::new(seed);
+    if quick {
+        cfg = cfg.quick();
+    }
+    let report = run_frontier(&cfg).map_err(processing)?;
+    print!("{}", frontier_table(&report));
+    match report.verify_monotone() {
+        Ok(()) => {
+            println!("frontier: monotone — stricter policies trade served packets for escapes")
+        }
+        Err(msg) => println!("frontier: NOT monotone at this seed ({msg})"),
+    }
+    write_output(out, &(frontier_json(&report).render(0) + "\n"))?;
+    println!("report: {out} (sdmmon-frontier-v1, seed {seed}, replays byte-identically)");
+    Ok(())
+}
+
 fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
+    // `--list` is a switch, so it is recognized before the value-flag
+    // parser sees the argument vector.
+    if args.iter().any(|a| a == "--list") {
+        if args.len() != 1 {
+            return Err(usage("`campaign --list` takes no other options"));
+        }
+        for (name, desc) in sdmmon::testkit::campaign::CAMPAIGN_CATALOG {
+            println!("{name:<20} {desc}");
+        }
+        return Ok(());
+    }
     let a = Args::parse(
         args,
         &[
@@ -975,10 +1168,7 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     // repeated strikes walk the supervisor ladder.
     let program = programs::vulnerable_forward().map_err(processing)?;
     let image = program.to_bytes();
-    let policy = SupervisorPolicy {
-        redeploy_after: 2,
-        quarantine_after: 2,
-    };
+    let policy = SupervisorPolicy::ladder(2, 2);
     let mut np = NetworkProcessor::with_policy(cores, policy);
     np.install_all(&image, program.base, |i| {
         let hash = MerkleTreeHash::new(0x0b5e_55ed ^ i as u32);

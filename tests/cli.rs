@@ -148,6 +148,64 @@ fn campaign_replays_byte_identically_per_seed() {
 }
 
 #[test]
+fn campaign_list_enumerates_the_catalog() {
+    let out = sdmmon()
+        .arg("campaign")
+        .arg("--list")
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "stack_smash",
+        "packet_fuzz",
+        "wire_faults",
+        "fault_recovery",
+        "evasive_propagation",
+        "resilient_deploy",
+    ] {
+        assert!(text.contains(name), "--list must mention {name}: {text}");
+    }
+}
+
+#[test]
+fn frontier_quick_writes_a_replayable_report() {
+    let run = |name: &str| -> Vec<u8> {
+        let out_path = write_temp(name, "");
+        let out = sdmmon()
+            .arg("frontier")
+            .arg("--quick")
+            .arg("--seed")
+            .arg("62855") // 0xF587: exercises the arbitrary-seed path
+            .arg("--out")
+            .arg(&out_path)
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("policy"), "{text}");
+        assert!(text.contains("paranoid"), "{text}");
+        std::fs::read(&out_path).expect("frontier report written")
+    };
+    let first = run("frontier-a.json");
+    let second = run("frontier-b.json");
+    assert_eq!(first, second, "same seed must replay byte-identically");
+    let text = String::from_utf8_lossy(&first);
+    assert!(
+        text.contains("\"schema\": \"sdmmon-frontier-v1\""),
+        "{text}"
+    );
+}
+
+#[test]
 fn bad_inputs_yield_clean_errors() {
     // Unknown command.
     let out = sdmmon().arg("frobnicate").output().expect("spawn");

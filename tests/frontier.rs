@@ -1,0 +1,87 @@
+//! Pins for the availability-vs-security frontier (PR 8).
+//!
+//! The `sdmmon-frontier-v1` contract: the frontier sweep is a pure
+//! function of its seed — the JSON report replays byte-identically — and
+//! at the pinned default seed the policy ladder is *monotone*: every
+//! stricter policy admits no more escapes and serves no more packets than
+//! every looser one, with at least one strict decrease of each per
+//! scenario. That monotone trade is the frontier's entire claim; these
+//! tests keep it from silently degrading into noise.
+
+use sdmmon::testkit::frontier::{frontier_json, frontier_table, run_frontier, FrontierConfig};
+
+/// The CLI's pinned default seed (`sdmmon frontier`), verified monotone on
+/// both the quick and the full grid.
+const PINNED_SEED: u64 = 0xF407;
+
+#[test]
+fn frontier_report_replays_byte_identically() {
+    for seed in [PINNED_SEED, 42, 2026] {
+        let cfg = FrontierConfig::new(seed).quick();
+        let a = frontier_json(&run_frontier(&cfg).unwrap()).render(0);
+        let b = frontier_json(&run_frontier(&cfg).unwrap()).render(0);
+        assert_eq!(a, b, "seed {seed:#x}: frontier.json must replay exactly");
+        assert!(a.contains("\"schema\": \"sdmmon-frontier-v1\""));
+        assert!(a.contains(&format!("\"seed\": {seed}")));
+    }
+}
+
+#[test]
+fn pinned_seed_grid_is_monotone_on_both_axes() {
+    for cfg in [
+        FrontierConfig::new(PINNED_SEED).quick(),
+        FrontierConfig::new(PINNED_SEED),
+    ] {
+        let report = run_frontier(&cfg).unwrap();
+        report.verify_monotone().unwrap_or_else(|msg| {
+            panic!(
+                "pinned seed must trade availability for security monotonically: {msg}\n{}",
+                frontier_table(&report)
+            )
+        });
+    }
+}
+
+#[test]
+fn frontier_extremes_behave_as_designed() {
+    let report = run_frontier(&FrontierConfig::new(PINNED_SEED).quick()).unwrap();
+    for scenario in &report.scenarios {
+        let off = &scenario.cells[0];
+        let paranoid = scenario.cells.last().unwrap();
+        assert_eq!(off.policy, "off");
+        assert_eq!(paranoid.policy, "paranoid");
+        // The unsupervised endpoint never throttles, quarantines, or
+        // halts — maximum availability, maximum exposure.
+        assert_eq!(off.throttles + off.quarantines + off.zeroizes, 0);
+        assert_eq!(off.halted_batch, None);
+        assert!(
+            off.escapes > paranoid.escapes,
+            "{}: supervision must buy strictly fewer escapes (off {}, paranoid {})",
+            scenario.name,
+            off.escapes,
+            paranoid.escapes
+        );
+        assert!(
+            off.served > paranoid.served,
+            "{}: the security must cost served packets (off {}, paranoid {})",
+            scenario.name,
+            off.served,
+            paranoid.served
+        );
+        // Detections feed the latency histogram the percentiles read.
+        assert!(paranoid.detections > 0);
+        assert!(paranoid.latency_quantile(50) > 0);
+    }
+}
+
+#[test]
+fn frontier_table_lists_every_policy_per_scenario() {
+    let report = run_frontier(&FrontierConfig::new(PINNED_SEED).quick()).unwrap();
+    let table = frontier_table(&report);
+    for scenario in &report.scenarios {
+        assert!(table.contains(scenario.name));
+        for cell in &scenario.cells {
+            assert!(table.contains(cell.policy));
+        }
+    }
+}

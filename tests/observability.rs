@@ -84,13 +84,7 @@ fn traffic(seed: u64, n: usize) -> Vec<Vec<u8>> {
 /// returns the rendered event stream.
 fn np_jsonl(seed: u64, shards: usize) -> String {
     let program = programs::vulnerable_forward().unwrap();
-    let mut np = NetworkProcessor::with_policy(
-        8,
-        SupervisorPolicy {
-            redeploy_after: 2,
-            quarantine_after: 2,
-        },
-    );
+    let mut np = NetworkProcessor::with_policy(8, SupervisorPolicy::ladder(2, 2));
     np.install_all(&program.to_bytes(), program.base, |_| {
         Box::new(NullObserver)
     });
@@ -101,6 +95,42 @@ fn np_jsonl(seed: u64, shards: usize) -> String {
     np.process_batch(&packets);
     // A second batch repartitions against the degraded core set.
     np.process_batch(&traffic(seed ^ 0xFFFF, 80));
+    bus.render_jsonl()
+}
+
+/// Runs a graded-supervisor workload (PR 8): a short attack burst that
+/// walks one core up the threat ladder to quarantine (flushing its
+/// forensic ring), then clean batches that walk it back down through
+/// parole. Returns the rendered event stream.
+fn graded_np_jsonl(seed: u64, shards: usize) -> String {
+    let program = programs::vulnerable_forward().unwrap();
+    let mut np = NetworkProcessor::with_policy(8, SupervisorPolicy::default());
+    np.install_all(&program.to_bytes(), program.base, |_| {
+        Box::new(NullObserver)
+    });
+    np.set_shards(shards);
+    let bus = Arc::new(EventBus::new());
+    np.set_event_bus(Some(bus.clone()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let benign = |rng: &mut StdRng| {
+        let src = [10, rng.gen_range(0..4u8), rng.gen_range(0..250u8), 1];
+        let dst = [10, 0, 0, rng.gen_range(1..=16u8)];
+        testing::ipv4_packet(src, dst, 64, b"pay")
+    };
+    // All hijack packets share one flow (fixed header), so the burst lands
+    // on a single victim core: two hits clear the quarantine threshold
+    // without reaching the zeroize one (a zeroized core never paroles).
+    let attack = testing::hijack_packet("li $t5, 7\nbreak 1").unwrap();
+    let mut burst: Vec<Vec<u8>> = (0..2).map(|_| attack.clone()).collect();
+    for _ in 0..48 {
+        burst.push(benign(&mut rng));
+    }
+    np.process_batch(&burst);
+    // Clean batches tick the parole clock: quarantine -> throttled -> full.
+    for _ in 0..12 {
+        let clean: Vec<Vec<u8>> = (0..24).map(|_| benign(&mut rng)).collect();
+        np.process_batch(&clean);
+    }
     bus.render_jsonl()
 }
 
@@ -132,6 +162,46 @@ fn np_event_stream_is_identical_across_shard_counts() {
             one.contains("supervisor.quarantine"),
             "burst workload must exercise the ladder"
         );
+        for line in four.lines() {
+            validate_event_line(line).unwrap();
+        }
+    }
+}
+
+#[test]
+fn graded_supervisor_stream_is_identical_across_shard_counts() {
+    for seed in [0x6EAD_0001u64, 0x6EAD_0002] {
+        let one = graded_np_jsonl(seed, 1);
+        let four = graded_np_jsonl(seed, 4);
+        // Same invariant the strike ladder satisfies: supervisor events
+        // (including forensic flushes and parole records) carry logical
+        // clocks, so sharding may not reorder or change them. np.batch
+        // telemetry describes the engine configuration and is excluded.
+        let strip = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| !l.contains("\"kind\":\"np.batch\""))
+                .map(str::to_owned)
+                .collect()
+        };
+        assert_eq!(
+            strip(&one),
+            strip(&four),
+            "seed {seed:#x}: graded stream must be shard-count-independent"
+        );
+        assert_eq!(one.lines().count(), four.lines().count());
+        assert_eq!(one, graded_np_jsonl(seed, 1), "replay at 1 shard");
+        assert_eq!(four, graded_np_jsonl(seed, 4), "replay at 4 shards");
+        for kind in [
+            "supervisor.throttle",
+            "supervisor.quarantine",
+            "supervisor.forensic",
+            "supervisor.parole",
+        ] {
+            assert!(
+                one.contains(kind),
+                "seed {seed:#x}: workload must produce {kind}"
+            );
+        }
         for line in four.lines() {
             validate_event_line(line).unwrap();
         }
