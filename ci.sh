@@ -1,10 +1,11 @@
 #!/bin/sh
 # Repo gate: formatting, lints, full test suite, a quick perf smoke run
-# (quick mode writes target/BENCH_PR7.quick.json; the committed
-# BENCH_PR7.json comes from a full release run of the same binary), the
+# (quick mode writes target/BENCH_PR9.quick.json; the committed
+# BENCH_PR9.json comes from a full release run of the same binary), the
 # sharded-engine throughput gate (with and without metrics recording),
 # the bit-sliced hash gate (SWAR block path >= 4x scalar on the headline
-# compression),
+# compression), the streaming-ingest gate (byte-identical
+# sdmmon-stream-v1 replay + backpressure accounting),
 # a bounded adversarial campaign (accounting + differential assertions,
 # deterministic per seed), an events-schema smoke (byte-identical
 # sdmmon-events-v1 replay), the v1-vs-v2 install differential, the
@@ -46,14 +47,37 @@ grep -q '"schema": "sdmmon-metrics-v1"' target/ci-bench-metrics.json
 # exit 2 on a regression).
 cargo run --release --bin sdmmon -- bench --quick --hash
 
-# Schema gate: the committed report must carry the v4 schema (v3 plus the
-# "deploy" section and the keygen split in "fleet"), and its key sequence
+# Streaming-ingest gate: the open-loop stream at the pinned seed must
+# replay byte-identically (the sdmmon-stream-v1 determinism contract,
+# which also certifies the work-stealing engine matched its serial
+# oracle — the command exits 2 otherwise), and the admission books must
+# balance: offered == admitted + dropped, with the tight budget forcing
+# real drops.
+cargo run --release --bin sdmmon -- stream --quick --capacity 16 \
+    --out target/ci-stream-a.json
+cargo run --release --bin sdmmon -- stream --quick --capacity 16 \
+    --out target/ci-stream-b.json
+cmp target/ci-stream-a.json target/ci-stream-b.json
+python3 - target/ci-stream-a.json <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "sdmmon-stream-v1", report["schema"]
+assert report["admitted"] + report["dropped"] == report["offered"], report
+assert report["dropped"] > 0, "tight budget produced no backpressure"
+assert report["byte_identical"] is True, report
+assert report["queue_delay_p999"] >= report["queue_delay_p50"], report
+print(f"stream ok: {report['admitted']}/{report['offered']} admitted, "
+      f"{report['steals']} steals, p999 delay {report['queue_delay_p999']}")
+PYEOF
+
+# Schema gate: the committed report must carry the v5 schema (v4 plus the
+# "streaming" section and host_cores in "sharded"), and its key sequence
 # must match what the binary writes today — a drifted field set fails the
 # diff.
-grep -q '"schema": "sdmmon-perf-report-v4"' BENCH_PR7.json
-sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' BENCH_PR7.json > target/BENCH_PR7.schema
-sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' target/BENCH_PR7.quick.json > target/BENCH_PR7.quick.schema
-diff target/BENCH_PR7.schema target/BENCH_PR7.quick.schema
+grep -q '"schema": "sdmmon-perf-report-v5"' BENCH_PR9.json
+sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' BENCH_PR9.json > target/BENCH_PR9.schema
+sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' target/BENCH_PR9.quick.json > target/BENCH_PR9.quick.schema
+diff target/BENCH_PR9.schema target/BENCH_PR9.quick.schema
 
 # Wire-format differential gate: a router installing the v1 rendering and
 # its twin installing the v2 rendering of the same fleet update must land

@@ -1,14 +1,17 @@
 //! Machine-readable performance report for the hot paths: Montgomery/CRT
 //! RSA, the NPU pre-decoded instruction cache, the parallel fleet/batch
 //! paths, the sharded batch engine (schema v2), the SWAR bit-sliced
-//! monitor hash (schema v3), and the shared-package fleet-update crypto
-//! (schema v4) — each measured against the code path it replaced (which
-//! stays alive as the differential-test oracle).
+//! monitor hash (schema v3), the shared-package fleet-update crypto
+//! (schema v4), and the streaming ingest engine with bounded ingress and
+//! deterministic work stealing (schema v5) — each measured against the
+//! code path it replaced (which stays alive as the differential-test
+//! oracle).
 //!
-//! Writes `BENCH_PR7.json` (schema `sdmmon-perf-report-v4`) at the
+//! Writes `BENCH_PR9.json` (schema `sdmmon-perf-report-v5`) at the
 //! repository root and prints a summary table; the committed
-//! `BENCH_PR1.json`, `BENCH_PR4.json` and `BENCH_PR6.json` are the frozen
-//! v1/v2/v3 artifacts of the earlier overhauls. Run with:
+//! `BENCH_PR1.json`, `BENCH_PR4.json`, `BENCH_PR6.json` and
+//! `BENCH_PR7.json` are the frozen v1/v2/v3/v4 artifacts of the earlier
+//! overhauls. Run with:
 //!
 //! ```text
 //! cargo run --release -p sdmmon-bench --bin perf_report [-- --quick] [--shards N]
@@ -20,6 +23,7 @@
 use sdmmon_bench::hashbench::HashBenchConfig;
 use sdmmon_bench::render_table;
 use sdmmon_bench::sharded::ShardedConfig;
+use sdmmon_bench::streaming::StreamingConfig;
 use sdmmon_core::entities::{Manufacturer, NetworkOperator};
 use sdmmon_core::system::Fleet;
 use sdmmon_crypto::bignum::BigUint;
@@ -94,7 +98,7 @@ fn main() {
     let cfg = Config::new(quick);
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"sdmmon-perf-report-v4\",");
+    let _ = writeln!(json, "  \"schema\": \"sdmmon-perf-report-v5\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
 
     rsa_section(&cfg, &mut rows, &mut json);
@@ -102,6 +106,7 @@ fn main() {
     hash_section(quick, &mut rows, &mut json);
     throughput_section(&cfg, &mut rows, &mut json);
     sharded_section(quick, max_shards, &mut rows, &mut json);
+    streaming_section(quick, &mut rows, &mut json);
     fleet_section(&cfg, &mut rows, &mut json);
     deploy_section(&cfg, &mut rows, &mut json);
 
@@ -119,10 +124,10 @@ fn main() {
     let path = if quick {
         concat!(
             env!("CARGO_MANIFEST_DIR"),
-            "/../../target/BENCH_PR7.quick.json"
+            "/../../target/BENCH_PR9.quick.json"
         )
     } else {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json")
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json")
     };
     std::fs::write(path, &json).expect("write perf report json");
     println!("\nwrote {path}");
@@ -408,6 +413,26 @@ fn sharded_section(
         format!("{:.0}", report.serial_pps / 1e3),
         format!("{:.0}", headline.pps / 1e3),
         format!("{:.2}x", report.speedup(&headline)),
+    ]);
+    let _ = writeln!(json, "{},", report.json_object());
+}
+
+/// The streaming ingest engine (PR 9): open-loop heavy-tailed traffic
+/// through bounded ingress admission + deterministic whole-queue work
+/// stealing, vs the serial streaming oracle (see
+/// [`sdmmon_bench::streaming`]). Byte-identity of outcomes and `NpStats`
+/// is asserted inside the scenario; the JSON carries the backpressure
+/// accounting and the queue-delay tail percentiles.
+fn streaming_section(quick: bool, rows: &mut Vec<Vec<String>>, json: &mut String) {
+    let report = sdmmon_bench::streaming::run(&StreamingConfig::new(quick));
+    rows.push(vec![
+        format!(
+            "streaming engine, {} cores / {} shards (kpps)",
+            report.cores, report.shards
+        ),
+        format!("{:.0}", report.serial_pps / 1e3),
+        format!("{:.0}", report.stream_pps / 1e3),
+        format!("{:.2}x", report.speedup()),
     ]);
     let _ = writeln!(json, "{},", report.json_object());
 }

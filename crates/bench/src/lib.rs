@@ -14,16 +14,18 @@
 //! | `graph_size` | monitoring-graph compactness across workloads |
 //!
 //! `perf_report` measures the hot paths (Montgomery/CRT RSA, the decode
-//! cache, batch/fleet parallelism, the sharded batch engine, and the
-//! bit-sliced monitor hash) against their in-tree reference oracles and
-//! writes the machine-readable `BENCH_PR6.json` at the repo root (schema
-//! `sdmmon-perf-report-v3`; `BENCH_PR1.json` and `BENCH_PR4.json` are the
-//! frozen v1/v2 artifacts). `throughput_sharded` runs the [`sharded`]
-//! sweep standalone; the [`hashbench`] sweep also backs
-//! `sdmmon bench --hash`.
+//! cache, batch/fleet parallelism, the sharded batch engine, the
+//! bit-sliced monitor hash, and the streaming ingest engine) against
+//! their in-tree reference oracles and writes the machine-readable
+//! `BENCH_PR9.json` at the repo root (schema `sdmmon-perf-report-v5`; the
+//! earlier `BENCH_PR*.json` files are the frozen artifacts of prior
+//! overhauls). `throughput_sharded` runs the [`sharded`] sweep
+//! standalone; the [`hashbench`] sweep also backs `sdmmon bench --hash`;
+//! the [`streaming`] scenario also backs `sdmmon stream`.
 
 pub mod hashbench;
 pub mod sharded;
+pub mod streaming;
 
 use std::fmt::Write as _;
 

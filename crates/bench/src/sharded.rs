@@ -70,6 +70,11 @@ pub struct ShardPoint {
 pub struct ShardedReport {
     /// Simulated NP cores.
     pub cores: usize,
+    /// Host hardware threads — what the shard workers actually ran on.
+    /// On a one-CPU host every sweep point above 1 shard times the same
+    /// physical resource, which is why the sweep can be non-monotone; see
+    /// `docs/PERF.md`.
+    pub host_cores: usize,
     /// Packets per timed batch.
     pub packets: usize,
     /// Timed repeats per configuration.
@@ -119,14 +124,16 @@ impl ShardedReport {
         )
     }
 
-    /// The `"sharded"` JSON object (keys only, caller wraps), matching the
-    /// `sdmmon-perf-report-v2` schema. Sweep entries are one-line objects
-    /// so line-oriented schema diffs see only the stable keys.
+    /// The `"sharded"` JSON object (keys only, caller wraps), introduced
+    /// with `sdmmon-perf-report-v2` (v5 added `host_cores`). Sweep entries
+    /// are one-line objects so line-oriented schema diffs see only the
+    /// stable keys.
     pub fn json_object(&self) -> String {
         let headline = self.headline();
         let mut json = String::new();
         let _ = writeln!(json, "  \"sharded\": {{");
         let _ = writeln!(json, "    \"cores\": {},", self.cores);
+        let _ = writeln!(json, "    \"host_cores\": {},", self.host_cores);
         let _ = writeln!(json, "    \"packets\": {},", self.packets);
         let _ = writeln!(json, "    \"repeats\": {},", self.repeats);
         let _ = writeln!(json, "    \"serial_pps\": {:.0},", self.serial_pps);
@@ -243,6 +250,9 @@ pub fn run_observed(
 
     ShardedReport {
         cores: CORES,
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         packets: cfg.packets,
         repeats: cfg.repeats,
         serial_pps,

@@ -1,0 +1,294 @@
+//! The `streaming` scenario (PR 9): open-loop heavy-tailed traffic through
+//! the bounded-ingress + work-stealing engine, vs the serial streaming
+//! oracle, with byte-identity asserted on every timed run.
+//!
+//! The workload is an [`OpenLoopSource`] — bounded-Pareto flow sizes,
+//! bursty arrivals, flow churn — which keeps offering packets whether or
+//! not the NP keeps up, so the scenario also exercises admission-control
+//! backpressure (`offered == admitted + dropped`) and reports the
+//! queue-delay tail (p50/p99/p999) from the power-of-two metrics
+//! histograms. Runs are interleaved (serial, then streaming, per repeat)
+//! and the best of `repeats` is reported per side; throughput is
+//! *sustained admitted* packets per second.
+
+use crate::render_table;
+use sdmmon_monitor::{HardwareMonitor, MerkleTreeHash, MonitoringGraph};
+use sdmmon_net::traffic::{OpenLoopConfig, OpenLoopSource};
+use sdmmon_npu::np::{NetworkProcessor, StreamConfig, StreamReport};
+use sdmmon_npu::programs;
+use sdmmon_obs::{metrics, percentile, Hist, HIST_BUCKETS};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Simulated NP core count (a property of the modelled device).
+const CORES: usize = 8;
+
+/// Scenario parameters.
+#[derive(Debug, Clone)]
+pub struct StreamingConfig {
+    /// Arrival rounds per run.
+    pub rounds: usize,
+    /// Engine shard count for the streaming side.
+    pub shards: usize,
+    /// Per-shard ingress budget per round.
+    pub shard_capacity: usize,
+    /// Timed repeats per side (best-of is reported).
+    pub repeats: usize,
+    /// Open-loop source seed.
+    pub seed: u64,
+}
+
+impl StreamingConfig {
+    /// Standard run: 4 shards over 8 cores, budget tight enough that the
+    /// heavy-tailed source provokes drops. `quick` shrinks the round count
+    /// for CI smoke runs; the report schema is identical.
+    pub fn new(quick: bool) -> StreamingConfig {
+        StreamingConfig {
+            rounds: if quick { 8 } else { 64 },
+            shards: 4,
+            shard_capacity: 48,
+            repeats: if quick { 2 } else { 3 },
+            seed: 0xBE7C_0009,
+        }
+    }
+}
+
+/// The scenario's result. Byte-identity of outcomes and `NpStats` against
+/// the serial streaming oracle is asserted during [`run`], so a report
+/// that exists at all certifies it.
+#[derive(Debug, Clone)]
+pub struct StreamingReport {
+    /// Simulated NP cores.
+    pub cores: usize,
+    /// Host hardware threads (what the shard workers actually ran on).
+    pub host_cores: usize,
+    /// Arrival rounds per run.
+    pub rounds: usize,
+    /// Streaming-side shard count.
+    pub shards: usize,
+    /// Per-shard ingress budget per round.
+    pub shard_capacity: usize,
+    /// Backpressure + stealing accounting of one streaming run.
+    pub report: StreamReport,
+    /// Best-of-repeats serial-oracle sustained admitted packets/second.
+    pub serial_pps: f64,
+    /// Best-of-repeats streaming-engine sustained admitted packets/second.
+    pub stream_pps: f64,
+    /// Ingress queue-delay percentiles (packets ahead at admission), from
+    /// the power-of-two `StreamQueueDelay` histogram: p50 / p99 / p999
+    /// bucket lower bounds.
+    pub delay_p50: u64,
+    /// See [`StreamingReport::delay_p50`].
+    pub delay_p99: u64,
+    /// See [`StreamingReport::delay_p50`].
+    pub delay_p999: u64,
+}
+
+impl StreamingReport {
+    /// Streaming-engine speedup over the serial oracle.
+    pub fn speedup(&self) -> f64 {
+        self.stream_pps / self.serial_pps
+    }
+
+    /// Fraction of offered packets dropped at ingress.
+    pub fn drop_rate(&self) -> f64 {
+        if self.report.offered == 0 {
+            0.0
+        } else {
+            self.report.dropped as f64 / self.report.offered as f64
+        }
+    }
+
+    /// ASCII summary table.
+    pub fn table(&self) -> String {
+        let rows = vec![
+            vec![
+                "serial streaming oracle".into(),
+                format!("{:.0}", self.serial_pps / 1e3),
+                "1.00x".into(),
+            ],
+            vec![
+                format!("streaming engine, {} shard(s)", self.shards),
+                format!("{:.0}", self.stream_pps / 1e3),
+                format!("{:.2}x", self.speedup()),
+            ],
+        ];
+        let mut out = render_table(
+            &[
+                &format!(
+                    "open-loop stream, {} cores, {} rounds",
+                    self.cores, self.rounds
+                ),
+                "admitted kpps",
+                "vs serial",
+            ],
+            &rows,
+        );
+        let _ = writeln!(
+            out,
+            "offered {} / admitted {} / dropped {} ({:.1}%) / steals {} / \
+             queue delay p50 {} p99 {} p999 {}",
+            self.report.offered,
+            self.report.admitted,
+            self.report.dropped,
+            self.drop_rate() * 100.0,
+            self.report.steals,
+            self.delay_p50,
+            self.delay_p99,
+            self.delay_p999,
+        );
+        out
+    }
+
+    /// The `"streaming"` JSON object (keys only, caller wraps), matching
+    /// the `sdmmon-perf-report-v5` schema.
+    pub fn json_object(&self) -> String {
+        let mut json = String::new();
+        let _ = writeln!(json, "  \"streaming\": {{");
+        let _ = writeln!(json, "    \"cores\": {},", self.cores);
+        let _ = writeln!(json, "    \"host_cores\": {},", self.host_cores);
+        let _ = writeln!(json, "    \"rounds\": {},", self.rounds);
+        let _ = writeln!(json, "    \"shards\": {},", self.shards);
+        let _ = writeln!(json, "    \"shard_capacity\": {},", self.shard_capacity);
+        let _ = writeln!(json, "    \"offered\": {},", self.report.offered);
+        let _ = writeln!(json, "    \"admitted\": {},", self.report.admitted);
+        let _ = writeln!(json, "    \"dropped\": {},", self.report.dropped);
+        let _ = writeln!(json, "    \"drop_rate\": {:.4},", self.drop_rate());
+        let _ = writeln!(json, "    \"steals\": {},", self.report.steals);
+        let _ = writeln!(json, "    \"serial_pps\": {:.0},", self.serial_pps);
+        let _ = writeln!(json, "    \"stream_pps\": {:.0},", self.stream_pps);
+        let _ = writeln!(json, "    \"speedup_vs_serial\": {:.3},", self.speedup());
+        let _ = writeln!(json, "    \"queue_delay_p50\": {},", self.delay_p50);
+        let _ = writeln!(json, "    \"queue_delay_p99\": {},", self.delay_p99);
+        let _ = writeln!(json, "    \"queue_delay_p999\": {},", self.delay_p999);
+        let _ = writeln!(json, "    \"byte_identical\": true");
+        let _ = write!(json, "  }}");
+        json
+    }
+}
+
+/// Runs the scenario. The reference [`StreamOutcome`] is computed once
+/// untimed; every timed run — serial oracle and streaming engine alike —
+/// must reproduce it byte for byte (outcomes *and* final `NpStats`), or
+/// the scenario panics rather than reporting a tainted number.
+///
+/// [`StreamOutcome`]: sdmmon_npu::np::StreamOutcome
+pub fn run(cfg: &StreamingConfig) -> StreamingReport {
+    let program = programs::ipv4_forward().expect("embedded workload assembles");
+    let image = program.to_bytes();
+    let build = || {
+        let mut np = NetworkProcessor::new(CORES);
+        np.install_all(&image, program.base, |i| {
+            let hash = MerkleTreeHash::new(0x0bad_5eed ^ i as u32);
+            let graph = MonitoringGraph::extract(&program, &hash).expect("graph extracts");
+            Box::new(HardwareMonitor::new(graph, hash))
+        });
+        np.set_shards(cfg.shards);
+        np
+    };
+    let mut source = OpenLoopSource::new(OpenLoopConfig {
+        seed: cfg.seed,
+        ..OpenLoopConfig::default()
+    });
+    let rounds = source.take_rounds(cfg.rounds);
+    let stream_cfg = StreamConfig {
+        shard_capacity: cfg.shard_capacity,
+    };
+
+    // Reference run, untimed.
+    let mut oracle = build();
+    let expected = oracle.process_stream_serial(&rounds, &stream_cfg);
+    let expected_stats = oracle.stats();
+
+    let delay_before = metrics().hist_buckets(Hist::StreamQueueDelay);
+    let mut serial_pps = 0f64;
+    let mut stream_pps = 0f64;
+    let mut report = expected.report;
+    for _ in 0..cfg.repeats {
+        let mut np = build();
+        let t = Instant::now();
+        let out = np.process_stream_serial(&rounds, &stream_cfg);
+        serial_pps = serial_pps.max(out.report.admitted as f64 / t.elapsed().as_secs_f64());
+        assert_eq!(
+            out.outcomes, expected.outcomes,
+            "serial streaming run diverged from the oracle"
+        );
+
+        let mut np = build();
+        let t = Instant::now();
+        let out = np.process_stream(&rounds, &stream_cfg);
+        stream_pps = stream_pps.max(out.report.admitted as f64 / t.elapsed().as_secs_f64());
+        assert_eq!(
+            out.outcomes, expected.outcomes,
+            "streaming engine diverged from its serial oracle at {} shards",
+            cfg.shards
+        );
+        assert_eq!(
+            np.stats(),
+            expected_stats,
+            "NpStats diverged from the streaming oracle at {} shards",
+            cfg.shards
+        );
+        report = out.report;
+    }
+    let delay_after = metrics().hist_buckets(Hist::StreamQueueDelay);
+    let mut delay = [0u64; HIST_BUCKETS];
+    for (d, (after, before)) in delay
+        .iter_mut()
+        .zip(delay_after.iter().zip(delay_before.iter()))
+    {
+        *d = after - before;
+    }
+
+    StreamingReport {
+        cores: CORES,
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        rounds: cfg.rounds,
+        shards: cfg.shards,
+        shard_capacity: cfg.shard_capacity,
+        report,
+        serial_pps,
+        stream_pps,
+        delay_p50: percentile(&delay, 500),
+        delay_p99: percentile(&delay, 990),
+        delay_p999: percentile(&delay, 999),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_streaming_reports_backpressure_and_tails() {
+        let cfg = StreamingConfig {
+            rounds: 3,
+            shards: 2,
+            shard_capacity: 24,
+            repeats: 1,
+            seed: 0xBE7C_0009,
+        };
+        let report = run(&cfg);
+        assert_eq!(
+            report.report.admitted + report.report.dropped,
+            report.report.offered
+        );
+        assert!(report.report.offered > 0);
+        assert!(report.serial_pps > 0.0 && report.stream_pps > 0.0);
+        assert!(report.delay_p99 >= report.delay_p50);
+        let json = report.json_object();
+        for key in [
+            "\"streaming\"",
+            "\"host_cores\"",
+            "\"drop_rate\"",
+            "\"steals\"",
+            "\"queue_delay_p999\"",
+            "\"byte_identical\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(report.table().contains("streaming engine"));
+    }
+}

@@ -6,14 +6,18 @@
 //! FTP server. This crate models both sides:
 //!
 //! * [`packet`] — IPv4/UDP header construction and parsing with checksums
-//! * [`traffic`] — seeded workload generation: flows of valid packets with
-//!   configurable malformed-packet rates, as used by the benchmark harness
+//! * [`traffic`] — seeded workload generation: closed-loop flows of valid
+//!   packets with configurable malformed-packet rates
+//!   ([`traffic::TrafficGenerator`]) and an open-loop arrival process with
+//!   heavy-tailed bounded-Pareto flow sizes, burst arrivals, and flow
+//!   churn ([`traffic::OpenLoopSource`]) for the streaming engine
 //! * [`channel`] — a bandwidth/latency channel model and an in-memory
 //!   [`channel::FileServer`], reproducing the "download data from FTP
 //!   server" row of the paper's Table 2
 //! * [`resilience`] — seeded transport-fault injection: a
-//!   [`resilience::LossyChannel`] link model (loss, corruption, stalls) and
-//!   a [`resilience::FlakyServer`] wrapper with outage windows and
+//!   [`resilience::LossyChannel`] link model (loss, corruption, stalls,
+//!   Gilbert–Elliott correlated burst loss) and a
+//!   [`resilience::FlakyServer`] wrapper with outage windows and
 //!   blackholed paths
 //! * [`download`] — a retrying [`download::DownloadClient`] with bounded
 //!   exponential backoff + jitter, chunked resumable transfer, and a

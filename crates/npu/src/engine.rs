@@ -23,6 +23,13 @@
 //!   are rolled up into [`crate::np::NpStats`] **by shard index** after
 //!   the batch barrier, so the aggregate is byte-identical to the serial
 //!   fold for any seed and any shard count.
+//!
+//! The streaming front end (PR 9) adds two pieces on the same contract:
+//! [`IngressQueues`], bounded per-shard admission with backpressure
+//! accounting, and [`steal_plan`], deterministic work stealing of *whole
+//! core queues* — a queue (and therefore a flow) is never split, only
+//! re-homed to an early-draining shard, so outcomes stay byte-identical to
+//! the serial oracle while skewed traces still balance.
 
 use crate::runtime::{HaltReason, PacketOutcome, Verdict};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -233,6 +240,174 @@ pub fn shard_of(core: usize, cores: usize, shards: usize) -> usize {
     }
 }
 
+/// Bounded per-shard ingress queues with admission control — the streaming
+/// engine's front door.
+///
+/// An open-loop source keeps offering packets whether or not the cores keep
+/// up, so admission is where backpressure becomes visible: each packet is
+/// routed to its flow's core, and it is admitted only while the owning
+/// *shard* still has room in the current round. Overflow is dropped and
+/// counted, never silently deferred — `offered == admitted + dropped`
+/// holds at every instant, and all of it is a pure function of the packet
+/// sequence (no timing, no randomness).
+#[derive(Debug)]
+pub struct IngressQueues {
+    /// Per-core queues of admitted input indices, in arrival order.
+    queues: Vec<Vec<usize>>,
+    /// Per-shard admitted count this round (the bounded resource).
+    fill: Vec<usize>,
+    capacity: usize,
+    cores: usize,
+    shards: usize,
+    offered: u64,
+    admitted: u64,
+    dropped: u64,
+}
+
+impl IngressQueues {
+    /// Creates empty queues for `cores` cores in `shards` shards, each
+    /// shard admitting at most `capacity` packets per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= shards <= cores` and `capacity > 0`.
+    pub fn new(cores: usize, shards: usize, capacity: usize) -> IngressQueues {
+        assert!(shards > 0 && shards <= cores, "1 <= shards <= cores");
+        assert!(capacity > 0, "zero-capacity ingress admits nothing");
+        IngressQueues {
+            queues: vec![Vec::new(); cores],
+            fill: vec![0; shards],
+            capacity,
+            cores,
+            shards,
+            offered: 0,
+            admitted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Offers the packet at input `index` for `core`. On admission returns
+    /// its queue delay — how many admitted packets sit ahead of it in the
+    /// core's queue; `None` means the shard's round budget is exhausted and
+    /// the packet was dropped.
+    pub fn offer(&mut self, core: usize, index: usize) -> Option<u64> {
+        self.offered += 1;
+        let shard = shard_of(core, self.cores, self.shards);
+        if self.fill[shard] >= self.capacity {
+            self.dropped += 1;
+            return None;
+        }
+        self.fill[shard] += 1;
+        self.admitted += 1;
+        let delay = self.queues[core].len() as u64;
+        self.queues[core].push(index);
+        Some(delay)
+    }
+
+    /// The per-core queues of admitted input indices.
+    pub fn queues(&self) -> &[Vec<usize>] {
+        &self.queues
+    }
+
+    /// Per-core queue lengths — the input [`steal_plan`] balances on.
+    pub fn loads(&self) -> Vec<usize> {
+        self.queues.iter().map(Vec::len).collect()
+    }
+
+    /// Empties the queues and the per-shard fill for the next round. The
+    /// backpressure counters are cumulative and survive.
+    pub fn clear_round(&mut self) {
+        for queue in &mut self.queues {
+            queue.clear();
+        }
+        self.fill.fill(0);
+    }
+
+    /// Packets offered so far (admitted + dropped).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Packets admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Packets dropped by admission control so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Deterministic work stealing of whole core queues.
+///
+/// Starting from the static [`shard_of`] ownership, repeatedly moves one
+/// entire core queue from the most-loaded shard to the least-loaded one —
+/// the queue whose size brings the pair closest to balance, ties broken by
+/// lowest core index — until no single move strictly reduces the gap. Each
+/// move is one *steal*: it models the least-loaded shard's worker draining
+/// early and taking a whole queue from the straggler.
+///
+/// Because the plan is a pure function of the queue loads (not of thread
+/// timing), the steal count replays exactly, and because a queue moves
+/// whole, a flow is never split across workers: every core's queue still
+/// runs contiguously, in input order, on exactly one worker — the
+/// precondition for byte-identical outcomes at every shard count.
+///
+/// Returns `(owner shard per core, steal count)`.
+///
+/// # Panics
+///
+/// Panics unless `1 <= shards <= loads.len()`.
+pub fn steal_plan(loads: &[usize], shards: usize) -> (Vec<usize>, u64) {
+    let cores = loads.len();
+    assert!(shards > 0 && shards <= cores, "1 <= shards <= cores");
+    let mut owner: Vec<usize> = (0..cores).map(|c| shard_of(c, cores, shards)).collect();
+    if shards == 1 {
+        return (owner, 0);
+    }
+    let mut shard_load = vec![0u64; shards];
+    for (core, &len) in loads.iter().enumerate() {
+        shard_load[owner[core]] += len as u64;
+    }
+    let mut steals = 0u64;
+    // Each move strictly decreases the sum of squared shard loads, so the
+    // loop terminates; the cap is a safety net, not a tuning knob.
+    for _ in 0..4 * cores {
+        let donor = (0..shards)
+            .max_by_key(|&s| (shard_load[s], shards - s))
+            .expect("shards > 0");
+        let thief = (0..shards)
+            .min_by_key(|&s| (shard_load[s], s))
+            .expect("shards > 0");
+        let gap = shard_load[donor] - shard_load[thief];
+        // The best movable queue leaves the pair with gap |gap - 2q|,
+        // which improves on `gap` exactly when 0 < q < gap.
+        let mut best: Option<(u64, usize)> = None;
+        for core in 0..cores {
+            if owner[core] != donor {
+                continue;
+            }
+            let q = loads[core] as u64;
+            if q == 0 || q >= gap {
+                continue;
+            }
+            let post = gap.abs_diff(2 * q);
+            if best.is_none_or(|(b, _)| post < b) {
+                best = Some((post, core));
+            }
+        }
+        let Some((_, core)) = best else {
+            break;
+        };
+        owner[core] = thief;
+        shard_load[donor] -= loads[core] as u64;
+        shard_load[thief] += loads[core] as u64;
+        steals += 1;
+    }
+    (owner, steals)
+}
+
 /// Per-shard outcome counters in one cache line.
 ///
 /// Each shard's worker is the only writer (relaxed adds, uncontended); the
@@ -417,6 +592,90 @@ mod tests {
             .map(|_| Box::new(|| {}) as Box<dyn FnOnce() + Send>)
             .collect();
         pool.run_batch(jobs);
+    }
+
+    #[test]
+    fn ingress_admission_is_bounded_per_shard_and_accounted() {
+        // 4 cores in 2 shards, 3 packets per shard per round.
+        let mut ingress = IngressQueues::new(4, 2, 3);
+        // Shard 0 owns cores {0, 1}: admit 3, drop the rest.
+        assert_eq!(ingress.offer(0, 0), Some(0));
+        assert_eq!(ingress.offer(1, 1), Some(0));
+        assert_eq!(ingress.offer(0, 2), Some(1), "second in core 0's queue");
+        assert_eq!(ingress.offer(1, 3), None, "shard 0 budget exhausted");
+        // Shard 1 (cores {2, 3}) has its own budget.
+        assert_eq!(ingress.offer(3, 4), Some(0));
+        assert_eq!(ingress.offered(), 5);
+        assert_eq!(ingress.admitted(), 4);
+        assert_eq!(ingress.dropped(), 1);
+        assert_eq!(ingress.admitted() + ingress.dropped(), ingress.offered());
+        assert_eq!(ingress.queues()[0], vec![0, 2]);
+        assert_eq!(ingress.queues()[1], vec![1]);
+        assert_eq!(ingress.loads(), vec![2, 1, 0, 1]);
+        // A new round restores the budget but keeps the accounting.
+        ingress.clear_round();
+        assert_eq!(ingress.offer(1, 5), Some(0));
+        assert_eq!(ingress.offered(), 6);
+        assert_eq!(ingress.admitted(), 5);
+        assert_eq!(ingress.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn ingress_rejects_zero_capacity() {
+        IngressQueues::new(4, 2, 0);
+    }
+
+    #[test]
+    fn steal_plan_rebalances_whole_queues_deterministically() {
+        // Cores 0/1 hold everything; shard 1 (cores 2/3) is empty and
+        // steals one whole queue.
+        let loads = [50usize, 50, 0, 0];
+        let (owner, steals) = steal_plan(&loads, 2);
+        assert_eq!(steals, 1);
+        assert_eq!(owner, vec![1, 0, 1, 1], "core 0's queue re-homed whole");
+        let mut shard_load = [0u64; 2];
+        for (core, &s) in owner.iter().enumerate() {
+            shard_load[s] += loads[core] as u64;
+        }
+        assert_eq!(shard_load, [50, 50]);
+        // Pure function of the loads: replays bit-identically.
+        assert_eq!(steal_plan(&loads, 2), steal_plan(&loads, 2));
+    }
+
+    #[test]
+    fn steal_plan_never_splits_a_queue() {
+        // One elephant queue dominating a 4-shard NP cannot be split, so
+        // no steal can improve anything even though the shards are wildly
+        // unbalanced.
+        let loads = [100usize, 0, 0, 0, 0, 0, 0, 0];
+        let (owner, steals) = steal_plan(&loads, 4);
+        assert_eq!(steals, 0, "an unsplittable elephant stays home");
+        assert_eq!(owner[0], shard_of(0, 8, 4));
+    }
+
+    #[test]
+    fn steal_plan_reduces_imbalance_on_skewed_loads() {
+        let loads = [40usize, 13, 7, 2, 1, 1, 0, 0];
+        for shards in [2usize, 4] {
+            let (owner, _) = steal_plan(&loads, shards);
+            // Every core is owned by exactly one in-range shard.
+            assert!(owner.iter().all(|&s| s < shards));
+            let imbalance = |owners: &[usize]| {
+                let mut load = vec![0u64; shards];
+                for (core, &s) in owners.iter().enumerate() {
+                    load[s] += loads[core] as u64;
+                }
+                *load.iter().max().unwrap() - *load.iter().min().unwrap()
+            };
+            let home: Vec<usize> = (0..loads.len())
+                .map(|c| shard_of(c, loads.len(), shards))
+                .collect();
+            assert!(
+                imbalance(&owner) <= imbalance(&home),
+                "stealing made shards={shards} worse"
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,9 @@
 
 use crate::core::Core;
 use crate::cpu::{ExecutionObserver, NullObserver};
-use crate::engine::{dispatch_slots, shard_spans, ShardStats, WorkerPool};
+use crate::engine::{
+    dispatch_slots, shard_spans, steal_plan, IngressQueues, ShardStats, WorkerPool,
+};
 use crate::runtime::{HaltReason, PacketOutcome};
 use crate::supervisor::{CoreHealth, Parole, SupervisorAction, SupervisorPolicy};
 use sdmmon_obs::{metrics, Counter, Event, EventBus, Gauge, Hist};
@@ -1008,6 +1010,265 @@ impl NetworkProcessor {
         s.quarantined_cores = self.slots.iter().filter(|sl| sl.health.quarantined).count() as u64;
         s
     }
+
+    /// Admits one round of offered packets through the bounded ingress —
+    /// the shared front door of [`NetworkProcessor::process_stream`] and
+    /// [`NetworkProcessor::process_stream_serial`], so both paths see the
+    /// same admitted subset, the same per-core queues, and the same
+    /// backpressure counters. Appends one slot per *offered* packet to
+    /// `outcomes` (left `None` for drops) and returns the admitted packets
+    /// plus their offer-order positions.
+    fn admit_round(
+        table: &[usize],
+        round: &[Vec<u8>],
+        ingress: &mut IngressQueues,
+        outcomes: &mut Vec<Option<(usize, PacketOutcome)>>,
+    ) -> (Vec<Vec<u8>>, Vec<usize>) {
+        let m = metrics();
+        let mut admitted: Vec<Vec<u8>> = Vec::new();
+        let mut offer_index: Vec<usize> = Vec::new();
+        for packet in round {
+            let global = outcomes.len();
+            outcomes.push(None);
+            m.inc(Counter::StreamOffered);
+            let core = table[(flow_hash(packet) % table.len() as u64) as usize];
+            match ingress.offer(core, admitted.len()) {
+                Some(delay) => {
+                    m.inc(Counter::StreamAdmitted);
+                    m.observe(Hist::StreamQueueDelay, delay);
+                    offer_index.push(global);
+                    admitted.push(packet.clone());
+                }
+                None => m.inc(Counter::StreamDropped),
+            }
+        }
+        (admitted, offer_index)
+    }
+
+    /// Processes open-loop rounds on the streaming engine: bounded ingress
+    /// admission, then per-round execution with deterministic work stealing
+    /// of whole core queues.
+    ///
+    /// Each round is one arrival burst from an open-loop source. Packets
+    /// are routed to their flow's core (the [`NetworkProcessor::process_flow`]
+    /// mapping) and admitted while the owning shard has ingress budget —
+    /// [`StreamConfig::shard_capacity`] per shard per round; overflow is
+    /// dropped and counted, which is where backpressure from an
+    /// uncooperative source becomes visible. Admitted queues then run
+    /// exactly like [`NetworkProcessor::process_batch`], except that before
+    /// execution a [`steal_plan`] re-homes whole core queues from overloaded
+    /// shards to underloaded ones. A queue moves *whole* — a flow is never
+    /// split across workers — so every core's queue still runs contiguously
+    /// in input order on exactly one worker, and the steal plan is a pure
+    /// function of queue loads, so the whole run replays exactly.
+    ///
+    /// Consequently outcomes, [`NpStats`], and the supervisor event stream
+    /// are byte-identical to [`NetworkProcessor::process_stream_serial`]
+    /// at the *same shard count* for any seed. (Admission itself depends on
+    /// the shard count: per-shard budgets partition differently, so runs at
+    /// different shard counts are each pinned to their own serial oracle.)
+    ///
+    /// Returns one entry per offered packet in offer order — `None` if the
+    /// packet was dropped at admission — plus the backpressure accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a selected core has no program installed, if every core is
+    /// quarantined, or if `cfg.shard_capacity` is zero.
+    pub fn process_stream(&mut self, rounds: &[Vec<Vec<u8>>], cfg: &StreamConfig) -> StreamOutcome {
+        let cores = self.slots.len();
+        let shards = self.shards.clamp(1, cores);
+        let mut ingress = IngressQueues::new(cores, shards, cfg.shard_capacity);
+        let mut outcomes: Vec<Option<(usize, PacketOutcome)>> = Vec::new();
+        let mut steals_total = 0u64;
+        for round in rounds {
+            ingress.clear_round();
+            let table = self.dispatch_table();
+            let (admitted, offer_index) =
+                Self::admit_round(&table, round, &mut ingress, &mut outcomes);
+            let queues = ingress.queues();
+            self.note_queue_depths(queues);
+            self.record_batch_telemetry(admitted.len(), queues, shards);
+            let merged = if shards == 1 || admitted.is_empty() {
+                self.run_queues_inline(&admitted, queues, DispatchPath::Fused)
+            } else {
+                let (owner, steals) = steal_plan(&ingress.loads(), shards);
+                metrics().add(Counter::StreamSteals, steals);
+                steals_total += steals;
+                self.run_queues_stolen(&admitted, queues, &owner, shards)
+            };
+            self.finish_batch();
+            for (local, (core, outcome)) in merged.into_iter().enumerate() {
+                outcomes[offer_index[local]] = Some((core, outcome));
+            }
+        }
+        StreamOutcome {
+            outcomes,
+            report: StreamReport {
+                rounds: rounds.len() as u64,
+                offered: ingress.offered(),
+                admitted: ingress.admitted(),
+                dropped: ingress.dropped(),
+                steals: steals_total,
+            },
+        }
+    }
+
+    /// The serial oracle for [`NetworkProcessor::process_stream`]:
+    /// identical bounded admission (same [`IngressQueues`], same per-shard
+    /// budgets for the configured shard count), then each round's admitted
+    /// packets run through [`NetworkProcessor::process_batch_serial`] — the
+    /// reference per-instruction dispatch path, no worker pool, no
+    /// stealing. The streaming determinism tests pin `process_stream` to
+    /// this function byte-for-byte: outcomes, [`NpStats`], and the
+    /// supervisor event stream.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`NetworkProcessor::process_stream`].
+    pub fn process_stream_serial(
+        &mut self,
+        rounds: &[Vec<Vec<u8>>],
+        cfg: &StreamConfig,
+    ) -> StreamOutcome {
+        let cores = self.slots.len();
+        let shards = self.shards.clamp(1, cores);
+        let mut ingress = IngressQueues::new(cores, shards, cfg.shard_capacity);
+        let mut outcomes: Vec<Option<(usize, PacketOutcome)>> = Vec::new();
+        for round in rounds {
+            ingress.clear_round();
+            let table = self.dispatch_table();
+            let (admitted, offer_index) =
+                Self::admit_round(&table, round, &mut ingress, &mut outcomes);
+            // Re-partitioning inside `process_batch_serial` reproduces the
+            // ingress queues exactly: the dispatch table cannot change
+            // between admission and execution, and admission preserved
+            // offer order.
+            let merged = self.process_batch_serial(&admitted);
+            for (local, (core, outcome)) in merged.into_iter().enumerate() {
+                outcomes[offer_index[local]] = Some((core, outcome));
+            }
+        }
+        StreamOutcome {
+            outcomes,
+            report: StreamReport {
+                rounds: rounds.len() as u64,
+                offered: ingress.offered(),
+                admitted: ingress.admitted(),
+                dropped: ingress.dropped(),
+                steals: 0,
+            },
+        }
+    }
+
+    /// Runs pre-partitioned queues on the worker pool under a steal plan:
+    /// each worker owns the *whole queues* (and core slots) the plan
+    /// assigned it, which may be a non-contiguous core set. Slots travel to
+    /// their worker by move and come home by core index afterwards, so no
+    /// aliasing is possible. Events merge by packet-ordinal clock exactly
+    /// like [`NetworkProcessor::process_batch`] — a packet's event group is
+    /// contiguous within one worker's buffer and clocks are unique per
+    /// packet, so the stable sort yields one canonical stream regardless of
+    /// which worker ran which core.
+    fn run_queues_stolen(
+        &mut self,
+        packets: &[Vec<u8>],
+        queues: &[Vec<usize>],
+        owner: &[usize],
+        shards: usize,
+    ) -> Vec<(usize, PacketOutcome)> {
+        let cores = self.slots.len();
+        if self.pool.as_ref().is_none_or(|p| p.len() != shards) {
+            self.pool = Some(WorkerPool::new(shards));
+            self.shard_stats = (0..shards).map(|_| ShardStats::default()).collect();
+        }
+        let policy = self.policy;
+        let base_clock = self.stats.processed;
+        let record_events = self.bus.is_some();
+
+        // Hand every core's slot to the worker the plan chose, ascending
+        // core order within each worker.
+        let mut worker_slots: Vec<Vec<(usize, Slot)>> = (0..shards).map(|_| Vec::new()).collect();
+        for (core, slot) in std::mem::take(&mut self.slots).into_iter().enumerate() {
+            worker_slots[owner[core]].push((core, slot));
+        }
+        let mut results: Vec<Vec<(usize, usize, PacketOutcome)>> = worker_slots
+            .iter()
+            .map(|mine| {
+                let load: usize = mine.iter().map(|(core, _)| queues[*core].len()).sum();
+                Vec::with_capacity(load)
+            })
+            .collect();
+        let mut shard_events: Vec<Vec<Event>> = (0..shards).map(|_| Vec::new()).collect();
+        {
+            let pool = self.pool.as_ref().expect("pool just ensured");
+            let shard_stats = &self.shard_stats;
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = worker_slots
+                .iter_mut()
+                .zip(results.iter_mut().zip(shard_events.iter_mut()))
+                .enumerate()
+                .map(|(shard_index, (mine, (out, events)))| {
+                    let stats = &shard_stats[shard_index];
+                    Box::new(move || {
+                        for (core_index, slot) in mine.iter_mut() {
+                            let core_index = *core_index;
+                            for &i in &queues[core_index] {
+                                let (outcome, action) = slot.run_fused(&packets[i], &policy);
+                                stats.record(&outcome);
+                                let clock = base_clock + i as u64;
+                                slot.note_forensic(
+                                    clock,
+                                    &outcome,
+                                    policy.adaptive.forensic_window,
+                                );
+                                if record_events {
+                                    if let Some(action) = action {
+                                        if action >= SupervisorAction::Quarantine {
+                                            slot.flush_forensics(clock, core_index, events);
+                                        }
+                                        events.extend(supervisor_event(
+                                            action,
+                                            clock,
+                                            core_index,
+                                            &slot.health,
+                                        ));
+                                    }
+                                }
+                                out.push((i, core_index, outcome));
+                            }
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_batch(jobs);
+        }
+        if let Some(bus) = &self.bus {
+            let mut events: Vec<Event> = shard_events.into_iter().flatten().collect();
+            events.sort_by_key(|e| e.clock);
+            bus.extend(events);
+        }
+        // Every slot comes home to its core index.
+        let mut restored: Vec<Option<Slot>> = (0..cores).map(|_| None).collect();
+        for (core, slot) in worker_slots.into_iter().flatten() {
+            restored[core] = Some(slot);
+        }
+        self.slots = restored
+            .into_iter()
+            .map(|s| s.expect("every core's slot returns"))
+            .collect();
+
+        let mut merged: Vec<Option<(usize, PacketOutcome)>> = vec![None; packets.len()];
+        for outcomes in &results {
+            for &(i, core_index, outcome) in outcomes {
+                merged[i] = Some((core_index, outcome));
+            }
+        }
+        self.rollup_shard_stats();
+        merged
+            .into_iter()
+            .map(|m| m.expect("every admitted packet was dispatched"))
+            .collect()
+    }
 }
 
 /// Which per-packet dispatch path an inline queue run uses.
@@ -1018,6 +1279,47 @@ enum DispatchPath {
     /// [`Core::process_packet`] via `&mut dyn` — one virtual call per
     /// retired instruction; the oracle path.
     Reference,
+}
+
+/// Streaming-engine knobs for [`NetworkProcessor::process_stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Packets each shard admits per round; arrivals beyond the budget are
+    /// dropped at ingress and counted as backpressure.
+    pub shard_capacity: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> StreamConfig {
+        StreamConfig { shard_capacity: 64 }
+    }
+}
+
+/// Backpressure and stealing accounting for one streaming run. The
+/// admission identity `offered == admitted + dropped` holds by
+/// construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamReport {
+    /// Arrival rounds processed.
+    pub rounds: u64,
+    /// Packets the open-loop source offered.
+    pub offered: u64,
+    /// Packets admitted past the bounded ingress.
+    pub admitted: u64,
+    /// Packets dropped by admission control.
+    pub dropped: u64,
+    /// Whole core queues re-homed by the steal planner.
+    pub steals: u64,
+}
+
+/// Result of a streaming run: per-offered-packet outcomes in offer order
+/// (`None` where admission dropped the packet) plus the accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOutcome {
+    /// One entry per offered packet: `Some((core, outcome))` if admitted.
+    pub outcomes: Vec<Option<(usize, PacketOutcome)>>,
+    /// Backpressure + stealing counters for the whole run.
+    pub report: StreamReport,
 }
 
 /// Default engine shard count for a fresh NP: one worker per available

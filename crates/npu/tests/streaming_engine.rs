@@ -1,0 +1,214 @@
+//! Integration pins for the streaming ingest engine (PR 9).
+//!
+//! * Determinism: [`NetworkProcessor::process_stream`] — bounded ingress
+//!   admission plus deterministic work stealing of whole core queues — must
+//!   be byte-identical to [`NetworkProcessor::process_stream_serial`] at
+//!   the same shard count: outcomes, [`NpStats`], *and* the supervisor
+//!   event stream, for shard counts 1/2/4/8 and multiple seeds including
+//!   one that escalates cores through redeploy and quarantine mid-stream.
+//! * Backpressure: `offered == admitted + dropped` holds exactly, drops
+//!   land on precisely the `None` outcome slots, and a skewed arrival
+//!   pattern actually provokes steals.
+//! * Replay: the same seed reproduces the same [`StreamOutcome`] —
+//!   including the steal count — run after run.
+
+use sdmmon_npu::cpu::NullObserver;
+use sdmmon_npu::np::{NetworkProcessor, StreamConfig};
+use sdmmon_npu::programs::{self, testing};
+use sdmmon_npu::supervisor::SupervisorPolicy;
+use sdmmon_obs::{Event, EventBus};
+use sdmmon_rng::{Rng, SeedableRng, StdRng};
+use std::sync::Arc;
+
+const CORES: usize = 8;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Two traffic seeds; the second opens with an attack burst that drives at
+/// least one core through redeploys into quarantine mid-stream.
+const SEEDS: [(u64, bool); 2] = [(0x57AE_0001, false), (0x57AE_0BAD, true)];
+
+fn loaded_np(policy: SupervisorPolicy) -> NetworkProcessor {
+    let program = programs::vulnerable_forward().unwrap();
+    let mut np = NetworkProcessor::with_policy(CORES, policy);
+    np.install_all(&program.to_bytes(), program.base, |_| {
+        Box::new(NullObserver)
+    });
+    np
+}
+
+fn attack_variants() -> Vec<Vec<u8>> {
+    (0..4)
+        .map(|i| testing::hijack_packet(&format!("li $t5, {i}\nbreak 1")).unwrap())
+        .collect()
+}
+
+/// Open-loop arrival rounds: mixed forwards/drops/hijacks, deliberately
+/// skewed — every round aims a burst at one "elephant" flow so core loads
+/// are imbalanced (provoking steals) and some rounds overshoot the ingress
+/// budget (provoking drops). With `burst`, round 0 opens with back-to-back
+/// attack copies so the {redeploy_after: 2, quarantine_after: 2} ladder
+/// tops out while the stream is still running.
+fn rounds(seed: u64, rounds: usize, per_round: usize, burst: bool) -> Vec<Vec<Vec<u8>>> {
+    let attacks = attack_variants();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(rounds);
+    for r in 0..rounds {
+        let mut round = Vec::with_capacity(per_round + 16);
+        if burst && r == 0 {
+            for attack in &attacks {
+                for _ in 0..4 {
+                    round.push(attack.clone());
+                }
+            }
+        }
+        // The elephant: one flow (fixed 5-tuple) takes ~half the round.
+        for _ in 0..per_round / 2 {
+            round.push(testing::ipv4_packet(
+                [10, 7, 7, 7],
+                [10, 0, 0, 3],
+                64,
+                b"eeee",
+            ));
+        }
+        for _ in 0..per_round / 2 {
+            if rng.gen_range(0..8u32) == 0 {
+                round.push(attacks[rng.gen_range(0..attacks.len())].clone());
+            } else {
+                let src = [10, rng.gen_range(0..4u8), rng.gen_range(0..250u8), 1];
+                let dst = [10, 0, 0, rng.gen_range(1..=16u8)];
+                round.push(testing::ipv4_packet(src, dst, 64, b"pay"));
+            }
+        }
+        out.push(round);
+    }
+    out
+}
+
+/// The events the determinism contract covers: everything the supervisor
+/// emits (`supervisor.*`, including forensics and paroles). `np.batch` is
+/// telemetry of the streaming path only and is excluded by design.
+fn supervisor_events(bus: &EventBus) -> Vec<Event> {
+    bus.take()
+        .into_iter()
+        .filter(|e| e.kind.starts_with("supervisor."))
+        .collect()
+}
+
+#[test]
+fn streaming_is_byte_identical_to_serial_for_all_shard_counts_and_seeds() {
+    let policy = SupervisorPolicy::ladder(2, 2);
+    let cfg = StreamConfig { shard_capacity: 24 };
+    for (seed, burst) in SEEDS {
+        let traffic = rounds(seed, 6, 60, burst);
+        for shards in SHARD_COUNTS {
+            // Admission budgets are per shard, so the oracle runs at the
+            // *same* shard count — only the execution strategy differs.
+            let oracle_bus = Arc::new(EventBus::new());
+            let mut oracle = loaded_np(policy);
+            oracle.set_shards(shards);
+            oracle.set_event_bus(Some(oracle_bus.clone()));
+            let want = oracle.process_stream_serial(&traffic, &cfg);
+
+            let stream_bus = Arc::new(EventBus::new());
+            let mut np = loaded_np(policy);
+            np.set_shards(shards);
+            np.set_event_bus(Some(stream_bus.clone()));
+            let got = np.process_stream(&traffic, &cfg);
+
+            assert_eq!(
+                got.outcomes, want.outcomes,
+                "outcomes diverged from serial at {shards} shards, seed {seed:#x}"
+            );
+            assert_eq!(
+                (got.report.offered, got.report.admitted, got.report.dropped),
+                (
+                    want.report.offered,
+                    want.report.admitted,
+                    want.report.dropped
+                ),
+                "backpressure accounting diverged at {shards} shards, seed {seed:#x}"
+            );
+            assert_eq!(
+                np.stats(),
+                oracle.stats(),
+                "NpStats diverged from serial at {shards} shards, seed {seed:#x}"
+            );
+            assert_eq!(
+                supervisor_events(&stream_bus),
+                supervisor_events(&oracle_bus),
+                "supervisor event stream diverged at {shards} shards, seed {seed:#x}"
+            );
+            if burst {
+                let stats = np.stats();
+                assert!(
+                    stats.redeploys >= 2 && stats.quarantined_cores >= 1,
+                    "quarantine seed must actually escalate mid-stream: {stats}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_replays_exactly_including_steal_counts() {
+    let traffic = rounds(0x57AE_0001, 5, 48, false);
+    let cfg = StreamConfig { shard_capacity: 20 };
+    let run = |shards: usize| {
+        let mut np = loaded_np(SupervisorPolicy::never());
+        np.set_shards(shards);
+        np.process_stream(&traffic, &cfg)
+    };
+    for shards in SHARD_COUNTS {
+        let first = run(shards);
+        let second = run(shards);
+        assert_eq!(first, second, "stream replay diverged at {shards} shards");
+    }
+}
+
+#[test]
+fn backpressure_accounting_matches_the_outcome_vector() {
+    // Tight budget: the elephant flow alone overflows its shard each round.
+    let traffic = rounds(0x57AE_0002, 4, 64, false);
+    let offered_total: usize = traffic.iter().map(Vec::len).sum();
+    let cfg = StreamConfig { shard_capacity: 10 };
+    for shards in [2usize, 4] {
+        let mut np = loaded_np(SupervisorPolicy::never());
+        np.set_shards(shards);
+        let out = np.process_stream(&traffic, &cfg);
+        let report = out.report;
+        assert_eq!(report.offered, offered_total as u64);
+        assert_eq!(
+            report.admitted + report.dropped,
+            report.offered,
+            "admission identity broken at {shards} shards"
+        );
+        assert!(report.dropped > 0, "tight budget must actually drop");
+        assert_eq!(out.outcomes.len(), offered_total);
+        let processed = out.outcomes.iter().filter(|o| o.is_some()).count() as u64;
+        assert_eq!(
+            processed, report.admitted,
+            "a None per drop, a Some per admit"
+        );
+        assert_eq!(np.stats().processed, report.admitted);
+    }
+}
+
+#[test]
+fn skewed_arrivals_provoke_steals_and_balanced_ones_do_not() {
+    let cfg = StreamConfig { shard_capacity: 64 };
+    // Skew: the elephant dominates one core, so some shard is overloaded.
+    let skewed = rounds(0x57AE_0003, 4, 60, false);
+    let mut np = loaded_np(SupervisorPolicy::never());
+    np.set_shards(4);
+    let report = np.process_stream(&skewed, &cfg).report;
+    assert!(
+        report.steals > 0,
+        "an elephant flow must re-home at least one queue: {report:?}"
+    );
+
+    // One shard has nothing to steal from and nowhere to steal to.
+    let mut single = loaded_np(SupervisorPolicy::never());
+    single.set_shards(1);
+    let report = single.process_stream(&skewed, &cfg).report;
+    assert_eq!(report.steals, 0, "single shard cannot steal");
+}

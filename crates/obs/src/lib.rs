@@ -36,6 +36,6 @@ mod metrics;
 pub use event::{validate_event_line, Event, EventBuffer, EventBus, Value, EVENTS_SCHEMA};
 pub use json::write_json_string;
 pub use metrics::{
-    bucket_bounds, bucket_index, metrics, Counter, Gauge, Hist, MetricsRegistry, HIST_BUCKETS,
-    MAX_SHARD_SLOTS, METRICS_SCHEMA,
+    bucket_bounds, bucket_index, metrics, percentile, Counter, Gauge, Hist, MetricsRegistry,
+    HIST_BUCKETS, MAX_SHARD_SLOTS, METRICS_SCHEMA,
 };

@@ -166,6 +166,15 @@ metric_enum! {
         NpLockdowns => "np_lockdowns",
         /// Parole steps restoring throttled/quarantined cores.
         NpParoles => "np_paroles",
+        /// Packets offered to the streaming ingest engine (pre-admission).
+        StreamOffered => "stream_offered",
+        /// Packets admitted past the bounded per-shard ingress queues.
+        StreamAdmitted => "stream_admitted",
+        /// Packets shed by ingress admission control (backpressure drops).
+        StreamDropped => "stream_dropped",
+        /// Whole core queues moved off their home shard by the streaming
+        /// engine's deterministic work stealing.
+        StreamSteals => "stream_steals",
     }
 }
 
@@ -194,7 +203,41 @@ metric_enum! {
         /// together with the block/tail counters this makes block-path
         /// coverage visible in `sdmmon stats`.
         MonitorBlocksPerPacket => "monitor_blocks_per_packet",
+        /// Per-packet queueing delay at streaming admission: how many
+        /// already-admitted packets sit ahead of it in its core's ingress
+        /// queue. A logical-time latency — deterministic per seed and
+        /// independent of the shard count.
+        StreamQueueDelay => "stream_queue_delay",
     }
+}
+
+/// The value at percentile `per_mille`/1000 of a power-of-two histogram,
+/// reported as the lower bound of the bucket the rank falls in (the same
+/// convention the frontier latency table has always used: p50 of a
+/// histogram whose median landed in `[64, 128)` reports 64).
+///
+/// The rank is `ceil(count * per_mille / 1000)`, clamped to at least 1, so
+/// `percentile(h, 1000)` is the bucketed maximum and `percentile(h, 0)`
+/// the bucketed minimum. An empty histogram reports 0.
+///
+/// # Panics
+///
+/// Panics if `per_mille > 1000`.
+pub fn percentile(buckets: &[u64; HIST_BUCKETS], per_mille: u64) -> u64 {
+    assert!(per_mille <= 1000, "percentile beyond the distribution");
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = (total * per_mille).div_ceil(1000).max(1);
+    let mut seen = 0u64;
+    for (index, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return bucket_bounds(index).0;
+        }
+    }
+    bucket_bounds(HIST_BUCKETS - 1).0
 }
 
 /// One histogram's cells.
@@ -305,6 +348,18 @@ impl MetricsRegistry {
     /// Reads a histogram's observation sum.
     pub fn hist_sum(&self, hist: Hist) -> u64 {
         self.hists[hist as usize].sum.load(Ordering::Relaxed)
+    }
+
+    /// Copies a histogram's bucket array out of the registry — the input
+    /// [`percentile`] expects. Callers isolating one workload take the
+    /// array before and after and subtract.
+    pub fn hist_buckets(&self, hist: Hist) -> [u64; HIST_BUCKETS] {
+        let cells = &self.hists[hist as usize];
+        let mut out = [0u64; HIST_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(&cells.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
     }
 
     /// Zeroes every slot. The CLI calls this at command start so a
@@ -499,6 +554,71 @@ mod tests {
             snapshot.contains(&format!("\"buckets\": [{}]", rendered.join(", "))),
             "observe() disagrees with bucket_index(): {snapshot}"
         );
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let buckets = [0u64; HIST_BUCKETS];
+        assert_eq!(percentile(&buckets, 0), 0);
+        assert_eq!(percentile(&buckets, 500), 0);
+        assert_eq!(percentile(&buckets, 1000), 0);
+    }
+
+    #[test]
+    fn percentile_reports_bucket_lower_bounds_at_exact_edges() {
+        // 100 observations: 50 zeros, 25 in [64, 128) (bucket 7), 25 in
+        // the top bucket.
+        let mut buckets = [0u64; HIST_BUCKETS];
+        buckets[bucket_index(0)] = 50;
+        buckets[bucket_index(64)] = 25;
+        buckets[bucket_index(u64::MAX)] = 25;
+        // Rank 50 is the last zero: p50 sits exactly on the bucket edge.
+        assert_eq!(percentile(&buckets, 500), 0);
+        // One per-mille later the rank crosses into bucket 7.
+        assert_eq!(percentile(&buckets, 501), bucket_bounds(bucket_index(64)).0);
+        assert_eq!(percentile(&buckets, 750), 64);
+        // p751..p1000 land in the overflow bucket, whose reported value is
+        // its lower bound — never u64::MAX itself.
+        assert_eq!(percentile(&buckets, 751), 1 << (HIST_BUCKETS - 2));
+        assert_eq!(percentile(&buckets, 1000), 1 << (HIST_BUCKETS - 2));
+    }
+
+    #[test]
+    fn percentile_extremes_are_bucketed_min_and_max() {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        buckets[bucket_index(3)] = 1; // bucket 2, lower bound 2
+        buckets[bucket_index(1000)] = 9; // bucket 10, lower bound 512
+        assert_eq!(percentile(&buckets, 0), 2, "p0 is the bucketed minimum");
+        assert_eq!(percentile(&buckets, 100), 2, "rank 1 of 10");
+        assert_eq!(percentile(&buckets, 1000), 512, "bucketed maximum");
+    }
+
+    #[test]
+    fn percentile_matches_exact_rank_on_registry_observations() {
+        let m = MetricsRegistry::new();
+        // 1000 observations of value i: p999 must reach the bucket of 999.
+        for value in 0..1000u64 {
+            m.observe(Hist::StreamQueueDelay, value);
+        }
+        let buckets = m.hist_buckets(Hist::StreamQueueDelay);
+        assert_eq!(
+            percentile(&buckets, 500),
+            bucket_bounds(bucket_index(499)).0
+        );
+        assert_eq!(
+            percentile(&buckets, 990),
+            bucket_bounds(bucket_index(989)).0
+        );
+        assert_eq!(
+            percentile(&buckets, 999),
+            bucket_bounds(bucket_index(998)).0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the distribution")]
+    fn percentile_rejects_more_than_1000_per_mille() {
+        percentile(&[0u64; HIST_BUCKETS], 1001);
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //!   corrupted text segments and hostile packets, compared retire-by-retire;
 //! * the sharded batch engine ≡ the serial per-instruction oracle, over
 //!   monitored cores with injected instruction-memory faults, hijack
-//!   packets, and mutated traffic — outcomes *and* statistics.
+//!   packets, and mutated traffic — outcomes *and* statistics;
+//! * the streaming ingest engine (bounded ingress + deterministic work
+//!   stealing) ≡ its serial oracle, over open-loop heavy-tailed rounds
+//!   salted with hijacks — outcomes, backpressure accounting, *and*
+//!   statistics.
 
 use crate::fault::mutate_packet;
 use sdmmon_core::entities::{Manufacturer, NetworkOperator};
@@ -21,9 +25,10 @@ use sdmmon_crypto::bignum::BigUint;
 use sdmmon_crypto::rsa::RsaKeyPair;
 use sdmmon_isa::Reg;
 use sdmmon_monitor::{HardwareMonitor, MerkleTreeHash, MonitoringGraph};
+use sdmmon_net::traffic::{OpenLoopConfig, OpenLoopSource};
 use sdmmon_npu::cpu::{Cpu, DecodeCache, Trap};
 use sdmmon_npu::mem::Memory;
-use sdmmon_npu::np::NetworkProcessor;
+use sdmmon_npu::np::{NetworkProcessor, StreamConfig};
 use sdmmon_npu::programs::{self, testing};
 use sdmmon_npu::runtime::{
     Verdict, MEM_SIZE, PKT_DATA_ADDR, PKT_LEN_ADDR, STACK_TOP, VERDICT_ADDR,
@@ -72,6 +77,10 @@ pub struct DiffBudget {
     /// Sharded-vs-serial batch runs (each over monitored cores with
     /// injected instruction-memory faults and hostile traffic).
     pub batch_runs: u64,
+    /// Streaming-vs-serial runs (each pushes open-loop heavy-tailed rounds
+    /// through the bounded ingress + work-stealing engine and its serial
+    /// oracle, over monitored cores with injected faults).
+    pub stream_runs: u64,
 }
 
 impl DiffBudget {
@@ -83,6 +92,7 @@ impl DiffBudget {
             deploy_rounds: 3,
             decode_runs: 16,
             batch_runs: 6,
+            stream_runs: 4,
         }
     }
 }
@@ -101,6 +111,7 @@ pub fn run_differentials(seed: u64, budget: DiffBudget) -> Result<DifferentialRe
             deploy_parallel_vs_serial(budget.deploy_rounds, sdmmon_rng::split_seed(seed, 2))?,
             decode_cached_vs_uncached(budget.decode_runs, sdmmon_rng::split_seed(seed, 3)),
             sharded_batch_vs_serial(budget.batch_runs, sdmmon_rng::split_seed(seed, 4)),
+            stream_steal_vs_serial(budget.stream_runs, sdmmon_rng::split_seed(seed, 5)),
         ],
     })
 }
@@ -447,6 +458,103 @@ fn sharded_batch_vs_serial(runs: u64, seed: u64) -> DiffCheck {
     }
 }
 
+/// The streaming engine — bounded ingress admission followed by
+/// deterministic whole-queue work stealing — vs its serial oracle at the
+/// same shard count, over open-loop heavy-tailed arrival rounds salted
+/// with stack-smash hijacks, on monitored cores carrying injected
+/// instruction-memory faults. A run diverges if the per-offered-packet
+/// outcomes, the backpressure accounting (offered/admitted/dropped), or
+/// the aggregate [`sdmmon_npu::np::NpStats`] differ — the exact guarantee
+/// `process_stream` documents.
+fn stream_steal_vs_serial(runs: u64, seed: u64) -> DiffCheck {
+    const CORES: usize = 4;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let program = programs::vulnerable_forward().expect("embedded workload assembles");
+    let image = program.to_bytes();
+    let policy = SupervisorPolicy::ladder(2, 2);
+    let attack = testing::hijack_packet("li $t4, 0x0007fff0\nli $t5, 9\nsw $t5, 0($t4)\nbreak 0")
+        .expect("hijack payload assembles");
+    let mut divergences = 0u64;
+    for run in 0..runs {
+        let shards = [2usize, 3, 4][run as usize % 3];
+        let hash_seed: u32 = rng.gen();
+        let build = || {
+            let mut np = NetworkProcessor::with_policy(CORES, policy);
+            for core in 0..CORES {
+                let hash = MerkleTreeHash::new(hash_seed ^ core as u32);
+                let graph =
+                    MonitoringGraph::extract(&program, &hash).expect("workload graph extracts");
+                np.install(
+                    core,
+                    &image,
+                    program.base,
+                    Box::new(HardwareMonitor::new(graph, hash)),
+                );
+            }
+            np.set_shards(shards);
+            np
+        };
+        let mut streaming = build();
+        let mut serial = build();
+
+        // Identical instruction-memory faults on both sides (see
+        // `sharded_batch_vs_serial`).
+        let flips: Vec<(usize, u32, u32)> = (0..rng.gen_range(1..=3u32))
+            .map(|_| {
+                (
+                    rng.gen_range(0..CORES),
+                    program.base + 4 * rng.gen_range(0..(image.len() as u32 / 4)),
+                    rng.gen_range(0..32u32),
+                )
+            })
+            .collect();
+        for np in [&mut streaming, &mut serial] {
+            for &(core, addr, bit) in &flips {
+                let word = np
+                    .core_mut(core)
+                    .memory()
+                    .load_u32(addr)
+                    .expect("text mapped");
+                np.core_mut(core)
+                    .memory_mut()
+                    .store_u32(addr, word ^ (1 << bit))
+                    .expect("text mapped");
+            }
+        }
+
+        // Open-loop heavy-tailed arrivals, salted with hijacks so the
+        // supervisor ladder fires mid-stream.
+        let mut source = OpenLoopSource::new(OpenLoopConfig {
+            seed: rng.gen::<u64>(),
+            ..OpenLoopConfig::default()
+        });
+        let mut rounds = source.take_rounds(3);
+        for round in &mut rounds {
+            for packet in round.iter_mut() {
+                if rng.gen_range(0..10u32) == 0 {
+                    *packet = attack.clone();
+                }
+            }
+        }
+
+        let cfg = StreamConfig { shard_capacity: 24 };
+        let fast = streaming.process_stream(&rounds, &cfg);
+        let oracle = serial.process_stream_serial(&rounds, &cfg);
+        let reports_agree = fast.report.offered == oracle.report.offered
+            && fast.report.admitted == oracle.report.admitted
+            && fast.report.dropped == oracle.report.dropped;
+        if fast.outcomes != oracle.outcomes || !reports_agree || streaming.stats() != serial.stats()
+        {
+            divergences += 1;
+        }
+    }
+    DiffCheck {
+        name: "stream_steal_vs_serial",
+        trials: runs,
+        divergences,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,10 +569,11 @@ mod tests {
                 deploy_rounds: 2,
                 decode_runs: 6,
                 batch_runs: 3,
+                stream_runs: 2,
             },
         )
         .unwrap();
-        assert_eq!(report.checks.len(), 5);
+        assert_eq!(report.checks.len(), 6);
         assert_eq!(report.total_divergences(), 0, "{:?}", report.checks);
     }
 
@@ -476,6 +585,7 @@ mod tests {
             deploy_rounds: 1,
             decode_runs: 3,
             batch_runs: 2,
+            stream_runs: 1,
         };
         let a = run_differentials(7, budget).unwrap();
         let b = run_differentials(7, budget).unwrap();

@@ -37,7 +37,7 @@ use sdmmon_core::SdmmonError;
 use sdmmon_npu::programs::{self, testing};
 use sdmmon_npu::runtime::{HaltReason, PacketOutcome, Verdict};
 use sdmmon_npu::supervisor::{AdaptiveConfig, SupervisorPolicy};
-use sdmmon_obs::{bucket_bounds, bucket_index, EventBus, HIST_BUCKETS};
+use sdmmon_obs::{bucket_index, percentile, EventBus, HIST_BUCKETS};
 use sdmmon_rng::{split_seed, Rng, SeedableRng, StdRng};
 use std::sync::Arc;
 
@@ -192,21 +192,10 @@ pub struct FrontierCell {
 
 impl FrontierCell {
     /// The `q`-quantile (in per-cent) of the detection-latency histogram,
-    /// reported as the lower bound of the bucket that crosses it.
+    /// reported as the lower bound of the bucket that crosses it — the
+    /// shared [`sdmmon_obs::percentile`] convention.
     pub fn latency_quantile(&self, percent: u64) -> u64 {
-        let total: u64 = self.latency_hist.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = (total * percent).div_ceil(100).max(1);
-        let mut seen = 0u64;
-        for (i, &count) in self.latency_hist.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                return bucket_bounds(i).0;
-            }
-        }
-        bucket_bounds(HIST_BUCKETS - 1).0
+        percentile(&self.latency_hist, percent * 10)
     }
 }
 

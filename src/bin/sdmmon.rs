@@ -40,11 +40,20 @@
 //!     the sharded engine is slower than serial — the regression gate
 //!     CI runs against the PR 1 spawn-per-batch slowdown.
 //!
+//! sdmmon stream [--quick] [--seed <n>] [--shards <n>] [--rounds <n>]
+//!               [--capacity <n>] [--out <path>] [--metrics <path>]
+//!     Push open-loop heavy-tailed traffic (bounded-Pareto flows, bursts,
+//!     churn, hijack salt) through the streaming ingest engine — bounded
+//!     per-shard admission plus deterministic whole-queue work stealing —
+//!     verify it byte-identical to the serial streaming oracle, and write
+//!     the timing-free sdmmon-stream-v1 JSON report.
+//!
 //! sdmmon stats [--seed <n>] [--packets <n>] [--cores <n>] [--shards <n>]
 //!              [--events <path>] [--metrics <path>]
 //!     Drive seeded monitored traffic (benign + hijack bursts) through the
 //!     sharded batch engine with the supervisor armed and print the NP
-//!     counters plus the metrics-registry snapshot.
+//!     counters, detection-latency percentiles, and the metrics-registry
+//!     snapshot.
 //! ```
 //!
 //! Every command starts from a clean metrics registry; `--metrics <path>`
@@ -77,6 +86,7 @@ fn main() -> ExitCode {
         Some("deploy") => cmd_deploy(&args[1..]),
         Some("frontier") => cmd_frontier(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
@@ -119,6 +129,8 @@ USAGE:
     sdmmon deploy --relays <m> [--routers <n>] [--key-pool <n>] [--out <path>]
                   [...same fault/seed flags...]   (hierarchical fleet-scale)
     sdmmon bench  [--quick] [--shards <n>] [--hash] [--metrics <path>]
+    sdmmon stream [--quick] [--seed <n>] [--shards <n>] [--rounds <n>]
+                  [--capacity <n>] [--out <path>] [--metrics <path>]
     sdmmon stats  [--seed <n>] [--packets <n>] [--cores <n>] [--shards <n>]
                   [--events <path>] [--metrics <path>]
 
@@ -1111,6 +1123,170 @@ fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `sdmmon stream`: pushes open-loop heavy-tailed traffic through the
+/// streaming ingest engine — bounded per-shard admission control plus
+/// deterministic work stealing of whole core queues — then re-runs the
+/// identical rounds through the serial streaming oracle and fails (exit 2)
+/// unless outcomes, `NpStats`, and backpressure accounting are
+/// byte-identical. Writes the timing-free `sdmmon-stream-v1` JSON report,
+/// a pure function of the seed: running the command twice must produce the
+/// identical file, which is exactly what `ci.sh` gates.
+fn cmd_stream(args: &[String]) -> Result<(), CliError> {
+    use sdmmon::net::traffic::{OpenLoopConfig, OpenLoopSource};
+    use sdmmon::npu::np::{NetworkProcessor, StreamConfig};
+    use sdmmon::npu::programs::{self, testing};
+    use sdmmon::npu::supervisor::SupervisorPolicy;
+    use sdmmon::obs::{percentile, Hist};
+    use sdmmon_rng::{Rng, SeedableRng, StdRng};
+
+    // `--quick` is a switch (no value), so parse by hand like `bench`.
+    let mut quick = false;
+    let mut seed = 0x57AEu64;
+    let mut shards = 4usize;
+    let mut rounds_override = None;
+    let mut capacity = 48usize;
+    let mut out = "target/STREAM.json";
+    let mut metrics_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| usage(format!("option `{flag}` needs a value")))
+        };
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--seed" => seed = parse_u64(value("--seed")?, "seed")?,
+            "--shards" => shards = parse_u64(value("--shards")?, "shards")? as usize,
+            "--rounds" => rounds_override = Some(parse_u64(value("--rounds")?, "rounds")? as usize),
+            "--capacity" => capacity = parse_u64(value("--capacity")?, "capacity")? as usize,
+            "--out" => out = value("--out")?.as_str(),
+            "--metrics" => metrics_path = Some(value("--metrics")?.as_str()),
+            other => return Err(usage(format!("unknown option `{other}`"))),
+        }
+    }
+    let round_count = rounds_override.unwrap_or(if quick { 6 } else { 24 });
+    if shards == 0 || capacity == 0 || round_count == 0 {
+        return Err(usage("shards, capacity and rounds must be nonzero"));
+    }
+    const CORES: usize = 8;
+    if shards > CORES {
+        return Err(usage(format!(
+            "at most {CORES} shards on an {CORES}-core NP"
+        )));
+    }
+
+    // Monitored vulnerable forwarder with the graded supervisor armed, so
+    // the byte-identity check covers escalation, forensics, and parole —
+    // not just clean forwarding.
+    let program = programs::vulnerable_forward().map_err(processing)?;
+    let image = program.to_bytes();
+    let policy = SupervisorPolicy::ladder(2, 2);
+    let build = || {
+        let mut np = NetworkProcessor::with_policy(CORES, policy);
+        np.install_all(&image, program.base, |i| {
+            let hash = MerkleTreeHash::new(0x57AE_0000 ^ i as u32);
+            let graph =
+                MonitoringGraph::extract(&program, &hash).expect("embedded workload extracts");
+            Box::new(HardwareMonitor::new(graph, hash))
+        });
+        np.set_shards(shards);
+        np
+    };
+
+    // Open-loop rounds salted with hijacks: the source keeps offering
+    // whether or not the NP keeps up (backpressure), and the attacks walk
+    // the supervisor ladder mid-stream.
+    let mut source = OpenLoopSource::new(OpenLoopConfig {
+        seed,
+        ..OpenLoopConfig::default()
+    });
+    let mut rounds = source.take_rounds(round_count);
+    let attack =
+        testing::hijack_packet("li $t5, 5\nbreak 1").map_err(|e| processing(format!("{e:?}")))?;
+    let mut salt = StdRng::seed_from_u64(seed ^ 0x5A17);
+    for round in &mut rounds {
+        for packet in round.iter_mut() {
+            if salt.gen_range(0..24u32) == 0 {
+                *packet = attack.clone();
+            }
+        }
+    }
+    let cfg = StreamConfig {
+        shard_capacity: capacity,
+    };
+
+    let mut np = build();
+    let streamed = np.process_stream(&rounds, &cfg);
+    let stream_stats = np.stats();
+    // Queue-delay percentiles from the streaming run only (the oracle
+    // below records into the same process-global histogram).
+    let delay = sdmmon::obs::metrics().hist_buckets(Hist::StreamQueueDelay);
+    let (p50, p99, p999) = (
+        percentile(&delay, 500),
+        percentile(&delay, 990),
+        percentile(&delay, 999),
+    );
+
+    let mut oracle = build();
+    let want = oracle.process_stream_serial(&rounds, &cfg);
+    // The oracle never steals, so compare everything but the steal count.
+    let accounting =
+        |r: sdmmon::npu::np::StreamReport| (r.rounds, r.offered, r.admitted, r.dropped);
+    if streamed.outcomes != want.outcomes
+        || accounting(streamed.report) != accounting(want.report)
+        || stream_stats != oracle.stats()
+    {
+        return Err(processing(format!(
+            "streaming engine diverged from its serial oracle at {shards} shards \
+             (seed {seed}): stream {:?} vs serial {:?}",
+            streamed.report, want.report
+        )));
+    }
+
+    let report = streamed.report;
+    let drop_rate = report.dropped as f64 / report.offered.max(1) as f64;
+    println!(
+        "seed {seed}: {round_count} rounds, {CORES} cores, {shards} shard(s), \
+         ingress budget {capacity}/shard"
+    );
+    println!(
+        "stream: offered {} / admitted {} / dropped {} ({:.1}%) / steals {}",
+        report.offered,
+        report.admitted,
+        report.dropped,
+        drop_rate * 100.0,
+        report.steals,
+    );
+    println!("queue delay (packets ahead at admission): p50 {p50} / p99 {p99} / p999 {p999}");
+    println!("np stats: {}", stream_stats.to_json());
+    println!("byte-identical to the serial streaming oracle: yes");
+
+    // Timing-free by construction: every value below is a deterministic
+    // function of the seed and the knobs, so the file replays byte for
+    // byte run after run.
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"sdmmon-stream-v1\",\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"cores\": {CORES},\n"));
+    json.push_str(&format!("  \"shards\": {shards},\n"));
+    json.push_str(&format!("  \"rounds\": {round_count},\n"));
+    json.push_str(&format!("  \"shard_capacity\": {capacity},\n"));
+    json.push_str(&format!("  \"offered\": {},\n", report.offered));
+    json.push_str(&format!("  \"admitted\": {},\n", report.admitted));
+    json.push_str(&format!("  \"dropped\": {},\n", report.dropped));
+    json.push_str(&format!("  \"drop_rate\": {drop_rate:.4},\n"));
+    json.push_str(&format!("  \"steals\": {},\n", report.steals));
+    json.push_str(&format!("  \"queue_delay_p50\": {p50},\n"));
+    json.push_str(&format!("  \"queue_delay_p99\": {p99},\n"));
+    json.push_str(&format!("  \"queue_delay_p999\": {p999},\n"));
+    json.push_str(&format!("  \"np\": {},\n", stream_stats.to_json()));
+    json.push_str("  \"byte_identical\": true\n}\n");
+    write_output(out, &json)?;
+    println!("report: {out} (sdmmon-stream-v1, seed {seed}, replays byte-identically)");
+    write_observability(None, metrics_path)?;
+    Ok(())
+}
+
 /// `sdmmon stats`: drives seeded mixed traffic — benign forwards, policy
 /// drops, and hijack bursts dense enough to push cores through the
 /// supervisor's redeploy/quarantine ladder — through the sharded batch
@@ -1214,6 +1390,17 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
         packets.len()
     );
     println!("np stats: {}", stats.to_json());
+    // Tail view of the power-of-two detection-latency histogram: how many
+    // executed instructions an attack survived before a monitor flagged it.
+    let latency = sdmmon::obs::metrics().hist_buckets(sdmmon::obs::Hist::DetectionLatencySteps);
+    if latency.iter().any(|&c| c > 0) {
+        println!(
+            "detection latency (instructions, bucket lower bounds): p50 {} / p99 {} / p999 {}",
+            sdmmon::obs::percentile(&latency, 500),
+            sdmmon::obs::percentile(&latency, 990),
+            sdmmon::obs::percentile(&latency, 999),
+        );
+    }
     print!("{}", sdmmon::obs::metrics().snapshot_json());
     let events = a.option("--events").zip(bus.as_deref());
     write_observability(events, a.option("--metrics"))?;

@@ -206,6 +206,56 @@ fn frontier_quick_writes_a_replayable_report() {
 }
 
 #[test]
+fn stream_quick_replays_byte_identically_and_balances_the_books() {
+    let run = |name: &str| -> Vec<u8> {
+        let out_path = write_temp(name, "");
+        let out = sdmmon()
+            .arg("stream")
+            .arg("--quick")
+            .arg("--capacity")
+            .arg("16") // tight ingress budget, so drops actually occur
+            .arg("--out")
+            .arg(&out_path)
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.contains("byte-identical to the serial streaming oracle: yes"),
+            "{text}"
+        );
+        std::fs::read(&out_path).expect("stream report written")
+    };
+    let first = run("stream-a.json");
+    let second = run("stream-b.json");
+    assert_eq!(first, second, "same seed must replay byte-identically");
+    let text = String::from_utf8_lossy(&first);
+    assert!(text.contains("\"schema\": \"sdmmon-stream-v1\""), "{text}");
+    // Backpressure accounting: offered splits exactly into admitted plus
+    // dropped, and the tight budget above forces the dropped leg nonzero.
+    let field = |key: &str| -> u64 {
+        let tail = text.split(key).nth(1).unwrap_or_else(|| panic!("{key}"));
+        let digits: String = tail
+            .chars()
+            .skip_while(|c| !c.is_ascii_digit())
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        digits.parse().expect("numeric field")
+    };
+    let (offered, admitted, dropped) = (
+        field("\"offered\""),
+        field("\"admitted\""),
+        field("\"dropped\""),
+    );
+    assert_eq!(admitted + dropped, offered, "{text}");
+    assert!(dropped > 0, "{text}");
+}
+
+#[test]
 fn bad_inputs_yield_clean_errors() {
     // Unknown command.
     let out = sdmmon().arg("frobnicate").output().expect("spawn");
