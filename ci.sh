@@ -1,11 +1,13 @@
 #!/bin/sh
 # Repo gate: formatting, lints, full test suite, a quick perf smoke run
-# (quick mode writes target/BENCH_PR9.quick.json; the committed
-# BENCH_PR9.json comes from a full release run of the same binary), the
+# (quick mode writes target/BENCH_PR10.quick.json; the committed
+# BENCH_PR10.json comes from a full release run of the same binary), the
 # sharded-engine throughput gate (with and without metrics recording),
 # the bit-sliced hash gate (SWAR block path >= 4x scalar on the headline
 # compression), the streaming-ingest gate (byte-identical
-# sdmmon-stream-v1 replay + backpressure accounting),
+# sdmmon-stream-v1 replay + backpressure accounting), the trace gate
+# (byte-identical sdmmon-trace-v1 replay across runs and shard counts +
+# the <=5% sampled-tracing overhead assertion),
 # a bounded adversarial campaign (accounting + differential assertions,
 # deterministic per seed), an events-schema smoke (byte-identical
 # sdmmon-events-v1 replay), the v1-vs-v2 install differential, the
@@ -70,14 +72,60 @@ print(f"stream ok: {report['admitted']}/{report['offered']} admitted, "
       f"{report['steals']} steals, p999 delay {report['queue_delay_p999']}")
 PYEOF
 
-# Schema gate: the committed report must carry the v5 schema (v4 plus the
-# "streaming" section and host_cores in "sharded"), and its key sequence
-# must match what the binary writes today — a drifted field set fails the
-# diff.
-grep -q '"schema": "sdmmon-perf-report-v5"' BENCH_PR9.json
-sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' BENCH_PR9.json > target/BENCH_PR9.schema
-sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' target/BENCH_PR9.quick.json > target/BENCH_PR9.quick.schema
-diff target/BENCH_PR9.schema target/BENCH_PR9.quick.schema
+# Trace gate: the sdmmon-trace-v1 artifact at the pinned seed must replay
+# byte-identically — across two runs AND across shard counts (the trace is
+# a pure function of seed x flow, so sharding may not leak into it) — and
+# every trace must chain parent links back to a root span. The quick
+# perf run above already asserted the <=5% sampled-tracing overhead gate
+# (perf_report exits nonzero past it); re-assert it from the JSON here so
+# the gate survives even if the binary's assert is ever refactored away.
+cargo run --release --bin sdmmon -- trace --quick --out target/ci-trace-a.json
+cargo run --release --bin sdmmon -- trace --quick --out target/ci-trace-b.json
+cmp target/ci-trace-a.json target/ci-trace-b.json
+for shards in 1 2 8; do
+    cargo run --release --bin sdmmon -- trace --quick --shards "$shards" \
+        --out "target/ci-trace-s$shards.json"
+    cmp target/ci-trace-a.json "target/ci-trace-s$shards.json"
+done
+python3 - target/ci-trace-a.json target/BENCH_PR10.quick.json <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "sdmmon-trace-v1", report["schema"]
+assert report["traces"], "trace artifact is empty"
+assert report["sampled_traces"] + report["flight_traces"] == len(report["traces"])
+assert report["flight_traces"] > 0, "hijack campaign promoted no flight trace"
+stage_order = {"ingest": 0, "admission": 1, "dispatch": 2, "verify": 3,
+               "respond": 4, "operator": 0, "relay": 1, "install": 2}
+for trace in report["traces"]:
+    spans = trace["spans"]
+    assert spans, trace
+    ids = {span["id"] for span in spans}
+    for span in spans:
+        assert span["stage"] in stage_order, span
+        assert span["id"] != 0, span
+        if span["parent"]:
+            assert span["parent"] in ids, (trace["id"], span)
+    clocks = [(span["clock"], stage_order[span["stage"]]) for span in spans]
+    assert clocks == sorted(clocks), trace["id"]
+flights = [t for t in report["traces"] if not t["sampled"]]
+assert any(any(s["stage"] == "respond" for s in t["spans"]) for t in flights), \
+    "no flight trace reaches the graded response"
+bench = json.load(open(sys.argv[2]))["trace_profile"]
+assert bench["within_gate"] is True, bench
+assert bench["overhead_pct"] <= bench["overhead_gate_pct"], bench
+print(f"trace ok: {len(report['traces'])} traces ({report['flight_traces']} "
+      f"flight), {report['spans']} spans, tracing overhead "
+      f"{bench['overhead_pct']}% <= {bench['overhead_gate_pct']}%")
+PYEOF
+
+# Schema gate: the committed report must carry the v6 schema (v5 plus the
+# "trace_profile" section and host_cores in every section), and its key
+# sequence must match what the binary writes today — a drifted field set
+# fails the diff.
+grep -q '"schema": "sdmmon-perf-report-v6"' BENCH_PR10.json
+sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' BENCH_PR10.json > target/BENCH_PR10.schema
+sed -n 's/^ *"\([a-z_0-9]*\)":.*/\1/p' target/BENCH_PR10.quick.json > target/BENCH_PR10.quick.schema
+diff target/BENCH_PR10.schema target/BENCH_PR10.quick.schema
 
 # Wire-format differential gate: a router installing the v1 rendering and
 # its twin installing the v2 rendering of the same fleet update must land

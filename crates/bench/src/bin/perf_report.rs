@@ -2,16 +2,17 @@
 //! RSA, the NPU pre-decoded instruction cache, the parallel fleet/batch
 //! paths, the sharded batch engine (schema v2), the SWAR bit-sliced
 //! monitor hash (schema v3), the shared-package fleet-update crypto
-//! (schema v4), and the streaming ingest engine with bounded ingress and
-//! deterministic work stealing (schema v5) — each measured against the
-//! code path it replaced (which stays alive as the differential-test
-//! oracle).
+//! (schema v4), the streaming ingest engine with bounded ingress and
+//! deterministic work stealing (schema v5), and the span tracing layer
+//! with its trace-driven stage profile and ≤5% overhead gate (schema v6)
+//! — each measured against the code path it replaced (which stays alive
+//! as the differential-test oracle).
 //!
-//! Writes `BENCH_PR9.json` (schema `sdmmon-perf-report-v5`) at the
+//! Writes `BENCH_PR10.json` (schema `sdmmon-perf-report-v6`) at the
 //! repository root and prints a summary table; the committed
-//! `BENCH_PR1.json`, `BENCH_PR4.json`, `BENCH_PR6.json` and
-//! `BENCH_PR7.json` are the frozen v1/v2/v3/v4 artifacts of the earlier
-//! overhauls. Run with:
+//! `BENCH_PR1.json`, `BENCH_PR4.json`, `BENCH_PR6.json`,
+//! `BENCH_PR7.json` and `BENCH_PR9.json` are the frozen v1/v2/v3/v4/v5
+//! artifacts of the earlier overhauls. Run with:
 //!
 //! ```text
 //! cargo run --release -p sdmmon-bench --bin perf_report [-- --quick] [--shards N]
@@ -24,6 +25,7 @@ use sdmmon_bench::hashbench::HashBenchConfig;
 use sdmmon_bench::render_table;
 use sdmmon_bench::sharded::ShardedConfig;
 use sdmmon_bench::streaming::StreamingConfig;
+use sdmmon_bench::traceprof::{self, TraceProfConfig};
 use sdmmon_core::entities::{Manufacturer, NetworkOperator};
 use sdmmon_core::system::Fleet;
 use sdmmon_crypto::bignum::BigUint;
@@ -43,6 +45,15 @@ const RSA_BITS: usize = 2048;
 /// Key size for the fleet experiment (whole-protocol wall clock, so the
 /// small test key keeps the run short; the scaling is size-agnostic).
 const FLEET_KEY_BITS: usize = 512;
+
+/// Host hardware threads. Every section records it (v6) so a report read
+/// in isolation says where its timings came from — even for the
+/// single-threaded measurements, where it documents the noise floor.
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 struct Config {
     sign_iters: usize,
@@ -98,7 +109,7 @@ fn main() {
     let cfg = Config::new(quick);
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"sdmmon-perf-report-v5\",");
+    let _ = writeln!(json, "  \"schema\": \"sdmmon-perf-report-v6\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
 
     rsa_section(&cfg, &mut rows, &mut json);
@@ -107,6 +118,7 @@ fn main() {
     throughput_section(&cfg, &mut rows, &mut json);
     sharded_section(quick, max_shards, &mut rows, &mut json);
     streaming_section(quick, &mut rows, &mut json);
+    traceprof_section(quick, &mut rows, &mut json);
     fleet_section(&cfg, &mut rows, &mut json);
     deploy_section(&cfg, &mut rows, &mut json);
 
@@ -124,10 +136,10 @@ fn main() {
     let path = if quick {
         concat!(
             env!("CARGO_MANIFEST_DIR"),
-            "/../../target/BENCH_PR9.quick.json"
+            "/../../target/BENCH_PR10.quick.json"
         )
     } else {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json")
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json")
     };
     std::fs::write(path, &json).expect("write perf report json");
     println!("\nwrote {path}");
@@ -207,6 +219,7 @@ fn rsa_section(cfg: &Config, rows: &mut Vec<Vec<String>>, json: &mut String) {
     ]);
 
     let _ = writeln!(json, "  \"rsa\": {{");
+    let _ = writeln!(json, "    \"host_cores\": {},", host_cores());
     let _ = writeln!(json, "    \"key_bits\": {RSA_BITS},");
     let _ = writeln!(json, "    \"keygen_ms\": {keygen_ms:.3},");
     let _ = writeln!(json, "    \"sign_legacy_ms_per_op\": {sign_legacy_ms:.3},");
@@ -306,6 +319,7 @@ fn npu_section(cfg: &Config, rows: &mut Vec<Vec<String>>, json: &mut String) {
         format!("{speedup:.2}x"),
     ]);
     let _ = writeln!(json, "  \"npu\": {{");
+    let _ = writeln!(json, "    \"host_cores\": {},", host_cores());
     let _ = writeln!(json, "    \"packets\": {},", cfg.ips_packets);
     let _ = writeln!(json, "    \"instructions\": {retired_c},");
     let _ = writeln!(json, "    \"ips_uncached\": {ips_uncached:.0},");
@@ -386,6 +400,7 @@ fn throughput_section(cfg: &Config, rows: &mut Vec<Vec<String>>, json: &mut Stri
     ]);
     let _ = writeln!(json, "  \"throughput\": {{");
     let _ = writeln!(json, "    \"cores\": {cores},");
+    let _ = writeln!(json, "    \"host_cores\": {},", host_cores());
     let _ = writeln!(json, "    \"packets\": {},", cfg.throughput_packets);
     let _ = writeln!(json, "    \"sequential_pps\": {seq_pps:.0},");
     let _ = writeln!(json, "    \"batch_pps\": {batch_pps:.0},");
@@ -435,6 +450,32 @@ fn streaming_section(quick: bool, rows: &mut Vec<Vec<String>>, json: &mut String
         format!("{:.2}x", report.speedup()),
     ]);
     let _ = writeln!(json, "{},", report.json_object());
+}
+
+/// The span tracing layer (PR 10): the streaming hijack workload with the
+/// sampled tracer armed, profiled per pipeline stage from its own spans,
+/// and the tracing-off vs tracing-on throughput pair (see
+/// [`sdmmon_bench::traceprof`]). Outcome identity between the two sides
+/// is asserted inside the scenario; the report is gated on sampled
+/// tracing costing at most 5% of admitted throughput.
+fn traceprof_section(quick: bool, rows: &mut Vec<Vec<String>>, json: &mut String) {
+    let report = traceprof::run(&TraceProfConfig::new(quick));
+    rows.push(vec![
+        format!(
+            "sampled tracing, {} cores / {}\u{2030} (kpps)",
+            report.cores, report.sample_per_mille
+        ),
+        format!("{:.0}", report.pps_off / 1e3),
+        format!("{:.0}", report.pps_on / 1e3),
+        format!("{:.2}% overhead", report.overhead_pct()),
+    ]);
+    let _ = writeln!(json, "{},", report.json_object());
+    assert!(
+        report.within_gate(),
+        "sampled tracing overhead above the {}% gate: {:.2}%",
+        traceprof::OVERHEAD_GATE_PCT,
+        report.overhead_pct()
+    );
 }
 
 /// Fleet deployment (per-router keygen + packaging + secure install):
@@ -522,12 +563,14 @@ fn fleet_section(cfg: &Config, rows: &mut Vec<Vec<String>>, json: &mut String) {
         format!("{speedup:.2}x"),
     ]);
     let _ = writeln!(json, "  \"install\": {{");
+    let _ = writeln!(json, "    \"host_cores\": {},", host_cores());
     let _ = writeln!(json, "    \"key_bits\": {FLEET_KEY_BITS},");
     let _ = writeln!(json, "    \"package_bytes\": {},", report.package_bytes);
     let _ = writeln!(json, "    \"install_ms\": {install_ms:.3}");
     let _ = writeln!(json, "  }},");
     let keygen_fraction = (keygen_ms / serial_ms).min(1.0);
     let _ = writeln!(json, "  \"fleet\": {{");
+    let _ = writeln!(json, "    \"host_cores\": {},", host_cores());
     let _ = writeln!(json, "    \"routers\": {},", cfg.fleet_routers);
     let _ = writeln!(json, "    \"key_bits\": {FLEET_KEY_BITS},");
     let _ = writeln!(json, "    \"keygen_ms\": {keygen_ms:.3},");
@@ -623,6 +666,7 @@ fn deploy_section(cfg: &Config, rows: &mut Vec<Vec<String>>, json: &mut String) 
     ]);
 
     let _ = writeln!(json, "  \"deploy\": {{");
+    let _ = writeln!(json, "    \"host_cores\": {},", host_cores());
     let _ = writeln!(json, "    \"routers\": {routers},");
     let _ = writeln!(json, "    \"relays\": {relays},");
     let _ = writeln!(json, "    \"device_key_bits\": {DEVICE_KEY_BITS},");

@@ -89,6 +89,9 @@ pub fn compression_label(compression: Compression) -> &'static str {
 /// certifies it.
 #[derive(Debug, Clone)]
 pub struct HashBenchReport {
+    /// Host hardware threads (the sweep itself is single-threaded, but the
+    /// report is self-describing about where it ran).
+    pub host_cores: usize,
     /// Words per microbench pass.
     pub words: usize,
     /// Packets in the end-to-end batch.
@@ -168,6 +171,7 @@ impl HashBenchReport {
         let mut json = String::new();
         let _ = writeln!(json, "  \"hash\": {{");
         let _ = writeln!(json, "    \"block_lanes\": {BLOCK_LANES},");
+        let _ = writeln!(json, "    \"host_cores\": {},", self.host_cores);
         let _ = writeln!(json, "    \"words\": {},", self.words);
         let _ = writeln!(json, "    \"repeats\": {},", self.repeats);
         let _ = writeln!(json, "    \"sweep\": [");
@@ -296,6 +300,9 @@ pub fn run(cfg: &HashBenchConfig) -> HashBenchReport {
     );
 
     HashBenchReport {
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         words: words_len,
         packets: cfg.packets,
         repeats: cfg.repeats,

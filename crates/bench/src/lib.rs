@@ -15,17 +15,20 @@
 //!
 //! `perf_report` measures the hot paths (Montgomery/CRT RSA, the decode
 //! cache, batch/fleet parallelism, the sharded batch engine, the
-//! bit-sliced monitor hash, and the streaming ingest engine) against
-//! their in-tree reference oracles and writes the machine-readable
-//! `BENCH_PR9.json` at the repo root (schema `sdmmon-perf-report-v5`; the
-//! earlier `BENCH_PR*.json` files are the frozen artifacts of prior
-//! overhauls). `throughput_sharded` runs the [`sharded`] sweep
-//! standalone; the [`hashbench`] sweep also backs `sdmmon bench --hash`;
-//! the [`streaming`] scenario also backs `sdmmon stream`.
+//! bit-sliced monitor hash, the streaming ingest engine, and the span
+//! tracing layer) against their in-tree reference oracles and writes the
+//! machine-readable `BENCH_PR10.json` at the repo root (schema
+//! `sdmmon-perf-report-v6`; the earlier `BENCH_PR*.json` files are the
+//! frozen artifacts of prior overhauls). `throughput_sharded` runs the
+//! [`sharded`] sweep standalone; the [`hashbench`] sweep also backs
+//! `sdmmon bench --hash`; the [`streaming`] scenario also backs
+//! `sdmmon stream`; the [`traceprof`] scenario attributes per-stage
+//! pipeline budgets from span traces and gates tracing overhead.
 
 pub mod hashbench;
 pub mod sharded;
 pub mod streaming;
+pub mod traceprof;
 
 use std::fmt::Write as _;
 

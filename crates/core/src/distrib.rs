@@ -42,6 +42,7 @@ use sdmmon_isa::asm::Program;
 use sdmmon_net::channel::{Channel, FileServer};
 use sdmmon_net::download::{DownloadClient, DownloadError, RetryPolicy};
 use sdmmon_net::resilience::{FlakyServer, LossyChannel, OutageWindow};
+use sdmmon_obs::trace::{self, TraceContext};
 use sdmmon_obs::{metrics, Counter, Event, EventBus};
 use sdmmon_rng::{split_seed, RngCore, SeedableRng, StdRng};
 use std::collections::BTreeMap;
@@ -465,6 +466,28 @@ pub fn deploy_fleet(
     seed: u64,
     bus: Option<&EventBus>,
 ) -> Result<FleetScaleReport, SdmmonError> {
+    deploy_fleet_traced(config, program, seed, bus, None)
+}
+
+/// [`deploy_fleet`] with the causal span layer attached: alongside each
+/// `fleet.*` event the run emits the control-plane span chain — one
+/// `span.operator` root at clock 0, one `span.relay` per synced relay
+/// (clock = cumulative transport attempts), and one `span.install` per
+/// router whose trace id derives from [`trace::entity_flow`] — so
+/// [`sdmmon_obs::assemble_traces`] links operator → relay → install per
+/// router. Spans are only emitted when both `bus` and `trace` are present;
+/// with `trace = None` this *is* `deploy_fleet`.
+///
+/// # Errors
+///
+/// Same contract as [`deploy_fleet`].
+pub fn deploy_fleet_traced(
+    config: &FleetDeployConfig,
+    program: &Program,
+    seed: u64,
+    bus: Option<&EventBus>,
+    tracing: Option<&TraceContext>,
+) -> Result<FleetScaleReport, SdmmonError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let manufacturer = Manufacturer::new("fleet-acme", AUTHORITY_KEY_BITS, &mut rng)?;
     let mut operator = NetworkOperator::new("fleet-op", AUTHORITY_KEY_BITS, &mut rng)?;
@@ -523,6 +546,12 @@ pub fn deploy_fleet(
                 .field("package_bytes", update.package_bytes())
                 .field("cipher_sections", update.cipher_sections().len()),
         );
+        if tracing.is_some() {
+            metrics().inc(Counter::TraceSpans);
+            bus.record(
+                Event::new(trace::KIND_SPAN_OPERATOR, 0).field("sequence", update.sequence()),
+            );
+        }
     }
 
     // Phase one — relay sync, serial in relay order. A relay that cannot
@@ -565,6 +594,14 @@ pub fn deploy_fleet(
                             .field("attempts", stats.attempts)
                             .field("bytes", stats.bytes_fetched),
                     );
+                    if tracing.is_some() {
+                        metrics().inc(Counter::TraceSpans);
+                        bus.record(
+                            Event::new(trace::KIND_SPAN_RELAY, clock)
+                                .field("relay", r)
+                                .field("attempts", stats.attempts),
+                        );
+                    }
                 }
             }
             Err(e) => {
@@ -710,6 +747,17 @@ pub fn deploy_fleet(
                 event = event.field("error", error.as_str());
             }
             bus.record(event);
+            if let Some(tc) = tracing {
+                metrics().inc(Counter::TraceSpans);
+                bus.record(
+                    Event::new(trace::KIND_SPAN_INSTALL, clock)
+                        .field("trace", tc.trace_id(trace::entity_flow("router", i as u64)))
+                        .field("router", i)
+                        .field("relay", relay)
+                        .field("cycles", row.cycles)
+                        .field("installed", row.installed),
+                );
+            }
         }
         rows.push(row);
     }

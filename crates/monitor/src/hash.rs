@@ -17,6 +17,14 @@ pub mod bitslice;
 /// of the bit-sliced data path (16 × 4-bit lanes fill one `u64` plane).
 pub const BLOCK_LANES: usize = 16;
 
+/// Full [`BLOCK_LANES`]-wide hash blocks the monitor verifies for a packet
+/// that retired `steps` instructions (the trailing partial block goes
+/// through the scalar path). The trace layer's `span.verify` events and
+/// the trace-driven profiler attribute block budgets with this mapping.
+pub fn full_blocks(steps: u64) -> u64 {
+    steps / BLOCK_LANES as u64
+}
+
 /// Maps a 32-bit instruction word to a short hash value.
 ///
 /// Implementations must be pure functions of `(parameter, word)` — the
@@ -371,6 +379,15 @@ pub fn hamming(a: u8, b: u8) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn full_blocks_counts_complete_lanes_only() {
+        assert_eq!(full_blocks(0), 0);
+        assert_eq!(full_blocks(15), 0);
+        assert_eq!(full_blocks(16), 1);
+        assert_eq!(full_blocks(57), 3);
+        assert_eq!(full_blocks(16 * 7), 7);
+    }
 
     #[test]
     fn outputs_fit_width() {

@@ -309,6 +309,13 @@ impl IngressQueues {
         &self.queues
     }
 
+    /// The per-shard round budget. The `sdmmon trace` scenario sizes this
+    /// above its worst-case round so admission never drops — the
+    /// precondition for the trace artifact being shard-count-invariant.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Per-core queue lengths — the input [`steal_plan`] balances on.
     pub fn loads(&self) -> Vec<usize> {
         self.queues.iter().map(Vec::len).collect()

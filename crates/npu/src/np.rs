@@ -9,13 +9,14 @@
 //! quarantined cores after clean batches and a bounded per-core forensic
 //! ring flushed as `supervisor.forensic` events on escalation.
 
-use crate::core::Core;
+use crate::core::{Core, RETIRE_BLOCK};
 use crate::cpu::{ExecutionObserver, NullObserver};
 use crate::engine::{
     dispatch_slots, shard_spans, steal_plan, IngressQueues, ShardStats, WorkerPool,
 };
 use crate::runtime::{HaltReason, PacketOutcome};
 use crate::supervisor::{CoreHealth, Parole, SupervisorAction, SupervisorPolicy};
+use sdmmon_obs::trace::{self, TraceContext};
 use sdmmon_obs::{metrics, Counter, Event, EventBus, Gauge, Hist};
 use std::collections::VecDeque;
 use std::fmt;
@@ -111,6 +112,24 @@ struct ForensicEntry {
     steps: u64,
 }
 
+/// One settled packet remembered by the flight recorder for retroactive
+/// trace promotion (see [`sdmmon_obs::trace`]). Unlike [`ForensicEntry`]
+/// it is keyed by flow, so promotion lifts exactly the flagged flow's
+/// recent packets out of the ring.
+#[derive(Debug, Clone, Copy)]
+struct FlightRecord {
+    /// The packet's batch-wide ordinal (its event clock).
+    at: u64,
+    /// Flow-affinity hash — the promotion key.
+    flow: u64,
+    /// Position in the core's run queue (the queueing cost).
+    delay: u64,
+    /// Retired instructions.
+    steps: u64,
+    /// How the run halted: `clean`, `violation`, or `fault`.
+    halt: &'static str,
+}
+
 /// Halt label used by forensic events.
 fn halt_label(halt: &HaltReason) -> &'static str {
     match halt {
@@ -130,6 +149,10 @@ struct Slot {
     /// Touched only by the core's owning thread, so the captured window is
     /// identical at every shard count.
     forensics: VecDeque<ForensicEntry>,
+    /// Flight recorder: recent *unsampled* packet records, capacity
+    /// [`TraceContext::flight_window`]. Same single-owner discipline as
+    /// `forensics`, so promotions replay identically at every shard count.
+    flight: VecDeque<FlightRecord>,
 }
 
 impl Slot {
@@ -237,6 +260,101 @@ impl Slot {
             );
         }
     }
+
+    /// Per-packet causal record for trace-enabled runs. Sampled flows
+    /// emit `span.dispatch` + `span.verify` directly (and `span.respond`
+    /// when the supervisor escalates past plain recovery); unsampled
+    /// flows are remembered in the bounded flight ring and retroactively
+    /// promoted to `supervisor.flight` events — stamped at the detection
+    /// clock, own ordinals riding in `at`, mirroring the forensic flush —
+    /// the moment the monitor flags the flow or the supervisor escalates
+    /// on it. Sampling, ids, and ring contents are pure functions of
+    /// `(seed, flow, packet ordinal)`, so the emitted spans are identical
+    /// at every shard count.
+    #[allow(clippy::too_many_arguments)]
+    fn note_trace(
+        &mut self,
+        tc: &TraceContext,
+        packet: &[u8],
+        clock: u64,
+        core: usize,
+        qpos: u64,
+        outcome: &PacketOutcome,
+        action: Option<SupervisorAction>,
+        events: &mut Vec<Event>,
+    ) {
+        let flow = flow_hash(packet);
+        let trace_id = tc.trace_id(flow);
+        let halt = halt_label(&outcome.halt);
+        let escalated = action.is_some_and(|a| a > SupervisorAction::Recover);
+        let m = metrics();
+        if tc.sampled(flow) {
+            m.add(Counter::TraceSpans, 2);
+            events.push(
+                Event::new(trace::KIND_SPAN_DISPATCH, clock)
+                    .field("trace", trace_id)
+                    .field("core", core)
+                    .field("qpos", qpos),
+            );
+            events.push(
+                Event::new(trace::KIND_SPAN_VERIFY, clock)
+                    .field("trace", trace_id)
+                    .field("core", core)
+                    .field("steps", outcome.steps)
+                    .field("blocks", outcome.steps / RETIRE_BLOCK as u64)
+                    .field("halt", halt),
+            );
+        } else if tc.flight_window > 0 {
+            while self.flight.len() >= tc.flight_window {
+                self.flight.pop_front();
+            }
+            self.flight.push_back(FlightRecord {
+                at: clock,
+                flow,
+                delay: qpos,
+                steps: outcome.steps,
+                halt,
+            });
+            if !outcome.halt.is_clean() || escalated {
+                // Promote the flagged flow's remembered packets
+                // (including this one) out of the ring.
+                m.inc(Counter::TraceFlightPromotions);
+                let mut promoted: Vec<FlightRecord> = Vec::new();
+                self.flight.retain(|r| {
+                    if r.flow == flow {
+                        promoted.push(*r);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for (index, r) in promoted.iter().enumerate() {
+                    events.push(
+                        Event::new(trace::KIND_FLIGHT, clock)
+                            .field("trace", trace_id)
+                            .field("core", core)
+                            .field("flow", r.flow)
+                            .field("window_index", index)
+                            .field("at", r.at)
+                            .field("delay", r.delay)
+                            .field("steps", r.steps)
+                            .field("halt", r.halt),
+                    );
+                }
+            }
+        }
+        if escalated {
+            let action = action.expect("escalated implies an action");
+            m.inc(Counter::TraceSpans);
+            events.push(
+                Event::new(trace::KIND_SPAN_RESPOND, clock)
+                    .field("trace", trace_id)
+                    .field("core", core)
+                    .field("action", action.name())
+                    .field("level", self.health.threat.name()),
+            );
+        }
+    }
 }
 
 impl fmt::Debug for Slot {
@@ -287,6 +405,10 @@ pub struct NetworkProcessor {
     /// `None` — the default — is the no-op sink: no event is constructed
     /// anywhere on the packet path.
     bus: Option<Arc<EventBus>>,
+    /// Optional causal span/trace context (see [`sdmmon_obs::trace`]).
+    /// Only consulted while a bus is attached; `Copy`, so the batch and
+    /// stream workers carry it by value.
+    trace: Option<TraceContext>,
     /// Latched when any core receives a zeroize order (threat Critical):
     /// the control-plane signal that the NP should be pulled from service.
     /// Dispatch itself keeps working on the surviving cores — honoring the
@@ -352,6 +474,7 @@ impl NetworkProcessor {
                 observer: Box::new(NullObserver) as Box<dyn ExecutionObserver + Send>,
                 health: CoreHealth::default(),
                 forensics: VecDeque::new(),
+                flight: VecDeque::new(),
             })
             .collect();
         NetworkProcessor {
@@ -363,6 +486,7 @@ impl NetworkProcessor {
             pool: None,
             shard_stats: Vec::new(),
             bus: None,
+            trace: None,
             lockdown: false,
         }
     }
@@ -373,6 +497,20 @@ impl NetworkProcessor {
     /// the stream is byte-identical per workload for *any* shard count.
     pub fn set_event_bus(&mut self, bus: Option<Arc<EventBus>>) {
         self.bus = bus;
+    }
+
+    /// Attaches (or detaches, with `None`) the deterministic span/trace
+    /// layer. Spans are emitted only while an event bus is attached;
+    /// sampling and id derivation are pure functions of `(seed, flow)` —
+    /// see [`TraceContext`] — so the span stream is byte-identical at any
+    /// shard count and across the sharded / serial-oracle paths.
+    pub fn set_trace(&mut self, trace: Option<TraceContext>) {
+        self.trace = trace;
+    }
+
+    /// The active trace context, if any.
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        self.trace
     }
 
     /// Number of cores.
@@ -755,6 +893,7 @@ impl NetworkProcessor {
         let policy = self.policy;
         let base_clock = self.stats.processed;
         let record_events = self.bus.is_some();
+        let trace = if record_events { self.trace } else { None };
         let shard_stats = &self.shard_stats;
 
         // One result buffer per shard; workers never share a buffer, and
@@ -793,7 +932,7 @@ impl NetworkProcessor {
                     Box::new(move || {
                         for (local, slot) in chunk.iter_mut().enumerate() {
                             let core_index = span.start + local;
-                            for &i in &queues[core_index] {
+                            for (qpos, &i) in queues[core_index].iter().enumerate() {
                                 let (outcome, action) = slot.run_fused(&packets[i], &policy);
                                 stats.record(&outcome);
                                 // Clock = the packet's batch-wide ordinal,
@@ -816,6 +955,18 @@ impl NetworkProcessor {
                                             &slot.health,
                                         ));
                                     }
+                                }
+                                if let Some(tc) = &trace {
+                                    slot.note_trace(
+                                        tc,
+                                        &packets[i],
+                                        clock,
+                                        core_index,
+                                        qpos as u64,
+                                        &outcome,
+                                        action,
+                                        events,
+                                    );
                                 }
                                 out.push((i, core_index, outcome));
                             }
@@ -880,11 +1031,12 @@ impl NetworkProcessor {
         let policy = self.policy;
         let base_clock = self.stats.processed;
         let record_events = self.bus.is_some();
+        let trace = if record_events { self.trace } else { None };
         let mut events: Vec<Event> = Vec::new();
         let mut merged: Vec<Option<(usize, PacketOutcome)>> = vec![None; packets.len()];
         for (core_index, queue) in queues.iter().enumerate() {
             let slot = &mut self.slots[core_index];
-            for &i in queue {
+            for (qpos, &i) in queue.iter().enumerate() {
                 let (outcome, action) = match path {
                     DispatchPath::Fused => slot.run_fused(&packets[i], &policy),
                     DispatchPath::Reference => slot.run(&packets[i], &policy),
@@ -898,6 +1050,18 @@ impl NetworkProcessor {
                         }
                         events.extend(supervisor_event(action, clock, core_index, &slot.health));
                     }
+                }
+                if let Some(tc) = &trace {
+                    slot.note_trace(
+                        tc,
+                        &packets[i],
+                        clock,
+                        core_index,
+                        qpos as u64,
+                        &outcome,
+                        action,
+                        &mut events,
+                    );
                 }
                 merged[i] = Some((core_index, outcome));
             }
@@ -1018,11 +1182,21 @@ impl NetworkProcessor {
     /// backpressure counters. Appends one slot per *offered* packet to
     /// `outcomes` (left `None` for drops) and returns the admitted packets
     /// plus their offer-order positions.
+    ///
+    /// When a trace context is supplied, sampled flows emit `span.ingest`
+    /// and `span.admit` into `events`, stamped with the would-be execution
+    /// clock (`base_clock` + position among this round's admissions) so
+    /// the admission spans line up with the execution spans of the same
+    /// packet. Both stream paths route through here, so the span stream is
+    /// shared by construction.
     fn admit_round(
         table: &[usize],
         round: &[Vec<u8>],
         ingress: &mut IngressQueues,
         outcomes: &mut Vec<Option<(usize, PacketOutcome)>>,
+        trace: Option<TraceContext>,
+        base_clock: u64,
+        events: &mut Vec<Event>,
     ) -> (Vec<Vec<u8>>, Vec<usize>) {
         let m = metrics();
         let mut admitted: Vec<Vec<u8>> = Vec::new();
@@ -1031,15 +1205,50 @@ impl NetworkProcessor {
             let global = outcomes.len();
             outcomes.push(None);
             m.inc(Counter::StreamOffered);
-            let core = table[(flow_hash(packet) % table.len() as u64) as usize];
+            let flow = flow_hash(packet);
+            let core = table[(flow % table.len() as u64) as usize];
+            let span = trace
+                .filter(|tc| tc.sampled(flow))
+                .map(|tc| tc.trace_id(flow));
+            let clock = base_clock + admitted.len() as u64;
+            if let Some(trace_id) = span {
+                m.inc(Counter::TraceSpans);
+                events.push(
+                    Event::new(trace::KIND_SPAN_INGEST, clock)
+                        .field("trace", trace_id)
+                        .field("flow", flow),
+                );
+            }
             match ingress.offer(core, admitted.len()) {
                 Some(delay) => {
                     m.inc(Counter::StreamAdmitted);
                     m.observe(Hist::StreamQueueDelay, delay);
+                    if let Some(trace_id) = span {
+                        m.inc(Counter::TraceSpans);
+                        events.push(
+                            Event::new(trace::KIND_SPAN_ADMIT, clock)
+                                .field("trace", trace_id)
+                                .field("core", core)
+                                .field("delay", delay)
+                                .field("admitted", true),
+                        );
+                    }
                     offer_index.push(global);
                     admitted.push(packet.clone());
                 }
-                None => m.inc(Counter::StreamDropped),
+                None => {
+                    m.inc(Counter::StreamDropped);
+                    if let Some(trace_id) = span {
+                        m.inc(Counter::TraceSpans);
+                        events.push(
+                            Event::new(trace::KIND_SPAN_ADMIT, clock)
+                                .field("trace", trace_id)
+                                .field("core", core)
+                                .field("delay", 0u64)
+                                .field("admitted", false),
+                        );
+                    }
+                }
             }
         }
         (admitted, offer_index)
@@ -1081,11 +1290,25 @@ impl NetworkProcessor {
         let mut ingress = IngressQueues::new(cores, shards, cfg.shard_capacity);
         let mut outcomes: Vec<Option<(usize, PacketOutcome)>> = Vec::new();
         let mut steals_total = 0u64;
+        let trace = if self.bus.is_some() { self.trace } else { None };
         for round in rounds {
             ingress.clear_round();
             let table = self.dispatch_table();
-            let (admitted, offer_index) =
-                Self::admit_round(&table, round, &mut ingress, &mut outcomes);
+            let mut trace_events: Vec<Event> = Vec::new();
+            let (admitted, offer_index) = Self::admit_round(
+                &table,
+                round,
+                &mut ingress,
+                &mut outcomes,
+                trace,
+                self.stats.processed,
+                &mut trace_events,
+            );
+            if !trace_events.is_empty() {
+                if let Some(bus) = &self.bus {
+                    bus.extend(trace_events);
+                }
+            }
             let queues = ingress.queues();
             self.note_queue_depths(queues);
             self.record_batch_telemetry(admitted.len(), queues, shards);
@@ -1135,11 +1358,25 @@ impl NetworkProcessor {
         let shards = self.shards.clamp(1, cores);
         let mut ingress = IngressQueues::new(cores, shards, cfg.shard_capacity);
         let mut outcomes: Vec<Option<(usize, PacketOutcome)>> = Vec::new();
+        let trace = if self.bus.is_some() { self.trace } else { None };
         for round in rounds {
             ingress.clear_round();
             let table = self.dispatch_table();
-            let (admitted, offer_index) =
-                Self::admit_round(&table, round, &mut ingress, &mut outcomes);
+            let mut trace_events: Vec<Event> = Vec::new();
+            let (admitted, offer_index) = Self::admit_round(
+                &table,
+                round,
+                &mut ingress,
+                &mut outcomes,
+                trace,
+                self.stats.processed,
+                &mut trace_events,
+            );
+            if !trace_events.is_empty() {
+                if let Some(bus) = &self.bus {
+                    bus.extend(trace_events);
+                }
+            }
             // Re-partitioning inside `process_batch_serial` reproduces the
             // ingress queues exactly: the dispatch table cannot change
             // between admission and execution, and admission preserved
@@ -1185,6 +1422,7 @@ impl NetworkProcessor {
         let policy = self.policy;
         let base_clock = self.stats.processed;
         let record_events = self.bus.is_some();
+        let trace = if record_events { self.trace } else { None };
 
         // Hand every core's slot to the worker the plan chose, ascending
         // core order within each worker.
@@ -1212,7 +1450,7 @@ impl NetworkProcessor {
                     Box::new(move || {
                         for (core_index, slot) in mine.iter_mut() {
                             let core_index = *core_index;
-                            for &i in &queues[core_index] {
+                            for (qpos, &i) in queues[core_index].iter().enumerate() {
                                 let (outcome, action) = slot.run_fused(&packets[i], &policy);
                                 stats.record(&outcome);
                                 let clock = base_clock + i as u64;
@@ -1233,6 +1471,18 @@ impl NetworkProcessor {
                                             &slot.health,
                                         ));
                                     }
+                                }
+                                if let Some(tc) = &trace {
+                                    slot.note_trace(
+                                        tc,
+                                        &packets[i],
+                                        clock,
+                                        core_index,
+                                        qpos as u64,
+                                        &outcome,
+                                        action,
+                                        events,
+                                    );
                                 }
                                 out.push((i, core_index, outcome));
                             }

@@ -305,6 +305,21 @@ pub enum SupervisorAction {
     Zeroize,
 }
 
+impl SupervisorAction {
+    /// Short lowercase label, used by the trace layer's `span.respond`
+    /// events and anywhere else an action needs a stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SupervisorAction::Recover => "recover",
+            SupervisorAction::Alert => "alert",
+            SupervisorAction::Throttle => "throttle",
+            SupervisorAction::Redeploy => "redeploy",
+            SupervisorAction::Quarantine => "quarantine",
+            SupervisorAction::Zeroize => "zeroize",
+        }
+    }
+}
+
 /// What a parole step restored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Parole {

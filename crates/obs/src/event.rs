@@ -236,9 +236,9 @@ impl EventBus {
 
 /// Validates one rendered event line: it must be a minimally well-formed
 /// flat JSON object that starts with the `schema`/`seq`/`clock`/`kind`
-/// header. Returns a description of the first problem. (CI additionally
-/// runs a full JSON parse over the emitted files; this is the in-process
-/// check the tests use.)
+/// header and repeats no top-level key. Returns a description of the
+/// first problem. (CI additionally runs a full JSON parse over the
+/// emitted files; this is the in-process check the tests use.)
 pub fn validate_event_line(line: &str) -> Result<(), String> {
     let expected = format!("{{\"schema\":\"{EVENTS_SCHEMA}\",\"seq\":");
     if !line.starts_with(&expected) {
@@ -250,23 +250,145 @@ pub fn validate_event_line(line: &str) -> Result<(), String> {
     let mut in_string = false;
     let mut escaped = false;
     let mut depth = 0i32;
+    // Top-level keys in appearance order. A key is the string that opens
+    // right after `{` or `,` at depth 1; tracking the preceding
+    // structural character is enough because the object is flat.
+    let mut keys: Vec<String> = Vec::new();
+    let mut current = String::new();
+    let mut key_position = true;
     for c in line.chars() {
         if escaped {
             escaped = false;
+            current.push(c);
             continue;
         }
         match c {
-            '\\' if in_string => escaped = true,
-            '"' => in_string = !in_string,
-            '{' if !in_string => depth += 1,
-            '}' if !in_string => depth -= 1,
+            '\\' if in_string => {
+                escaped = true;
+                current.push(c);
+            }
+            '"' if in_string => {
+                in_string = false;
+                if depth == 1 && key_position {
+                    keys.push(std::mem::take(&mut current));
+                    key_position = false;
+                }
+                current.clear();
+            }
+            '"' => {
+                in_string = true;
+                current.clear();
+            }
+            _ if in_string => current.push(c),
+            '{' => {
+                depth += 1;
+                key_position = true;
+            }
+            '}' => depth -= 1,
+            ',' if depth == 1 => key_position = true,
             _ => {}
         }
     }
     if in_string || depth != 0 {
         return Err(format!("unbalanced quotes or braces: {line}"));
     }
+    let mut seen: Vec<&str> = Vec::with_capacity(keys.len());
+    for key in &keys {
+        if seen.contains(&key.as_str()) {
+            return Err(format!("duplicate key `{key}`: {line}"));
+        }
+        seen.push(key);
+    }
     Ok(())
+}
+
+/// Stateful validator for a whole `sdmmon-events-v1` stream from one
+/// producer: every line must pass [`validate_event_line`], `seq` must
+/// count up from 0 with no gaps, and the logical clock must be
+/// *monotone per kind* — each emission site derives its clock from its
+/// own advancing count (packet ordinals, transport attempts), so within
+/// one producer stream a kind's clock can repeat but never run
+/// backwards. (Different kinds legitimately interleave at different
+/// clock bases: admission spans for a round render before that round's
+/// execution events.)
+#[derive(Debug, Default)]
+pub struct StreamValidator {
+    next_seq: u64,
+    last_clock: Vec<(String, u64)>,
+}
+
+impl StreamValidator {
+    /// A validator expecting `seq` 0 next.
+    pub fn new() -> StreamValidator {
+        StreamValidator::default()
+    }
+
+    /// Checks the next line of the stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem: a malformed
+    /// or duplicate-keyed line, an out-of-order `seq`, or a kind whose
+    /// clock ran backwards.
+    pub fn check_line(&mut self, line: &str) -> Result<(), String> {
+        validate_event_line(line)?;
+        let seq = extract_u64(line, "\"seq\":")
+            .ok_or_else(|| format!("line has no numeric seq: {line}"))?;
+        if seq != self.next_seq {
+            return Err(format!(
+                "seq {seq} out of order (expected {})",
+                self.next_seq
+            ));
+        }
+        self.next_seq += 1;
+        let clock = extract_u64(line, "\"clock\":")
+            .ok_or_else(|| format!("line has no numeric clock: {line}"))?;
+        let kind =
+            extract_str(line, "\"kind\":\"").ok_or_else(|| format!("line has no kind: {line}"))?;
+        match self.last_clock.iter_mut().find(|(k, _)| k == &kind) {
+            Some((_, last)) => {
+                if clock < *last {
+                    return Err(format!(
+                        "non-monotone clock for kind `{kind}`: {clock} after {last}"
+                    ));
+                }
+                *last = clock;
+            }
+            None => self.last_clock.push((kind, clock)),
+        }
+        Ok(())
+    }
+
+    /// Checks a whole rendered JSONL stream.
+    ///
+    /// # Errors
+    ///
+    /// First failing line's error, prefixed with its 0-based line number.
+    pub fn check_stream(jsonl: &str) -> Result<(), String> {
+        let mut v = StreamValidator::new();
+        for (n, line) in jsonl.lines().enumerate() {
+            v.check_line(line).map_err(|e| format!("line {n}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Pulls the unsigned integer right after `marker` out of a rendered
+/// line. Good enough for the fixed header keys, which render unquoted.
+fn extract_u64(line: &str, marker: &str) -> Option<u64> {
+    let rest = &line[line.find(marker)? + marker.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Pulls the string right after `marker` (up to the closing quote).
+/// Event kinds never contain escapes, which the emitters guarantee by
+/// using `&'static str` dotted identifiers.
+fn extract_str(line: &str, marker: &str) -> Option<String> {
+    let rest = &line[line.find(marker)? + marker.len()..];
+    Some(rest[..rest.find('"')?].to_owned())
 }
 
 #[cfg(test)]
@@ -324,5 +446,54 @@ mod tests {
         }
         assert!(validate_event_line("{\"nope\":1}").is_err());
         assert!(validate_event_line("{\"schema\":\"sdmmon-events-v1\",\"seq\":0,\"x\":").is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let dup = "{\"schema\":\"sdmmon-events-v1\",\"seq\":0,\"clock\":3,\
+                   \"kind\":\"x\",\"core\":1,\"core\":2}";
+        let err = validate_event_line(dup).unwrap_err();
+        assert!(err.contains("duplicate key `core`"), "got: {err}");
+        // A field value that repeats a key *string* is not a duplicate.
+        let ok = "{\"schema\":\"sdmmon-events-v1\",\"seq\":0,\"clock\":3,\
+                  \"kind\":\"x\",\"note\":\"core\"}";
+        validate_event_line(ok).expect("string values are not keys");
+        // An event that repeats a builder field renders a duplicate.
+        let line = Event::new("x", 1)
+            .field("a", 1u64)
+            .field("a", 2u64)
+            .render_line(0);
+        assert!(validate_event_line(&line).is_err());
+    }
+
+    #[test]
+    fn stream_validator_accepts_per_kind_monotone_clocks() {
+        let bus = EventBus::new();
+        bus.record(Event::new("a.tick", 5));
+        bus.record(Event::new("b.tick", 1)); // other kinds may start lower
+        bus.record(Event::new("a.tick", 5)); // equal clocks are fine
+        bus.record(Event::new("b.tick", 9));
+        StreamValidator::check_stream(&bus.render_jsonl()).expect("stream validates");
+    }
+
+    #[test]
+    fn stream_validator_rejects_backwards_clock_within_a_kind() {
+        let bus = EventBus::new();
+        bus.record(Event::new("a.tick", 5));
+        bus.record(Event::new("a.tick", 4));
+        let err = StreamValidator::check_stream(&bus.render_jsonl()).unwrap_err();
+        assert!(err.contains("non-monotone clock"), "got: {err}");
+    }
+
+    #[test]
+    fn stream_validator_rejects_seq_gaps() {
+        let bus = EventBus::new();
+        bus.record(Event::new("a.tick", 1));
+        bus.record(Event::new("a.tick", 2));
+        let jsonl = bus.render_jsonl();
+        let second = jsonl.lines().nth(1).unwrap();
+        let mut v = StreamValidator::new();
+        let err = v.check_line(second).unwrap_err();
+        assert!(err.contains("out of order"), "got: {err}");
     }
 }

@@ -18,6 +18,13 @@
 //!   uncontended-in-practice atomic adds, cheap enough for per-packet hot
 //!   paths; all operations are commutative, so the *snapshot* is
 //!   deterministic even when the recording interleaving is not.
+//! * **[`trace`]** — the causal layer on top of the event stream: a
+//!   seeded per-mille flow sampler and stable trace/span ids
+//!   ([`TraceContext`], [`span_id`]), span events that ride the existing
+//!   clock-ordered merges, and [`assemble_traces`] to rebuild
+//!   ingest → admission → dispatch → verify → respond chains (and the
+//!   fleet-side operator → relay → install chains) byte-identically at
+//!   any shard count.
 //!
 //! This crate sits below every other `sdmmon-*` crate (it depends on
 //! nothing), which is why it carries its own minimal JSON rendering
@@ -32,10 +39,14 @@
 mod event;
 mod json;
 mod metrics;
+pub mod trace;
 
-pub use event::{validate_event_line, Event, EventBuffer, EventBus, Value, EVENTS_SCHEMA};
+pub use event::{
+    validate_event_line, Event, EventBuffer, EventBus, StreamValidator, Value, EVENTS_SCHEMA,
+};
 pub use json::write_json_string;
 pub use metrics::{
     bucket_bounds, bucket_index, metrics, percentile, Counter, Gauge, Hist, MetricsRegistry,
     HIST_BUCKETS, MAX_SHARD_SLOTS, METRICS_SCHEMA,
 };
+pub use trace::{assemble_traces, span_id, Trace, TraceContext, TraceSpan, TRACE_SCHEMA};

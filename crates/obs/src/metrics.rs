@@ -175,6 +175,11 @@ metric_enum! {
         /// Whole core queues moved off their home shard by the streaming
         /// engine's deterministic work stealing.
         StreamSteals => "stream_steals",
+        /// Span events emitted by the trace layer (head-sampled flows).
+        TraceSpans => "trace_spans",
+        /// Flight-recorder promotions: unsampled flows retroactively
+        /// traced on a monitor flag or a graded escalation.
+        TraceFlightPromotions => "trace_flight_promotions",
     }
 }
 
@@ -218,7 +223,15 @@ metric_enum! {
 ///
 /// The rank is `ceil(count * per_mille / 1000)`, clamped to at least 1, so
 /// `percentile(h, 1000)` is the bucketed maximum and `percentile(h, 0)`
-/// the bucketed minimum. An empty histogram reports 0.
+/// the bucketed minimum.
+///
+/// **Sentinel:** an *empty* histogram (every bucket zero — nothing was
+/// ever observed) reports `0` at every percentile. A histogram whose
+/// observations were all the value zero (all counts in bucket 0) also
+/// reports `0` — as bucket 0's genuine lower bound, not as the sentinel.
+/// The two are indistinguishable from the return value alone; callers
+/// that need to tell "no data" from "all zeros" must check the bucket
+/// sum first, which is what `sdmmon stats` does before printing tails.
 ///
 /// # Panics
 ///
@@ -558,10 +571,29 @@ mod tests {
 
     #[test]
     fn percentile_of_empty_histogram_is_zero() {
+        // The documented sentinel: no observations at all -> 0 at every
+        // percentile, including the extremes.
         let buckets = [0u64; HIST_BUCKETS];
-        assert_eq!(percentile(&buckets, 0), 0);
-        assert_eq!(percentile(&buckets, 500), 0);
-        assert_eq!(percentile(&buckets, 1000), 0);
+        for per_mille in [0, 1, 500, 999, 1000] {
+            assert_eq!(percentile(&buckets, per_mille), 0);
+        }
+    }
+
+    #[test]
+    fn percentile_of_all_zero_observations_is_zero_but_not_the_sentinel() {
+        // Every observation was the value 0: all mass sits in bucket 0,
+        // whose lower bound is 0 — numerically identical to the empty
+        // sentinel, but here it is a genuine percentile. The bucket sum
+        // is how callers tell the two apart, so pin both halves.
+        let mut buckets = [0u64; HIST_BUCKETS];
+        buckets[bucket_index(0)] = 1234;
+        for per_mille in [0, 500, 1000] {
+            assert_eq!(percentile(&buckets, per_mille), 0);
+        }
+        assert!(
+            buckets.iter().sum::<u64>() > 0,
+            "non-empty histogram distinguishable via the bucket sum"
+        );
     }
 
     #[test]

@@ -48,6 +48,15 @@
 //!     verify it byte-identical to the serial streaming oracle, and write
 //!     the timing-free sdmmon-stream-v1 JSON report.
 //!
+//! sdmmon trace [--quick] [--seed <n>] [--shards <n>] [--rounds <n>]
+//!              [--sample <per-mille>] [--out <path>] [--perfetto <path>]
+//!              [--events <path>] [--metrics <path>]
+//!     Run the streaming hijack scenario with the causal span/trace layer
+//!     armed (seeded per-mille flow sampling + per-core flight recorder),
+//!     assemble the span chains, and write the sdmmon-trace-v1 JSON —
+//!     byte-identical per seed at any shard count. `--perfetto` exports
+//!     Chrome trace-event JSON on logical clocks.
+//!
 //! sdmmon stats [--seed <n>] [--packets <n>] [--cores <n>] [--shards <n>]
 //!              [--events <path>] [--metrics <path>]
 //!     Drive seeded monitored traffic (benign + hijack bursts) through the
@@ -87,6 +96,7 @@ fn main() -> ExitCode {
         Some("frontier") => cmd_frontier(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
@@ -131,6 +141,9 @@ USAGE:
     sdmmon bench  [--quick] [--shards <n>] [--hash] [--metrics <path>]
     sdmmon stream [--quick] [--seed <n>] [--shards <n>] [--rounds <n>]
                   [--capacity <n>] [--out <path>] [--metrics <path>]
+    sdmmon trace  [--quick] [--seed <n>] [--shards <n>] [--rounds <n>]
+                  [--sample <per-mille>] [--out <path>] [--perfetto <path>]
+                  [--events <path>] [--metrics <path>]
     sdmmon stats  [--seed <n>] [--packets <n>] [--cores <n>] [--shards <n>]
                   [--events <path>] [--metrics <path>]
 
@@ -1283,6 +1296,239 @@ fn cmd_stream(args: &[String]) -> Result<(), CliError> {
     json.push_str("  \"byte_identical\": true\n}\n");
     write_output(out, &json)?;
     println!("report: {out} (sdmmon-stream-v1, seed {seed}, replays byte-identically)");
+    write_observability(None, metrics_path)?;
+    Ok(())
+}
+
+/// `sdmmon trace`: the causal-observability scenario. Pushes the same
+/// seeded open-loop hijack-salted traffic as `sdmmon stream` through the
+/// streaming engine with the span/trace layer armed, runs a small traced
+/// fleet deployment, reassembles the span events into
+/// ingest → admission → dispatch → verify → respond chains (and the
+/// fleet-side operator → relay → install chains), and writes the versioned
+/// `sdmmon-trace-v1` JSON artifact.
+///
+/// Sampling and trace ids are pure functions of `(seed, flow)`, and the
+/// ingress capacity is fixed at 512/shard — above the worst-case round of
+/// the open-loop source (24 bursts × 16 packets) — so admission never
+/// drops and the artifact is byte-identical not only across reruns at one
+/// seed but across shard counts (which is why the file records no shard
+/// count). `--perfetto` additionally exports a Chrome/Perfetto
+/// `traceEvents` JSON using the logical clocks as timestamps.
+fn cmd_trace(args: &[String]) -> Result<(), CliError> {
+    use sdmmon::core::distrib::{deploy_fleet_traced, FleetDeployConfig};
+    use sdmmon::net::traffic::{OpenLoopConfig, OpenLoopSource};
+    use sdmmon::npu::np::{NetworkProcessor, StreamConfig};
+    use sdmmon::npu::programs::{self, testing};
+    use sdmmon::npu::supervisor::SupervisorPolicy;
+    use sdmmon::obs::trace::TraceContext;
+    use sdmmon::obs::{assemble_traces, write_json_string, TRACE_SCHEMA};
+    use sdmmon_rng::{Rng, SeedableRng, StdRng};
+    use std::sync::Arc;
+
+    let mut quick = false;
+    let mut seed = 0x57AEu64;
+    let mut shards = 4usize;
+    let mut rounds_override = None;
+    let mut sample = 64u64;
+    let mut out = "target/TRACE.json";
+    let mut perfetto_path = None;
+    let mut events_path = None;
+    let mut metrics_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| usage(format!("option `{flag}` needs a value")))
+        };
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--seed" => seed = parse_u64(value("--seed")?, "seed")?,
+            "--shards" => shards = parse_u64(value("--shards")?, "shards")? as usize,
+            "--rounds" => rounds_override = Some(parse_u64(value("--rounds")?, "rounds")? as usize),
+            "--sample" => sample = parse_u64(value("--sample")?, "sample")?,
+            "--out" => out = value("--out")?.as_str(),
+            "--perfetto" => perfetto_path = Some(value("--perfetto")?.as_str()),
+            "--events" => events_path = Some(value("--events")?.as_str()),
+            "--metrics" => metrics_path = Some(value("--metrics")?.as_str()),
+            other => return Err(usage(format!("unknown option `{other}`"))),
+        }
+    }
+    let round_count = rounds_override.unwrap_or(if quick { 6 } else { 24 });
+    if shards == 0 || round_count == 0 {
+        return Err(usage("shards and rounds must be nonzero"));
+    }
+    if !(1..=1000).contains(&sample) {
+        return Err(usage("--sample is per-mille, 1..=1000"));
+    }
+    const CORES: usize = 8;
+    if shards > CORES {
+        return Err(usage(format!(
+            "at most {CORES} shards on an {CORES}-core NP"
+        )));
+    }
+    // Worst-case open-loop round is 24 bursts × 16 packets = 384; a
+    // 512/shard budget guarantees zero admission drops, the precondition
+    // for the artifact being invariant across shard counts.
+    const CAPACITY: usize = 512;
+
+    let tc = TraceContext::new(seed, sample as u16);
+    let program = programs::vulnerable_forward().map_err(processing)?;
+    let image = program.to_bytes();
+    let bus = Arc::new(EventBus::new());
+    let mut np = NetworkProcessor::with_policy(CORES, SupervisorPolicy::ladder(2, 2));
+    np.install_all(&image, program.base, |i| {
+        let hash = MerkleTreeHash::new(0x57AE_0000 ^ i as u32);
+        let graph = MonitoringGraph::extract(&program, &hash).expect("embedded workload extracts");
+        Box::new(HardwareMonitor::new(graph, hash))
+    });
+    np.set_shards(shards);
+    np.set_event_bus(Some(bus.clone()));
+    np.set_trace(Some(tc));
+
+    // Same open-loop + hijack-salt recipe as `sdmmon stream`, so the trace
+    // artifact describes the traffic the streaming gate already pins.
+    let mut source = OpenLoopSource::new(OpenLoopConfig {
+        seed,
+        ..OpenLoopConfig::default()
+    });
+    let mut rounds = source.take_rounds(round_count);
+    let attack =
+        testing::hijack_packet("li $t5, 5\nbreak 1").map_err(|e| processing(format!("{e:?}")))?;
+    let mut salt = StdRng::seed_from_u64(seed ^ 0x5A17);
+    for round in &mut rounds {
+        for packet in round.iter_mut() {
+            if salt.gen_range(0..24u32) == 0 {
+                *packet = attack.clone();
+            }
+        }
+    }
+    let cfg = StreamConfig {
+        shard_capacity: CAPACITY,
+    };
+    let streamed = np.process_stream(&rounds, &cfg);
+    let report = streamed.report;
+    if report.dropped != 0 {
+        return Err(processing(format!(
+            "trace scenario must not drop at admission (capacity {CAPACITY}), \
+             but dropped {} of {}",
+            report.dropped, report.offered
+        )));
+    }
+
+    // Control-plane phase: a small traced fleet rollout on the same bus.
+    let fleet_cfg = FleetDeployConfig {
+        routers: if quick { 4 } else { 8 },
+        relays: 2,
+        key_pool: 4,
+        ..FleetDeployConfig::default()
+    };
+    let fleet = deploy_fleet_traced(&fleet_cfg, &program, seed ^ 0xF1EE7, Some(&bus), Some(&tc))
+        .map_err(processing)?;
+
+    if let Some(path) = events_path {
+        write_output(path, &bus.render_jsonl())?;
+        println!("events: {path} ({} events, sdmmon-events-v1)", bus.len());
+    }
+    let events = bus.take();
+    let traces = assemble_traces(&events);
+    let sampled_traces = traces.iter().filter(|t| t.sampled).count();
+    let flight_traces = traces.iter().filter(|t| !t.sampled).count();
+    let span_count: usize = traces.iter().map(|t| t.spans.len()).sum();
+
+    println!(
+        "seed {seed}: {round_count} rounds, {CORES} cores, sample {sample}\u{2030}, \
+         flight window {}",
+        tc.flight_window
+    );
+    println!(
+        "stream: offered {} / admitted {} (no drops by construction), fleet {}/{} installed",
+        report.offered, report.admitted, fleet.installed, fleet_cfg.routers
+    );
+    println!(
+        "traces: {} ({} sampled, {} flight-promoted), {span_count} spans",
+        traces.len(),
+        sampled_traces,
+        flight_traces
+    );
+
+    // The artifact: everything below is a pure function of the seed and
+    // the knobs above — no shard count, no wall clock — so it replays
+    // byte-identically per seed at every shard count.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"schema\": \"{TRACE_SCHEMA}\",\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"cores\": {CORES},\n"));
+    json.push_str(&format!("  \"rounds\": {round_count},\n"));
+    json.push_str(&format!("  \"sample_per_mille\": {sample},\n"));
+    json.push_str(&format!("  \"flight_window\": {},\n", tc.flight_window));
+    json.push_str(&format!("  \"offered\": {},\n", report.offered));
+    json.push_str(&format!("  \"admitted\": {},\n", report.admitted));
+    json.push_str(&format!("  \"fleet_routers\": {},\n", fleet_cfg.routers));
+    json.push_str(&format!("  \"fleet_installed\": {},\n", fleet.installed));
+    json.push_str(&format!("  \"sampled_traces\": {sampled_traces},\n"));
+    json.push_str(&format!("  \"flight_traces\": {flight_traces},\n"));
+    json.push_str(&format!("  \"spans\": {span_count},\n"));
+    json.push_str("  \"traces\": [\n");
+    for (ti, t) in traces.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": {}, \"flow\": {}, \"sampled\": {}, \"spans\": [\n",
+            t.id, t.flow, t.sampled
+        ));
+        for (si, s) in t.spans.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"id\": {}, \"parent\": {}, \"stage\": \"{}\", \"clock\": {}, \
+                 \"entity\": {}, \"cost\": {}, \"note\": ",
+                s.id, s.parent, s.stage, s.clock, s.entity, s.cost
+            ));
+            write_json_string(&mut json, &s.note);
+            json.push('}');
+            if si + 1 < t.spans.len() {
+                json.push(',');
+            }
+            json.push('\n');
+        }
+        json.push_str("    ]}");
+        if ti + 1 < traces.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("  ]\n}\n");
+    write_output(out, &json)?;
+    println!("report: {out} (sdmmon-trace-v1, seed {seed}, replays byte-identically)");
+
+    if let Some(path) = perfetto_path {
+        // Chrome trace-event format: complete events (`ph: "X"`) with the
+        // logical clock as the microsecond timestamp, one pid per trace.
+        let mut pj = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+        let mut first = true;
+        for (ti, t) in traces.iter().enumerate() {
+            for s in &t.spans {
+                if !first {
+                    pj.push_str(",\n");
+                }
+                first = false;
+                pj.push_str(&format!(
+                    "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \
+                     \"dur\": {}, \"pid\": {}, \"tid\": {}, \"args\": {{\"trace\": {}, \
+                     \"note\": ",
+                    s.stage,
+                    if t.sampled { "sampled" } else { "flight" },
+                    s.clock,
+                    s.cost.max(1),
+                    ti,
+                    s.entity.max(0),
+                    t.id
+                ));
+                write_json_string(&mut pj, &s.note);
+                pj.push_str("}}");
+            }
+        }
+        pj.push_str("\n]}\n");
+        write_output(path, &pj)?;
+        println!("perfetto: {path} (chrome trace-event JSON, logical clocks)");
+    }
     write_observability(None, metrics_path)?;
     Ok(())
 }

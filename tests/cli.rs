@@ -256,6 +256,39 @@ fn stream_quick_replays_byte_identically_and_balances_the_books() {
 }
 
 #[test]
+fn trace_quick_replays_byte_identically_across_runs_and_shard_counts() {
+    let run = |name: &str, shards: &str| -> Vec<u8> {
+        let out_path = write_temp(name, "");
+        let out = sdmmon()
+            .arg("trace")
+            .arg("--quick")
+            .arg("--shards")
+            .arg(shards)
+            .arg("--out")
+            .arg(&out_path)
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read(&out_path).expect("trace artifact written")
+    };
+    let first = run("trace-a.json", "4");
+    let second = run("trace-b.json", "4");
+    assert_eq!(first, second, "same seed must replay byte-identically");
+    // The trace artifact is a pure function of seed × flow, so the shard
+    // count must not leak into it.
+    let serial = run("trace-c.json", "1");
+    assert_eq!(first, serial, "shard count must not change the artifact");
+    let text = String::from_utf8_lossy(&first);
+    assert!(text.contains("\"schema\": \"sdmmon-trace-v1\""), "{text}");
+    assert!(text.contains("\"stage\": \"respond\""), "{text}");
+    assert!(text.contains("\"stage\": \"install\""), "{text}");
+}
+
+#[test]
 fn bad_inputs_yield_clean_errors() {
     // Unknown command.
     let out = sdmmon().arg("frobnicate").output().expect("spawn");

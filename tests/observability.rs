@@ -12,10 +12,16 @@
 //!   shard-count-independent by construction).
 
 use sdmmon::npu::cpu::NullObserver;
-use sdmmon::npu::np::NetworkProcessor;
+use sdmmon::npu::np::{NetworkProcessor, StreamConfig};
 use sdmmon::npu::programs::{self, testing};
 use sdmmon::npu::supervisor::SupervisorPolicy;
-use sdmmon::obs::{validate_event_line, EventBus, EVENTS_SCHEMA};
+use sdmmon::obs::trace::{
+    STAGE_ADMISSION, STAGE_DISPATCH, STAGE_INGEST, STAGE_RESPOND, STAGE_VERIFY,
+};
+use sdmmon::obs::{
+    assemble_traces, validate_event_line, Event, EventBus, StreamValidator, TraceContext,
+    EVENTS_SCHEMA,
+};
 use sdmmon::testkit::{run_campaign_observed, CampaignConfig};
 use sdmmon_rng::{Rng, SeedableRng, StdRng};
 use std::sync::Arc;
@@ -132,6 +138,126 @@ fn graded_np_jsonl(seed: u64, shards: usize) -> String {
         np.process_batch(&clean);
     }
     bus.render_jsonl()
+}
+
+/// Runs the burst workload as a traced stream (PR 10) at the given shard
+/// count and returns the full event stream. The shard budget is sized
+/// above the largest round so admission never drops — the precondition
+/// for span streams being shard-count-invariant.
+fn traced_stream_events(seed: u64, shards: usize, per_mille: u16) -> Vec<Event> {
+    let program = programs::vulnerable_forward().unwrap();
+    let mut np = NetworkProcessor::with_policy(8, SupervisorPolicy::ladder(2, 2));
+    np.install_all(&program.to_bytes(), program.base, |_| {
+        Box::new(NullObserver)
+    });
+    np.set_shards(shards);
+    let bus = Arc::new(EventBus::new());
+    np.set_event_bus(Some(bus.clone()));
+    np.set_trace(Some(TraceContext::new(seed, per_mille)));
+    let packets = traffic(seed, 160);
+    let rounds: Vec<Vec<Vec<u8>>> = packets.chunks(40).map(<[_]>::to_vec).collect();
+    let out = np.process_stream(
+        &rounds,
+        &StreamConfig {
+            shard_capacity: 512,
+        },
+    );
+    assert_eq!(out.report.dropped, 0, "budget must admit every round");
+    bus.take()
+}
+
+/// The trace-layer event kinds (spans plus flight-recorder promotions).
+fn trace_kinds(events: &[Event]) -> Vec<Event> {
+    events
+        .iter()
+        .filter(|e| e.kind.starts_with("span.") || e.kind == sdmmon::obs::trace::KIND_FLIGHT)
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn trace_span_stream_is_identical_across_shard_counts() {
+    for seed in [0xC0DE_CAFEu64, 0x5EED_0002] {
+        let one = trace_kinds(&traced_stream_events(seed, 1, 200));
+        assert!(!one.is_empty(), "seed {seed:#x}: sampler must fire at 200‰");
+        for shards in [2usize, 4, 8] {
+            let other = trace_kinds(&traced_stream_events(seed, shards, 200));
+            assert_eq!(
+                one, other,
+                "seed {seed:#x}: span stream must be identical at {shards} shards"
+            );
+        }
+        // And the assembled artifact view agrees with itself on replay.
+        let replay = trace_kinds(&traced_stream_events(seed, 1, 200));
+        assert_eq!(assemble_traces(&one), assemble_traces(&replay));
+    }
+}
+
+#[test]
+fn flight_recorder_promotes_hijacked_flow_to_full_trace() {
+    // Sampling off: every trace present can only come from retroactive
+    // flight-recorder promotion at detection time.
+    let events = traced_stream_events(0xC0DE_CAFE, 4, 0);
+    let traces = assemble_traces(&events);
+    assert!(
+        !traces.is_empty(),
+        "hijack burst must promote at least one flow"
+    );
+    let flight = traces
+        .iter()
+        .find(|t| t.spans.iter().any(|s| s.stage == STAGE_RESPOND))
+        .expect("a promoted trace must reach the graded response");
+    assert!(!flight.sampled, "promotion is not sampling");
+    // The causal chain runs from admission through dispatch and
+    // verification to the graded response, with every parent resolving to
+    // another span of the same trace.
+    for stage in [STAGE_ADMISSION, STAGE_DISPATCH, STAGE_VERIFY, STAGE_RESPOND] {
+        assert!(
+            flight.spans.iter().any(|s| s.stage == stage),
+            "promoted trace missing {stage}: {flight:?}"
+        );
+    }
+    for span in &flight.spans {
+        if span.stage == STAGE_INGEST || span.stage == STAGE_ADMISSION {
+            continue; // chain roots
+        }
+        assert!(
+            flight.spans.iter().any(|s| s.id == span.parent),
+            "span {span:?} has a dangling parent in {flight:?}"
+        );
+    }
+}
+
+#[test]
+fn traced_streams_satisfy_the_stream_validator() {
+    // The tightened validator (duplicate keys, per-kind clock monotonicity,
+    // seq ordering) must accept every real producer stream — spans and
+    // flight promotions included.
+    let program = programs::vulnerable_forward().unwrap();
+    let mut np = NetworkProcessor::with_policy(8, SupervisorPolicy::ladder(2, 2));
+    np.install_all(&program.to_bytes(), program.base, |_| {
+        Box::new(NullObserver)
+    });
+    np.set_shards(4);
+    let bus = Arc::new(EventBus::new());
+    np.set_event_bus(Some(bus.clone()));
+    np.set_trace(Some(TraceContext::new(0x5EED_0002, 200)));
+    let packets = traffic(0x5EED_0002, 160);
+    let rounds: Vec<Vec<Vec<u8>>> = packets.chunks(40).map(<[_]>::to_vec).collect();
+    np.process_stream(
+        &rounds,
+        &StreamConfig {
+            shard_capacity: 512,
+        },
+    );
+    let jsonl = bus.render_jsonl();
+    let mut validator = StreamValidator::new();
+    let mut saw_span = false;
+    for line in jsonl.lines() {
+        validator.check_line(line).expect("stream must validate");
+        saw_span |= line.contains("\"kind\":\"span.");
+    }
+    assert!(saw_span, "workload must emit spans: {jsonl}");
 }
 
 #[test]
